@@ -1,0 +1,219 @@
+// Package acep is an adaptive complex event processing (CEP) library: it
+// detects declarative patterns (sequences, conjunctions, disjunctions,
+// negation, Kleene closure, inter-event predicates, sliding windows) over
+// event streams, and continuously re-optimizes its evaluation plan as the
+// statistical properties of the input change.
+//
+// The adaptation machinery implements Kolchinsky & Schuster, "Efficient
+// Adaptive Detection of Complex Event Patterns" (VLDB 2018): during plan
+// generation every block-building comparison is captured as a deciding
+// condition, the tightest conditions become invariants, and the system
+// reoptimizes exactly when an invariant is violated — provably avoiding
+// false-positive reoptimizations (paper Theorem 1). The library ships
+// both evaluation models the paper studies (order-based lazy NFA with the
+// greedy planner, and ZStream-style evaluation trees with a dynamic-
+// programming planner) plus the baseline adaptation policies it compares
+// against (static, unconditional, constant-threshold).
+//
+// # Quick start
+//
+//	schema := acep.NewSchema()
+//	a := schema.MustAddType("A", "person_id")
+//	b := schema.MustAddType("B", "person_id")
+//	c := schema.MustAddType("C", "person_id")
+//
+//	pb := acep.NewPattern(schema, acep.Seq, 10*acep.Minute)
+//	pa, pbPos, pc := pb.Event(a), pb.Event(b), pb.Event(c)
+//	pb.WhereEq(pa, "person_id", pbPos, "person_id")
+//	pb.WhereEq(pbPos, "person_id", pc, "person_id")
+//	pattern := pb.MustBuild()
+//
+//	eng, _ := acep.NewEngine(pattern, acep.Config{
+//		Policy:  acep.NewInvariantPolicy(acep.InvariantOptions{}),
+//		OnMatch: func(m *acep.Match) { fmt.Println(m) },
+//	})
+//	for _, ev := range events {
+//		eng.Process(&ev)
+//	}
+//	eng.Finish()
+//
+// See the examples/ directory for runnable programs and DESIGN.md for the
+// architecture and the paper-experiment index.
+package acep
+
+import (
+	"acep/internal/core"
+	"acep/internal/engine"
+	"acep/internal/event"
+	"acep/internal/gen"
+	"acep/internal/match"
+	"acep/internal/pattern"
+	"acep/internal/sase"
+	"acep/internal/stats"
+)
+
+// Core data types, re-exported from the internal packages. The aliases
+// carry their methods; see the internal package docs for details.
+type (
+	// Event is a primitive input event.
+	Event = event.Event
+	// Time is a logical timestamp in milliseconds.
+	Time = event.Time
+	// Schema registers event types and their attributes.
+	Schema = event.Schema
+	// Pattern is a compiled, immutable pattern.
+	Pattern = pattern.Pattern
+	// PatternBuilder assembles a Pattern.
+	PatternBuilder = pattern.Builder
+	// Pred is a predicate over one or two pattern positions.
+	Pred = pattern.Pred
+	// Match is one detected pattern occurrence.
+	Match = match.Match
+	// Snapshot is an immutable statistics snapshot (arrival rates and
+	// predicate selectivities).
+	Snapshot = stats.Snapshot
+	// StatsConfig tunes the statistics estimator.
+	StatsConfig = stats.Config
+	// Policy is a reoptimizing decision function D.
+	Policy = core.Policy
+	// Engine is the adaptive detection engine.
+	Engine = engine.Engine
+	// Config assembles an Engine.
+	Config = engine.Config
+	// Metrics aggregates an Engine's counters.
+	Metrics = engine.Metrics
+	// Workload is a generated synthetic event stream.
+	Workload = gen.Workload
+)
+
+// Time units.
+const (
+	Millisecond = event.Millisecond
+	Second      = event.Second
+	Minute      = event.Minute
+)
+
+// Pattern operators.
+const (
+	// Seq detects events in declaration order.
+	Seq = pattern.Seq
+	// And detects events in any order within the window.
+	And = pattern.And
+)
+
+// Predicate comparison operators.
+const (
+	LT        = pattern.LT
+	LE        = pattern.LE
+	GT        = pattern.GT
+	GE        = pattern.GE
+	EQ        = pattern.EQ
+	NE        = pattern.NE
+	AbsDiffLT = pattern.AbsDiffLT
+)
+
+// Evaluation models.
+const (
+	// GreedyNFA uses order-based plans on a lazy NFA (greedy planner).
+	GreedyNFA = engine.GreedyNFA
+	// ZStreamTree uses tree-based plans on a ZStream-style engine
+	// (dynamic-programming planner).
+	ZStreamTree = engine.ZStreamTree
+)
+
+// NewSchema creates an empty event schema.
+func NewSchema() *Schema { return event.NewSchema() }
+
+// NewPattern starts building a pattern with the given root operator (Seq
+// or And) and sliding window.
+func NewPattern(s *Schema, op pattern.Op, window Time) *PatternBuilder {
+	return pattern.NewBuilder(s, op, window)
+}
+
+// Or combines built patterns into a disjunction; each disjunct is
+// detected (and adapts) independently.
+func Or(subs ...*Pattern) (*Pattern, error) { return pattern.NewOr(subs...) }
+
+// ParsePattern compiles a SASE-style textual specification (the syntax
+// used in the paper), e.g.
+//
+//	PATTERN SEQ(A a, B b, C c)
+//	WHERE a.person_id = b.person_id AND b.person_id = c.person_id
+//	WITHIN 10 minutes
+//
+// Negation is written "~B b" and Kleene closure "C+ c"; see the
+// internal/sase package for the full grammar.
+func ParsePattern(s *Schema, src string) (*Pattern, error) { return sase.Parse(s, src) }
+
+// NewEngine builds an adaptive engine for the pattern.
+func NewEngine(p *Pattern, cfg Config) (*Engine, error) { return engine.New(p, cfg) }
+
+// NewStaticPolicy returns the no-adaptation baseline: the initial plan is
+// kept forever.
+func NewStaticPolicy() Policy { return core.Static{} }
+
+// NewUnconditionalPolicy returns the baseline that re-runs plan
+// generation on every adaptation check.
+func NewUnconditionalPolicy() Policy { return core.Unconditional{} }
+
+// NewThresholdPolicy returns the constant-threshold baseline: it requests
+// reoptimization when any monitored statistic deviates from its value at
+// plan-installation time by the relative factor t.
+func NewThresholdPolicy(t float64) Policy { return &core.Threshold{T: t} }
+
+// InvariantOptions tunes the invariant-based decision policy.
+type InvariantOptions struct {
+	// K is the maximum number of invariants kept per building block
+	// (default 1, the basic method; paper §3.3).
+	K int
+	// Distance is the minimal relative violation distance d (paper §3.4).
+	Distance float64
+	// AutoDistance derives the distance from the average relative
+	// difference of the deciding conditions at every plan installation
+	// (paper §3.4, the d_avg estimator).
+	AutoDistance bool
+}
+
+// NewInvariantPolicy returns the paper's invariant-based reoptimizing
+// decision function: it requests reoptimization exactly when a recorded
+// plan invariant is violated, guaranteeing the new plan differs from the
+// current one.
+func NewInvariantPolicy(o InvariantOptions) Policy {
+	return &core.Invariant{K: o.K, D: o.Distance, AutoDistance: o.AutoDistance}
+}
+
+// NewMetaInvariantPolicy returns the meta-adaptive invariant policy
+// (paper §3.4, direction 3): the violation distance d is tuned on-the-fly
+// from the outcomes of the reoptimization attempts the policy triggers —
+// wasted attempts grow d, productive ones decay it back toward initialD.
+func NewMetaInvariantPolicy(initialD float64) Policy {
+	return &core.MetaInvariant{InitialD: initialD}
+}
+
+// Synthetic workload generation (the library's stand-ins for the paper's
+// traffic and stocks datasets; see DESIGN.md).
+type (
+	// TrafficConfig tunes the skewed/stable/extreme-shift generator.
+	TrafficConfig = gen.TrafficConfig
+	// StocksConfig tunes the uniform/minor-drift generator.
+	StocksConfig = gen.StocksConfig
+	// PatternKind selects one of the five evaluation pattern families.
+	PatternKind = gen.Kind
+)
+
+// Pattern families for generated workloads.
+const (
+	SequencePatterns    = gen.Sequence
+	ConjunctionPatterns = gen.Conjunction
+	NegationPatterns    = gen.Negation
+	KleenePatterns      = gen.Kleene
+	CompositePatterns   = gen.Composite
+)
+
+// NewTrafficWorkload generates a traffic-like stream: highly skewed,
+// stable arrival rates with rare extreme regime shifts.
+func NewTrafficWorkload(cfg TrafficConfig) *Workload { return gen.Traffic(cfg) }
+
+// NewStocksWorkload generates a stocks-like stream: near-uniform arrival
+// rates with frequent minor fluctuations.
+func NewStocksWorkload(cfg StocksConfig) *Workload { return gen.Stocks(cfg) }

@@ -1,0 +1,84 @@
+// Command acep-bench regenerates the paper's evaluation tables and
+// figures on the synthetic stand-in workloads.
+//
+// Usage:
+//
+//	acep-bench -exp fig6                 # one experiment
+//	acep-bench -exp all                  # everything (slow)
+//	acep-bench -exp fig5 -events 200000  # scale up
+//	acep-bench -list                     # show experiment ids
+//
+// Experiment ids follow the paper: fig5, table1, fig6..fig9 (main
+// method comparison per dataset-algorithm combo), fig10..fig29 (appendix:
+// per pattern set). See DESIGN.md for the full index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"acep/internal/bench"
+	"acep/internal/event"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id (fig5, table1, fig6..fig29, or 'all')")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		events = flag.Int("events", 0, "events per measured run (default 30000)")
+		seed   = flag.Int64("seed", 1, "workload seed")
+		window = flag.Int64("window", 0, "pattern window in logical ms (default 100)")
+		check  = flag.Int("check", 0, "adaptation check interval in events (default 500)")
+		sizes  = flag.String("sizes", "", "comma-separated pattern sizes (default 3..8)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "acep-bench: -exp required (or -list); e.g. -exp fig6")
+		os.Exit(2)
+	}
+	sc := bench.DefaultScale()
+	sc.Seed = *seed
+	if *events > 0 {
+		sc.Events = *events
+	}
+	if *window > 0 {
+		sc.Window = event.Time(*window)
+	}
+	if *check > 0 {
+		sc.CheckEvery = *check
+	}
+	if *sizes != "" {
+		sc.Sizes = nil
+		for _, s := range strings.Split(*sizes, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v < 1 {
+				fmt.Fprintf(os.Stderr, "acep-bench: bad size %q\n", s)
+				os.Exit(2)
+			}
+			sc.Sizes = append(sc.Sizes, v)
+		}
+	}
+	r := bench.NewRunner(bench.NewHarness(sc))
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = bench.ExperimentIDs()
+	}
+	for _, id := range ids {
+		fmt.Printf("=== %s ===\n", id)
+		if err := r.Run(os.Stdout, id); err != nil {
+			fmt.Fprintf(os.Stderr, "acep-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

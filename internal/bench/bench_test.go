@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"acep/internal/core"
+	"acep/internal/engine"
+	"acep/internal/gen"
+)
+
+// tinyScale keeps harness unit tests fast.
+func tinyScale() Scale {
+	return Scale{
+		Events:     4000,
+		Sizes:      []int{3, 4},
+		Seed:       7,
+		Window:     60,
+		CheckEvery: 400,
+		Types:      10,
+	}
+}
+
+func TestCombos(t *testing.T) {
+	cs := Combos()
+	if len(cs) != 4 {
+		t.Fatalf("%d combos", len(cs))
+	}
+	if cs[0].String() != "traffic/greedy" || cs[3].String() != "stocks/zstream" {
+		t.Fatalf("combo names: %v %v", cs[0], cs[3])
+	}
+	c, err := ComboByName("stocks/greedy")
+	if err != nil || c.Dataset != "stocks" || c.Model != engine.GreedyNFA {
+		t.Fatalf("ComboByName: %v %v", c, err)
+	}
+	if _, err := ComboByName("nope"); err == nil {
+		t.Fatal("bad combo accepted")
+	}
+}
+
+func TestHarnessRunDeterministicWorkload(t *testing.T) {
+	h := NewHarness(tinyScale())
+	w1 := h.Workload("traffic")
+	w2 := h.Workload("traffic")
+	if w1 != w2 {
+		t.Fatal("workload not cached")
+	}
+	pat, err := h.Pattern(Combos()[0], gen.Sequence, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Run(Combos()[0], pat, func() core.Policy { return core.Static{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 || res.Elapsed <= 0 {
+		t.Fatalf("bad result %+v", res)
+	}
+	// Matches must be identical across policies (policy independence at
+	// harness level).
+	res2, err := h.Run(Combos()[0], pat, func() core.Policy { return core.Unconditional{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != res2.Matches {
+		t.Fatalf("match counts differ across policies: %d vs %d", res.Matches, res2.Matches)
+	}
+}
+
+func TestFig5AndBestD(t *testing.T) {
+	h := NewHarness(tinyScale())
+	f5, err := h.Fig5(Combos()[0], []float64{0, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f5.Throughput) != 2 || len(f5.Throughput[0]) != 2 {
+		t.Fatalf("shape %dx%d", len(f5.Throughput), len(f5.Throughput[0]))
+	}
+	best := f5.BestD()
+	if best != 0 && best != 0.3 {
+		t.Fatalf("BestD = %g", best)
+	}
+	var buf bytes.Buffer
+	f5.Write(&buf)
+	if !strings.Contains(buf.String(), "Figure 5") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	sc := tinyScale()
+	sc.Sizes = []int{4, 5}
+	h := NewHarness(sc)
+	f5, err := h.Fig5(Combos()[0], []float64{0, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := h.Table1(Combos()[0], f5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows; want 2 (sizes 4,5)", len(rows))
+	}
+	for _, r := range rows {
+		if r.DAvg < 0 || r.Quality < 0 || r.Quality > 1 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	WriteTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestMethodsAndFigurePrinting(t *testing.T) {
+	h := NewHarness(tinyScale())
+	c := Combos()[0]
+	data, err := h.Methods(c, []gen.Kind{gen.Sequence, gen.Conjunction}, 0.3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Results) != 2 || len(data.Results[0]) != 2 || len(data.Results[0][0]) != 4 {
+		t.Fatal("wrong result shape")
+	}
+	avg := data.Avg()
+	if len(avg) != 2 || len(avg[0]) != 4 {
+		t.Fatal("wrong avg shape")
+	}
+	// static must never reoptimize; unconditional must generate plans at
+	// every check.
+	for si := range data.Sizes {
+		if avg[si][0].Reopts != 0 {
+			t.Fatalf("static reopts = %d", avg[si][0].Reopts)
+		}
+	}
+	var buf bytes.Buffer
+	data.WriteFigure(&buf, -1)
+	out := buf.String()
+	for _, want := range []string{"throughput", "reoptimizations", "overhead", "static", "invariant"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure output missing %q", want)
+		}
+	}
+	buf.Reset()
+	data.WriteFigure(&buf, 1)
+	if !strings.Contains(buf.String(), "conjunction patterns") {
+		t.Fatal("per-kind figure missing kind label")
+	}
+}
+
+func TestScanThreshold(t *testing.T) {
+	h := NewHarness(tinyScale())
+	topt, err := h.ScanThreshold(Combos()[0], []float64{0.1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topt != 0.1 && topt != 0.5 {
+		t.Fatalf("topt = %g", topt)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 2+4+20 {
+		t.Fatalf("%d experiment ids", len(ids))
+	}
+	want := map[string]bool{"fig5": true, "table1": true, "fig6": true, "fig29": true}
+	for _, id := range ids {
+		delete(want, id)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing ids: %v", want)
+	}
+
+	sc := tinyScale()
+	sc.Sizes = []int{3}
+	sc.Events = 2500
+	r := NewRunner(NewHarness(sc))
+	var buf bytes.Buffer
+	if err := r.Run(&buf, "fig10"); err != nil { // traffic/greedy, sequence set
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "sequence patterns") {
+		t.Fatal("fig10 output wrong")
+	}
+	if err := r.Run(&buf, "nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	// Tuning must be cached: a second figure on the same combo reuses it.
+	buf.Reset()
+	if err := r.Run(&buf, "fig14"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "conjunction patterns") {
+		t.Fatal("fig14 output wrong")
+	}
+}

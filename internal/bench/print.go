@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// Write prints the Figure 5 throughput matrix.
+func (d *Fig5Data) Write(w io.Writer) {
+	fmt.Fprintf(w, "Figure 5 — invariant-method throughput vs pattern size and distance d (%s)\n", d.Combo)
+	fmt.Fprintf(w, "%-8s", "d\\size")
+	for _, s := range d.Sizes {
+		fmt.Fprintf(w, "%12d", s)
+	}
+	fmt.Fprintln(w)
+	for i, dv := range d.Ds {
+		fmt.Fprintf(w, "%-8.2f", dv)
+		for _, tp := range d.Throughput[i] {
+			fmt.Fprintf(w, "%12.0f", tp)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "d_opt = %.2f\n", d.BestD())
+}
+
+// WriteTable1 prints Table 1 rows.
+func WriteTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "Table 1 — quality of the average-relative-difference distance estimate")
+	fmt.Fprintf(w, "%-18s%8s%10s%10s%10s\n", "combo", "size", "d_avg", "d_opt", "quality")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s%8d%10.4f%10.2f%10.3f\n", r.Combo, r.Size, r.DAvg, r.DOpt, r.Quality)
+	}
+}
+
+// WriteFigure prints the four panels of an adaptation-method comparison.
+// kindIdx selects a pattern set (Figures 10-29); pass -1 for the average
+// over sets (Figures 6-9).
+func (m *MethodsData) WriteFigure(w io.Writer, kindIdx int) {
+	var grid [][]Result
+	label := "all pattern sets (averaged)"
+	if kindIdx >= 0 {
+		grid = m.Results[kindIdx]
+		label = m.Kinds[kindIdx].String() + " patterns"
+	} else {
+		grid = m.Avg()
+	}
+	fmt.Fprintf(w, "Adaptation methods on %s — %s (t_opt=%.2f, d_opt=%.2f)\n",
+		m.Combo, label, m.TOpt, m.DOpt)
+
+	header := func(title string) {
+		fmt.Fprintf(w, "\n(%s)\n%-8s", title, "size")
+		for _, name := range m.Methods {
+			fmt.Fprintf(w, "%15s", name)
+		}
+		fmt.Fprintln(w)
+	}
+
+	header("a: throughput, events/sec — higher is better")
+	for si, size := range m.Sizes {
+		fmt.Fprintf(w, "%-8d", size)
+		for mi := range m.Methods {
+			fmt.Fprintf(w, "%15.0f", grid[si][mi].Throughput)
+		}
+		fmt.Fprintln(w)
+	}
+
+	header("b: relative throughput gain over static — higher is better")
+	staticIdx := 0
+	for si, size := range m.Sizes {
+		fmt.Fprintf(w, "%-8d", size)
+		base := grid[si][staticIdx].Throughput
+		for mi := range m.Methods {
+			gain := 0.0
+			if base > 0 {
+				gain = grid[si][mi].Throughput / base
+			}
+			fmt.Fprintf(w, "%15.2f", gain)
+		}
+		fmt.Fprintln(w)
+	}
+
+	header("c: total number of plan reoptimizations")
+	for si, size := range m.Sizes {
+		fmt.Fprintf(w, "%-8d", size)
+		for mi := range m.Methods {
+			fmt.Fprintf(w, "%15d", grid[si][mi].Reopts)
+		}
+		fmt.Fprintln(w)
+	}
+
+	header("d: computational overhead, % of run time — lower is better")
+	for si, size := range m.Sizes {
+		fmt.Fprintf(w, "%-8d", size)
+		for mi := range m.Methods {
+			fmt.Fprintf(w, "%14.2f%%", grid[si][mi].Overhead*100)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"acep/internal/gen"
+)
+
+// experimentSpec maps a paper table/figure id to what regenerates it.
+type experimentSpec struct {
+	id    string
+	combo Combo
+	// kind < 0 means "all kinds averaged" (main figures 6-9); otherwise a
+	// single pattern set (appendix figures 10-29).
+	kind int
+	// fig5 / table1 flag experiments with their own runners.
+	fig5, table1 bool
+}
+
+func specs() []experimentSpec {
+	cs := Combos()
+	out := []experimentSpec{
+		{id: "fig5", fig5: true},
+		{id: "table1", table1: true},
+	}
+	for i, c := range cs {
+		out = append(out, experimentSpec{id: fmt.Sprintf("fig%d", 6+i), combo: c, kind: -1})
+	}
+	// Appendix: figs 10-29, grouped by pattern set, four combos each.
+	for ki, kind := range gen.Kinds() {
+		for ci, c := range cs {
+			out = append(out, experimentSpec{
+				id:    fmt.Sprintf("fig%d", 10+4*ki+ci),
+				combo: c,
+				kind:  int(kind),
+			})
+		}
+	}
+	return out
+}
+
+// ExperimentIDs lists every runnable experiment id.
+func ExperimentIDs() []string {
+	var ids []string
+	for _, s := range specs() {
+		ids = append(ids, s.id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// tuned caches per-combo tuning (d_opt from the Figure 5 sweep, t_opt
+// from the threshold scan) and the full method-comparison data so the
+// main figure and the five appendix figures of one combo share a single
+// measurement pass.
+type tuned struct {
+	dopt, topt float64
+	fig5       *Fig5Data
+	methods    *MethodsData
+}
+
+// Runner executes experiments by id, caching tuning per combo.
+type Runner struct {
+	H     *Harness
+	cache map[string]*tuned
+}
+
+// NewRunner wraps a harness.
+func NewRunner(h *Harness) *Runner {
+	return &Runner{H: h, cache: make(map[string]*tuned)}
+}
+
+// tune computes (or returns cached) d_opt and t_opt for a combo.
+func (r *Runner) tune(c Combo) (*tuned, error) {
+	if t, ok := r.cache[c.String()]; ok {
+		return t, nil
+	}
+	f5, err := r.H.Fig5(c, DefaultDGrid())
+	if err != nil {
+		return nil, err
+	}
+	topt, err := r.H.ScanThreshold(c, DefaultTGrid())
+	if err != nil {
+		return nil, err
+	}
+	t := &tuned{dopt: f5.BestD(), topt: topt, fig5: f5}
+	r.cache[c.String()] = t
+	return t, nil
+}
+
+// Run executes one experiment id and writes its tables to w.
+func (r *Runner) Run(w io.Writer, id string) error {
+	for _, spec := range specs() {
+		if spec.id != id {
+			continue
+		}
+		switch {
+		case spec.fig5:
+			for _, c := range Combos() {
+				t, err := r.tune(c)
+				if err != nil {
+					return err
+				}
+				t.fig5.Write(w)
+				fmt.Fprintln(w)
+			}
+			return nil
+		case spec.table1:
+			var rows []Table1Row
+			for _, c := range Combos() {
+				t, err := r.tune(c)
+				if err != nil {
+					return err
+				}
+				cr, err := r.H.Table1(c, t.fig5)
+				if err != nil {
+					return err
+				}
+				rows = append(rows, cr...)
+			}
+			WriteTable1(w, rows)
+			return nil
+		default:
+			t, err := r.tune(spec.combo)
+			if err != nil {
+				return err
+			}
+			if t.methods == nil {
+				data, err := r.H.Methods(spec.combo, gen.Kinds(), t.topt, t.dopt)
+				if err != nil {
+					return err
+				}
+				t.methods = data
+			}
+			t.methods.WriteFigure(w, spec.kind)
+			return nil
+		}
+	}
+	return fmt.Errorf("bench: unknown experiment %q (known: %v)", id, ExperimentIDs())
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"acep/internal/stats"
+)
+
+// MetaInvariant is the meta-adaptive variant sketched in §3.4(3): it
+// wraps the invariant method and tunes the violation distance d
+// on-the-fly. The controller observes the outcome of each
+// reoptimization attempt it triggered — reported by the
+// detection-adaptation loop through ObserveOutcome — and adjusts d:
+// an attempt that did not improve the plan (or improved it marginally)
+// means d was too permissive, so d grows; a genuine improvement means
+// the opportunity was real and d decays back towards its initial value
+// so future opportunities are not missed.
+type MetaInvariant struct {
+	// Inner is the wrapped invariant policy; its K and Select settings
+	// apply. D is managed by the controller (initialized from InitialD).
+	Inner Invariant
+	// InitialD seeds the distance (default 0.1).
+	InitialD float64
+	// MinGain is the relative plan-cost improvement below which a
+	// replacement is considered marginal (default 0.1, i.e. 10%).
+	MinGain float64
+	// Grow multiplies d after a wasted attempt (default 1.5); Shrink
+	// multiplies d after a productive one (default 0.8).
+	Grow, Shrink float64
+	// MaxD caps the distance (default 2.0).
+	MaxD float64
+}
+
+// Name implements Policy.
+func (p *MetaInvariant) Name() string {
+	return fmt.Sprintf("meta-invariant(d=%.3g)", p.Inner.D)
+}
+
+func (p *MetaInvariant) defaults() {
+	if p.InitialD <= 0 {
+		p.InitialD = 0.1
+	}
+	if p.MinGain <= 0 {
+		p.MinGain = 0.1
+	}
+	if p.Grow <= 1 {
+		p.Grow = 1.5
+	}
+	if p.Shrink <= 0 || p.Shrink >= 1 {
+		p.Shrink = 0.8
+	}
+	if p.MaxD <= 0 {
+		p.MaxD = 2.0
+	}
+	if p.Inner.D == 0 {
+		p.Inner.D = p.InitialD
+	}
+}
+
+// Install implements Policy.
+func (p *MetaInvariant) Install(t *Trace, s *stats.Snapshot) {
+	p.defaults()
+	p.Inner.Install(t, s)
+	// Install resets the invariant list; keep the tuned distance.
+	p.Inner.d = p.Inner.D
+}
+
+// ShouldReoptimize implements Policy.
+func (p *MetaInvariant) ShouldReoptimize(s *stats.Snapshot) bool {
+	p.defaults()
+	return p.Inner.ShouldReoptimize(s)
+}
+
+// ObserveOutcome implements OutcomeObserver: the loop reports the
+// relative cost improvement of the plan produced after this policy fired
+// (0 when the plan was unchanged or not better).
+func (p *MetaInvariant) ObserveOutcome(relGain float64) {
+	p.defaults()
+	if relGain < p.MinGain {
+		p.Inner.D *= p.Grow
+		if p.Inner.D > p.MaxD {
+			p.Inner.D = p.MaxD
+		}
+	} else {
+		p.Inner.D *= p.Shrink
+		if p.Inner.D < p.InitialD {
+			p.Inner.D = p.InitialD
+		}
+	}
+	p.Inner.d = p.Inner.D
+}
+
+// Distance reports the current tuned distance.
+func (p *MetaInvariant) Distance() float64 {
+	p.defaults()
+	return p.Inner.D
+}
+
+// OutcomeObserver is implemented by policies that adapt to the outcomes
+// of the reoptimization attempts they trigger. After a positive decision
+// the loop reports the relative cost improvement of A's new plan over the
+// deployed one (0 when no better plan was found).
+type OutcomeObserver interface {
+	ObserveOutcome(relGain float64)
+}

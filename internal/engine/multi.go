@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"fmt"
+
+	"acep/internal/core"
+	"acep/internal/event"
+	"acep/internal/match"
+	"acep/internal/pattern"
+	"acep/internal/plan"
+)
+
+// Multi runs several independent patterns over one input stream, each
+// with its own evaluation plan, statistics and adaptation policy. This is
+// the multi-pattern ACEP setting without subexpression sharing, to which
+// the paper notes its method "can be trivially applied" (§7); shared-plan
+// multi-pattern optimization is explicitly out of scope there and here.
+type Multi struct {
+	engines []*Engine
+	names   []string
+}
+
+// MultiSpec declares one pattern of a Multi engine.
+type MultiSpec struct {
+	// Name labels the pattern in callbacks and metrics.
+	Name string
+	// Pattern is the compiled pattern.
+	Pattern *pattern.Pattern
+	// Config assembles this pattern's engine. OnMatch may be nil if the
+	// MultiConfig-level callback is used.
+	Config Config
+}
+
+// MultiMatch is a match tagged with the pattern that produced it.
+type MultiMatch struct {
+	Pattern string
+	Match   *match.Match
+}
+
+// NewMulti builds a multi-pattern engine. onMatch, when non-nil, receives
+// every match from every pattern (in addition to any per-pattern
+// OnMatch callbacks).
+func NewMulti(specs []MultiSpec, onMatch func(MultiMatch)) (*Multi, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("engine: Multi needs at least one pattern")
+	}
+	m := &Multi{}
+	seen := make(map[string]bool, len(specs))
+	for _, spec := range specs {
+		if spec.Name == "" {
+			return nil, fmt.Errorf("engine: Multi pattern with empty name")
+		}
+		if seen[spec.Name] {
+			return nil, fmt.Errorf("engine: duplicate Multi pattern name %q", spec.Name)
+		}
+		seen[spec.Name] = true
+		cfg := spec.Config
+		inner := cfg.OnMatch
+		name := spec.Name
+		if onMatch != nil {
+			cfg.OnMatch = func(mt *match.Match) {
+				if inner != nil {
+					inner(mt)
+				}
+				onMatch(MultiMatch{Pattern: name, Match: mt})
+			}
+		}
+		e, err := New(spec.Pattern, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("engine: Multi pattern %q: %w", spec.Name, err)
+		}
+		m.engines = append(m.engines, e)
+		m.names = append(m.names, spec.Name)
+	}
+	return m, nil
+}
+
+// Process feeds one event to every pattern's engine.
+func (m *Multi) Process(ev *event.Event) {
+	for _, e := range m.engines {
+		e.Process(ev)
+	}
+}
+
+// Finish flushes all engines at end of stream.
+func (m *Multi) Finish() {
+	for _, e := range m.engines {
+		e.Finish()
+	}
+}
+
+// Metrics returns per-pattern metrics keyed by name.
+func (m *Multi) Metrics() map[string]Metrics {
+	out := make(map[string]Metrics, len(m.engines))
+	for i, e := range m.engines {
+		out[m.names[i]] = e.Metrics()
+	}
+	return out
+}
+
+// Plans returns the current plans keyed by pattern name.
+func (m *Multi) Plans() map[string][]plan.Plan {
+	out := make(map[string][]plan.Plan, len(m.engines))
+	for i, e := range m.engines {
+		out[m.names[i]] = e.CurrentPlans()
+	}
+	return out
+}
+
+// defaultMultiPolicy keeps NewMulti convenient in tests and examples.
+var _ = core.Policy(nil)

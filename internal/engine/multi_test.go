@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"acep/internal/core"
+	"acep/internal/gen"
+	"acep/internal/match"
+	"acep/internal/oracle"
+)
+
+func TestMultiPattern(t *testing.T) {
+	w := gen.Traffic(gen.TrafficConfig{Types: 8, Events: 4000, Seed: 71, Shifts: 1, MeanGap: 3})
+	seq, err := w.Pattern(gen.Sequence, 3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conj, err := w.Pattern(gen.Conjunction, 3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got []MultiMatch
+	m, err := NewMulti([]MultiSpec{
+		{Name: "seq", Pattern: seq, Config: Config{Policy: &core.Invariant{}, CheckEvery: 500}},
+		{Name: "conj", Pattern: conj, Config: Config{Model: ZStreamTree, Policy: &core.Invariant{}, CheckEvery: 500}},
+	}, func(mm MultiMatch) { got = append(got, mm) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Events {
+		m.Process(&w.Events[i])
+	}
+	m.Finish()
+
+	// Split matches by pattern and validate each against the oracle.
+	byPat := map[string][]string{}
+	for _, mm := range got {
+		byPat[mm.Pattern] = append(byPat[mm.Pattern], mm.Match.Key())
+	}
+	for name, pat := range map[string]interface{ Size() int }{"seq": seq, "conj": conj} {
+		_ = pat
+		_ = name
+	}
+	wantSeq := oracle.Keys(oracle.Matches(seq, w.Events))
+	wantConj := oracle.Keys(oracle.Matches(conj, w.Events))
+	sortStrings := func(ss []string) []string {
+		out := append([]string(nil), ss...)
+		for i := range out {
+			for j := i + 1; j < len(out); j++ {
+				if out[j] < out[i] {
+					out[i], out[j] = out[j], out[i]
+				}
+			}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(sortStrings(byPat["seq"]), wantSeq) {
+		t.Fatalf("seq: %d matches, oracle %d", len(byPat["seq"]), len(wantSeq))
+	}
+	if !reflect.DeepEqual(sortStrings(byPat["conj"]), wantConj) {
+		t.Fatalf("conj: %d matches, oracle %d", len(byPat["conj"]), len(wantConj))
+	}
+
+	mets := m.Metrics()
+	if len(mets) != 2 || mets["seq"].Events != uint64(len(w.Events)) {
+		t.Fatalf("metrics: %+v", mets)
+	}
+	plans := m.Plans()
+	if len(plans["seq"]) != 1 || len(plans["conj"]) != 1 {
+		t.Fatalf("plans: %+v", plans)
+	}
+}
+
+func TestMultiValidation(t *testing.T) {
+	w := gen.Traffic(gen.TrafficConfig{Types: 5, Events: 10, Seed: 1})
+	pat, _ := w.Pattern(gen.Sequence, 3, 50)
+	if _, err := NewMulti(nil, nil); err == nil {
+		t.Error("empty specs accepted")
+	}
+	if _, err := NewMulti([]MultiSpec{{Name: "", Pattern: pat}}, nil); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewMulti([]MultiSpec{
+		{Name: "a", Pattern: pat, Config: Config{Policy: core.Static{}}},
+		{Name: "a", Pattern: pat, Config: Config{Policy: core.Static{}}},
+	}, nil); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	// Per-pattern OnMatch still fires alongside the global callback.
+	var local, global int
+	me, err := NewMulti([]MultiSpec{{
+		Name:    "a",
+		Pattern: pat,
+		Config: Config{
+			Policy:  core.Static{},
+			OnMatch: func(*match.Match) { local++ },
+		},
+	}}, func(MultiMatch) { global++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := w.Events
+	for i := range evs {
+		me.Process(&evs[i])
+	}
+	me.Finish()
+	if local != global {
+		t.Fatalf("local %d != global %d", local, global)
+	}
+}

@@ -1,0 +1,224 @@
+package engine
+
+import (
+	"time"
+
+	"acep/internal/core"
+	"acep/internal/event"
+	"acep/internal/match"
+	"acep/internal/nfa"
+	"acep/internal/pattern"
+	"acep/internal/plan"
+	"acep/internal/stats"
+	"acep/internal/tree"
+)
+
+// runner is the detection-adaptation loop of one (non-OR) pattern.
+type runner struct {
+	pat    *pattern.Pattern
+	cfg    Config
+	policy core.Policy
+	est    *stats.Estimator
+
+	cur      evaluator
+	curPlan  plan.Plan
+	draining []drainingEngine
+
+	watermark  event.Time
+	lastSeq    uint64
+	sinceCheck int
+
+	metrics Metrics
+	retired nfa.Stats // counters accumulated from retired evaluators
+}
+
+// drainingEngine is a pre-migration evaluator still serving matches that
+// contain events from its era.
+type drainingEngine struct {
+	eval evaluator
+	// retireAt is the watermark past which no match owned by this
+	// evaluator can still complete (migration time + window).
+	retireAt event.Time
+}
+
+func newRunner(pat *pattern.Pattern, cfg Config, policy core.Policy) (*runner, error) {
+	est, err := stats.NewEstimator(pat, cfg.Stats)
+	if err != nil {
+		return nil, err
+	}
+	r := &runner{pat: pat, cfg: cfg, policy: policy, est: est}
+	var initial *stats.Snapshot
+	if cfg.InitialStats != nil {
+		initial = cfg.InitialStats(pat)
+	}
+	if initial == nil {
+		initial = stats.NewSnapshot(pat.NumPositions())
+	}
+	res := cfg.Algorithm.Generate(pat, initial)
+	r.metrics.PlanGenerations++
+	r.curPlan = res.Plan
+	r.cur = r.buildEvaluator(res.Plan)
+	r.policy.Install(res.Trace, initial)
+	return r, nil
+}
+
+func (r *runner) buildEvaluator(p plan.Plan) evaluator {
+	emit := func(m *match.Match) {
+		r.metrics.Matches++
+		if r.cfg.OnMatch != nil {
+			r.cfg.OnMatch(m)
+		}
+	}
+	switch pl := p.(type) {
+	case *plan.OrderPlan:
+		return nfa.New(r.pat, pl, emit)
+	case *plan.TreePlan:
+		return tree.New(r.pat, pl, emit)
+	default:
+		panic("engine: unknown plan type")
+	}
+}
+
+func (r *runner) process(ev *event.Event) {
+	r.metrics.Events++
+	if ev.TS < r.watermark {
+		// The evaluation structures index their buffers by timestamp
+		// order; a late event cannot be inserted consistently. Drop it
+		// and account for it — callers that need late tolerance should
+		// reorder with the stream package first.
+		r.metrics.LateDropped++
+		return
+	}
+	r.lastSeq = ev.Seq
+	r.watermark = ev.TS
+	r.est.Observe(ev)
+
+	// Drain pre-migration evaluators; retire those whose era has closed.
+	if len(r.draining) > 0 {
+		kept := r.draining[:0]
+		for _, d := range r.draining {
+			if r.watermark > d.retireAt {
+				d.eval.Advance(r.watermark) // final flush of parked matches
+				r.accumulate(d.eval)
+				continue
+			}
+			d.eval.Process(ev)
+			kept = append(kept, d)
+		}
+		for i := len(kept); i < len(r.draining); i++ {
+			r.draining[i] = drainingEngine{}
+		}
+		r.draining = kept
+	}
+
+	r.cur.Process(ev)
+
+	r.sinceCheck++
+	if r.sinceCheck >= r.cfg.CheckEvery {
+		r.sinceCheck = 0
+		r.adaptationCheck()
+	}
+}
+
+// adaptationCheck is one iteration of the optimizer side of Algorithm 1:
+// refresh statistics, consult D, possibly run A and deploy.
+func (r *runner) adaptationCheck() {
+	t0 := time.Now()
+	snap := r.est.Snapshot(r.watermark)
+	r.metrics.StatTime += time.Since(t0)
+
+	t1 := time.Now()
+	should := r.policy.ShouldReoptimize(snap)
+	r.metrics.DecisionTime += time.Since(t1)
+	r.metrics.DecisionCalls++
+	if !should {
+		return
+	}
+
+	t2 := time.Now()
+	res := r.cfg.Algorithm.Generate(r.pat, snap)
+	curCost := r.curPlan.Cost(snap)
+	newCost := res.Plan.Cost(snap)
+	better := !res.Plan.Equal(r.curPlan) && newCost < curCost
+	r.metrics.PlanTime += time.Since(t2)
+	r.metrics.PlanGenerations++
+
+	// Meta-adaptive policies (§3.4(3)) learn from the attempt's outcome.
+	if obs, ok := r.policy.(core.OutcomeObserver); ok {
+		gain := 0.0
+		if better && curCost > 0 {
+			gain = (curCost - newCost) / curCost
+		}
+		obs.ObserveOutcome(gain)
+	}
+
+	// Whether or not the plan is deployed, the policy re-anchors on the
+	// fresh trace and statistics (paper §3.2: a violation invalidates the
+	// current invariants; the threshold baseline likewise resets after a
+	// reoptimization attempt).
+	r.policy.Install(res.Trace, snap)
+	if !better {
+		return
+	}
+	r.migrate(res.Plan)
+	r.metrics.Reoptimizations++
+}
+
+// migrate deploys a new plan using the §2.2 protocol. The current
+// evaluator keeps running restricted to matches containing at least one
+// pre-migration event; the new evaluator starts with empty core state
+// (all its matches are post-migration by construction) but inherits the
+// residual buffers so negation and Kleene scopes spanning the migration
+// point stay correct.
+func (r *runner) migrate(p plan.Plan) {
+	boundary := r.lastSeq + 1
+	r.cur.SetEmitOnlyBefore(boundary)
+	r.draining = append(r.draining, drainingEngine{
+		eval:     r.cur,
+		retireAt: r.watermark + r.pat.Window,
+	})
+	next := r.buildEvaluator(p)
+	next.Resolver().SeedFrom(r.cur.Resolver())
+	next.Advance(r.watermark)
+	r.cur = next
+	r.curPlan = p
+}
+
+// accumulate folds a retired evaluator's counters into the runner.
+func (r *runner) accumulate(ev evaluator) {
+	st := ev.Stats()
+	r.retired.PMCreated += st.PMCreated
+	r.retired.PredEvals += st.PredEvals
+	if st.PeakPMs > r.retired.PeakPMs {
+		r.retired.PeakPMs = st.PeakPMs
+	}
+}
+
+func (r *runner) finish() {
+	for _, d := range r.draining {
+		d.eval.Finish()
+		r.accumulate(d.eval)
+	}
+	r.draining = nil
+	r.cur.Finish()
+}
+
+// snapshotMetrics combines loop metrics with evaluator counters.
+func (r *runner) snapshotMetrics() Metrics {
+	m := r.metrics
+	m.PMCreated = r.retired.PMCreated
+	m.PredEvals = r.retired.PredEvals
+	m.PeakPMs = r.retired.PeakPMs
+	add := func(st nfa.Stats) {
+		m.PMCreated += st.PMCreated
+		m.PredEvals += st.PredEvals
+		if st.PeakPMs > m.PeakPMs {
+			m.PeakPMs = st.PeakPMs
+		}
+	}
+	add(r.cur.Stats())
+	for _, d := range r.draining {
+		add(d.eval.Stats())
+	}
+	return m
+}

@@ -1,0 +1,170 @@
+// Package event defines the primitive event model shared by all layers of
+// the library: typed events carrying numeric attributes and a timestamp.
+//
+// Events are the data items accepted from input streams. Each event has a
+// well-defined type (an index into a Schema), an occurrence timestamp in
+// logical milliseconds, and a fixed set of numeric attributes whose names
+// are registered per type in the Schema. A monotonically increasing
+// sequence number (assigned by the stream layer) gives every event a
+// distinct identity, which the match machinery uses to guarantee that the
+// same event instance never occupies two positions of one match.
+package event
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Time is a logical timestamp in milliseconds. Streams deliver events in
+// non-decreasing Time order; the engine's watermark advances with it.
+type Time int64
+
+// Millisecond is the base resolution of Time.
+const Millisecond Time = 1
+
+// Second is 1000 logical milliseconds.
+const Second Time = 1000 * Millisecond
+
+// Minute is 60 logical seconds.
+const Minute Time = 60 * Second
+
+// Event is a single primitive event. The zero value is not meaningful;
+// construct events through a Schema (or the gen package).
+type Event struct {
+	// Type is the event type index registered in the Schema.
+	Type int
+	// TS is the occurrence timestamp.
+	TS Time
+	// Seq is a stream-unique, monotonically increasing sequence number.
+	Seq uint64
+	// Attrs holds the attribute values, indexed per the type's attribute
+	// registration order in the Schema.
+	Attrs []float64
+}
+
+// Attr returns the i-th attribute value. It panics if i is out of range,
+// mirroring slice semantics; pattern validation rejects bad indices before
+// evaluation ever runs.
+func (e *Event) Attr(i int) float64 { return e.Attrs[i] }
+
+// String renders the event compactly for logs and test failures.
+func (e *Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ev{t=%d ts=%d seq=%d attrs=%v}", e.Type, e.TS, e.Seq, e.Attrs)
+	return b.String()
+}
+
+// TypeInfo describes one registered event type.
+type TypeInfo struct {
+	Name  string
+	Attrs []string // attribute names, in index order
+}
+
+// Schema is the registry of event types and their attributes. A Schema is
+// immutable after construction (all registration happens through
+// NewSchema or AddType before first use) and therefore safe for concurrent
+// readers.
+type Schema struct {
+	types  []TypeInfo
+	byName map[string]int
+}
+
+// NewSchema creates an empty schema.
+func NewSchema() *Schema {
+	return &Schema{byName: make(map[string]int)}
+}
+
+// AddType registers a new event type with the given attribute names and
+// returns its type index. Duplicate type names are rejected.
+func (s *Schema) AddType(name string, attrs ...string) (int, error) {
+	if name == "" {
+		return 0, fmt.Errorf("event: empty type name")
+	}
+	if _, dup := s.byName[name]; dup {
+		return 0, fmt.Errorf("event: duplicate type %q", name)
+	}
+	seen := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		if a == "" {
+			return 0, fmt.Errorf("event: type %q has an empty attribute name", name)
+		}
+		if seen[a] {
+			return 0, fmt.Errorf("event: type %q declares attribute %q twice", name, a)
+		}
+		seen[a] = true
+	}
+	id := len(s.types)
+	s.types = append(s.types, TypeInfo{Name: name, Attrs: append([]string(nil), attrs...)})
+	s.byName[name] = id
+	return id, nil
+}
+
+// MustAddType is AddType that panics on error; intended for tests and
+// examples where the schema is a literal.
+func (s *Schema) MustAddType(name string, attrs ...string) int {
+	id, err := s.AddType(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// NumTypes reports how many event types are registered.
+func (s *Schema) NumTypes() int { return len(s.types) }
+
+// TypeName returns the name of type id, or "?" if out of range.
+func (s *Schema) TypeName(id int) string {
+	if id < 0 || id >= len(s.types) {
+		return "?"
+	}
+	return s.types[id].Name
+}
+
+// TypeByName returns the index of the named type.
+func (s *Schema) TypeByName(name string) (int, bool) {
+	id, ok := s.byName[name]
+	return id, ok
+}
+
+// AttrIndex resolves an attribute name for the given type.
+func (s *Schema) AttrIndex(typeID int, attr string) (int, bool) {
+	if typeID < 0 || typeID >= len(s.types) {
+		return 0, false
+	}
+	for i, a := range s.types[typeID].Attrs {
+		if a == attr {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// NumAttrs reports the number of attributes registered for the type.
+func (s *Schema) NumAttrs(typeID int) int {
+	if typeID < 0 || typeID >= len(s.types) {
+		return 0
+	}
+	return len(s.types[typeID].Attrs)
+}
+
+// New constructs an event of the given type, validating the attribute
+// count against the schema.
+func (s *Schema) New(typeID int, ts Time, attrs ...float64) (Event, error) {
+	if typeID < 0 || typeID >= len(s.types) {
+		return Event{}, fmt.Errorf("event: unknown type id %d", typeID)
+	}
+	if len(attrs) != len(s.types[typeID].Attrs) {
+		return Event{}, fmt.Errorf("event: type %q wants %d attrs, got %d",
+			s.types[typeID].Name, len(s.types[typeID].Attrs), len(attrs))
+	}
+	return Event{Type: typeID, TS: ts, Attrs: append([]float64(nil), attrs...)}, nil
+}
+
+// MustNew is New that panics on error.
+func (s *Schema) MustNew(typeID int, ts Time, attrs ...float64) Event {
+	ev, err := s.New(typeID, ts, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return ev
+}

@@ -1,0 +1,150 @@
+package event
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSchemaAddType(t *testing.T) {
+	s := NewSchema()
+	a, err := s.AddType("A", "x", "y")
+	if err != nil {
+		t.Fatalf("AddType A: %v", err)
+	}
+	b, err := s.AddType("B")
+	if err != nil {
+		t.Fatalf("AddType B: %v", err)
+	}
+	if a != 0 || b != 1 {
+		t.Fatalf("ids = %d,%d; want 0,1", a, b)
+	}
+	if got := s.NumTypes(); got != 2 {
+		t.Fatalf("NumTypes = %d; want 2", got)
+	}
+	if got := s.TypeName(a); got != "A" {
+		t.Fatalf("TypeName(0) = %q", got)
+	}
+	if id, ok := s.TypeByName("B"); !ok || id != b {
+		t.Fatalf("TypeByName(B) = %d,%v", id, ok)
+	}
+	if _, ok := s.TypeByName("C"); ok {
+		t.Fatal("TypeByName(C) should miss")
+	}
+}
+
+func TestSchemaAddTypeErrors(t *testing.T) {
+	s := NewSchema()
+	if _, err := s.AddType(""); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := s.AddType("A", "x", "x"); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	if _, err := s.AddType("A", ""); err == nil {
+		t.Error("empty attribute accepted")
+	}
+	s.MustAddType("A", "x")
+	if _, err := s.AddType("A", "y"); err == nil {
+		t.Error("duplicate type accepted")
+	}
+}
+
+func TestSchemaAttrIndex(t *testing.T) {
+	s := NewSchema()
+	a := s.MustAddType("A", "x", "y", "z")
+	for i, name := range []string{"x", "y", "z"} {
+		idx, ok := s.AttrIndex(a, name)
+		if !ok || idx != i {
+			t.Errorf("AttrIndex(%q) = %d,%v; want %d,true", name, idx, ok, i)
+		}
+	}
+	if _, ok := s.AttrIndex(a, "w"); ok {
+		t.Error("AttrIndex(w) should miss")
+	}
+	if _, ok := s.AttrIndex(99, "x"); ok {
+		t.Error("AttrIndex on bad type should miss")
+	}
+	if n := s.NumAttrs(a); n != 3 {
+		t.Errorf("NumAttrs = %d; want 3", n)
+	}
+	if n := s.NumAttrs(42); n != 0 {
+		t.Errorf("NumAttrs(bad) = %d; want 0", n)
+	}
+}
+
+func TestSchemaNew(t *testing.T) {
+	s := NewSchema()
+	a := s.MustAddType("A", "x", "y")
+	ev, err := s.New(a, 123, 1.5, -2)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if ev.Type != a || ev.TS != 123 || ev.Attr(0) != 1.5 || ev.Attr(1) != -2 {
+		t.Fatalf("bad event %v", ev)
+	}
+	if _, err := s.New(a, 1, 1.0); err == nil {
+		t.Error("wrong attr count accepted")
+	}
+	if _, err := s.New(7, 1); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	s := NewSchema()
+	s.MustAddType("A", "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic on bad input")
+		}
+	}()
+	s.MustNew(0, 0) // missing attr
+}
+
+func TestMustAddTypePanics(t *testing.T) {
+	s := NewSchema()
+	s.MustAddType("A")
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddType did not panic on duplicate")
+		}
+	}()
+	s.MustAddType("A")
+}
+
+func TestNewCopiesAttrs(t *testing.T) {
+	s := NewSchema()
+	a := s.MustAddType("A", "x")
+	attrs := []float64{1}
+	ev := s.MustNew(a, 1, attrs...)
+	attrs[0] = 99
+	if ev.Attr(0) != 1 {
+		t.Error("New must copy the attrs slice")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	ev := Event{Type: 2, TS: 5, Seq: 7, Attrs: []float64{1}}
+	str := ev.String()
+	for _, want := range []string{"t=2", "ts=5", "seq=7"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q; missing %q", str, want)
+		}
+	}
+}
+
+func TestTypeNameOutOfRange(t *testing.T) {
+	s := NewSchema()
+	if got := s.TypeName(-1); got != "?" {
+		t.Errorf("TypeName(-1) = %q", got)
+	}
+	if got := s.TypeName(3); got != "?" {
+		t.Errorf("TypeName(3) = %q", got)
+	}
+}
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1000 || Minute != 60000 {
+		t.Fatalf("time units wrong: second=%d minute=%d", Second, Minute)
+	}
+}

@@ -1,0 +1,162 @@
+package gen
+
+import (
+	"fmt"
+
+	"acep/internal/event"
+	"acep/internal/pattern"
+)
+
+// Kind enumerates the paper's five experiment pattern sets (§5.1 and
+// Appendix A).
+type Kind int
+
+const (
+	// Sequence is a single SEQ operator over `size` types.
+	Sequence Kind = iota
+	// Conjunction is the sequence pattern with temporal constraints
+	// removed (a single AND operator).
+	Conjunction
+	// Negation is the sequence pattern with one negated event inserted
+	// mid-pattern.
+	Negation
+	// Kleene is the sequence pattern with the middle event under Kleene
+	// closure.
+	Kleene
+	// Composite is a disjunction of three shorter sequences.
+	Composite
+)
+
+// String names the pattern set as in the paper.
+func (k Kind) String() string {
+	switch k {
+	case Sequence:
+		return "sequence"
+	case Conjunction:
+		return "conjunction"
+	case Negation:
+		return "negation"
+	case Kleene:
+		return "kleene"
+	case Composite:
+		return "composite"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds lists all five pattern sets.
+func Kinds() []Kind { return []Kind{Sequence, Conjunction, Negation, Kleene, Composite} }
+
+// Pattern builds the pattern of the given kind and size over the
+// workload's schema, with the paper's domain-motivated predicates:
+//
+//   - traffic: adjacent observations with an increase in both the average
+//     speed and the vehicle count (a violation of normal driving
+//     behaviour, §5.1);
+//   - stocks: adjacent positions with increasing price difference
+//     (A.diff < B.diff < ..., §5.1).
+//
+// Size follows the paper's definition: Kleene events count, negated
+// events do not (the negation pattern therefore has size+1 positions),
+// and for Composite the size is the length of each subsequence.
+func (w *Workload) Pattern(kind Kind, size int, window event.Time) (*pattern.Pattern, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("gen: pattern size %d < 1", size)
+	}
+	switch kind {
+	case Sequence:
+		return w.chain(pattern.Seq, 0, size, window, -1, -1)
+	case Conjunction:
+		return w.chain(pattern.And, 0, size, window, -1, -1)
+	case Negation:
+		// One extra (negated) type inserted mid-pattern; excluded from
+		// size per the paper.
+		return w.chain(pattern.Seq, 0, size+1, window, size/2, -1)
+	case Kleene:
+		return w.chain(pattern.Seq, 0, size, window, -1, size/2)
+	case Composite:
+		var subs []*pattern.Pattern
+		for s := 0; s < 3; s++ {
+			sub, err := w.chain(pattern.Seq, s, size, window, -1, -1)
+			if err != nil {
+				return nil, err
+			}
+			subs = append(subs, sub)
+		}
+		return pattern.NewOr(subs...)
+	default:
+		return nil, fmt.Errorf("gen: unknown pattern kind %d", kind)
+	}
+}
+
+// chain builds op(T_first, ..., T_first+n-1) with domain predicates
+// between adjacent non-negated positions. negAt/kleeneAt mark one
+// position (-1 for none).
+func (w *Workload) chain(op pattern.Op, first, n int, window event.Time, negAt, kleeneAt int) (*pattern.Pattern, error) {
+	if first+n > w.Schema.NumTypes() {
+		return nil, fmt.Errorf("gen: pattern needs %d types, schema has %d", first+n, w.Schema.NumTypes())
+	}
+	b := pattern.NewBuilder(w.Schema, op, window)
+	for i := 0; i < n; i++ {
+		p := b.Event(first + i)
+		if p == negAt {
+			b.Negate(p)
+		}
+		if p == kleeneAt {
+			b.Kleene(p)
+		}
+	}
+	addPred := func(lo, hi int) error {
+		switch w.Domain {
+		case "traffic":
+			// Both the average speed and the vehicle count increase.
+			b.Where(hi, "speed", pattern.GT, lo, "speed", 0)
+			b.Where(hi, "count", pattern.GT, lo, "count", 0)
+		case "stocks":
+			b.Where(hi, "diff", pattern.GT, lo, "diff", 0)
+		default:
+			return fmt.Errorf("gen: unknown domain %q", w.Domain)
+		}
+		return nil
+	}
+	// The monotone-increase requirement is expressed as all-pairs
+	// predicates over the plannable positions (equivalent to the adjacent
+	// chain by transitivity, but it exposes the full selectivity graph to
+	// the planners). Each residual (negated/Kleene) position is
+	// constrained against its nearest plannable neighbour.
+	var corePos []int
+	for i := 0; i < n; i++ {
+		if i != negAt && i != kleeneAt {
+			corePos = append(corePos, i)
+		}
+	}
+	for a := 0; a < len(corePos); a++ {
+		for c := a + 1; c < len(corePos); c++ {
+			if err := addPred(corePos[a], corePos[c]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, res := range []int{negAt, kleeneAt} {
+		if res < 0 {
+			continue
+		}
+		anchor := -1
+		for _, cp := range corePos {
+			if cp < res {
+				anchor = cp
+			}
+		}
+		if anchor >= 0 {
+			if err := addPred(anchor, res); err != nil {
+				return nil, err
+			}
+		} else if len(corePos) > 0 {
+			if err := addPred(res, corePos[0]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.Build()
+}

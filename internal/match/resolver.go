@@ -1,0 +1,279 @@
+package match
+
+import (
+	"acep/internal/event"
+	"acep/internal/pattern"
+)
+
+// Resolver applies the pattern's residual constraints — negated and
+// Kleene-closure positions — to core-complete matches and emits the
+// surviving matches.
+//
+// A residual position has a temporal scope derived from the core events:
+// for sequences, the open interval between the neighbouring positive
+// positions (bounded by the window at the pattern's edges); for
+// conjunctions, the interval in which an event is within the window of
+// every core event. A negated position invalidates the match if any event
+// satisfying its predicates occurs in scope; a Kleene position attaches
+// all such events (at least one required).
+//
+// Scopes can extend past the current watermark (e.g. a negated event that
+// is last in the sequence). Such matches are parked and resolved when the
+// watermark passes the scope end, which is what makes absence claims and
+// maximal Kleene sets safe under timestamp-ordered input.
+type Resolver struct {
+	pat *pattern.Pattern
+	w   event.Time
+
+	residuals []int          // residual position indices
+	bufs      []*Buffer      // per pattern position; non-nil at residuals
+	pending   []pendingMatch // FIFO by completion
+
+	emit func(*Match)
+
+	// Emitted counts matches delivered; Dropped counts core-complete
+	// matches discarded by residual constraints; PredEvals counts
+	// predicate evaluations performed during residual resolution.
+	Emitted   uint64
+	Dropped   uint64
+	PredEvals uint64
+}
+
+type pendingMatch struct {
+	core    []*event.Event
+	readyAt event.Time
+}
+
+// NewResolver builds a resolver for the pattern. The emit callback
+// receives every surviving match.
+func NewResolver(pat *pattern.Pattern, emit func(*Match)) *Resolver {
+	r := &Resolver{
+		pat:  pat,
+		w:    pat.Window,
+		bufs: make([]*Buffer, pat.NumPositions()),
+		emit: emit,
+	}
+	for i, pos := range pat.Positions {
+		if pos.Neg || pos.Kleene {
+			r.residuals = append(r.residuals, i)
+			r.bufs[i] = &Buffer{}
+		}
+	}
+	return r
+}
+
+// HasResiduals reports whether the pattern has any negated or Kleene
+// positions.
+func (r *Resolver) HasResiduals() bool { return len(r.residuals) > 0 }
+
+// Observe offers an input event to the residual buffers. Events are kept
+// only for residual positions whose type matches and whose unary
+// predicates pass.
+func (r *Resolver) Observe(ev *event.Event) {
+	for _, p := range r.residuals {
+		if r.pat.Positions[p].Type != ev.Type {
+			continue
+		}
+		if !UnaryOK(r.pat, p, ev, &r.PredEvals) {
+			continue
+		}
+		r.bufs[p].Add(ev)
+	}
+}
+
+// scope computes the temporal scope of residual position p for the given
+// core assignment. Bounds are exclusive on the sequence-neighbour side
+// and inclusive on window-derived bounds; ready is the watermark at which
+// the scope is guaranteed closed under timestamp-ordered input.
+func (r *Resolver) scope(p int, core []*event.Event, minTS, maxTS event.Time) (lo, hi event.Time, loExcl, hiExcl bool, ready event.Time) {
+	if r.pat.Op == pattern.Seq {
+		lo, loExcl = maxTS-r.w, false
+		hi, hiExcl = minTS+r.w, false
+		for q := p - 1; q >= 0; q-- {
+			if core[q] != nil {
+				lo, loExcl = core[q].TS, true
+				break
+			}
+		}
+		for q := p + 1; q < len(core); q++ {
+			if core[q] != nil {
+				hi, hiExcl = core[q].TS, true
+				break
+			}
+		}
+	} else {
+		// Conjunction: the event must lie within the window of every
+		// core event.
+		lo, loExcl = maxTS-r.w, false
+		hi, hiExcl = minTS+r.w, false
+	}
+	ready = hi
+	if !hiExcl {
+		// Events at exactly hi may still arrive while watermark == hi.
+		ready = hi + 1
+	}
+	return lo, hi, loExcl, hiExcl, ready
+}
+
+// OnCoreComplete accepts a core-complete assignment (events at every core
+// position, nil elsewhere). If every residual scope is already closed at
+// the watermark the match resolves immediately; otherwise it is parked.
+// The assignment slice is copied.
+func (r *Resolver) OnCoreComplete(core []*event.Event, watermark event.Time) {
+	if len(r.residuals) == 0 {
+		m := &Match{Events: append([]*event.Event(nil), core...)}
+		r.Emitted++
+		r.emit(m)
+		return
+	}
+	minTS, maxTS := coreSpan(core)
+	readyAt := watermark
+	for _, p := range r.residuals {
+		_, _, _, _, ready := r.scope(p, core, minTS, maxTS)
+		if ready > readyAt {
+			readyAt = ready
+		}
+	}
+	cp := append([]*event.Event(nil), core...)
+	if readyAt <= watermark {
+		r.resolve(cp)
+		return
+	}
+	r.pending = append(r.pending, pendingMatch{core: cp, readyAt: readyAt})
+}
+
+func coreSpan(core []*event.Event) (minTS, maxTS event.Time) {
+	first := true
+	for _, ev := range core {
+		if ev == nil {
+			continue
+		}
+		if first || ev.TS < minTS {
+			minTS = ev.TS
+		}
+		if first || ev.TS > maxTS {
+			maxTS = ev.TS
+		}
+		first = false
+	}
+	return minTS, maxTS
+}
+
+// resolve evaluates all residual constraints for a core assignment and
+// emits or drops the match.
+func (r *Resolver) resolve(core []*event.Event) {
+	minTS, maxTS := coreSpan(core)
+	var kleene [][]*event.Event
+	for _, p := range r.residuals {
+		lo, hi, loExcl, hiExcl, _ := r.scope(p, core, minTS, maxTS)
+		neg := r.pat.Positions[p].Neg
+		var set []*event.Event
+		ok := true
+		r.bufs[p].Scan(lo, hi, loExcl, hiExcl, func(ev *event.Event) bool {
+			if !r.residualMatches(p, ev, core) {
+				return true
+			}
+			if neg {
+				ok = false // presence of a negated event kills the match
+				return false
+			}
+			set = append(set, ev)
+			return true
+		})
+		if !ok {
+			r.Dropped++
+			return
+		}
+		if !neg { // Kleene: at least one event required
+			if len(set) == 0 {
+				r.Dropped++
+				return
+			}
+			if kleene == nil {
+				kleene = make([][]*event.Event, len(core))
+			}
+			kleene[p] = set
+		}
+	}
+	r.Emitted++
+	r.emit(&Match{Events: core, Kleene: kleene})
+}
+
+// residualMatches checks the binary predicates connecting residual
+// position p to the core positions.
+func (r *Resolver) residualMatches(p int, ev *event.Event, core []*event.Event) bool {
+	for _, k := range r.pat.PredsTouching(p) {
+		pr := &r.pat.Preds[k]
+		if pr.IsUnary() {
+			continue // filtered at Observe
+		}
+		other := pr.L
+		if other == p {
+			other = pr.R
+		}
+		oev := core[other]
+		if oev == nil {
+			continue // residual-residual predicates are rejected at build
+		}
+		r.PredEvals++
+		var l, rr *event.Event
+		if pr.L == p {
+			l, rr = ev, oev
+		} else {
+			l, rr = oev, ev
+		}
+		if !pr.Eval(l, rr) {
+			return false
+		}
+	}
+	return true
+}
+
+// Advance resolves parked matches whose scopes closed at the new
+// watermark and prunes the residual buffers. Call with non-decreasing
+// watermarks.
+func (r *Resolver) Advance(watermark event.Time) {
+	if len(r.pending) > 0 {
+		kept := r.pending[:0]
+		for _, pm := range r.pending {
+			if pm.readyAt <= watermark {
+				r.resolve(pm.core)
+			} else {
+				kept = append(kept, pm)
+			}
+		}
+		// Clear the tail so released cores are collectable.
+		for i := len(kept); i < len(r.pending); i++ {
+			r.pending[i] = pendingMatch{}
+		}
+		r.pending = kept
+	}
+	horizon := watermark - 2*r.w
+	for _, p := range r.residuals {
+		r.bufs[p].Prune(horizon)
+	}
+}
+
+// Flush force-resolves every parked match, treating the stream as ended:
+// all scopes are considered closed over the events observed so far.
+func (r *Resolver) Flush() {
+	for _, pm := range r.pending {
+		r.resolve(pm.core)
+	}
+	r.pending = r.pending[:0]
+}
+
+// PendingCount reports the number of parked matches.
+func (r *Resolver) PendingCount() int { return len(r.pending) }
+
+// SeedFrom copies the residual buffers of another resolver (same
+// pattern). Plan migration uses this so a freshly deployed plan can still
+// veto matches with pre-migration negated events and build complete
+// Kleene sets.
+func (r *Resolver) SeedFrom(src *Resolver) {
+	for _, p := range r.residuals {
+		if src.bufs[p] != nil {
+			src.bufs[p].CopyInto(r.bufs[p])
+		}
+	}
+}

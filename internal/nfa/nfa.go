@@ -1,0 +1,310 @@
+// Package nfa implements the order-based evaluation engine: a lazy chain
+// NFA (paper ref [36], Figure 1(b)) that detects the pattern's core
+// positions in the order prescribed by an OrderPlan rather than in
+// declaration order.
+//
+// Events are buffered per core position. A partial match (PM) is created
+// when an event of the plan's first position arrives; a PM at state s has
+// filled the first s positions of the order and advances either when a
+// matching event of position order[s] arrives (eager path) or, upon
+// creation, by scanning the history buffer of order[s] for events that
+// arrived earlier (lazy path). Every extension forks, so each event
+// combination is enumerated exactly once. Core-complete matches are
+// handed to the residual resolver for negation/Kleene processing.
+package nfa
+
+import (
+	"acep/internal/event"
+	"acep/internal/match"
+	"acep/internal/pattern"
+	"acep/internal/plan"
+)
+
+// Stats aggregates the engine's work and output counters.
+type Stats struct {
+	// PMCreated counts partial matches created (a memory/work proxy, the
+	// quantity the greedy plan cost models).
+	PMCreated uint64
+	// PredEvals counts predicate evaluations (engine + resolver).
+	PredEvals uint64
+	// Emitted counts matches delivered to the callback.
+	Emitted uint64
+	// Dropped counts core-complete matches discarded by residual
+	// constraints.
+	Dropped uint64
+	// Suppressed counts matches withheld by the migration emit filter.
+	Suppressed uint64
+	// LivePMs is the current number of registered partial matches.
+	LivePMs int
+	// PeakPMs is the high-water mark of LivePMs.
+	PeakPMs int
+	// Pending is the number of matches parked in the resolver.
+	Pending int
+}
+
+// pm is a partial match: an assignment of events to a prefix of the
+// plan's order.
+type pm struct {
+	evs          []*event.Event // by pattern position
+	filled       int
+	minTS, maxTS event.Time
+}
+
+// Engine is a lazy-NFA evaluation engine for one (non-OR) pattern and one
+// order plan.
+type Engine struct {
+	pat *pattern.Pattern
+	op  *plan.OrderPlan
+	res *match.Resolver
+
+	bufs     []*match.Buffer // per pattern position; non-nil at core ones
+	orderIdx []int           // pattern position -> index in order (-1 if residual)
+	states   [][]*pm         // states[s]: PMs with s filled positions (1..n-1)
+	n        int             // number of core positions
+
+	watermark  event.Time
+	retention  event.Time
+	lastPrune  event.Time
+	emitBefore uint64 // when >0, emit only matches with a core Seq < emitBefore
+
+	pmCreated  uint64
+	predEvals  uint64
+	suppressed uint64
+	live       int
+	peak       int
+}
+
+// New builds an engine for the pattern following the given order plan.
+// emit receives every surviving match.
+func New(pat *pattern.Pattern, op *plan.OrderPlan, emit func(*match.Match)) *Engine {
+	g := &Engine{
+		pat:       pat,
+		op:        op,
+		res:       match.NewResolver(pat, emit),
+		bufs:      make([]*match.Buffer, pat.NumPositions()),
+		orderIdx:  make([]int, pat.NumPositions()),
+		n:         len(op.Order),
+		retention: 2 * pat.Window,
+	}
+	for i := range g.orderIdx {
+		g.orderIdx[i] = -1
+	}
+	for k, p := range op.Order {
+		g.orderIdx[p] = k
+		g.bufs[p] = &match.Buffer{}
+	}
+	g.states = make([][]*pm, g.n)
+	return g
+}
+
+// Resolver exposes the residual resolver (for migration seeding).
+func (g *Engine) Resolver() *match.Resolver { return g.res }
+
+// SetEmitOnlyBefore restricts emission to matches containing at least one
+// core event with Seq < seq: the old-plan side of the paper's §2.2
+// migration protocol. Zero removes the filter.
+func (g *Engine) SetEmitOnlyBefore(seq uint64) { g.emitBefore = seq }
+
+// Plan returns the order plan in effect.
+func (g *Engine) Plan() plan.Plan { return g.op }
+
+// Advance moves the watermark forward, resolving parked matches and
+// periodically pruning buffers and expired partial matches.
+func (g *Engine) Advance(ts event.Time) {
+	if ts < g.watermark {
+		return
+	}
+	g.watermark = ts
+	g.res.Advance(ts)
+	if ts-g.lastPrune >= g.pat.Window/2 {
+		g.prune()
+		g.lastPrune = ts
+	}
+}
+
+func (g *Engine) prune() {
+	horizon := g.watermark - g.retention
+	for _, b := range g.bufs {
+		if b != nil {
+			b.Prune(horizon)
+		}
+	}
+	for s, list := range g.states {
+		kept := list[:0]
+		for _, m := range list {
+			if !g.expired(m) {
+				kept = append(kept, m)
+			}
+		}
+		for i := len(kept); i < len(list); i++ {
+			list[i] = nil
+		}
+		g.states[s] = kept
+	}
+	g.live = 0
+	for _, list := range g.states {
+		g.live += len(list)
+	}
+}
+
+// expired reports whether the PM can no longer be extended: every future
+// event is too far from its earliest element.
+func (g *Engine) expired(m *pm) bool {
+	return g.watermark-m.minTS > g.pat.Window
+}
+
+// Process feeds one input event. Events must arrive in non-decreasing
+// timestamp order.
+func (g *Engine) Process(e *event.Event) {
+	if e.TS > g.watermark {
+		g.Advance(e.TS)
+	}
+	for p, pos := range g.pat.Positions {
+		if pos.Type != e.Type {
+			continue
+		}
+		k := g.orderIdx[p]
+		if k < 0 {
+			continue // residual position: handled by the resolver below
+		}
+		if !match.UnaryOK(g.pat, p, e, &g.predEvals) {
+			continue
+		}
+		if k == 0 {
+			g.create(p, e)
+		} else {
+			g.extendState(k, p, e)
+		}
+		g.bufs[p].Add(e)
+	}
+	if g.res.HasResiduals() {
+		g.res.Observe(e)
+	}
+}
+
+// extendState offers event e (at position p = order[k]) to every PM
+// waiting at state k, removing expired PMs on the way.
+func (g *Engine) extendState(k, p int, e *event.Event) {
+	list := g.states[k]
+	for i := 0; i < len(list); {
+		m := list[i]
+		if g.expired(m) {
+			list[i] = list[len(list)-1]
+			list[len(list)-1] = nil
+			list = list[:len(list)-1]
+			g.live--
+			continue
+		}
+		if g.canExtend(m, p, e) {
+			g.fork(m, p, e)
+		}
+		i++
+	}
+	g.states[k] = list
+}
+
+// canExtend checks window, sequence order and predicates of e at position
+// p against every event already assigned in m.
+func (g *Engine) canExtend(m *pm, p int, e *event.Event) bool {
+	for q, qe := range m.evs {
+		if qe == nil {
+			continue
+		}
+		if !match.PairOK(g.pat, g.pat.Window, q, qe, p, e, &g.predEvals) {
+			return false
+		}
+	}
+	return true
+}
+
+// create starts a new PM from an event at the plan's first position.
+func (g *Engine) create(p int, e *event.Event) {
+	m := &pm{
+		evs:    make([]*event.Event, len(g.pat.Positions)),
+		filled: 1,
+		minTS:  e.TS,
+		maxTS:  e.TS,
+	}
+	m.evs[p] = e
+	g.pmCreated++
+	g.register(m)
+}
+
+// fork copies parent, adds e at position p and registers the child.
+func (g *Engine) fork(parent *pm, p int, e *event.Event) {
+	m := &pm{
+		evs:    append([]*event.Event(nil), parent.evs...),
+		filled: parent.filled + 1,
+		minTS:  parent.minTS,
+		maxTS:  parent.maxTS,
+	}
+	if e.TS < m.minTS {
+		m.minTS = e.TS
+	}
+	if e.TS > m.maxTS {
+		m.maxTS = e.TS
+	}
+	m.evs[p] = e
+	g.pmCreated++
+	g.register(m)
+}
+
+// register completes the PM if full; otherwise it parks it at its state
+// and lazily scans the next position's history for events that already
+// arrived.
+func (g *Engine) register(m *pm) {
+	if m.filled == g.n {
+		g.complete(m)
+		return
+	}
+	g.states[m.filled] = append(g.states[m.filled], m)
+	g.live++
+	if g.live > g.peak {
+		g.peak = g.live
+	}
+	next := g.op.Order[m.filled]
+	// Lazy path: events of the next position that arrived before this PM
+	// was created. Future events arrive through extendState.
+	g.bufs[next].Scan(m.maxTS-g.pat.Window, m.minTS+g.pat.Window, false, false, func(c *event.Event) bool {
+		if g.canExtend(m, next, c) {
+			g.fork(m, next, c)
+		}
+		return true
+	})
+}
+
+// complete applies the migration emit filter and hands the core match to
+// the resolver.
+func (g *Engine) complete(m *pm) {
+	if g.emitBefore > 0 {
+		old := false
+		for _, ev := range m.evs {
+			if ev != nil && ev.Seq < g.emitBefore {
+				old = true
+				break
+			}
+		}
+		if !old {
+			g.suppressed++
+			return
+		}
+	}
+	g.res.OnCoreComplete(m.evs, g.watermark)
+}
+
+// Finish force-resolves all parked matches, treating the stream as ended.
+func (g *Engine) Finish() { g.res.Flush() }
+
+// Stats returns a snapshot of the engine's counters.
+func (g *Engine) Stats() Stats {
+	return Stats{
+		PMCreated:  g.pmCreated,
+		PredEvals:  g.predEvals + g.res.PredEvals,
+		Emitted:    g.res.Emitted,
+		Dropped:    g.res.Dropped,
+		Suppressed: g.suppressed,
+		LivePMs:    g.live,
+		PeakPMs:    g.peak,
+		Pending:    g.res.PendingCount(),
+	}
+}

@@ -1,0 +1,54 @@
+package nfa
+
+import (
+	"math/rand"
+	"testing"
+
+	"acep/internal/match"
+	"acep/internal/plan"
+)
+
+// BenchmarkProcess measures raw event processing on a size-4 sequence
+// pattern under ascending- and descending-rate plan orders, exposing the
+// cost gap that plan quality creates (the quantity adaptation optimizes).
+func BenchmarkProcess(b *testing.B) {
+	s := mkSchema(4)
+	pat := seqChainPattern(s, 4, 100)
+	r := rand.New(rand.NewSource(1))
+	evs := genStream(r, s, []int{12, 6, 2, 1}, 50000, 3, 2)
+	for _, tc := range []struct {
+		name  string
+		order []int
+	}{
+		{"ascending-rates", []int{3, 2, 1, 0}},
+		{"descending-rates", []int{0, 1, 2, 3}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := New(pat, plan.NewOrderPlan(tc.order), func(*match.Match) {})
+				for j := range evs {
+					g.Process(&evs[j])
+				}
+				g.Finish()
+			}
+			b.SetBytes(int64(len(evs)))
+		})
+	}
+}
+
+// BenchmarkExtend isolates the partial-match extension path.
+func BenchmarkExtend(b *testing.B) {
+	s := mkSchema(2)
+	pat := seqChainPattern(s, 2, 1000)
+	r := rand.New(rand.NewSource(2))
+	evs := genStream(r, s, []int{1, 1}, 20000, 2, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := New(pat, plan.NewOrderPlan([]int{0, 1}), func(*match.Match) {})
+		for j := range evs {
+			g.Process(&evs[j])
+		}
+		g.Finish()
+	}
+}

@@ -1,0 +1,181 @@
+// Package oracle provides an exponential brute-force reference matcher.
+// It enumerates every assignment of events to the pattern's core
+// positions and applies the residual semantics directly over the full
+// event history. The evaluation engines are validated against it on
+// randomized streams: any plan, any engine model and any adaptation
+// policy must produce exactly the oracle's match set.
+package oracle
+
+import (
+	"sort"
+
+	"acep/internal/event"
+	"acep/internal/match"
+	"acep/internal/pattern"
+)
+
+// Matches computes the complete match set of pat over the finite event
+// slice. Events need not be sorted. Only small inputs are feasible; this
+// is a test oracle, not an engine.
+func Matches(pat *pattern.Pattern, events []event.Event) []*match.Match {
+	if pat.Op == pattern.Or {
+		var out []*match.Match
+		for _, sub := range pat.Subs {
+			out = append(out, Matches(sub, events)...)
+		}
+		return out
+	}
+	evs := make([]*event.Event, len(events))
+	for i := range events {
+		evs[i] = &events[i]
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].TS < evs[j].TS })
+
+	var np uint64
+	core := pat.Core()
+	assign := make([]*event.Event, pat.NumPositions())
+	var out []*match.Match
+
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(core) {
+			if m := resolveResiduals(pat, assign, evs, &np); m != nil {
+				out = append(out, m)
+			}
+			return
+		}
+		p := core[k]
+		for _, e := range evs {
+			if e.Type != pat.Positions[p].Type {
+				continue
+			}
+			if !match.UnaryOK(pat, p, e, &np) {
+				continue
+			}
+			ok := true
+			for _, q := range core[:k] {
+				if !match.PairOK(pat, pat.Window, q, assign[q], p, e, &np) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			assign[p] = e
+			rec(k + 1)
+			assign[p] = nil
+		}
+	}
+	rec(0)
+	return out
+}
+
+// resolveResiduals applies negation and Kleene semantics for one core
+// assignment, returning the match or nil.
+func resolveResiduals(pat *pattern.Pattern, assign []*event.Event, evs []*event.Event, np *uint64) *match.Match {
+	var minTS, maxTS event.Time
+	first := true
+	for _, e := range assign {
+		if e == nil {
+			continue
+		}
+		if first || e.TS < minTS {
+			minTS = e.TS
+		}
+		if first || e.TS > maxTS {
+			maxTS = e.TS
+		}
+		first = false
+	}
+	var kleene [][]*event.Event
+	for p, pos := range pat.Positions {
+		if !pos.Neg && !pos.Kleene {
+			continue
+		}
+		lo, hi := maxTS-pat.Window, minTS+pat.Window
+		loExcl, hiExcl := false, false
+		if pat.Op == pattern.Seq {
+			for q := p - 1; q >= 0; q-- {
+				if assign[q] != nil {
+					lo, loExcl = assign[q].TS, true
+					break
+				}
+			}
+			for q := p + 1; q < len(assign); q++ {
+				if assign[q] != nil {
+					hi, hiExcl = assign[q].TS, true
+					break
+				}
+			}
+		}
+		var set []*event.Event
+		for _, e := range evs {
+			if e.Type != pos.Type {
+				continue
+			}
+			if e.TS < lo || (loExcl && e.TS == lo) {
+				continue
+			}
+			if e.TS > hi || (hiExcl && e.TS == hi) {
+				continue
+			}
+			if !match.UnaryOK(pat, p, e, np) {
+				continue
+			}
+			ok := true
+			for _, k := range pat.PredsTouching(p) {
+				pr := &pat.Preds[k]
+				if pr.IsUnary() {
+					continue
+				}
+				other := pr.L
+				if other == p {
+					other = pr.R
+				}
+				oev := assign[other]
+				if oev == nil {
+					continue
+				}
+				var l, r *event.Event
+				if pr.L == p {
+					l, r = e, oev
+				} else {
+					l, r = oev, e
+				}
+				if !pr.Eval(l, r) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				set = append(set, e)
+			}
+		}
+		if pos.Neg {
+			if len(set) > 0 {
+				return nil
+			}
+			continue
+		}
+		if len(set) == 0 {
+			return nil
+		}
+		if kleene == nil {
+			kleene = make([][]*event.Event, len(assign))
+		}
+		kleene[p] = set
+	}
+	return &match.Match{Events: append([]*event.Event(nil), assign...), Kleene: kleene}
+}
+
+// Keys returns the sorted canonical keys of a match list, the form used
+// to compare engines against the oracle and each other.
+func Keys(ms []*match.Match) []string {
+	keys := make([]string, len(ms))
+	for i, m := range ms {
+		keys[i] = m.Key()
+	}
+	sort.Strings(keys)
+	return keys
+}

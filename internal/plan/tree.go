@@ -1,0 +1,147 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"acep/internal/stats"
+)
+
+// TreeNode is a node of a tree-based (ZStream) plan. A leaf has Pos >= 0
+// and nil children; an internal node has Pos == -1 and two children.
+type TreeNode struct {
+	Pos         int
+	Left, Right *TreeNode
+}
+
+// Leaf constructs a leaf node for a core position.
+func Leaf(pos int) *TreeNode { return &TreeNode{Pos: pos} }
+
+// Join constructs an internal node over two subtrees.
+func Join(l, r *TreeNode) *TreeNode { return &TreeNode{Pos: -1, Left: l, Right: r} }
+
+// IsLeaf reports whether the node is a leaf.
+func (n *TreeNode) IsLeaf() bool { return n.Pos >= 0 }
+
+// Leaves appends the node's leaf positions left-to-right to dst.
+func (n *TreeNode) Leaves(dst []int) []int {
+	if n.IsLeaf() {
+		return append(dst, n.Pos)
+	}
+	dst = n.Left.Leaves(dst)
+	return n.Right.Leaves(dst)
+}
+
+// TreePlan is a tree-based evaluation plan over the pattern's core
+// positions, as produced by the ZStream dynamic-programming algorithm.
+type TreePlan struct {
+	Root *TreeNode
+}
+
+// NewTreePlan wraps a root node.
+func NewTreePlan(root *TreeNode) *TreePlan { return &TreePlan{Root: root} }
+
+// Cardinality computes the expected partial-match cardinality of the
+// subtree under the snapshot: leaf cardinality is the arrival rate scaled
+// by the unary selectivity; an internal node multiplies its children's
+// cardinalities by the combined selectivity of all predicates crossing
+// the two leaf sets.
+func Cardinality(n *TreeNode, s *stats.Snapshot) float64 {
+	if n.IsLeaf() {
+		return s.Rates[n.Pos] * s.Sel[n.Pos][n.Pos]
+	}
+	card := Cardinality(n.Left, s) * Cardinality(n.Right, s)
+	var lv, rv []int
+	lv = n.Left.Leaves(lv)
+	rv = n.Right.Leaves(rv)
+	for _, i := range lv {
+		for _, j := range rv {
+			card *= s.Sel[i][j]
+		}
+	}
+	return card
+}
+
+// SubtreeCost computes the ZStream cost of the subtree:
+// Cost(leaf) = cardinality; Cost(T) = Cost(L) + Cost(R) + Card(T).
+func SubtreeCost(n *TreeNode, s *stats.Snapshot) float64 {
+	if n.IsLeaf() {
+		return Cardinality(n, s)
+	}
+	return SubtreeCost(n.Left, s) + SubtreeCost(n.Right, s) + Cardinality(n, s)
+}
+
+// Cost implements Plan.
+func (p *TreePlan) Cost(s *stats.Snapshot) float64 { return SubtreeCost(p.Root, s) }
+
+// NumBlocks counts internal nodes (one building block per node).
+func (p *TreePlan) NumBlocks() int { return countInternal(p.Root) }
+
+func countInternal(n *TreeNode) int {
+	if n == nil || n.IsLeaf() {
+		return 0
+	}
+	return 1 + countInternal(n.Left) + countInternal(n.Right)
+}
+
+// Equal reports structural equality (same shape, same leaf positions).
+func (p *TreePlan) Equal(other Plan) bool {
+	o, ok := other.(*TreePlan)
+	if !ok {
+		return false
+	}
+	return nodesEqual(p.Root, o.Root)
+}
+
+func nodesEqual(a, b *TreeNode) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.IsLeaf() != b.IsLeaf() {
+		return false
+	}
+	if a.IsLeaf() {
+		return a.Pos == b.Pos
+	}
+	return nodesEqual(a.Left, b.Left) && nodesEqual(a.Right, b.Right)
+}
+
+// PostOrder appends the internal nodes in leaves-to-root (post-order)
+// sequence to dst and returns it. This is the order in which the
+// invariant method verifies tree-plan invariants (paper §3.2).
+func (p *TreePlan) PostOrder(dst []*TreeNode) []*TreeNode {
+	return postOrder(p.Root, dst)
+}
+
+func postOrder(n *TreeNode, dst []*TreeNode) []*TreeNode {
+	if n == nil || n.IsLeaf() {
+		return dst
+	}
+	dst = postOrder(n.Left, dst)
+	dst = postOrder(n.Right, dst)
+	return append(dst, n)
+}
+
+// String renders the tree with parentheses, e.g. "((0 1) 2)".
+func (p *TreePlan) String() string {
+	var b strings.Builder
+	b.WriteString("tree")
+	formatNode(&b, p.Root)
+	return b.String()
+}
+
+func formatNode(b *strings.Builder, n *TreeNode) {
+	if n == nil {
+		b.WriteString("<nil>")
+		return
+	}
+	if n.IsLeaf() {
+		fmt.Fprintf(b, "%d", n.Pos)
+		return
+	}
+	b.WriteByte('(')
+	formatNode(b, n.Left)
+	b.WriteByte(' ')
+	formatNode(b, n.Right)
+	b.WriteByte(')')
+}

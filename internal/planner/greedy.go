@@ -1,0 +1,81 @@
+package planner
+
+import (
+	"fmt"
+
+	"acep/internal/core"
+	"acep/internal/pattern"
+	"acep/internal/plan"
+	"acep/internal/stats"
+)
+
+// Greedy is the greedy order-based plan generation algorithm (paper
+// Algorithm 2). At each step it selects, among the core positions not yet
+// placed, the one minimizing
+//
+//	r_j · sel_{j,j} · prod_{k<i} sel_{p_k,j},
+//
+// i.e. the marginal growth of the expected partial-match cardinality.
+// Negated and Kleene positions are excluded from the order (they are
+// post-processed residual constraints; paper §4.1).
+//
+// Instrumentation: the building block of step i is "process position p_i
+// at step i"; its DCS holds one condition per rejected candidate j',
+// stating cost(p_i) < cost(j') with both sides expressed over live
+// statistics. Ties are broken toward the lower position index, keeping
+// the algorithm deterministic.
+type Greedy struct{}
+
+// Name implements Algorithm.
+func (Greedy) Name() string { return "greedy" }
+
+// stepExpr builds the live cost expression of candidate j at step i given
+// the previously chosen positions: r_j · sel_{j,j} · prod sel_{chosen,j}.
+func stepExpr(j int, chosen []int) core.Expr {
+	t := core.Term{Coef: 1, Rates: []int{j}, Sels: [][2]int{{j, j}}}
+	for _, k := range chosen {
+		a, b := k, j
+		if a > b {
+			a, b = b, a
+		}
+		t.Sels = append(t.Sels, [2]int{a, b})
+	}
+	return core.Expr{Terms: []core.Term{t}}
+}
+
+// Generate implements Algorithm.
+func (g Greedy) Generate(pat *pattern.Pattern, s *stats.Snapshot) Result {
+	corePos := pat.Core()
+	remaining := append([]int(nil), corePos...)
+	chosen := make([]int, 0, len(corePos))
+	trace := &core.Trace{}
+
+	for len(remaining) > 0 {
+		// Find the argmin candidate under the current snapshot.
+		best := 0
+		bestVal := stepExpr(remaining[0], chosen).Eval(s)
+		for c := 1; c < len(remaining); c++ {
+			v := stepExpr(remaining[c], chosen).Eval(s)
+			if v < bestVal {
+				best, bestVal = c, v
+			}
+		}
+		winner := remaining[best]
+		// The DCS of this block: winner beats every other candidate.
+		dcs := core.DCS{Block: fmt.Sprintf("step %d: pos %d", len(chosen), winner)}
+		winExpr := stepExpr(winner, chosen)
+		for _, j := range remaining {
+			if j == winner {
+				continue
+			}
+			dcs.Conds = append(dcs.Conds, core.Condition{
+				LHS: winExpr,
+				RHS: stepExpr(j, chosen),
+			})
+		}
+		trace.Blocks = append(trace.Blocks, dcs)
+		chosen = append(chosen, winner)
+		remaining = append(remaining[:best], remaining[best+1:]...)
+	}
+	return Result{Plan: plan.NewOrderPlan(chosen), Trace: trace}
+}

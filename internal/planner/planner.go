@@ -1,0 +1,37 @@
+// Package planner implements the two evaluation-plan generation
+// algorithms the paper applies the invariant-based method to: the greedy
+// order-based algorithm (paper Algorithm 2, after Swami '89 and the lazy
+// NFA of DEBS '15) and the ZStream dynamic-programming algorithm for
+// tree-based plans (paper Algorithm 3).
+//
+// Both algorithms are instrumented: alongside the plan they emit a
+// core.Trace recording, per building block of the returned plan, the
+// deciding conditions verified by the block-building comparisons that
+// selected it. The trace is the raw material of the invariant method.
+package planner
+
+import (
+	"acep/internal/core"
+	"acep/internal/pattern"
+	"acep/internal/plan"
+	"acep/internal/stats"
+)
+
+// Result couples a generated plan with its instrumentation trace. The
+// trace's blocks are ordered in the plan's invariant-verification order.
+type Result struct {
+	Plan  plan.Plan
+	Trace *core.Trace
+}
+
+// Algorithm is a deterministic plan generation algorithm A: given a
+// pattern and a statistics snapshot it produces an evaluation plan and
+// the trace of deciding conditions. Implementations must be deterministic
+// functions of (pattern, snapshot) — the correctness guarantees of the
+// invariant method (Theorems 1 and 2) depend on it.
+type Algorithm interface {
+	// Name identifies the algorithm in experiment output.
+	Name() string
+	// Generate produces the plan for the pattern under the snapshot.
+	Generate(pat *pattern.Pattern, s *stats.Snapshot) Result
+}

@@ -1,0 +1,35 @@
+package planner
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkGenerate measures the cost of one plan-generation run (the A
+// the adaptation loop pays for on every reoptimization attempt) across
+// pattern sizes and algorithms.
+func BenchmarkGenerate(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	for _, n := range []int{3, 5, 8} {
+		pat := seqPattern(b, n, true)
+		snap := randomSnapshot(r, pat)
+		b.Run("greedy/n="+string(rune('0'+n)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := Greedy{}.Generate(pat, snap)
+				if res.Plan == nil {
+					b.Fatal("nil plan")
+				}
+			}
+		})
+		b.Run("zstream/n="+string(rune('0'+n)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := ZStream{}.Generate(pat, snap)
+				if res.Plan == nil {
+					b.Fatal("nil plan")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,186 @@
+package planner
+
+import (
+	"fmt"
+
+	"acep/internal/core"
+	"acep/internal/pattern"
+	"acep/internal/plan"
+	"acep/internal/stats"
+)
+
+// ZStream is the dynamic-programming tree-plan generation algorithm of
+// Mei & Madden (SIGMOD '09), as given in paper Algorithm 3: for every
+// contiguous range of core positions (in pattern order) it memoizes the
+// cheapest tree, where
+//
+//	Cost(leaf) = Card(leaf) = r_i · sel_{i,i}
+//	Cost(T)    = Cost(L) + Cost(R) + Card(T)
+//	Card(T)    = Card(L) · Card(R) · SEL(L,R)
+//
+// and SEL(L,R) is the product of the selectivities of all predicates
+// crossing the two leaf sets.
+//
+// Instrumentation (paper §4.2): every internal node of a candidate tree
+// is a potential building block; a comparison between two candidate
+// trees over the same range is a BBC for the cheaper tree's root. In the
+// recorded cost expressions the cost and cardinality of *internal*
+// subtrees are frozen to their creation-time values — safe because
+// invariants are verified leaves-to-root, so a statistics change affecting
+// a subtree is caught by an earlier invariant — while leaf cardinalities
+// (arrival rates and unary selectivities) and the top-level cross
+// selectivities stay live.
+type ZStream struct{}
+
+// Name implements Algorithm.
+func (ZStream) Name() string { return "zstream" }
+
+// zcell is one memoized DP entry: the cheapest tree over a contiguous
+// range of core positions.
+type zcell struct {
+	tree   *plan.TreeNode
+	leaves []int // actual pattern positions covered
+	cost   float64
+	card   float64
+	dcs    core.DCS
+}
+
+// crossSels collects the selectivity factors between two leaf sets,
+// skipping pairs with no predicates (their selectivity is identically 1).
+func crossSels(pat *pattern.Pattern, lv, rv []int) [][2]int {
+	var out [][2]int
+	for _, i := range lv {
+		for _, j := range rv {
+			if len(pat.PredsBetween(i, j)) == 0 {
+				continue
+			}
+			a, b := i, j
+			if a > b {
+				a, b = b, a
+			}
+			out = append(out, [2]int{a, b})
+		}
+	}
+	return out
+}
+
+// candidateExpr builds the partially frozen cost expression of the tree
+// joining cells l and r.
+func candidateExpr(pat *pattern.Pattern, l, r *zcell) core.Expr {
+	var e core.Expr
+	// Children's costs: live for leaves, frozen for internal subtrees.
+	for _, c := range []*zcell{l, r} {
+		if c.tree.IsLeaf() {
+			p := c.tree.Pos
+			e.Terms = append(e.Terms, core.Term{
+				Coef: 1, Rates: []int{p}, Sels: [][2]int{{p, p}},
+			})
+		} else {
+			e.Add += c.cost
+		}
+	}
+	// Cardinality term: frozen child cardinalities for internal children,
+	// live rate/unary-selectivity factors for leaf children, plus the live
+	// cross selectivities.
+	card := core.Term{Coef: 1}
+	for _, c := range []*zcell{l, r} {
+		if c.tree.IsLeaf() {
+			p := c.tree.Pos
+			card.Rates = append(card.Rates, p)
+			card.Sels = append(card.Sels, [2]int{p, p})
+		} else {
+			card.Coef *= c.card
+		}
+	}
+	card.Sels = append(card.Sels, crossSels(pat, l.leaves, r.leaves)...)
+	e.Terms = append(e.Terms, card)
+	return e
+}
+
+// Generate implements Algorithm.
+func (z ZStream) Generate(pat *pattern.Pattern, s *stats.Snapshot) Result {
+	cp := pat.Core()
+	n := len(cp)
+	// memo[size-1][start]: cheapest tree over cp[start : start+size].
+	memo := make([][]*zcell, n)
+	memo[0] = make([]*zcell, n)
+	for start := 0; start < n; start++ {
+		p := cp[start]
+		card := s.Rates[p] * s.Sel[p][p]
+		memo[0][start] = &zcell{
+			tree:   plan.Leaf(p),
+			leaves: []int{p},
+			cost:   card,
+			card:   card,
+		}
+	}
+	for size := 2; size <= n; size++ {
+		memo[size-1] = make([]*zcell, n-size+1)
+		for start := 0; start+size <= n; start++ {
+			type cand struct {
+				cell *zcell
+				expr core.Expr
+			}
+			var cands []cand
+			for k := 1; k < size; k++ {
+				l := memo[k-1][start]
+				r := memo[size-k-1][start+k]
+				card := l.card * r.card
+				for _, ij := range crossSels(pat, l.leaves, r.leaves) {
+					card *= s.Sel[ij[0]][ij[1]]
+				}
+				c := &zcell{
+					tree:   plan.Join(l.tree, r.tree),
+					leaves: append(append([]int(nil), l.leaves...), r.leaves...),
+					cost:   l.cost + r.cost + card,
+					card:   card,
+				}
+				cands = append(cands, cand{cell: c, expr: candidateExpr(pat, l, r)})
+			}
+			best := 0
+			for c := 1; c < len(cands); c++ {
+				if cands[c].cell.cost < cands[best].cell.cost {
+					best = c
+				}
+			}
+			win := cands[best]
+			win.cell.dcs = core.DCS{
+				Block: fmt.Sprintf("node over %v", win.cell.leaves),
+			}
+			for c := range cands {
+				if c == best {
+					continue
+				}
+				win.cell.dcs.Conds = append(win.cell.dcs.Conds, core.Condition{
+					LHS: win.expr,
+					RHS: cands[c].expr,
+				})
+			}
+			memo[size-1][start] = win.cell
+		}
+	}
+
+	root := memo[n-1][0]
+	tp := plan.NewTreePlan(root.tree)
+	// Collect the DCSs of the chosen plan's internal nodes, leaves-to-root.
+	// Winner nodes are shared by pointer between the memo and the final
+	// tree, so a pointer map recovers each node's cell.
+	byNode := make(map[*plan.TreeNode]core.DCS)
+	for size := 2; size <= n; size++ {
+		for start := 0; start+size <= n; start++ {
+			cell := memo[size-1][start]
+			byNode[cell.tree] = cell.dcs
+		}
+	}
+	trace := &core.Trace{}
+	for _, node := range tp.PostOrder(nil) {
+		dcs, ok := byNode[node]
+		if !ok {
+			// Every internal node of the final plan is a cell winner by
+			// construction; keep a labeled empty DCS if that ever breaks.
+			dcs = core.DCS{Block: "unknown node"}
+		}
+		trace.Blocks = append(trace.Blocks, dcs)
+	}
+	return Result{Plan: tp, Trace: trace}
+}

@@ -1,0 +1,125 @@
+// Package stats maintains the data-stream statistics that drive plan
+// generation and adaptation decisions: per-position event arrival rates
+// and inter-event predicate selectivities, estimated over sliding windows.
+//
+// Arrival rates use the exponential-histogram algorithm of Datar, Gionis,
+// Indyk and Motwani ("Maintaining stream statistics over sliding windows",
+// SIAM J. Comput. 2002) — the paper's reference [27] — which counts the
+// events of a type inside a sliding time window with bounded relative
+// error in O(log^2 N) space. Selectivities are estimated by evaluating
+// each pattern predicate over pairs drawn from small rings of recent
+// events, smoothed with an exponential moving average.
+//
+// A Snapshot is an immutable copy of all estimates at one instant; it is
+// the only statistics type the planner and decision layers see.
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"acep/internal/event"
+)
+
+// EH counts ones over a sliding time window with bounded relative error,
+// per Datar et al. Buckets hold power-of-two counts with the timestamp of
+// their most recent element; at most r buckets of each size are kept, and
+// overflow merges the two oldest buckets of that size into one of twice
+// the size. The count estimate drops half of the oldest (straddling)
+// bucket, giving relative error at most 1/(2(r-1)).
+type EH struct {
+	window event.Time
+	r      int // max buckets per size before merge
+	// buckets is ordered oldest first; sizes are non-increasing oldest to
+	// newest.
+	buckets []ehBucket
+	total   uint64 // sum of bucket sizes
+}
+
+type ehBucket struct {
+	size uint64
+	ts   event.Time // timestamp of the newest element in the bucket
+}
+
+// NewEH builds a sliding-window counter with the given window width and
+// target relative error eps (0 < eps <= 1).
+func NewEH(window event.Time, eps float64) (*EH, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("stats: EH window must be positive, got %d", window)
+	}
+	if eps <= 0 || eps > 1 {
+		return nil, fmt.Errorf("stats: EH eps must be in (0,1], got %g", eps)
+	}
+	r := int(math.Ceil(1/(2*eps))) + 1
+	if r < 2 {
+		r = 2
+	}
+	return &EH{window: window, r: r}, nil
+}
+
+// Add records one event at timestamp ts. Timestamps must be non-decreasing.
+func (h *EH) Add(ts event.Time) {
+	h.expire(ts)
+	h.buckets = append(h.buckets, ehBucket{size: 1, ts: ts})
+	h.total++
+	// Cascade merges from the newest size upward. Buckets of equal size
+	// are contiguous because sizes are non-increasing oldest-to-newest.
+	end := len(h.buckets)
+	size := uint64(1)
+	for {
+		// Find the run [start, end) of buckets with the current size.
+		start := end
+		for start > 0 && h.buckets[start-1].size == size {
+			start--
+		}
+		if end-start <= h.r {
+			break
+		}
+		// Merge the two oldest buckets of this size (start, start+1):
+		// the merged bucket keeps the newer timestamp.
+		h.buckets[start+1].size = 2 * size
+		h.buckets = append(h.buckets[:start], h.buckets[start+1:]...)
+		end = start + 1
+		size *= 2
+	}
+}
+
+// expire drops buckets that have fully left the window ending at now.
+func (h *EH) expire(now event.Time) {
+	cut := 0
+	for cut < len(h.buckets) && h.buckets[cut].ts <= now-h.window {
+		h.total -= h.buckets[cut].size
+		cut++
+	}
+	if cut > 0 {
+		h.buckets = h.buckets[cut:]
+	}
+}
+
+// Count estimates the number of events with timestamps in (now-window,
+// now]. The estimate discounts half of the oldest bucket, which may
+// straddle the window boundary.
+func (h *EH) Count(now event.Time) float64 {
+	h.expire(now)
+	if len(h.buckets) == 0 {
+		return 0
+	}
+	return float64(h.total) - float64(h.buckets[0].size-1)/2
+}
+
+// Rate estimates the arrival rate in events per second over the window
+// ending at now.
+func (h *EH) Rate(now event.Time) float64 {
+	secs := float64(h.window) / float64(event.Second)
+	if secs <= 0 {
+		return 0
+	}
+	return h.Count(now) / secs
+}
+
+// Buckets reports the current number of buckets (for tests and
+// introspection of the space bound).
+func (h *EH) Buckets() int { return len(h.buckets) }
+
+// Window returns the window width the counter was built with.
+func (h *EH) Window() event.Time { return h.window }

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"acep/internal/event"
+)
+
+func TestNewEHValidation(t *testing.T) {
+	if _, err := NewEH(0, 0.1); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := NewEH(100, 0); err == nil {
+		t.Error("zero eps accepted")
+	}
+	if _, err := NewEH(100, 1.5); err == nil {
+		t.Error("eps > 1 accepted")
+	}
+	h, err := NewEH(100, 0.05)
+	if err != nil {
+		t.Fatalf("NewEH: %v", err)
+	}
+	if h.Window() != 100 {
+		t.Errorf("Window = %d", h.Window())
+	}
+}
+
+func TestEHEmpty(t *testing.T) {
+	h, _ := NewEH(1000, 0.1)
+	if got := h.Count(500); got != 0 {
+		t.Errorf("empty Count = %g", got)
+	}
+	if got := h.Rate(500); got != 0 {
+		t.Errorf("empty Rate = %g", got)
+	}
+}
+
+func TestEHExactSmall(t *testing.T) {
+	// With few events, no merging beyond r happens and the estimate is
+	// close to exact (only the oldest bucket is discounted).
+	h, _ := NewEH(event.Time(1000), 0.01)
+	for ts := event.Time(1); ts <= 10; ts++ {
+		h.Add(ts)
+	}
+	got := h.Count(10)
+	if got < 9 || got > 10 {
+		t.Errorf("Count = %g; want within [9,10]", got)
+	}
+}
+
+func TestEHExpiry(t *testing.T) {
+	h, _ := NewEH(event.Time(100), 0.1)
+	for ts := event.Time(1); ts <= 50; ts++ {
+		h.Add(ts)
+	}
+	// At now=500 every event has left the window (ts <= now-window).
+	if got := h.Count(500); got != 0 {
+		t.Errorf("Count after expiry = %g; want 0", got)
+	}
+	if h.Buckets() != 0 {
+		t.Errorf("buckets after expiry = %d; want 0", h.Buckets())
+	}
+}
+
+func TestEHErrorBound(t *testing.T) {
+	// Relative error of the windowed count must stay within eps for
+	// several regimes (uniform, bursty, sparse).
+	regimes := []struct {
+		name string
+		gap  func(r *rand.Rand) event.Time
+	}{
+		{"uniform", func(r *rand.Rand) event.Time { return 1 }},
+		{"random", func(r *rand.Rand) event.Time { return event.Time(1 + r.Intn(5)) }},
+		{"bursty", func(r *rand.Rand) event.Time {
+			if r.Intn(10) == 0 {
+				return 50
+			}
+			return 1
+		}},
+	}
+	const window = event.Time(5000)
+	const eps = 0.05
+	for _, reg := range regimes {
+		r := rand.New(rand.NewSource(7))
+		h, _ := NewEH(window, eps)
+		var times []event.Time
+		now := event.Time(0)
+		for i := 0; i < 20000; i++ {
+			now += reg.gap(r)
+			h.Add(now)
+			times = append(times, now)
+			if i%512 == 0 && i > 0 {
+				exact := 0
+				for _, ts := range times {
+					if ts > now-window {
+						exact++
+					}
+				}
+				got := h.Count(now)
+				if exact > 0 {
+					rel := math.Abs(got-float64(exact)) / float64(exact)
+					if rel > eps*1.01 {
+						t.Fatalf("%s: at %d events rel err %.4f > eps %.2f (est %.1f exact %d)",
+							reg.name, i, rel, eps, got, exact)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEHSpaceLogarithmic(t *testing.T) {
+	h, _ := NewEH(event.Time(1<<20), 0.05)
+	for ts := event.Time(1); ts <= 1<<17; ts++ {
+		h.Add(ts)
+	}
+	// r ~ 11 for eps=0.05; sizes up to 2^17 -> ~18 size classes.
+	if h.Buckets() > 11*20 {
+		t.Errorf("buckets = %d; want O(r log N)", h.Buckets())
+	}
+}
+
+func TestEHRate(t *testing.T) {
+	// 1 event per ms over a 2-second window = 1000 events/sec.
+	h, _ := NewEH(2*event.Second, 0.01)
+	for ts := event.Time(1); ts <= 4000; ts++ {
+		h.Add(ts)
+	}
+	got := h.Rate(4000)
+	if math.Abs(got-1000)/1000 > 0.02 {
+		t.Errorf("Rate = %g; want ~1000", got)
+	}
+}
+
+func TestEHCountQuick(t *testing.T) {
+	// Property: for any positive gap sequence, estimate error stays
+	// within the configured bound.
+	f := func(gaps []uint8) bool {
+		if len(gaps) < 10 {
+			return true
+		}
+		const window = event.Time(300)
+		const eps = 0.1
+		h, _ := NewEH(window, eps)
+		var times []event.Time
+		now := event.Time(0)
+		for _, g := range gaps {
+			now += event.Time(g%16) + 1
+			h.Add(now)
+			times = append(times, now)
+		}
+		exact := 0
+		for _, ts := range times {
+			if ts > now-window {
+				exact++
+			}
+		}
+		got := h.Count(now)
+		if exact == 0 {
+			return got == 0
+		}
+		return math.Abs(got-float64(exact))/float64(exact) <= eps*1.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"fmt"
+
+	"acep/internal/event"
+	"acep/internal/pattern"
+)
+
+// Config tunes an Estimator. The zero value is usable: Defaults are
+// applied by NewEstimator.
+type Config struct {
+	// Window is the statistics window; zero defaults to 20x the pattern
+	// window, large enough that per-type counts are statistically stable
+	// while still tracking regime changes quickly. Rates and
+	// selectivities describe the stream over this trailing interval.
+	Window event.Time
+	// EHEps is the relative-error target of the exponential histograms
+	// (default 0.05).
+	EHEps float64
+	// SampleSize is the per-position recent-event ring capacity used for
+	// selectivity estimation (default 24).
+	SampleSize int
+	// Alpha is the EWMA smoothing factor for selectivities in (0,1]
+	// (default 0.5; 1 disables smoothing).
+	Alpha float64
+	// MinSel floors selectivity estimates away from zero so that cost
+	// products stay well-defined and tiny-selectivity noise does not
+	// translate into huge relative swings (default 1e-3).
+	MinSel float64
+}
+
+func (c Config) withDefaults(patWindow event.Time) Config {
+	if c.Window <= 0 {
+		c.Window = 20 * patWindow
+	}
+	if c.EHEps <= 0 {
+		c.EHEps = 0.05
+	}
+	if c.SampleSize <= 0 {
+		c.SampleSize = 24
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.5
+	}
+	if c.MinSel <= 0 {
+		c.MinSel = 1e-3
+	}
+	return c
+}
+
+// Estimator maintains the running statistics for one (non-OR) pattern.
+// Feed it every input event via Observe; take immutable copies of the
+// current estimates with Snapshot. An Estimator is the paper's dedicated
+// statistics-collection component (Figure 2).
+//
+// Estimators are not safe for concurrent use; the engine drives one from
+// its event loop.
+type Estimator struct {
+	pat     *pattern.Pattern
+	cfg     Config
+	ehs     []*EH         // per position
+	rings   []*sampleRing // per position
+	selPred []float64     // per predicate, EWMA-smoothed
+	seeded  []bool        // per predicate: has a first estimate landed
+	version uint64
+}
+
+// NewEstimator builds an estimator for the pattern. OR patterns are
+// rejected; the engine maintains one estimator per disjunct.
+func NewEstimator(pat *pattern.Pattern, cfg Config) (*Estimator, error) {
+	if pat.Op == pattern.Or {
+		return nil, fmt.Errorf("stats: estimator works per sub-pattern; got OR")
+	}
+	cfg = cfg.withDefaults(pat.Window)
+	n := pat.NumPositions()
+	e := &Estimator{
+		pat:     pat,
+		cfg:     cfg,
+		ehs:     make([]*EH, n),
+		rings:   make([]*sampleRing, n),
+		selPred: make([]float64, len(pat.Preds)),
+		seeded:  make([]bool, len(pat.Preds)),
+	}
+	for i := 0; i < n; i++ {
+		eh, err := NewEH(cfg.Window, cfg.EHEps)
+		if err != nil {
+			return nil, err
+		}
+		e.ehs[i] = eh
+		e.rings[i] = newSampleRing(cfg.SampleSize)
+	}
+	for i := range e.selPred {
+		e.selPred[i] = 1 // optimistic until observed
+	}
+	return e, nil
+}
+
+// Observe records one input event. Events whose type matches no pattern
+// position are ignored. An event type occupying several positions updates
+// each of them.
+func (e *Estimator) Observe(ev *event.Event) {
+	for i, pos := range e.pat.Positions {
+		if pos.Type == ev.Type {
+			e.ehs[i].Add(ev.TS)
+			e.rings[i].add(ev)
+		}
+	}
+}
+
+// refreshSelectivities re-evaluates every predicate over the current
+// sample rings and folds the result into the EWMA estimates.
+func (e *Estimator) refreshSelectivities() {
+	for k := range e.pat.Preds {
+		pr := &e.pat.Preds[k]
+		var pass, total int
+		if pr.IsUnary() {
+			ring := e.rings[pr.L]
+			for i := 0; i < ring.len(); i++ {
+				total++
+				if pr.Eval(ring.at(i), nil) {
+					pass++
+				}
+			}
+		} else {
+			lring, rring := e.rings[pr.L], e.rings[pr.R]
+			for i := 0; i < lring.len(); i++ {
+				for j := 0; j < rring.len(); j++ {
+					total++
+					if pr.Eval(lring.at(i), rring.at(j)) {
+						pass++
+					}
+				}
+			}
+		}
+		if total == 0 {
+			continue // keep previous estimate
+		}
+		obs := float64(pass) / float64(total)
+		if obs < e.cfg.MinSel {
+			obs = e.cfg.MinSel
+		}
+		if !e.seeded[k] {
+			e.selPred[k] = obs
+			e.seeded[k] = true
+		} else {
+			e.selPred[k] = e.cfg.Alpha*obs + (1-e.cfg.Alpha)*e.selPred[k]
+		}
+	}
+}
+
+// Snapshot refreshes the selectivity estimates and returns an immutable
+// copy of all statistics as of now.
+func (e *Estimator) Snapshot(now event.Time) *Snapshot {
+	e.refreshSelectivities()
+	n := e.pat.NumPositions()
+	s := NewSnapshot(n)
+	e.version++
+	s.Version = e.version
+	for i := 0; i < n; i++ {
+		s.Rates[i] = e.ehs[i].Rate(now)
+	}
+	for i := 0; i < n; i++ {
+		for _, k := range e.pat.PredsAt(i) {
+			s.Sel[i][i] *= e.selPred[k]
+		}
+		for j := i + 1; j < n; j++ {
+			v := 1.0
+			for _, k := range e.pat.PredsBetween(i, j) {
+				v *= e.selPred[k]
+			}
+			s.SetSym(i, j, v)
+		}
+	}
+	return s
+}
+
+// PredSelectivity exposes the current smoothed estimate for predicate k
+// (index into the pattern's Preds); for tests and introspection.
+func (e *Estimator) PredSelectivity(k int) float64 { return e.selPred[k] }
+
+// Window returns the statistics window in effect.
+func (e *Estimator) Window() event.Time { return e.cfg.Window }

@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"acep/internal/event"
+	"acep/internal/pattern"
+)
+
+// Exact computes a precise Snapshot from a finite slice of events, with
+// rates measured over the span of the slice and selectivities evaluated
+// exhaustively over all event pairs. It is the ground truth against which
+// the streaming estimators are tested, and a convenient way to seed an
+// engine with a-priori statistics.
+//
+// Events need not be sorted. An empty slice yields zero rates and unit
+// selectivities.
+func Exact(pat *pattern.Pattern, events []event.Event) *Snapshot {
+	n := pat.NumPositions()
+	s := NewSnapshot(n)
+	if len(events) == 0 {
+		return s
+	}
+	minTS, maxTS := events[0].TS, events[0].TS
+	byPos := make([][]*event.Event, n)
+	for idx := range events {
+		ev := &events[idx]
+		if ev.TS < minTS {
+			minTS = ev.TS
+		}
+		if ev.TS > maxTS {
+			maxTS = ev.TS
+		}
+		for i, pos := range pat.Positions {
+			if pos.Type == ev.Type {
+				byPos[i] = append(byPos[i], ev)
+			}
+		}
+	}
+	span := float64(maxTS-minTS) / float64(event.Second)
+	if span <= 0 {
+		span = 1
+	}
+	for i := 0; i < n; i++ {
+		s.Rates[i] = float64(len(byPos[i])) / span
+	}
+	selOf := func(k int) float64 {
+		pr := &pat.Preds[k]
+		var pass, total int
+		if pr.IsUnary() {
+			for _, ev := range byPos[pr.L] {
+				total++
+				if pr.Eval(ev, nil) {
+					pass++
+				}
+			}
+		} else {
+			for _, el := range byPos[pr.L] {
+				for _, er := range byPos[pr.R] {
+					total++
+					if pr.Eval(el, er) {
+						pass++
+					}
+				}
+			}
+		}
+		if total == 0 {
+			return 1
+		}
+		return float64(pass) / float64(total)
+	}
+	for i := 0; i < n; i++ {
+		for _, k := range pat.PredsAt(i) {
+			s.Sel[i][i] *= selOf(k)
+		}
+		for j := i + 1; j < n; j++ {
+			v := 1.0
+			for _, k := range pat.PredsBetween(i, j) {
+				v *= selOf(k)
+			}
+			s.SetSym(i, j, v)
+		}
+	}
+	return s
+}

@@ -1,0 +1,47 @@
+package stats
+
+import "acep/internal/event"
+
+// sampleRing keeps the most recent events observed for one pattern
+// position. Selectivity estimation evaluates predicates over pairs drawn
+// from two rings; keeping the latest events (rather than a uniform
+// reservoir) matches the sliding-window spirit of the other estimators
+// and is deterministic, which the tests rely on.
+type sampleRing struct {
+	buf  []event.Event
+	next int
+	full bool
+}
+
+func newSampleRing(capacity int) *sampleRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &sampleRing{buf: make([]event.Event, capacity)}
+}
+
+// add records an event (copied by value).
+func (r *sampleRing) add(ev *event.Event) {
+	r.buf[r.next] = *ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// len reports how many events are currently held.
+func (r *sampleRing) len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// at returns the i-th held event (0 <= i < len), oldest first.
+func (r *sampleRing) at(i int) *event.Event {
+	if !r.full {
+		return &r.buf[i]
+	}
+	return &r.buf[(r.next+i)%len(r.buf)]
+}

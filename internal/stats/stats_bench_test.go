@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"testing"
+
+	"acep/internal/event"
+)
+
+// BenchmarkEHAdd measures the per-event cost of the sliding-window
+// counter (paid once per event per pattern position).
+func BenchmarkEHAdd(b *testing.B) {
+	h, _ := NewEH(10*event.Second, 0.05)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Add(event.Time(i))
+	}
+}
+
+// BenchmarkEHCount measures the windowed-count estimate.
+func BenchmarkEHCount(b *testing.B) {
+	h, _ := NewEH(10*event.Second, 0.05)
+	for i := 0; i < 100000; i++ {
+		h.Add(event.Time(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if h.Count(100000) < 0 {
+			b.Fatal("negative count")
+		}
+	}
+}
+
+// BenchmarkSnapshot measures a full statistics refresh (selectivity
+// re-evaluation over the sample rings plus rate reads) — the per-check
+// cost of the adaptation loop's statistics component.
+func BenchmarkSnapshot(b *testing.B) {
+	s := estSchema()
+	pat := estPattern(s)
+	e, _ := NewEstimator(pat, Config{})
+	var seq uint64
+	for ts := event.Time(0); ts < 10000; ts += 5 {
+		for typ := 0; typ < 3; typ++ {
+			ev := s.MustNew(typ, ts, float64(ts%7))
+			seq++
+			ev.Seq = seq
+			e.Observe(&ev)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if snap := e.Snapshot(10000); snap == nil {
+			b.Fatal("nil snapshot")
+		}
+	}
+}
+
+// BenchmarkObserve measures the per-event estimator cost.
+func BenchmarkObserve(b *testing.B) {
+	s := estSchema()
+	pat := estPattern(s)
+	e, _ := NewEstimator(pat, Config{})
+	ev := s.MustNew(0, 1, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev.TS = event.Time(i)
+		e.Observe(&ev)
+	}
+}

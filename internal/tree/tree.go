@@ -1,0 +1,270 @@
+// Package tree implements the tree-based evaluation engine of the
+// ZStream model (paper ref [42], Figure 3). Arriving events accumulate at
+// the leaves of a TreePlan; each internal node stores the partial matches
+// (tuples) over its leaf set, and a new tuple at a node immediately joins
+// against its sibling's store, propagating matches bottom-up until the
+// root emits core-complete matches. The topology of the internal nodes —
+// chosen by the ZStream planner from the current statistics — determines
+// the order in which predicates are applied and therefore the volume of
+// intermediate tuples.
+package tree
+
+import (
+	"acep/internal/event"
+	"acep/internal/match"
+	"acep/internal/nfa"
+	"acep/internal/pattern"
+	"acep/internal/plan"
+)
+
+// Stats is identical in meaning to the NFA engine's counters; tuples
+// stored at tree nodes play the role of partial matches.
+type Stats = nfa.Stats
+
+// tuple is a partial match over one node's leaf set.
+type tuple struct {
+	evs          []*event.Event // by pattern position
+	minTS, maxTS event.Time
+}
+
+// node mirrors a plan.TreeNode with evaluation state.
+type node struct {
+	leaf            bool
+	pos             int // pattern position when leaf
+	left, right     *node
+	parent, sibling *node
+	store           []*tuple
+}
+
+// Engine is a tree-based evaluation engine for one (non-OR) pattern and
+// one tree plan.
+type Engine struct {
+	pat *pattern.Pattern
+	tp  *plan.TreePlan
+	res *match.Resolver
+
+	root      *node
+	leafByPos []*node // pattern position -> leaf node (nil for residuals)
+
+	watermark  event.Time
+	lastPrune  event.Time
+	emitBefore uint64
+
+	pmCreated  uint64
+	predEvals  uint64
+	suppressed uint64
+	live       int
+	peak       int
+}
+
+// New builds an engine for the pattern following the given tree plan.
+func New(pat *pattern.Pattern, tp *plan.TreePlan, emit func(*match.Match)) *Engine {
+	g := &Engine{
+		pat:       pat,
+		tp:        tp,
+		res:       match.NewResolver(pat, emit),
+		leafByPos: make([]*node, pat.NumPositions()),
+	}
+	g.root = g.build(tp.Root, nil)
+	return g
+}
+
+func (g *Engine) build(pn *plan.TreeNode, parent *node) *node {
+	n := &node{parent: parent}
+	if pn.IsLeaf() {
+		n.leaf = true
+		n.pos = pn.Pos
+		g.leafByPos[pn.Pos] = n
+		return n
+	}
+	n.pos = -1
+	n.left = g.build(pn.Left, n)
+	n.right = g.build(pn.Right, n)
+	n.left.sibling = n.right
+	n.right.sibling = n.left
+	return n
+}
+
+// Resolver exposes the residual resolver (for migration seeding).
+func (g *Engine) Resolver() *match.Resolver { return g.res }
+
+// SetEmitOnlyBefore restricts emission to matches containing at least one
+// core event with Seq < seq (old-plan side of plan migration).
+func (g *Engine) SetEmitOnlyBefore(seq uint64) { g.emitBefore = seq }
+
+// Plan returns the tree plan in effect.
+func (g *Engine) Plan() plan.Plan { return g.tp }
+
+// Advance moves the watermark forward, resolving parked matches and
+// periodically pruning expired tuples.
+func (g *Engine) Advance(ts event.Time) {
+	if ts < g.watermark {
+		return
+	}
+	g.watermark = ts
+	g.res.Advance(ts)
+	if ts-g.lastPrune >= g.pat.Window/2 {
+		g.pruneNode(g.root)
+		g.lastPrune = ts
+	}
+}
+
+func (g *Engine) pruneNode(n *node) {
+	if n == nil {
+		return
+	}
+	kept := n.store[:0]
+	for _, t := range n.store {
+		if g.watermark-t.minTS <= g.pat.Window {
+			kept = append(kept, t)
+		}
+	}
+	for i := len(kept); i < len(n.store); i++ {
+		n.store[i] = nil
+	}
+	g.live -= len(n.store) - len(kept)
+	n.store = kept
+	g.pruneNode(n.left)
+	g.pruneNode(n.right)
+}
+
+// Process feeds one input event (non-decreasing timestamps).
+func (g *Engine) Process(e *event.Event) {
+	if e.TS > g.watermark {
+		g.Advance(e.TS)
+	}
+	for p, pos := range g.pat.Positions {
+		if pos.Type != e.Type {
+			continue
+		}
+		leaf := g.leafByPos[p]
+		if leaf == nil {
+			continue // residual position
+		}
+		if !match.UnaryOK(g.pat, p, e, &g.predEvals) {
+			continue
+		}
+		t := &tuple{
+			evs:   make([]*event.Event, len(g.pat.Positions)),
+			minTS: e.TS,
+			maxTS: e.TS,
+		}
+		t.evs[p] = e
+		g.pmCreated++
+		g.insert(leaf, t)
+	}
+	if g.res.HasResiduals() {
+		g.res.Observe(e)
+	}
+}
+
+// insert adds a tuple at a node, emits if the node is the root, and
+// otherwise joins it against the sibling's store, pushing combined tuples
+// to the parent.
+func (g *Engine) insert(n *node, t *tuple) {
+	if n == g.root {
+		g.complete(t)
+		return
+	}
+	n.store = append(n.store, t)
+	g.live++
+	if g.live > g.peak {
+		g.peak = g.live
+	}
+	sib := n.sibling
+	list := sib.store
+	for i := 0; i < len(list); {
+		s := list[i]
+		if g.watermark-s.minTS > g.pat.Window {
+			list[i] = list[len(list)-1]
+			list[len(list)-1] = nil
+			list = list[:len(list)-1]
+			g.live--
+			continue
+		}
+		if g.joinOK(t, s) {
+			g.pmCreated++
+			g.insert(n.parent, merge(t, s))
+		}
+		i++
+	}
+	sib.store = list
+}
+
+// joinOK checks all cross pairs between the two tuples' assigned events.
+func (g *Engine) joinOK(a, b *tuple) bool {
+	if dt := a.maxTS - b.minTS; dt > g.pat.Window {
+		return false
+	}
+	if dt := b.maxTS - a.minTS; dt > g.pat.Window {
+		return false
+	}
+	for p, pe := range a.evs {
+		if pe == nil {
+			continue
+		}
+		for q, qe := range b.evs {
+			if qe == nil {
+				continue
+			}
+			if !match.PairOK(g.pat, g.pat.Window, p, pe, q, qe, &g.predEvals) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func merge(a, b *tuple) *tuple {
+	m := &tuple{
+		evs:   append([]*event.Event(nil), a.evs...),
+		minTS: a.minTS,
+		maxTS: a.maxTS,
+	}
+	for p, qe := range b.evs {
+		if qe != nil {
+			m.evs[p] = qe
+		}
+	}
+	if b.minTS < m.minTS {
+		m.minTS = b.minTS
+	}
+	if b.maxTS > m.maxTS {
+		m.maxTS = b.maxTS
+	}
+	return m
+}
+
+func (g *Engine) complete(t *tuple) {
+	if g.emitBefore > 0 {
+		old := false
+		for _, ev := range t.evs {
+			if ev != nil && ev.Seq < g.emitBefore {
+				old = true
+				break
+			}
+		}
+		if !old {
+			g.suppressed++
+			return
+		}
+	}
+	g.res.OnCoreComplete(t.evs, g.watermark)
+}
+
+// Finish force-resolves all parked matches.
+func (g *Engine) Finish() { g.res.Flush() }
+
+// Stats returns a snapshot of the engine's counters.
+func (g *Engine) Stats() Stats {
+	return Stats{
+		PMCreated:  g.pmCreated,
+		PredEvals:  g.predEvals + g.res.PredEvals,
+		Emitted:    g.res.Emitted,
+		Dropped:    g.res.Dropped,
+		Suppressed: g.suppressed,
+		LivePMs:    g.live,
+		PeakPMs:    g.peak,
+		Pending:    g.res.PendingCount(),
+	}
+}

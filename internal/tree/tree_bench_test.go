@@ -1,0 +1,38 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+
+	"acep/internal/match"
+	"acep/internal/plan"
+)
+
+// BenchmarkProcess measures tree-engine event processing under a
+// rare-first versus frequent-first join order.
+func BenchmarkProcess(b *testing.B) {
+	s := mkSchema(4)
+	pat := seqChainPattern(s, 4, 100)
+	r := rand.New(rand.NewSource(1))
+	evs := genStream(r, s, []int{12, 6, 2, 1}, 50000, 3, 2)
+	shapes := []struct {
+		name string
+		tp   *plan.TreePlan
+	}{
+		{"rare-first", plan.NewTreePlan(plan.Join(plan.Join(plan.Join(plan.Leaf(3), plan.Leaf(2)), plan.Leaf(1)), plan.Leaf(0)))},
+		{"frequent-first", plan.NewTreePlan(plan.Join(plan.Join(plan.Join(plan.Leaf(0), plan.Leaf(1)), plan.Leaf(2)), plan.Leaf(3)))},
+	}
+	for _, tc := range shapes {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := New(pat, tc.tp, func(*match.Match) {})
+				for j := range evs {
+					g.Process(&evs[j])
+				}
+				g.Finish()
+			}
+			b.SetBytes(int64(len(evs)))
+		})
+	}
+}
