@@ -49,6 +49,7 @@ import (
 	"acep/internal/match"
 	"acep/internal/pattern"
 	"acep/internal/sase"
+	"acep/internal/shard"
 	"acep/internal/stats"
 )
 
@@ -147,6 +148,51 @@ func ParsePattern(s *Schema, src string) (*Pattern, error) { return sase.Parse(s
 
 // NewEngine builds an adaptive engine for the pattern.
 func NewEngine(p *Pattern, cfg Config) (*Engine, error) { return engine.New(p, cfg) }
+
+// Sharded parallel execution: the input stream is partitioned by a key,
+// each shard runs a fully independent adaptive engine on its own
+// goroutine (own plan, statistics and invariants — the paper's method
+// applies per partition, §7), and matches merge back into one
+// deterministic, detection-ordered output. See DESIGN.md ("Sharded
+// execution") for the architecture and ordering guarantees.
+type (
+	// ShardedEngine is the key-partitioned parallel engine.
+	ShardedEngine = shard.Engine
+	// ShardedConfig tunes partitioning, batching and match delivery.
+	ShardedConfig = shard.Options
+	// ShardKeyFunc extracts an event's partition key.
+	ShardKeyFunc = shard.KeyFunc
+)
+
+// NewShardedEngine builds a sharded adaptive engine. cfg configures every
+// shard's engine identically (leave Policy nil; set NewPolicy for a
+// non-default policy so each shard adapts independently); sc selects the
+// partition key — either a named attribute validated for partitionability
+// (KeyAttr + Schema) or a custom extractor (Key) — and receives the
+// merged matches through sc.OnMatch.
+//
+//	eng, err := acep.NewShardedEngine(pattern, acep.Config{}, acep.ShardedConfig{
+//		Shards:  8,
+//		KeyAttr: "person_id",
+//		Schema:  schema,
+//		OnMatch: func(m *acep.Match) { ... },
+//	})
+func NewShardedEngine(p *Pattern, cfg Config, sc ShardedConfig) (*ShardedEngine, error) {
+	return shard.New(p, cfg, sc)
+}
+
+// ShardKeyByAttr builds a key extractor for the named attribute, which
+// every event type in the schema must carry.
+func ShardKeyByAttr(s *Schema, attr string) (ShardKeyFunc, error) {
+	return shard.ByAttrName(s, attr)
+}
+
+// ShardPartitionable reports whether the pattern can be detected
+// shard-locally when partitioned by the named attribute: equality-on-key
+// predicates must connect every pattern position.
+func ShardPartitionable(p *Pattern, s *Schema, attr string) error {
+	return shard.Partitionable(p, s, attr)
+}
 
 // NewStaticPolicy returns the no-adaptation baseline: the initial plan is
 // kept forever.

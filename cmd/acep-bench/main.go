@@ -11,6 +11,12 @@
 // Experiment ids follow the paper: fig5, table1, fig6..fig9 (main
 // method comparison per dataset-algorithm combo), fig10..fig29 (appendix:
 // per pattern set). See DESIGN.md for the full index.
+//
+// Beyond the paper, scale-traffic and scale-stocks measure the sharded
+// execution layer's throughput against shard count on keyed workloads:
+//
+//	acep-bench -exp scale-traffic -shards 8 -batch 512
+//	acep-bench -exp scale-traffic -json BENCH_scaling.json
 package main
 
 import (
@@ -33,11 +39,14 @@ func main() {
 		window = flag.Int64("window", 0, "pattern window in logical ms (default 100)")
 		check  = flag.Int("check", 0, "adaptation check interval in events (default 500)")
 		sizes  = flag.String("sizes", "", "comma-separated pattern sizes (default 3..8)")
+		shards = flag.Int("shards", 0, "max shard count for scale-* experiments (sweeps powers of two; default 8)")
+		batch  = flag.Int("batch", 0, "events per shard handoff batch for scale-* experiments (0 = default)")
+		jsonMD = flag.String("json", "", "append scale-* results to this BENCH_*.json trajectory file")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, id := range bench.ExperimentIDs() {
+		for _, id := range append(bench.ExperimentIDs(), bench.ScalingIDs()...) {
 			fmt.Println(id)
 		}
 		return
@@ -68,17 +77,56 @@ func main() {
 			sc.Sizes = append(sc.Sizes, v)
 		}
 	}
-	r := bench.NewRunner(bench.NewHarness(sc))
+	h := bench.NewHarness(sc)
+	r := bench.NewRunner(h)
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = bench.ExperimentIDs()
+		ids = append(bench.ExperimentIDs(), bench.ScalingIDs()...)
 	}
 	for _, id := range ids {
 		fmt.Printf("=== %s ===\n", id)
-		if err := r.Run(os.Stdout, id); err != nil {
+		if isScaling(id) {
+			if err := runScaling(h, id, *shards, *batch, *jsonMD); err != nil {
+				fmt.Fprintf(os.Stderr, "acep-bench: %v\n", err)
+				os.Exit(1)
+			}
+		} else if err := r.Run(os.Stdout, id); err != nil {
 			fmt.Fprintf(os.Stderr, "acep-bench: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println()
 	}
+}
+
+func isScaling(id string) bool {
+	for _, sid := range bench.ScalingIDs() {
+		if id == sid {
+			return true
+		}
+	}
+	return false
+}
+
+// runScaling executes one scale-* experiment with the CLI's shard sweep
+// and batch size, printing the table and optionally appending the run to
+// a BENCH_*.json trajectory.
+func runScaling(h *bench.Harness, id string, maxShards, batch int, jsonPath string) error {
+	if maxShards <= 0 {
+		maxShards = 8
+	}
+	dataset := strings.TrimPrefix(id, "scale-")
+	d, err := h.Scaling(dataset, bench.ShardCountsUpTo(maxShards), batch)
+	if err != nil {
+		return err
+	}
+	d.Write(os.Stdout)
+	if jsonPath == "" {
+		return nil
+	}
+	f, err := os.OpenFile(jsonPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return d.WriteJSON(f)
 }

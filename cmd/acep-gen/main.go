@@ -22,6 +22,7 @@ func main() {
 		types   = flag.Int("types", 10, "number of event types")
 		seed    = flag.Int64("seed", 1, "generator seed")
 		shifts  = flag.Int("shifts", 3, "extreme regime shifts (traffic only)")
+		keys    = flag.Int("keys", 0, "distinct partition-key values in a \"key\" attribute (0 = no key; keyed workloads build shardable patterns for acep-run -shards)")
 		out     = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
@@ -30,11 +31,11 @@ func main() {
 	switch *dataset {
 	case "traffic":
 		w = gen.Traffic(gen.TrafficConfig{
-			Types: *types, Events: *events, Seed: *seed, Shifts: *shifts,
+			Types: *types, Events: *events, Seed: *seed, Shifts: *shifts, Keys: *keys,
 		})
 	case "stocks":
 		w = gen.Stocks(gen.StocksConfig{
-			Types: *types, Events: *events, Seed: *seed,
+			Types: *types, Events: *events, Seed: *seed, Keys: *keys,
 		})
 	default:
 		fmt.Fprintf(os.Stderr, "acep-gen: unknown dataset %q (want traffic or stocks)\n", *dataset)

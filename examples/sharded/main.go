@@ -1,0 +1,80 @@
+// Sharded: key-partitioned parallel detection. The stream carries a
+// partition key (think vehicle id); the pattern joins its events on that
+// key, so it is key-partitionable and the sharded engine can split the
+// stream across one fully independent adaptive engine per shard — each
+// with its own plan, statistics and invariants — while still producing
+// exactly the single-threaded match set, delivered in deterministic
+// detection order. The demo runs 1, 2, 4 and GOMAXPROCS shards on the
+// identical keyed traffic stream and prints throughput, speedup and the
+// per-shard replan counts (shards adapt independently, so they may
+// replan at different times and settle on different plans).
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"acep"
+)
+
+func main() {
+	w := acep.NewTrafficWorkload(acep.TrafficConfig{
+		Types:  8,
+		Events: 200000,
+		Seed:   42,
+		Shifts: 3,
+		Keys:   32, // 32 distinct vehicles → a "key" attribute on every event
+	})
+	pat, err := w.Pattern(acep.SequencePatterns, 4, 2*acep.Second)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("pattern:", pat)
+	if err := acep.ShardPartitionable(pat, w.Schema, "key"); err != nil {
+		panic(err) // keyed workload patterns join on "key", so this holds
+	}
+	fmt.Printf("stream: %d events, %d vehicles, %d cores\n\n",
+		len(w.Events), 32, runtime.GOMAXPROCS(0))
+
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	var base float64
+	var baseMatches uint64
+	for _, shards := range counts {
+		var matches uint64
+		eng, err := acep.NewShardedEngine(pat, acep.Config{}, acep.ShardedConfig{
+			Shards:  shards,
+			Batch:   512,
+			KeyAttr: "key",
+			Schema:  w.Schema,
+			OnMatch: func(*acep.Match) { matches++ },
+		})
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		for i := range w.Events {
+			eng.Process(&w.Events[i])
+		}
+		eng.Finish()
+		elapsed := time.Since(start)
+		tp := float64(len(w.Events)) / elapsed.Seconds()
+		if base == 0 {
+			base, baseMatches = tp, matches
+		}
+		var replans []uint64
+		for _, sm := range eng.ShardMetrics() {
+			replans = append(replans, sm.Reoptimizations)
+		}
+		fmt.Printf("shards=%-2d  %9.0f ev/s  speedup=%.2fx  matches=%d  replans/shard=%v\n",
+			shards, tp, tp/base, matches, replans)
+		if matches != baseMatches {
+			panic("sharding changed the match set")
+		}
+	}
+	fmt.Println("\nEvery shard count detects the identical match set; with more cores,")
+	fmt.Println("throughput scales until a shard's key group dominates the stream.")
+}

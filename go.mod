@@ -1,0 +1,3 @@
+module acep
+
+go 1.24

@@ -72,6 +72,10 @@ type Scale struct {
 	CheckEvery int
 	// Types is the number of event types in the generated workloads.
 	Types int
+	// Keys is the number of distinct partition keys in the keyed workload
+	// variants used by the shard-scaling experiment (0 picks a per-dataset
+	// default tuned for nonzero match counts; see KeyedWorkload).
+	Keys int
 }
 
 // DefaultScale returns the scaled-down defaults used by `go test -bench`.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"acep/internal/gen"
 )
@@ -41,7 +42,9 @@ func specs() []experimentSpec {
 	return out
 }
 
-// ExperimentIDs lists every runnable experiment id.
+// ExperimentIDs lists every runnable paper experiment id (the tables and
+// figures of the paper's evaluation). The shard-scaling experiments are
+// listed separately by ScalingIDs.
 func ExperimentIDs() []string {
 	var ids []string
 	for _, s := range specs() {
@@ -50,6 +53,10 @@ func ExperimentIDs() []string {
 	sort.Strings(ids)
 	return ids
 }
+
+// ScalingIDs lists the shard-scaling experiments of the parallel
+// execution layer (not part of the paper's figure set).
+func ScalingIDs() []string { return []string{"scale-traffic", "scale-stocks"} }
 
 // tuned caches per-combo tuning (d_opt from the Figure 5 sweep, t_opt
 // from the threshold scan) and the full method-comparison data so the
@@ -90,8 +97,21 @@ func (r *Runner) tune(c Combo) (*tuned, error) {
 	return t, nil
 }
 
-// Run executes one experiment id and writes its tables to w.
+// Run executes one experiment id and writes its tables to w. Scaling
+// experiments run with the default shard sweep and batch size; use
+// Harness.Scaling directly (cmd/acep-bench does) to control both.
 func (r *Runner) Run(w io.Writer, id string) error {
+	for _, sid := range ScalingIDs() {
+		if id != sid {
+			continue
+		}
+		d, err := r.H.Scaling(strings.TrimPrefix(id, "scale-"), DefaultShardCounts(), 0)
+		if err != nil {
+			return err
+		}
+		d.Write(w)
+		return nil
+	}
 	for _, spec := range specs() {
 		if spec.id != id {
 			continue

@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"acep/internal/core"
+	"acep/internal/engine"
+	"acep/internal/gen"
+	"acep/internal/match"
+	"acep/internal/pattern"
+	"acep/internal/shard"
+	"acep/internal/stats"
+)
+
+// DefaultShardCounts is the shard sweep of the scaling experiment.
+func DefaultShardCounts() []int { return []int{1, 2, 4, 8} }
+
+// ShardCountsUpTo returns the powers of two up to max (inclusive of max
+// itself when it is not a power of two).
+func ShardCountsUpTo(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	var out []int
+	for n := 1; n <= max; n *= 2 {
+		out = append(out, n)
+	}
+	if out[len(out)-1] != max {
+		out = append(out, max)
+	}
+	return out
+}
+
+// ScalingPoint is one measured shard count.
+type ScalingPoint struct {
+	Shards     int     `json:"shards"`
+	Throughput float64 `json:"events_per_sec"`
+	Speedup    float64 `json:"speedup"` // vs the 1-shard sharded baseline
+	Matches    uint64  `json:"matches"`
+	Reopts     uint64  `json:"reopts"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+}
+
+// ScalingData is the throughput-vs-shard-count experiment of the sharded
+// execution layer, run on a keyed variant of one of the two workloads.
+// Recorded runs accrue in BENCH_scaling.json so the scaling trajectory is
+// tracked across changes.
+type ScalingData struct {
+	Dataset string         `json:"dataset"`
+	Events  int            `json:"events"`
+	Keys    int            `json:"keys"`
+	Batch   int            `json:"batch"`
+	Cores   int            `json:"cores"`
+	Points  []ScalingPoint `json:"points"`
+}
+
+// KeyedWorkload returns (and caches) the keyed variant of a dataset: the
+// same generator regime plus a partition-key attribute, so patterns built
+// over it carry equality-on-key predicates and shard exactly.
+func (h *Harness) KeyedWorkload(dataset string) *gen.Workload {
+	name := "keyed/" + dataset
+	if w, ok := h.workloads[name]; ok {
+		return w
+	}
+	keys := h.Scale.Keys
+	if keys <= 0 {
+		// Per-dataset defaults chosen so the size-4 keyed sequence pattern
+		// actually fires at default scale: the traffic regime's Zipf skew
+		// makes same-key chains far rarer than the stocks regime's
+		// near-uniform rates.
+		keys = 32
+		if dataset == "traffic" {
+			keys = 8
+		}
+	}
+	var w *gen.Workload
+	switch dataset {
+	case "traffic":
+		w = gen.Traffic(gen.TrafficConfig{
+			Types: h.Scale.Types, Events: h.Scale.Events, Seed: h.Scale.Seed,
+			MeanGap: 2, Skew: 1.2, Shifts: 3, Keys: keys,
+		})
+	case "stocks":
+		w = gen.Stocks(gen.StocksConfig{
+			Types: h.Scale.Types, Events: h.Scale.Events, Seed: h.Scale.Seed,
+			MeanGap: 2, DriftEvery: 400, DriftMag: 0.12, Keys: keys,
+		})
+	default:
+		panic("bench: unknown dataset " + dataset)
+	}
+	h.workloads[name] = w
+	return w
+}
+
+// Scaling measures events/sec of the sharded engine over the shard-count
+// sweep on the keyed dataset, with a size-4 keyed sequence pattern and
+// the invariant policy per shard. batch <= 0 uses the shard layer's
+// default. Every shard count processes the identical event sequence and
+// must produce the identical match count (verified; a mismatch is an
+// error, not a data point).
+func (h *Harness) Scaling(dataset string, shardCounts []int, batch int) (*ScalingData, error) {
+	if len(shardCounts) == 0 {
+		shardCounts = DefaultShardCounts()
+	}
+	w := h.KeyedWorkload(dataset)
+	// The window is wider than the paper experiments': equality-on-key
+	// prunes partial matches so hard that same-key sequences need a longer
+	// horizon to occur at all.
+	pat, err := w.Pattern(gen.Sequence, 4, h.Scale.Window*16)
+	if err != nil {
+		return nil, err
+	}
+	keys := w.Keys
+	data := &ScalingData{
+		Dataset: dataset,
+		Events:  len(w.Events),
+		Keys:    keys,
+		Batch:   batch,
+		Cores:   runtime.NumCPU(),
+	}
+	initial := stats.Exact(pat, w.Events[:len(w.Events)/20+1])
+	for _, n := range shardCounts {
+		var matches uint64
+		eng, err := shard.New(pat, engine.Config{
+			CheckEvery:   h.Scale.CheckEvery,
+			NewPolicy:    func() core.Policy { return &core.Invariant{} },
+			InitialStats: func(*pattern.Pattern) *stats.Snapshot { return initial },
+		}, shard.Options{
+			Shards:  n,
+			Batch:   batch,
+			KeyAttr: "key",
+			Schema:  w.Schema,
+			OnMatch: func(*match.Match) { matches++ },
+		})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for i := range w.Events {
+			eng.Process(&w.Events[i])
+		}
+		eng.Finish()
+		elapsed := time.Since(start)
+		m := eng.Metrics()
+		p := ScalingPoint{
+			Shards:     n,
+			Throughput: float64(len(w.Events)) / elapsed.Seconds(),
+			Matches:    matches,
+			Reopts:     m.Reoptimizations,
+			ElapsedMS:  float64(elapsed.Microseconds()) / 1000,
+		}
+		if len(data.Points) > 0 {
+			if p.Matches != data.Points[0].Matches {
+				return nil, fmt.Errorf("bench: scaling %s shards=%d found %d matches, baseline found %d — sharding changed the match set",
+					dataset, n, p.Matches, data.Points[0].Matches)
+			}
+			p.Speedup = p.Throughput / data.Points[0].Throughput
+		} else {
+			p.Speedup = 1
+		}
+		data.Points = append(data.Points, p)
+	}
+	return data, nil
+}
+
+// Write prints the scaling table.
+func (d *ScalingData) Write(w io.Writer) {
+	fmt.Fprintf(w, "Shard scaling — %s workload, %d events, %d keys, %d cores\n",
+		d.Dataset, d.Events, d.Keys, d.Cores)
+	fmt.Fprintf(w, "%-8s%14s%10s%10s%10s\n", "shards", "events/sec", "speedup", "matches", "reopts")
+	for _, p := range d.Points {
+		fmt.Fprintf(w, "%-8d%14.0f%9.2fx%10d%10d\n", p.Shards, p.Throughput, p.Speedup, p.Matches, p.Reopts)
+	}
+}
+
+// WriteJSON appends the run to a BENCH_*.json trajectory (one JSON object
+// per invocation).
+func (d *ScalingData) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

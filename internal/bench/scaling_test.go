@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestShardCountsUpTo(t *testing.T) {
+	cases := map[int][]int{
+		1: {1},
+		4: {1, 2, 4},
+		6: {1, 2, 4, 6},
+		8: {1, 2, 4, 8},
+	}
+	for max, want := range cases {
+		got := ShardCountsUpTo(max)
+		if len(got) != len(want) {
+			t.Fatalf("max=%d: %v", max, got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("max=%d: %v", max, got)
+			}
+		}
+	}
+}
+
+func TestScalingExperiment(t *testing.T) {
+	sc := tinyScale()
+	sc.Keys = 8
+	h := NewHarness(sc)
+	d, err := h.Scaling("traffic", []int{1, 2}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Points) != 2 {
+		t.Fatalf("%d points", len(d.Points))
+	}
+	if d.Points[0].Shards != 1 || d.Points[0].Speedup != 1 {
+		t.Fatalf("baseline point wrong: %+v", d.Points[0])
+	}
+	if d.Points[1].Matches != d.Points[0].Matches {
+		t.Fatal("match counts diverged across shard counts")
+	}
+	if d.Points[1].Throughput <= 0 || d.Points[1].Speedup <= 0 {
+		t.Fatalf("bad point %+v", d.Points[1])
+	}
+	var buf bytes.Buffer
+	d.Write(&buf)
+	if !strings.Contains(buf.String(), "Shard scaling") {
+		t.Fatal("missing table header")
+	}
+	buf.Reset()
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"events_per_sec\"") {
+		t.Fatal("missing JSON field")
+	}
+	// The registry must route the scaling ids.
+	r := NewRunner(h)
+	buf.Reset()
+	if err := r.Run(&buf, "scale-traffic"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "traffic workload") {
+		t.Fatal("registry scaling output wrong")
+	}
+	// Keyed workloads are cached.
+	if h.KeyedWorkload("traffic") != h.KeyedWorkload("traffic") {
+		t.Fatal("keyed workload not cached")
+	}
+	// Stocks path also runs.
+	if _, err := h.Scaling("stocks", []int{1}, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"acep/internal/core"
 	"acep/internal/event"
@@ -18,6 +19,10 @@ import (
 type Multi struct {
 	engines []*Engine
 	names   []string
+	// mu serializes the Multi-level onMatch callback, which is shared by
+	// every pattern's engine and therefore contended when the patterns run
+	// on separate goroutines (Feeder). Uncontended in serial mode.
+	mu sync.Mutex
 }
 
 // MultiSpec declares one pattern of a Multi engine.
@@ -62,7 +67,9 @@ func NewMulti(specs []MultiSpec, onMatch func(MultiMatch)) (*Multi, error) {
 				if inner != nil {
 					inner(mt)
 				}
+				m.mu.Lock()
 				onMatch(MultiMatch{Pattern: name, Match: mt})
+				m.mu.Unlock()
 			}
 		}
 		e, err := New(spec.Pattern, cfg)
@@ -105,6 +112,98 @@ func (m *Multi) Plans() map[string][]plan.Plan {
 		out[m.names[i]] = e.CurrentPlans()
 	}
 	return out
+}
+
+// Feeder fans one input stream across the Multi's patterns, one worker
+// goroutine per pattern, handing events over in shared read-only batches
+// to amortize synchronization. Independent patterns need no cross-pattern
+// ordering, so unlike the shard layer there is no merge barrier: each
+// engine consumes the stream at its own pace and per-pattern match
+// callbacks fire on that pattern's goroutine (serially per pattern). The
+// Multi-level callback passed to NewMulti is internally serialized and
+// may be shared as-is.
+//
+// Use one Feeder per stream pass:
+//
+//	f := m.Feeder(256)
+//	for i := range events {
+//		f.Process(&events[i])
+//	}
+//	f.Finish() // drains workers and finishes every engine
+//
+// Feeder.Finish replaces Multi.Finish; do not call both. Process and
+// Finish must be called from a single goroutine.
+type Feeder struct {
+	m     *Multi
+	chans []chan []event.Event
+	buf   []event.Event
+	batch int
+	wg    sync.WaitGroup
+	done  bool
+}
+
+// Feeder starts one worker goroutine per pattern and returns the
+// ingestion handle. batch is the number of events per handoff (default
+// 256 when <= 0).
+func (m *Multi) Feeder(batch int) *Feeder {
+	if batch <= 0 {
+		batch = 256
+	}
+	f := &Feeder{m: m, batch: batch}
+	for _, e := range m.engines {
+		ch := make(chan []event.Event, 4)
+		f.chans = append(f.chans, ch)
+		f.wg.Add(1)
+		go func(e *Engine, ch chan []event.Event) {
+			defer f.wg.Done()
+			for b := range ch {
+				for i := range b {
+					e.Process(&b[i])
+				}
+			}
+		}(e, ch)
+	}
+	return f
+}
+
+// Process buffers one event, dispatching the batch to every pattern's
+// worker when full.
+func (f *Feeder) Process(ev *event.Event) {
+	if f.done {
+		panic("engine: Feeder.Process after Finish")
+	}
+	f.buf = append(f.buf, *ev)
+	if len(f.buf) >= f.batch {
+		f.flush()
+	}
+}
+
+// flush hands the current batch (a single shared read-only slice) to all
+// workers.
+func (f *Feeder) flush() {
+	if len(f.buf) == 0 {
+		return
+	}
+	b := f.buf
+	f.buf = make([]event.Event, 0, f.batch)
+	for _, ch := range f.chans {
+		ch <- b
+	}
+}
+
+// Finish flushes the final partial batch, waits for every worker to
+// drain, and finishes every engine. Idempotent.
+func (f *Feeder) Finish() {
+	if f.done {
+		return
+	}
+	f.done = true
+	f.flush()
+	for _, ch := range f.chans {
+		close(ch)
+	}
+	f.wg.Wait()
+	f.m.Finish()
 }
 
 // defaultMultiPolicy keeps NewMulti convenient in tests and examples.

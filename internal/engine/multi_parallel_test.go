@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"acep/internal/core"
+	"acep/internal/gen"
+	"acep/internal/match"
+	"acep/internal/oracle"
+)
+
+// multiSpecs builds three independent patterns over one traffic stream.
+func multiSpecs(t *testing.T, w *gen.Workload) []MultiSpec {
+	t.Helper()
+	mk := func(kind gen.Kind) *MultiSpec {
+		pat, err := w.Pattern(kind, 3, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &MultiSpec{Pattern: pat, Config: Config{
+			CheckEvery: 300,
+			NewPolicy:  func() core.Policy { return &core.Invariant{} },
+		}}
+	}
+	seq, conj, neg := mk(gen.Sequence), mk(gen.Conjunction), mk(gen.Negation)
+	seq.Name, conj.Name, neg.Name = "seq", "conj", "neg"
+	return []MultiSpec{*seq, *conj, *neg}
+}
+
+// TestFeederMatchesSerial: the parallel Multi path must produce exactly
+// the serial path's per-pattern match sets.
+func TestFeederMatchesSerial(t *testing.T) {
+	w := gen.Traffic(TrafficSmall())
+
+	collect := func(parallel bool) map[string][]string {
+		got := map[string][]string{}
+		m, err := NewMulti(multiSpecs(t, w), func(mm MultiMatch) {
+			got[mm.Pattern] = append(got[mm.Pattern], mm.Match.Key())
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parallel {
+			f := m.Feeder(128)
+			for i := range w.Events {
+				f.Process(&w.Events[i])
+			}
+			f.Finish()
+			f.Finish() // idempotent
+		} else {
+			for i := range w.Events {
+				m.Process(&w.Events[i])
+			}
+			m.Finish()
+		}
+		for _, keys := range got {
+			sort.Strings(keys)
+		}
+		return got
+	}
+
+	serial := collect(false)
+	par := collect(true)
+	if len(serial) == 0 {
+		t.Fatal("no patterns matched; test is vacuous")
+	}
+	if !reflect.DeepEqual(serial, par) {
+		for name := range serial {
+			t.Logf("%s: serial %d parallel %d", name, len(serial[name]), len(par[name]))
+		}
+		t.Fatal("parallel Multi diverged from serial")
+	}
+}
+
+// TestFeederAgainstOracle ties the parallel path to ground truth on a
+// smaller stream, and checks per-pattern metrics survive the fan-out.
+func TestFeederAgainstOracle(t *testing.T) {
+	w := gen.Traffic(gen.TrafficConfig{Types: 6, Events: 1500, Seed: 77, Shifts: 1, MeanGap: 3})
+	specs := multiSpecs(t, w)
+
+	var matches []*match.Match
+	perPattern := map[string]int{}
+	m, err := NewMulti(specs, func(mm MultiMatch) {
+		matches = append(matches, mm.Match)
+		perPattern[mm.Pattern]++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Feeder(64)
+	for i := range w.Events {
+		f.Process(&w.Events[i])
+	}
+	f.Finish()
+
+	var want []string
+	for _, spec := range specs {
+		want = append(want, oracle.Keys(oracle.Matches(spec.Pattern, w.Events))...)
+	}
+	sort.Strings(want)
+	if got := oracle.Keys(matches); !reflect.DeepEqual(got, want) {
+		t.Fatalf("parallel Multi: %d matches, oracle %d", len(got), len(want))
+	}
+
+	met := m.Metrics()
+	if len(met) != 3 {
+		t.Fatalf("%d metric entries", len(met))
+	}
+	for name, em := range met {
+		if em.Events == 0 {
+			t.Fatalf("%s: no events counted", name)
+		}
+		if uint64(perPattern[name]) != em.Matches {
+			t.Fatalf("%s: callback saw %d matches, metrics say %d", name, perPattern[name], em.Matches)
+		}
+	}
+}

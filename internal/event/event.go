@@ -139,6 +139,15 @@ func (s *Schema) AttrIndex(typeID int, attr string) (int, bool) {
 	return 0, false
 }
 
+// Attrs returns a copy of the attribute names registered for the type,
+// in index order; nil if the type id is out of range.
+func (s *Schema) Attrs(typeID int) []string {
+	if typeID < 0 || typeID >= len(s.types) {
+		return nil
+	}
+	return append([]string(nil), s.types[typeID].Attrs...)
+}
+
 // NumAttrs reports the number of attributes registered for the type.
 func (s *Schema) NumAttrs(typeID int) int {
 	if typeID < 0 || typeID >= len(s.types) {

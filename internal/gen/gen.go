@@ -32,7 +32,17 @@ type Workload struct {
 	// Domain records which generator produced the workload ("traffic" or
 	// "stocks"); pattern builders use it to pick attributes.
 	Domain string
+	// Keys is the number of distinct partition-key values carried in the
+	// "key" attribute, or 0 when the workload has no partition key. Keyed
+	// workloads model per-entity streams (one vehicle, one trading
+	// account): patterns built over them carry equality-on-key predicates
+	// and are therefore partitionable by the shard layer.
+	Keys int
 }
+
+// keySeedMix decorrelates the partition-key random stream from the main
+// generator stream, so enabling Keys changes no other event field.
+const keySeedMix int64 = 0x1e3779b97f4a7c15
 
 // TrafficConfig tunes the traffic-like generator.
 type TrafficConfig struct {
@@ -48,6 +58,10 @@ type TrafficConfig struct {
 	Skew float64
 	// Shifts is the number of extreme regime shifts; default 3.
 	Shifts int
+	// Keys, when positive, adds a "key" attribute holding one of Keys
+	// distinct entity ids, drawn from an independent random stream (all
+	// other fields of the generated events are unchanged).
+	Keys int
 }
 
 func (c TrafficConfig) withDefaults() TrafficConfig {
@@ -77,8 +91,16 @@ func Traffic(cfg TrafficConfig) *Workload {
 	cfg = cfg.withDefaults()
 	r := rand.New(rand.NewSource(cfg.Seed))
 	s := event.NewSchema()
+	attrs := []string{"speed", "count"}
+	if cfg.Keys > 0 {
+		attrs = append(attrs, "key")
+	}
 	for i := 0; i < cfg.Types; i++ {
-		s.MustAddType(fmt.Sprintf("T%d", i), "speed", "count")
+		s.MustAddType(fmt.Sprintf("T%d", i), attrs...)
+	}
+	var kr *rand.Rand
+	if cfg.Keys > 0 {
+		kr = rand.New(rand.NewSource(cfg.Seed ^ keySeedMix))
 	}
 	// Zipf-skewed weights over types.
 	weights := make([]float64, cfg.Types)
@@ -123,10 +145,15 @@ func Traffic(cfg TrafficConfig) *Workload {
 		// range (~0.02..0.6) rather than collapsing to 0/1.
 		speed := speedMean[typ] + r.NormFloat64()*20
 		count := countMean[typ] + r.NormFloat64()*25
-		ev := s.MustNew(typ, ts, speed, count)
+		vals := []float64{speed, count}
+		if kr != nil {
+			vals = append(vals, float64(kr.Intn(cfg.Keys)))
+		}
+		ev := s.MustNew(typ, ts, vals...)
 		ev.Seq = uint64(i + 1)
 		w.Events = append(w.Events, ev)
 	}
+	w.Keys = cfg.Keys
 	return w
 }
 
@@ -146,6 +173,10 @@ type StocksConfig struct {
 	// DriftMag is the relative magnitude of each fluctuation; default
 	// 0.08.
 	DriftMag float64
+	// Keys, when positive, adds a "key" attribute holding one of Keys
+	// distinct entity ids, drawn from an independent random stream (all
+	// other fields of the generated events are unchanged).
+	Keys int
 }
 
 func (c StocksConfig) withDefaults() StocksConfig {
@@ -173,8 +204,16 @@ func Stocks(cfg StocksConfig) *Workload {
 	cfg = cfg.withDefaults()
 	r := rand.New(rand.NewSource(cfg.Seed))
 	s := event.NewSchema()
+	attrs := []string{"price", "diff"}
+	if cfg.Keys > 0 {
+		attrs = append(attrs, "key")
+	}
 	for i := 0; i < cfg.Types; i++ {
-		s.MustAddType(fmt.Sprintf("S%d", i), "price", "diff")
+		s.MustAddType(fmt.Sprintf("S%d", i), attrs...)
+	}
+	var kr *rand.Rand
+	if cfg.Keys > 0 {
+		kr = rand.New(rand.NewSource(cfg.Seed ^ keySeedMix))
 	}
 	weights := make([]float64, cfg.Types)
 	price := make([]float64, cfg.Types)
@@ -205,10 +244,15 @@ func Stocks(cfg StocksConfig) *Workload {
 		ts += 1 + event.Time(r.ExpFloat64()*float64(cfg.MeanGap))
 		step := bias[typ] + r.NormFloat64()
 		price[typ] += step
-		ev := s.MustNew(typ, ts, price[typ], step)
+		vals := []float64{price[typ], step}
+		if kr != nil {
+			vals = append(vals, float64(kr.Intn(cfg.Keys)))
+		}
+		ev := s.MustNew(typ, ts, vals...)
 		ev.Seq = uint64(i + 1)
 		w.Events = append(w.Events, ev)
 	}
+	w.Keys = cfg.Keys
 	return w
 }
 

@@ -92,7 +92,11 @@ func (w *Workload) Pattern(kind Kind, size int, window event.Time) (*pattern.Pat
 
 // chain builds op(T_first, ..., T_first+n-1) with domain predicates
 // between adjacent non-negated positions. negAt/kleeneAt mark one
-// position (-1 for none).
+// position (-1 for none). On keyed workloads (Keys > 0) every adjacent
+// core pair and every residual anchor additionally requires equality on
+// the "key" attribute, which makes the pattern key-partitionable: the
+// equality graph spans all positions, so a match can only combine events
+// of one entity.
 func (w *Workload) chain(op pattern.Op, first, n int, window event.Time, negAt, kleeneAt int) (*pattern.Pattern, error) {
 	if first+n > w.Schema.NumTypes() {
 		return nil, fmt.Errorf("gen: pattern needs %d types, schema has %d", first+n, w.Schema.NumTypes())
@@ -120,6 +124,11 @@ func (w *Workload) chain(op pattern.Op, first, n int, window event.Time, negAt, 
 		}
 		return nil
 	}
+	addKey := func(lo, hi int) {
+		if w.Keys > 0 {
+			b.WhereEq(lo, "key", hi, "key")
+		}
+	}
 	// The monotone-increase requirement is expressed as all-pairs
 	// predicates over the plannable positions (equivalent to the adjacent
 	// chain by transitivity, but it exposes the full selectivity graph to
@@ -135,6 +144,9 @@ func (w *Workload) chain(op pattern.Op, first, n int, window event.Time, negAt, 
 		for c := a + 1; c < len(corePos); c++ {
 			if err := addPred(corePos[a], corePos[c]); err != nil {
 				return nil, err
+			}
+			if c == a+1 {
+				addKey(corePos[a], corePos[c])
 			}
 		}
 	}
@@ -152,10 +164,12 @@ func (w *Workload) chain(op pattern.Op, first, n int, window event.Time, negAt, 
 			if err := addPred(anchor, res); err != nil {
 				return nil, err
 			}
+			addKey(anchor, res)
 		} else if len(corePos) > 0 {
 			if err := addPred(res, corePos[0]); err != nil {
 				return nil, err
 			}
+			addKey(res, corePos[0])
 		}
 	}
 	return b.Build()

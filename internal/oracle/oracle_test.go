@@ -1,0 +1,134 @@
+// Cross-checks of the brute-force oracle against both evaluation engines
+// on small generated workloads: any divergence means either the oracle's
+// direct semantics or an engine's incremental evaluation is wrong, and
+// the other tests that rely on oracle.Matches as ground truth would be
+// built on sand.
+package oracle_test
+
+import (
+	"reflect"
+	"testing"
+
+	"acep/internal/core"
+	"acep/internal/engine"
+	"acep/internal/event"
+	"acep/internal/gen"
+	"acep/internal/match"
+	"acep/internal/oracle"
+	"acep/internal/pattern"
+)
+
+// engineKeys runs the stream through an adaptive engine and returns the
+// sorted canonical match keys.
+func engineKeys(t *testing.T, pat *pattern.Pattern, evs []event.Event, model engine.Model) []string {
+	t.Helper()
+	var out []*match.Match
+	cfg := engine.Config{
+		Model:      model,
+		CheckEvery: 200,
+		NewPolicy:  func() core.Policy { return &core.Invariant{} },
+		OnMatch:    func(m *match.Match) { out = append(out, m) },
+	}
+	e, err := engine.New(pat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range evs {
+		e.Process(&evs[i])
+	}
+	e.Finish()
+	return oracle.Keys(out)
+}
+
+// TestOracleAgreesWithEngines cross-checks the oracle's match sets
+// against the NFA and tree engines for every pattern family over small
+// traffic and stocks workloads.
+func TestOracleAgreesWithEngines(t *testing.T) {
+	workloads := map[string]*gen.Workload{
+		"traffic": gen.Traffic(gen.TrafficConfig{Types: 5, Events: 1200, Seed: 13, Shifts: 1, MeanGap: 3}),
+		"stocks":  gen.Stocks(gen.StocksConfig{Types: 5, Events: 1200, Seed: 13, MeanGap: 3}),
+	}
+	kinds := []gen.Kind{gen.Sequence, gen.Conjunction, gen.Negation, gen.Kleene, gen.Composite}
+	sawMatches := false
+	for name, w := range workloads {
+		for _, kind := range kinds {
+			pat, err := w.Pattern(kind, 3, 40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := oracle.Keys(oracle.Matches(pat, w.Events))
+			if len(want) > 0 {
+				sawMatches = true
+			}
+			for _, model := range []engine.Model{engine.GreedyNFA, engine.ZStreamTree} {
+				got := engineKeys(t, pat, w.Events, model)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s/%v/%v: engine %d matches, oracle %d",
+						name, kind, model, len(got), len(want))
+				}
+			}
+		}
+	}
+	if !sawMatches {
+		t.Fatal("oracle found no matches anywhere; workloads too sparse for a meaningful cross-check")
+	}
+}
+
+// TestOracleKeyedAgreement repeats the cross-check on a keyed workload,
+// whose equality-on-key predicates exercise the oracle's predicate
+// filtering on a very selective pattern (this is the ground truth the
+// shard layer's exactness ultimately rests on).
+func TestOracleKeyedAgreement(t *testing.T) {
+	w := gen.Traffic(gen.TrafficConfig{Types: 5, Events: 1500, Seed: 17, Shifts: 1, MeanGap: 3, Keys: 4})
+	pat, err := w.Pattern(gen.Sequence, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle.Keys(oracle.Matches(pat, w.Events))
+	if len(want) == 0 {
+		t.Fatal("no keyed matches; cross-check is vacuous")
+	}
+	for _, model := range []engine.Model{engine.GreedyNFA, engine.ZStreamTree} {
+		got := engineKeys(t, pat, w.Events, model)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v: engine %d matches, oracle %d", model, len(got), len(want))
+		}
+	}
+}
+
+// TestOracleIgnoresInputOrder: the oracle's semantics are defined over
+// the event set, so shuffled input must yield the same match set.
+func TestOracleIgnoresInputOrder(t *testing.T) {
+	w := gen.Traffic(gen.TrafficConfig{Types: 4, Events: 300, Seed: 7, MeanGap: 4})
+	pat, err := w.Pattern(gen.Sequence, 3, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle.Keys(oracle.Matches(pat, w.Events))
+	shuffled := make([]event.Event, len(w.Events))
+	for i, j := range len2perm(len(w.Events)) {
+		shuffled[i] = w.Events[j]
+	}
+	got := oracle.Keys(oracle.Matches(pat, shuffled))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order sensitivity: %d vs %d matches", len(got), len(want))
+	}
+}
+
+// len2perm is a fixed pseudo-random permutation (deterministic, no seed
+// plumbing needed at this size).
+func len2perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	state := uint64(88172645463325252)
+	for i := n - 1; i > 0; i-- {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		j := int(state % uint64(i+1))
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

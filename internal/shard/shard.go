@@ -1,0 +1,397 @@
+// Package shard is the parallel execution layer: it partitions one input
+// stream by a user-supplied key, runs a fully independent adaptive
+// detection engine per shard on its own worker goroutine, and merges the
+// per-shard matches back into one deterministic, ordered output.
+//
+// Each shard owns a complete detection-adaptation loop — its own
+// evaluation plan, statistics estimator and invariant policy — so the
+// paper's adaptation method applies per partition without modification
+// (§7: each shard keeps independent statistics and invariants, and may
+// legitimately settle on a different plan when its key group's data
+// characteristics differ). The layer preserves exact detection semantics
+// for key-partitionable patterns: when equality-on-key predicates connect
+// every pattern position (see Partitionable), the union of the shard-local
+// match sets equals the global match set, because all events of one key
+// value are routed to one shard.
+//
+// # Ingestion and ordering
+//
+// Process hands events to workers in batches (Options.Batch events per
+// cut) to amortize channel synchronization; at every cut all shards
+// receive their accumulated events together with the global sequence
+// number the cut covers, so every shard's progress watermark advances
+// uniformly even when its partition is momentarily idle. Matches are
+// tagged with the sequence number of the event whose processing emitted
+// them, buffered in a collector, and released strictly in tag order once
+// every shard's watermark has passed the tag: OnMatch therefore observes
+// matches in nondecreasing detection order (and, the stream being
+// timestamp-ordered, nondecreasing detection timestamp), in an order that
+// is a deterministic function of the input for a fixed shard count and
+// batch size.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"acep/internal/engine"
+	"acep/internal/event"
+	"acep/internal/match"
+	"acep/internal/pattern"
+)
+
+// Options assembles a sharded engine.
+type Options struct {
+	// Shards is the number of partitions (and worker goroutines).
+	// Defaults to runtime.GOMAXPROCS(0).
+	Shards int
+	// Batch is the number of ingested events per handoff cut (default
+	// 256). Larger batches amortize synchronization; smaller ones reduce
+	// match emission latency.
+	Batch int
+	// Queue is the per-shard channel capacity in batches (default 4);
+	// ingestion blocks when a shard falls this far behind (backpressure).
+	Queue int
+	// Key extracts the partition key (custom-extractor mode). Exactly one
+	// of Key and KeyAttr must be set.
+	Key KeyFunc
+	// KeyAttr names the key attribute (hash mode): the key is the
+	// attribute's value, resolved per type through Schema, and the
+	// pattern is validated to be partitionable by it.
+	KeyAttr string
+	// Schema resolves KeyAttr; required in hash mode.
+	Schema *event.Schema
+	// OnMatch receives every match, on the collector goroutine, in the
+	// deterministic merged order described in the package comment.
+	OnMatch func(*match.Match)
+}
+
+// cut is one batch handoff: the shard's events accumulated since the last
+// cut (possibly none) plus the global sequence watermark the cut covers.
+type cut struct {
+	events []event.Event
+	upTo   uint64
+}
+
+// tagged is a match annotated for ordered merging.
+type tagged struct {
+	m     *match.Match
+	seq   uint64 // Seq of the event whose processing emitted the match
+	shard int
+	idx   uint64 // per-shard emission counter, for a deterministic total order
+}
+
+// post is one worker→collector message: the matches of one processed
+// batch and the shard's new progress watermark.
+type post struct {
+	shard    int
+	progress uint64
+	matches  []tagged
+}
+
+// worker runs one shard's engine on its own goroutine.
+type worker struct {
+	id  int
+	eng *engine.Engine
+	in  chan cut
+
+	// Emission state, owned by the worker goroutine (the OnMatch closure
+	// of the shard engine runs there).
+	curSeq uint64
+	idx    uint64
+	out    []tagged
+}
+
+func (w *worker) take() []tagged {
+	m := w.out
+	w.out = nil
+	return m
+}
+
+func (w *worker) run(col *collector, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for c := range w.in {
+		for i := range c.events {
+			w.curSeq = c.events[i].Seq
+			w.eng.Process(&c.events[i])
+		}
+		col.ch <- post{shard: w.id, progress: c.upTo, matches: w.take()}
+	}
+	// End of stream: flush parked matches. They are tagged past every
+	// real sequence number and ordered by (shard, emission index).
+	w.curSeq = math.MaxUint64
+	w.eng.Finish()
+	col.ch <- post{shard: w.id, progress: math.MaxUint64, matches: w.take()}
+}
+
+// Engine is a sharded adaptive detection engine. Process and Finish must
+// be called from a single goroutine; OnMatch fires on the collector
+// goroutine. The zero value is not usable; construct with New.
+type Engine struct {
+	key     KeyFunc
+	nshards int
+	batch   int
+
+	workers []*worker
+	bufs    [][]event.Event
+	pending int
+	lastSeq uint64
+
+	col      *collector
+	wg       sync.WaitGroup
+	finished bool
+}
+
+// New builds a sharded engine for the pattern. cfg configures every
+// shard's engine identically; cfg.OnMatch must be nil (matches are merged
+// through opts.OnMatch) and cfg.Policy must be nil (policies are stateful
+// and cannot be shared across shards — set cfg.NewPolicy, or leave both
+// nil for the default invariant policy per shard).
+func New(pat *pattern.Pattern, cfg engine.Config, opts Options) (*Engine, error) {
+	if cfg.OnMatch != nil {
+		return nil, fmt.Errorf("shard: set Options.OnMatch, not engine Config.OnMatch (per-shard callbacks would not be ordered)")
+	}
+	if cfg.Policy != nil {
+		return nil, fmt.Errorf("shard: Config.Policy would be shared across shards; set Config.NewPolicy so each shard adapts independently")
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = runtime.GOMAXPROCS(0)
+	}
+	if opts.Batch <= 0 {
+		opts.Batch = 256
+	}
+	if opts.Queue <= 0 {
+		opts.Queue = 4
+	}
+	switch {
+	case opts.Key != nil && opts.KeyAttr != "":
+		return nil, fmt.Errorf("shard: set exactly one of Options.Key and Options.KeyAttr, not both")
+	case opts.Key == nil && opts.KeyAttr == "":
+		return nil, fmt.Errorf("shard: a partition key is required: set Options.Key or Options.KeyAttr")
+	case opts.KeyAttr != "":
+		if opts.Schema == nil {
+			return nil, fmt.Errorf("shard: Options.KeyAttr needs Options.Schema to resolve the attribute")
+		}
+		if err := Partitionable(pat, opts.Schema, opts.KeyAttr); err != nil {
+			return nil, err
+		}
+		key, err := ByAttrName(opts.Schema, opts.KeyAttr)
+		if err != nil {
+			return nil, err
+		}
+		opts.Key = key
+	}
+
+	e := &Engine{
+		key:     opts.Key,
+		nshards: opts.Shards,
+		batch:   opts.Batch,
+		bufs:    make([][]event.Event, opts.Shards),
+		col:     newCollector(opts.Shards, opts.OnMatch),
+	}
+	for s := 0; s < e.nshards; s++ {
+		w := &worker{id: s, in: make(chan cut, opts.Queue)}
+		shardCfg := cfg
+		shardCfg.OnMatch = func(m *match.Match) {
+			w.out = append(w.out, tagged{m: m, seq: w.curSeq, shard: w.id, idx: w.idx})
+			w.idx++
+		}
+		eng, err := engine.New(pat, shardCfg)
+		if err != nil {
+			return nil, err
+		}
+		w.eng = eng
+		e.workers = append(e.workers, w)
+	}
+	for _, w := range e.workers {
+		e.wg.Add(1)
+		go w.run(e.col, &e.wg)
+	}
+	go e.col.run()
+	return e, nil
+}
+
+// Process routes one event to its shard. Events must arrive in
+// non-decreasing timestamp order with unique, increasing Seq numbers
+// (the same contract as engine.Engine.Process).
+func (e *Engine) Process(ev *event.Event) {
+	if e.finished {
+		panic("shard: Process after Finish")
+	}
+	s := int(mix64(e.key(ev)) % uint64(e.nshards))
+	e.bufs[s] = append(e.bufs[s], *ev)
+	e.lastSeq = ev.Seq
+	e.pending++
+	if e.pending >= e.batch {
+		e.cutAll()
+	}
+}
+
+// cutAll seals the current cut: every shard receives its accumulated
+// events (possibly none) and the watermark, so progress advances
+// uniformly across shards.
+func (e *Engine) cutAll() {
+	for s, w := range e.workers {
+		w.in <- cut{events: e.bufs[s], upTo: e.lastSeq}
+		e.bufs[s] = nil
+	}
+	e.pending = 0
+}
+
+// Finish flushes the final partial cut, drains every shard, and waits
+// until the collector has delivered all matches. Idempotent.
+func (e *Engine) Finish() {
+	if e.finished {
+		return
+	}
+	e.finished = true
+	e.cutAll()
+	for _, w := range e.workers {
+		close(w.in)
+	}
+	e.wg.Wait()
+	close(e.col.ch)
+	<-e.col.done
+}
+
+// Shards reports the shard count.
+func (e *Engine) Shards() int { return e.nshards }
+
+// Metrics merges the per-shard engine metrics into one stream-wide view.
+// Call after Finish (shard engines are owned by their workers until
+// then).
+func (e *Engine) Metrics() engine.Metrics {
+	var m engine.Metrics
+	for _, w := range e.workers {
+		m.Merge(w.eng.Metrics())
+	}
+	return m
+}
+
+// ShardMetrics is the per-shard breakdown behind Metrics. Call after
+// Finish.
+func (e *Engine) ShardMetrics() []engine.Metrics {
+	out := make([]engine.Metrics, len(e.workers))
+	for i, w := range e.workers {
+		out[i] = w.eng.Metrics()
+	}
+	return out
+}
+
+// Plans reports each shard's current plans (one per sub-pattern). Call
+// after Finish. Shards may legitimately hold different plans: each
+// adapted to its own partition's statistics.
+func (e *Engine) Plans() [][]string {
+	out := make([][]string, len(e.workers))
+	for i, w := range e.workers {
+		for _, p := range w.eng.CurrentPlans() {
+			out[i] = append(out[i], fmt.Sprint(p))
+		}
+	}
+	return out
+}
+
+// collector merges per-shard match streams into one ordered output. It
+// buffers matches in a min-heap keyed (tag, shard, emission index) and
+// releases a match only when every shard's progress watermark has passed
+// its tag — at that point no shard can still produce an earlier match, so
+// the released order is the sorted order, independent of goroutine
+// scheduling.
+type collector struct {
+	ch      chan post
+	done    chan struct{}
+	onMatch func(*match.Match)
+
+	progress []uint64
+	heap     []tagged
+}
+
+func newCollector(shards int, onMatch func(*match.Match)) *collector {
+	return &collector{
+		ch:       make(chan post, shards*2),
+		done:     make(chan struct{}),
+		onMatch:  onMatch,
+		progress: make([]uint64, shards),
+	}
+}
+
+func (c *collector) run() {
+	defer close(c.done)
+	for p := range c.ch {
+		c.progress[p.shard] = p.progress
+		for _, t := range p.matches {
+			c.push(t)
+		}
+		min := c.progress[0]
+		for _, pr := range c.progress[1:] {
+			if pr < min {
+				min = pr
+			}
+		}
+		for len(c.heap) > 0 && c.heap[0].seq <= min {
+			c.emit(c.pop())
+		}
+	}
+	// Channel closed: every worker has posted its final watermark; drain
+	// the remainder in order.
+	for len(c.heap) > 0 {
+		c.emit(c.pop())
+	}
+}
+
+func (c *collector) emit(t tagged) {
+	if c.onMatch != nil {
+		c.onMatch(t.m)
+	}
+}
+
+func tagLess(a, b tagged) bool {
+	if a.seq != b.seq {
+		return a.seq < b.seq
+	}
+	if a.shard != b.shard {
+		return a.shard < b.shard
+	}
+	return a.idx < b.idx
+}
+
+func (c *collector) push(t tagged) {
+	c.heap = append(c.heap, t)
+	i := len(c.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !tagLess(c.heap[i], c.heap[p]) {
+			break
+		}
+		c.heap[i], c.heap[p] = c.heap[p], c.heap[i]
+		i = p
+	}
+}
+
+func (c *collector) pop() tagged {
+	h := c.heap
+	top := h[0]
+	h[0] = h[len(h)-1]
+	h[len(h)-1] = tagged{}
+	h = h[:len(h)-1]
+	c.heap = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && tagLess(h[l], h[m]) {
+			m = l
+		}
+		if r < len(h) && tagLess(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top
+}

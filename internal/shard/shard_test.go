@@ -1,0 +1,321 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"acep/internal/core"
+	"acep/internal/engine"
+	"acep/internal/event"
+	"acep/internal/gen"
+	"acep/internal/match"
+	"acep/internal/oracle"
+	"acep/internal/pattern"
+)
+
+// keyedWorkload is a small keyed traffic stream with one regime shift, so
+// shard engines adapt mid-stream while being checked for exactness.
+func keyedWorkload(t *testing.T) *gen.Workload {
+	t.Helper()
+	return gen.Traffic(gen.TrafficConfig{
+		Types: 6, Events: 5000, Seed: 17, Shifts: 1, MeanGap: 3, Keys: 4,
+	})
+}
+
+// runSingle is the single-threaded reference: the plain adaptive engine.
+func runSingle(t *testing.T, w *gen.Workload, kind gen.Kind, model engine.Model) []string {
+	t.Helper()
+	pat, err := w.Pattern(kind, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*match.Match
+	eng, err := engine.New(pat, engine.Config{
+		Model:      model,
+		CheckEvery: 250,
+		OnMatch:    func(m *match.Match) { out = append(out, m) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Events {
+		eng.Process(&w.Events[i])
+	}
+	eng.Finish()
+	return oracle.Keys(out)
+}
+
+// runSharded executes the same workload through a sharded engine and
+// returns the match keys in delivery order plus the engine.
+func runSharded(t *testing.T, w *gen.Workload, kind gen.Kind, model engine.Model, shards, batch int) ([]string, *Engine) {
+	t.Helper()
+	pat, err := w.Pattern(kind, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	eng, err := New(pat, engine.Config{Model: model, CheckEvery: 250}, Options{
+		Shards:  shards,
+		Batch:   batch,
+		KeyAttr: "key",
+		Schema:  w.Schema,
+		OnMatch: func(m *match.Match) { got = append(got, m.Key()) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Events {
+		eng.Process(&w.Events[i])
+	}
+	eng.Finish()
+	return got, eng
+}
+
+// TestShardedMatchesSingleThreaded is the central exactness property of
+// the sharded layer: for a key-partitionable pattern the sharded engine
+// must produce exactly the single-threaded match set, at every shard
+// count.
+func TestShardedMatchesSingleThreaded(t *testing.T) {
+	w := keyedWorkload(t)
+	for _, kind := range []gen.Kind{gen.Sequence, gen.Negation, gen.Kleene, gen.Conjunction} {
+		for _, model := range []engine.Model{engine.GreedyNFA, engine.ZStreamTree} {
+			want := runSingle(t, w, kind, model)
+			if len(want) == 0 {
+				t.Fatalf("%v/%v: reference produced no matches; test is vacuous", kind, model)
+			}
+			for _, shards := range []int{1, 2, 4, 8} {
+				got, _ := runSharded(t, w, kind, model, shards, 128)
+				if !reflect.DeepEqual(sorted(got), want) {
+					t.Fatalf("%v/%v shards=%d: %d matches vs single-threaded %d",
+						kind, model, shards, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+func sorted(keys []string) []string {
+	out := append([]string(nil), keys...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// TestShardedComposite covers OR patterns: per-disjunct, per-shard
+// adaptation with the same exactness requirement.
+func TestShardedComposite(t *testing.T) {
+	w := gen.Traffic(gen.TrafficConfig{
+		Types: 8, Events: 3000, Seed: 29, Shifts: 1, MeanGap: 4, Keys: 4,
+	})
+	want := runSingle(t, w, gen.Composite, engine.GreedyNFA)
+	got, _ := runSharded(t, w, gen.Composite, engine.GreedyNFA, 4, 64)
+	if !reflect.DeepEqual(sorted(got), want) {
+		t.Fatalf("composite: %d matches vs %d", len(got), len(want))
+	}
+}
+
+// TestOrderedDeterministicEmission checks the collector's two ordering
+// guarantees: delivery in nondecreasing detection order, and an order
+// that is a deterministic function of the input for a fixed shard count.
+func TestOrderedDeterministicEmission(t *testing.T) {
+	w := keyedWorkload(t)
+	pat, err := w.Pattern(gen.Sequence, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() ([]string, []uint64) {
+		var keys []string
+		var lastSeq []uint64
+		eng, err := New(pat, engine.Config{CheckEvery: 250}, Options{
+			Shards: 4, Batch: 128, KeyAttr: "key", Schema: w.Schema,
+			OnMatch: func(m *match.Match) {
+				keys = append(keys, m.Key())
+				var max uint64
+				for _, ev := range m.Events {
+					if ev != nil && ev.Seq > max {
+						max = ev.Seq
+					}
+				}
+				lastSeq = append(lastSeq, max)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range w.Events {
+			eng.Process(&w.Events[i])
+		}
+		eng.Finish()
+		return keys, lastSeq
+	}
+	keys1, seqs := run()
+	if len(keys1) == 0 {
+		t.Fatal("no matches")
+	}
+	// A sequence pattern's match is detected when its last core event
+	// arrives, so delivery order must be nondecreasing in that event's
+	// global sequence number.
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] < seqs[i-1] {
+			t.Fatalf("out-of-order delivery at %d: seq %d after %d", i, seqs[i], seqs[i-1])
+		}
+	}
+	// Reruns must reproduce the identical delivered order.
+	for r := 0; r < 3; r++ {
+		keys2, _ := run()
+		if !reflect.DeepEqual(keys1, keys2) {
+			t.Fatalf("rerun %d delivered a different order", r)
+		}
+	}
+}
+
+// TestShardedMetrics: the merged metrics must cover every event exactly
+// once and agree with the delivered match count; the per-shard breakdown
+// must sum to the merged view.
+func TestShardedMetrics(t *testing.T) {
+	w := keyedWorkload(t)
+	got, eng := runSharded(t, w, gen.Sequence, engine.GreedyNFA, 4, 128)
+	m := eng.Metrics()
+	if m.Events != uint64(len(w.Events)) {
+		t.Fatalf("Events = %d; want %d", m.Events, len(w.Events))
+	}
+	if m.Matches != uint64(len(got)) {
+		t.Fatalf("Matches = %d; delivered %d", m.Matches, len(got))
+	}
+	per := eng.ShardMetrics()
+	if len(per) != 4 {
+		t.Fatalf("%d shard metrics", len(per))
+	}
+	var sum uint64
+	active := 0
+	for _, pm := range per {
+		sum += pm.Events
+		if pm.Events > 0 {
+			active++
+		}
+	}
+	if sum != m.Events {
+		t.Fatalf("per-shard events sum %d != merged %d", sum, m.Events)
+	}
+	if active < 2 {
+		t.Fatalf("only %d shards saw events; partitioner not spreading", active)
+	}
+	if eng.Shards() != 4 || len(eng.Plans()) != 4 {
+		t.Fatal("Shards/Plans accessors wrong")
+	}
+}
+
+// TestNewValidation covers the constructor's misuse errors.
+func TestNewValidation(t *testing.T) {
+	w := keyedWorkload(t)
+	pat, err := w.Pattern(gen.Sequence, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := Options{KeyAttr: "key", Schema: w.Schema}
+	cases := []struct {
+		name string
+		cfg  engine.Config
+		opts Options
+	}{
+		{"no key", engine.Config{}, Options{}},
+		{"both modes", engine.Config{}, Options{Key: ByAttr(2), KeyAttr: "key", Schema: w.Schema}},
+		{"keyattr without schema", engine.Config{}, Options{KeyAttr: "key"}},
+		{"unknown attr", engine.Config{}, Options{KeyAttr: "nope", Schema: w.Schema}},
+		{"engine OnMatch", engine.Config{OnMatch: func(*match.Match) {}}, ok},
+		{"shared policy", engine.Config{Policy: &core.Invariant{}}, ok},
+	}
+	for _, c := range cases {
+		if _, err := New(pat, c.cfg, c.opts); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// A non-partitionable pattern must be rejected in KeyAttr mode: the
+	// unkeyed workload's pattern has no equality-on-key predicates even
+	// though the "speed" attribute exists at every position.
+	unkeyed := gen.Traffic(gen.TrafficConfig{Types: 6, Events: 10, Seed: 1})
+	up, err := unkeyed.Pattern(gen.Sequence, 3, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(up, engine.Config{}, Options{KeyAttr: "speed", Schema: unkeyed.Schema}); err == nil {
+		t.Error("non-partitionable pattern accepted")
+	}
+	// Defaults fill in: shards/batch/queue unset is valid.
+	eng, err := New(pat, engine.Config{}, ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Finish()
+	if eng.Shards() < 1 {
+		t.Fatal("default shard count < 1")
+	}
+	eng.Finish() // idempotent
+}
+
+// TestPartitionable exercises the validator directly.
+func TestPartitionable(t *testing.T) {
+	s := event.NewSchema()
+	a := s.MustAddType("A", "id", "v")
+	bt := s.MustAddType("B", "id", "v")
+	c := s.MustAddType("C", "id", "v")
+
+	// Connected chain of key equalities: partitionable.
+	b1 := pattern.NewBuilder(s, pattern.Seq, 60)
+	p0, p1, p2 := b1.Event(a), b1.Event(bt), b1.Event(c)
+	b1.WhereEq(p0, "id", p1, "id")
+	b1.WhereEq(p1, "id", p2, "id")
+	if err := Partitionable(b1.MustBuild(), s, "id"); err != nil {
+		t.Errorf("chain: %v", err)
+	}
+
+	// Missing one link: position 2 disconnected.
+	b2 := pattern.NewBuilder(s, pattern.Seq, 60)
+	q0, q1, _ := b2.Event(a), b2.Event(bt), b2.Event(c)
+	b2.WhereEq(q0, "id", q1, "id")
+	if err := Partitionable(b2.MustBuild(), s, "id"); err == nil {
+		t.Error("disconnected pattern accepted")
+	}
+
+	// Equality on a non-key attribute does not connect the key graph.
+	b3 := pattern.NewBuilder(s, pattern.Seq, 60)
+	r0, r1 := b3.Event(a), b3.Event(bt)
+	b3.WhereEq(r0, "v", r1, "v")
+	if err := Partitionable(b3.MustBuild(), s, "id"); err == nil {
+		t.Error("wrong-attribute equality accepted")
+	}
+
+	// A position's type lacking the key attribute is an error.
+	d := s.MustAddType("D", "other")
+	b4 := pattern.NewBuilder(s, pattern.Seq, 60)
+	b4.Event(a)
+	b4.Event(d)
+	if err := Partitionable(b4.MustBuild(), s, "id"); err == nil {
+		t.Error("missing key attribute accepted")
+	}
+
+	// Single-position patterns are trivially partitionable.
+	b5 := pattern.NewBuilder(s, pattern.Seq, 60)
+	b5.Event(a)
+	if err := Partitionable(b5.MustBuild(), s, "id"); err != nil {
+		t.Errorf("single position: %v", err)
+	}
+
+	// OR patterns: every disjunct must be partitionable.
+	sub1 := pattern.NewBuilder(s, pattern.Seq, 60)
+	s0, s1 := sub1.Event(a), sub1.Event(bt)
+	sub1.WhereEq(s0, "id", s1, "id")
+	sub2 := pattern.NewBuilder(s, pattern.Seq, 60)
+	sub2.Event(a)
+	sub2.Event(bt) // no key equality
+	or, err := pattern.NewOr(sub1.MustBuild(), sub2.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Partitionable(or, s, "id"); err == nil {
+		t.Error("OR with non-partitionable disjunct accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+
+	"acep/internal/gen"
+)
+
+// TestCSVKeyedRoundTrip: the keys= header field must survive persistence
+// so replayed workloads keep their partition key (and build keyed,
+// shardable patterns).
+func TestCSVKeyedRoundTrip(t *testing.T) {
+	wk := gen.Traffic(gen.TrafficConfig{Types: 4, Events: 300, Seed: 3, Keys: 8})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, wk); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Keys != 8 {
+		t.Fatalf("Keys = %d after round trip; want 8", got.Keys)
+	}
+	if n := got.Schema.NumAttrs(0); n != 3 {
+		t.Fatalf("keyed schema has %d attrs; want 3", n)
+	}
+	for i := range wk.Events {
+		if wk.Events[i].Attrs[2] != got.Events[i].Attrs[2] {
+			t.Fatalf("event %d key mismatch", i)
+		}
+	}
+	// Patterns over the reloaded workload carry the key-equality preds.
+	p, err := got.Pattern(gen.Sequence, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Preds) != 8 { // 3 pairs × 2 domain preds + 2 adjacent key-eq
+		t.Fatalf("keyed pattern preds = %d; want 8", len(p.Preds))
+	}
+	// Unkeyed workloads must be unaffected.
+	base := gen.Traffic(gen.TrafficConfig{Types: 4, Events: 300, Seed: 3})
+	for i := range base.Events {
+		if base.Events[i].TS != wk.Events[i].TS ||
+			base.Events[i].Attrs[0] != wk.Events[i].Attrs[0] ||
+			base.Events[i].Attrs[1] != wk.Events[i].Attrs[1] {
+			t.Fatalf("enabling Keys changed event %d", i)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"acep/internal/event"
+)
+
+// benchStreams builds k timestamp-ordered streams of n events each.
+func benchStreams(k, n int, seed int64) [][]event.Event {
+	r := rand.New(rand.NewSource(seed))
+	streams := make([][]event.Event, k)
+	for s := range streams {
+		evs := make([]event.Event, n)
+		ts := event.Time(0)
+		for i := range evs {
+			ts += event.Time(1 + r.Intn(5))
+			evs[i] = event.Event{Type: s, TS: ts, Seq: uint64(i + 1)}
+		}
+		streams[s] = evs
+	}
+	return streams
+}
+
+// TestMergeMatchesLinear pins the heap merge to the linear reference on
+// randomized inputs, including empty streams and heavy timestamp ties.
+func TestMergeMatchesLinear(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 7, 16} {
+		streams := benchStreams(k, 200, int64(k))
+		streams = append(streams, nil) // empty stream must be skipped
+		got := Merge(streams...)
+		want := mergeLinear(streams...)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("k=%d: heap merge diverged from linear reference", k)
+		}
+		if i := Validate(got); i != -1 {
+			t.Fatalf("k=%d: merged stream invalid at %d", k, i)
+		}
+	}
+	// All-equal timestamps: ties must resolve by stream index.
+	a := []event.Event{{Type: 0, TS: 5, Seq: 1}, {Type: 0, TS: 5, Seq: 2}}
+	b := []event.Event{{Type: 1, TS: 5, Seq: 1}}
+	out := Merge(a, b)
+	if out[0].Type != 0 || out[1].Type != 0 || out[2].Type != 1 {
+		t.Fatalf("tie-break order wrong: %v", out)
+	}
+}
+
+// BenchmarkMerge compares the heap-based k-way merge against the retired
+// linear scan; the gap widens with k (the heap is O(n log k), the scan
+// O(n·k)).
+func BenchmarkMerge(b *testing.B) {
+	for _, k := range []int{4, 16, 64} {
+		streams := benchStreams(k, 20000/k, 42)
+		b.Run(fmt.Sprintf("heap/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Merge(streams...)
+			}
+		})
+		b.Run(fmt.Sprintf("linear/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mergeLinear(streams...)
+			}
+		})
+	}
+}

@@ -20,18 +20,22 @@ import (
 	"acep/internal/gen"
 )
 
-// WriteCSV persists a workload.
+// WriteCSV persists a workload. The attribute names are taken from the
+// schema (all generated workloads register identical attributes for every
+// type); a keyed workload additionally records keys=N so replay restores
+// its partitionability.
 func WriteCSV(w io.Writer, wk *gen.Workload) error {
 	bw := bufio.NewWriter(w)
 	attrs := "?"
-	switch wk.Domain {
-	case "traffic":
-		attrs = "speed,count"
-	case "stocks":
-		attrs = "price,diff"
+	if names := wk.Schema.Attrs(0); len(names) > 0 {
+		attrs = strings.Join(names, ",")
 	}
-	fmt.Fprintf(bw, "#acep domain=%s types=%d attrs=%s\n",
+	fmt.Fprintf(bw, "#acep domain=%s types=%d attrs=%s",
 		wk.Domain, wk.Schema.NumTypes(), attrs)
+	if wk.Keys > 0 {
+		fmt.Fprintf(bw, " keys=%d", wk.Keys)
+	}
+	bw.WriteByte('\n')
 	for i := range wk.Events {
 		ev := &wk.Events[i]
 		fmt.Fprintf(bw, "%d,%d,%d", ev.Type, ev.TS, ev.Seq)
@@ -79,6 +83,13 @@ func ReadCSV(r io.Reader) (*gen.Workload, error) {
 		}
 	}
 	wk := &gen.Workload{Schema: schema, Domain: domain}
+	if ks := fields["keys"]; ks != "" {
+		keys, err := strconv.Atoi(ks)
+		if err != nil || keys < 0 {
+			return nil, fmt.Errorf("stream: bad keys field %q", ks)
+		}
+		wk.Keys = keys
+	}
 	line := 1
 	for sc.Scan() {
 		line++
@@ -139,8 +150,79 @@ func SortByTime(evs []event.Event) {
 }
 
 // Merge combines several timestamp-ordered streams into one, renumbering
-// Seq globally.
+// Seq globally. It runs a heap-based k-way merge — O(n log k) for n total
+// events over k streams — and breaks timestamp ties by stream index, so
+// the output is deterministic and each input stream's internal order is
+// preserved.
 func Merge(streams ...[]event.Event) []event.Event {
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	out := make([]event.Event, 0, total)
+
+	// h is a binary min-heap over the streams' current heads, ordered by
+	// head timestamp with ties broken by stream index. Caching the head
+	// timestamp in the node keeps each comparison free of double slice
+	// indexing.
+	type head struct {
+		ts event.Time
+		si int
+	}
+	idx := make([]int, len(streams))
+	h := make([]head, 0, len(streams))
+	less := func(a, b head) bool {
+		if a.ts != b.ts {
+			return a.ts < b.ts
+		}
+		return a.si < b.si
+	}
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(h) && less(h[l], h[m]) {
+				m = l
+			}
+			if r < len(h) && less(h[r], h[m]) {
+				m = r
+			}
+			if m == i {
+				return
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+	}
+	for si, s := range streams {
+		if len(s) > 0 {
+			h = append(h, head{ts: s[0].TS, si: si})
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	for len(h) > 0 {
+		si := h[0].si
+		out = append(out, streams[si][idx[si]])
+		idx[si]++
+		if idx[si] == len(streams[si]) {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		} else {
+			h[0].ts = streams[si][idx[si]].TS
+		}
+		siftDown(0)
+	}
+	for i := range out {
+		out[i].Seq = uint64(i + 1)
+	}
+	return out
+}
+
+// mergeLinear is the pre-heap O(n·k) implementation, kept as the baseline
+// for BenchmarkMerge.
+func mergeLinear(streams ...[]event.Event) []event.Event {
 	total := 0
 	for _, s := range streams {
 		total += len(s)
