@@ -50,6 +50,7 @@ import (
 	"acep/internal/pattern"
 	"acep/internal/sase"
 	"acep/internal/shard"
+	"acep/internal/shed"
 	"acep/internal/stats"
 )
 
@@ -193,6 +194,59 @@ func ShardKeyByAttr(s *Schema, attr string) (ShardKeyFunc, error) {
 func ShardPartitionable(p *Pattern, s *Schema, attr string) error {
 	return shard.Partitionable(p, s, attr)
 }
+
+// Overload control (load shedding): when the input rate exceeds what even
+// the best evaluation plan can absorb, the shedding layer drops events
+// before detection, trading match recall for bounded resource usage.
+// Configure it through Config.Shedding: pick a policy, set a Budget, and
+// the engine sheds only while over budget. Shedding never drops events of
+// negated pattern positions, so detected matches stay precise (a subset
+// of the full match set for negation-free patterns). All decisions are
+// deterministic functions of the stream and the configuration. See
+// DESIGN.md ("Overload control") for the architecture.
+type (
+	// ShedPolicy decides which events to drop while overloaded.
+	ShedPolicy = shed.Policy
+	// SheddingConfig configures the overload-control layer of an engine
+	// (the Shedding field of Config).
+	SheddingConfig = shed.Config
+	// ShedBudget sets the capacity targets the load monitor measures
+	// utilization against.
+	ShedBudget = shed.Budget
+)
+
+// Shard ingestion-queue overflow modes (ShardedConfig.Overflow).
+const (
+	// ShardBackpressure blocks ingestion while a shard's bounded queue is
+	// full (lossless, the default).
+	ShardBackpressure = shard.Backpressure
+	// ShardDropNewest discards overflowing handoffs and counts the lost
+	// events in Metrics().QueueDropped (lossy, never blocks).
+	ShardDropNewest = shard.DropNewest
+)
+
+// NewShedNone returns the disabled shedding policy: the load monitor runs
+// (utilization is reported) but no event is ever dropped.
+func NewShedNone() ShedPolicy { return shed.None{} }
+
+// NewShedRandom returns the uniform baseline policy: while overloaded,
+// every event is dropped with probability p.
+func NewShedRandom(p float64) ShedPolicy { return shed.Random{P: p} }
+
+// NewShedRateUtility returns the statistics-driven policy: while
+// overloaded it sheds the target fraction of the stream starting from the
+// event types of highest arrival rate and lowest predicate selectivity
+// (computed from the engine's own statistics snapshots); event types the
+// pattern never references are shed first at zero recall cost.
+func NewShedRateUtility(target float64) ShedPolicy { return shed.RateUtility{Target: target} }
+
+// NewShedPatternAware returns the liveness-driven policy: events whose
+// type could extend a live partial match — or whose partition key occurs
+// in one — are never dropped, and the remaining events are dropped at a
+// compensated rate so the stream-wide drop fraction still meets target.
+// At equal drop rate it retains strictly more matches than NewShedRandom
+// on keyed workloads (see the shed-traffic experiment in acep-bench).
+func NewShedPatternAware(target float64) ShedPolicy { return shed.PatternAware{Target: target} }
 
 // NewStaticPolicy returns the no-adaptation baseline: the initial plan is
 // kept forever.

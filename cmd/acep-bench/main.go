@@ -17,11 +17,20 @@
 //
 //	acep-bench -exp scale-traffic -shards 8 -batch 512
 //	acep-bench -exp scale-traffic -json BENCH_scaling.json
+//
+// shed-traffic and shed-stocks measure the overload-control layer's
+// throughput-vs-recall frontier (every shedding policy against the
+// unshedded baseline, under deterministic forced overload):
+//
+//	acep-bench -exp shed-traffic
+//	acep-bench -exp shed-traffic -shed random,pattern-aware -json BENCH_shedding.json
+//	acep-bench -exp shed-traffic -queue-cap 1024   # + bounded drop-newest queues
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -41,12 +50,15 @@ func main() {
 		sizes  = flag.String("sizes", "", "comma-separated pattern sizes (default 3..8)")
 		shards = flag.Int("shards", 0, "max shard count for scale-* experiments (sweeps powers of two; default 8)")
 		batch  = flag.Int("batch", 0, "events per shard handoff batch for scale-* experiments (0 = default)")
-		jsonMD = flag.String("json", "", "append scale-* results to this BENCH_*.json trajectory file")
+		shedPo = flag.String("shed", "", "comma-separated shedding policies for shed-* experiments (default all: random,rate-utility,pattern-aware)")
+		qcap   = flag.Int("queue-cap", 0, "bounded per-shard drop-newest ingestion queue (events) for shed-* experiments (0 = unsharded, deterministic)")
+		jsonMD = flag.String("json", "", "append scale-*/shed-* results to this BENCH_*.json trajectory file")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, id := range append(bench.ExperimentIDs(), bench.ScalingIDs()...) {
+		ids := append(bench.ExperimentIDs(), bench.ScalingIDs()...)
+		for _, id := range append(ids, bench.SheddingIDs()...) {
 			fmt.Println(id)
 		}
 		return
@@ -82,15 +94,20 @@ func main() {
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = append(bench.ExperimentIDs(), bench.ScalingIDs()...)
+		ids = append(ids, bench.SheddingIDs()...)
 	}
 	for _, id := range ids {
 		fmt.Printf("=== %s ===\n", id)
-		if isScaling(id) {
-			if err := runScaling(h, id, *shards, *batch, *jsonMD); err != nil {
-				fmt.Fprintf(os.Stderr, "acep-bench: %v\n", err)
-				os.Exit(1)
-			}
-		} else if err := r.Run(os.Stdout, id); err != nil {
+		var err error
+		switch {
+		case contains(bench.ScalingIDs(), id):
+			err = runScaling(h, id, *shards, *batch, *jsonMD)
+		case contains(bench.SheddingIDs(), id):
+			err = runShedding(h, id, *shedPo, *qcap, *jsonMD)
+		default:
+			err = r.Run(os.Stdout, id)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "acep-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -98,9 +115,9 @@ func main() {
 	}
 }
 
-func isScaling(id string) bool {
-	for _, sid := range bench.ScalingIDs() {
-		if id == sid {
+func contains(ids []string, id string) bool {
+	for _, s := range ids {
+		if id == s {
 			return true
 		}
 	}
@@ -120,13 +137,38 @@ func runScaling(h *bench.Harness, id string, maxShards, batch int, jsonPath stri
 		return err
 	}
 	d.Write(os.Stdout)
-	if jsonPath == "" {
+	return appendJSON(jsonPath, d.WriteJSON)
+}
+
+// runShedding executes one shed-* experiment with the CLI's policy
+// filter and queue bound, printing the frontier table and optionally
+// appending the run to a BENCH_*.json trajectory.
+func runShedding(h *bench.Harness, id, policyCSV string, queueCap int, jsonPath string) error {
+	var policies []string
+	if policyCSV != "" {
+		for _, p := range strings.Split(policyCSV, ",") {
+			policies = append(policies, strings.TrimSpace(p))
+		}
+	}
+	dataset := strings.TrimPrefix(id, "shed-")
+	d, err := h.Shedding(dataset, bench.DefaultShedTargets(), policies, queueCap)
+	if err != nil {
+		return err
+	}
+	d.Write(os.Stdout)
+	return appendJSON(jsonPath, d.WriteJSON)
+}
+
+// appendJSON appends one experiment record to a BENCH_*.json trajectory
+// file (no-op for an empty path).
+func appendJSON(path string, write func(io.Writer) error) error {
+	if path == "" {
 		return nil
 	}
-	f, err := os.OpenFile(jsonPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return d.WriteJSON(f)
+	return write(f)
 }

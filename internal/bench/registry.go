@@ -58,6 +58,10 @@ func ExperimentIDs() []string {
 // execution layer (not part of the paper's figure set).
 func ScalingIDs() []string { return []string{"scale-traffic", "scale-stocks"} }
 
+// SheddingIDs lists the overload-control experiments of the shedding
+// layer (not part of the paper's figure set).
+func SheddingIDs() []string { return []string{"shed-traffic", "shed-stocks"} }
+
 // tuned caches per-combo tuning (d_opt from the Figure 5 sweep, t_opt
 // from the threshold scan) and the full method-comparison data so the
 // main figure and the five appendix figures of one combo share a single
@@ -106,6 +110,17 @@ func (r *Runner) Run(w io.Writer, id string) error {
 			continue
 		}
 		d, err := r.H.Scaling(strings.TrimPrefix(id, "scale-"), DefaultShardCounts(), 0)
+		if err != nil {
+			return err
+		}
+		d.Write(w)
+		return nil
+	}
+	for _, sid := range SheddingIDs() {
+		if id != sid {
+			continue
+		}
+		d, err := r.H.Shedding(strings.TrimPrefix(id, "shed-"), DefaultShedTargets(), ShedPolicyNames(), 0)
 		if err != nil {
 			return err
 		}

@@ -27,6 +27,7 @@ type runner struct {
 	watermark  event.Time
 	lastSeq    uint64
 	sinceCheck int
+	lastSnap   *stats.Snapshot // most recent adaptation-check snapshot
 
 	metrics Metrics
 	retired nfa.Stats // counters accumulated from retired evaluators
@@ -125,6 +126,7 @@ func (r *runner) process(ev *event.Event) {
 func (r *runner) adaptationCheck() {
 	t0 := time.Now()
 	snap := r.est.Snapshot(r.watermark)
+	r.lastSnap = snap
 	r.metrics.StatTime += time.Since(t0)
 
 	t1 := time.Now()

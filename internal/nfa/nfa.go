@@ -295,6 +295,43 @@ func (g *Engine) complete(m *pm) {
 // Finish force-resolves all parked matches, treating the stream as ended.
 func (g *Engine) Finish() { g.res.Flush() }
 
+// LivePMs reports the current number of registered partial matches (the
+// shedding layer's load signal).
+func (g *Engine) LivePMs() int { return g.live }
+
+// HotTypes marks (in mark, indexed by event type) every type that could
+// extend a live partial match right now: for each non-empty NFA state,
+// the type of the next position in the plan's order. An event of a hot
+// type may be the one that advances — or completes — an in-flight match,
+// so the pattern-aware shedding policy protects it.
+func (g *Engine) HotTypes(mark []bool) {
+	for s := 1; s < g.n; s++ {
+		if len(g.states[s]) == 0 {
+			continue
+		}
+		if t := g.pat.Positions[g.op.Order[s]].Type; t < len(mark) {
+			mark[t] = true
+		}
+	}
+}
+
+// HotKeys calls add with key(ev) for one representative event of every
+// live partial match. For key-connected (partitionable) patterns every
+// event of a PM carries the same key value, so one representative
+// identifies the PM's entity.
+func (g *Engine) HotKeys(key func(*event.Event) uint64, add func(uint64)) {
+	for _, list := range g.states {
+		for _, m := range list {
+			for _, e := range m.evs {
+				if e != nil {
+					add(key(e))
+					break
+				}
+			}
+		}
+	}
+}
+
 // Stats returns a snapshot of the engine's counters.
 func (g *Engine) Stats() Stats {
 	return Stats{

@@ -1,0 +1,76 @@
+package sase
+
+import (
+	"strings"
+	"testing"
+
+	"acep/internal/event"
+)
+
+// fuzzSchema is the schema every fuzz input is parsed against: a few
+// types with attributes, covering aliasable names the seed corpus uses.
+func fuzzSchema() *event.Schema {
+	s := event.NewSchema()
+	s.MustAddType("A", "x", "y", "person_id")
+	s.MustAddType("B", "x", "y", "person_id")
+	s.MustAddType("C", "x", "y", "person_id")
+	s.MustAddType("Peak", "height")
+	return s
+}
+
+// FuzzParse asserts the parser's crash-safety contract: for arbitrary
+// input, Parse returns a pattern or an error — it never panics, and it
+// never returns both nil and no error.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// The grammar's happy paths.
+		"PATTERN SEQ(A a, B b, C c) WHERE a.person_id = b.person_id AND b.person_id = c.person_id WITHIN 10 minutes",
+		"PATTERN AND(A a, B b) WHERE a.x < b.x + 5 WITHIN 3 s",
+		"PATTERN SEQ(A a, ~B b, C c) WHERE a.x = c.x WITHIN 100 ms",
+		"PATTERN SEQ(A a, B+ b, C c) WHERE a.y >= c.y WITHIN 1 m",
+		"PATTERN SEQ(A a, B b) WHERE | a.x - b.x | < 2.5 WITHIN 5 sec",
+		"PATTERN SEQ(A a, B b) WHERE a.x != -3.5 WITHIN 2 minutes",
+		"PATTERN SEQ(Peak p) WHERE p.height > 100 WITHIN 1 min",
+		// Durations, negatives, fractions.
+		"PATTERN SEQ(A a) WITHIN 0.5 s",
+		"PATTERN SEQ(A a) WITHIN -5 s",
+		"PATTERN SEQ(A a) WITHIN 999999999999999999999 minutes",
+		// Malformed inputs the parser must reject gracefully.
+		"",
+		"PATTERN",
+		"PATTERN SEQ(",
+		"PATTERN SEQ(A a",
+		"PATTERN SEQ(A a, A a) WITHIN 1 s",
+		"PATTERN OR(A a) WITHIN 1 s",
+		"PATTERN SEQ(~A+ a) WITHIN 1 s",
+		"PATTERN SEQ(A a) WHERE WITHIN 1 s",
+		"PATTERN SEQ(A a) WHERE a.x WITHIN 1 s",
+		"PATTERN SEQ(A a) WHERE a.nosuch = 1 WITHIN 1 s",
+		"PATTERN SEQ(A a) WHERE b.x = 1 WITHIN 1 s",
+		"PATTERN SEQ(A a, B b) WHERE | a.x - b.x | > 2 WITHIN 1 s",
+		"PATTERN SEQ(A a) WITHIN 1 lightyears",
+		"PATTERN SEQ(A a) WITHIN 1 s trailing",
+		"PATTERN SEQ(A a) WITHIN . s",
+		"PATTERN SEQ(A a) WITHIN - s",
+		"pattern seq(a a) within 1 s",
+		"PATTERN SEQ(A a) WHERE a.x = 1.2.3 WITHIN 1 s",
+		"PATTERN SEQ(A a) WHERE a.x <=> 1 WITHIN 1 s",
+		"|||||", "~~~~", "....", "((((((((",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	schema := fuzzSchema()
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return // linear-time parser; cap the input to keep fuzzing fast
+		}
+		pat, err := Parse(schema, src)
+		if err == nil && pat == nil {
+			t.Fatalf("Parse(%q) returned neither pattern nor error", src)
+		}
+		if err != nil && !strings.HasPrefix(err.Error(), "sase: ") {
+			t.Fatalf("Parse(%q) error %q lacks the package prefix", src, err)
+		}
+	})
+}

@@ -14,7 +14,15 @@
 // match sets equals the global match set, because all events of one key
 // value are routed to one shard.
 //
-// # Ingestion and ordering
+// # Ingestion, bounded queues and ordering
+//
+// Per-shard ingestion queues are bounded (Options.Queue / QueueCap).
+// When a shard falls behind, Options.Overflow chooses between blocking
+// the producer (Backpressure, lossless) and discarding the overflowing
+// handoff (DropNewest, counted in Metrics().QueueDropped) — the coarse,
+// last-resort arm of overload control. The fine-grained arm is
+// per-event shedding inside each shard's engine (engine.Config.Shedding,
+// see internal/shed), whose load monitor watches this queue's depth.
 //
 // Process hands events to workers in batches (Options.Batch events per
 // cut) to amortize channel synchronization; at every cut all shards
@@ -42,6 +50,34 @@ import (
 	"acep/internal/pattern"
 )
 
+// Overflow selects what Process does when a shard's bounded ingestion
+// queue is full.
+type Overflow int
+
+const (
+	// Backpressure blocks Process until the shard drains (default): no
+	// event is ever lost, at the cost of stalling ingestion.
+	Backpressure Overflow = iota
+	// DropNewest discards the overflowing handoff's events for that shard
+	// and counts them in Metrics().QueueDropped. Ingestion never blocks;
+	// the dropped cut's watermark rides on the next successful handoff,
+	// so match ordering is unaffected (matches merely wait for the
+	// lagging shard's progress). Finish always delivers the final cut.
+	DropNewest
+)
+
+// String names the overflow mode.
+func (o Overflow) String() string {
+	switch o {
+	case Backpressure:
+		return "backpressure"
+	case DropNewest:
+		return "drop-newest"
+	default:
+		return fmt.Sprintf("Overflow(%d)", int(o))
+	}
+}
+
 // Options assembles a sharded engine.
 type Options struct {
 	// Shards is the number of partitions (and worker goroutines).
@@ -52,8 +88,15 @@ type Options struct {
 	// match emission latency.
 	Batch int
 	// Queue is the per-shard channel capacity in batches (default 4);
-	// ingestion blocks when a shard falls this far behind (backpressure).
+	// ingestion blocks (Backpressure) or drops (DropNewest) when a shard
+	// falls this far behind.
 	Queue int
+	// QueueCap, when positive, bounds the per-shard ingestion queue in
+	// events instead of batches: the capacity is QueueCap/Batch batches
+	// (at least one). It takes precedence over Queue.
+	QueueCap int
+	// Overflow selects the full-queue behavior (default Backpressure).
+	Overflow Overflow
 	// Key extracts the partition key (custom-extractor mode). Exactly one
 	// of Key and KeyAttr must be set.
 	Key KeyFunc
@@ -130,14 +173,17 @@ func (w *worker) run(col *collector, wg *sync.WaitGroup) {
 // be called from a single goroutine; OnMatch fires on the collector
 // goroutine. The zero value is not usable; construct with New.
 type Engine struct {
-	key     KeyFunc
-	nshards int
-	batch   int
+	key      KeyFunc
+	nshards  int
+	batch    int
+	overflow Overflow
 
 	workers []*worker
 	bufs    [][]event.Event
 	pending int
 	lastSeq uint64
+
+	queueDropped []uint64 // per shard, owned by the Process goroutine
 
 	col      *collector
 	wg       sync.WaitGroup
@@ -162,6 +208,9 @@ func New(pat *pattern.Pattern, cfg engine.Config, opts Options) (*Engine, error)
 	if opts.Batch <= 0 {
 		opts.Batch = 256
 	}
+	if opts.QueueCap > 0 {
+		opts.Queue = (opts.QueueCap + opts.Batch - 1) / opts.Batch
+	}
 	if opts.Queue <= 0 {
 		opts.Queue = 4
 	}
@@ -185,11 +234,13 @@ func New(pat *pattern.Pattern, cfg engine.Config, opts Options) (*Engine, error)
 	}
 
 	e := &Engine{
-		key:     opts.Key,
-		nshards: opts.Shards,
-		batch:   opts.Batch,
-		bufs:    make([][]event.Event, opts.Shards),
-		col:     newCollector(opts.Shards, opts.OnMatch),
+		key:          opts.Key,
+		nshards:      opts.Shards,
+		batch:        opts.Batch,
+		overflow:     opts.Overflow,
+		bufs:         make([][]event.Event, opts.Shards),
+		queueDropped: make([]uint64, opts.Shards),
+		col:          newCollector(opts.Shards, opts.OnMatch),
 	}
 	for s := 0; s < e.nshards; s++ {
 		w := &worker{id: s, in: make(chan cut, opts.Queue)}
@@ -198,10 +249,21 @@ func New(pat *pattern.Pattern, cfg engine.Config, opts Options) (*Engine, error)
 			w.out = append(w.out, tagged{m: m, seq: w.curSeq, shard: w.id, idx: w.idx})
 			w.idx++
 		}
+		if shardCfg.Shedding.Policy != nil && shardCfg.Shedding.Key == nil {
+			// Pattern-aware shedding protects per-entity state; default the
+			// protected key to the partition key so each shard's shedder
+			// recognizes its own live entities.
+			shardCfg.Shedding.Key = opts.Key
+		}
 		eng, err := engine.New(pat, shardCfg)
 		if err != nil {
 			return nil, err
 		}
+		// The shedder (when configured) watches this worker's queue depth;
+		// both run on the worker goroutine, and len/cap on the channel are
+		// safe to sample from there.
+		in := w.in
+		eng.SetQueueProbe(func() (int, int) { return len(in), cap(in) })
 		w.eng = eng
 		e.workers = append(e.workers, w)
 	}
@@ -225,16 +287,28 @@ func (e *Engine) Process(ev *event.Event) {
 	e.lastSeq = ev.Seq
 	e.pending++
 	if e.pending >= e.batch {
-		e.cutAll()
+		e.cutAll(false)
 	}
 }
 
 // cutAll seals the current cut: every shard receives its accumulated
 // events (possibly none) and the watermark, so progress advances
-// uniformly across shards.
-func (e *Engine) cutAll() {
+// uniformly across shards. When block is false and the overflow mode is
+// DropNewest, a full shard's handoff is discarded instead of awaited (the
+// events are lost and counted; the watermark rides on the next successful
+// handoff, whose upTo is necessarily newer).
+func (e *Engine) cutAll(block bool) {
 	for s, w := range e.workers {
-		w.in <- cut{events: e.bufs[s], upTo: e.lastSeq}
+		c := cut{events: e.bufs[s], upTo: e.lastSeq}
+		if block || e.overflow == Backpressure {
+			w.in <- c
+		} else {
+			select {
+			case w.in <- c:
+			default:
+				e.queueDropped[s] += uint64(len(c.events))
+			}
+		}
 		e.bufs[s] = nil
 	}
 	e.pending = 0
@@ -247,7 +321,7 @@ func (e *Engine) Finish() {
 		return
 	}
 	e.finished = true
-	e.cutAll()
+	e.cutAll(true) // the final cut always delivers, even under DropNewest
 	for _, w := range e.workers {
 		close(w.in)
 	}
@@ -259,13 +333,15 @@ func (e *Engine) Finish() {
 // Shards reports the shard count.
 func (e *Engine) Shards() int { return e.nshards }
 
-// Metrics merges the per-shard engine metrics into one stream-wide view.
-// Call after Finish (shard engines are owned by their workers until
-// then).
+// Metrics merges the per-shard engine metrics into one stream-wide view,
+// including the events dropped on queue overflow. Call after Finish
+// (shard engines are owned by their workers until then).
 func (e *Engine) Metrics() engine.Metrics {
 	var m engine.Metrics
-	for _, w := range e.workers {
-		m.Merge(w.eng.Metrics())
+	for i, w := range e.workers {
+		sm := w.eng.Metrics()
+		sm.QueueDropped += e.queueDropped[i]
+		m.Merge(sm)
 	}
 	return m
 }
@@ -276,6 +352,7 @@ func (e *Engine) ShardMetrics() []engine.Metrics {
 	out := make([]engine.Metrics, len(e.workers))
 	for i, w := range e.workers {
 		out[i] = w.eng.Metrics()
+		out[i].QueueDropped += e.queueDropped[i]
 	}
 	return out
 }

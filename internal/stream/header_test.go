@@ -1,0 +1,117 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"acep/internal/event"
+	"acep/internal/gen"
+)
+
+// TestZeroAttrRoundTrip is the regression test for the phantom-attribute
+// bug: a workload whose types carry no attributes used to come back from
+// CSV with a single attribute named "" (splitting the empty attrs= value
+// yields [""]).
+func TestZeroAttrRoundTrip(t *testing.T) {
+	s := event.NewSchema()
+	s.MustAddType("A")
+	s.MustAddType("B")
+	wk := &gen.Workload{Schema: s, Domain: "traffic"}
+	for i := 0; i < 5; i++ {
+		ev := s.MustNew(i%2, event.Time(10*i))
+		ev.Seq = uint64(i + 1)
+		wk.Events = append(wk.Events, ev)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, wk); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if !strings.Contains(buf.String(), "attrs=\n") && !strings.Contains(buf.String(), "attrs= ") {
+		t.Fatalf("header does not carry an empty attrs= field: %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if n := got.Schema.NumAttrs(0); n != 0 {
+		t.Fatalf("round trip fabricated %d attributes: %v", n, got.Schema.Attrs(0))
+	}
+	if len(got.Events) != len(wk.Events) {
+		t.Fatalf("%d events, want %d", len(got.Events), len(wk.Events))
+	}
+	for i, ev := range got.Events {
+		if len(ev.Attrs) != 0 || ev.Type != wk.Events[i].Type || ev.TS != wk.Events[i].TS {
+			t.Fatalf("event %d = %v, want %v", i, ev, wk.Events[i])
+		}
+	}
+}
+
+// TestMalformedHeaders is the regression test for silent header
+// misparses: malformed k=v tokens and a missing attrs field used to be
+// ignored (the latter registering the phantom "" attribute); they must be
+// line-numbered errors now.
+func TestMalformedHeaders(t *testing.T) {
+	cases := map[string]struct {
+		in      string
+		wantErr string
+	}{
+		"missing attrs field": {
+			"#acep domain=traffic types=2\n0,1,1\n",
+			"missing the attrs= field",
+		},
+		"missing types field": {
+			"#acep domain=traffic attrs=a,b\n",
+			"missing the types= field",
+		},
+		"bare token": {
+			"#acep domain=traffic types attrs=a\n",
+			"malformed header token \"types\"",
+		},
+		"empty key": {
+			"#acep domain=traffic types=2 =v attrs=a\n",
+			"malformed header token \"=v\"",
+		},
+		"duplicate field": {
+			"#acep types=2 types=3 attrs=a\n",
+			"duplicate header field \"types\"",
+		},
+		"empty attr name": {
+			"#acep types=2 attrs=a,,b\n",
+			"empty attribute name",
+		},
+		"negative keys": {
+			"#acep types=2 attrs=a keys=-1\n",
+			"bad keys field",
+		},
+	}
+	for name, c := range cases {
+		_, err := ReadCSV(strings.NewReader(c.in))
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", name, err, c.wantErr)
+		}
+		if !strings.Contains(err.Error(), "line 1") {
+			t.Errorf("%s: error %q is not line-numbered", name, err)
+		}
+	}
+}
+
+// TestHeaderValidStillAccepted guards against over-tightening: the exact
+// headers WriteCSV has always produced (with and without keys=) must
+// still parse.
+func TestHeaderValidStillAccepted(t *testing.T) {
+	for _, in := range []string{
+		"#acep domain=traffic types=2 attrs=speed,count\n0,1,1,1.5,2\n",
+		"#acep domain=stocks types=1 attrs=price,diff,key keys=8\n0,1,1,1,2,3\n",
+		"#acep domain=traffic types=1 attrs=\n0,1,1\n",
+	} {
+		if _, err := ReadCSV(strings.NewReader(in)); err != nil {
+			t.Errorf("rejected valid header: %v\ninput: %q", err, in)
+		}
+	}
+}

@@ -26,10 +26,9 @@ import (
 // its partitionability.
 func WriteCSV(w io.Writer, wk *gen.Workload) error {
 	bw := bufio.NewWriter(w)
-	attrs := "?"
-	if names := wk.Schema.Attrs(0); len(names) > 0 {
-		attrs = strings.Join(names, ",")
-	}
+	// A schema without attributes writes an empty attrs= value, which
+	// ReadCSV round-trips to zero registered attributes.
+	attrs := strings.Join(wk.Schema.Attrs(0), ",")
 	fmt.Fprintf(bw, "#acep domain=%s types=%d attrs=%s",
 		wk.Domain, wk.Schema.NumTypes(), attrs)
 	if wk.Keys > 0 {
@@ -62,15 +61,34 @@ func ReadCSV(r io.Reader) (*gen.Workload, error) {
 	fields := map[string]string{}
 	for _, kv := range strings.Fields(header)[1:] {
 		parts := strings.SplitN(kv, "=", 2)
-		if len(parts) == 2 {
-			fields[parts[0]] = parts[1]
+		if len(parts) != 2 || parts[0] == "" {
+			return nil, fmt.Errorf("stream: line 1: malformed header token %q (want key=value)", kv)
+		}
+		if _, dup := fields[parts[0]]; dup {
+			return nil, fmt.Errorf("stream: line 1: duplicate header field %q", parts[0])
+		}
+		fields[parts[0]] = parts[1]
+	}
+	for _, req := range []string{"types", "attrs"} {
+		if _, ok := fields[req]; !ok {
+			return nil, fmt.Errorf("stream: line 1: header is missing the %s= field", req)
 		}
 	}
 	ntypes, err := strconv.Atoi(fields["types"])
 	if err != nil || ntypes <= 0 {
-		return nil, fmt.Errorf("stream: bad types field %q", fields["types"])
+		return nil, fmt.Errorf("stream: line 1: bad types field %q", fields["types"])
 	}
-	attrs := strings.Split(fields["attrs"], ",")
+	// An empty attrs= value means zero attributes per type; splitting it
+	// would fabricate a single attribute named "".
+	var attrs []string
+	if fields["attrs"] != "" {
+		attrs = strings.Split(fields["attrs"], ",")
+		for _, a := range attrs {
+			if a == "" {
+				return nil, fmt.Errorf("stream: line 1: empty attribute name in attrs=%q", fields["attrs"])
+			}
+		}
+	}
 	domain := fields["domain"]
 	schema := event.NewSchema()
 	prefix := "T"
@@ -86,7 +104,7 @@ func ReadCSV(r io.Reader) (*gen.Workload, error) {
 	if ks := fields["keys"]; ks != "" {
 		keys, err := strconv.Atoi(ks)
 		if err != nil || keys < 0 {
-			return nil, fmt.Errorf("stream: bad keys field %q", ks)
+			return nil, fmt.Errorf("stream: line 1: bad keys field %q", ks)
 		}
 		wk.Keys = keys
 	}

@@ -255,6 +255,53 @@ func (g *Engine) complete(t *tuple) {
 // Finish force-resolves all parked matches.
 func (g *Engine) Finish() { g.res.Flush() }
 
+// LivePMs reports the current number of stored tuples (the shedding
+// layer's load signal; tuples play the role of partial matches).
+func (g *Engine) LivePMs() int { return g.live }
+
+// HotTypes marks (in mark, indexed by event type) every type that could
+// extend a live tuple right now: a leaf position is hot when its
+// sibling's store is non-empty, so an arriving event of that type joins
+// immediately and propagates toward the root. (Deeper propagation is not
+// modelled; the immediate join is the first-order signal the
+// pattern-aware shedding policy protects.)
+func (g *Engine) HotTypes(mark []bool) {
+	for p, leaf := range g.leafByPos {
+		if leaf == nil || leaf.sibling == nil || len(leaf.sibling.store) == 0 {
+			continue
+		}
+		if t := g.pat.Positions[p].Type; t < len(mark) {
+			mark[t] = true
+		}
+	}
+}
+
+// HotKeys calls add with key(ev) for one representative event of every
+// tuple stored at an internal node — a genuinely joined partial match of
+// two or more events. Leaf tuples (single buffered events) are
+// deliberately excluded: counting every buffered event's key would mark
+// every recently active entity hot and starve the shedder of droppable
+// mass, whereas an internal join is real progress worth protecting.
+func (g *Engine) HotKeys(key func(*event.Event) uint64, add func(uint64)) {
+	g.hotKeys(g.root, key, add)
+}
+
+func (g *Engine) hotKeys(n *node, key func(*event.Event) uint64, add func(uint64)) {
+	if n == nil || n.leaf {
+		return
+	}
+	for _, t := range n.store {
+		for _, e := range t.evs {
+			if e != nil {
+				add(key(e))
+				break
+			}
+		}
+	}
+	g.hotKeys(n.left, key, add)
+	g.hotKeys(n.right, key, add)
+}
+
 // Stats returns a snapshot of the engine's counters.
 func (g *Engine) Stats() Stats {
 	return Stats{
