@@ -42,6 +42,7 @@
 package acep
 
 import (
+	"acep/internal/cluster"
 	"acep/internal/core"
 	"acep/internal/engine"
 	"acep/internal/event"
@@ -193,6 +194,96 @@ func ShardKeyByAttr(s *Schema, attr string) (ShardKeyFunc, error) {
 // predicates must connect every pattern position.
 func ShardPartitionable(p *Pattern, s *Schema, attr string) error {
 	return shard.Partitionable(p, s, attr)
+}
+
+// Distributed execution: the cluster layer scales the sharded engine
+// across worker nodes. An ingress coordinator partitions the stream by
+// key across nodes with the same consistent placement the shard layer
+// uses locally, drives uniform watermark cuts (idle nodes still advance),
+// and merges the node match streams into one deterministic, ordered
+// output that is byte-identical to the single-process sharded engine's
+// for key-partitionable patterns. Nodes are either spawned in-process
+// (ClusterConfig.Nodes, chan transport) or connected over TCP
+// (ClusterConfig.Connect, workers started with cmd/acep-node). See
+// DESIGN.md ("Distributed execution").
+type (
+	// ClusterIngress is the cluster coordinator: Process events, Finish,
+	// read merged or per-node Metrics.
+	ClusterIngress = cluster.Ingress
+)
+
+// ClusterConfig assembles a distributed cluster behind one ingress.
+type ClusterConfig struct {
+	// Connect lists the TCP addresses of running worker nodes (started
+	// with cmd/acep-node, which must serve the same pattern and schema —
+	// the handshake verifies fingerprints). When empty, Nodes in-process
+	// workers are spawned instead.
+	Connect []string
+	// Nodes is the in-process worker count (default 2; ignored with
+	// Connect set).
+	Nodes int
+	// ShardsPerNode is each in-process node's shard-engine count
+	// (default 1; remote nodes choose their own via acep-node -shards).
+	ShardsPerNode int
+	// Batch is the events-per-cut of the ingress (default 256).
+	Batch int
+	// QueueCap bounds each in-process node's per-shard ingestion queue
+	// in events (see ShardedConfig.QueueCap).
+	QueueCap int
+	// KeyAttr + Schema (or a custom Key) select the partition key, with
+	// the same partitionability validation as NewShardedEngine.
+	KeyAttr string
+	Schema  *Schema
+	Key     ShardKeyFunc
+	// OnMatch receives every match in the merged deterministic order.
+	OnMatch func(*Match)
+}
+
+// NewClusterIngress builds a distributed cluster ingress for the
+// pattern. cfg configures the engines of in-process nodes exactly like
+// NewShardedEngine's engine config (ignored for Connect mode, where each
+// remote worker owns its engine configuration).
+//
+//	ing, err := acep.NewClusterIngress(pattern, acep.Config{}, acep.ClusterConfig{
+//		Nodes:         3,
+//		ShardsPerNode: 2,
+//		KeyAttr:       "key",
+//		Schema:        w.Schema,
+//		OnMatch:       func(m *acep.Match) { ... },
+//	})
+//	for i := range events { ing.Process(&events[i]) }
+//	err = ing.Finish()
+func NewClusterIngress(p *Pattern, cfg Config, cc ClusterConfig) (*ClusterIngress, error) {
+	if len(cc.Connect) > 0 {
+		conns := make([]cluster.Conn, len(cc.Connect))
+		for i, addr := range cc.Connect {
+			c, err := cluster.DialTCP(addr)
+			if err != nil {
+				for _, open := range conns[:i] {
+					open.Close() // release the workers already dialed
+				}
+				return nil, err
+			}
+			conns[i] = c
+		}
+		return cluster.NewIngress(p, conns, cluster.IngressOptions{
+			Batch:   cc.Batch,
+			Key:     cc.Key,
+			KeyAttr: cc.KeyAttr,
+			Schema:  cc.Schema,
+			OnMatch: cc.OnMatch,
+		})
+	}
+	return cluster.StartLocal(p, cfg, cluster.LocalConfig{
+		Nodes:         cc.Nodes,
+		ShardsPerNode: cc.ShardsPerNode,
+		Batch:         cc.Batch,
+		QueueCap:      cc.QueueCap,
+		Key:           cc.Key,
+		KeyAttr:       cc.KeyAttr,
+		Schema:        cc.Schema,
+		OnMatch:       cc.OnMatch,
+	})
 }
 
 // Overload control (load shedding): when the input rate exceeds what even

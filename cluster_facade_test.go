@@ -1,0 +1,95 @@
+package acep_test
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"acep"
+)
+
+// TestFacadeCluster runs the quick-start person pattern through the
+// in-process cluster ingress at several node layouts and checks the
+// match set against the single-threaded engine — the facade-level slice
+// of the cluster layer's exactness property.
+func TestFacadeCluster(t *testing.T) {
+	schema, pat, types := personPattern(t)
+
+	var events []acep.Event
+	seq := uint64(0)
+	for step, typ := range types {
+		for person := 0; person < 40; person++ {
+			seq++
+			events = append(events, acep.Event{
+				Type:  typ,
+				TS:    acep.Time(step*60+person) * acep.Second,
+				Seq:   seq,
+				Attrs: []float64{float64(person)},
+			})
+		}
+	}
+
+	var want []string
+	single, err := acep.NewEngine(pat, acep.Config{
+		OnMatch: func(m *acep.Match) { want = append(want, m.Key()) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range events {
+		single.Process(&events[i])
+	}
+	single.Finish()
+	sort.Strings(want)
+	if len(want) == 0 {
+		t.Fatal("reference found no matches")
+	}
+
+	for _, layout := range []struct{ nodes, shards int }{{1, 1}, {2, 2}, {3, 1}} {
+		var got []string
+		ing, err := acep.NewClusterIngress(pat, acep.Config{}, acep.ClusterConfig{
+			Nodes:         layout.nodes,
+			ShardsPerNode: layout.shards,
+			Batch:         16,
+			KeyAttr:       "person_id",
+			Schema:        schema,
+			OnMatch:       func(m *acep.Match) { got = append(got, m.Key()) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range events {
+			ing.Process(&events[i])
+		}
+		if err := ing.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		sort.Strings(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("nodes=%d shards=%d: %d matches vs %d", layout.nodes, layout.shards, len(got), len(want))
+		}
+		if ing.Metrics().EventsArrived != uint64(len(events)) {
+			t.Fatalf("nodes=%d: merged metrics missed events", layout.nodes)
+		}
+	}
+}
+
+// TestFacadeClusterRejectsUnpartitionable: the cluster enforces the same
+// partitionability precondition as the sharded engine.
+func TestFacadeClusterRejectsUnpartitionable(t *testing.T) {
+	schema := acep.NewSchema()
+	a := schema.MustAddType("A", "person_id")
+	b := schema.MustAddType("B", "person_id")
+	pb := acep.NewPattern(schema, acep.Seq, acep.Minute)
+	pb.Event(a)
+	pb.Event(b) // no WhereEq: matches may span persons
+	pat := pb.MustBuild()
+	_, err := acep.NewClusterIngress(pat, acep.Config{}, acep.ClusterConfig{
+		Nodes:   2,
+		KeyAttr: "person_id",
+		Schema:  schema,
+	})
+	if err == nil {
+		t.Fatal("unpartitionable pattern accepted")
+	}
+}

@@ -25,6 +25,14 @@
 //	acep-bench -exp shed-traffic
 //	acep-bench -exp shed-traffic -shed random,pattern-aware -json BENCH_shedding.json
 //	acep-bench -exp shed-traffic -queue-cap 1024   # + bounded drop-newest queues
+//
+// cluster-traffic and cluster-stocks measure the distributed layer's
+// throughput against node count (loopback-TCP worker nodes, each point
+// cross-checked against the single-process sharded engine at the same
+// total shard count):
+//
+//	acep-bench -exp cluster-traffic -nodes 3 -shards 2
+//	acep-bench -exp cluster-traffic -json BENCH_cluster.json
 package main
 
 import (
@@ -48,7 +56,8 @@ func main() {
 		window = flag.Int64("window", 0, "pattern window in logical ms (default 100)")
 		check  = flag.Int("check", 0, "adaptation check interval in events (default 500)")
 		sizes  = flag.String("sizes", "", "comma-separated pattern sizes (default 3..8)")
-		shards = flag.Int("shards", 0, "max shard count for scale-* experiments (sweeps powers of two; default 8)")
+		shards = flag.Int("shards", 0, "max shard count for scale-* experiments (sweeps powers of two; default 8); shards per node for cluster-*")
+		nodes  = flag.Int("nodes", 0, "max node count for cluster-* experiments (default sweep 1,2,3)")
 		batch  = flag.Int("batch", 0, "events per shard handoff batch for scale-* experiments (0 = default)")
 		shedPo = flag.String("shed", "", "comma-separated shedding policies for shed-* experiments (default all: random,rate-utility,pattern-aware)")
 		qcap   = flag.Int("queue-cap", 0, "bounded per-shard drop-newest ingestion queue (events) for shed-* experiments (0 = unsharded, deterministic)")
@@ -58,7 +67,8 @@ func main() {
 
 	if *list {
 		ids := append(bench.ExperimentIDs(), bench.ScalingIDs()...)
-		for _, id := range append(ids, bench.SheddingIDs()...) {
+		ids = append(ids, bench.SheddingIDs()...)
+		for _, id := range append(ids, bench.ClusterIDs()...) {
 			fmt.Println(id)
 		}
 		return
@@ -95,6 +105,7 @@ func main() {
 	if *exp == "all" {
 		ids = append(bench.ExperimentIDs(), bench.ScalingIDs()...)
 		ids = append(ids, bench.SheddingIDs()...)
+		ids = append(ids, bench.ClusterIDs()...)
 	}
 	for _, id := range ids {
 		fmt.Printf("=== %s ===\n", id)
@@ -104,6 +115,8 @@ func main() {
 			err = runScaling(h, id, *shards, *batch, *jsonMD)
 		case contains(bench.SheddingIDs(), id):
 			err = runShedding(h, id, *shedPo, *qcap, *jsonMD)
+		case contains(bench.ClusterIDs(), id):
+			err = runCluster(h, id, *nodes, *shards, *batch, *jsonMD)
 		default:
 			err = r.Run(os.Stdout, id)
 		}
@@ -152,6 +165,23 @@ func runShedding(h *bench.Harness, id, policyCSV string, queueCap int, jsonPath 
 	}
 	dataset := strings.TrimPrefix(id, "shed-")
 	d, err := h.Shedding(dataset, bench.DefaultShedTargets(), policies, queueCap)
+	if err != nil {
+		return err
+	}
+	d.Write(os.Stdout)
+	return appendJSON(jsonPath, d.WriteJSON)
+}
+
+// runCluster executes one cluster-* experiment with the CLI's node
+// sweep, shards-per-node and batch size, printing the table and
+// optionally appending the run to a BENCH_*.json trajectory.
+func runCluster(h *bench.Harness, id string, maxNodes, shardsPerNode, batch int, jsonPath string) error {
+	counts := bench.DefaultNodeCounts()
+	if maxNodes > 0 {
+		counts = bench.NodeCountsUpTo(maxNodes)
+	}
+	dataset := strings.TrimPrefix(id, "cluster-")
+	d, err := h.Cluster(dataset, counts, shardsPerNode, batch)
 	if err != nil {
 		return err
 	}

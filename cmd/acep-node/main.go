@@ -1,0 +1,191 @@
+// Command acep-node runs a cluster worker node: it hosts a block of
+// shard engines behind a TCP listener and serves ingress sessions
+// (cmd/acep-run -connect, or any cluster.Ingress). The node must be
+// configured with the same workload schema and pattern as the ingress —
+// the handshake compares fingerprints and refuses to pair otherwise —
+// so both sides point -in at the same CSV (only the header is needed
+// here; the events stay at the ingress).
+//
+//	acep-gen -dataset traffic -keys 64 -o keyed.csv
+//	acep-node -listen 127.0.0.1:7101 -in keyed.csv -kind sequence -size 4 -shards 2 &
+//	acep-node -listen 127.0.0.1:7102 -in keyed.csv -kind sequence -size 4 -shards 2 &
+//	acep-run  -in keyed.csv -kind sequence -size 4 -connect 127.0.0.1:7101,127.0.0.1:7102
+//
+// Overload control applies at the node's ingress: -shed picks the
+// shedding policy each local shard engine runs with, and -queue-cap
+// bounds the local ingestion queues (-overflow drop makes them lossy
+// instead of backpressuring the network reader).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"acep/internal/cluster"
+	"acep/internal/core"
+	"acep/internal/engine"
+	"acep/internal/event"
+	"acep/internal/gen"
+	"acep/internal/shard"
+	"acep/internal/shed"
+	"acep/internal/stream"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:0", "TCP address to serve ingress sessions on")
+		in      = flag.String("in", "", "workload CSV whose schema/pattern this node serves (required; see acep-gen)")
+		kindStr = flag.String("kind", "sequence", "pattern family: sequence, conjunction, negation, kleene, composite")
+		size    = flag.Int("size", 3, "pattern size")
+		window  = flag.Int64("window", 150, "pattern window in logical ms")
+		model   = flag.String("model", "greedy", "evaluation model: greedy (order-based NFA) or zstream (tree)")
+		policy  = flag.String("policy", "invariant", "adaptation policy: static, unconditional, threshold, invariant")
+		tFlag   = flag.Float64("t", 0.3, "threshold for -policy threshold")
+		dFlag   = flag.Float64("d", 0.2, "distance for -policy invariant")
+		kFlag   = flag.Int("k", 1, "invariants per building block (K-invariant method)")
+		check   = flag.Int("check", 500, "adaptation check interval in events")
+		shards  = flag.Int("shards", 1, "local shard engines this node hosts")
+		batch   = flag.Int("batch", 0, "local handoff batch (0 = default)")
+		keyAttr = flag.String("key", "key", "partition-key attribute")
+		shedPol = flag.String("shed", "none", "load-shedding policy: none, random, rate-utility, pattern-aware")
+		shedTgt = flag.Float64("shed-target", 0.3, "drop fraction the shedding policy aims for while overloaded")
+		shedPMs = flag.Int("shed-pms", 0, "live partial-match budget per shard engine")
+		shedEPS = flag.Float64("shed-rate", 0, "arrival-rate budget in events per logical second")
+		qcap    = flag.Int("queue-cap", 0, "per-shard ingestion queue bound in events (0 = default)")
+		overfl  = flag.String("overflow", "block", "full-queue behavior: block (backpressure) or drop")
+		once    = flag.Bool("once", false, "serve a single ingress session and exit")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "acep-node: -in required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fail(err)
+	}
+	w, err := stream.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+
+	var kind gen.Kind
+	switch *kindStr {
+	case "sequence":
+		kind = gen.Sequence
+	case "conjunction":
+		kind = gen.Conjunction
+	case "negation":
+		kind = gen.Negation
+	case "kleene":
+		kind = gen.Kleene
+	case "composite":
+		kind = gen.Composite
+	default:
+		fail(fmt.Errorf("unknown kind %q", *kindStr))
+	}
+	pat, err := w.Pattern(kind, *size, event.Time(*window))
+	if err != nil {
+		fail(err)
+	}
+	// Only the schema and pattern matter here; the events stay at the
+	// ingress. Release them so a long-running worker does not hold the
+	// whole workload resident.
+	w.Events = nil
+
+	m := engine.GreedyNFA
+	if *model == "zstream" {
+		m = engine.ZStreamTree
+	} else if *model != "greedy" {
+		fail(fmt.Errorf("unknown model %q", *model))
+	}
+	newPolicy := func() core.Policy {
+		switch *policy {
+		case "static":
+			return core.Static{}
+		case "unconditional":
+			return core.Unconditional{}
+		case "threshold":
+			return &core.Threshold{T: *tFlag}
+		case "invariant":
+			return &core.Invariant{K: *kFlag, D: *dFlag}
+		default:
+			fail(fmt.Errorf("unknown policy %q", *policy))
+			return nil
+		}
+	}
+	var shedCfg shed.Config
+	switch *shedPol {
+	case "none", "":
+	case "random":
+		shedCfg.Policy = shed.Random{P: *shedTgt}
+	case "rate-utility":
+		shedCfg.Policy = shed.RateUtility{Target: *shedTgt}
+	case "pattern-aware":
+		shedCfg.Policy = shed.PatternAware{Target: *shedTgt}
+	default:
+		fail(fmt.Errorf("unknown shedding policy %q", *shedPol))
+	}
+	if shedCfg.Policy != nil {
+		shedCfg.Budget = shed.Budget{LivePMs: *shedPMs, EventsPerSec: *shedEPS}
+		if *shedPMs <= 0 && *shedEPS <= 0 {
+			fail(fmt.Errorf("-shed %s needs a budget: set -shed-pms and/or -shed-rate", *shedPol))
+		}
+	}
+	overflow := shard.Backpressure
+	switch *overfl {
+	case "block":
+	case "drop":
+		overflow = shard.DropNewest
+	default:
+		fail(fmt.Errorf("unknown overflow mode %q (want block or drop)", *overfl))
+	}
+
+	node, err := cluster.NewNode(cluster.NodeConfig{
+		Pattern: pat,
+		Engine: engine.Config{
+			Model:      m,
+			NewPolicy:  newPolicy,
+			CheckEvery: *check,
+			Shedding:   shedCfg,
+		},
+		Shards:   *shards,
+		Batch:    *batch,
+		QueueCap: *qcap,
+		Overflow: overflow,
+		KeyAttr:  *keyAttr,
+		Schema:   w.Schema,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	l, err := cluster.ListenTCP(*listen)
+	if err != nil {
+		fail(err)
+	}
+	log.Printf("acep-node: serving %d shard(s) of %s on %s", *shards, pat, l.Addr())
+	if *once {
+		c, err := l.Accept()
+		if err != nil {
+			fail(err)
+		}
+		if err := node.Serve(c); err != nil {
+			fail(err)
+		}
+		log.Printf("acep-node: session complete")
+		return
+	}
+	err = node.ServeListener(l, func(err error) {
+		log.Printf("acep-node: session error: %v", err)
+	})
+	fail(err)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "acep-node: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"acep/internal/cluster"
+	"acep/internal/core"
+	"acep/internal/engine"
+	"acep/internal/gen"
+	"acep/internal/match"
+	"acep/internal/pattern"
+	"acep/internal/shard"
+	"acep/internal/stats"
+)
+
+// ClusterIDs lists the distributed-layer experiments.
+func ClusterIDs() []string { return []string{"cluster-traffic", "cluster-stocks"} }
+
+// matchDigest folds match keys, in delivery order, into one FNV-1a
+// digest: equal digests mean identical match sets delivered in
+// identical order, which is exactly the cluster layer's exactness
+// guarantee against the single-process sharded engine at equal total
+// shard count.
+type matchDigest struct {
+	h uint64
+	n uint64
+}
+
+func (d *matchDigest) add(m *match.Match) {
+	if d.n == 0 {
+		d.h = 14695981039346656037
+	}
+	k := m.Key()
+	for i := 0; i < len(k); i++ {
+		d.h ^= uint64(k[i])
+		d.h *= 1099511628211
+	}
+	d.h ^= '\n'
+	d.h *= 1099511628211
+	d.n++
+}
+
+// DefaultNodeCounts is the node sweep of the cluster experiment.
+func DefaultNodeCounts() []int { return []int{1, 2, 3} }
+
+// NodeCountsUpTo returns 1..max node counts (doubling, max included).
+func NodeCountsUpTo(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	var out []int
+	for n := 1; n <= max; n *= 2 {
+		out = append(out, n)
+	}
+	if out[len(out)-1] != max {
+		out = append(out, max)
+	}
+	return out
+}
+
+// ClusterPoint is one measured node count.
+type ClusterPoint struct {
+	Nodes       int     `json:"nodes"`
+	TotalShards int     `json:"total_shards"`
+	Throughput  float64 `json:"events_per_sec"`
+	Speedup     float64 `json:"speedup"` // vs the 1-node cluster baseline
+	// LocalThroughput is the single-process sharded engine at the same
+	// total shard count, so the wire overhead is visible per point.
+	LocalThroughput float64 `json:"local_events_per_sec"`
+	WireOverhead    float64 `json:"wire_overhead"` // 1 - cluster/local
+	Matches         uint64  `json:"matches"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
+}
+
+// ClusterData is the throughput-vs-node-count experiment of the
+// distributed layer: every point runs the identical keyed workload
+// through a loopback-TCP cluster (real wire codec, real sockets, one
+// process) and through the single-process sharded engine at the same
+// total shard count, verifying the match sets agree before reporting.
+// Recorded runs accrue in BENCH_cluster.json.
+type ClusterData struct {
+	Dataset       string         `json:"dataset"`
+	Events        int            `json:"events"`
+	Keys          int            `json:"keys"`
+	ShardsPerNode int            `json:"shards_per_node"`
+	Batch         int            `json:"batch"`
+	Cores         int            `json:"cores"`
+	Transport     string         `json:"transport"`
+	Points        []ClusterPoint `json:"points"`
+}
+
+// Cluster measures events/sec of a loopback-TCP cluster over the
+// node-count sweep on the keyed dataset, with the same size-4 keyed
+// sequence pattern and per-shard invariant policy as the Scaling
+// experiment. batch <= 0 uses the layer default. Every node count must
+// deliver the identical match count as its single-process counterpart —
+// a divergence is an error, not a data point.
+func (h *Harness) Cluster(dataset string, nodeCounts []int, shardsPerNode, batch int) (*ClusterData, error) {
+	if len(nodeCounts) == 0 {
+		nodeCounts = DefaultNodeCounts()
+	}
+	if shardsPerNode <= 0 {
+		shardsPerNode = 2
+	}
+	w := h.KeyedWorkload(dataset)
+	pat, err := w.Pattern(gen.Sequence, 4, h.Scale.Window*16)
+	if err != nil {
+		return nil, err
+	}
+	data := &ClusterData{
+		Dataset:       dataset,
+		Events:        len(w.Events),
+		Keys:          w.Keys,
+		ShardsPerNode: shardsPerNode,
+		Batch:         batch,
+		Cores:         runtime.NumCPU(),
+		Transport:     "loopback-tcp",
+	}
+	initial := stats.Exact(pat, w.Events[:len(w.Events)/20+1])
+	cfg := func() engine.Config {
+		return engine.Config{
+			CheckEvery:   h.Scale.CheckEvery,
+			NewPolicy:    func() core.Policy { return &core.Invariant{} },
+			InitialStats: func(*pattern.Pattern) *stats.Snapshot { return initial },
+		}
+	}
+	for _, n := range nodeCounts {
+		total := n * shardsPerNode
+
+		// Single-process reference at the same total shard count.
+		var local matchDigest
+		localEng, err := shard.New(pat, cfg(), shard.Options{
+			Shards: total, Batch: batch, KeyAttr: "key", Schema: w.Schema,
+			OnMatch: local.add,
+		})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for i := range w.Events {
+			localEng.Process(&w.Events[i])
+		}
+		localEng.Finish()
+		localTP := float64(len(w.Events)) / time.Since(start).Seconds()
+
+		// The cluster: n worker nodes behind loopback TCP.
+		conns := make([]cluster.Conn, n)
+		serveErr := make(chan error, n)
+		for i := 0; i < n; i++ {
+			node, err := cluster.NewNode(cluster.NodeConfig{
+				Pattern: pat, Engine: cfg(), Shards: shardsPerNode, Batch: batch,
+				KeyAttr: "key", Schema: w.Schema,
+			})
+			if err != nil {
+				return nil, err
+			}
+			l, err := cluster.ListenTCP("127.0.0.1:0")
+			if err != nil {
+				return nil, err
+			}
+			go func() {
+				defer l.Close()
+				c, err := l.Accept()
+				if err != nil {
+					serveErr <- err
+					return
+				}
+				serveErr <- node.Serve(c)
+			}()
+			if conns[i], err = cluster.DialTCP(l.Addr()); err != nil {
+				return nil, err
+			}
+		}
+		var clustered matchDigest
+		ing, err := cluster.NewIngress(pat, conns, cluster.IngressOptions{
+			Batch: batch, KeyAttr: "key", Schema: w.Schema,
+			OnMatch: clustered.add,
+		})
+		if err != nil {
+			return nil, err
+		}
+		start = time.Now()
+		for i := range w.Events {
+			ing.Process(&w.Events[i])
+		}
+		if err := ing.Finish(); err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		for i := 0; i < n; i++ {
+			if err := <-serveErr; err != nil {
+				return nil, fmt.Errorf("bench: cluster node: %w", err)
+			}
+		}
+		if clustered.n != local.n || clustered.h != local.h {
+			return nil, fmt.Errorf("bench: cluster %s nodes=%d delivered %d matches (digest %x), single-process sharded %d (digest %x) — distribution changed the match stream",
+				dataset, n, clustered.n, clustered.h, local.n, local.h)
+		}
+		p := ClusterPoint{
+			Nodes:           n,
+			TotalShards:     total,
+			Throughput:      float64(len(w.Events)) / elapsed.Seconds(),
+			LocalThroughput: localTP,
+			Matches:         clustered.n,
+			ElapsedMS:       float64(elapsed.Microseconds()) / 1000,
+		}
+		p.WireOverhead = 1 - p.Throughput/p.LocalThroughput
+		if len(data.Points) > 0 {
+			if p.Matches != data.Points[0].Matches {
+				return nil, fmt.Errorf("bench: cluster %s nodes=%d found %d matches, baseline found %d — node count changed the match set",
+					dataset, n, p.Matches, data.Points[0].Matches)
+			}
+			p.Speedup = p.Throughput / data.Points[0].Throughput
+		} else {
+			p.Speedup = 1
+		}
+		data.Points = append(data.Points, p)
+	}
+	return data, nil
+}
+
+// Write prints the cluster scaling table.
+func (d *ClusterData) Write(w io.Writer) {
+	fmt.Fprintf(w, "Cluster scaling — %s workload, %d events, %d keys, %d shards/node, %s, %d cores\n",
+		d.Dataset, d.Events, d.Keys, d.ShardsPerNode, d.Transport, d.Cores)
+	fmt.Fprintf(w, "%-7s%8s%14s%10s%16s%10s%10s\n",
+		"nodes", "shards", "events/sec", "speedup", "local ev/sec", "wire ovh", "matches")
+	for _, p := range d.Points {
+		fmt.Fprintf(w, "%-7d%8d%14.0f%9.2fx%16.0f%9.1f%%%10d\n",
+			p.Nodes, p.TotalShards, p.Throughput, p.Speedup, p.LocalThroughput, 100*p.WireOverhead, p.Matches)
+	}
+}
+
+// WriteJSON appends the run to a BENCH_*.json trajectory (one JSON
+// object per invocation).
+func (d *ClusterData) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

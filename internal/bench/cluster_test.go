@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestClusterExperiment is a scaled-down smoke of the cluster scaling
+// experiment: both node counts must agree on the match count (with the
+// single-process engine and with each other) and produce renderable
+// output.
+func TestClusterExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster experiment in -short mode")
+	}
+	sc := DefaultScale()
+	sc.Events = 12000
+	h := NewHarness(sc)
+	d, err := h.Cluster("traffic", []int{1, 2}, 1, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Points) != 2 {
+		t.Fatalf("%d points", len(d.Points))
+	}
+	if d.Points[0].Matches == 0 {
+		t.Fatal("no matches; experiment is vacuous")
+	}
+	if d.Points[0].Matches != d.Points[1].Matches {
+		t.Fatalf("match counts diverged across node counts: %d vs %d",
+			d.Points[0].Matches, d.Points[1].Matches)
+	}
+	if d.Points[1].TotalShards != 2 {
+		t.Fatalf("2 nodes × 1 shard = %d total", d.Points[1].TotalShards)
+	}
+	var buf bytes.Buffer
+	d.Write(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty table")
+	}
+	buf.Reset()
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round ClusterData
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("JSON trajectory record does not round-trip: %v", err)
+	}
+	if round.Transport != "loopback-tcp" || len(round.Points) != 2 {
+		t.Fatal("JSON record lost fields")
+	}
+}

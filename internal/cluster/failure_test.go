@@ -1,0 +1,261 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"acep/internal/engine"
+	"acep/internal/gen"
+	"acep/internal/match"
+	"acep/internal/wire"
+)
+
+// flakyConn is the failure-injecting transport implementation: it passes
+// frames through until sendBudget sends have happened, then fails every
+// Send and severs the underlying link.
+type flakyConn struct {
+	Conn
+	sendBudget int
+}
+
+func (f *flakyConn) Send(fr wire.Frame) error {
+	if f.sendBudget <= 0 {
+		f.Conn.Close()
+		return fmt.Errorf("flaky: injected send failure")
+	}
+	f.sendBudget--
+	return f.Conn.Send(fr)
+}
+
+// scriptConn replays a fixed frame sequence and swallows sends; it fakes
+// a misbehaving peer in handshake tests.
+type scriptConn struct {
+	frames []wire.Frame
+}
+
+func (s *scriptConn) Send(wire.Frame) error { return nil }
+func (s *scriptConn) Recv() (wire.Frame, error) {
+	if len(s.frames) == 0 {
+		return nil, io.EOF
+	}
+	f := s.frames[0]
+	s.frames = s.frames[1:]
+	return f, nil
+}
+func (s *scriptConn) Close() error { return nil }
+
+// finishWithin guards the deadlock-freedom claims: Finish must return
+// even with dead links in the cluster.
+func finishWithin(t *testing.T, d time.Duration, ing *Ingress) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- ing.Finish() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		t.Fatal("Finish deadlocked on a dead node link")
+		return nil
+	}
+}
+
+// brokenCluster builds a 3-node pipe cluster whose middle link dies
+// after the given number of successful ingress sends.
+func brokenCluster(t *testing.T, budget int) (*Ingress, *gen.Workload) {
+	t.Helper()
+	w := keyedWorkload(t, "traffic")
+	pat, err := w.Pattern(gen.Sequence, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns := make([]Conn, 3)
+	for i := range conns {
+		node, err := NewNode(NodeConfig{
+			Pattern: pat, Engine: engine.Config{CheckEvery: 250},
+			Shards: 2, Batch: 128, KeyAttr: "key", Schema: w.Schema,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		client, server := Pipe()
+		go node.Serve(server) //nolint:errcheck // the severed node's error is expected
+		conns[i] = client
+	}
+	conns[1] = &flakyConn{Conn: conns[1], sendBudget: budget}
+	ing, err := NewIngress(pat, conns, IngressOptions{
+		Batch: 64, KeyAttr: "key", Schema: w.Schema,
+		OnMatch: func(*match.Match) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ing, w
+}
+
+// TestIngressSurvivesDeadNodeLink: when one node's link dies mid-stream,
+// the ingress records the error, keeps draining the surviving nodes, and
+// Finish returns the failure instead of hanging. (Exactness is
+// necessarily lost with a dead node — that is why the error must
+// surface.)
+func TestIngressSurvivesDeadNodeLink(t *testing.T) {
+	// Budget 2 covers the assign frame and one cut; the link dies while
+	// the stream is still flowing.
+	ing, w := brokenCluster(t, 2)
+	for i := range w.Events {
+		ing.Process(&w.Events[i])
+	}
+	err := finishWithin(t, 30*time.Second, ing)
+	if err == nil {
+		t.Fatal("Finish reported success despite a dead node link")
+	}
+	if !strings.Contains(err.Error(), "node 1") {
+		t.Fatalf("error does not identify the dead link: %v", err)
+	}
+	if ing.Err() == nil {
+		t.Fatal("Err() lost the recorded failure")
+	}
+	// The surviving nodes' metrics still arrive: the merged view has seen
+	// events even though node 1's share is lost. (With only 4 keys over 6
+	// global shards an individual survivor may legitimately be idle, so
+	// the assertion is on the merged view.)
+	if ing.Metrics().EventsArrived == 0 {
+		t.Fatal("no surviving node reported metrics")
+	}
+}
+
+// TestIngressSurvivesNodeCrash: a node whose process dies (connection
+// closes abruptly, no metrics ever sent) must not wedge the cluster.
+func TestIngressSurvivesNodeCrash(t *testing.T) {
+	w := keyedWorkload(t, "traffic")
+	pat, err := w.Pattern(gen.Sequence, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns := make([]Conn, 2)
+	for i := range conns {
+		node, err := NewNode(NodeConfig{
+			Pattern: pat, Engine: engine.Config{CheckEvery: 250},
+			Shards: 1, Batch: 128, KeyAttr: "key", Schema: w.Schema,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		client, server := Pipe()
+		if i == 1 {
+			// Crash the node right after the handshake: greet, take the
+			// assignment, then slam the connection shut.
+			sig := signature(pat, w.Schema)
+			go func() {
+				server.Send(wire.Hello{Version: wire.Version, Shards: 1, PatternSig: sig}) //nolint:errcheck
+				server.Recv()                                                              //nolint:errcheck // assign
+				server.Close()
+			}()
+		} else {
+			go node.Serve(server) //nolint:errcheck
+		}
+		conns[i] = client
+	}
+	ing, err := NewIngress(pat, conns, IngressOptions{
+		Batch: 64, KeyAttr: "key", Schema: w.Schema,
+		OnMatch: func(*match.Match) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Events {
+		ing.Process(&w.Events[i])
+	}
+	if err := finishWithin(t, 30*time.Second, ing); err == nil {
+		t.Fatal("Finish reported success despite a crashed node")
+	}
+}
+
+// TestHandshakeRejections: version skew, pattern mismatch and protocol
+// violations are refused before any event crosses the wire.
+func TestHandshakeRejections(t *testing.T) {
+	w := keyedWorkload(t, "traffic")
+	pat, err := w.Pattern(gen.Sequence, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := signature(pat, w.Schema)
+	opts := IngressOptions{KeyAttr: "key", Schema: w.Schema, OnMatch: func(*match.Match) {}}
+	cases := []struct {
+		name  string
+		hello wire.Frame
+	}{
+		{"version skew", wire.Hello{Version: wire.Version + 1, Shards: 1, PatternSig: sig}},
+		{"pattern mismatch", wire.Hello{Version: wire.Version, Shards: 1, PatternSig: sig ^ 1}},
+		{"zero shards", wire.Hello{Version: wire.Version, Shards: 0, PatternSig: sig}},
+		{"wrong frame", wire.Batch{UpTo: 1}},
+	}
+	for _, c := range cases {
+		if _, err := NewIngress(pat, []Conn{&scriptConn{frames: []wire.Frame{c.hello}}}, opts); err == nil {
+			t.Errorf("%s: handshake accepted", c.name)
+		}
+	}
+
+	// Node side: a peer that answers hello with something other than an
+	// assignment is refused.
+	node, err := NewNode(NodeConfig{
+		Pattern: pat, Engine: engine.Config{}, Shards: 1, KeyAttr: "key", Schema: w.Schema,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Serve(&scriptConn{frames: []wire.Frame{wire.Watermark{UpTo: 1}}}); err == nil {
+		t.Error("node accepted a non-assign handshake reply")
+	}
+	// An assignment outside the global shard space is refused.
+	if err := node.Serve(&scriptConn{frames: []wire.Frame{wire.Assign{Base: 5, Total: 3}}}); err == nil {
+		t.Error("node accepted an out-of-range assignment")
+	}
+}
+
+// TestNodeRejectsGarbageBytes: raw junk on the TCP listener must produce
+// a decode error, not a hang or a crash.
+func TestNodeRejectsGarbageBytes(t *testing.T) {
+	w := keyedWorkload(t, "traffic")
+	pat, err := w.Pattern(gen.Sequence, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := NewNode(NodeConfig{
+		Pattern: pat, Engine: engine.Config{}, Shards: 1, KeyAttr: "key", Schema: w.Schema,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	serveErr := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			serveErr <- err
+			return
+		}
+		serveErr <- node.Serve(c)
+	}()
+	raw, err := net.Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xde, 0xad, 0xbe, 0xef}) //nolint:errcheck
+	raw.Close()
+	select {
+	case err := <-serveErr:
+		if err == nil {
+			t.Fatal("node served a garbage byte stream without error")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("node hung on garbage bytes")
+	}
+}

@@ -1,0 +1,335 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"acep/internal/engine"
+	"acep/internal/event"
+	"acep/internal/match"
+	"acep/internal/pattern"
+	"acep/internal/shard"
+	"acep/internal/wire"
+)
+
+// maxShardsPerNode bounds the shard count a node may claim in its
+// hello; far above any sane deployment, low enough that the global
+// shard->node map stays small.
+const maxShardsPerNode = 1 << 12
+
+// IngressOptions tunes the coordinator side of a cluster.
+type IngressOptions struct {
+	// Batch is the number of ingested events per uniform cut (default
+	// 256): at every cut, every node — including nodes whose partitions
+	// received nothing — gets a frame carrying the global watermark, so
+	// completion progress advances cluster-wide even through idle
+	// partitions.
+	Batch int
+	// Key extracts the partition key; Key or KeyAttr+Schema is required
+	// and must match the nodes' configuration.
+	Key     shard.KeyFunc
+	KeyAttr string
+	Schema  *event.Schema
+	// OnMatch receives every match, on the merge-collector goroutine, in
+	// the deterministic global order (identical to the single-process
+	// sharded engine's, see the package comment).
+	OnMatch func(*match.Match)
+	// OnTagged, when set instead of OnMatch, receives matches with their
+	// merge tags (Src is the node index).
+	OnTagged func(shard.Tagged)
+}
+
+// Ingress is the cluster coordinator: it partitions one input stream
+// across worker nodes, drives uniform watermark cuts, and merges the
+// node match streams into one deterministic, ordered output. Process and
+// Finish must be called from a single goroutine; the match callback
+// fires on the collector goroutine. Construct with NewIngress.
+type Ingress struct {
+	conns []Conn
+	key   shard.KeyFunc
+	batch int
+	total int   // global shard count (sum of node shard counts)
+	node  []int // global shard index -> node index
+
+	bufs    [][]event.Event
+	pending int
+	lastSeq uint64
+	dead    []bool
+
+	col     *shard.Collector
+	readers sync.WaitGroup
+
+	nodeShards  []int
+	nodeMetrics []engine.Metrics
+	gotMetrics  []bool
+
+	mu       sync.Mutex
+	err      error
+	finished bool
+}
+
+// NewIngress performs the handshake over the given node connections
+// (node i's shard block starts after node i-1's) and starts the merge
+// collector. The pattern and schema must match every node's — the
+// handshake compares fingerprints — and the pattern must be
+// key-partitionable in KeyAttr mode, exactly like shard.New.
+func NewIngress(pat *pattern.Pattern, conns []Conn, opts IngressOptions) (*Ingress, error) {
+	if len(conns) == 0 {
+		return nil, fmt.Errorf("cluster: ingress needs at least one node connection")
+	}
+	// Every error return below must release the connections: a node left
+	// attached to a half-built ingress would block in its handshake (or
+	// hold its listener's session slot) forever.
+	built := false
+	defer func() {
+		if !built {
+			for _, c := range conns {
+				c.Close()
+			}
+		}
+	}()
+	if opts.OnMatch != nil && opts.OnTagged != nil {
+		return nil, fmt.Errorf("cluster: set at most one of OnMatch and OnTagged")
+	}
+	if pat == nil {
+		return nil, fmt.Errorf("cluster: ingress needs a pattern")
+	}
+	if opts.Batch <= 0 {
+		opts.Batch = 256
+	}
+	key := opts.Key
+	switch {
+	case key != nil && opts.KeyAttr != "":
+		return nil, fmt.Errorf("cluster: set exactly one of Key and KeyAttr")
+	case key == nil && opts.KeyAttr == "":
+		return nil, fmt.Errorf("cluster: a partition key is required: set Key or KeyAttr")
+	case opts.KeyAttr != "":
+		if opts.Schema == nil {
+			return nil, fmt.Errorf("cluster: KeyAttr needs Schema to resolve the attribute")
+		}
+		if err := shard.Partitionable(pat, opts.Schema, opts.KeyAttr); err != nil {
+			return nil, err
+		}
+		k, err := shard.ByAttrName(opts.Schema, opts.KeyAttr)
+		if err != nil {
+			return nil, err
+		}
+		key = k
+	}
+
+	sig := signature(pat, opts.Schema)
+	in := &Ingress{
+		conns:       conns,
+		key:         key,
+		batch:       opts.Batch,
+		bufs:        make([][]event.Event, len(conns)),
+		dead:        make([]bool, len(conns)),
+		nodeShards:  make([]int, len(conns)),
+		nodeMetrics: make([]engine.Metrics, len(conns)),
+		gotMetrics:  make([]bool, len(conns)),
+	}
+	// Collect every node's greeting, then assign contiguous blocks of the
+	// global shard space in connection order.
+	for i, c := range conns {
+		f, err := c.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d hello: %w", i, err)
+		}
+		h, ok := f.(wire.Hello)
+		if !ok {
+			return nil, fmt.Errorf("cluster: node %d sent %s, want hello", i, wire.KindOf(f))
+		}
+		if h.Version != wire.Version {
+			return nil, fmt.Errorf("cluster: node %d speaks protocol v%d, ingress v%d", i, h.Version, wire.Version)
+		}
+		if h.PatternSig != sig {
+			return nil, fmt.Errorf("cluster: node %d serves a different pattern or schema (fingerprint %x, want %x)", i, h.PatternSig, sig)
+		}
+		if h.Shards < 1 {
+			return nil, fmt.Errorf("cluster: node %d hosts no shards", i)
+		}
+		// Cap the claimed shard count before it sizes the global
+		// shard->node map: a buggy or hostile hello must not be able to
+		// force a multi-gigabyte allocation (the same promise the wire
+		// codec makes for frame-internal counts).
+		if h.Shards > maxShardsPerNode {
+			return nil, fmt.Errorf("cluster: node %d claims %d shards, cap is %d", i, h.Shards, maxShardsPerNode)
+		}
+		in.nodeShards[i] = int(h.Shards)
+		in.total += int(h.Shards)
+	}
+	base := 0
+	for i, c := range conns {
+		if err := c.Send(wire.Assign{Base: uint32(base), Total: uint32(in.total)}); err != nil {
+			return nil, fmt.Errorf("cluster: assigning node %d: %w", i, err)
+		}
+		for s := 0; s < in.nodeShards[i]; s++ {
+			in.node = append(in.node, i)
+		}
+		base += in.nodeShards[i]
+	}
+
+	deliver := func(t shard.Tagged) {
+		if opts.OnMatch != nil {
+			opts.OnMatch(t.M)
+		}
+	}
+	if opts.OnTagged != nil {
+		deliver = opts.OnTagged
+	}
+	in.col = shard.NewCollector(len(conns), deliver, nil)
+	for i, c := range conns {
+		in.readers.Add(1)
+		go in.read(i, c)
+	}
+	built = true
+	return in, nil
+}
+
+// read is node i's reader goroutine: it buffers tagged matches and posts
+// them to the merge collector together with each completion watermark,
+// stores the node's final metrics, and on any failure posts a terminal
+// watermark so the merge never deadlocks on a dead node.
+func (in *Ingress) read(i int, c Conn) {
+	defer in.readers.Done()
+	var pend []shard.Tagged
+	var idx uint64
+	for {
+		f, err := c.Recv()
+		if err != nil {
+			if err != io.EOF || !in.gotMetrics[i] {
+				in.recordErr(fmt.Errorf("cluster: node %d stream: %w", i, err))
+			}
+			in.col.Post(i, maxSeq, pend)
+			return
+		}
+		switch v := f.(type) {
+		case wire.TaggedMatch:
+			pend = append(pend, shard.Tagged{M: v.M, Seq: v.Seq, Src: i, Idx: idx})
+			idx++
+		case wire.Watermark:
+			in.col.Post(i, v.UpTo, pend)
+			pend = nil
+		case wire.Metrics:
+			in.nodeMetrics[i] = v.M
+			in.gotMetrics[i] = true
+		default:
+			in.recordErr(fmt.Errorf("cluster: node %d sent unexpected %s frame", i, wire.KindOf(f)))
+			in.col.Post(i, maxSeq, pend)
+			return
+		}
+	}
+}
+
+// kill records a node's transport failure and closes its connection
+// immediately: the node then observes end-of-input and drains instead of
+// waiting for cuts that will never come, and the node's reader
+// goroutine observes the close and posts its terminal watermark — either
+// way the cluster finishes instead of deadlocking on a dead link.
+func (in *Ingress) kill(n int, err error) {
+	in.recordErr(err)
+	in.dead[n] = true
+	in.conns[n].Close()
+}
+
+func (in *Ingress) recordErr(err error) {
+	in.mu.Lock()
+	if in.err == nil {
+		in.err = err
+	}
+	in.mu.Unlock()
+}
+
+// Err reports the first transport or protocol error observed (nil while
+// healthy). Finish returns the same error.
+func (in *Ingress) Err() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.err
+}
+
+// Process routes one event to its node. Events must arrive in
+// non-decreasing timestamp order with unique, increasing Seq numbers
+// (the same contract as the engines underneath).
+func (in *Ingress) Process(ev *event.Event) {
+	if in.finished {
+		panic("cluster: Process after Finish")
+	}
+	g := shard.GlobalIndex(in.key(ev), in.total)
+	n := in.node[g]
+	in.bufs[n] = append(in.bufs[n], *ev)
+	in.lastSeq = ev.Seq
+	in.pending++
+	if in.pending >= in.batch {
+		in.cutAll()
+	}
+}
+
+// cutAll seals the current cut: every node receives its accumulated
+// events (possibly none) and the global watermark.
+func (in *Ingress) cutAll() {
+	for n, c := range in.conns {
+		if in.dead[n] {
+			in.bufs[n] = nil
+			continue
+		}
+		if err := c.Send(wire.Batch{UpTo: in.lastSeq, Events: in.bufs[n]}); err != nil {
+			in.kill(n, fmt.Errorf("cluster: sending cut to node %d: %w", n, err))
+		}
+		in.bufs[n] = nil
+	}
+	in.pending = 0
+}
+
+// Finish flushes the final partial cut, tells every node to finish,
+// waits until every node's matches have been merged and delivered, and
+// closes the connections. It returns the first error observed anywhere
+// in the cluster session (nil for a clean run). Idempotent.
+func (in *Ingress) Finish() error {
+	if in.finished {
+		return in.Err()
+	}
+	in.finished = true
+	in.cutAll()
+	for n, c := range in.conns {
+		if in.dead[n] {
+			continue
+		}
+		if err := c.Send(wire.Finish{}); err != nil {
+			in.kill(n, fmt.Errorf("cluster: finishing node %d: %w", n, err))
+		}
+	}
+	in.readers.Wait()
+	in.col.Close()
+	for _, c := range in.conns {
+		c.Close()
+	}
+	return in.Err()
+}
+
+// Nodes reports the node count.
+func (in *Ingress) Nodes() int { return len(in.conns) }
+
+// TotalShards reports the global shard count across all nodes.
+func (in *Ingress) TotalShards() int { return in.total }
+
+// Metrics merges every node's engine metrics into one cluster-wide view.
+// Call after Finish.
+func (in *Ingress) Metrics() engine.Metrics {
+	var m engine.Metrics
+	for i := range in.nodeMetrics {
+		if in.gotMetrics[i] {
+			m.Merge(in.nodeMetrics[i])
+		}
+	}
+	return m
+}
+
+// NodeMetrics is the per-node breakdown behind Metrics (zero-valued for
+// nodes that failed before reporting). Call after Finish.
+func (in *Ingress) NodeMetrics() []engine.Metrics {
+	out := make([]engine.Metrics, len(in.nodeMetrics))
+	copy(out, in.nodeMetrics)
+	return out
+}

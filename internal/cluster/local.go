@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"fmt"
+
+	"acep/internal/engine"
+	"acep/internal/event"
+	"acep/internal/match"
+	"acep/internal/pattern"
+	"acep/internal/shard"
+	"acep/internal/stats"
+)
+
+// LocalConfig assembles an in-process cluster: worker nodes served over
+// chan-transport pipes inside this process, behind the identical
+// protocol surface a TCP deployment uses. This is the zero-setup way to
+// run the cluster layer (and what the facade's NewClusterIngress builds
+// when no addresses are given); it is also how the tests pin
+// transport-independent behavior.
+type LocalConfig struct {
+	// Nodes is the worker-node count (default 2).
+	Nodes int
+	// ShardsPerNode is each node's local shard-engine count (default 1).
+	ShardsPerNode int
+	// Batch is the events-per-cut of the ingress and the local handoff
+	// batch of every node (default 256).
+	Batch int
+	// QueueCap / Snapshot / Window size each node's local ingestion
+	// queues (see shard.Options).
+	QueueCap int
+	Snapshot *stats.Snapshot
+	Window   event.Time
+	// Overflow selects the nodes' full-queue behavior.
+	Overflow shard.Overflow
+	// Key or KeyAttr+Schema selects the partition key (see shard.Options).
+	Key     shard.KeyFunc
+	KeyAttr string
+	Schema  *event.Schema
+	// OnMatch / OnTagged receive the merged match stream (exactly one).
+	OnMatch  func(*match.Match)
+	OnTagged func(shard.Tagged)
+	// OnNodeErr (optional) observes node-side session errors; transport
+	// failures surface at the ingress regardless.
+	OnNodeErr func(error)
+}
+
+// StartLocal builds the nodes, connects them to a new ingress over
+// pipes, and returns the ingress ready for Process/Finish. cfg
+// configures every shard engine on every node identically (same contract
+// as shard.New).
+func StartLocal(pat *pattern.Pattern, cfg engine.Config, lc LocalConfig) (*Ingress, error) {
+	if lc.Nodes <= 0 {
+		lc.Nodes = 2
+	}
+	if lc.ShardsPerNode <= 0 {
+		lc.ShardsPerNode = 1
+	}
+	conns := make([]Conn, lc.Nodes)
+	closeAll := func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close() // unblocks the node goroutine behind the pipe
+			}
+		}
+	}
+	for i := 0; i < lc.Nodes; i++ {
+		node, err := NewNode(NodeConfig{
+			Pattern:  pat,
+			Engine:   cfg,
+			Shards:   lc.ShardsPerNode,
+			Batch:    lc.Batch,
+			QueueCap: lc.QueueCap,
+			Snapshot: lc.Snapshot,
+			Window:   lc.Window,
+			Overflow: lc.Overflow,
+			Key:      lc.Key,
+			KeyAttr:  lc.KeyAttr,
+			Schema:   lc.Schema,
+		})
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		client, server := Pipe()
+		conns[i] = client
+		go func(n *Node, c Conn) {
+			if err := n.Serve(c); err != nil && lc.OnNodeErr != nil {
+				lc.OnNodeErr(err)
+			}
+		}(node, server)
+	}
+	return NewIngress(pat, conns, IngressOptions{
+		Batch:    lc.Batch,
+		Key:      lc.Key,
+		KeyAttr:  lc.KeyAttr,
+		Schema:   lc.Schema,
+		OnMatch:  lc.OnMatch,
+		OnTagged: lc.OnTagged,
+	})
+}

@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"acep/internal/engine"
+	"acep/internal/event"
+	"acep/internal/pattern"
+	"acep/internal/shard"
+	"acep/internal/stats"
+	"acep/internal/wire"
+)
+
+// NodeConfig assembles a worker node: which pattern it detects, how many
+// local shard engines it hosts, and the shard-layer tuning those engines
+// run with. The ingress assigns the node's slice of the global shard
+// space during the handshake, so the same binary can serve any position
+// in any cluster layout.
+type NodeConfig struct {
+	// Pattern is the detected pattern; it must equal the ingress's (the
+	// handshake compares fingerprints and refuses to pair otherwise).
+	Pattern *pattern.Pattern
+	// Engine configures every local shard engine identically (same
+	// contract as shard.New: Policy and OnMatch must be nil). Ingress
+	// shedding lives here too: Engine.Shedding applies per local shard,
+	// with each shard's ingestion-queue depth probing the load monitor.
+	Engine engine.Config
+	// Shards is the number of local shard engines (default 1).
+	Shards int
+	// Batch is the local handoff batch (default 256); the network cut
+	// drives uniform watermark flushes regardless.
+	Batch int
+	// QueueCap bounds each local shard's ingestion queue in events;
+	// Snapshot+Window derive it from measured statistics when unset (see
+	// shard.Options).
+	QueueCap int
+	Snapshot *stats.Snapshot
+	Window   event.Time
+	// Overflow selects the full-queue behavior (default Backpressure).
+	Overflow shard.Overflow
+	// Key extracts the partition key; Key or KeyAttr+Schema is required
+	// and must match the ingress's placement.
+	Key     shard.KeyFunc
+	KeyAttr string
+	Schema  *event.Schema
+}
+
+// Node hosts a block of the global shard space behind a transport
+// connection. Construct with NewNode, then Serve one connection (or
+// ServeListener for an accept loop).
+type Node struct {
+	cfg NodeConfig
+	key shard.KeyFunc
+	sig uint64
+}
+
+// signature fingerprints the pattern plus the schema's type/attribute
+// layout; ingress and node must agree on both for events and matches to
+// mean the same thing on either side.
+func signature(pat *pattern.Pattern, s *event.Schema) uint64 {
+	var b strings.Builder
+	b.WriteString(pat.String())
+	if s != nil {
+		for t := 0; t < s.NumTypes(); t++ {
+			fmt.Fprintf(&b, "|%s:%v", s.TypeName(t), s.Attrs(t))
+		}
+	}
+	return wire.Fingerprint(b.String())
+}
+
+// NewNode validates the configuration and resolves the partition key.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Pattern == nil {
+		return nil, fmt.Errorf("cluster: node needs a pattern")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	key := cfg.Key
+	switch {
+	case key != nil && cfg.KeyAttr != "":
+		return nil, fmt.Errorf("cluster: set exactly one of Key and KeyAttr")
+	case key == nil && cfg.KeyAttr == "":
+		return nil, fmt.Errorf("cluster: a partition key is required: set Key or KeyAttr")
+	case cfg.KeyAttr != "":
+		if cfg.Schema == nil {
+			return nil, fmt.Errorf("cluster: KeyAttr needs Schema to resolve the attribute")
+		}
+		if err := shard.Partitionable(cfg.Pattern, cfg.Schema, cfg.KeyAttr); err != nil {
+			return nil, err
+		}
+		k, err := shard.ByAttrName(cfg.Schema, cfg.KeyAttr)
+		if err != nil {
+			return nil, err
+		}
+		key = k
+	}
+	return &Node{cfg: cfg, key: key, sig: signature(cfg.Pattern, cfg.Schema)}, nil
+}
+
+// sender serializes a node's upstream frames and latches the first send
+// error; after a failure every further send is a no-op, so the engines
+// can still drain cleanly.
+type sender struct {
+	c   Conn
+	err error
+}
+
+func (s *sender) send(f wire.Frame) {
+	if s.err == nil {
+		s.err = s.c.Send(f)
+	}
+}
+
+// Serve runs one ingress session over the connection: handshake, event
+// ingestion with uniform watermark flushes, tagged-match and watermark
+// streaming, and a final metrics report. It returns when the ingress
+// finishes the stream (nil) or the transport fails (the error), closing
+// the connection either way.
+func (n *Node) Serve(conn Conn) error {
+	defer conn.Close()
+	if err := conn.Send(wire.Hello{
+		Version:    wire.Version,
+		Shards:     uint32(n.cfg.Shards),
+		PatternSig: n.sig,
+	}); err != nil {
+		return fmt.Errorf("cluster: node hello: %w", err)
+	}
+	f, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("cluster: node awaiting assignment: %w", err)
+	}
+	assign, ok := f.(wire.Assign)
+	if !ok {
+		return fmt.Errorf("cluster: node expected assign frame, got %s", wire.KindOf(f))
+	}
+	base, total := int(assign.Base), int(assign.Total)
+	if total < 1 || base < 0 || base+n.cfg.Shards > total {
+		return fmt.Errorf("cluster: assignment [%d,%d) outside global shard space of %d",
+			base, base+n.cfg.Shards, total)
+	}
+
+	// The local engines are pinned to global shard indices [base,
+	// base+Shards): the route function inverts the ingress's placement,
+	// so the cluster-wide event-to-engine assignment — and therefore
+	// every engine's event subsequence, its adaptation trajectory and
+	// its match tags — is identical to a single-process sharded engine
+	// with `total` shards.
+	key := n.key
+	up := &sender{c: conn}
+	eng, err := shard.New(n.cfg.Pattern, n.cfg.Engine, shard.Options{
+		Shards:   n.cfg.Shards,
+		Batch:    n.cfg.Batch,
+		QueueCap: n.cfg.QueueCap,
+		Snapshot: n.cfg.Snapshot,
+		Window:   n.cfg.Window,
+		Overflow: n.cfg.Overflow,
+		Key:      key,
+		Route: func(ev *event.Event) int {
+			g := shard.GlobalIndex(key(ev), total)
+			local := g - base
+			if local < 0 || local >= n.cfg.Shards {
+				panic(fmt.Sprintf("cluster: event for global shard %d routed to node owning [%d,%d)",
+					g, base, base+n.cfg.Shards))
+			}
+			return local
+		},
+		OnTagged: func(t shard.Tagged) {
+			up.send(wire.TaggedMatch{Seq: t.Seq, M: t.M})
+		},
+		OnProgress: func(w uint64) {
+			up.send(wire.Watermark{UpTo: w})
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	finish := func() { // idempotent by shard.Engine contract
+		eng.Finish()
+	}
+	for {
+		f, err := conn.Recv()
+		if err != nil {
+			finish()
+			if err == io.EOF {
+				return fmt.Errorf("cluster: ingress closed before finish")
+			}
+			return err
+		}
+		switch v := f.(type) {
+		case wire.Batch:
+			for i := range v.Events {
+				eng.Process(&v.Events[i])
+			}
+			eng.Flush(v.UpTo)
+		case wire.Finish:
+			// Drain everything: Finish returns only after the collector
+			// has delivered every match (and the MaxUint64 watermark)
+			// through the sender above.
+			finish()
+			up.send(wire.Metrics{M: eng.Metrics()})
+			if up.err != nil {
+				return fmt.Errorf("cluster: node streaming results: %w", up.err)
+			}
+			return nil
+		default:
+			finish()
+			return fmt.Errorf("cluster: node received unexpected %s frame", wire.KindOf(f))
+		}
+	}
+}
+
+// ServeListener accepts ingress sessions in a loop, serving one at a
+// time (a node belongs to one cluster run; sequential sessions let the
+// same worker process serve several consecutive runs). It returns when
+// the listener closes; per-session errors go to onErr (nil to ignore).
+func (n *Node) ServeListener(l *Listener, onErr func(error)) error {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		if err := n.Serve(c); err != nil && onErr != nil {
+			onErr(err)
+		}
+	}
+}
+
+// maxSeq is the final watermark every source reports at end of stream.
+const maxSeq = math.MaxUint64

@@ -1,0 +1,167 @@
+// Package cluster is the distributed execution layer: it scales the
+// key-partitioned shard engine (internal/shard) across processes and
+// machines. A worker Node hosts a contiguous block of the global shard
+// space behind a transport connection; the Ingress coordinator partitions
+// the input stream across nodes with the same consistent placement the
+// shard layer uses locally, drives uniform watermark cuts so idle nodes
+// still advance, and merges the node match streams — already ordered
+// per node — through the shard layer's heap Collector into one
+// deterministic global output.
+//
+// The paper's adaptation method applies per partition without
+// modification (§7), so every shard engine inside every node keeps its
+// own plan, statistics and invariants; nothing about adaptation crosses
+// the wire. For key-partitionable patterns (shard.Partitionable) the
+// cluster's match set is exactly the single-process sharded engine's —
+// byte-identical, in the identical deterministic order — because the
+// global placement function, the per-shard event subsequences, and the
+// (sequence, shard, emission) merge order are all preserved across the
+// distribution boundary. internal/cluster tests verify this on loopback
+// TCP against internal/shard directly.
+//
+// Messages travel as internal/wire frames over a Conn, the transport
+// abstraction with three implementations: an in-process channel pipe
+// (Pipe), loopback/remote TCP (ListenTCP/DialTCP), and failure-injecting
+// wrappers in the tests.
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"acep/internal/wire"
+)
+
+// Conn is one ordered, bidirectional frame connection between the
+// ingress and a node. Implementations need not support concurrent Send
+// calls (each endpoint writes from one goroutine at a time); Recv may run
+// concurrently with Send. Close releases the connection; a Recv on the
+// other end then drains buffered frames and reports io.EOF.
+type Conn interface {
+	Send(wire.Frame) error
+	Recv() (wire.Frame, error)
+	Close() error
+}
+
+// pipeDepth is the per-direction frame buffer of an in-process pipe;
+// when a node falls this many cuts behind, the ingress's Send blocks —
+// the same backpressure a TCP socket buffer provides.
+const pipeDepth = 64
+
+// pipeHalf is one endpoint of an in-process connection.
+type pipeHalf struct {
+	out      chan wire.Frame
+	in       chan wire.Frame
+	ownDone  chan struct{}
+	peerDone chan struct{}
+	once     sync.Once
+}
+
+// Pipe returns the two endpoints of an in-process connection: frames
+// sent on one are received on the other, in order. It is the chan-based
+// transport the in-process cluster (and the transport-agnostic tests)
+// run on — no serialization, but the identical protocol surface.
+func Pipe() (Conn, Conn) {
+	ab := make(chan wire.Frame, pipeDepth)
+	ba := make(chan wire.Frame, pipeDepth)
+	aDone := make(chan struct{})
+	bDone := make(chan struct{})
+	a := &pipeHalf{out: ab, in: ba, ownDone: aDone, peerDone: bDone}
+	b := &pipeHalf{out: ba, in: ab, ownDone: bDone, peerDone: aDone}
+	return a, b
+}
+
+func (p *pipeHalf) Send(f wire.Frame) error {
+	select {
+	case <-p.ownDone:
+		return fmt.Errorf("cluster: send on closed pipe")
+	default:
+	}
+	select {
+	case p.out <- f:
+		return nil
+	case <-p.peerDone:
+		return fmt.Errorf("cluster: pipe peer closed: %w", io.ErrClosedPipe)
+	}
+}
+
+func (p *pipeHalf) Recv() (wire.Frame, error) {
+	// Drain buffered frames even after the peer closed, so a clean
+	// shutdown delivers everything already sent.
+	f, ok := <-p.in
+	if !ok {
+		return nil, io.EOF
+	}
+	return f, nil
+}
+
+func (p *pipeHalf) Close() error {
+	p.once.Do(func() {
+		close(p.ownDone)
+		close(p.out)
+	})
+	return nil
+}
+
+// streamConn frames wire messages over any io stream (TCP here).
+type streamConn struct {
+	c net.Conn
+	r *wire.Reader
+	w *wire.Writer
+}
+
+func newStreamConn(c net.Conn) Conn {
+	return &streamConn{c: c, r: wire.NewReader(c), w: wire.NewWriter(c)}
+}
+
+func (s *streamConn) Send(f wire.Frame) error { return s.w.Write(f) }
+func (s *streamConn) Recv() (wire.Frame, error) {
+	f, err := s.r.Read()
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("cluster: recv: %w", err)
+	}
+	return f, err
+}
+func (s *streamConn) Close() error { return s.c.Close() }
+
+// DialTCP connects to a node's listener and returns the framed
+// connection.
+func DialTCP(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+	}
+	return newStreamConn(c), nil
+}
+
+// Listener accepts framed node connections over TCP.
+type Listener struct {
+	l net.Listener
+}
+
+// ListenTCP binds a node listener; pass ":0" (or "127.0.0.1:0" for
+// loopback-only) to let the kernel pick a port, then read Addr.
+func ListenTCP(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", addr, err)
+	}
+	return &Listener{l: l}, nil
+}
+
+// Accept waits for the next ingress connection.
+func (l *Listener) Accept() (Conn, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newStreamConn(c), nil
+}
+
+// Addr reports the bound address (with the resolved port).
+func (l *Listener) Addr() string { return l.l.Addr().String() }
+
+// Close stops accepting.
+func (l *Listener) Close() error { return l.l.Close() }

@@ -1,0 +1,165 @@
+package shard
+
+import "acep/internal/match"
+
+// Tagged is a match annotated for ordered merging: Seq is the global
+// sequence number of the event whose processing emitted the match
+// (math.MaxUint64 for end-of-stream flushes), Src identifies the
+// producing source — the shard index inside one Engine, or the node index
+// at the cluster ingress — and Idx is a per-source emission counter that
+// breaks ties into a deterministic total order.
+type Tagged struct {
+	M   *match.Match
+	Seq uint64
+	Src int
+	Idx uint64
+}
+
+// post is one source→collector message: the matches of one processed
+// batch and the source's new progress watermark.
+type post struct {
+	src      int
+	progress uint64
+	matches  []Tagged
+}
+
+// Collector merges per-source tagged match streams into one ordered
+// output. It buffers matches in a min-heap keyed (Seq, Src, Idx) and
+// releases a match only when every source's progress watermark has passed
+// its tag — at that point no source can still produce an earlier match,
+// so the released order is the sorted tag order, independent of goroutine
+// scheduling. Sources must post a match before or together with the first
+// watermark that covers its tag, and watermarks must be non-decreasing
+// per source; the final post of every source must carry watermark
+// math.MaxUint64.
+//
+// One Engine feeds a Collector from its shard workers; the cluster
+// ingress reuses the same type to merge whole node streams (each node's
+// already-ordered output is one source).
+type Collector struct {
+	ch       chan post
+	done     chan struct{}
+	deliver  func(Tagged)
+	progress func(uint64)
+
+	marks []uint64
+	heap  []Tagged
+	min   uint64
+}
+
+// NewCollector starts a collector goroutine over the given number of
+// sources. deliver receives every match, in merged tag order, on the
+// collector goroutine. progress (optional) is called, after the matches
+// it covers have been delivered, every time the minimum watermark over
+// all sources advances — the cluster node layer forwards it downstream so
+// the ingress knows the node's output up to that point is complete.
+func NewCollector(srcs int, deliver func(Tagged), progress func(uint64)) *Collector {
+	c := &Collector{
+		ch:       make(chan post, srcs*2),
+		done:     make(chan struct{}),
+		deliver:  deliver,
+		progress: progress,
+		marks:    make([]uint64, srcs),
+	}
+	go c.run()
+	return c
+}
+
+// Post hands the collector one source's new watermark plus the matches
+// emitted since its last post. Safe to call from any goroutine; blocks
+// while the collector's inbox is full.
+func (c *Collector) Post(src int, watermark uint64, matches []Tagged) {
+	c.ch <- post{src: src, progress: watermark, matches: matches}
+}
+
+// Close ends the input and waits until every buffered match has been
+// delivered. Call after all sources have posted their final watermark.
+func (c *Collector) Close() {
+	close(c.ch)
+	<-c.done
+}
+
+func (c *Collector) run() {
+	defer close(c.done)
+	for p := range c.ch {
+		c.marks[p.src] = p.progress
+		for _, t := range p.matches {
+			c.push(t)
+		}
+		min := c.marks[0]
+		for _, pr := range c.marks[1:] {
+			if pr < min {
+				min = pr
+			}
+		}
+		for len(c.heap) > 0 && c.heap[0].Seq <= min {
+			c.emit(c.pop())
+		}
+		if min > c.min {
+			c.min = min
+			if c.progress != nil {
+				c.progress(min)
+			}
+		}
+	}
+	// Channel closed: every source has posted its final watermark; drain
+	// the remainder in order (non-empty only if a source misbehaved).
+	for len(c.heap) > 0 {
+		c.emit(c.pop())
+	}
+}
+
+func (c *Collector) emit(t Tagged) {
+	if c.deliver != nil {
+		c.deliver(t)
+	}
+}
+
+func tagLess(a, b Tagged) bool {
+	if a.Seq != b.Seq {
+		return a.Seq < b.Seq
+	}
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.Idx < b.Idx
+}
+
+func (c *Collector) push(t Tagged) {
+	c.heap = append(c.heap, t)
+	i := len(c.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !tagLess(c.heap[i], c.heap[p]) {
+			break
+		}
+		c.heap[i], c.heap[p] = c.heap[p], c.heap[i]
+		i = p
+	}
+}
+
+func (c *Collector) pop() Tagged {
+	h := c.heap
+	top := h[0]
+	h[0] = h[len(h)-1]
+	h[len(h)-1] = Tagged{}
+	h = h[:len(h)-1]
+	c.heap = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && tagLess(h[l], h[m]) {
+			m = l
+		}
+		if r < len(h) && tagLess(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top
+}

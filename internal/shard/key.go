@@ -14,6 +14,12 @@ import (
 // events belong to the same partition iff their KeyFunc values are equal.
 type KeyFunc func(*event.Event) uint64
 
+// GlobalIndex maps a partition-key value to its shard index among n
+// shards (the splitmix64 finalizer modulo n) — the same placement Engine
+// uses by default, exported so the cluster ingress and its worker nodes
+// compute one consistent global layout.
+func GlobalIndex(key uint64, n int) int { return int(mix64(key) % uint64(n)) }
+
 // mix64 is the splitmix64 finalizer: a cheap bijective hash that turns
 // clustered keys (entity ids 0..n) into uniformly spread shard indices.
 func mix64(x uint64) uint64 {

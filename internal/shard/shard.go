@@ -16,7 +16,9 @@
 //
 // # Ingestion, bounded queues and ordering
 //
-// Per-shard ingestion queues are bounded (Options.Queue / QueueCap).
+// Per-shard ingestion queues are bounded (Options.Queue / QueueCap; with
+// Options.Snapshot and Options.Window the bound is derived from the
+// measured arrival rate instead of a constant — see DeriveQueueCap).
 // When a shard falls behind, Options.Overflow chooses between blocking
 // the producer (Backpressure, lossless) and discarding the overflowing
 // handoff (DropNewest, counted in Metrics().QueueDropped) — the coarse,
@@ -30,12 +32,18 @@
 // number the cut covers, so every shard's progress watermark advances
 // uniformly even when its partition is momentarily idle. Matches are
 // tagged with the sequence number of the event whose processing emitted
-// them, buffered in a collector, and released strictly in tag order once
+// them, buffered in a Collector, and released strictly in tag order once
 // every shard's watermark has passed the tag: OnMatch therefore observes
 // matches in nondecreasing detection order (and, the stream being
 // timestamp-ordered, nondecreasing detection timestamp), in an order that
-// is a deterministic function of the input for a fixed shard count and
-// batch size.
+// is a deterministic function of the input for a fixed shard count.
+//
+// The cluster layer (internal/cluster) stacks on this package: a worker
+// node hosts one Engine routed by explicit global shard index
+// (Options.Route), flushes it at every network cut (Flush), receives
+// tagged matches and completion watermarks through Options.OnTagged and
+// Options.OnProgress, and the ingress coordinator merges whole node
+// streams through another Collector.
 package shard
 
 import (
@@ -43,11 +51,13 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"acep/internal/engine"
 	"acep/internal/event"
 	"acep/internal/match"
 	"acep/internal/pattern"
+	"acep/internal/stats"
 )
 
 // Overflow selects what Process does when a shard's bounded ingestion
@@ -95,10 +105,21 @@ type Options struct {
 	// events instead of batches: the capacity is QueueCap/Batch batches
 	// (at least one). It takes precedence over Queue.
 	QueueCap int
+	// Snapshot, together with Window, derives a default QueueCap from the
+	// measured arrival rate when neither QueueCap nor Queue is set: one
+	// pattern window's worth of events at the snapshot's total rate,
+	// split across the shards (see DeriveQueueCap). Seed it with
+	// stats.Exact over a stream prefix, or with the engine's own latest
+	// snapshot when resizing between runs.
+	Snapshot *stats.Snapshot
+	// Window is the pattern's time window, used only for snapshot-driven
+	// queue sizing.
+	Window event.Time
 	// Overflow selects the full-queue behavior (default Backpressure).
 	Overflow Overflow
 	// Key extracts the partition key (custom-extractor mode). Exactly one
-	// of Key and KeyAttr must be set.
+	// of Key and KeyAttr must be set, unless Route is set (then Key is
+	// optional and used only for shedding protection).
 	Key KeyFunc
 	// KeyAttr names the key attribute (hash mode): the key is the
 	// attribute's value, resolved per type through Schema, and the
@@ -106,33 +127,39 @@ type Options struct {
 	KeyAttr string
 	// Schema resolves KeyAttr; required in hash mode.
 	Schema *event.Schema
+	// Route, when set, maps an event directly to its shard index in
+	// [0, Shards), overriding the default mix64(Key) % Shards placement.
+	// The caller owns the correctness obligation that all events of one
+	// partition key route to one shard. The cluster node layer uses it to
+	// pin each global shard index to a fixed local engine.
+	Route func(*event.Event) int
 	// OnMatch receives every match, on the collector goroutine, in the
 	// deterministic merged order described in the package comment.
 	OnMatch func(*match.Match)
+	// OnTagged, when set instead of OnMatch, receives every match with
+	// its merge tag (sequence number, shard, emission index), in the same
+	// order and on the same goroutine. The cluster node layer forwards
+	// tags over the wire so the ingress can merge across nodes.
+	OnTagged func(Tagged)
+	// OnProgress (optional) is called on the collector goroutine whenever
+	// the engine's completion watermark advances: every match tagged at
+	// or below the reported sequence number has been delivered.
+	OnProgress func(uint64)
 }
 
 // cut is one batch handoff: the shard's events accumulated since the last
-// cut (possibly none) plus the global sequence watermark the cut covers.
+// cut (possibly none), their ingress wall-clock stamps (unix nanos,
+// parallel to events), plus the global sequence watermark the cut covers.
 type cut struct {
 	events []event.Event
+	stamps []int64
 	upTo   uint64
 }
 
-// tagged is a match annotated for ordered merging.
-type tagged struct {
-	m     *match.Match
-	seq   uint64 // Seq of the event whose processing emitted the match
-	shard int
-	idx   uint64 // per-shard emission counter, for a deterministic total order
-}
-
-// post is one worker→collector message: the matches of one processed
-// batch and the shard's new progress watermark.
-type post struct {
-	shard    int
-	progress uint64
-	matches  []tagged
-}
+// detectSampleEvery is the per-worker sampling stride of the detection-
+// time estimator (queue wait is measured for every event; detection time
+// costs two clock reads, so it is sampled).
+const detectSampleEvery = 16
 
 // worker runs one shard's engine on its own goroutine.
 type worker struct {
@@ -144,50 +171,94 @@ type worker struct {
 	// of the shard engine runs there).
 	curSeq uint64
 	idx    uint64
-	out    []tagged
+	out    []Tagged
+
+	// Latency estimators, owned by the worker goroutine; read by
+	// Metrics/ShardMetrics after Finish.
+	qwait   stats.Quantile
+	detect  stats.Quantile
+	nevents uint64
 }
 
-func (w *worker) take() []tagged {
+func (w *worker) take() []Tagged {
 	m := w.out
 	w.out = nil
 	return m
 }
 
-func (w *worker) run(col *collector, wg *sync.WaitGroup) {
+func (w *worker) run(col *Collector, wg *sync.WaitGroup) {
 	defer wg.Done()
 	for c := range w.in {
-		for i := range c.events {
-			w.curSeq = c.events[i].Seq
-			w.eng.Process(&c.events[i])
+		if len(c.events) > 0 {
+			recv := time.Now().UnixNano()
+			for i := range c.events {
+				w.qwait.Add(float64(recv - c.stamps[i]))
+				w.curSeq = c.events[i].Seq
+				w.nevents++
+				if w.nevents%detectSampleEvery == 0 {
+					t0 := time.Now()
+					w.eng.Process(&c.events[i])
+					w.detect.Add(float64(time.Since(t0)))
+				} else {
+					w.eng.Process(&c.events[i])
+				}
+			}
 		}
-		col.ch <- post{shard: w.id, progress: c.upTo, matches: w.take()}
+		col.Post(w.id, c.upTo, w.take())
 	}
 	// End of stream: flush parked matches. They are tagged past every
 	// real sequence number and ordered by (shard, emission index).
 	w.curSeq = math.MaxUint64
 	w.eng.Finish()
-	col.ch <- post{shard: w.id, progress: math.MaxUint64, matches: w.take()}
+	col.Post(w.id, math.MaxUint64, w.take())
 }
 
-// Engine is a sharded adaptive detection engine. Process and Finish must
-// be called from a single goroutine; OnMatch fires on the collector
-// goroutine. The zero value is not usable; construct with New.
+// Engine is a sharded adaptive detection engine. Process, Flush and
+// Finish must be called from a single goroutine; OnMatch fires on the
+// collector goroutine. The zero value is not usable; construct with New.
 type Engine struct {
-	key      KeyFunc
+	route    func(*event.Event) int
 	nshards  int
 	batch    int
 	overflow Overflow
 
 	workers []*worker
 	bufs    [][]event.Event
+	stamps  [][]int64
 	pending int
 	lastSeq uint64
 
 	queueDropped []uint64 // per shard, owned by the Process goroutine
+	queueCap     int      // effective per-shard queue bound, in events
 
-	col      *collector
+	col      *Collector
 	wg       sync.WaitGroup
 	finished bool
+}
+
+// minAutoQueueBatches floors the snapshot-derived queue bound: below two
+// in-flight batches the handoff pipeline cannot overlap with detection.
+const minAutoQueueBatches = 2
+
+// DeriveQueueCap derives a per-shard ingestion-queue bound (in events)
+// from measured statistics: one pattern window's worth of events at the
+// snapshot's total arrival rate, divided evenly across the shards. The
+// rationale: a queue holding less than a window of the live rate forces
+// drops (or blocking) on traffic the pattern could still join against,
+// while a much larger queue only adds latency — the window is the horizon
+// beyond which buffered events cannot extend a new partial match anyway.
+func DeriveQueueCap(s *stats.Snapshot, window event.Time, shards int) int {
+	if s == nil || window <= 0 {
+		return 0
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	rate := 0.0 // events/sec across the pattern's positions
+	for _, r := range s.Rates {
+		rate += r
+	}
+	return int(rate * float64(window) / float64(event.Second) / float64(shards))
 }
 
 // New builds a sharded engine for the pattern. cfg configures every
@@ -202,11 +273,24 @@ func New(pat *pattern.Pattern, cfg engine.Config, opts Options) (*Engine, error)
 	if cfg.Policy != nil {
 		return nil, fmt.Errorf("shard: Config.Policy would be shared across shards; set Config.NewPolicy so each shard adapts independently")
 	}
+	if opts.OnMatch != nil && opts.OnTagged != nil {
+		return nil, fmt.Errorf("shard: set at most one of Options.OnMatch and Options.OnTagged")
+	}
 	if opts.Shards <= 0 {
 		opts.Shards = runtime.GOMAXPROCS(0)
 	}
 	if opts.Batch <= 0 {
 		opts.Batch = 256
+	}
+	if opts.QueueCap <= 0 && opts.Queue <= 0 {
+		// Snapshot-driven sizing: derive the bound from measured
+		// events/sec × window instead of the fixed default.
+		if qc := DeriveQueueCap(opts.Snapshot, opts.Window, opts.Shards); qc > 0 {
+			opts.QueueCap = qc
+			if floor := minAutoQueueBatches * opts.Batch; opts.QueueCap < floor {
+				opts.QueueCap = floor
+			}
+		}
 	}
 	if opts.QueueCap > 0 {
 		opts.Queue = (opts.QueueCap + opts.Batch - 1) / opts.Batch
@@ -217,7 +301,7 @@ func New(pat *pattern.Pattern, cfg engine.Config, opts Options) (*Engine, error)
 	switch {
 	case opts.Key != nil && opts.KeyAttr != "":
 		return nil, fmt.Errorf("shard: set exactly one of Options.Key and Options.KeyAttr, not both")
-	case opts.Key == nil && opts.KeyAttr == "":
+	case opts.Key == nil && opts.KeyAttr == "" && opts.Route == nil:
 		return nil, fmt.Errorf("shard: a partition key is required: set Options.Key or Options.KeyAttr")
 	case opts.KeyAttr != "":
 		if opts.Schema == nil {
@@ -234,22 +318,36 @@ func New(pat *pattern.Pattern, cfg engine.Config, opts Options) (*Engine, error)
 	}
 
 	e := &Engine{
-		key:          opts.Key,
+		route:        opts.Route,
 		nshards:      opts.Shards,
 		batch:        opts.Batch,
 		overflow:     opts.Overflow,
 		bufs:         make([][]event.Event, opts.Shards),
+		stamps:       make([][]int64, opts.Shards),
 		queueDropped: make([]uint64, opts.Shards),
-		col:          newCollector(opts.Shards, opts.OnMatch),
+		queueCap:     opts.Queue * opts.Batch,
 	}
+	if e.route == nil {
+		key, n := opts.Key, uint64(opts.Shards)
+		e.route = func(ev *event.Event) int { return int(mix64(key(ev)) % n) }
+	}
+	deliver := func(t Tagged) {
+		if opts.OnMatch != nil {
+			opts.OnMatch(t.M)
+		}
+	}
+	if opts.OnTagged != nil {
+		deliver = opts.OnTagged
+	}
+	e.col = NewCollector(opts.Shards, deliver, opts.OnProgress)
 	for s := 0; s < e.nshards; s++ {
 		w := &worker{id: s, in: make(chan cut, opts.Queue)}
 		shardCfg := cfg
 		shardCfg.OnMatch = func(m *match.Match) {
-			w.out = append(w.out, tagged{m: m, seq: w.curSeq, shard: w.id, idx: w.idx})
+			w.out = append(w.out, Tagged{M: m, Seq: w.curSeq, Src: w.id, Idx: w.idx})
 			w.idx++
 		}
-		if shardCfg.Shedding.Policy != nil && shardCfg.Shedding.Key == nil {
+		if shardCfg.Shedding.Policy != nil && shardCfg.Shedding.Key == nil && opts.Key != nil {
 			// Pattern-aware shedding protects per-entity state; default the
 			// protected key to the partition key so each shard's shedder
 			// recognizes its own live entities.
@@ -271,7 +369,6 @@ func New(pat *pattern.Pattern, cfg engine.Config, opts Options) (*Engine, error)
 		e.wg.Add(1)
 		go w.run(e.col, &e.wg)
 	}
-	go e.col.run()
 	return e, nil
 }
 
@@ -282,13 +379,30 @@ func (e *Engine) Process(ev *event.Event) {
 	if e.finished {
 		panic("shard: Process after Finish")
 	}
-	s := int(mix64(e.key(ev)) % uint64(e.nshards))
+	s := e.route(ev)
 	e.bufs[s] = append(e.bufs[s], *ev)
+	e.stamps[s] = append(e.stamps[s], time.Now().UnixNano())
 	e.lastSeq = ev.Seq
 	e.pending++
 	if e.pending >= e.batch {
 		e.cutAll(false)
 	}
+}
+
+// Flush seals the current cut even when partial: every shard receives its
+// accumulated events and a watermark of at least upTo (pass 0 to just use
+// the newest local sequence number). An external coordinator uses it to
+// drive uniform cuts across engines — the cluster node flushes at every
+// network batch boundary, so a node whose partitions are momentarily idle
+// still advances its completion watermark.
+func (e *Engine) Flush(upTo uint64) {
+	if e.finished {
+		panic("shard: Flush after Finish")
+	}
+	if upTo > e.lastSeq {
+		e.lastSeq = upTo
+	}
+	e.cutAll(false)
 }
 
 // cutAll seals the current cut: every shard receives its accumulated
@@ -299,7 +413,7 @@ func (e *Engine) Process(ev *event.Event) {
 // handoff, whose upTo is necessarily newer).
 func (e *Engine) cutAll(block bool) {
 	for s, w := range e.workers {
-		c := cut{events: e.bufs[s], upTo: e.lastSeq}
+		c := cut{events: e.bufs[s], stamps: e.stamps[s], upTo: e.lastSeq}
 		if block || e.overflow == Backpressure {
 			w.in <- c
 		} else {
@@ -310,6 +424,7 @@ func (e *Engine) cutAll(block bool) {
 			}
 		}
 		e.bufs[s] = nil
+		e.stamps[s] = nil
 	}
 	e.pending = 0
 }
@@ -326,21 +441,24 @@ func (e *Engine) Finish() {
 		close(w.in)
 	}
 	e.wg.Wait()
-	close(e.col.ch)
-	<-e.col.done
+	e.col.Close()
 }
 
 // Shards reports the shard count.
 func (e *Engine) Shards() int { return e.nshards }
 
+// QueueCap reports the effective per-shard ingestion bound in events
+// (after defaulting and snapshot-driven derivation, rounded up to whole
+// batches).
+func (e *Engine) QueueCap() int { return e.queueCap }
+
 // Metrics merges the per-shard engine metrics into one stream-wide view,
-// including the events dropped on queue overflow. Call after Finish
-// (shard engines are owned by their workers until then).
+// including the events dropped on queue overflow and the latency
+// percentile estimators sampled by the workers. Call after Finish (shard
+// engines are owned by their workers until then).
 func (e *Engine) Metrics() engine.Metrics {
 	var m engine.Metrics
-	for i, w := range e.workers {
-		sm := w.eng.Metrics()
-		sm.QueueDropped += e.queueDropped[i]
+	for _, sm := range e.ShardMetrics() {
 		m.Merge(sm)
 	}
 	return m
@@ -353,6 +471,8 @@ func (e *Engine) ShardMetrics() []engine.Metrics {
 	for i, w := range e.workers {
 		out[i] = w.eng.Metrics()
 		out[i].QueueDropped += e.queueDropped[i]
+		out[i].QueueWait = w.qwait
+		out[i].DetectTime = w.detect
 	}
 	return out
 }
@@ -368,107 +488,4 @@ func (e *Engine) Plans() [][]string {
 		}
 	}
 	return out
-}
-
-// collector merges per-shard match streams into one ordered output. It
-// buffers matches in a min-heap keyed (tag, shard, emission index) and
-// releases a match only when every shard's progress watermark has passed
-// its tag — at that point no shard can still produce an earlier match, so
-// the released order is the sorted order, independent of goroutine
-// scheduling.
-type collector struct {
-	ch      chan post
-	done    chan struct{}
-	onMatch func(*match.Match)
-
-	progress []uint64
-	heap     []tagged
-}
-
-func newCollector(shards int, onMatch func(*match.Match)) *collector {
-	return &collector{
-		ch:       make(chan post, shards*2),
-		done:     make(chan struct{}),
-		onMatch:  onMatch,
-		progress: make([]uint64, shards),
-	}
-}
-
-func (c *collector) run() {
-	defer close(c.done)
-	for p := range c.ch {
-		c.progress[p.shard] = p.progress
-		for _, t := range p.matches {
-			c.push(t)
-		}
-		min := c.progress[0]
-		for _, pr := range c.progress[1:] {
-			if pr < min {
-				min = pr
-			}
-		}
-		for len(c.heap) > 0 && c.heap[0].seq <= min {
-			c.emit(c.pop())
-		}
-	}
-	// Channel closed: every worker has posted its final watermark; drain
-	// the remainder in order.
-	for len(c.heap) > 0 {
-		c.emit(c.pop())
-	}
-}
-
-func (c *collector) emit(t tagged) {
-	if c.onMatch != nil {
-		c.onMatch(t.m)
-	}
-}
-
-func tagLess(a, b tagged) bool {
-	if a.seq != b.seq {
-		return a.seq < b.seq
-	}
-	if a.shard != b.shard {
-		return a.shard < b.shard
-	}
-	return a.idx < b.idx
-}
-
-func (c *collector) push(t tagged) {
-	c.heap = append(c.heap, t)
-	i := len(c.heap) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if !tagLess(c.heap[i], c.heap[p]) {
-			break
-		}
-		c.heap[i], c.heap[p] = c.heap[p], c.heap[i]
-		i = p
-	}
-}
-
-func (c *collector) pop() tagged {
-	h := c.heap
-	top := h[0]
-	h[0] = h[len(h)-1]
-	h[len(h)-1] = tagged{}
-	h = h[:len(h)-1]
-	c.heap = h
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		m := i
-		if l < len(h) && tagLess(h[l], h[m]) {
-			m = l
-		}
-		if r < len(h) && tagLess(h[r], h[m]) {
-			m = r
-		}
-		if m == i {
-			break
-		}
-		h[i], h[m] = h[m], h[i]
-		i = m
-	}
-	return top
 }

@@ -1,0 +1,147 @@
+package shard
+
+import (
+	"testing"
+
+	"acep/internal/engine"
+	"acep/internal/event"
+	"acep/internal/gen"
+	"acep/internal/match"
+	"acep/internal/stats"
+)
+
+// stocksAtGap generates a keyed stocks workload whose total arrival rate
+// is controlled by the mean inter-event gap, plus a size-4 sequence
+// pattern that references all four types (so the snapshot's position
+// rates sum to the full stream rate).
+func stocksAtGap(t *testing.T, gap event.Time) (*gen.Workload, *stats.Snapshot) {
+	t.Helper()
+	w := gen.Stocks(gen.StocksConfig{Types: 4, Events: 6000, Seed: 7, MeanGap: gap, Keys: 16})
+	pat, err := w.Pattern(gen.Sequence, 4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, stats.Exact(pat, w.Events)
+}
+
+// TestDeriveQueueCapTracksRate: the snapshot-driven queue bound follows
+// the generator's configured arrival rate — halving the rate (doubling
+// the mean gap) halves the derived cap, and the absolute value matches
+// one window's worth of events at the measured rate.
+func TestDeriveQueueCapTracksRate(t *testing.T) {
+	const window = 2 * event.Second
+	wFast, snapFast := stocksAtGap(t, 2) // ~1000/3 events per logical second
+	_, snapSlow := stocksAtGap(t, 8)     // ~1000/9 events per logical second
+
+	capFast := DeriveQueueCap(snapFast, window, 1)
+	capSlow := DeriveQueueCap(snapSlow, window, 1)
+	if capFast <= 0 || capSlow <= 0 {
+		t.Fatalf("derived caps not positive: fast=%d slow=%d", capFast, capSlow)
+	}
+
+	// Absolute: the cap must be one window's worth of the true measured
+	// rate (events / logical span × window).
+	span := float64(wFast.Events[len(wFast.Events)-1].TS-wFast.Events[0].TS) / float64(event.Second)
+	want := float64(len(wFast.Events)) / span * float64(window) / float64(event.Second)
+	if got := float64(capFast); got < 0.8*want || got > 1.2*want {
+		t.Errorf("fast cap %v, want ~%.0f (one window at the measured rate)", got, want)
+	}
+
+	// Relative: cap ratio tracks the configured rate ratio (gap 2→8 is a
+	// 3x rate drop: mean per-event gap 1+gap goes 3ms → 9ms).
+	ratio := float64(capFast) / float64(capSlow)
+	if ratio < 2.2 || ratio > 3.8 {
+		t.Errorf("cap ratio fast/slow = %.2f, want ~3 (rate-proportional)", ratio)
+	}
+
+	// More shards split the same budget.
+	if c4 := DeriveQueueCap(snapFast, window, 4); c4 < capFast/5 || c4 > capFast/3 {
+		t.Errorf("4-shard cap %d, want ~%d/4", c4, capFast)
+	}
+
+	// Degenerate inputs derive nothing (callers fall back to defaults).
+	if DeriveQueueCap(nil, window, 1) != 0 || DeriveQueueCap(snapFast, 0, 1) != 0 {
+		t.Error("nil snapshot / zero window must derive no cap")
+	}
+}
+
+// TestAutoQueueSizingWired: New derives QueueCap from Options.Snapshot +
+// Options.Window when no explicit bound is set, and still detects the
+// exact match set.
+func TestAutoQueueSizingWired(t *testing.T) {
+	const window = 2 * event.Second
+	w, snap := stocksAtGap(t, 2)
+	pat, err := w.Pattern(gen.Sequence, 4, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var auto, fixed uint64
+	engAuto, err := New(pat, engine.Config{}, Options{
+		Shards: 2, Batch: 64, Snapshot: snap, Window: window,
+		KeyAttr: "key", Schema: w.Schema,
+		OnMatch: func(*match.Match) { auto++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived := engAuto.QueueCap()
+	want := DeriveQueueCap(snap, window, 2)
+	if derived < want || derived > want+2*64 {
+		t.Errorf("wired cap %d events, want >= derived %d (rounded to batches)", derived, want)
+	}
+
+	engFixed, err := New(pat, engine.Config{}, Options{
+		Shards: 2, Batch: 64, KeyAttr: "key", Schema: w.Schema,
+		OnMatch: func(*match.Match) { fixed++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engFixed.QueueCap() != 4*64 {
+		t.Errorf("default cap %d, want 4 batches of 64", engFixed.QueueCap())
+	}
+
+	for i := range w.Events {
+		engAuto.Process(&w.Events[i])
+		engFixed.Process(&w.Events[i])
+	}
+	engAuto.Finish()
+	engFixed.Finish()
+	if auto != fixed || auto == 0 {
+		t.Fatalf("auto-sized engine found %d matches, fixed-queue engine %d (want equal, nonzero)", auto, fixed)
+	}
+}
+
+// TestLatencyEstimators: the shard workers sample per-event queue wait
+// and detection time into the merged Metrics.
+func TestLatencyEstimators(t *testing.T) {
+	w, _ := stocksAtGap(t, 2)
+	pat, err := w.Pattern(gen.Sequence, 4, 2*event.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(pat, engine.Config{}, Options{
+		Shards: 2, Batch: 64, KeyAttr: "key", Schema: w.Schema,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Events {
+		eng.Process(&w.Events[i])
+	}
+	eng.Finish()
+	m := eng.Metrics()
+	if m.QueueWait.Count() != uint64(len(w.Events)) {
+		t.Errorf("queue-wait samples %d, want one per event (%d)", m.QueueWait.Count(), len(w.Events))
+	}
+	if m.DetectTime.Count() == 0 {
+		t.Error("no detection-time samples recorded")
+	}
+	if p50, p99 := m.QueueWait.Quantile(0.5), m.QueueWait.Quantile(0.99); p50 < 0 || p99 < p50 {
+		t.Errorf("queue-wait percentiles implausible: p50=%v p99=%v", p50, p99)
+	}
+	if m.DetectTime.Quantile(0.99) <= 0 {
+		t.Error("detection-time p99 should be positive")
+	}
+}

@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode asserts the codec's crash-safety and consistency contract on
+// arbitrary bytes:
+//
+//   - Decode never panics and never over-consumes the buffer;
+//   - whatever Decode accepts, Append re-encodes into a frame that
+//     decodes again to the same canonical bytes (decode∘encode is
+//     idempotent — the varint layer may accept a non-minimal input
+//     encoding once, but the re-encoding is a fixed point).
+//
+// CI runs this for a short smoke interval on every push (like the SASE
+// parser fuzzer); longer runs are local.
+func FuzzDecode(f *testing.F) {
+	for _, fr := range frames() {
+		f.Add(Append(nil, fr))
+	}
+	// Hand-made corrupt shapes from the unit tests.
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{1, 0, 0, 0, 99})
+	f.Add([]byte{8, 0, 0, 0, byte(KindMatch), 0, 0xff, 0xff, 0xff, 0xff, 0x7f, 0})
+	f.Add(append(Append(nil, Watermark{UpTo: 1}), Append(nil, Finish{})...))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if len(b) > 1<<20 {
+			return // linear decoder; keep fuzzing fast
+		}
+		fr, n, err := Decode(b)
+		if err != nil {
+			if fr != nil {
+				t.Fatalf("Decode returned both frame %#v and error %v", fr, err)
+			}
+			return
+		}
+		if n < 5 || n > len(b) {
+			t.Fatalf("Decode consumed %d of %d bytes", n, len(b))
+		}
+		enc := Append(nil, fr)
+		fr2, n2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoding failed: %v", err)
+		}
+		if n2 != len(enc) {
+			t.Fatalf("re-decode consumed %d of %d bytes", n2, len(enc))
+		}
+		if enc2 := Append(nil, fr2); !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding not a fixed point:\n 1st: %x\n 2nd: %x", enc, enc2)
+		}
+	})
+}

@@ -1,0 +1,568 @@
+// Package wire is the versioned binary codec of the distributed cluster
+// layer (internal/cluster): it frames the messages exchanged between the
+// ingress coordinator and its worker nodes — event batches with their
+// watermark cuts, tagged matches flowing back, completion watermarks,
+// merged engine metrics, and the handshake that pins protocol version,
+// pattern identity and shard layout before any event crosses the wire.
+//
+// # Framing
+//
+// Every frame is length-prefixed:
+//
+//	[u32 little-endian length][u8 kind][body]
+//
+// where length covers kind+body and is bounded by MaxFrame, so a corrupt
+// prefix cannot force an unbounded allocation. Bodies use unsigned/signed
+// varints for counters and identifiers and little-endian IEEE-754 bit
+// patterns for attribute values, which round-trip exactly (including NaN
+// payloads, which partition keys may carry through Float64bits).
+//
+// The protocol version travels in the Hello frame; both sides reject a
+// mismatch at handshake time, so all later frames can assume one version.
+// Decode never panics on arbitrary input — it returns an error for every
+// truncated, oversized or structurally invalid frame (FuzzDecode asserts
+// this), and all internal counts are validated against explicit caps
+// before allocation.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"acep/internal/engine"
+	"acep/internal/event"
+	"acep/internal/match"
+	"acep/internal/stats"
+)
+
+// Version is the protocol version carried in Hello frames. Bump on any
+// incompatible body-layout change.
+const Version = 1
+
+// MaxFrame bounds one frame's payload (kind+body) in bytes; Decode and
+// Reader reject larger length prefixes as corrupt.
+const MaxFrame = 1 << 26
+
+// Structural caps validated before any decode-side allocation.
+const (
+	maxBatchEvents = 1 << 22 // events per Batch frame
+	maxAttrs       = 1 << 12 // attributes per event
+	maxPositions   = 1 << 12 // positions per match
+	maxKleene      = 1 << 20 // events per Kleene closure
+	maxSamples     = 1 << 16 // retained quantile samples per estimator
+)
+
+// Kind tags a frame's body layout.
+type Kind uint8
+
+const (
+	// KindHello is the node's handshake greeting: protocol version, the
+	// node's local shard count, and the pattern fingerprint it serves.
+	KindHello Kind = 1 + iota
+	// KindAssign is the ingress's handshake reply: the node's base index
+	// in the global shard space and the cluster-wide total.
+	KindAssign
+	// KindBatch carries one uniform cut: the node's events accumulated
+	// since the last cut (possibly none) plus the global watermark.
+	KindBatch
+	// KindWatermark reports node completion: every match tagged at or
+	// below UpTo has been sent.
+	KindWatermark
+	// KindMatch carries one detected match with its merge tag.
+	KindMatch
+	// KindMetrics carries a node's merged engine metrics (sent once,
+	// after Finish).
+	KindMetrics
+	// KindFinish signals end of stream (ingress → node).
+	KindFinish
+)
+
+// String names the frame kind.
+func (k Kind) String() string {
+	switch k {
+	case KindHello:
+		return "hello"
+	case KindAssign:
+		return "assign"
+	case KindBatch:
+		return "batch"
+	case KindWatermark:
+		return "watermark"
+	case KindMatch:
+		return "match"
+	case KindMetrics:
+		return "metrics"
+	case KindFinish:
+		return "finish"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Frame is one decoded protocol message.
+type Frame interface{ kind() Kind }
+
+// Hello is the node's handshake greeting.
+type Hello struct {
+	Version    uint32
+	Shards     uint32 // local shard engines hosted by the node
+	PatternSig uint64 // Fingerprint of the served pattern
+}
+
+// Assign is the ingress's handshake reply fixing the shard layout: the
+// node owns global shard indices [Base, Base+Shards).
+type Assign struct {
+	Base  uint32
+	Total uint32 // cluster-wide shard count
+}
+
+// Batch is one uniform cut of events bound for a node.
+type Batch struct {
+	UpTo   uint64 // global sequence watermark the cut covers
+	Events []event.Event
+}
+
+// Watermark reports a node's completion progress.
+type Watermark struct {
+	UpTo uint64
+}
+
+// TaggedMatch is one detected match with its merge tag (the sequence
+// number of the event whose processing emitted it; the node-local source
+// order is implied by frame order on the connection).
+type TaggedMatch struct {
+	Seq uint64
+	M   *match.Match
+}
+
+// Metrics carries a node's merged engine metrics.
+type Metrics struct {
+	M engine.Metrics
+}
+
+// Finish signals end of stream.
+type Finish struct{}
+
+func (Hello) kind() Kind       { return KindHello }
+func (Assign) kind() Kind      { return KindAssign }
+func (Batch) kind() Kind       { return KindBatch }
+func (Watermark) kind() Kind   { return KindWatermark }
+func (TaggedMatch) kind() Kind { return KindMatch }
+func (Metrics) kind() Kind     { return KindMetrics }
+func (Finish) kind() Kind      { return KindFinish }
+
+// KindOf reports a frame's kind.
+func KindOf(f Frame) Kind { return f.kind() }
+
+// Fingerprint hashes a canonical textual rendering (FNV-1a) into the
+// 64-bit signature the handshake compares; the cluster layer feeds it the
+// pattern's String() plus the schema's type/attribute listing so an
+// ingress and a node configured with different patterns refuse to pair.
+func Fingerprint(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+// Append encodes one frame (length prefix included) onto dst.
+func Append(dst []byte, f Frame) []byte {
+	lenAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length back-patched below
+	dst = append(dst, byte(f.kind()))
+	switch v := f.(type) {
+	case Hello:
+		dst = binary.AppendUvarint(dst, uint64(v.Version))
+		dst = binary.AppendUvarint(dst, uint64(v.Shards))
+		dst = binary.AppendUvarint(dst, v.PatternSig)
+	case Assign:
+		dst = binary.AppendUvarint(dst, uint64(v.Base))
+		dst = binary.AppendUvarint(dst, uint64(v.Total))
+	case Batch:
+		dst = binary.AppendUvarint(dst, v.UpTo)
+		dst = binary.AppendUvarint(dst, uint64(len(v.Events)))
+		for i := range v.Events {
+			dst = appendEvent(dst, &v.Events[i])
+		}
+	case Watermark:
+		dst = binary.AppendUvarint(dst, v.UpTo)
+	case TaggedMatch:
+		dst = binary.AppendUvarint(dst, v.Seq)
+		dst = appendMatch(dst, v.M)
+	case Metrics:
+		dst = appendMetrics(dst, &v.M)
+	case Finish:
+		// empty body
+	default:
+		panic(fmt.Sprintf("wire: unencodable frame type %T", f))
+	}
+	binary.LittleEndian.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
+	return dst
+}
+
+func appendEvent(dst []byte, ev *event.Event) []byte {
+	dst = binary.AppendUvarint(dst, uint64(ev.Type))
+	dst = binary.AppendVarint(dst, int64(ev.TS))
+	dst = binary.AppendUvarint(dst, ev.Seq)
+	dst = binary.AppendUvarint(dst, uint64(len(ev.Attrs)))
+	for _, a := range ev.Attrs {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(a))
+	}
+	return dst
+}
+
+func appendMatch(dst []byte, m *match.Match) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(m.Events)))
+	for _, ev := range m.Events {
+		if ev == nil {
+			dst = append(dst, 0)
+			continue
+		}
+		dst = append(dst, 1)
+		dst = appendEvent(dst, ev)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(m.Kleene)))
+	for _, set := range m.Kleene {
+		if set == nil {
+			dst = append(dst, 0)
+			continue
+		}
+		dst = append(dst, 1)
+		dst = binary.AppendUvarint(dst, uint64(len(set)))
+		for _, ev := range set {
+			dst = appendEvent(dst, ev)
+		}
+	}
+	return dst
+}
+
+func appendMetrics(dst []byte, m *engine.Metrics) []byte {
+	for _, u := range []uint64{
+		m.Events, m.Matches, m.LateDropped, m.EventsArrived, m.EventsShed,
+		m.QueueDropped, m.DecisionCalls, m.PlanGenerations, m.Reoptimizations,
+		m.PMCreated, m.PredEvals,
+	} {
+		dst = binary.AppendUvarint(dst, u)
+	}
+	for _, d := range []time.Duration{m.DecisionTime, m.PlanTime, m.StatTime} {
+		dst = binary.AppendVarint(dst, int64(d))
+	}
+	dst = binary.AppendVarint(dst, int64(m.PeakPMs))
+	dst = appendQuantile(dst, &m.QueueWait)
+	dst = appendQuantile(dst, &m.DetectTime)
+	return dst
+}
+
+func appendQuantile(dst []byte, q *stats.Quantile) []byte {
+	dst = binary.AppendUvarint(dst, q.Count())
+	s := q.Samples()
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	for _, v := range s {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+
+// ErrShort reports that the buffer ends before one whole frame; stream
+// readers treat it as "need more data", not corruption.
+var ErrShort = errors.New("wire: short buffer")
+
+// cursor walks a frame body, latching the first error.
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+func (c *cursor) uvarint() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		c.fail("truncated or overlong varint at offset %d", c.off)
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *cursor) varint() int64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(c.b[c.off:])
+	if n <= 0 {
+		c.fail("truncated or overlong varint at offset %d", c.off)
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *cursor) u8() byte {
+	if c.err != nil {
+		return 0
+	}
+	if c.off >= len(c.b) {
+		c.fail("truncated byte at offset %d", c.off)
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+func (c *cursor) f64() float64 {
+	if c.err != nil {
+		return 0
+	}
+	if c.off+8 > len(c.b) {
+		c.fail("truncated float at offset %d", c.off)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(c.b[c.off:]))
+	c.off += 8
+	return v
+}
+
+// count reads a length-like uvarint and validates it against a cap and
+// the bytes actually left in the frame (minSize per element), so a
+// corrupt count can neither overflow a structural limit nor force an
+// allocation much larger than the frame that claims it.
+func (c *cursor) count(limit uint64, minSize int, what string) int {
+	v := c.uvarint()
+	if c.err != nil {
+		return 0
+	}
+	if v > limit {
+		c.fail("%s count %d exceeds cap %d", what, v, limit)
+		return 0
+	}
+	if v*uint64(minSize) > uint64(len(c.b)-c.off) {
+		c.fail("%s count %d exceeds remaining frame bytes", what, v)
+		return 0
+	}
+	return int(v)
+}
+
+// Decode parses one frame from the head of b, returning the frame and the
+// number of bytes consumed. A buffer ending before one whole frame
+// returns ErrShort (possibly wrapped); anything structurally invalid
+// returns a descriptive error.
+func Decode(b []byte) (Frame, int, error) {
+	if len(b) < 4 {
+		return nil, 0, ErrShort
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n < 1 || n > MaxFrame {
+		return nil, 0, fmt.Errorf("wire: frame length %d out of range [1, %d]", n, MaxFrame)
+	}
+	if uint64(len(b)) < 4+uint64(n) {
+		return nil, 0, fmt.Errorf("frame needs %d bytes, have %d: %w", 4+n, len(b), ErrShort)
+	}
+	payload := b[4 : 4+n]
+	f, err := decodePayload(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, 4 + int(n), nil
+}
+
+func decodePayload(p []byte) (Frame, error) {
+	c := &cursor{b: p, off: 1}
+	var f Frame
+	switch Kind(p[0]) {
+	case KindHello:
+		f = Hello{
+			Version:    uint32(c.uvarint()),
+			Shards:     uint32(c.uvarint()),
+			PatternSig: c.uvarint(),
+		}
+	case KindAssign:
+		f = Assign{Base: uint32(c.uvarint()), Total: uint32(c.uvarint())}
+	case KindBatch:
+		v := Batch{UpTo: c.uvarint()}
+		n := c.count(maxBatchEvents, 4, "batch event")
+		if n > 0 {
+			v.Events = make([]event.Event, n)
+			for i := 0; i < n && c.err == nil; i++ {
+				v.Events[i] = c.event()
+			}
+		}
+		f = v
+	case KindWatermark:
+		f = Watermark{UpTo: c.uvarint()}
+	case KindMatch:
+		v := TaggedMatch{Seq: c.uvarint()}
+		v.M = c.match()
+		f = v
+	case KindMetrics:
+		f = Metrics{M: c.metrics()}
+	case KindFinish:
+		f = Finish{}
+	default:
+		return nil, fmt.Errorf("wire: unknown frame kind %d", p[0])
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.off != len(p) {
+		return nil, fmt.Errorf("wire: %s frame has %d trailing bytes", Kind(p[0]), len(p)-c.off)
+	}
+	return f, nil
+}
+
+func (c *cursor) event() event.Event {
+	ev := event.Event{
+		Type: int(c.uvarint()),
+		TS:   event.Time(c.varint()),
+		Seq:  c.uvarint(),
+	}
+	n := c.count(maxAttrs, 8, "attribute")
+	if n > 0 {
+		ev.Attrs = make([]float64, n)
+		for i := range ev.Attrs {
+			ev.Attrs[i] = c.f64()
+		}
+	}
+	return ev
+}
+
+func (c *cursor) match() *match.Match {
+	m := &match.Match{}
+	np := c.count(maxPositions, 1, "match position")
+	if np > 0 {
+		m.Events = make([]*event.Event, np)
+		for i := 0; i < np && c.err == nil; i++ {
+			if c.u8() == 1 {
+				ev := c.event()
+				m.Events[i] = &ev
+			}
+		}
+	}
+	nk := c.count(maxPositions, 1, "kleene position")
+	if nk > 0 {
+		m.Kleene = make([][]*event.Event, nk)
+		for i := 0; i < nk && c.err == nil; i++ {
+			if c.u8() != 1 {
+				continue
+			}
+			n := c.count(maxKleene, 4, "kleene event")
+			set := make([]*event.Event, 0, min(n, 1024))
+			for j := 0; j < n && c.err == nil; j++ {
+				ev := c.event()
+				set = append(set, &ev)
+			}
+			m.Kleene[i] = set
+		}
+	}
+	return m
+}
+
+func (c *cursor) metrics() engine.Metrics {
+	var m engine.Metrics
+	for _, u := range []*uint64{
+		&m.Events, &m.Matches, &m.LateDropped, &m.EventsArrived, &m.EventsShed,
+		&m.QueueDropped, &m.DecisionCalls, &m.PlanGenerations, &m.Reoptimizations,
+		&m.PMCreated, &m.PredEvals,
+	} {
+		*u = c.uvarint()
+	}
+	m.DecisionTime = time.Duration(c.varint())
+	m.PlanTime = time.Duration(c.varint())
+	m.StatTime = time.Duration(c.varint())
+	m.PeakPMs = int(c.varint())
+	m.QueueWait = c.quantile()
+	m.DetectTime = c.quantile()
+	return m
+}
+
+func (c *cursor) quantile() stats.Quantile {
+	count := c.uvarint()
+	n := c.count(maxSamples, 8, "quantile sample")
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = c.f64()
+	}
+	if c.err != nil {
+		return stats.Quantile{}
+	}
+	return stats.RestoreQuantile(count, samples)
+}
+
+// ---------------------------------------------------------------------------
+// Stream framing
+
+// Writer frames messages onto an io.Writer. Each Write issues exactly one
+// underlying write call, so frames on a net.Conn are not interleaved as
+// long as one goroutine owns the Writer.
+type Writer struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Write encodes and sends one frame.
+func (w *Writer) Write(f Frame) error {
+	w.buf = Append(w.buf[:0], f)
+	_, err := w.w.Write(w.buf)
+	return err
+}
+
+// Reader decodes frames from an io.Reader. A clean end of stream at a
+// frame boundary returns io.EOF; a stream ending mid-frame returns
+// io.ErrUnexpectedEOF.
+type Reader struct {
+	r    io.Reader
+	head [4]byte
+	buf  []byte
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Read decodes the next frame.
+func (r *Reader) Read() (Frame, error) {
+	if _, err := io.ReadFull(r.r, r.head[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(r.head[:])
+	if n < 1 || n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame length %d out of range [1, %d]", n, MaxFrame)
+	}
+	if cap(r.buf) < int(n) {
+		r.buf = make([]byte, n)
+	}
+	r.buf = r.buf[:n]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return decodePayload(r.buf)
+}

@@ -1,0 +1,198 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"acep/internal/engine"
+	"acep/internal/event"
+	"acep/internal/match"
+	"acep/internal/stats"
+)
+
+// sampleEvent builds an event exercising varint edge shapes: type 0,
+// negative-capable TS, large Seq, NaN and -0.0 attribute bit patterns.
+func sampleEvent() event.Event {
+	return event.Event{
+		Type:  3,
+		TS:    -17,
+		Seq:   1<<40 + 9,
+		Attrs: []float64{1.5, math.Copysign(0, -1), math.NaN(), -2.25e18},
+	}
+}
+
+// frames is the table every round-trip test walks: at least one instance
+// of every frame kind, including degenerate shapes.
+func frames() []Frame {
+	ev := sampleEvent()
+	ev2 := event.Event{Type: 0, TS: 0, Seq: 1}
+	var q stats.Quantile
+	for i := 0; i < 2000; i++ {
+		q.Add(float64(i % 97))
+	}
+	return []Frame{
+		Hello{Version: Version, Shards: 4, PatternSig: 0xdeadbeefcafef00d},
+		Hello{},
+		Assign{Base: 6, Total: 12},
+		Batch{UpTo: 1 << 50},
+		Batch{UpTo: 42, Events: []event.Event{ev, ev2}},
+		Watermark{UpTo: math.MaxUint64},
+		TaggedMatch{Seq: 7, M: &match.Match{Events: []*event.Event{&ev, nil, &ev2}}},
+		TaggedMatch{Seq: math.MaxUint64, M: &match.Match{
+			Events: []*event.Event{&ev, nil, nil},
+			Kleene: [][]*event.Event{nil, {&ev2, &ev}, nil},
+		}},
+		TaggedMatch{Seq: 0, M: &match.Match{}},
+		Metrics{M: engine.Metrics{
+			Events: 100, Matches: 3, LateDropped: 1, EventsArrived: 100,
+			EventsShed: 7, QueueDropped: 2, DecisionCalls: 5, PlanGenerations: 4,
+			Reoptimizations: 2, DecisionTime: 12 * time.Microsecond,
+			PlanTime: 3 * time.Millisecond, StatTime: time.Second,
+			PMCreated: 55, PredEvals: 1234, PeakPMs: 17,
+			QueueWait: q,
+		}},
+		Metrics{},
+		Finish{},
+	}
+}
+
+// eqFrame compares frames for semantic equality (NaN attribute bits
+// compare by bit pattern, quantiles by count and reservoir).
+func eqFrame(t *testing.T, a, b Frame) bool {
+	t.Helper()
+	am, aok := a.(Metrics)
+	bm, bok := b.(Metrics)
+	if aok != bok {
+		return false
+	}
+	if aok {
+		// Quantile has unexported state; compare through its surface.
+		if am.M.QueueWait.Count() != bm.M.QueueWait.Count() ||
+			am.M.DetectTime.Count() != bm.M.DetectTime.Count() ||
+			!reflect.DeepEqual(am.M.QueueWait.Samples(), bm.M.QueueWait.Samples()) ||
+			!reflect.DeepEqual(am.M.DetectTime.Samples(), bm.M.DetectTime.Samples()) {
+			return false
+		}
+		am.M.QueueWait, bm.M.QueueWait = stats.Quantile{}, stats.Quantile{}
+		am.M.DetectTime, bm.M.DetectTime = stats.Quantile{}, stats.Quantile{}
+		return reflect.DeepEqual(am, bm)
+	}
+	// NaNs: compare canonical re-encodings instead of raw values.
+	return bytes.Equal(Append(nil, a), Append(nil, b))
+}
+
+// TestRoundTrip: every frame kind encodes and decodes back to itself,
+// both via the byte API and the stream Reader/Writer.
+func TestRoundTrip(t *testing.T) {
+	for _, f := range frames() {
+		b := Append(nil, f)
+		got, n, err := Decode(b)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", KindOf(f), err)
+		}
+		if n != len(b) {
+			t.Fatalf("%s: consumed %d of %d bytes", KindOf(f), n, len(b))
+		}
+		if !eqFrame(t, f, got) {
+			t.Fatalf("%s: round-trip mismatch:\n in: %#v\nout: %#v", KindOf(f), f, got)
+		}
+	}
+}
+
+// TestStreamRoundTrip: all frames written back-to-back through a Writer
+// decode in order through a Reader, ending in clean io.EOF.
+func TestStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	all := frames()
+	for _, f := range all {
+		if err := w.Write(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	for i, want := range all {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !eqFrame(t, want, got) {
+			t.Fatalf("frame %d (%s): mismatch", i, KindOf(want))
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("end of stream: got %v, want io.EOF", err)
+	}
+}
+
+// TestDecodeTruncated: every proper prefix of every encoded frame is
+// rejected — with ErrShort when the length prefix promises more, with a
+// descriptive error when the body lies about its own structure.
+func TestDecodeTruncated(t *testing.T) {
+	for _, f := range frames() {
+		b := Append(nil, f)
+		for cut := 0; cut < len(b); cut++ {
+			if _, n, err := Decode(b[:cut]); err == nil {
+				t.Fatalf("%s truncated to %d/%d bytes decoded (consumed %d)", KindOf(f), cut, len(b), n)
+			}
+		}
+	}
+}
+
+// TestReaderTruncated: a stream ending mid-frame reports
+// io.ErrUnexpectedEOF, distinguishing it from a clean close.
+func TestReaderTruncated(t *testing.T) {
+	b := Append(nil, Batch{UpTo: 9, Events: []event.Event{sampleEvent()}})
+	for _, cut := range []int{1, 3, 4, 5, len(b) - 1} {
+		r := NewReader(bytes.NewReader(b[:cut]))
+		if _, err := r.Read(); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d: got %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+// TestDecodeCorrupt: structurally invalid frames are rejected with
+// wire-prefixed errors and never panic.
+func TestDecodeCorrupt(t *testing.T) {
+	cases := map[string][]byte{
+		"zero length":        {0, 0, 0, 0},
+		"oversized length":   {0xff, 0xff, 0xff, 0xff, byte(KindFinish)},
+		"unknown kind":       Append(nil, Finish{})[:4:4],
+		"overlong varint":    {10, 0, 0, 0, byte(KindWatermark), 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80},
+		"event count lie":    {3, 0, 0, 0, byte(KindBatch), 5, 200},
+		"attr count lie":     {7, 0, 0, 0, byte(KindBatch), 5, 1, 0, 0, 1, 250},
+		"kleene count lie":   {6, 0, 0, 0, byte(KindMatch), 0, 0, 1, 1, 99},
+		"sample count bomb":  {8, 0, 0, 0, byte(KindMetrics), 0, 0, 0, 0, 0, 0, 0},
+		"position cap break": {8, 0, 0, 0, byte(KindMatch), 0, 0xff, 0xff, 0xff, 0xff, 0x7f, 0},
+	}
+	cases["unknown kind"] = append(cases["unknown kind"], 99)
+	for name, b := range cases {
+		f, _, err := Decode(b)
+		if err == nil {
+			t.Errorf("%s: decoded %#v, want error", name, f)
+		}
+	}
+	// "trailing bytes" needs its length prefix to cover the extra byte.
+	b := Append(nil, Watermark{UpTo: 1})
+	b = append(b, 0xcc)
+	b[0]++ // grow the declared payload length over the junk byte
+	if _, _, err := Decode(b); err == nil {
+		t.Error("trailing byte inside declared length accepted")
+	}
+}
+
+// TestFingerprint: stable, input-sensitive.
+func TestFingerprint(t *testing.T) {
+	a := Fingerprint("SEQ(A,B,C)")
+	if a != Fingerprint("SEQ(A,B,C)") {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if a == Fingerprint("SEQ(A,B,D)") || a == Fingerprint("") {
+		t.Fatal("fingerprint collisions on trivially different inputs")
+	}
+}
