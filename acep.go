@@ -42,6 +42,9 @@
 package acep
 
 import (
+	"fmt"
+	"time"
+
 	"acep/internal/cluster"
 	"acep/internal/core"
 	"acep/internal/engine"
@@ -49,6 +52,7 @@ import (
 	"acep/internal/gen"
 	"acep/internal/match"
 	"acep/internal/pattern"
+	recovery "acep/internal/recover"
 	"acep/internal/sase"
 	"acep/internal/shard"
 	"acep/internal/shed"
@@ -208,8 +212,13 @@ func ShardPartitionable(p *Pattern, s *Schema, attr string) error {
 // DESIGN.md ("Distributed execution").
 type (
 	// ClusterIngress is the cluster coordinator: Process events, Finish,
-	// read merged or per-node Metrics.
+	// read merged or per-node Metrics (and Failovers, with recovery
+	// enabled).
 	ClusterIngress = cluster.Ingress
+	// ClusterFailover records one recovered node failure: cause,
+	// detection time, replayed history, and when the successor caught
+	// up (RecoveryTime).
+	ClusterFailover = recovery.Failover
 )
 
 // ClusterConfig assembles a distributed cluster behind one ingress.
@@ -237,6 +246,28 @@ type ClusterConfig struct {
 	Key     ShardKeyFunc
 	// OnMatch receives every match in the merged deterministic order.
 	OnMatch func(*Match)
+	// Recover enables fault-tolerant failover: the ingress journals its
+	// cuts (bounded by MaxJournalBytes) and, when a worker dies, hands
+	// the lost shard block to a standby — dialed from Standby in Connect
+	// mode, or spawned in-process (at most StandbyNodes, default 2)
+	// otherwise — which replays the journaled history and suppresses
+	// already-delivered matches, keeping the output stream exactly the
+	// healthy one. Without Recover a node failure surfaces as an error
+	// from Finish.
+	Recover bool
+	// Standby lists TCP addresses of standby workers (bare acep-node
+	// processes work: the pattern ships in the handshake), dialed lazily
+	// at failover time. Connect mode only.
+	Standby []string
+	// StandbyNodes bounds in-process standby spawning (local mode).
+	StandbyNodes int
+	// HeartbeatTimeout declares a silent node dead even without a
+	// transport error (0: transport errors only).
+	HeartbeatTimeout time.Duration
+	// MaxJournalBytes bounds the cut journal (default 256 MiB).
+	MaxJournalBytes int64
+	// OnFailover observes each recovered failure as it completes.
+	OnFailover func(ClusterFailover)
 }
 
 // NewClusterIngress builds a distributed cluster ingress for the
@@ -266,23 +297,43 @@ func NewClusterIngress(p *Pattern, cfg Config, cc ClusterConfig) (*ClusterIngres
 			}
 			conns[i] = c
 		}
-		return cluster.NewIngress(p, conns, cluster.IngressOptions{
+		opts := cluster.IngressOptions{
 			Batch:   cc.Batch,
 			Key:     cc.Key,
 			KeyAttr: cc.KeyAttr,
 			Schema:  cc.Schema,
 			OnMatch: cc.OnMatch,
-		})
+		}
+		if cc.Recover {
+			if len(cc.Standby) == 0 {
+				for _, open := range conns {
+					open.Close()
+				}
+				return nil, fmt.Errorf("acep: Recover over Connect needs at least one Standby address")
+			}
+			opts.Recovery = &cluster.RecoveryConfig{
+				HeartbeatTimeout: cc.HeartbeatTimeout,
+				MaxJournalBytes:  cc.MaxJournalBytes,
+				OnFailover:       cc.OnFailover,
+				Standby:          cluster.DialStandbys(cc.Standby),
+			}
+		}
+		return cluster.NewIngress(p, conns, opts)
 	}
 	return cluster.StartLocal(p, cfg, cluster.LocalConfig{
-		Nodes:         cc.Nodes,
-		ShardsPerNode: cc.ShardsPerNode,
-		Batch:         cc.Batch,
-		QueueCap:      cc.QueueCap,
-		Key:           cc.Key,
-		KeyAttr:       cc.KeyAttr,
-		Schema:        cc.Schema,
-		OnMatch:       cc.OnMatch,
+		Nodes:            cc.Nodes,
+		ShardsPerNode:    cc.ShardsPerNode,
+		Batch:            cc.Batch,
+		QueueCap:         cc.QueueCap,
+		Key:              cc.Key,
+		KeyAttr:          cc.KeyAttr,
+		Schema:           cc.Schema,
+		OnMatch:          cc.OnMatch,
+		Recover:          cc.Recover,
+		Standbys:         cc.StandbyNodes,
+		HeartbeatTimeout: cc.HeartbeatTimeout,
+		MaxJournalBytes:  cc.MaxJournalBytes,
+		OnFailover:       cc.OnFailover,
 	})
 }
 

@@ -33,6 +33,15 @@
 //
 //	acep-bench -exp cluster-traffic -nodes 3 -shards 2
 //	acep-bench -exp cluster-traffic -json BENCH_cluster.json
+//
+// failover-traffic and failover-stocks measure the fault-tolerance
+// layer: one node of a loopback-TCP cluster is killed mid-stream and its
+// shard block fails over to a bare standby, sweeping node count (3-5)
+// and journal retention; every run's match stream is verified against
+// the single-process sharded engine before reporting recovery time and
+// throughput dip:
+//
+//	acep-bench -exp failover-traffic -json BENCH_failover.json
 package main
 
 import (
@@ -68,7 +77,8 @@ func main() {
 	if *list {
 		ids := append(bench.ExperimentIDs(), bench.ScalingIDs()...)
 		ids = append(ids, bench.SheddingIDs()...)
-		for _, id := range append(ids, bench.ClusterIDs()...) {
+		ids = append(ids, bench.ClusterIDs()...)
+		for _, id := range append(ids, bench.FailoverIDs()...) {
 			fmt.Println(id)
 		}
 		return
@@ -106,6 +116,7 @@ func main() {
 		ids = append(bench.ExperimentIDs(), bench.ScalingIDs()...)
 		ids = append(ids, bench.SheddingIDs()...)
 		ids = append(ids, bench.ClusterIDs()...)
+		ids = append(ids, bench.FailoverIDs()...)
 	}
 	for _, id := range ids {
 		fmt.Printf("=== %s ===\n", id)
@@ -117,6 +128,8 @@ func main() {
 			err = runShedding(h, id, *shedPo, *qcap, *jsonMD)
 		case contains(bench.ClusterIDs(), id):
 			err = runCluster(h, id, *nodes, *shards, *batch, *jsonMD)
+		case contains(bench.FailoverIDs(), id):
+			err = runFailover(h, id, *nodes, *shards, *batch, *jsonMD)
 		default:
 			err = r.Run(os.Stdout, id)
 		}
@@ -182,6 +195,26 @@ func runCluster(h *bench.Harness, id string, maxNodes, shardsPerNode, batch int,
 	}
 	dataset := strings.TrimPrefix(id, "cluster-")
 	d, err := h.Cluster(dataset, counts, shardsPerNode, batch)
+	if err != nil {
+		return err
+	}
+	d.Write(os.Stdout)
+	return appendJSON(jsonPath, d.WriteJSON)
+}
+
+// runFailover executes one failover-* experiment: the default sweep
+// crosses node counts 3-5 with journal horizons, or -nodes pins one node
+// count swept across horizons 1/2/4 windows.
+func runFailover(h *bench.Harness, id string, nodes, shardsPerNode, batch int, jsonPath string) error {
+	sweeps := bench.DefaultFailoverSweeps()
+	if nodes > 0 {
+		sweeps = nil
+		for _, slack := range []int{1, 2, 4} {
+			sweeps = append(sweeps, bench.FailoverSweep{Nodes: nodes, SlackWindows: slack})
+		}
+	}
+	dataset := strings.TrimPrefix(id, "failover-")
+	d, err := h.Failover(dataset, sweeps, shardsPerNode, batch)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,6 @@
 // Command acep-node runs a cluster worker node: it hosts a block of
 // shard engines behind a TCP listener and serves ingress sessions
-// (cmd/acep-run -connect, or any cluster.Ingress). The node must be
+// (cmd/acep-run -connect, or any cluster.Ingress). With -in, the node is
 // configured with the same workload schema and pattern as the ingress —
 // the handshake compares fingerprints and refuses to pair otherwise —
 // so both sides point -in at the same CSV (only the header is needed
@@ -11,10 +11,19 @@
 //	acep-node -listen 127.0.0.1:7102 -in keyed.csv -kind sequence -size 4 -shards 2 &
 //	acep-run  -in keyed.csv -kind sequence -size 4 -connect 127.0.0.1:7101,127.0.0.1:7102
 //
+// Without -in, the node runs bare: it serves any ingress, adopting the
+// pattern and schema shipped in the handshake. A bare node is also the
+// standby of the failover subsystem — point acep-run's -standby at it
+// and it adopts a dead worker's shard block on demand:
+//
+//	acep-node -listen 127.0.0.1:7190 &
+//	acep-run -in keyed.csv -connect ... -recover -standby 127.0.0.1:7190
+//
 // Overload control applies at the node's ingress: -shed picks the
-// shedding policy each local shard engine runs with, and -queue-cap
-// bounds the local ingestion queues (-overflow drop makes them lossy
-// instead of backpressuring the network reader).
+// shedding policy each local shard engine runs with (budgets: -shed-pms,
+// -shed-rate, and the -shed-wait p99 queue-wait latency target), and
+// -queue-cap bounds the local ingestion queues (-overflow drop makes
+// them lossy instead of backpressuring the network reader).
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"acep/internal/engine"
 	"acep/internal/event"
 	"acep/internal/gen"
+	"acep/internal/pattern"
 	"acep/internal/shard"
 	"acep/internal/shed"
 	"acep/internal/stream"
@@ -35,66 +45,67 @@ import (
 
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:0", "TCP address to serve ingress sessions on")
-		in      = flag.String("in", "", "workload CSV whose schema/pattern this node serves (required; see acep-gen)")
-		kindStr = flag.String("kind", "sequence", "pattern family: sequence, conjunction, negation, kleene, composite")
-		size    = flag.Int("size", 3, "pattern size")
-		window  = flag.Int64("window", 150, "pattern window in logical ms")
-		model   = flag.String("model", "greedy", "evaluation model: greedy (order-based NFA) or zstream (tree)")
-		policy  = flag.String("policy", "invariant", "adaptation policy: static, unconditional, threshold, invariant")
-		tFlag   = flag.Float64("t", 0.3, "threshold for -policy threshold")
-		dFlag   = flag.Float64("d", 0.2, "distance for -policy invariant")
-		kFlag   = flag.Int("k", 1, "invariants per building block (K-invariant method)")
-		check   = flag.Int("check", 500, "adaptation check interval in events")
-		shards  = flag.Int("shards", 1, "local shard engines this node hosts")
-		batch   = flag.Int("batch", 0, "local handoff batch (0 = default)")
-		keyAttr = flag.String("key", "key", "partition-key attribute")
-		shedPol = flag.String("shed", "none", "load-shedding policy: none, random, rate-utility, pattern-aware")
-		shedTgt = flag.Float64("shed-target", 0.3, "drop fraction the shedding policy aims for while overloaded")
-		shedPMs = flag.Int("shed-pms", 0, "live partial-match budget per shard engine")
-		shedEPS = flag.Float64("shed-rate", 0, "arrival-rate budget in events per logical second")
-		qcap    = flag.Int("queue-cap", 0, "per-shard ingestion queue bound in events (0 = default)")
-		overfl  = flag.String("overflow", "block", "full-queue behavior: block (backpressure) or drop")
-		once    = flag.Bool("once", false, "serve a single ingress session and exit")
+		listen   = flag.String("listen", "127.0.0.1:0", "TCP address to serve ingress sessions on")
+		in       = flag.String("in", "", "workload CSV whose schema/pattern this node serves; empty runs a bare node that adopts the ingress's shipped pattern (standby mode)")
+		kindStr  = flag.String("kind", "sequence", "pattern family: sequence, conjunction, negation, kleene, composite")
+		size     = flag.Int("size", 3, "pattern size")
+		window   = flag.Int64("window", 150, "pattern window in logical ms")
+		model    = flag.String("model", "greedy", "evaluation model: greedy (order-based NFA) or zstream (tree)")
+		policy   = flag.String("policy", "invariant", "adaptation policy: static, unconditional, threshold, invariant")
+		tFlag    = flag.Float64("t", 0.3, "threshold for -policy threshold")
+		dFlag    = flag.Float64("d", 0.2, "distance for -policy invariant")
+		kFlag    = flag.Int("k", 1, "invariants per building block (K-invariant method)")
+		check    = flag.Int("check", 500, "adaptation check interval in events")
+		shards   = flag.Int("shards", 1, "local shard engines this node hosts")
+		batch    = flag.Int("batch", 0, "local handoff batch (0 = default)")
+		keyAttr  = flag.String("key", "key", "partition-key attribute")
+		shedPol  = flag.String("shed", "none", "load-shedding policy: none, random, rate-utility, pattern-aware")
+		shedTgt  = flag.Float64("shed-target", 0.3, "drop fraction the shedding policy aims for while overloaded")
+		shedPMs  = flag.Int("shed-pms", 0, "live partial-match budget per shard engine")
+		shedEPS  = flag.Float64("shed-rate", 0, "arrival-rate budget in events per logical second")
+		shedWait = flag.Duration("shed-wait", 0, "p99 ingestion queue-wait budget (latency-aware shedding; 0 = off)")
+		qcap     = flag.Int("queue-cap", 0, "per-shard ingestion queue bound in events (0 = default)")
+		overfl   = flag.String("overflow", "block", "full-queue behavior: block (backpressure) or drop")
+		once     = flag.Bool("once", false, "serve a single ingress session and exit")
 	)
 	flag.Parse()
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "acep-node: -in required")
-		os.Exit(2)
-	}
-	f, err := os.Open(*in)
-	if err != nil {
-		fail(err)
-	}
-	w, err := stream.ReadCSV(f)
-	f.Close()
-	if err != nil {
-		fail(err)
-	}
+	// With -in the node pins pattern and schema (the handshake
+	// fingerprint-checks them against the ingress); without it the node
+	// is bare and adopts whatever the ingress ships.
+	var pat *pattern.Pattern
+	var schema *event.Schema
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		w, err := stream.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
 
-	var kind gen.Kind
-	switch *kindStr {
-	case "sequence":
-		kind = gen.Sequence
-	case "conjunction":
-		kind = gen.Conjunction
-	case "negation":
-		kind = gen.Negation
-	case "kleene":
-		kind = gen.Kleene
-	case "composite":
-		kind = gen.Composite
-	default:
-		fail(fmt.Errorf("unknown kind %q", *kindStr))
+		var kind gen.Kind
+		switch *kindStr {
+		case "sequence":
+			kind = gen.Sequence
+		case "conjunction":
+			kind = gen.Conjunction
+		case "negation":
+			kind = gen.Negation
+		case "kleene":
+			kind = gen.Kleene
+		case "composite":
+			kind = gen.Composite
+		default:
+			fail(fmt.Errorf("unknown kind %q", *kindStr))
+		}
+		pat, err = w.Pattern(kind, *size, event.Time(*window))
+		if err != nil {
+			fail(err)
+		}
+		schema = w.Schema
 	}
-	pat, err := w.Pattern(kind, *size, event.Time(*window))
-	if err != nil {
-		fail(err)
-	}
-	// Only the schema and pattern matter here; the events stay at the
-	// ingress. Release them so a long-running worker does not hold the
-	// whole workload resident.
-	w.Events = nil
 
 	m := engine.GreedyNFA
 	if *model == "zstream" {
@@ -130,9 +141,9 @@ func main() {
 		fail(fmt.Errorf("unknown shedding policy %q", *shedPol))
 	}
 	if shedCfg.Policy != nil {
-		shedCfg.Budget = shed.Budget{LivePMs: *shedPMs, EventsPerSec: *shedEPS}
-		if *shedPMs <= 0 && *shedEPS <= 0 {
-			fail(fmt.Errorf("-shed %s needs a budget: set -shed-pms and/or -shed-rate", *shedPol))
+		shedCfg.Budget = shed.Budget{LivePMs: *shedPMs, EventsPerSec: *shedEPS, QueueWait: *shedWait}
+		if *shedPMs <= 0 && *shedEPS <= 0 && *shedWait <= 0 {
+			fail(fmt.Errorf("-shed %s needs a budget: set -shed-pms, -shed-rate and/or -shed-wait", *shedPol))
 		}
 	}
 	overflow := shard.Backpressure
@@ -157,7 +168,7 @@ func main() {
 		QueueCap: *qcap,
 		Overflow: overflow,
 		KeyAttr:  *keyAttr,
-		Schema:   w.Schema,
+		Schema:   schema,
 	})
 	if err != nil {
 		fail(err)
@@ -167,7 +178,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	log.Printf("acep-node: serving %d shard(s) of %s on %s", *shards, pat, l.Addr())
+	if pat != nil {
+		log.Printf("acep-node: serving %d shard(s) of %s on %s", *shards, pat, l.Addr())
+	} else {
+		log.Printf("acep-node: bare node (standby) with %d shard(s) on %s", *shards, l.Addr())
+	}
 	if *once {
 		c, err := l.Accept()
 		if err != nil {

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFailoverExperiment: one tiny sweep point end to end — both runs
+// digest-identical to the reference (asserted inside Failover), one
+// failover recorded with real replay volume, sane table/JSON output.
+func TestFailoverExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failover experiment in -short mode")
+	}
+	sc := DefaultScale()
+	sc.Events = 12000
+	h := NewHarness(sc)
+	d, err := h.Failover("traffic", []FailoverSweep{{Nodes: 3, SlackWindows: 2}}, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Points) != 1 {
+		t.Fatalf("%d points", len(d.Points))
+	}
+	p := d.Points[0]
+	if p.Nodes != 3 || p.TotalShards != 6 {
+		t.Fatalf("bad layout: %+v", p)
+	}
+	if p.Matches == 0 {
+		t.Fatal("vacuous run: no matches")
+	}
+	if p.HealthyTP <= 0 || p.FailoverTP <= 0 {
+		t.Fatalf("bad throughputs: %+v", p)
+	}
+	if p.ReplayEvents == 0 || p.JournalBytes == 0 {
+		t.Fatalf("failover replayed nothing: %+v", p)
+	}
+	var buf bytes.Buffer
+	d.Write(&buf)
+	if !strings.Contains(buf.String(), "Failover recovery") {
+		t.Fatal("missing table header")
+	}
+	buf.Reset()
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"recovery_ms\"") {
+		t.Fatal("missing JSON field")
+	}
+}

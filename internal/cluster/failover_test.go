@@ -1,0 +1,442 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"acep/internal/engine"
+	"acep/internal/gen"
+	"acep/internal/match"
+	recovery "acep/internal/recover"
+	"acep/internal/wire"
+)
+
+// failoverWorkload spreads enough keys that every node of a 3×2 cluster
+// owns live traffic — a kill must actually lose in-flight state.
+func failoverWorkload(t *testing.T, dataset string) *gen.Workload {
+	t.Helper()
+	switch dataset {
+	case "traffic":
+		return gen.Traffic(gen.TrafficConfig{
+			Types: 6, Events: 5000, Seed: 17, Shifts: 1, MeanGap: 3, Keys: 12,
+		})
+	case "stocks":
+		return gen.Stocks(gen.StocksConfig{
+			Types: 6, Events: 5000, Seed: 23, MeanGap: 3, DriftEvery: 300, Keys: 16,
+		})
+	default:
+		t.Fatalf("unknown dataset %s", dataset)
+		return nil
+	}
+}
+
+// recvKiller crashes the node side: after budget received frames the
+// connection slams shut — the remote-process-died failure mode.
+type recvKiller struct {
+	Conn
+	budget int
+}
+
+func (k *recvKiller) Recv() (wire.Frame, error) {
+	if k.budget <= 0 {
+		k.Conn.Close()
+		return nil, fmt.Errorf("recvkiller: injected node crash")
+	}
+	k.budget--
+	return k.Conn.Recv()
+}
+
+// blackholeConn goes silent without an error after budget sends: frames
+// are swallowed, nothing ever errors — the netsplit failure mode only
+// the heartbeat detector can catch.
+type blackholeConn struct {
+	Conn
+	budget int
+}
+
+func (b *blackholeConn) Send(f wire.Frame) error {
+	if b.budget <= 0 {
+		return nil
+	}
+	b.budget--
+	return b.Conn.Send(f)
+}
+
+// failoverRig wires a 3-node loopback-TCP cluster (2 shards each) with
+// bare TCP standby nodes behind a dialing Standby factory.
+type failoverRig struct {
+	conns      []Conn
+	standbyLs  []*Listener
+	dialed     int
+	mu         sync.Mutex
+	serveErrs  []error
+	wrapStand  func(k int, c Conn) Conn
+	recOptions RecoveryConfig
+}
+
+func (r *failoverRig) noteErr(err error) {
+	r.mu.Lock()
+	r.serveErrs = append(r.serveErrs, err)
+	r.mu.Unlock()
+}
+
+// startFailoverRig launches the worker and standby processes. wrapConn
+// (optional) injects failures into the ingress-side worker connections;
+// wrapStand into the dialed standby connections, by dial order.
+func startFailoverRig(t *testing.T, w *gen.Workload, kind gen.Kind, standbys int,
+	wrapConn func(i int, c Conn) Conn, wrapStand func(k int, c Conn) Conn) (*failoverRig, *gen.Workload) {
+	t.Helper()
+	pat, err := w.Pattern(kind, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig := &failoverRig{wrapStand: wrapStand}
+
+	serve := func(node *Node, l *Listener) {
+		go node.ServeListener(l, rig.noteErr) //nolint:errcheck // closed at test end
+	}
+	for i := 0; i < 3; i++ {
+		node, err := NewNode(NodeConfig{
+			Pattern: pat, Engine: engine.Config{CheckEvery: 250},
+			Shards: 2, Batch: 64, KeyAttr: "key", Schema: w.Schema,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := ListenTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		serve(node, l)
+		c, err := DialTCP(l.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wrapConn != nil {
+			c = wrapConn(i, c)
+		}
+		rig.conns = append(rig.conns, c)
+	}
+	// Standbys are bare nodes: no pattern, no schema — they adopt both
+	// from the Reassign handshake (pattern shipping over real TCP).
+	for k := 0; k < standbys; k++ {
+		node, err := NewNode(NodeConfig{
+			Engine: engine.Config{CheckEvery: 250}, Batch: 64, KeyAttr: "key",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := ListenTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		serve(node, l)
+		rig.standbyLs = append(rig.standbyLs, l)
+	}
+	rig.recOptions = RecoveryConfig{
+		Standby: func() (Conn, error) {
+			if rig.dialed >= len(rig.standbyLs) {
+				return nil, fmt.Errorf("rig: standbys exhausted")
+			}
+			c, err := DialTCP(rig.standbyLs[rig.dialed].Addr())
+			if err != nil {
+				return nil, err
+			}
+			if rig.wrapStand != nil {
+				c = rig.wrapStand(rig.dialed, c)
+			}
+			rig.dialed++
+			return c, nil
+		},
+	}
+	return rig, w
+}
+
+// runRecovered streams the workload through the rig's cluster and
+// requires a clean finish (every failure must have been recovered).
+func runRecovered(t *testing.T, rig *failoverRig, w *gen.Workload, kind gen.Kind) (*tagRecorder, *Ingress) {
+	t.Helper()
+	pat, err := w.Pattern(kind, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &tagRecorder{}
+	ing, err := NewIngress(pat, rig.conns, IngressOptions{
+		Batch: 64, KeyAttr: "key", Schema: w.Schema, OnTagged: rec.rec,
+		Recovery: &rig.recOptions,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Events {
+		ing.Process(&w.Events[i])
+	}
+	done := make(chan error, 1)
+	go func() { done <- ing.Finish() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("recovered cluster finished with error: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("recovered cluster Finish hung")
+	}
+	return rec, ing
+}
+
+func requireIdentical(t *testing.T, label string, got, want *tagRecorder) {
+	t.Helper()
+	if want.n == 0 {
+		t.Fatalf("%s: reference produced no matches; test is vacuous", label)
+	}
+	if !bytes.Equal(got.buf, want.buf) {
+		i := 0
+		for i < len(got.keys) && i < len(want.keys) && got.keys[i] == want.keys[i] {
+			i++
+		}
+		t.Fatalf("%s: recovered stream diverges from sharded reference (%d vs %d matches, first divergence at %d)",
+			label, got.n, want.n, i)
+	}
+}
+
+// TestFailoverByteIdentical is the PR's acceptance criterion: killing
+// one node mid-stream (ingress-side link death mid-window, while its
+// shards hold live partial matches) on a 3-node loopback-TCP cluster
+// must deliver a match stream byte-identical to the single-process
+// sharded engine at equal total shards — across sequence, negation,
+// Kleene and composite patterns on both workload regimes.
+func TestFailoverByteIdentical(t *testing.T) {
+	for _, dataset := range []string{"traffic", "stocks"} {
+		w := failoverWorkload(t, dataset)
+		for _, kind := range []gen.Kind{gen.Sequence, gen.Negation, gen.Kleene, gen.Composite} {
+			want := runSharded(t, w, kind, 6)
+			// Budget 30 ≈ the assign frame plus 29 cuts of 64 events:
+			// the link dies ~37% into the stream.
+			rig, _ := startFailoverRig(t, w, kind, 1, func(i int, c Conn) Conn {
+				if i == 1 {
+					return &flakyConn{Conn: c, sendBudget: 30}
+				}
+				return c
+			}, nil)
+			got, ing := runRecovered(t, rig, w, kind)
+			requireIdentical(t, fmt.Sprintf("%s/%v", dataset, kind), got, want)
+			fos := ing.Failovers()
+			if len(fos) != 1 || fos[0].Node != 1 {
+				t.Fatalf("%s/%v: failovers = %+v, want exactly one for node 1", dataset, kind, fos)
+			}
+			if fos[0].ReplayEvents == 0 || fos[0].ReplayCuts == 0 {
+				t.Fatalf("%s/%v: failover replayed nothing: %+v", dataset, kind, fos[0])
+			}
+			if fos[0].RecoveredAt.IsZero() {
+				t.Fatalf("%s/%v: successor never reported RecoveryDone", dataset, kind)
+			}
+		}
+	}
+}
+
+// TestFailoverNodeSideCrash: the node process dies (its side of the
+// connection slams shut mid-stream); the reader-side error triggers the
+// failover and the stream stays exact.
+func TestFailoverNodeSideCrash(t *testing.T) {
+	w := failoverWorkload(t, "traffic")
+	want := runSharded(t, w, gen.Sequence, 6)
+	pat, err := w.Pattern(gen.Sequence, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig, _ := startFailoverRig(t, w, gen.Sequence, 1, nil, nil)
+	// Replace node 2's connection with a pipe-backed node whose receive
+	// path dies after 25 frames: a node-side crash, not a link failure.
+	rig.conns[2].Close()
+	node, err := NewNode(NodeConfig{
+		Pattern: pat, Engine: engine.Config{CheckEvery: 250},
+		Shards: 2, Batch: 64, KeyAttr: "key", Schema: w.Schema,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, server := Pipe()
+	go node.Serve(&recvKiller{Conn: server, budget: 25}) //nolint:errcheck // the crash is the point
+	rig.conns[2] = client
+
+	got, ing := runRecovered(t, rig, w, gen.Sequence)
+	requireIdentical(t, "node-side crash", got, want)
+	if fos := ing.Failovers(); len(fos) != 1 || fos[0].Node != 2 {
+		t.Fatalf("failovers = %+v, want one for node 2", fos)
+	}
+}
+
+// TestFailoverDuringReplay: the first standby dies while the journal is
+// being replayed into it; the ingress discards it, re-purges the slot
+// and adopts the second standby. The delivered stream stays exact.
+func TestFailoverDuringReplay(t *testing.T) {
+	w := failoverWorkload(t, "traffic")
+	want := runSharded(t, w, gen.Sequence, 6)
+	rig, _ := startFailoverRig(t, w, gen.Sequence, 2,
+		func(i int, c Conn) Conn {
+			if i == 0 {
+				return &flakyConn{Conn: c, sendBudget: 40}
+			}
+			return c
+		},
+		func(k int, c Conn) Conn {
+			if k == 0 {
+				// Survives the Reassign frame, dies on the first replay
+				// cut.
+				return &flakyConn{Conn: c, sendBudget: 1}
+			}
+			return c
+		})
+	got, ing := runRecovered(t, rig, w, gen.Sequence)
+	requireIdentical(t, "standby died during replay", got, want)
+	if rig.dialed != 2 {
+		t.Fatalf("dialed %d standbys, want 2 (first died during replay)", rig.dialed)
+	}
+	if fos := ing.Failovers(); len(fos) != 1 || fos[0].Node != 0 {
+		t.Fatalf("failovers = %+v, want one completed failover for node 0", fos)
+	}
+}
+
+// TestFailoverDoubleFailure: two different nodes die at different points
+// of the stream; both blocks fail over (to a fresh standby each) and the
+// stream stays exact.
+func TestFailoverDoubleFailure(t *testing.T) {
+	w := failoverWorkload(t, "traffic")
+	for _, kind := range []gen.Kind{gen.Sequence, gen.Kleene} {
+		want := runSharded(t, w, kind, 6)
+		rig, _ := startFailoverRig(t, w, kind, 2, func(i int, c Conn) Conn {
+			switch i {
+			case 0:
+				return &flakyConn{Conn: c, sendBudget: 45}
+			case 2:
+				return &flakyConn{Conn: c, sendBudget: 20}
+			}
+			return c
+		}, nil)
+		got, ing := runRecovered(t, rig, w, kind)
+		requireIdentical(t, fmt.Sprintf("double failure/%v", kind), got, want)
+		fos := ing.Failovers()
+		if len(fos) != 2 {
+			t.Fatalf("%v: %d failovers, want 2: %+v", kind, len(fos), fos)
+		}
+		if fos[0].Node != 2 || fos[1].Node != 0 {
+			t.Fatalf("%v: failover order %+v, want node 2 then node 0", kind, fos)
+		}
+	}
+}
+
+// TestFailoverHeartbeatTimeout: a node that goes silent without any
+// transport error (frames swallowed — a netsplit) is declared dead by
+// the heartbeat detector and failed over; the stream stays exact.
+func TestFailoverHeartbeatTimeout(t *testing.T) {
+	w := failoverWorkload(t, "traffic")
+	want := runSharded(t, w, gen.Sequence, 6)
+	rig, _ := startFailoverRig(t, w, gen.Sequence, 1, func(i int, c Conn) Conn {
+		if i == 1 {
+			return &blackholeConn{Conn: c, budget: 25}
+		}
+		return c
+	}, nil)
+	rig.recOptions.HeartbeatTimeout = 150 * time.Millisecond
+	got, ing := runRecovered(t, rig, w, gen.Sequence)
+	requireIdentical(t, "heartbeat timeout", got, want)
+	fos := ing.Failovers()
+	if len(fos) != 1 || fos[0].Node != 1 {
+		t.Fatalf("failovers = %+v, want one for node 1", fos)
+	}
+	if !strings.Contains(fos[0].Cause, "heartbeat") {
+		t.Fatalf("cause %q does not name the heartbeat detector", fos[0].Cause)
+	}
+}
+
+// TestFailoverStandbyExhausted: with no standby remaining the failure
+// degrades to the exactness-over-availability behavior — Finish surfaces
+// the error instead of hanging or silently under-delivering.
+func TestFailoverStandbyExhausted(t *testing.T) {
+	w := failoverWorkload(t, "traffic")
+	rig, _ := startFailoverRig(t, w, gen.Sequence, 0, func(i int, c Conn) Conn {
+		if i == 1 {
+			return &flakyConn{Conn: c, sendBudget: 30}
+		}
+		return c
+	}, nil)
+	pat, err := w.Pattern(gen.Sequence, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing, err := NewIngress(pat, rig.conns, IngressOptions{
+		Batch: 64, KeyAttr: "key", Schema: w.Schema,
+		OnMatch:  func(*match.Match) {},
+		Recovery: &rig.recOptions,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Events {
+		ing.Process(&w.Events[i])
+	}
+	if err := finishWithin(t, 60*time.Second, ing); err == nil {
+		t.Fatal("Finish reported success with an unrecoverable dead node")
+	} else if !strings.Contains(err.Error(), "standby") {
+		t.Fatalf("error %v does not explain the exhausted standbys", err)
+	}
+}
+
+// TestRecoveryHealthyRun: with recovery armed but no failure, the
+// journal and heartbeats must not perturb the stream — byte-identical to
+// the sharded reference, zero failovers — and the journal must have
+// trimmed behind the released watermark rather than retaining the whole
+// stream.
+func TestRecoveryHealthyRun(t *testing.T) {
+	w := failoverWorkload(t, "traffic")
+	want := runSharded(t, w, gen.Negation, 6)
+	rig, _ := startFailoverRig(t, w, gen.Negation, 1, nil, nil)
+	got, ing := runRecovered(t, rig, w, gen.Negation)
+	requireIdentical(t, "healthy run with recovery armed", got, want)
+	if fos := ing.Failovers(); len(fos) != 0 {
+		t.Fatalf("healthy run recorded failovers: %+v", fos)
+	}
+	if rig.dialed != 0 {
+		t.Fatal("healthy run dialed a standby")
+	}
+}
+
+// TestLocalClusterRecover: the in-process StartLocal path spawns bare
+// standbys on demand; heartbeat detection is wired through LocalConfig.
+// (No failure is injectable through StartLocal's own pipes, so this pins
+// the healthy path plus configuration plumbing.)
+func TestLocalClusterRecover(t *testing.T) {
+	w := failoverWorkload(t, "traffic")
+	pat, err := w.Pattern(gen.Sequence, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runSharded(t, w, gen.Sequence, 4)
+	rec := &tagRecorder{}
+	var fos []recovery.Failover
+	ing, err := StartLocal(pat, engine.Config{CheckEvery: 250}, LocalConfig{
+		Nodes: 2, ShardsPerNode: 2, Batch: 64,
+		KeyAttr: "key", Schema: w.Schema, OnTagged: rec.rec,
+		Recover: true, Standbys: 1,
+		OnFailover: func(f recovery.Failover) { fos = append(fos, f) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Events {
+		ing.Process(&w.Events[i])
+	}
+	if err := ing.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "local recover-enabled cluster", rec, want)
+	if len(fos) != 0 {
+		t.Fatalf("healthy local run failed over: %+v", fos)
+	}
+}

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"acep/internal/engine"
 	"acep/internal/event"
 	"acep/internal/match"
 	"acep/internal/pattern"
+	recovery "acep/internal/recover"
 	"acep/internal/shard"
 	"acep/internal/wire"
 )
@@ -38,6 +40,12 @@ type IngressOptions struct {
 	// OnTagged, when set instead of OnMatch, receives matches with their
 	// merge tags (Src is the node index).
 	OnTagged func(shard.Tagged)
+	// Recovery, when non-nil, makes the ingress fault-tolerant: sealed
+	// cuts are journaled and a dead node's shard block fails over to a
+	// standby with watermark replay and exact dedup (see RecoveryConfig
+	// and DESIGN.md "Fault tolerance"). When nil, a node failure surfaces
+	// as an error from Finish (exactness over availability).
+	Recovery *RecoveryConfig
 }
 
 // Ingress is the cluster coordinator: it partitions one input stream
@@ -52,21 +60,40 @@ type Ingress struct {
 	total int   // global shard count (sum of node shard counts)
 	node  []int // global shard index -> node index
 
-	bufs    [][]event.Event
-	pending int
-	lastSeq uint64
-	dead    []bool
+	bufs      [][]event.Event
+	pending   int
+	lastSeq   uint64
+	dead      []bool
+	abandoned []bool // degraded with no successor: stop journaling its events
 
 	col     *shard.Collector
 	readers sync.WaitGroup
 
 	nodeShards  []int
+	base        []int // node index -> first global shard of its block
 	nodeMetrics []engine.Metrics
 	gotMetrics  []bool
+	finSent     []bool
 
-	mu       sync.Mutex
-	err      error
-	finished bool
+	// Recovery state (nil/empty without IngressOptions.Recovery). The
+	// pattern, schema and fingerprint are kept for the Reassign
+	// handshake; released is the collector's delivered watermark.
+	pat        *pattern.Pattern
+	schema     *event.Schema
+	sig        uint64
+	rec        *RecoveryConfig
+	journal    *recovery.Journal
+	det        *recovery.Detector
+	released   atomic.Uint64
+	readerDone []chan struct{}
+	exitCh     chan struct{} // coalesced reader-exit wakeup for the drain loop
+
+	mu        sync.Mutex
+	err       error
+	finished  bool
+	gen       []int // per-slot reader generation (guards stale suspects)
+	suspects  []suspectRec
+	failovers []recovery.Failover
 }
 
 // NewIngress performs the handshake over the given node connections
@@ -125,9 +152,17 @@ func NewIngress(pat *pattern.Pattern, conns []Conn, opts IngressOptions) (*Ingre
 		batch:       opts.Batch,
 		bufs:        make([][]event.Event, len(conns)),
 		dead:        make([]bool, len(conns)),
+		abandoned:   make([]bool, len(conns)),
 		nodeShards:  make([]int, len(conns)),
 		nodeMetrics: make([]engine.Metrics, len(conns)),
 		gotMetrics:  make([]bool, len(conns)),
+		finSent:     make([]bool, len(conns)),
+		readerDone:  make([]chan struct{}, len(conns)),
+		exitCh:      make(chan struct{}, 1),
+		gen:         make([]int, len(conns)),
+		pat:         pat,
+		schema:      opts.Schema,
+		sig:         sig,
 	}
 	// Collect every node's greeting, then assign contiguous blocks of the
 	// global shard space in connection order.
@@ -143,7 +178,10 @@ func NewIngress(pat *pattern.Pattern, conns []Conn, opts IngressOptions) (*Ingre
 		if h.Version != wire.Version {
 			return nil, fmt.Errorf("cluster: node %d speaks protocol v%d, ingress v%d", i, h.Version, wire.Version)
 		}
-		if h.PatternSig != sig {
+		// Fingerprint 0 is a bare node: it has no pattern of its own and
+		// adopts the one shipped in the Assign reply. Configured nodes
+		// cross-validate.
+		if h.PatternSig != 0 && h.PatternSig != sig {
 			return nil, fmt.Errorf("cluster: node %d serves a different pattern or schema (fingerprint %x, want %x)", i, h.PatternSig, sig)
 		}
 		if h.Shards < 1 {
@@ -161,9 +199,13 @@ func NewIngress(pat *pattern.Pattern, conns []Conn, opts IngressOptions) (*Ingre
 	}
 	base := 0
 	for i, c := range conns {
-		if err := c.Send(wire.Assign{Base: uint32(base), Total: uint32(in.total)}); err != nil {
+		if err := c.Send(wire.Assign{
+			Base: uint32(base), Total: uint32(in.total),
+			Pattern: pat, Schema: opts.Schema,
+		}); err != nil {
 			return nil, fmt.Errorf("cluster: assigning node %d: %w", i, err)
 		}
+		in.base = append(in.base, base)
 		for s := 0; s < in.nodeShards[i]; s++ {
 			in.node = append(in.node, i)
 		}
@@ -178,32 +220,70 @@ func NewIngress(pat *pattern.Pattern, conns []Conn, opts IngressOptions) (*Ingre
 	if opts.OnTagged != nil {
 		deliver = opts.OnTagged
 	}
-	in.col = shard.NewCollector(len(conns), deliver, nil)
+	var progress func(uint64)
+	if opts.Recovery != nil {
+		rc := *opts.Recovery
+		if rc.Window <= 0 {
+			rc.Window = pat.Window
+		}
+		in.rec = &rc
+		key, total := in.key, in.total
+		journal, err := recovery.NewJournal(recovery.JournalConfig{
+			Window: rc.Window, Shards: in.total,
+			Route:        func(ev *event.Event) int { return shard.GlobalIndex(key(ev), total) },
+			SlackWindows: rc.SlackWindows,
+			MaxBytes:     rc.MaxJournalBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		in.journal = journal
+		in.det = recovery.NewDetector(len(conns), rc.HeartbeatTimeout)
+		progress = func(w uint64) { in.released.Store(w) }
+	}
+	in.col = shard.NewCollector(len(conns), deliver, progress)
 	for i, c := range conns {
+		done := make(chan struct{})
+		in.readerDone[i] = done
 		in.readers.Add(1)
-		go in.read(i, c)
+		go in.read(i, c, 0, done)
 	}
 	built = true
 	return in, nil
 }
 
-// read is node i's reader goroutine: it buffers tagged matches and posts
-// them to the merge collector together with each completion watermark,
-// stores the node's final metrics, and on any failure posts a terminal
+// read is node slot i's reader goroutine (generation gen): it buffers
+// tagged matches and posts them to the merge collector together with
+// each completion watermark, stores the node's final metrics, and on
+// failure either queues a suspect for failover (recovery configured,
+// posting nothing — the slot will be re-registered) or posts a terminal
 // watermark so the merge never deadlocks on a dead node.
-func (in *Ingress) read(i int, c Conn) {
+func (in *Ingress) read(i int, c Conn, gen int, done chan struct{}) {
+	defer func() { // runs last: done is closed by the time the drain wakes
+		select {
+		case in.exitCh <- struct{}{}:
+		default:
+		}
+	}()
+	defer close(done)
 	defer in.readers.Done()
 	var pend []shard.Tagged
 	var idx uint64
 	for {
 		f, err := c.Recv()
 		if err != nil {
-			if err != io.EOF || !in.gotMetrics[i] {
+			clean := err == io.EOF && in.gotMetrics[i]
+			if in.rec != nil && !clean {
+				in.suspect(i, gen, fmt.Errorf("cluster: node %d stream: %w", i, err))
+				return
+			}
+			if !clean {
 				in.recordErr(fmt.Errorf("cluster: node %d stream: %w", i, err))
 			}
 			in.col.Post(i, maxSeq, pend)
 			return
 		}
+		in.det.Heard(i)
 		switch v := f.(type) {
 		case wire.TaggedMatch:
 			pend = append(pend, shard.Tagged{M: v.M, Seq: v.Seq, Src: i, Idx: idx})
@@ -211,11 +291,20 @@ func (in *Ingress) read(i int, c Conn) {
 		case wire.Watermark:
 			in.col.Post(i, v.UpTo, pend)
 			pend = nil
+		case wire.Heartbeat:
+			// Liveness only (recorded above).
+		case wire.RecoveryDone:
+			in.recoveredNode(i)
 		case wire.Metrics:
 			in.nodeMetrics[i] = v.M
 			in.gotMetrics[i] = true
 		default:
-			in.recordErr(fmt.Errorf("cluster: node %d sent unexpected %s frame", i, wire.KindOf(f)))
+			err := fmt.Errorf("cluster: node %d sent unexpected %s frame", i, wire.KindOf(f))
+			if in.rec != nil {
+				in.suspect(i, gen, err)
+				return
+			}
+			in.recordErr(err)
 			in.col.Post(i, maxSeq, pend)
 			return
 		}
@@ -266,41 +355,80 @@ func (in *Ingress) Process(ev *event.Event) {
 	}
 }
 
-// cutAll seals the current cut: every node receives its accumulated
-// events (possibly none) and the global watermark.
+// cutAll seals the current cut: pending failures are handled first (so
+// their replay ends at the previous cut and this one rides the normal
+// send), the cut is journaled when recovery is on, and then every live
+// node receives its accumulated events (possibly none) and the global
+// watermark. A send failure with recovery configured fails over on the
+// spot — the successor receives the just-journaled cut through replay,
+// so the normal send is skipped for it.
 func (in *Ingress) cutAll() {
+	in.checkSuspects()
+	if in.journal != nil {
+		for n := range in.bufs {
+			if in.abandoned[n] {
+				in.bufs[n] = nil // the block is lost for good; don't retain its events
+			}
+		}
+		in.journal.Advance(in.released.Load())
+		in.journal.Append(in.bufs, in.lastSeq)
+	}
 	for n, c := range in.conns {
 		if in.dead[n] {
 			in.bufs[n] = nil
 			continue
 		}
 		if err := c.Send(wire.Batch{UpTo: in.lastSeq, Events: in.bufs[n]}); err != nil {
-			in.kill(n, fmt.Errorf("cluster: sending cut to node %d: %w", n, err))
+			in.fail(n, fmt.Errorf("cluster: sending cut to node %d: %w", n, err))
+		} else {
+			in.det.Sent(n)
 		}
 		in.bufs[n] = nil
 	}
 	in.pending = 0
 }
 
+// finishNodes delivers the Finish frame to every live node that has not
+// received one, failing over (and retrying the successor) on send
+// errors. Terminates because every failed attempt either consumes a
+// standby or degrades the slot.
+func (in *Ingress) finishNodes() {
+	for again := true; again; {
+		again = false
+		for n, c := range in.conns {
+			if in.dead[n] || in.finSent[n] {
+				continue
+			}
+			if err := c.Send(wire.Finish{}); err != nil {
+				in.fail(n, fmt.Errorf("cluster: finishing node %d: %w", n, err))
+				again = true
+				continue
+			}
+			in.det.Sent(n)
+			in.finSent[n] = true
+		}
+	}
+}
+
 // Finish flushes the final partial cut, tells every node to finish,
 // waits until every node's matches have been merged and delivered, and
-// closes the connections. It returns the first error observed anywhere
-// in the cluster session (nil for a clean run). Idempotent.
+// closes the connections. With recovery configured, nodes that die
+// during the drain still fail over: their successors replay, finish and
+// deliver the missing tail before the merge closes. It returns the
+// first unrecovered error observed anywhere in the cluster session (nil
+// for a clean or fully recovered run). Idempotent.
 func (in *Ingress) Finish() error {
 	if in.finished {
 		return in.Err()
 	}
 	in.finished = true
 	in.cutAll()
-	for n, c := range in.conns {
-		if in.dead[n] {
-			continue
-		}
-		if err := c.Send(wire.Finish{}); err != nil {
-			in.kill(n, fmt.Errorf("cluster: finishing node %d: %w", n, err))
-		}
+	in.finishNodes()
+	if in.rec == nil {
+		in.readers.Wait()
+	} else {
+		in.drainRecovered()
 	}
-	in.readers.Wait()
 	in.col.Close()
 	for _, c := range in.conns {
 		c.Close()

@@ -2,11 +2,13 @@ package cluster
 
 import (
 	"fmt"
+	"time"
 
 	"acep/internal/engine"
 	"acep/internal/event"
 	"acep/internal/match"
 	"acep/internal/pattern"
+	recovery "acep/internal/recover"
 	"acep/internal/shard"
 	"acep/internal/stats"
 )
@@ -42,6 +44,17 @@ type LocalConfig struct {
 	// OnNodeErr (optional) observes node-side session errors; transport
 	// failures surface at the ingress regardless.
 	OnNodeErr func(error)
+	// Recover enables fault-tolerant failover: the ingress journals cuts
+	// and, when a node dies, spawns a bare in-process standby (at most
+	// Standbys of them, default 2) that adopts the lost shard block via
+	// pattern shipping and watermark replay.
+	Recover  bool
+	Standbys int
+	// HeartbeatTimeout / MaxJournalBytes / OnFailover tune detection,
+	// the journal bound and failover observation (see RecoveryConfig).
+	HeartbeatTimeout time.Duration
+	MaxJournalBytes  int64
+	OnFailover       func(recovery.Failover)
 }
 
 // StartLocal builds the nodes, connects them to a new ingress over
@@ -89,12 +102,52 @@ func StartLocal(pat *pattern.Pattern, cfg engine.Config, lc LocalConfig) (*Ingre
 			}
 		}(node, server)
 	}
-	return NewIngress(pat, conns, IngressOptions{
+	opts := IngressOptions{
 		Batch:    lc.Batch,
 		Key:      lc.Key,
 		KeyAttr:  lc.KeyAttr,
 		Schema:   lc.Schema,
 		OnMatch:  lc.OnMatch,
 		OnTagged: lc.OnTagged,
-	})
+	}
+	if lc.Recover {
+		if lc.Standbys <= 0 {
+			lc.Standbys = 2
+		}
+		spawned := 0
+		opts.Recovery = &RecoveryConfig{
+			HeartbeatTimeout: lc.HeartbeatTimeout,
+			MaxJournalBytes:  lc.MaxJournalBytes,
+			OnFailover:       lc.OnFailover,
+			// Each standby is a bare node: it learns the pattern and
+			// schema from the Reassign handshake (pattern shipping), so
+			// the factory needs only the engine config and the key.
+			Standby: func() (Conn, error) {
+				if spawned >= lc.Standbys {
+					return nil, fmt.Errorf("cluster: all %d in-process standbys used", lc.Standbys)
+				}
+				spawned++
+				node, err := NewNode(NodeConfig{
+					Engine:   cfg,
+					Shards:   lc.ShardsPerNode,
+					Batch:    lc.Batch,
+					QueueCap: lc.QueueCap,
+					Overflow: lc.Overflow,
+					Key:      lc.Key,
+					KeyAttr:  lc.KeyAttr,
+				})
+				if err != nil {
+					return nil, err
+				}
+				client, server := Pipe()
+				go func() {
+					if err := node.Serve(server); err != nil && lc.OnNodeErr != nil {
+						lc.OnNodeErr(err)
+					}
+				}()
+				return client, nil
+			},
+		}
+	}
+	return NewIngress(pat, conns, opts)
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"strings"
+	"sync"
 
 	"acep/internal/engine"
 	"acep/internal/event"
@@ -22,6 +23,10 @@ import (
 type NodeConfig struct {
 	// Pattern is the detected pattern; it must equal the ingress's (the
 	// handshake compares fingerprints and refuses to pair otherwise).
+	// Nil runs the node bare: it greets with fingerprint 0 and adopts
+	// the pattern and schema the ingress ships in the Assign (or
+	// Reassign) handshake — the standby mode of the failover subsystem,
+	// and the zero-config way to start a worker fleet.
 	Pattern *pattern.Pattern
 	// Engine configures every local shard engine identically (same
 	// contract as shard.New: Policy and OnMatch must be nil). Ingress
@@ -71,11 +76,10 @@ func signature(pat *pattern.Pattern, s *event.Schema) uint64 {
 	return wire.Fingerprint(b.String())
 }
 
-// NewNode validates the configuration and resolves the partition key.
+// NewNode validates the configuration and resolves the partition key. A
+// bare node (nil Pattern) defers pattern, schema and key resolution to
+// the handshake that ships them.
 func NewNode(cfg NodeConfig) (*Node, error) {
-	if cfg.Pattern == nil {
-		return nil, fmt.Errorf("cluster: node needs a pattern")
-	}
 	if cfg.Shards <= 0 {
 		cfg.Shards = 1
 	}
@@ -85,7 +89,13 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		return nil, fmt.Errorf("cluster: set exactly one of Key and KeyAttr")
 	case key == nil && cfg.KeyAttr == "":
 		return nil, fmt.Errorf("cluster: a partition key is required: set Key or KeyAttr")
-	case cfg.KeyAttr != "":
+	}
+	if cfg.Pattern == nil {
+		// Bare mode: the ingress ships pattern and schema; KeyAttr (or a
+		// custom Key) resolves against them at handshake time.
+		return &Node{cfg: cfg, key: key, sig: 0}, nil
+	}
+	if cfg.KeyAttr != "" {
 		if cfg.Schema == nil {
 			return nil, fmt.Errorf("cluster: KeyAttr needs Schema to resolve the attribute")
 		}
@@ -103,16 +113,26 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 
 // sender serializes a node's upstream frames and latches the first send
 // error; after a failure every further send is a no-op, so the engines
-// can still drain cleanly.
+// can still drain cleanly. The mutex interleaves the Serve loop's
+// heartbeats with the collector goroutine's matches and watermarks.
 type sender struct {
+	mu  sync.Mutex
 	c   Conn
 	err error
 }
 
 func (s *sender) send(f wire.Frame) {
+	s.mu.Lock()
 	if s.err == nil {
 		s.err = s.c.Send(f)
 	}
+	s.mu.Unlock()
+}
+
+func (s *sender) failed() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
 }
 
 // Serve runs one ingress session over the connection: handshake, event
@@ -120,6 +140,14 @@ func (s *sender) send(f wire.Frame) {
 // streaming, and a final metrics report. It returns when the ingress
 // finishes the stream (nil) or the transport fails (the error), closing
 // the connection either way.
+//
+// The handshake reply selects the session flavor: a normal Assign hosts
+// the node's configured shard count, a Reassign adopts a failed peer's
+// block in recovery mode — the ingress replays the block's journaled
+// history, the node suppresses every match tagged at or below the
+// release boundary it was given (those were delivered before the
+// failure), and reports RecoveryDone once its completion watermark
+// passes the replay horizon.
 func (n *Node) Serve(conn Conn) error {
 	defer conn.Close()
 	if err := conn.Send(wire.Hello{
@@ -133,26 +161,81 @@ func (n *Node) Serve(conn Conn) error {
 	if err != nil {
 		return fmt.Errorf("cluster: node awaiting assignment: %w", err)
 	}
-	assign, ok := f.(wire.Assign)
-	if !ok {
+	switch a := f.(type) {
+	case wire.Assign:
+		return n.serveBlock(conn, blockAssign{
+			base: int(a.Base), shards: n.cfg.Shards, total: int(a.Total),
+			pattern: a.Pattern, schema: a.Schema,
+		})
+	case wire.Reassign:
+		if a.Shards < 1 || a.Shards > maxShardsPerNode {
+			return fmt.Errorf("cluster: reassigned block of %d shards out of range", a.Shards)
+		}
+		return n.serveBlock(conn, blockAssign{
+			base: int(a.Base), shards: int(a.Shards), total: int(a.Total),
+			pattern: a.Pattern, schema: a.Schema,
+			recovering: true, suppress: a.SuppressUpTo, replayUpTo: a.ReplayUpTo,
+		})
+	default:
 		return fmt.Errorf("cluster: node expected assign frame, got %s", wire.KindOf(f))
 	}
-	base, total := int(assign.Base), int(assign.Total)
-	if total < 1 || base < 0 || base+n.cfg.Shards > total {
+}
+
+// blockAssign is a resolved handshake reply: which slice of the global
+// shard space this session hosts, with what pattern, in which mode.
+type blockAssign struct {
+	base, shards, total int
+	pattern             *pattern.Pattern
+	schema              *event.Schema
+	recovering          bool
+	suppress            uint64 // release boundary: matches tagged <= are duplicates
+	replayUpTo          uint64 // watermark at which replay has caught up
+}
+
+// serveBlock hosts one shard block for the rest of the session.
+func (n *Node) serveBlock(conn Conn, a blockAssign) error {
+	pat, schema := n.cfg.Pattern, n.cfg.Schema
+	if pat == nil {
+		// Bare mode: adopt the shipped pattern and schema.
+		if a.pattern == nil {
+			return fmt.Errorf("cluster: bare node got an assignment without a shipped pattern")
+		}
+		pat, schema = a.pattern, a.schema
+	}
+	key := n.key
+	if key == nil {
+		// Bare KeyAttr mode: resolve against the shipped schema, with
+		// the same partitionability validation a configured node runs.
+		if schema == nil {
+			return fmt.Errorf("cluster: bare node needs a shipped schema to resolve key attribute %q", n.cfg.KeyAttr)
+		}
+		if err := shard.Partitionable(pat, schema, n.cfg.KeyAttr); err != nil {
+			return err
+		}
+		k, err := shard.ByAttrName(schema, n.cfg.KeyAttr)
+		if err != nil {
+			return err
+		}
+		key = k
+	}
+	if a.total < 1 || a.base < 0 || a.base+a.shards > a.total {
 		return fmt.Errorf("cluster: assignment [%d,%d) outside global shard space of %d",
-			base, base+n.cfg.Shards, total)
+			a.base, a.base+a.shards, a.total)
 	}
 
 	// The local engines are pinned to global shard indices [base,
-	// base+Shards): the route function inverts the ingress's placement,
+	// base+shards): the route function inverts the ingress's placement,
 	// so the cluster-wide event-to-engine assignment — and therefore
-	// every engine's event subsequence, its adaptation trajectory and
-	// its match tags — is identical to a single-process sharded engine
-	// with `total` shards.
-	key := n.key
+	// every engine's event subsequence and its match tags — is identical
+	// to a single-process sharded engine with `total` shards. A
+	// recovering session rebuilds those engines from replayed history:
+	// the adaptation trajectory differs (plans restart fresh), but
+	// match sets and tags do not depend on it.
 	up := &sender{c: conn}
-	eng, err := shard.New(n.cfg.Pattern, n.cfg.Engine, shard.Options{
-		Shards:   n.cfg.Shards,
+	base, shards, total := a.base, a.shards, a.total
+	var doneSent bool
+	eng, err := shard.New(pat, n.cfg.Engine, shard.Options{
+		Shards:   shards,
 		Batch:    n.cfg.Batch,
 		QueueCap: n.cfg.QueueCap,
 		Snapshot: n.cfg.Snapshot,
@@ -162,16 +245,23 @@ func (n *Node) Serve(conn Conn) error {
 		Route: func(ev *event.Event) int {
 			g := shard.GlobalIndex(key(ev), total)
 			local := g - base
-			if local < 0 || local >= n.cfg.Shards {
+			if local < 0 || local >= shards {
 				panic(fmt.Sprintf("cluster: event for global shard %d routed to node owning [%d,%d)",
-					g, base, base+n.cfg.Shards))
+					g, base, base+shards))
 			}
 			return local
 		},
 		OnTagged: func(t shard.Tagged) {
+			if a.recovering && t.Seq <= a.suppress {
+				return // already delivered before the failure
+			}
 			up.send(wire.TaggedMatch{Seq: t.Seq, M: t.M})
 		},
 		OnProgress: func(w uint64) {
+			if a.recovering && !doneSent && w >= a.replayUpTo {
+				doneSent = true
+				up.send(wire.RecoveryDone{UpTo: w})
+			}
 			up.send(wire.Watermark{UpTo: w})
 		},
 	})
@@ -193,6 +283,9 @@ func (n *Node) Serve(conn Conn) error {
 		}
 		switch v := f.(type) {
 		case wire.Batch:
+			// Acknowledge receipt before processing: the heartbeat keeps
+			// the ingress failure detector quiet while the engines chew.
+			up.send(wire.Heartbeat{UpTo: v.UpTo})
 			for i := range v.Events {
 				eng.Process(&v.Events[i])
 			}
@@ -203,8 +296,8 @@ func (n *Node) Serve(conn Conn) error {
 			// through the sender above.
 			finish()
 			up.send(wire.Metrics{M: eng.Metrics()})
-			if up.err != nil {
-				return fmt.Errorf("cluster: node streaming results: %w", up.err)
+			if err := up.failed(); err != nil {
+				return fmt.Errorf("cluster: node streaming results: %w", err)
 			}
 			return nil
 		default:
@@ -214,19 +307,23 @@ func (n *Node) Serve(conn Conn) error {
 	}
 }
 
-// ServeListener accepts ingress sessions in a loop, serving one at a
-// time (a node belongs to one cluster run; sequential sessions let the
-// same worker process serve several consecutive runs). It returns when
-// the listener closes; per-session errors go to onErr (nil to ignore).
+// ServeListener accepts ingress sessions in a loop, serving each on its
+// own goroutine: a Node is stateless across sessions, so one worker
+// process can serve consecutive runs, act as a recovery standby, or —
+// as a survivor — adopt a failed peer's shard block in a second,
+// concurrent session while still serving its own. It returns when the
+// listener closes; per-session errors go to onErr (nil to ignore).
 func (n *Node) ServeListener(l *Listener, onErr func(error)) error {
 	for {
 		c, err := l.Accept()
 		if err != nil {
 			return err
 		}
-		if err := n.Serve(c); err != nil && onErr != nil {
-			onErr(err)
-		}
+		go func() {
+			if err := n.Serve(c); err != nil && onErr != nil {
+				onErr(err)
+			}
+		}()
 	}
 }
 

@@ -1,0 +1,337 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"acep/internal/event"
+	recovery "acep/internal/recover"
+	"acep/internal/wire"
+)
+
+// RecoveryConfig enables fault-tolerant failover on an ingress: sealed
+// cuts are journaled (internal/recover), node failures are detected
+// through transport errors and heartbeat silence, and a dead node's
+// shard block is reassigned to a standby connection, which replays the
+// journaled history of the block and suppresses every match the
+// collector had already released — so the delivered stream stays exactly
+// the one a fully healthy cluster (or the single-process sharded engine)
+// would produce: no duplicate, no loss, same order.
+type RecoveryConfig struct {
+	// Standby supplies successor connections, one call per adoption
+	// attempt (a fresh acep-node, a survivor's listener — any endpoint
+	// speaking the node protocol; bare nodes learn the pattern from the
+	// Reassign handshake). Called on the ingress goroutine. An error
+	// means no standby remains: the failure then surfaces from Finish
+	// exactly as it would without recovery configured.
+	Standby func() (Conn, error)
+	// Window is the pattern's time window for journal sizing (default:
+	// the pattern's own Window).
+	Window event.Time
+	// SlackWindows / MaxJournalBytes tune the journal's retention
+	// horizon and memory bound (see recovery.JournalConfig).
+	SlackWindows    int
+	MaxJournalBytes int64
+	// HeartbeatTimeout declares a node dead after this much frame
+	// silence even without a transport error (0 disables timeout
+	// detection; errors always detect). Checked at every cut.
+	HeartbeatTimeout time.Duration
+	// OnFailover observes each completed adoption, on the ingress
+	// goroutine, as soon as replay has been sent (RecoveredAt is still
+	// zero then; read Failovers after Finish for final records).
+	OnFailover func(recovery.Failover)
+}
+
+// DialStandbys builds a RecoveryConfig.Standby supplier over a list of
+// TCP addresses: each failover attempt dials the next address, erroring
+// when all are used (which degrades that failover to the surfaced-error
+// behavior).
+func DialStandbys(addrs []string) func() (Conn, error) {
+	next := 0
+	return func() (Conn, error) {
+		if next >= len(addrs) {
+			return nil, fmt.Errorf("cluster: all %d standby addresses used", len(addrs))
+		}
+		c, err := DialTCP(addrs[next])
+		next++
+		return c, err
+	}
+}
+
+// suspectRec is a failure observed by a reader goroutine, queued for the
+// ingress goroutine to act on. gen guards against a stale suspect from a
+// previous tenant of the slot killing its successor.
+type suspectRec struct {
+	node int
+	gen  int
+	err  error
+}
+
+// suspect queues a failure observation from node slot i's reader.
+func (in *Ingress) suspect(i, gen int, err error) {
+	in.mu.Lock()
+	if gen == in.gen[i] {
+		in.suspects = append(in.suspects, suspectRec{node: i, gen: gen, err: err})
+	}
+	in.mu.Unlock()
+}
+
+// checkSuspects acts on queued reader failures and heartbeat expiries.
+// Runs on the ingress goroutine at every cut and during Finish.
+func (in *Ingress) checkSuspects() {
+	if in.rec == nil {
+		return
+	}
+	in.mu.Lock()
+	sus := in.suspects
+	in.suspects = nil
+	in.mu.Unlock()
+	for _, s := range sus {
+		in.mu.Lock()
+		stale := s.gen != in.gen[s.node]
+		in.mu.Unlock()
+		if !stale && !in.dead[s.node] {
+			in.failNode(s.node, s.err)
+		}
+	}
+	for n := range in.conns {
+		if in.dead[n] {
+			continue
+		}
+		select {
+		case <-in.readerDone[n]:
+			// The session is over — finished cleanly, or its failure is
+			// already queued as a suspect. A finished node stops
+			// heartbeating legitimately.
+			continue
+		default:
+		}
+		if in.det.Expired(n, in.finSent[n]) {
+			in.failNode(n, fmt.Errorf("cluster: node %d silent past the heartbeat timeout", n))
+		}
+	}
+}
+
+// fail routes a node failure to failover (recovery configured) or to the
+// record-and-drain path (not configured).
+func (in *Ingress) fail(n int, err error) {
+	if in.rec != nil {
+		in.failNode(n, err)
+	} else {
+		in.kill(n, err)
+	}
+}
+
+// failNode declares node slot n dead and drives the failover: stop the
+// old reader, verify journal coverage, then hand the block to standby
+// connections until one survives adoption or none remain.
+func (in *Ingress) failNode(n int, cause error) {
+	if in.dead[n] {
+		return
+	}
+	in.dead[n] = true
+	in.finSent[n] = false
+	// Closing the connection makes the old reader observe the failure
+	// and exit without posting; its frames must stop before the
+	// collector slot is re-registered.
+	in.conns[n].Close()
+	<-in.readerDone[n]
+	if err := in.journal.Covered(in.base[n], in.nodeShards[n]); err != nil {
+		in.degrade(n, fmt.Errorf("%v (node %d failed: %v)", err, n, cause))
+		return
+	}
+	rec := recovery.Failover{Node: n, Cause: cause.Error(), DetectedAt: time.Now()}
+	for {
+		if in.rec.Standby == nil {
+			in.degrade(n, fmt.Errorf("cluster: node %d failed with no standby configured: %w", n, cause))
+			return
+		}
+		conn, err := in.rec.Standby()
+		if err != nil {
+			in.degrade(n, fmt.Errorf("cluster: node %d failed (%v) and no standby remains: %w", n, cause, err))
+			return
+		}
+		if in.adopt(n, conn, rec) == nil {
+			return
+		}
+		// The standby itself died during adoption ("during replay" in
+		// the kill matrix); the next one re-purges and replays afresh.
+	}
+}
+
+// degrade gives up on the slot: record the error and post the terminal
+// watermark so the merge drains instead of deadlocking — the exact
+// behavior of a cluster without recovery configured. The abandoned
+// block's history is released from the journal (no replay will ever
+// need it) so its frozen frontier cannot pin retention at MaxBytes for
+// the rest of the run.
+func (in *Ingress) degrade(n int, err error) {
+	in.recordErr(err)
+	in.abandoned[n] = true
+	in.journal.Abandon(in.base[n], in.nodeShards[n])
+	in.col.Post(n, maxSeq, nil)
+}
+
+// adopt hands shard block n to one successor connection: handshake,
+// collector re-registration, Reassign, then journal replay. On error the
+// connection is closed, its reader (if started) has exited, and the slot
+// is still dead — the caller may try another standby.
+func (in *Ingress) adopt(n int, conn Conn, rec recovery.Failover) error {
+	f, err := conn.Recv()
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("cluster: standby hello for node %d: %w", n, err)
+	}
+	h, ok := f.(wire.Hello)
+	if !ok {
+		conn.Close()
+		return fmt.Errorf("cluster: standby for node %d sent %s, want hello", n, wire.KindOf(f))
+	}
+	if h.Version != wire.Version {
+		conn.Close()
+		return fmt.Errorf("cluster: standby for node %d speaks protocol v%d, ingress v%d", n, h.Version, wire.Version)
+	}
+	// A bare standby (sig 0) learns the pattern from the Reassign frame;
+	// a configured one must already match.
+	if h.PatternSig != 0 && h.PatternSig != in.sig {
+		conn.Close()
+		return fmt.Errorf("cluster: standby for node %d serves a different pattern (fingerprint %x, want %x)", n, h.PatternSig, in.sig)
+	}
+
+	// Re-register the collector slot. Everything at or below the
+	// returned boundary has been delivered — the successor suppresses
+	// regenerated matches up to it — and the slot's buffered remainder
+	// is purged here, to be regenerated by replay.
+	boundary := in.col.Reassign(n)
+	rec.SuppressUpTo = boundary
+	rec.ReplayUpTo = in.journal.ReplayUpTo(n)
+	rec.JournalBytes, rec.JournalCuts = in.journal.Bytes(), in.journal.Cuts()
+	if err := conn.Send(wire.Reassign{
+		Base:         uint32(in.base[n]),
+		Shards:       uint32(in.nodeShards[n]),
+		Total:        uint32(in.total),
+		SuppressUpTo: boundary,
+		ReplayUpTo:   rec.ReplayUpTo,
+		Pattern:      in.pat,
+		Schema:       in.schema,
+	}); err != nil {
+		conn.Close()
+		return fmt.Errorf("cluster: reassigning node %d block: %w", n, err)
+	}
+
+	// Register the record and start the successor's reader before
+	// replaying: the reader must drain the upstream (matches, heartbeats,
+	// RecoveryDone) while replay cuts flow down, or a bounded transport
+	// fills in both directions and deadlocks.
+	in.mu.Lock()
+	in.gen[n]++
+	gen := in.gen[n]
+	idx := len(in.failovers)
+	in.failovers = append(in.failovers, rec)
+	in.mu.Unlock()
+	in.conns[n] = conn
+	done := make(chan struct{})
+	in.readerDone[n] = done
+	in.det.Heard(n)
+	in.readers.Add(1)
+	go in.read(n, conn, gen, done)
+
+	replayErr := in.journal.Replay(n, func(evs []event.Event, upTo uint64) error {
+		rec.ReplayCuts++
+		rec.ReplayEvents += len(evs)
+		rec.ReplayBytes += recovery.EventsBytes(evs)
+		in.det.Sent(n)
+		return conn.Send(wire.Batch{UpTo: upTo, Events: evs})
+	})
+	if replayErr != nil {
+		conn.Close()
+		<-done
+		in.mu.Lock()
+		in.failovers = in.failovers[:idx]
+		in.mu.Unlock()
+		return fmt.Errorf("cluster: replaying node %d block: %w", n, replayErr)
+	}
+	in.dead[n] = false
+	in.mu.Lock()
+	in.failovers[idx].ReplayCuts = rec.ReplayCuts
+	in.failovers[idx].ReplayEvents = rec.ReplayEvents
+	in.failovers[idx].ReplayBytes = rec.ReplayBytes
+	rec.RecoveredAt = in.failovers[idx].RecoveredAt
+	in.mu.Unlock()
+	if in.rec.OnFailover != nil {
+		in.rec.OnFailover(rec)
+	}
+	return nil
+}
+
+// drainRecovered is Finish's wait loop with recovery configured: it
+// blocks until every reader has exited cleanly, while still detecting
+// and failing over nodes that die — or fall heartbeat-silent — during
+// the drain. Successors adopted here receive the Finish frame and
+// deliver the missing tail before the merge closes.
+func (in *Ingress) drainRecovered() {
+	var poll time.Duration
+	if in.rec.HeartbeatTimeout > 0 {
+		// A silent node produces no reader exit to wake on; poll a few
+		// times per timeout so expiry is noticed promptly.
+		poll = in.rec.HeartbeatTimeout / 4
+		if poll < 5*time.Millisecond {
+			poll = 5 * time.Millisecond
+		}
+		if poll > 250*time.Millisecond {
+			poll = 250 * time.Millisecond
+		}
+	}
+	for {
+		in.checkSuspects()
+		in.finishNodes()
+		idle := true
+		for n := range in.conns {
+			select {
+			case <-in.readerDone[n]:
+			default:
+				idle = false
+			}
+		}
+		in.mu.Lock()
+		pending := len(in.suspects)
+		in.mu.Unlock()
+		if pending > 0 {
+			continue // act on fresh suspects immediately
+		}
+		if idle {
+			return
+		}
+		if poll > 0 {
+			select {
+			case <-in.exitCh:
+			case <-time.After(poll):
+			}
+		} else {
+			<-in.exitCh
+		}
+	}
+}
+
+// recoveredNode stamps the youngest in-flight failover of slot n on
+// receipt of the successor's RecoveryDone frame (reader goroutine).
+func (in *Ingress) recoveredNode(n int) {
+	in.mu.Lock()
+	for k := len(in.failovers) - 1; k >= 0; k-- {
+		if in.failovers[k].Node == n && in.failovers[k].RecoveredAt.IsZero() {
+			in.failovers[k].RecoveredAt = time.Now()
+			break
+		}
+	}
+	in.mu.Unlock()
+}
+
+// Failovers reports the completed failovers, in order. Call after Finish
+// for settled RecoveredAt stamps.
+func (in *Ingress) Failovers() []recovery.Failover {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]recovery.Failover, len(in.failovers))
+	copy(out, in.failovers)
+	return out
+}

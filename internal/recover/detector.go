@@ -1,0 +1,114 @@
+package recovery
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Detector is the heartbeat half of failure detection: it tracks, per
+// node, when a frame was last received and when one was last sent, and
+// declares a node suspect when it has been silent past the timeout
+// *while being talked to* — a node owes a beat only after the ingress
+// sent it something, so an idle or slow source never falsely kills a
+// healthy fleet between cuts. Heartbeats piggyback on the frames nodes
+// already send — every watermark is one, and nodes additionally
+// acknowledge each cut on receipt, before processing it, so a
+// loaded-but-alive node keeps beating while a hung or netsplit one
+// falls silent. Transport errors bypass the detector entirely (they are
+// definitive); the timeout exists for the failure modes that produce no
+// error, like a machine dropping off the network mid-stream.
+//
+// Heard is called from the per-node reader goroutines, Sent and Expired
+// from the ingress goroutine; the per-node clocks are atomics.
+type Detector struct {
+	timeout time.Duration
+	last    []atomic.Int64 // unix nanos of the last frame received, per node
+	sent    []atomic.Int64 // unix nanos of the last frame sent, per node
+}
+
+// NewDetector starts the clocks for n nodes. A zero (or negative)
+// timeout disables timeout-based suspicion: Expired never fires and
+// failures are detected through transport errors alone.
+func NewDetector(n int, timeout time.Duration) *Detector {
+	d := &Detector{
+		timeout: timeout,
+		last:    make([]atomic.Int64, n),
+		sent:    make([]atomic.Int64, n),
+	}
+	now := time.Now().UnixNano()
+	for i := range d.last {
+		d.last[i].Store(now)
+	}
+	return d
+}
+
+// Heard records a frame (or any other liveness proof) from node i.
+func (d *Detector) Heard(i int) {
+	if d != nil && i >= 0 && i < len(d.last) {
+		d.last[i].Store(time.Now().UnixNano())
+	}
+}
+
+// Sent records a frame delivered to node i; the node now owes a beat.
+func (d *Detector) Sent(i int) {
+	if d != nil && i >= 0 && i < len(d.sent) {
+		d.sent[i].Store(time.Now().UnixNano())
+	}
+}
+
+// Expired reports whether node i has owed a beat past the timeout:
+// nothing was received since both the timeout elapsed and the last send
+// to it, so a node nobody has talked to never expires. With awaiting
+// set — the caller has delivered end-of-stream and is waiting for the
+// node's completion — plain silence expires: the node then owes frames
+// (watermarks while draining, metrics at the end) regardless of send
+// order.
+func (d *Detector) Expired(i int, awaiting bool) bool {
+	if d == nil || d.timeout <= 0 || i < 0 || i >= len(d.last) {
+		return false
+	}
+	heard := d.last[i].Load()
+	if !awaiting && d.sent[i].Load() <= heard {
+		return false
+	}
+	return time.Now().UnixNano()-heard > int64(d.timeout)
+}
+
+// Failover is the record of one shard-block reassignment: which node
+// slot died and why, what the successor replayed, and when it caught up.
+type Failover struct {
+	// Node is the ingress slot (and shard-block owner) that failed.
+	Node int
+	// Cause describes the detected failure.
+	Cause string
+	// DetectedAt is when the ingress declared the node dead.
+	DetectedAt time.Time
+	// SuppressUpTo is the release boundary shipped to the successor: it
+	// suppressed every regenerated match tagged at or below it.
+	SuppressUpTo uint64
+	// ReplayUpTo is the watermark at which the successor had reprocessed
+	// everything sealed before the failure.
+	ReplayUpTo uint64
+	// ReplayCuts/ReplayEvents/ReplayBytes measure the journaled history
+	// replayed to the successor (the block's share, not the whole
+	// journal).
+	ReplayCuts   int
+	ReplayEvents int
+	ReplayBytes  int64
+	// JournalBytes/JournalCuts snapshot the whole journal at failover
+	// time (the retention cost that bought this recovery).
+	JournalBytes int64
+	JournalCuts  int
+	// RecoveredAt is when the successor reported RecoveryDone (zero
+	// while recovery is still in flight).
+	RecoveredAt time.Time
+}
+
+// RecoveryTime is the detection-to-caught-up duration (0 while in
+// flight).
+func (f Failover) RecoveryTime() time.Duration {
+	if f.RecoveredAt.IsZero() {
+		return 0
+	}
+	return f.RecoveredAt.Sub(f.DetectedAt)
+}

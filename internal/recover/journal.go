@@ -1,0 +1,353 @@
+// Package recovery is the fault-tolerance subsystem of the distributed
+// cluster layer (internal/cluster): the pieces that let an ingress
+// survive a worker-node death without losing or duplicating a single
+// match. (The directory is internal/recover; the package is named
+// recovery so importers do not shadow the built-in recover.)
+//
+// The design exploits the paper's per-partition adaptation argument
+// (§7): a shard engine's match output depends only on the events of its
+// partition inside the pattern window, never on evaluator state older
+// than that — plans change performance, not semantics. A dead node's
+// shard block is therefore rebuildable by replaying recent history into
+// a fresh engine; no evaluator-state serialization is needed. Three
+// parts make that concrete:
+//
+//   - Journal — a bounded ring of sealed ingress cuts retaining, per
+//     global shard, at least two pattern windows of history behind the
+//     released (delivered) watermark: one window because any undelivered
+//     match's events lie within a window of its emission point, and a
+//     second because negation scopes and parked (residual) matches reach
+//     one further window back. Memory is accounted explicitly; cuts trim
+//     on watermark advance, and a hard byte bound force-trims with an
+//     explicit coverage-lost marker rather than growing silently.
+//   - Detector — a wall-clock heartbeat monitor fed by the frames each
+//     node sends (watermarks double as heartbeats; nodes additionally
+//     acknowledge every cut on receipt), declaring a silent node dead
+//     after a configurable timeout. Transport errors detect immediately
+//     regardless.
+//   - Failover — the per-incident record: what died, when, how much was
+//     replayed, and when the successor caught up.
+//
+// The ingress-side orchestration (standby adoption, the wire Reassign
+// handshake, collector re-registration, suppression of already-released
+// matches) lives in internal/cluster; this package holds the mechanism
+// and its accounting.
+package recovery
+
+import (
+	"fmt"
+
+	"acep/internal/event"
+)
+
+// perEventBytes approximates the fixed in-memory footprint of one
+// journaled event (struct header plus slice bookkeeping); attribute
+// payloads are accounted at 8 bytes each on top.
+const perEventBytes = 48
+
+// DefaultMaxBytes bounds the journal at 256 MiB unless configured.
+const DefaultMaxBytes = 256 << 20
+
+// DefaultSlackWindows is the retention horizon in pattern windows behind
+// the released frontier. Two windows are exactly sufficient: an
+// undelivered match's own events span at most one window back from its
+// emission point, and its residual scopes (negated events that could
+// veto it, Kleene events that belong in it) reach at most one window
+// further.
+const DefaultSlackWindows = 2
+
+// JournalConfig assembles a Journal.
+type JournalConfig struct {
+	// Window is the pattern's time window (required, positive).
+	Window event.Time
+	// Shards is the global shard count; Route maps an event to its
+	// global shard index (both required). The per-shard released frontier
+	// decides what is safe to trim — node granularity would under-retain
+	// for a shard idling behind a busy sibling.
+	Shards int
+	Route  func(*event.Event) int
+	// SlackWindows overrides the retention horizon (default 2). One
+	// window is sufficient for residual-free patterns (pure sequences
+	// and conjunctions); below two, negation scopes and parked matches
+	// may outrun the journal.
+	SlackWindows int
+	// MaxBytes is the hard memory bound (default DefaultMaxBytes). When
+	// exceeded the oldest cuts are trimmed regardless of the horizon and
+	// the journal records the coverage loss; a later failover whose
+	// replay would have needed them fails explicitly instead of
+	// delivering a silently incomplete stream.
+	MaxBytes int64
+}
+
+// cutRecord is one sealed ingress cut: every node's events in arrival
+// order plus the global watermark the cut covers.
+type cutRecord struct {
+	upTo    uint64
+	maxTS   event.Time
+	perNode [][]event.Event
+	bytes   int64
+}
+
+// EventsBytes accounts a slice of events with the journal's memory
+// formula (fixed overhead plus attribute payload).
+func EventsBytes(evs []event.Event) int64 {
+	b := int64(len(evs)) * perEventBytes
+	for i := range evs {
+		b += 8 * int64(len(evs[i].Attrs))
+	}
+	return b
+}
+
+// Journal is the ingress's cut journal. It is confined to the ingress
+// goroutine (no internal locking): Append seals cuts, Advance folds the
+// released watermark and trims, Replay feeds a successor. The journaled
+// event slices alias the cut buffers the ingress already sent — both
+// sides treat them as immutable — so retention, not copying, is the
+// journal's only memory cost.
+type Journal struct {
+	cfg   JournalConfig
+	slack event.Time // retention horizon behind the released frontier
+
+	cuts     []cutRecord // oldest first; cuts[:folded] are released
+	bytes    int64
+	events   int
+	lastUp   uint64
+	relSeq   uint64
+	folded   int // cuts already folded into the released frontier
+	relTS    []event.Time
+	relSeen  []bool
+	excluded []bool // abandoned shards: ignored by the retention horizon
+
+	forced   bool // MaxBytes force-trimmed past the safe horizon
+	forcedTS event.Time
+}
+
+// NewJournal validates the configuration.
+func NewJournal(cfg JournalConfig) (*Journal, error) {
+	if cfg.Window <= 0 {
+		return nil, fmt.Errorf("recovery: journal needs a positive pattern window, got %d", cfg.Window)
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("recovery: journal needs the global shard count, got %d", cfg.Shards)
+	}
+	if cfg.Route == nil {
+		return nil, fmt.Errorf("recovery: journal needs the shard route function")
+	}
+	if cfg.SlackWindows <= 0 {
+		cfg.SlackWindows = DefaultSlackWindows
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = DefaultMaxBytes
+	}
+	return &Journal{
+		cfg:      cfg,
+		slack:    event.Time(cfg.SlackWindows)*cfg.Window + 1,
+		relTS:    make([]event.Time, cfg.Shards),
+		relSeen:  make([]bool, cfg.Shards),
+		excluded: make([]bool, cfg.Shards),
+	}, nil
+}
+
+// Abandon excludes shard block [base, base+shards) from the retention
+// horizon: its slot was given up with no successor, so no replay will
+// ever need its history again. Without this, the dead block's frozen
+// released frontier would pin the horizon and the journal would grow to
+// MaxBytes for the rest of the run.
+func (j *Journal) Abandon(base, shards int) {
+	for g := base; g < base+shards && g < len(j.excluded); g++ {
+		j.excluded[g] = true
+	}
+	j.trim()
+}
+
+// Append seals one cut: perNode holds each node's events of the cut in
+// arrival order (the journal aliases the slices; they must not be
+// mutated afterwards), upTo is the cut's global watermark. All-empty
+// cuts are skipped. Exceeding MaxBytes force-trims oldest cuts and marks
+// coverage as lost from that point.
+func (j *Journal) Append(perNode [][]event.Event, upTo uint64) {
+	var bytes int64
+	var maxTS event.Time
+	n := 0
+	for _, evs := range perNode {
+		if len(evs) == 0 {
+			continue
+		}
+		// Events per node are in arrival (hence timestamp) order, so the
+		// node's newest is its last.
+		if ts := evs[len(evs)-1].TS; n == 0 || ts > maxTS {
+			maxTS = ts
+		}
+		n += len(evs)
+		for i := range evs {
+			bytes += perEventBytes + 8*int64(len(evs[i].Attrs))
+		}
+	}
+	if n == 0 {
+		return
+	}
+	rec := cutRecord{upTo: upTo, maxTS: maxTS, bytes: bytes}
+	rec.perNode = append(rec.perNode, perNode...)
+	j.cuts = append(j.cuts, rec)
+	j.bytes += bytes
+	j.events += n
+	j.lastUp = upTo
+	for j.bytes > j.cfg.MaxBytes && len(j.cuts) > 1 {
+		j.forceTrimOldest()
+	}
+}
+
+// Advance folds the released (delivered) watermark into the per-shard
+// frontier and trims every cut that no undelivered or future match can
+// reach: released cuts whose newest event is more than the slack horizon
+// behind every shard's released frontier.
+func (j *Journal) Advance(relSeq uint64) {
+	if relSeq <= j.relSeq {
+		j.trim()
+		return
+	}
+	j.relSeq = relSeq
+	for j.folded < len(j.cuts) && j.cuts[j.folded].upTo <= relSeq {
+		for _, evs := range j.cuts[j.folded].perNode {
+			for i := range evs {
+				g := j.cfg.Route(&evs[i])
+				if g >= 0 && g < len(j.relTS) {
+					j.relTS[g] = evs[i].TS
+					j.relSeen[g] = true
+				}
+			}
+		}
+		j.folded++
+	}
+	j.trim()
+}
+
+// horizon is the oldest event timestamp any undelivered or future match
+// can still reference: the slack behind the laggiest shard's released
+// frontier. The second value is false while no shard has released an
+// event yet (nothing is trimmable then).
+func (j *Journal) horizon() (event.Time, bool) {
+	min, any := event.Time(0), false
+	for g, seen := range j.relSeen {
+		if !seen || j.excluded[g] {
+			continue
+		}
+		if !any || j.relTS[g] < min {
+			min = j.relTS[g]
+		}
+		any = true
+	}
+	if !any {
+		return 0, false
+	}
+	return min - j.slack, true
+}
+
+func (j *Journal) trim() {
+	h, ok := j.horizon()
+	if !ok {
+		return
+	}
+	k := 0
+	for k < j.folded && j.cuts[k].maxTS < h {
+		j.drop(k)
+		k++
+	}
+	if k > 0 {
+		j.cuts = append(j.cuts[:0], j.cuts[k:]...)
+		j.folded -= k
+	}
+}
+
+// forceTrimOldest drops the oldest cut to honor MaxBytes, recording the
+// coverage loss when the cut was still inside the safe horizon.
+func (j *Journal) forceTrimOldest() {
+	c := j.cuts[0]
+	if h, ok := j.horizon(); !ok || c.maxTS >= h || c.upTo > j.relSeq {
+		j.forced = true
+		if c.maxTS > j.forcedTS {
+			j.forcedTS = c.maxTS
+		}
+	}
+	j.drop(0)
+	j.cuts = append(j.cuts[:0], j.cuts[1:]...)
+	if j.folded > 0 {
+		j.folded--
+	}
+}
+
+func (j *Journal) drop(k int) {
+	j.bytes -= j.cuts[k].bytes
+	for _, evs := range j.cuts[k].perNode {
+		j.events -= len(evs)
+	}
+}
+
+// Covered reports whether the retained journal still holds everything a
+// failover of node block [base, base+shards) needs — i.e. whether
+// MaxBytes force-trimming ever cut into that block's safe horizon.
+func (j *Journal) Covered(base, shards int) error {
+	if !j.forced {
+		return nil
+	}
+	needed := event.Time(0)
+	any := false
+	for g := base; g < base+shards && g < len(j.relTS); g++ {
+		if !j.relSeen[g] {
+			continue
+		}
+		if !any || j.relTS[g] < needed {
+			needed = j.relTS[g]
+		}
+		any = true
+	}
+	if !any {
+		// The block never released an event; everything undelivered must
+		// be replayable, and history has been force-trimmed.
+		return fmt.Errorf("recovery: journal overflowed (%d bytes cap) before shard block [%d,%d) released anything; replay would be incomplete",
+			j.cfg.MaxBytes, base, base+shards)
+	}
+	if j.forcedTS >= needed-j.slack {
+		return fmt.Errorf("recovery: journal overflowed (%d bytes cap) and trimmed into shard block [%d,%d)'s replay horizon; raise MaxBytes or shrink the window",
+			j.cfg.MaxBytes, base, base+shards)
+	}
+	return nil
+}
+
+// Replay walks the retained cuts that carry events for node, oldest
+// first, stopping on the first error.
+func (j *Journal) Replay(node int, fn func(events []event.Event, upTo uint64) error) error {
+	for _, c := range j.cuts {
+		if node >= len(c.perNode) || len(c.perNode[node]) == 0 {
+			continue
+		}
+		if err := fn(c.perNode[node], c.upTo); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReplayUpTo is the watermark of the newest retained cut carrying events
+// for node — the point at which a successor replaying the block has
+// caught up with everything sealed before the failure (0 if none).
+func (j *Journal) ReplayUpTo(node int) uint64 {
+	for k := len(j.cuts) - 1; k >= 0; k-- {
+		if node < len(j.cuts[k].perNode) && len(j.cuts[k].perNode[node]) > 0 {
+			return j.cuts[k].upTo
+		}
+	}
+	return 0
+}
+
+// Bytes reports the accounted memory of the retained cuts.
+func (j *Journal) Bytes() int64 { return j.bytes }
+
+// Cuts reports the number of retained cuts.
+func (j *Journal) Cuts() int { return len(j.cuts) }
+
+// Events reports the number of retained events.
+func (j *Journal) Events() int { return j.events }
+
+// LastUpTo is the watermark of the newest sealed cut (0 before any).
+func (j *Journal) LastUpTo() uint64 { return j.lastUp }

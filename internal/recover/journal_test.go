@@ -1,0 +1,227 @@
+package recovery
+
+import (
+	"testing"
+	"time"
+
+	"acep/internal/event"
+)
+
+// j2 builds a 2-node, 4-shard journal with window 100 and events routed
+// by their first attribute.
+func j2(t *testing.T, maxBytes int64, slack int) *Journal {
+	t.Helper()
+	j, err := NewJournal(JournalConfig{
+		Window: 100, Shards: 4, SlackWindows: slack, MaxBytes: maxBytes,
+		Route: func(ev *event.Event) int { return int(ev.Attrs[0]) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// cutFor builds one two-node cut: each event is (ts, seq, shard).
+func cutFor(evs ...[3]int64) [][]event.Event {
+	perNode := make([][]event.Event, 2)
+	for _, e := range evs {
+		n := 0
+		if e[2] >= 2 { // shards 2,3 live on node 1
+			n = 1
+		}
+		perNode[n] = append(perNode[n], event.Event{
+			TS: event.Time(e[0]), Seq: uint64(e[1]), Attrs: []float64{float64(e[2])},
+		})
+	}
+	return perNode
+}
+
+func TestJournalValidation(t *testing.T) {
+	if _, err := NewJournal(JournalConfig{Shards: 1, Route: func(*event.Event) int { return 0 }}); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := NewJournal(JournalConfig{Window: 1, Route: func(*event.Event) int { return 0 }}); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if _, err := NewJournal(JournalConfig{Window: 1, Shards: 1}); err == nil {
+		t.Error("nil route accepted")
+	}
+}
+
+// TestJournalTrim: released cuts trim once every shard's released
+// frontier has moved a full slack horizon past them; unreleased cuts and
+// cuts inside the horizon stay.
+func TestJournalTrim(t *testing.T) {
+	j := j2(t, 0, 2) // slack = 2*100+1 = 201
+	j.Append(cutFor([3]int64{0, 1, 0}, [3]int64{5, 2, 2}), 2)
+	j.Append(cutFor([3]int64{100, 3, 1}, [3]int64{110, 4, 3}), 4)
+	j.Append(cutFor([3]int64{300, 5, 0}, [3]int64{310, 6, 2}), 6)
+	j.Append(cutFor([3]int64{600, 7, 1}, [3]int64{610, 8, 3}), 8)
+	if j.Cuts() != 4 || j.Events() != 8 {
+		t.Fatalf("retained %d cuts / %d events, want 4/8", j.Cuts(), j.Events())
+	}
+	if j.Bytes() <= 0 {
+		t.Fatal("no memory accounted")
+	}
+
+	// Releasing through seq 6 puts the frontier at relTS = {300, 100,
+	// 310, 110}; horizon = 100 - 201 < 0, nothing trims yet (shards 1 and
+	// 3 lag).
+	j.Advance(6)
+	if j.Cuts() != 4 {
+		t.Fatalf("horizon behind laggiest shard, yet trimmed to %d cuts", j.Cuts())
+	}
+
+	// Releasing everything puts the frontier at relTS = {300, 600, 310,
+	// 610}: min 300, horizon 99 — only the first cut (maxTS 5) has aged
+	// out.
+	j.Advance(8)
+	if j.Cuts() != 3 {
+		t.Fatalf("trimmed to %d cuts, want 3 (min frontier 300, horizon 99)", j.Cuts())
+	}
+	j.Append(cutFor([3]int64{900, 9, 0}, [3]int64{900, 10, 1}, [3]int64{900, 11, 2}, [3]int64{900, 12, 3}), 12)
+	j.Advance(12)
+	// Frontier now 900 on every shard; horizon 699 drops the cuts at
+	// maxTS 110, 310 and 610, keeping only the 900 cut.
+	if j.Cuts() != 1 {
+		t.Fatalf("trimmed to %d cuts, want 1", j.Cuts())
+	}
+	if err := j.Covered(0, 4); err != nil {
+		t.Fatalf("normal trim reported coverage loss: %v", err)
+	}
+}
+
+// TestJournalReplay: replay yields exactly the retained cuts that carry
+// the node's events, oldest first, with their watermarks.
+func TestJournalReplay(t *testing.T) {
+	j := j2(t, 0, 2)
+	j.Append(cutFor([3]int64{0, 1, 0}), 1)                      // node 0 only
+	j.Append(cutFor([3]int64{10, 2, 2}, [3]int64{11, 3, 3}), 3) // node 1 only
+	j.Append(cutFor([3]int64{20, 4, 1}, [3]int64{21, 5, 2}), 5) // both
+
+	var ups []uint64
+	var n int
+	err := j.Replay(1, func(evs []event.Event, upTo uint64) error {
+		ups = append(ups, upTo)
+		n += len(evs)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) != 2 || ups[0] != 3 || ups[1] != 5 || n != 3 {
+		t.Fatalf("replayed cuts %v (%d events), want [3 5] with 3 events", ups, n)
+	}
+	if up := j.ReplayUpTo(1); up != 5 {
+		t.Fatalf("ReplayUpTo(1) = %d, want 5", up)
+	}
+	if up := j.ReplayUpTo(0); up != 5 {
+		t.Fatalf("ReplayUpTo(0) = %d, want 5", up)
+	}
+	if j.LastUpTo() != 5 {
+		t.Fatalf("LastUpTo = %d, want 5", j.LastUpTo())
+	}
+}
+
+// TestJournalForceTrim: the byte bound evicts history past the safe
+// horizon and Covered then refuses the affected block, while a block
+// whose horizon survived stays recoverable.
+func TestJournalForceTrim(t *testing.T) {
+	j := j2(t, 600, 2) // a few events' worth
+	for i := int64(0); i < 32; i++ {
+		j.Append(cutFor([3]int64{i * 10, i + 1, i % 4}), uint64(i+1))
+	}
+	if j.Bytes() > 600 {
+		t.Fatalf("byte bound not enforced: %d", j.Bytes())
+	}
+	if j.Cuts() >= 32 {
+		t.Fatal("nothing force-trimmed")
+	}
+	if err := j.Covered(0, 4); err == nil {
+		t.Fatal("coverage loss not reported after force-trim of unreleased history")
+	}
+}
+
+// TestJournalAbandon: a degraded block's frozen frontier stops pinning
+// the horizon once abandoned — history retained only for its sake trims
+// away.
+func TestJournalAbandon(t *testing.T) {
+	j := j2(t, 0, 1) // slack = 101
+	j.Append(cutFor([3]int64{0, 1, 2}), 1)
+	j.Append(cutFor([3]int64{500, 2, 0}, [3]int64{500, 3, 1}), 3)
+	j.Append(cutFor([3]int64{900, 4, 0}, [3]int64{900, 5, 1}), 5)
+	j.Advance(5)
+	// Shard 2 (node 1's block) released only its TS-0 event: the first
+	// cut is pinned on its behalf.
+	if j.Cuts() != 3 {
+		t.Fatalf("retained %d cuts, want 3 (shard 2 pins the horizon)", j.Cuts())
+	}
+	j.Abandon(2, 2)
+	// With shards 2-3 abandoned, the horizon is 900-101: the first two
+	// cuts trim.
+	if j.Cuts() != 1 {
+		t.Fatalf("retained %d cuts after Abandon, want 1", j.Cuts())
+	}
+}
+
+// TestJournalAliasesCuts: journaled slices alias the appended buffers
+// (retention is the only memory cost) and empty cuts are skipped.
+func TestJournalAliasesCuts(t *testing.T) {
+	j := j2(t, 0, 1)
+	evs := []event.Event{{TS: 1, Seq: 1, Attrs: []float64{0}}}
+	j.Append([][]event.Event{evs, nil}, 1)
+	j.Append([][]event.Event{nil, nil}, 2) // empty: skipped
+	if j.Cuts() != 1 {
+		t.Fatalf("%d cuts, want 1 (empty cut journaled)", j.Cuts())
+	}
+	j.Replay(0, func(got []event.Event, _ uint64) error {
+		if &got[0] != &evs[0] {
+			t.Error("journal copied the cut instead of aliasing it")
+		}
+		return nil
+	})
+}
+
+// TestDetector: a node expires only when it owes a beat — silent past
+// the timeout after a send — so frames reset the clock, an idle source
+// (no sends) never kills anyone, and a zero timeout disables expiry.
+func TestDetector(t *testing.T) {
+	d := NewDetector(3, 30*time.Millisecond)
+	if d.Expired(0, false) || d.Expired(1, false) || d.Expired(2, false) {
+		t.Fatal("fresh detector already expired")
+	}
+	d.Sent(0)
+	d.Sent(1)
+	deadline := time.Now().Add(5 * time.Second)
+	for !d.Expired(1, false) {
+		d.Heard(0)
+		d.Sent(0)
+		if time.Now().After(deadline) {
+			t.Fatal("silent node never expired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if d.Expired(0, false) {
+		t.Fatal("heartbeating node expired")
+	}
+	// Node 2 was never sent anything: it owes no beat, however long the
+	// ingress idles...
+	if d.Expired(2, false) {
+		t.Fatal("idle node (nothing sent) expired")
+	}
+	// ...unless the caller awaits its completion: then silence alone
+	// expires (a draining node beats through its watermarks).
+	if !d.Expired(2, true) {
+		t.Fatal("awaited silent node did not expire")
+	}
+
+	off := NewDetector(1, 0)
+	off.Sent(0)
+	time.Sleep(2 * time.Millisecond)
+	if off.Expired(0, false) {
+		t.Fatal("disabled detector expired")
+	}
+	if NewDetector(1, time.Hour).Expired(5, true) {
+		t.Fatal("out-of-range node expired")
+	}
+}

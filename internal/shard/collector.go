@@ -16,11 +16,15 @@ type Tagged struct {
 }
 
 // post is one source→collector message: the matches of one processed
-// batch and the source's new progress watermark.
+// batch and the source's new progress watermark. A reassign post instead
+// re-registers the source slot for a successor (failover), carrying a
+// reply channel for the release boundary.
 type post struct {
 	src      int
 	progress uint64
 	matches  []Tagged
+	reassign bool
+	reply    chan uint64
 }
 
 // Collector merges per-source tagged match streams into one ordered
@@ -79,9 +83,42 @@ func (c *Collector) Close() {
 	<-c.done
 }
 
+// Reassign re-registers source src for a successor after a failure: the
+// source's undelivered buffered matches are purged (the successor will
+// regenerate them by replay) and its watermark rewinds to zero so the
+// successor may start posting from an arbitrarily old replay horizon.
+// It returns the release boundary — the watermark below which every
+// match has already been delivered — which the successor must use to
+// suppress regenerated duplicates. The caller must guarantee the old
+// source has stopped posting before Reassign and that the successor
+// posts only after it returns.
+func (c *Collector) Reassign(src int) uint64 {
+	reply := make(chan uint64, 1)
+	c.ch <- post{src: src, reassign: true, reply: reply}
+	return <-reply
+}
+
 func (c *Collector) run() {
 	defer close(c.done)
 	for p := range c.ch {
+		if p.reassign {
+			kept := c.heap[:0]
+			for _, t := range c.heap {
+				if t.Src != p.src {
+					kept = append(kept, t)
+				}
+			}
+			for i := len(kept); i < len(c.heap); i++ {
+				c.heap[i] = Tagged{}
+			}
+			c.heap = kept
+			for i := len(c.heap)/2 - 1; i >= 0; i-- {
+				c.siftDown(i)
+			}
+			c.marks[p.src] = 0
+			p.reply <- c.min
+			continue
+		}
 		c.marks[p.src] = p.progress
 		for _, t := range p.matches {
 			c.push(t)
@@ -143,9 +180,13 @@ func (c *Collector) pop() Tagged {
 	top := h[0]
 	h[0] = h[len(h)-1]
 	h[len(h)-1] = Tagged{}
-	h = h[:len(h)-1]
-	c.heap = h
-	i := 0
+	c.heap = h[:len(h)-1]
+	c.siftDown(0)
+	return top
+}
+
+func (c *Collector) siftDown(i int) {
+	h := c.heap
 	for {
 		l, r := 2*i+1, 2*i+2
 		m := i
@@ -156,10 +197,9 @@ func (c *Collector) pop() Tagged {
 			m = r
 		}
 		if m == i {
-			break
+			return
 		}
 		h[i], h[m] = h[m], h[i]
 		i = m
 	}
-	return top
 }

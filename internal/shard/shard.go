@@ -168,10 +168,13 @@ type worker struct {
 	in  chan cut
 
 	// Emission state, owned by the worker goroutine (the OnMatch closure
-	// of the shard engine runs there).
-	curSeq uint64
-	idx    uint64
-	out    []Tagged
+	// of the shard engine runs there). scratch collects the matches
+	// emitted while processing one event; flushEmits moves them into out
+	// in canonical order.
+	curSeq  uint64
+	idx     uint64
+	scratch []*match.Match
+	out     []Tagged
 
 	// Latency estimators, owned by the worker goroutine; read by
 	// Metrics/ShardMetrics after Finish.
@@ -184,6 +187,30 @@ func (w *worker) take() []Tagged {
 	m := w.out
 	w.out = nil
 	return m
+}
+
+// flushEmits tags the matches emitted while processing the current event
+// and appends them to the outgoing batch in canonical order (by
+// constituent event sequence numbers). The engine's own emission order
+// within one event depends on its evaluation-plan trajectory — two
+// engines fed the same events can enumerate simultaneous completions
+// differently after adapting differently — so sorting here is what makes
+// the delivered stream a function of the input alone. The cluster's
+// failover replay relies on this: a successor rebuilding a lost shard
+// from journaled history replans from scratch yet must reproduce the
+// dead engine's stream byte for byte.
+func (w *worker) flushEmits() {
+	if len(w.scratch) == 0 {
+		return
+	}
+	if len(w.scratch) > 1 {
+		sortMatches(w.scratch)
+	}
+	for _, m := range w.scratch {
+		w.out = append(w.out, Tagged{M: m, Seq: w.curSeq, Src: w.id, Idx: w.idx})
+		w.idx++
+	}
+	w.scratch = w.scratch[:0]
 }
 
 func (w *worker) run(col *Collector, wg *sync.WaitGroup) {
@@ -202,6 +229,7 @@ func (w *worker) run(col *Collector, wg *sync.WaitGroup) {
 				} else {
 					w.eng.Process(&c.events[i])
 				}
+				w.flushEmits()
 			}
 		}
 		col.Post(w.id, c.upTo, w.take())
@@ -210,7 +238,63 @@ func (w *worker) run(col *Collector, wg *sync.WaitGroup) {
 	// real sequence number and ordered by (shard, emission index).
 	w.curSeq = math.MaxUint64
 	w.eng.Finish()
+	w.flushEmits()
 	col.Post(w.id, math.MaxUint64, w.take())
+}
+
+// sortMatches orders simultaneously emitted matches canonically: by core
+// event sequence numbers position by position, then by Kleene closure
+// contents. Insertion sort — simultaneous emission groups are tiny.
+func sortMatches(ms []*match.Match) {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && matchLess(ms[j], ms[j-1]); j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}
+
+func matchLess(a, b *match.Match) bool {
+	if c := cmpEvents(a.Events, b.Events); c != 0 {
+		return c < 0
+	}
+	na, nb := len(a.Kleene), len(b.Kleene)
+	for p := 0; p < na && p < nb; p++ {
+		if c := cmpEvents(a.Kleene[p], b.Kleene[p]); c != 0 {
+			return c < 0
+		}
+	}
+	return na < nb
+}
+
+// cmpEvents compares position-aligned event slices by sequence number;
+// nil entries (residual positions) order before any event.
+func cmpEvents(a, b []*event.Event) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		ae, be := a[i], b[i]
+		switch {
+		case ae == nil && be == nil:
+		case ae == nil:
+			return -1
+		case be == nil:
+			return 1
+		case ae.Seq != be.Seq:
+			if ae.Seq < be.Seq {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
 }
 
 // Engine is a sharded adaptive detection engine. Process, Flush and
@@ -344,8 +428,7 @@ func New(pat *pattern.Pattern, cfg engine.Config, opts Options) (*Engine, error)
 		w := &worker{id: s, in: make(chan cut, opts.Queue)}
 		shardCfg := cfg
 		shardCfg.OnMatch = func(m *match.Match) {
-			w.out = append(w.out, Tagged{M: m, Seq: w.curSeq, Src: w.id, Idx: w.idx})
-			w.idx++
+			w.scratch = append(w.scratch, m)
 		}
 		if shardCfg.Shedding.Policy != nil && shardCfg.Shedding.Key == nil && opts.Key != nil {
 			// Pattern-aware shedding protects per-entity state; default the
@@ -357,11 +440,13 @@ func New(pat *pattern.Pattern, cfg engine.Config, opts Options) (*Engine, error)
 		if err != nil {
 			return nil, err
 		}
-		// The shedder (when configured) watches this worker's queue depth;
-		// both run on the worker goroutine, and len/cap on the channel are
-		// safe to sample from there.
+		// The shedder (when configured) watches this worker's queue depth
+		// and its queue-wait p99; probe and estimator both run on the
+		// worker goroutine, so len/cap on the channel and the quantile
+		// reservoir are safe to sample from there.
 		in := w.in
 		eng.SetQueueProbe(func() (int, int) { return len(in), cap(in) })
+		eng.SetLatencyProbe(func() float64 { return w.qwait.Quantile(0.99) })
 		w.eng = eng
 		e.workers = append(e.workers, w)
 	}

@@ -34,6 +34,7 @@ package shed
 
 import (
 	"fmt"
+	"time"
 
 	"acep/internal/event"
 	"acep/internal/pattern"
@@ -53,11 +54,18 @@ type Budget struct {
 	// Queue is the target ingestion-queue depth in batches; meaningful
 	// only when a queue probe is attached (the shard layer does this).
 	Queue int
+	// QueueWait is the target p99 ingestion-queue wait: the latency
+	// budget. Meaningful only when a latency probe is attached — the
+	// shard layer wires it to each worker's per-event queue-wait
+	// estimator (Metrics.QueueWait) — so the monitor activates when
+	// events wait too long, even while rate and depth look healthy
+	// (e.g. a slow shard behind a generous queue).
+	QueueWait time.Duration
 }
 
 // unset reports whether no budget dimension is configured.
 func (b Budget) unset() bool {
-	return b.LivePMs <= 0 && b.EventsPerSec <= 0 && b.Queue <= 0
+	return b.LivePMs <= 0 && b.EventsPerSec <= 0 && b.Queue <= 0 && b.QueueWait <= 0
 }
 
 // Probe is the engine-side introspection surface the shedder samples at
@@ -195,6 +203,7 @@ type Shedder struct {
 	protected []bool // types at negated positions: never dropped
 	rate      rateMeter
 	queue     func() (depth, capacity int) // optional, set by the shard layer
+	latency   func() float64               // optional p99 queue-wait in nanos, set by the shard layer
 
 	counts       []uint64 // per-type arrivals since last refresh
 	total        uint64
@@ -259,6 +268,11 @@ func New(cfg Config, pat *pattern.Pattern, probe Probe) (*Shedder, error) {
 // SetQueueProbe attaches the ingestion-queue depth source (the shard
 // layer's per-worker channel). Must be set before the first Admit.
 func (s *Shedder) SetQueueProbe(f func() (depth, capacity int)) { s.queue = f }
+
+// SetLatencyProbe attaches the queue-wait p99 source in nanoseconds (the
+// shard layer's per-worker estimator). Must be set before the first
+// Admit.
+func (s *Shedder) SetLatencyProbe(f func() float64) { s.latency = f }
 
 // Policy returns the configured policy.
 func (s *Shedder) Policy() Policy { return s.cfg.Policy }
@@ -363,6 +377,11 @@ func (s *Shedder) load() float64 {
 	if s.cfg.Budget.Queue > 0 && s.queue != nil {
 		depth, _ := s.queue()
 		if v := float64(depth) / float64(s.cfg.Budget.Queue); v > u {
+			u = v
+		}
+	}
+	if s.cfg.Budget.QueueWait > 0 && s.latency != nil {
+		if v := s.latency() / float64(s.cfg.Budget.QueueWait); v > u {
 			u = v
 		}
 	}

@@ -3,6 +3,7 @@ package shed
 import (
 	"math"
 	"testing"
+	"time"
 
 	"acep/internal/event"
 	"acep/internal/pattern"
@@ -109,6 +110,49 @@ func TestUnderBudgetNeverDrops(t *testing.T) {
 	}
 	if sh.Load() >= 1 {
 		t.Fatalf("load = %v, want < 1", sh.Load())
+	}
+}
+
+// TestLatencyBudget: the QueueWait dimension activates the monitor on
+// p99 queue wait alone — no PM, rate or depth budget involved — and only
+// while the probed latency exceeds the target.
+func TestLatencyBudget(t *testing.T) {
+	_, pat := testPattern(t, false)
+	cfg := Config{
+		Policy:       Random{P: 1},
+		Budget:       Budget{QueueWait: 10 * time.Millisecond},
+		RefreshEvery: 32,
+	}
+	p99 := float64(1 * time.Millisecond) // healthy
+	sh, err := New(cfg, pat, &fakeProbe{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.SetLatencyProbe(func() float64 { return p99 })
+	if _, dropped := feed(sh, 500, []int{0, 1, 2}); len(dropped) != 0 {
+		t.Fatalf("p99 under budget, dropped %v", dropped)
+	}
+	if sh.Load() >= 1 {
+		t.Fatalf("load = %v, want < 1", sh.Load())
+	}
+
+	p99 = float64(25 * time.Millisecond) // 2.5x over the latency budget
+	kept, dropped := feed(sh, 500, []int{0, 1, 2})
+	if len(dropped) == 0 {
+		t.Fatal("p99 2.5x over budget, nothing dropped")
+	}
+	if got := sh.Load(); got < 2 || got > 3 {
+		t.Fatalf("load = %v, want ~2.5", got)
+	}
+	_ = kept
+
+	// Without a probe the dimension is inert even when budgeted.
+	sh2, err := New(cfg, pat, &fakeProbe{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, dropped := feed(sh2, 500, []int{0, 1, 2}); len(dropped) != 0 {
+		t.Fatalf("probe-less latency budget dropped %v", dropped)
 	}
 }
 

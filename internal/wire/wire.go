@@ -17,6 +17,12 @@
 // patterns for attribute values, which round-trip exactly (including NaN
 // payloads, which partition keys may carry through Float64bits).
 //
+// Batch frames delta-encode timestamps and sequence numbers against the
+// previous event in the frame: both are near-monotone within one cut, so
+// the deltas almost always fit one varint byte where the absolute values
+// take three to five. Matches keep absolute encoding (their events are
+// position-ordered, not arrival-ordered).
+//
 // The protocol version travels in the Hello frame; both sides reject a
 // mismatch at handshake time, so all later frames can assume one version.
 // Decode never panics on arbitrary input — it returns an error for every
@@ -36,12 +42,17 @@ import (
 	"acep/internal/engine"
 	"acep/internal/event"
 	"acep/internal/match"
+	"acep/internal/pattern"
 	"acep/internal/stats"
 )
 
 // Version is the protocol version carried in Hello frames. Bump on any
 // incompatible body-layout change.
-const Version = 1
+//
+// v2: delta-encoded Batch bodies, pattern+schema shipping in
+// Assign/Reassign, and the failover frames (Heartbeat, Reassign,
+// RecoveryDone).
+const Version = 2
 
 // MaxFrame bounds one frame's payload (kind+body) in bytes; Decode and
 // Reader reject larger length prefixes as corrupt.
@@ -54,6 +65,14 @@ const (
 	maxPositions   = 1 << 12 // positions per match
 	maxKleene      = 1 << 20 // events per Kleene closure
 	maxSamples     = 1 << 16 // retained quantile samples per estimator
+
+	// Pattern/schema shipping caps (Assign and Reassign payloads).
+	maxSchemaTypes  = 1 << 10 // event types per schema
+	maxSchemaAttrs  = 1 << 8  // attributes per type
+	maxNameBytes    = 1 << 8  // bytes per type/attribute name
+	maxPatPositions = 1 << 10 // positions per (sub-)pattern
+	maxPatPreds     = 1 << 12 // predicates per (sub-)pattern
+	maxSubPatterns  = 1 << 8  // disjuncts per OR pattern
 )
 
 // Kind tags a frame's body layout.
@@ -79,6 +98,21 @@ const (
 	KindMetrics
 	// KindFinish signals end of stream (ingress → node).
 	KindFinish
+	// KindHeartbeat is a node liveness signal (node → ingress), emitted on
+	// receipt of every cut — before processing it — so the ingress failure
+	// detector can tell a slow node from a dead one. UpTo echoes the
+	// received cut's watermark.
+	KindHeartbeat
+	// KindReassign is the recovery variant of the handshake reply: the
+	// successor adopts a failed node's shard block and will receive the
+	// journaled cuts of that block again. Matches tagged at or below
+	// SuppressUpTo were already delivered by the merge collector and must
+	// be suppressed; once the successor's completion watermark reaches
+	// ReplayUpTo it reports RecoveryDone.
+	KindReassign
+	// KindRecoveryDone reports that a recovering node's completion
+	// watermark passed the replay horizon: the lost block is live again.
+	KindRecoveryDone
 )
 
 // String names the frame kind.
@@ -98,6 +132,12 @@ func (k Kind) String() string {
 		return "metrics"
 	case KindFinish:
 		return "finish"
+	case KindHeartbeat:
+		return "heartbeat"
+	case KindReassign:
+		return "reassign"
+	case KindRecoveryDone:
+		return "recovery-done"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -114,10 +154,16 @@ type Hello struct {
 }
 
 // Assign is the ingress's handshake reply fixing the shard layout: the
-// node owns global shard indices [Base, Base+Shards).
+// node owns global shard indices [Base, Base+Shards). The ingress ships
+// its pattern and schema in the reply, so a bare node (one started
+// without out-of-band configuration, Hello.PatternSig == 0) can serve
+// any ingress; configured nodes cross-validate via the fingerprint in
+// Hello and may ignore the payload.
 type Assign struct {
-	Base  uint32
-	Total uint32 // cluster-wide shard count
+	Base    uint32
+	Total   uint32 // cluster-wide shard count
+	Pattern *pattern.Pattern
+	Schema  *event.Schema
 }
 
 // Batch is one uniform cut of events bound for a node.
@@ -147,13 +193,42 @@ type Metrics struct {
 // Finish signals end of stream.
 type Finish struct{}
 
-func (Hello) kind() Kind       { return KindHello }
-func (Assign) kind() Kind      { return KindAssign }
-func (Batch) kind() Kind       { return KindBatch }
-func (Watermark) kind() Kind   { return KindWatermark }
-func (TaggedMatch) kind() Kind { return KindMatch }
-func (Metrics) kind() Kind     { return KindMetrics }
-func (Finish) kind() Kind      { return KindFinish }
+// Heartbeat is a node liveness signal (see KindHeartbeat).
+type Heartbeat struct {
+	UpTo uint64
+}
+
+// Reassign hands a failed node's shard block to a successor: the block
+// is global shard indices [Base, Base+Shards) of Total, the successor
+// suppresses any match tagged at or below SuppressUpTo (those were
+// already delivered before the failure), and reports RecoveryDone once
+// its completion watermark reaches ReplayUpTo. Pattern and Schema are
+// shipped exactly as in Assign, so a bare standby can adopt any block.
+type Reassign struct {
+	Base         uint32
+	Shards       uint32 // block size (overrides the successor's Hello claim)
+	Total        uint32
+	SuppressUpTo uint64
+	ReplayUpTo   uint64
+	Pattern      *pattern.Pattern
+	Schema       *event.Schema
+}
+
+// RecoveryDone reports replay completion (see KindRecoveryDone).
+type RecoveryDone struct {
+	UpTo uint64
+}
+
+func (Hello) kind() Kind        { return KindHello }
+func (Assign) kind() Kind       { return KindAssign }
+func (Batch) kind() Kind        { return KindBatch }
+func (Watermark) kind() Kind    { return KindWatermark }
+func (TaggedMatch) kind() Kind  { return KindMatch }
+func (Metrics) kind() Kind      { return KindMetrics }
+func (Finish) kind() Kind       { return KindFinish }
+func (Heartbeat) kind() Kind    { return KindHeartbeat }
+func (Reassign) kind() Kind     { return KindReassign }
+func (RecoveryDone) kind() Kind { return KindRecoveryDone }
 
 // KindOf reports a frame's kind.
 func KindOf(f Frame) Kind { return f.kind() }
@@ -187,11 +262,17 @@ func Append(dst []byte, f Frame) []byte {
 	case Assign:
 		dst = binary.AppendUvarint(dst, uint64(v.Base))
 		dst = binary.AppendUvarint(dst, uint64(v.Total))
+		dst = appendSchema(dst, v.Schema)
+		dst = appendPattern(dst, v.Pattern)
 	case Batch:
 		dst = binary.AppendUvarint(dst, v.UpTo)
 		dst = binary.AppendUvarint(dst, uint64(len(v.Events)))
+		var prevTS event.Time
+		var prevSeq uint64
 		for i := range v.Events {
-			dst = appendEvent(dst, &v.Events[i])
+			ev := &v.Events[i]
+			dst = appendEventDelta(dst, ev, prevTS, prevSeq)
+			prevTS, prevSeq = ev.TS, ev.Seq
 		}
 	case Watermark:
 		dst = binary.AppendUvarint(dst, v.UpTo)
@@ -202,6 +283,18 @@ func Append(dst []byte, f Frame) []byte {
 		dst = appendMetrics(dst, &v.M)
 	case Finish:
 		// empty body
+	case Heartbeat:
+		dst = binary.AppendUvarint(dst, v.UpTo)
+	case Reassign:
+		dst = binary.AppendUvarint(dst, uint64(v.Base))
+		dst = binary.AppendUvarint(dst, uint64(v.Shards))
+		dst = binary.AppendUvarint(dst, uint64(v.Total))
+		dst = binary.AppendUvarint(dst, v.SuppressUpTo)
+		dst = binary.AppendUvarint(dst, v.ReplayUpTo)
+		dst = appendSchema(dst, v.Schema)
+		dst = appendPattern(dst, v.Pattern)
+	case RecoveryDone:
+		dst = binary.AppendUvarint(dst, v.UpTo)
 	default:
 		panic(fmt.Sprintf("wire: unencodable frame type %T", f))
 	}
@@ -213,11 +306,96 @@ func appendEvent(dst []byte, ev *event.Event) []byte {
 	dst = binary.AppendUvarint(dst, uint64(ev.Type))
 	dst = binary.AppendVarint(dst, int64(ev.TS))
 	dst = binary.AppendUvarint(dst, ev.Seq)
-	dst = binary.AppendUvarint(dst, uint64(len(ev.Attrs)))
-	for _, a := range ev.Attrs {
+	return appendAttrs(dst, ev.Attrs)
+}
+
+// appendEventDelta encodes an event against the previous event of its
+// Batch frame: timestamps and sequence numbers are near-monotone within
+// one cut, so signed deltas almost always fit a single varint byte.
+// Subtraction wraps in two's complement, so arbitrary (even decreasing)
+// inputs still round-trip exactly.
+func appendEventDelta(dst []byte, ev *event.Event, prevTS event.Time, prevSeq uint64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(ev.Type))
+	dst = binary.AppendVarint(dst, int64(ev.TS-prevTS))
+	dst = binary.AppendVarint(dst, int64(ev.Seq-prevSeq))
+	return appendAttrs(dst, ev.Attrs)
+}
+
+func appendAttrs(dst []byte, attrs []float64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(attrs)))
+	for _, a := range attrs {
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(a))
 	}
 	return dst
+}
+
+// appendPattern encodes a compiled pattern (1 byte presence, then for OR
+// the disjunct list, else one sub-pattern body).
+func appendPattern(dst []byte, p *pattern.Pattern) []byte {
+	if p == nil {
+		return append(dst, 0)
+	}
+	if p.Op == pattern.Or {
+		dst = append(dst, 2)
+		dst = binary.AppendUvarint(dst, uint64(len(p.Subs)))
+		for _, s := range p.Subs {
+			dst = appendSubPattern(dst, s)
+		}
+		return dst
+	}
+	dst = append(dst, 1)
+	return appendSubPattern(dst, p)
+}
+
+func appendSubPattern(dst []byte, p *pattern.Pattern) []byte {
+	dst = append(dst, byte(p.Op))
+	dst = binary.AppendVarint(dst, int64(p.Window))
+	dst = binary.AppendUvarint(dst, uint64(len(p.Positions)))
+	for _, pos := range p.Positions {
+		dst = binary.AppendUvarint(dst, uint64(pos.Type))
+		var flags byte
+		if pos.Neg {
+			flags |= 1
+		}
+		if pos.Kleene {
+			flags |= 2
+		}
+		dst = append(dst, flags)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(p.Preds)))
+	for _, pr := range p.Preds {
+		dst = binary.AppendUvarint(dst, uint64(pr.L))
+		dst = binary.AppendVarint(dst, int64(pr.R)) // Unary is -1
+		dst = binary.AppendUvarint(dst, uint64(pr.AttrL))
+		dst = binary.AppendUvarint(dst, uint64(pr.AttrR))
+		dst = append(dst, byte(pr.Op))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(pr.C))
+	}
+	return dst
+}
+
+// appendSchema encodes the schema's type/attribute registry (1 byte
+// presence, then the type list in registration order).
+func appendSchema(dst []byte, s *event.Schema) []byte {
+	if s == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	dst = binary.AppendUvarint(dst, uint64(s.NumTypes()))
+	for t := 0; t < s.NumTypes(); t++ {
+		dst = appendString(dst, s.TypeName(t))
+		attrs := s.Attrs(t)
+		dst = binary.AppendUvarint(dst, uint64(len(attrs)))
+		for _, a := range attrs {
+			dst = appendString(dst, a)
+		}
+	}
+	return dst
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
 }
 
 func appendMatch(dst []byte, m *match.Match) []byte {
@@ -398,14 +576,19 @@ func decodePayload(p []byte) (Frame, error) {
 			PatternSig: c.uvarint(),
 		}
 	case KindAssign:
-		f = Assign{Base: uint32(c.uvarint()), Total: uint32(c.uvarint())}
+		v := Assign{Base: uint32(c.uvarint()), Total: uint32(c.uvarint())}
+		v.Pattern, v.Schema = c.patternAndSchema()
+		f = v
 	case KindBatch:
 		v := Batch{UpTo: c.uvarint()}
 		n := c.count(maxBatchEvents, 4, "batch event")
 		if n > 0 {
 			v.Events = make([]event.Event, n)
+			var prevTS event.Time
+			var prevSeq uint64
 			for i := 0; i < n && c.err == nil; i++ {
-				v.Events[i] = c.event()
+				v.Events[i] = c.eventDelta(prevTS, prevSeq)
+				prevTS, prevSeq = v.Events[i].TS, v.Events[i].Seq
 			}
 		}
 		f = v
@@ -419,6 +602,20 @@ func decodePayload(p []byte) (Frame, error) {
 		f = Metrics{M: c.metrics()}
 	case KindFinish:
 		f = Finish{}
+	case KindHeartbeat:
+		f = Heartbeat{UpTo: c.uvarint()}
+	case KindReassign:
+		v := Reassign{
+			Base:         uint32(c.uvarint()),
+			Shards:       uint32(c.uvarint()),
+			Total:        uint32(c.uvarint()),
+			SuppressUpTo: c.uvarint(),
+			ReplayUpTo:   c.uvarint(),
+		}
+		v.Pattern, v.Schema = c.patternAndSchema()
+		f = v
+	case KindRecoveryDone:
+		f = RecoveryDone{UpTo: c.uvarint()}
 	default:
 		return nil, fmt.Errorf("wire: unknown frame kind %d", p[0])
 	}
@@ -437,6 +634,22 @@ func (c *cursor) event() event.Event {
 		TS:   event.Time(c.varint()),
 		Seq:  c.uvarint(),
 	}
+	c.attrs(&ev)
+	return ev
+}
+
+// eventDelta decodes a Batch event whose timestamp and sequence number
+// are deltas against the previous event of the frame (see
+// appendEventDelta).
+func (c *cursor) eventDelta(prevTS event.Time, prevSeq uint64) event.Event {
+	ev := event.Event{Type: int(c.uvarint())}
+	ev.TS = prevTS + event.Time(c.varint())
+	ev.Seq = prevSeq + uint64(c.varint())
+	c.attrs(&ev)
+	return ev
+}
+
+func (c *cursor) attrs(ev *event.Event) {
 	n := c.count(maxAttrs, 8, "attribute")
 	if n > 0 {
 		ev.Attrs = make([]float64, n)
@@ -444,7 +657,118 @@ func (c *cursor) event() event.Event {
 			ev.Attrs[i] = c.f64()
 		}
 	}
-	return ev
+}
+
+func (c *cursor) str(what string) string {
+	n := c.count(maxNameBytes, 1, what)
+	if c.err != nil {
+		return ""
+	}
+	s := string(c.b[c.off : c.off+n])
+	c.off += n
+	return s
+}
+
+// patternAndSchema decodes the shipped schema and pattern of an Assign
+// or Reassign body. The pattern is rebuilt through the pattern Builder,
+// so the shipped structure passes the same validation a locally built
+// pattern does (position/attribute ranges against the schema when one is
+// shipped alongside).
+func (c *cursor) patternAndSchema() (*pattern.Pattern, *event.Schema) {
+	s := c.schema()
+	p := c.pattern(s)
+	return p, s
+}
+
+func (c *cursor) schema() *event.Schema {
+	if c.u8() == 0 || c.err != nil {
+		return nil
+	}
+	s := event.NewSchema()
+	nt := c.count(maxSchemaTypes, 2, "schema type")
+	for t := 0; t < nt && c.err == nil; t++ {
+		name := c.str("type name")
+		na := c.count(maxSchemaAttrs, 1, "schema attribute")
+		attrs := make([]string, 0, na)
+		for a := 0; a < na && c.err == nil; a++ {
+			attrs = append(attrs, c.str("attribute name"))
+		}
+		if c.err != nil {
+			return nil
+		}
+		if _, err := s.AddType(name, attrs...); err != nil {
+			c.fail("shipped schema: %v", err)
+			return nil
+		}
+	}
+	return s
+}
+
+func (c *cursor) pattern(s *event.Schema) *pattern.Pattern {
+	switch c.u8() {
+	case 0:
+		return nil
+	case 1:
+		return c.subPattern(s)
+	case 2:
+		ns := c.count(maxSubPatterns, 4, "sub-pattern")
+		subs := make([]*pattern.Pattern, 0, ns)
+		for i := 0; i < ns && c.err == nil; i++ {
+			subs = append(subs, c.subPattern(s))
+		}
+		if c.err != nil {
+			return nil
+		}
+		p, err := pattern.NewOr(subs...)
+		if err != nil {
+			c.fail("shipped pattern: %v", err)
+			return nil
+		}
+		return p
+	default:
+		c.fail("bad pattern presence tag")
+		return nil
+	}
+}
+
+func (c *cursor) subPattern(s *event.Schema) *pattern.Pattern {
+	op := pattern.Op(c.u8())
+	if op != pattern.Seq && op != pattern.And {
+		c.fail("shipped pattern: bad operator %d", op)
+		return nil
+	}
+	b := pattern.NewBuilder(s, op, event.Time(c.varint()))
+	np := c.count(maxPatPositions, 2, "pattern position")
+	for i := 0; i < np && c.err == nil; i++ {
+		pos := b.Event(int(c.uvarint()))
+		flags := c.u8()
+		if flags&1 != 0 {
+			b.Negate(pos)
+		}
+		if flags&2 != 0 {
+			b.Kleene(pos)
+		}
+	}
+	npr := c.count(maxPatPreds, 13, "pattern predicate")
+	for i := 0; i < npr && c.err == nil; i++ {
+		b.WherePred(pattern.Pred{
+			L:     int(c.uvarint()),
+			R:     int(c.varint()),
+			AttrL: int(c.uvarint()),
+			AttrR: int(c.uvarint()),
+			Op:    pattern.CmpOp(c.u8()),
+			C:     c.f64(),
+		})
+	}
+	if c.err != nil {
+		return nil
+	}
+	p, err := b.Build()
+	if err != nil {
+		c.fail("shipped pattern: %v", err)
+		return nil
+	}
+	return p
 }
 
 func (c *cursor) match() *match.Match {

@@ -12,8 +12,34 @@ import (
 	"acep/internal/engine"
 	"acep/internal/event"
 	"acep/internal/match"
+	"acep/internal/pattern"
 	"acep/internal/stats"
 )
+
+// sampleSchema and samplePattern exercise the pattern-shipping payload of
+// Assign/Reassign frames: negation, Kleene, unary and binary predicates.
+func sampleSchema() *event.Schema {
+	s := event.NewSchema()
+	s.MustAddType("A", "key", "v")
+	s.MustAddType("B", "key", "v")
+	s.MustAddType("C", "key")
+	return s
+}
+
+func samplePattern(s *event.Schema) *pattern.Pattern {
+	b := pattern.NewBuilder(s, pattern.Seq, 300)
+	a := b.Event(0)
+	k := b.Event(1)
+	b.Kleene(k)
+	n := b.Event(2)
+	b.Negate(n)
+	c := b.Event(1)
+	b.WhereEq(a, "key", c, "key")
+	b.Where(a, "key", pattern.EQ, k, "key", 0)
+	b.Where(a, "key", pattern.EQ, n, "key", 0)
+	b.WhereConst(a, "v", pattern.GT, 0.5)
+	return b.MustBuild()
+}
 
 // sampleEvent builds an event exercising varint edge shapes: type 0,
 // negative-capable TS, large Seq, NaN and -0.0 attribute bit patterns.
@@ -35,12 +61,27 @@ func frames() []Frame {
 	for i := 0; i < 2000; i++ {
 		q.Add(float64(i % 97))
 	}
+	s := sampleSchema()
+	p := samplePattern(s)
+	orPat, err := pattern.NewOr(samplePattern(s), samplePattern(s))
+	if err != nil {
+		panic(err)
+	}
 	return []Frame{
 		Hello{Version: Version, Shards: 4, PatternSig: 0xdeadbeefcafef00d},
 		Hello{},
 		Assign{Base: 6, Total: 12},
+		Assign{Base: 0, Total: 4, Pattern: p, Schema: s},
+		Assign{Base: 0, Total: 4, Pattern: orPat, Schema: s},
 		Batch{UpTo: 1 << 50},
 		Batch{UpTo: 42, Events: []event.Event{ev, ev2}},
+		Heartbeat{UpTo: 77},
+		Reassign{
+			Base: 2, Shards: 2, Total: 6,
+			SuppressUpTo: 1234, ReplayUpTo: 5678,
+			Pattern: p, Schema: s,
+		},
+		RecoveryDone{UpTo: math.MaxUint64},
 		Watermark{UpTo: math.MaxUint64},
 		TaggedMatch{Seq: 7, M: &match.Match{Events: []*event.Event{&ev, nil, &ev2}}},
 		TaggedMatch{Seq: math.MaxUint64, M: &match.Match{
@@ -183,6 +224,99 @@ func TestDecodeCorrupt(t *testing.T) {
 	b[0]++ // grow the declared payload length over the junk byte
 	if _, _, err := Decode(b); err == nil {
 		t.Error("trailing byte inside declared length accepted")
+	}
+}
+
+// TestBatchDeltaCompact: on a realistic cut (monotone timestamps,
+// consecutive sequence numbers) the delta encoding spends one byte per
+// timestamp and one per sequence number; the absolute v1 layout needed
+// up to five of each. The frame must stay well under the absolute size.
+func TestBatchDeltaCompact(t *testing.T) {
+	evs := make([]event.Event, 1000)
+	absolute := 0
+	for i := range evs {
+		evs[i] = event.Event{
+			Type:  i % 5,
+			TS:    event.Time(1 << 40),
+			Seq:   uint64(1<<50 + i),
+			Attrs: []float64{float64(i)},
+		}
+		absolute = len(appendEvent(nil, &evs[i]))
+	}
+	b := Append(nil, Batch{UpTo: 1<<50 + 1000, Events: evs})
+	perEvent := (len(b) - 16) / len(evs)
+	if perEvent >= absolute {
+		t.Fatalf("delta batch spends %d bytes/event, absolute layout %d", perEvent, absolute)
+	}
+	// And it still round-trips exactly.
+	f, _, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.(Batch); !reflect.DeepEqual(got.Events, evs) {
+		t.Fatal("delta batch round-trip mismatch")
+	}
+}
+
+// TestBatchDeltaNonMonotone: the codec must round-trip batches whose
+// timestamps or sequence numbers go backwards (the deltas are signed and
+// wrap in two's complement), even though the cluster never produces them.
+func TestBatchDeltaNonMonotone(t *testing.T) {
+	evs := []event.Event{
+		{Type: 1, TS: 100, Seq: math.MaxUint64},
+		{Type: 2, TS: -50, Seq: 3},
+		{Type: 0, TS: -50, Seq: 1},
+	}
+	b := Append(nil, Batch{UpTo: 0, Events: evs})
+	f, n, err := Decode(b)
+	if err != nil || n != len(b) {
+		t.Fatalf("decode: %v (consumed %d/%d)", err, n, len(b))
+	}
+	if got := f.(Batch); !reflect.DeepEqual(got.Events, evs) {
+		t.Fatalf("round-trip mismatch: %#v", f)
+	}
+}
+
+// TestPatternShipping: a shipped pattern and schema rebuild into
+// semantically identical structures — same textual rendering, same
+// type/attribute registry — and an Assign without payload stays nil.
+func TestPatternShipping(t *testing.T) {
+	s := sampleSchema()
+	p := samplePattern(s)
+	f, _, err := Decode(Append(nil, Assign{Base: 1, Total: 3, Pattern: p, Schema: s}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.(Assign)
+	if got.Pattern == nil || got.Pattern.String() != p.String() {
+		t.Fatalf("shipped pattern renders %q, want %q", got.Pattern, p)
+	}
+	if got.Schema == nil || got.Schema.NumTypes() != s.NumTypes() {
+		t.Fatal("shipped schema lost types")
+	}
+	for i := 0; i < s.NumTypes(); i++ {
+		if got.Schema.TypeName(i) != s.TypeName(i) ||
+			!reflect.DeepEqual(got.Schema.Attrs(i), s.Attrs(i)) {
+			t.Fatalf("type %d: %q/%v, want %q/%v", i,
+				got.Schema.TypeName(i), got.Schema.Attrs(i), s.TypeName(i), s.Attrs(i))
+		}
+	}
+
+	f, _, err = Decode(Append(nil, Assign{Base: 1, Total: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.(Assign); got.Pattern != nil || got.Schema != nil {
+		t.Fatal("payload-free assign grew a pattern or schema")
+	}
+
+	// A shipped pattern that fails builder validation (predicate position
+	// out of range) is a decode error, not a bad pattern object.
+	bad := samplePattern(s)
+	bad.Preds = append([]pattern.Pred(nil), bad.Preds...)
+	bad.Preds[0].L = 99
+	if _, _, err := Decode(Append(nil, Assign{Pattern: bad, Schema: s})); err == nil {
+		t.Fatal("invalid shipped pattern accepted")
 	}
 }
 
