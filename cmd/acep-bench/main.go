@@ -42,6 +42,18 @@
 // throughput dip:
 //
 //	acep-bench -exp failover-traffic -json BENCH_failover.json
+//
+// hotpath-traffic and hotpath-stocks measure the single-engine hot path:
+// per-event cost (events/sec, B/event, allocs/event) of a raw
+// static-plan engine for the sequence, negation and Kleene families on
+// both engine models, oracle-verified before timing:
+//
+//	acep-bench -exp hotpath-traffic -phase after -json BENCH_hotpath.json
+//
+// -cpuprofile and -memprofile write pprof profiles covering the
+// experiment runs, so perf changes can carry evidence:
+//
+//	acep-bench -exp hotpath-traffic -cpuprofile cpu.pb.gz
 package main
 
 import (
@@ -49,6 +61,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -71,6 +85,9 @@ func main() {
 		shedPo = flag.String("shed", "", "comma-separated shedding policies for shed-* experiments (default all: random,rate-utility,pattern-aware)")
 		qcap   = flag.Int("queue-cap", 0, "bounded per-shard drop-newest ingestion queue (events) for shed-* experiments (0 = unsharded, deterministic)")
 		jsonMD = flag.String("json", "", "append scale-*/shed-* results to this BENCH_*.json trajectory file")
+		phase  = flag.String("phase", "after", "phase label recorded by hotpath-* experiments (e.g. before/after an optimization)")
+		cpupro = flag.String("cpuprofile", "", "write a CPU profile covering the experiment runs to this file")
+		mempro = flag.String("memprofile", "", "write a heap profile after the experiment runs to this file")
 	)
 	flag.Parse()
 
@@ -78,7 +95,8 @@ func main() {
 		ids := append(bench.ExperimentIDs(), bench.ScalingIDs()...)
 		ids = append(ids, bench.SheddingIDs()...)
 		ids = append(ids, bench.ClusterIDs()...)
-		for _, id := range append(ids, bench.FailoverIDs()...) {
+		ids = append(ids, bench.FailoverIDs()...)
+		for _, id := range append(ids, bench.HotpathIDs()...) {
 			fmt.Println(id)
 		}
 		return
@@ -117,28 +135,86 @@ func main() {
 		ids = append(ids, bench.SheddingIDs()...)
 		ids = append(ids, bench.ClusterIDs()...)
 		ids = append(ids, bench.FailoverIDs()...)
+		ids = append(ids, bench.HotpathIDs()...)
+	}
+	// Profile lifecycle and the experiment loop live in one function so
+	// its defers — the CPU profile trailer, the heap snapshot — run even
+	// when an experiment errors; os.Exit only happens after they fire
+	// (a failing run is exactly when the profile is wanted).
+	if err := runAll(ids, h, r, flags{
+		shards: *shards, nodes: *nodes, batch: *batch, qcap: *qcap,
+		shedPo: *shedPo, phase: *phase, jsonMD: *jsonMD,
+		cpupro: *cpupro, mempro: *mempro,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "acep-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// flags carries the experiment-tuning CLI values into runAll.
+type flags struct {
+	shards, nodes, batch, qcap int
+	shedPo, phase, jsonMD      string
+	cpupro, mempro             string
+}
+
+func runAll(ids []string, h *bench.Harness, r *bench.Runner, fl flags) error {
+	if fl.cpupro != "" {
+		f, err := os.Create(fl.cpupro)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if fl.mempro != "" {
+		defer func() {
+			if err := writeHeapProfile(fl.mempro); err != nil {
+				fmt.Fprintf(os.Stderr, "acep-bench: heap profile: %v\n", err)
+			}
+		}()
 	}
 	for _, id := range ids {
 		fmt.Printf("=== %s ===\n", id)
 		var err error
 		switch {
 		case contains(bench.ScalingIDs(), id):
-			err = runScaling(h, id, *shards, *batch, *jsonMD)
+			err = runScaling(h, id, fl.shards, fl.batch, fl.jsonMD)
 		case contains(bench.SheddingIDs(), id):
-			err = runShedding(h, id, *shedPo, *qcap, *jsonMD)
+			err = runShedding(h, id, fl.shedPo, fl.qcap, fl.jsonMD)
 		case contains(bench.ClusterIDs(), id):
-			err = runCluster(h, id, *nodes, *shards, *batch, *jsonMD)
+			err = runCluster(h, id, fl.nodes, fl.shards, fl.batch, fl.jsonMD)
 		case contains(bench.FailoverIDs(), id):
-			err = runFailover(h, id, *nodes, *shards, *batch, *jsonMD)
+			err = runFailover(h, id, fl.nodes, fl.shards, fl.batch, fl.jsonMD)
+		case contains(bench.HotpathIDs(), id):
+			err = runHotpath(h, id, fl.phase, fl.jsonMD)
 		default:
 			err = r.Run(os.Stdout, id)
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "acep-bench: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Println()
 	}
+	return nil
+}
+
+// writeHeapProfile records the post-run heap (after a final GC, so live
+// retention — not transient garbage — is what the profile shows).
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 func contains(ids []string, id string) bool {
@@ -215,6 +291,19 @@ func runFailover(h *bench.Harness, id string, nodes, shardsPerNode, batch int, j
 	}
 	dataset := strings.TrimPrefix(id, "failover-")
 	d, err := h.Failover(dataset, sweeps, shardsPerNode, batch)
+	if err != nil {
+		return err
+	}
+	d.Write(os.Stdout)
+	return appendJSON(jsonPath, d.WriteJSON)
+}
+
+// runHotpath executes one hotpath-* experiment, printing the per-cell
+// cost table and optionally appending the run (labelled with the CLI's
+// phase) to a BENCH_*.json trajectory.
+func runHotpath(h *bench.Harness, id, phase, jsonPath string) error {
+	dataset := strings.TrimPrefix(id, "hotpath-")
+	d, err := h.Hotpath(dataset, phase)
 	if err != nil {
 		return err
 	}

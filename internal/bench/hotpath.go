@@ -1,0 +1,245 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"sort"
+	"time"
+
+	"acep/internal/engine"
+	"acep/internal/event"
+	"acep/internal/gen"
+	"acep/internal/match"
+	"acep/internal/nfa"
+	"acep/internal/oracle"
+	"acep/internal/pattern"
+	"acep/internal/plan"
+	"acep/internal/planner"
+	"acep/internal/stats"
+	"acep/internal/tree"
+)
+
+// HotpathIDs lists the single-engine hot-path experiments (not part of
+// the paper's figure set): per-event cost of the steady-state inner loop,
+// measured as throughput and allocation rate on a static plan, with the
+// adaptation machinery out of the picture.
+func HotpathIDs() []string { return []string{"hotpath-traffic", "hotpath-stocks"} }
+
+// HotpathKinds lists the pattern families the hot-path experiment covers.
+func HotpathKinds() []gen.Kind { return []gen.Kind{gen.Sequence, gen.Negation, gen.Kleene} }
+
+// HotpathPoint is one measured (pattern kind, engine model) cell.
+type HotpathPoint struct {
+	Kind           string  `json:"kind"`
+	Model          string  `json:"model"`
+	Throughput     float64 `json:"events_per_sec"`
+	BytesPerEvent  float64 `json:"b_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	Matches        uint64  `json:"matches"`
+	PMCreated      uint64  `json:"pm_created"`
+	ElapsedMS      float64 `json:"elapsed_ms"`
+}
+
+// HotpathData is one recorded hot-path run. Phase labels the engine
+// generation ("before"/"after" an optimization lands); runs accrue in
+// BENCH_hotpath.json so per-event cost is tracked across changes. Match
+// counts are part of the record: an optimization that changes any cell's
+// match count against an earlier phase has changed the semantics, not
+// just the speed.
+type HotpathData struct {
+	Phase   string         `json:"phase"`
+	Dataset string         `json:"dataset"`
+	Events  int            `json:"events"`
+	Window  event.Time     `json:"window"`
+	Cores   int            `json:"cores"`
+	Points  []HotpathPoint `json:"points"`
+}
+
+// hotEval is the surface of a raw (non-adaptive) evaluation engine.
+type hotEval interface {
+	Process(*event.Event)
+	Finish()
+	Stats() nfa.Stats
+}
+
+// newStaticEval builds a raw engine over a plan generated once from exact
+// statistics on the stream prefix — the steady-state inner loop with no
+// adaptation machinery around it. When owned is set the emit callback is
+// declared non-retaining, enabling the engines' recycling paths.
+func newStaticEval(pat *pattern.Pattern, model engine.Model, snap *stats.Snapshot, owned bool, emit func(*match.Match)) (hotEval, error) {
+	switch model {
+	case engine.GreedyNFA:
+		res := planner.Greedy{}.Generate(pat, snap)
+		op, ok := res.Plan.(*plan.OrderPlan)
+		if !ok {
+			return nil, fmt.Errorf("bench: greedy produced %T, want *plan.OrderPlan", res.Plan)
+		}
+		g := nfa.New(pat, op, emit)
+		if owned {
+			g.SetOwnedEmit(true)
+		}
+		return g, nil
+	case engine.ZStreamTree:
+		res := planner.ZStream{}.Generate(pat, snap)
+		tp, ok := res.Plan.(*plan.TreePlan)
+		if !ok {
+			return nil, fmt.Errorf("bench: zstream produced %T, want *plan.TreePlan", res.Plan)
+		}
+		g := tree.New(pat, tp, emit)
+		if owned {
+			g.SetOwnedEmit(true)
+		}
+		return g, nil
+	default:
+		return nil, fmt.Errorf("bench: unknown model %v", model)
+	}
+}
+
+// Hotpath measures the per-event cost of the steady-state hot path on one
+// dataset: for every pattern family in HotpathKinds and both engine
+// models, a full pass of the workload through a raw static-plan engine,
+// reporting wall-clock throughput and the heap allocation rate
+// (bytes/event and allocs/event via runtime.MemStats deltas).
+//
+// Correctness is locked before anything is timed: each (kind, model) cell
+// is first cross-checked against the brute-force oracle on a small
+// workload of the same regime, and within a kind both models must report
+// the identical match count on the full measured stream.
+func (h *Harness) Hotpath(dataset, phase string) (*HotpathData, error) {
+	w := h.Workload(dataset)
+	data := &HotpathData{
+		Phase:   phase,
+		Dataset: dataset,
+		Events:  len(w.Events),
+		Window:  h.Scale.Window,
+		Cores:   runtime.NumCPU(),
+	}
+	models := []engine.Model{engine.GreedyNFA, engine.ZStreamTree}
+	for _, kind := range HotpathKinds() {
+		pat, err := w.Pattern(kind, 4, h.Scale.Window)
+		if err != nil {
+			return nil, err
+		}
+		snap := stats.Exact(pat, w.Events[:len(w.Events)/20+1])
+		var kindMatches [2]uint64
+		for mi, model := range models {
+			if err := verifyHotpath(dataset, kind, model); err != nil {
+				return nil, err
+			}
+			var matches uint64
+			eng, err := newStaticEval(pat, model, snap, hotpathOwnedEmit, func(*match.Match) { matches++ })
+			if err != nil {
+				return nil, err
+			}
+			var m0, m1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
+			start := time.Now()
+			for i := range w.Events {
+				eng.Process(&w.Events[i])
+			}
+			eng.Finish()
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&m1)
+			st := eng.Stats()
+			n := float64(len(w.Events))
+			data.Points = append(data.Points, HotpathPoint{
+				Kind:           kind.String(),
+				Model:          Combo{Model: model}.modelName(),
+				Throughput:     n / elapsed.Seconds(),
+				BytesPerEvent:  float64(m1.TotalAlloc-m0.TotalAlloc) / n,
+				AllocsPerEvent: float64(m1.Mallocs-m0.Mallocs) / n,
+				Matches:        matches,
+				PMCreated:      st.PMCreated,
+				ElapsedMS:      float64(elapsed.Microseconds()) / 1000,
+			})
+			kindMatches[mi] = matches
+		}
+		if kindMatches[0] != kindMatches[1] {
+			return nil, fmt.Errorf("bench: hotpath %s/%s: nfa found %d matches, tree %d — the engines diverged",
+				dataset, kind, kindMatches[0], kindMatches[1])
+		}
+	}
+	return data, nil
+}
+
+// hotpathOwnedEmit flags whether the measured engines run with the
+// owned-emit (recycling) contract. The bench callback only counts, so
+// owning is always safe here; the flag exists so a phase="before"
+// record can be reproduced against engine generations without the knob.
+const hotpathOwnedEmit = true
+
+// modelName renders just the algorithm half of a combo name.
+func (c Combo) modelName() string {
+	if c.Model == engine.ZStreamTree {
+		return "zstream"
+	}
+	return "greedy"
+}
+
+// verifyHotpath cross-checks one (dataset, kind, model) cell against the
+// brute-force oracle on a small workload of the same regime, in both
+// emit modes: the default (retaining) path via oracle.Keys, and the
+// owned-emit (recycling) path — the one the measurement actually times —
+// by computing each match's canonical key inside the callback, before
+// the resolver reclaims the match's storage. A recycling bug that
+// corrupts match contents while preserving counts fails here.
+func verifyHotpath(dataset string, kind gen.Kind, model engine.Model) error {
+	var w *gen.Workload
+	switch dataset {
+	case "traffic":
+		w = gen.Traffic(gen.TrafficConfig{Types: 5, Events: 1200, Seed: 13, Shifts: 1, MeanGap: 3})
+	case "stocks":
+		w = gen.Stocks(gen.StocksConfig{Types: 5, Events: 1200, Seed: 13, MeanGap: 3})
+	default:
+		return fmt.Errorf("bench: unknown dataset %q", dataset)
+	}
+	pat, err := w.Pattern(kind, 3, 40)
+	if err != nil {
+		return err
+	}
+	snap := stats.Exact(pat, w.Events[:len(w.Events)/10+1])
+	want := oracle.Keys(oracle.Matches(pat, w.Events))
+	for _, owned := range []bool{false, true} {
+		keys := make([]string, 0, len(want))
+		eng, err := newStaticEval(pat, model, snap, owned, func(m *match.Match) {
+			keys = append(keys, m.Key())
+		})
+		if err != nil {
+			return err
+		}
+		for i := range w.Events {
+			eng.Process(&w.Events[i])
+		}
+		eng.Finish()
+		sort.Strings(keys)
+		if !reflect.DeepEqual(keys, want) {
+			return fmt.Errorf("bench: hotpath %s/%s/%v (owned=%v): engine found %d matches, oracle %d — refusing to time a wrong engine",
+				dataset, kind, model, owned, len(keys), len(want))
+		}
+	}
+	return nil
+}
+
+// Write prints the hot-path table.
+func (d *HotpathData) Write(w io.Writer) {
+	fmt.Fprintf(w, "Hot path (%s) — %s workload, %d events, window %d, %d cores\n",
+		d.Phase, d.Dataset, d.Events, d.Window, d.Cores)
+	fmt.Fprintf(w, "%-12s%-10s%14s%12s%14s%10s%12s\n",
+		"kind", "model", "events/sec", "B/event", "allocs/event", "matches", "PMs")
+	for _, p := range d.Points {
+		fmt.Fprintf(w, "%-12s%-10s%14.0f%12.1f%14.4f%10d%12d\n",
+			p.Kind, p.Model, p.Throughput, p.BytesPerEvent, p.AllocsPerEvent, p.Matches, p.PMCreated)
+	}
+}
+
+// WriteJSON appends the run to a BENCH_*.json trajectory (one JSON object
+// per invocation).
+func (d *HotpathData) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

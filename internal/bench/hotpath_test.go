@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"testing"
+
+	"acep/internal/engine"
+	"acep/internal/gen"
+	"acep/internal/match"
+	"acep/internal/stats"
+)
+
+// TestHotpathSmall runs the hot-path experiment end to end at a small
+// scale: every cell is oracle-verified inside Hotpath, and the two
+// models must agree on the full measured stream, so a pass here is a
+// real correctness statement about the optimized engines.
+func TestHotpathSmall(t *testing.T) {
+	h := NewHarness(Scale{
+		Events: 6000, Sizes: []int{3, 4}, Seed: 1, Window: 150,
+		CheckEvery: 500, Types: 10,
+	})
+	d, err := h.Hotpath("traffic", "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(HotpathKinds()) * 2; len(d.Points) != want {
+		t.Fatalf("got %d points, want %d", len(d.Points), want)
+	}
+	for _, p := range d.Points {
+		if p.Throughput <= 0 {
+			t.Fatalf("%s/%s: non-positive throughput", p.Kind, p.Model)
+		}
+	}
+}
+
+// BenchmarkHotpathNFA and BenchmarkHotpathTree time one full pass of the
+// stocks workload (the dense one) through a raw static-plan engine —
+// the cell the hotpath-* experiments measure. The CI bench smoke runs
+// these with -benchtime=10x so the harness cannot rot.
+func BenchmarkHotpathNFA(b *testing.B)  { benchmarkHotpath(b, engine.GreedyNFA) }
+func BenchmarkHotpathTree(b *testing.B) { benchmarkHotpath(b, engine.ZStreamTree) }
+
+func benchmarkHotpath(b *testing.B, model engine.Model) {
+	h := NewHarness(Scale{
+		Events: 20000, Sizes: []int{4}, Seed: 1, Window: 150,
+		CheckEvery: 500, Types: 10,
+	})
+	w := h.Workload("stocks")
+	pat, err := w.Pattern(gen.Sequence, 4, h.Scale.Window)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := stats.Exact(pat, w.Events[:len(w.Events)/20+1])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var matches uint64
+		eng, err := newStaticEval(pat, model, snap, true, func(*match.Match) { matches++ })
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range w.Events {
+			eng.Process(&w.Events[j])
+		}
+		eng.Finish()
+		if matches == 0 {
+			b.Fatal("no matches; the measured path is vacuous")
+		}
+	}
+	b.SetBytes(int64(len(w.Events))) // events/sec shows as MB/s × 1e6
+}

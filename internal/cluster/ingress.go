@@ -66,6 +66,16 @@ type Ingress struct {
 	dead      []bool
 	abandoned []bool // degraded with no successor: stop journaling its events
 
+	// Cut pipelining: each sealed cut's frames are encoded and sent by
+	// per-node goroutines while the coordinator returns to accumulating
+	// the next cut. sendWG is the in-flight cut; sendErr[n] is node n's
+	// send failure, acted on at the next barrier (waitSends). Per-node
+	// frame order is preserved because a new cut's sends only launch
+	// after the barrier, and all failover machinery (which closes,
+	// replaces and replays connections) runs strictly behind it.
+	sendWG  sync.WaitGroup
+	sendErr []error
+
 	col     *shard.Collector
 	readers sync.WaitGroup
 
@@ -151,6 +161,7 @@ func NewIngress(pat *pattern.Pattern, conns []Conn, opts IngressOptions) (*Ingre
 		key:         key,
 		batch:       opts.Batch,
 		bufs:        make([][]event.Event, len(conns)),
+		sendErr:     make([]error, len(conns)),
 		dead:        make([]bool, len(conns)),
 		abandoned:   make([]bool, len(conns)),
 		nodeShards:  make([]int, len(conns)),
@@ -355,14 +366,18 @@ func (in *Ingress) Process(ev *event.Event) {
 	}
 }
 
-// cutAll seals the current cut: pending failures are handled first (so
-// their replay ends at the previous cut and this one rides the normal
-// send), the cut is journaled when recovery is on, and then every live
-// node receives its accumulated events (possibly none) and the global
-// watermark. A send failure with recovery configured fails over on the
-// spot — the successor receives the just-journaled cut through replay,
-// so the normal send is skipped for it.
+// cutAll seals the current cut: the previous cut's pipelined sends are
+// barriered first and their failures — together with pending reader
+// suspects — handled (so a failover's replay ends at the previous cut
+// and this one rides the normal send), the cut is journaled when
+// recovery is on, and then every live node's frame — carrying its
+// accumulated events (possibly none) and the global watermark — is
+// encoded and sent by a per-node goroutine while the coordinator goes
+// back to ingesting. A send failure surfaces at the next barrier and
+// fails over there; the successor receives the journaled cuts through
+// replay.
 func (in *Ingress) cutAll() {
+	in.waitSends()
 	in.checkSuspects()
 	if in.journal != nil {
 		for n := range in.bufs {
@@ -373,19 +388,41 @@ func (in *Ingress) cutAll() {
 		in.journal.Advance(in.released.Load())
 		in.journal.Append(in.bufs, in.lastSeq)
 	}
+	upTo := in.lastSeq
 	for n, c := range in.conns {
+		evs := in.bufs[n]
+		in.bufs[n] = nil
 		if in.dead[n] {
-			in.bufs[n] = nil
 			continue
 		}
-		if err := c.Send(wire.Batch{UpTo: in.lastSeq, Events: in.bufs[n]}); err != nil {
-			in.fail(n, fmt.Errorf("cluster: sending cut to node %d: %w", n, err))
-		} else {
-			in.det.Sent(n)
-		}
-		in.bufs[n] = nil
+		in.det.Sent(n)
+		in.sendWG.Add(1)
+		go func(n int, c Conn, evs []event.Event) {
+			defer in.sendWG.Done()
+			if err := c.Send(wire.Batch{UpTo: upTo, Events: evs}); err != nil {
+				in.sendErr[n] = err
+			}
+		}(n, c, evs)
 	}
 	in.pending = 0
+}
+
+// waitSends is the pipeline barrier: it blocks until the in-flight cut's
+// sends complete and routes any send failure into the failover (or
+// record-and-drain) path. All connection mutation — close, replace,
+// replay — happens behind this barrier, which is what keeps per-node
+// frame order and the one-writer-per-connection discipline intact.
+func (in *Ingress) waitSends() {
+	in.sendWG.Wait()
+	for n, err := range in.sendErr {
+		if err == nil {
+			continue
+		}
+		in.sendErr[n] = nil
+		if !in.dead[n] {
+			in.fail(n, fmt.Errorf("cluster: sending cut to node %d: %w", n, err))
+		}
+	}
 }
 
 // finishNodes delivers the Finish frame to every live node that has not
@@ -423,6 +460,10 @@ func (in *Ingress) Finish() error {
 	}
 	in.finished = true
 	in.cutAll()
+	// Barrier the final cut's pipelined sends before the Finish frames:
+	// per-node ordering requires the last Batch to hit the wire first,
+	// and a send failure must fail over before the drain begins.
+	in.waitSends()
 	in.finishNodes()
 	if in.rec == nil {
 		in.readers.Wait()

@@ -29,18 +29,17 @@ func (b *Buffer) Add(ev *event.Event) {
 // Len reports the number of live events.
 func (b *Buffer) Len() int { return len(b.evs) - b.start }
 
-// Prune drops all events with TS < horizon and compacts the backing
-// slice when the dead prefix grows large.
+// Prune drops all events with TS < horizon by advancing the live-prefix
+// index; the dead prefix is released in bulk when compaction runs (and,
+// for arena-interned events, by whole-chunk arena release), never by a
+// per-element nil-out walk.
 func (b *Buffer) Prune(horizon event.Time) {
 	for b.start < len(b.evs) && b.evs[b.start].TS < horizon {
-		b.evs[b.start] = nil // release for GC
 		b.start++
 	}
 	if b.start > 64 && b.start*2 >= len(b.evs) {
 		n := copy(b.evs, b.evs[b.start:])
-		for i := n; i < len(b.evs); i++ {
-			b.evs[i] = nil
-		}
+		clear(b.evs[n:]) // release the tail for GC in one shot
 		b.evs = b.evs[:n]
 		b.start = 0
 	}

@@ -21,6 +21,11 @@ import (
 // is last in the sequence). Such matches are parked and resolved when the
 // watermark passes the scope end, which is what makes absence claims and
 // maximal Kleene sets safe under timestamp-ordered input.
+//
+// Core assignments handed to OnCoreComplete are copied into pooled
+// slices, and dropped matches recycle theirs; with SetOwned the emission
+// path recycles too (the Match struct, its core slice and its Kleene
+// sets), making steady-state resolution allocation-free.
 type Resolver struct {
 	pat *pattern.Pattern
 	w   event.Time
@@ -29,7 +34,13 @@ type Resolver struct {
 	bufs      []*Buffer      // per pattern position; non-nil at residuals
 	pending   []pendingMatch // FIFO by completion
 
-	emit func(*Match)
+	emit  func(*Match)
+	owned bool // emit retains nothing past its return
+
+	scratch   Match              // reused emission struct (owned mode)
+	freeCores [][]*event.Event   // pooled core-assignment slices
+	freeSets  [][]*event.Event   // pooled Kleene per-position sets
+	freeOut   [][][]*event.Event // pooled Kleene outer arrays
 
 	// Emitted counts matches delivered; Dropped counts core-complete
 	// matches discarded by residual constraints; PredEvals counts
@@ -62,23 +73,44 @@ func NewResolver(pat *pattern.Pattern, emit func(*Match)) *Resolver {
 	return r
 }
 
+// SetOwned declares that the emit callback consumes each match
+// synchronously and retains neither the Match nor any slice or event
+// reachable from it past its return. The resolver then reuses the
+// emission Match and recycles core and Kleene storage after every emit.
+func (r *Resolver) SetOwned(owned bool) { r.owned = owned }
+
 // HasResiduals reports whether the pattern has any negated or Kleene
 // positions.
 func (r *Resolver) HasResiduals() bool { return len(r.residuals) > 0 }
 
 // Observe offers an input event to the residual buffers. Events are kept
 // only for residual positions whose type matches and whose unary
-// predicates pass.
+// predicates pass. Engines that dispatch by type and intern the events
+// they keep use Wants + AddResidual instead.
 func (r *Resolver) Observe(ev *event.Event) {
 	for _, p := range r.residuals {
 		if r.pat.Positions[p].Type != ev.Type {
 			continue
 		}
-		if !UnaryOK(r.pat, p, ev, &r.PredEvals) {
-			continue
+		if r.Wants(p, ev) {
+			r.AddResidual(p, ev)
 		}
-		r.bufs[p].Add(ev)
 	}
+}
+
+// Wants reports whether residual position p would buffer ev: p has a
+// residual buffer and its unary predicates accept the event. The type is
+// the caller's responsibility (engines dispatch by type). Splitting the
+// test from AddResidual lets an engine intern only accepted events.
+func (r *Resolver) Wants(p int, ev *event.Event) bool {
+	return r.bufs[p] != nil && r.pat.UnaryOk(p, ev, &r.PredEvals)
+}
+
+// AddResidual stores ev in residual position p's buffer. The caller has
+// checked Wants and guarantees ev stays valid for the resolver's
+// retention horizon (engines pass arena-interned events).
+func (r *Resolver) AddResidual(p int, ev *event.Event) {
+	r.bufs[p].Add(ev)
 }
 
 // scope computes the temporal scope of residual position p for the given
@@ -115,15 +147,44 @@ func (r *Resolver) scope(p int, core []*event.Event, minTS, maxTS event.Time) (l
 	return lo, hi, loExcl, hiExcl, ready
 }
 
+// newCore returns a pooled (or fresh) core-assignment slice holding a
+// copy of src.
+func (r *Resolver) newCore(src []*event.Event) []*event.Event {
+	var cp []*event.Event
+	if n := len(r.freeCores); n > 0 {
+		cp = r.freeCores[n-1]
+		r.freeCores[n-1] = nil
+		r.freeCores = r.freeCores[:n-1]
+	} else {
+		cp = make([]*event.Event, len(src))
+	}
+	copy(cp, src)
+	return cp
+}
+
+// putCore recycles a core slice obtained from newCore, cleared so an
+// idle pool entry never pins released arena chunks.
+func (r *Resolver) putCore(core []*event.Event) {
+	clear(core)
+	r.freeCores = append(r.freeCores, core)
+}
+
 // OnCoreComplete accepts a core-complete assignment (events at every core
 // position, nil elsewhere). If every residual scope is already closed at
 // the watermark the match resolves immediately; otherwise it is parked.
-// The assignment slice is copied.
+// The assignment slice is only read during the call.
 func (r *Resolver) OnCoreComplete(core []*event.Event, watermark event.Time) {
 	if len(r.residuals) == 0 {
-		m := &Match{Events: append([]*event.Event(nil), core...)}
 		r.Emitted++
-		r.emit(m)
+		if r.owned {
+			// The emit consumes the match synchronously, so the caller's
+			// slice can back it directly — no copy, nothing retained.
+			r.scratch = Match{Events: core}
+			r.emit(&r.scratch)
+			r.scratch = Match{}
+			return
+		}
+		r.emit(&Match{Events: append([]*event.Event(nil), core...)})
 		return
 	}
 	minTS, maxTS := coreSpan(core)
@@ -134,7 +195,7 @@ func (r *Resolver) OnCoreComplete(core []*event.Event, watermark event.Time) {
 			readyAt = ready
 		}
 	}
-	cp := append([]*event.Event(nil), core...)
+	cp := r.newCore(core)
 	if readyAt <= watermark {
 		r.resolve(cp)
 		return
@@ -159,8 +220,54 @@ func coreSpan(core []*event.Event) (minTS, maxTS event.Time) {
 	return minTS, maxTS
 }
 
-// resolve evaluates all residual constraints for a core assignment and
-// emits or drops the match.
+// getSet returns a pooled (or fresh) empty Kleene set.
+func (r *Resolver) getSet() []*event.Event {
+	if n := len(r.freeSets); n > 0 {
+		s := r.freeSets[n-1]
+		r.freeSets[n-1] = nil
+		r.freeSets = r.freeSets[:n-1]
+		return s[:0]
+	}
+	return nil
+}
+
+// getOuter returns a pooled (or fresh) nil-filled Kleene outer array of
+// length n.
+func (r *Resolver) getOuter(n int) [][]*event.Event {
+	if k := len(r.freeOut); k > 0 && cap(r.freeOut[k-1]) >= n {
+		o := r.freeOut[k-1][:n]
+		r.freeOut[k-1] = nil
+		r.freeOut = r.freeOut[:k-1]
+		clear(o)
+		return o
+	}
+	return make([][]*event.Event, n)
+}
+
+// putSet recycles one Kleene set, clearing its event pointers so a
+// pooled backing array never pins released arena chunks while it sits
+// unused (beyond-len entries are nil by induction: every put clears).
+func (r *Resolver) putSet(s []*event.Event) {
+	clear(s)
+	r.freeSets = append(r.freeSets, s)
+}
+
+// recycleKleene returns a match's Kleene storage to the pools.
+func (r *Resolver) recycleKleene(kleene [][]*event.Event) {
+	if kleene == nil {
+		return
+	}
+	for i, s := range kleene {
+		if s != nil {
+			r.putSet(s)
+			kleene[i] = nil
+		}
+	}
+	r.freeOut = append(r.freeOut, kleene)
+}
+
+// resolve evaluates all residual constraints for a core assignment
+// (always a pooled slice from newCore) and emits or drops the match.
 func (r *Resolver) resolve(core []*event.Event) {
 	minTS, maxTS := coreSpan(core)
 	var kleene [][]*event.Event
@@ -168,6 +275,9 @@ func (r *Resolver) resolve(core []*event.Event) {
 		lo, hi, loExcl, hiExcl, _ := r.scope(p, core, minTS, maxTS)
 		neg := r.pat.Positions[p].Neg
 		var set []*event.Event
+		if !neg {
+			set = r.getSet()
+		}
 		ok := true
 		r.bufs[p].Scan(lo, hi, loExcl, hiExcl, func(ev *event.Event) bool {
 			if !r.residualMatches(p, ev, core) {
@@ -180,50 +290,52 @@ func (r *Resolver) resolve(core []*event.Event) {
 			set = append(set, ev)
 			return true
 		})
-		if !ok {
+		if !ok || (!neg && len(set) == 0) {
+			// Negated event present, or Kleene with an empty set: the
+			// match dies and everything it borrowed is recycled.
+			if set != nil {
+				r.putSet(set)
+			}
+			r.recycleKleene(kleene)
+			r.putCore(core)
 			r.Dropped++
 			return
 		}
-		if !neg { // Kleene: at least one event required
-			if len(set) == 0 {
-				r.Dropped++
-				return
-			}
-			if kleene == nil {
-				kleene = make([][]*event.Event, len(core))
-			}
-			kleene[p] = set
+		if neg {
+			continue
 		}
+		if kleene == nil {
+			kleene = r.getOuter(len(core))
+		}
+		kleene[p] = set
 	}
 	r.Emitted++
+	if r.owned {
+		r.scratch = Match{Events: core, Kleene: kleene}
+		r.emit(&r.scratch)
+		r.scratch = Match{}
+		r.recycleKleene(kleene)
+		r.putCore(core)
+		return
+	}
 	r.emit(&Match{Events: core, Kleene: kleene})
 }
 
 // residualMatches checks the binary predicates connecting residual
-// position p to the core positions.
+// position p to the core positions, using the compiled pair tables (the
+// residual event is the "new" side; only the predicates apply — the
+// temporal scope already encodes the order constraints).
 func (r *Resolver) residualMatches(p int, ev *event.Event, core []*event.Event) bool {
-	for _, k := range r.pat.PredsTouching(p) {
-		pr := &r.pat.Preds[k]
-		if pr.IsUnary() {
-			continue // filtered at Observe
+	for q, qe := range core {
+		if qe == nil {
+			continue
 		}
-		other := pr.L
-		if other == p {
-			other = pr.R
-		}
-		oev := core[other]
-		if oev == nil {
-			continue // residual-residual predicates are rejected at build
-		}
-		r.PredEvals++
-		var l, rr *event.Event
-		if pr.L == p {
-			l, rr = ev, oev
-		} else {
-			l, rr = oev, ev
-		}
-		if !pr.Eval(l, rr) {
-			return false
+		preds := r.pat.Pair(p, q).Preds
+		for i := range preds {
+			r.PredEvals++
+			if !preds[i].Ok(ev, qe) {
+				return false
+			}
 		}
 	}
 	return true
@@ -269,7 +381,8 @@ func (r *Resolver) PendingCount() int { return len(r.pending) }
 // SeedFrom copies the residual buffers of another resolver (same
 // pattern). Plan migration uses this so a freshly deployed plan can still
 // veto matches with pre-migration negated events and build complete
-// Kleene sets.
+// Kleene sets. The copied events stay owned by the source engine's
+// arena, which the source freezes when migration begins.
 func (r *Resolver) SeedFrom(src *Resolver) {
 	for _, p := range r.residuals {
 		if src.bufs[p] != nil {

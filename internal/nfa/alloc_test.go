@@ -1,0 +1,124 @@
+package nfa
+
+import (
+	"testing"
+
+	"acep/internal/event"
+	"acep/internal/match"
+	"acep/internal/pattern"
+	"acep/internal/plan"
+)
+
+// ltChainPattern is SEQ(A,B,C,...) where each adjacent pair requires a
+// strictly increasing x, so one stream shape (x increasing) matches
+// densely and its mirror (x decreasing) never matches at all.
+func ltChainPattern(s *event.Schema, n int, window event.Time, kleeneAt int) *pattern.Pattern {
+	b := pattern.NewBuilder(s, pattern.Seq, window)
+	for i := 0; i < n; i++ {
+		b.Event(i)
+	}
+	if kleeneAt >= 0 {
+		b.Kleene(kleeneAt)
+	}
+	for i := 0; i+1 < n; i++ {
+		b.WherePred(pattern.Pred{L: i, R: i + 1, AttrL: 0, AttrR: 0, Op: pattern.LT})
+	}
+	return b.MustBuild()
+}
+
+// stepper feeds batches of round-robin-typed events through an engine,
+// reusing one event struct (the engine interns what it keeps, so the
+// caller's event is reusable immediately). sign picks increasing
+// (matching) or decreasing (never-matching) attribute values.
+type stepper struct {
+	g    *Engine
+	ev   event.Event
+	ts   event.Time
+	seq  uint64
+	n    int
+	sign float64
+}
+
+func newStepper(g *Engine, types int, sign float64) *stepper {
+	return &stepper{g: g, ev: event.Event{Attrs: make([]float64, 1)}, n: types, sign: sign}
+}
+
+func (s *stepper) run(events int) {
+	for i := 0; i < events; i++ {
+		s.ts++
+		s.seq++
+		s.ev.Type = int(s.seq) % s.n
+		s.ev.TS = s.ts
+		s.ev.Seq = s.seq
+		s.ev.Attrs[0] = s.sign * float64(s.seq)
+		s.g.Process(&s.ev)
+	}
+}
+
+// TestProcessZeroAllocsNoMatch: after warm-up, a no-match stream must
+// drive the NFA hot path — dispatch, PM creation, extension attempts,
+// buffer appends, pruning, arena interning — with zero heap allocations
+// per event. This is the allocation-regression guard for the pooled /
+// arena'd engine; any new per-event allocation fails it.
+func TestProcessZeroAllocsNoMatch(t *testing.T) {
+	s := mkSchema(3)
+	pat := ltChainPattern(s, 3, 60, -1)
+	g := New(pat, plan.NewOrderPlan([]int{0, 1, 2}), func(*match.Match) {
+		t.Fatal("no-match stream produced a match")
+	})
+	g.SetOwnedEmit(true)
+	st := newStepper(g, 3, -1)
+	st.run(20000) // reach steady state: buffers, states and arena at capacity
+	allocs := testing.AllocsPerRun(10, func() { st.run(2000) })
+	if allocs != 0 {
+		t.Fatalf("steady-state no-match Process allocated %.2f times per 2000-event run; want 0", allocs)
+	}
+}
+
+// TestProcessBoundedAllocsMatching: a densely matching stream (every
+// in-window combination completes) must stay within a small constant
+// allocation budget per event in owned-emit mode — completion, residual
+// resolution and emission all run off pools.
+func TestProcessBoundedAllocsMatching(t *testing.T) {
+	s := mkSchema(3)
+	pat := ltChainPattern(s, 3, 24, -1)
+	var matches uint64
+	g := New(pat, plan.NewOrderPlan([]int{0, 1, 2}), func(*match.Match) { matches++ })
+	g.SetOwnedEmit(true)
+	st := newStepper(g, 3, 1)
+	st.run(20000)
+	if matches == 0 {
+		t.Fatal("matching stream produced no matches; the bound would be vacuous")
+	}
+	const perRun = 2000
+	allocs := testing.AllocsPerRun(10, func() { st.run(perRun) })
+	if perEvent := allocs / perRun; perEvent > 0.05 {
+		t.Fatalf("steady-state matching Process allocated %.4f/event; want <= 0.05", perEvent)
+	}
+}
+
+// TestProcessBoundedAllocsKleene exercises the residual path: Kleene
+// resolution parks matches, scans residual buffers and emits Kleene
+// sets, all of which must come from the resolver's pools in owned mode.
+func TestProcessBoundedAllocsKleene(t *testing.T) {
+	s := mkSchema(3)
+	pat := ltChainPattern(s, 3, 24, 1)
+	var matches uint64
+	g := New(pat, plan.NewOrderPlan([]int{0, 2}), func(m *match.Match) {
+		matches++
+		if m.Kleene == nil || len(m.Kleene[1]) == 0 {
+			t.Fatal("kleene match without a set")
+		}
+	})
+	g.SetOwnedEmit(true)
+	st := newStepper(g, 3, 1)
+	st.run(20000)
+	if matches == 0 {
+		t.Fatal("kleene stream produced no matches; the bound would be vacuous")
+	}
+	const perRun = 2000
+	allocs := testing.AllocsPerRun(10, func() { st.run(perRun) })
+	if perEvent := allocs / perRun; perEvent > 0.05 {
+		t.Fatalf("steady-state kleene Process allocated %.4f/event; want <= 0.05", perEvent)
+	}
+}

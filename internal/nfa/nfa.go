@@ -11,9 +11,19 @@
 // arrived earlier (lazy path). Every extension forks, so each event
 // combination is enumerated exactly once. Core-complete matches are
 // handed to the residual resolver for negation/Kleene processing.
+//
+// The steady-state per-event path is allocation-free: arriving events are
+// copied into a chunked arena (released whole chunks at a time as the
+// watermark passes them), PMs and their assignment arrays come from a
+// free list recycled on expiry and completion, and all predicate and
+// order checks run off the pattern's compiled transition tables — a
+// type-indexed dispatch list plus per-state flat pair-check tables with
+// operand orientation baked in.
 package nfa
 
 import (
+	"sort"
+
 	"acep/internal/event"
 	"acep/internal/match"
 	"acep/internal/pattern"
@@ -50,6 +60,14 @@ type pm struct {
 	minTS, maxTS event.Time
 }
 
+// stateCheck is one compiled extension check of a state: the event being
+// offered must be compatible with the PM's event at pos, per the
+// pre-oriented pair table.
+type stateCheck struct {
+	pos int // previously-filled pattern position
+	pc  *pattern.PairCheck
+}
+
 // Engine is a lazy-NFA evaluation engine for one (non-OR) pattern and one
 // order plan.
 type Engine struct {
@@ -60,7 +78,11 @@ type Engine struct {
 	bufs     []*match.Buffer // per pattern position; non-nil at core ones
 	orderIdx []int           // pattern position -> index in order (-1 if residual)
 	states   [][]*pm         // states[s]: PMs with s filled positions (1..n-1)
+	checks   [][]stateCheck  // per state: checks against the filled prefix
 	n        int             // number of core positions
+
+	arena  match.Arena
+	pmFree []*pm
 
 	watermark  event.Time
 	retention  event.Time
@@ -75,7 +97,8 @@ type Engine struct {
 }
 
 // New builds an engine for the pattern following the given order plan.
-// emit receives every surviving match.
+// emit receives every surviving match. The engine copies every event it
+// keeps, so the caller's *event.Event is never retained past Process.
 func New(pat *pattern.Pattern, op *plan.OrderPlan, emit func(*match.Match)) *Engine {
 	g := &Engine{
 		pat:       pat,
@@ -94,16 +117,51 @@ func New(pat *pattern.Pattern, op *plan.OrderPlan, emit func(*match.Match)) *Eng
 		g.bufs[p] = &match.Buffer{}
 	}
 	g.states = make([][]*pm, g.n)
+	// Compile the per-state transition tables: a PM at state s has filled
+	// exactly order[0..s-1], so the extension checks are a fixed list (in
+	// declaration-position order, matching the historical predicate
+	// evaluation order).
+	g.checks = make([][]stateCheck, g.n)
+	for s := 1; s < g.n; s++ {
+		next := op.Order[s]
+		cs := make([]stateCheck, 0, s)
+		for k := 0; k < s; k++ {
+			q := op.Order[k]
+			cs = append(cs, stateCheck{pos: q, pc: pat.Pair(next, q)})
+		}
+		sort.Slice(cs, func(i, j int) bool { return cs[i].pos < cs[j].pos })
+		g.checks[s] = cs
+	}
 	return g
 }
 
 // Resolver exposes the residual resolver (for migration seeding).
 func (g *Engine) Resolver() *match.Resolver { return g.res }
 
+// SetOwnedEmit declares that the emit callback consumes each match (and
+// its events) synchronously and retains nothing past its return. The
+// engine then recycles emission structures and overwrites released arena
+// chunks instead of leaving them to the GC, making the steady-state path
+// allocation-free. Must not be combined with callbacks that buffer
+// matches (e.g. the shard collector).
+func (g *Engine) SetOwnedEmit(owned bool) {
+	g.res.SetOwned(owned)
+	if g.emitBefore == 0 { // a migrating engine's arena stays frozen
+		g.arena.SetRecycle(owned)
+	}
+}
+
 // SetEmitOnlyBefore restricts emission to matches containing at least one
 // core event with Seq < seq: the old-plan side of the paper's §2.2
-// migration protocol. Zero removes the filter.
-func (g *Engine) SetEmitOnlyBefore(seq uint64) { g.emitBefore = seq }
+// migration protocol. Zero removes the filter. Setting a boundary also
+// freezes the arena: migration hands this engine's residual events to
+// the successor, so released chunks must never be overwritten.
+func (g *Engine) SetEmitOnlyBefore(seq uint64) {
+	g.emitBefore = seq
+	if seq > 0 {
+		g.arena.Freeze()
+	}
+}
 
 // Plan returns the order plan in effect.
 func (g *Engine) Plan() plan.Plan { return g.op }
@@ -132,9 +190,11 @@ func (g *Engine) prune() {
 	for s, list := range g.states {
 		kept := list[:0]
 		for _, m := range list {
-			if !g.expired(m) {
-				kept = append(kept, m)
+			if g.expired(m) {
+				g.putPM(m)
+				continue
 			}
+			kept = append(kept, m)
 		}
 		for i := len(kept); i < len(list); i++ {
 			list[i] = nil
@@ -145,6 +205,9 @@ func (g *Engine) prune() {
 	for _, list := range g.states {
 		g.live += len(list)
 	}
+	// Every holder — buffers, PMs, the resolver (pruned in Advance) — is
+	// now at or inside the horizon, so whole chunks behind it can go.
+	g.arena.Release(horizon)
 }
 
 // expired reports whether the PM can no longer be extended: every future
@@ -153,32 +216,57 @@ func (g *Engine) expired(m *pm) bool {
 	return g.watermark-m.minTS > g.pat.Window
 }
 
+// getPM returns a pooled (or fresh) zeroed partial match.
+func (g *Engine) getPM() *pm {
+	if n := len(g.pmFree); n > 0 {
+		m := g.pmFree[n-1]
+		g.pmFree[n-1] = nil
+		g.pmFree = g.pmFree[:n-1]
+		return m
+	}
+	return &pm{evs: make([]*event.Event, len(g.pat.Positions))}
+}
+
+// putPM recycles a dead partial match. Safe because PMs never escape the
+// engine: completion hands the resolver a copy of the assignment, never
+// the PM's own array.
+func (g *Engine) putPM(m *pm) {
+	clear(m.evs)
+	g.pmFree = append(g.pmFree, m)
+}
+
 // Process feeds one input event. Events must arrive in non-decreasing
-// timestamp order.
+// timestamp order. The event is copied if kept; the caller may reuse it.
 func (g *Engine) Process(e *event.Event) {
 	if e.TS > g.watermark {
 		g.Advance(e.TS)
 	}
-	for p, pos := range g.pat.Positions {
-		if pos.Type != e.Type {
-			continue
-		}
+	var ae *event.Event // arena copy, interned at most once
+	for _, p := range g.pat.PositionsOfType(e.Type) {
 		k := g.orderIdx[p]
 		if k < 0 {
-			continue // residual position: handled by the resolver below
-		}
-		if !match.UnaryOK(g.pat, p, e, &g.predEvals) {
+			// Residual position: the resolver buffers it for scope
+			// resolution (it applies the position's unary predicates).
+			if g.res.Wants(p, e) {
+				if ae == nil {
+					ae = g.arena.Intern(e)
+				}
+				g.res.AddResidual(p, ae)
+			}
 			continue
 		}
-		if k == 0 {
-			g.create(p, e)
-		} else {
-			g.extendState(k, p, e)
+		if !g.pat.UnaryOk(p, e, &g.predEvals) {
+			continue
 		}
-		g.bufs[p].Add(e)
-	}
-	if g.res.HasResiduals() {
-		g.res.Observe(e)
+		if ae == nil {
+			ae = g.arena.Intern(e)
+		}
+		if k == 0 {
+			g.create(p, ae)
+		} else {
+			g.extendState(k, p, ae)
+		}
+		g.bufs[p].Add(ae)
 	}
 }
 
@@ -193,9 +281,10 @@ func (g *Engine) extendState(k, p int, e *event.Event) {
 			list[len(list)-1] = nil
 			list = list[:len(list)-1]
 			g.live--
+			g.putPM(m)
 			continue
 		}
-		if g.canExtend(m, p, e) {
+		if g.canExtend(k, m, e) {
 			g.fork(m, p, e)
 		}
 		i++
@@ -203,14 +292,17 @@ func (g *Engine) extendState(k, p int, e *event.Event) {
 	g.states[k] = list
 }
 
-// canExtend checks window, sequence order and predicates of e at position
-// p against every event already assigned in m.
-func (g *Engine) canExtend(m *pm, p int, e *event.Event) bool {
-	for q, qe := range m.evs {
-		if qe == nil {
-			continue
-		}
-		if !match.PairOK(g.pat, g.pat.Window, q, qe, p, e, &g.predEvals) {
+// canExtend checks whether event e can fill state k's position of PM m:
+// one window check against the PM's timestamp span, then the state's
+// compiled check list (temporal relation + oriented predicates against
+// each filled position).
+func (g *Engine) canExtend(k int, m *pm, e *event.Event) bool {
+	if m.maxTS-e.TS > g.pat.Window || e.TS-m.minTS > g.pat.Window {
+		return false
+	}
+	for i := range g.checks[k] {
+		c := &g.checks[k][i]
+		if !c.pc.Ok(e, m.evs[c.pos], &g.predEvals) {
 			return false
 		}
 	}
@@ -219,12 +311,10 @@ func (g *Engine) canExtend(m *pm, p int, e *event.Event) bool {
 
 // create starts a new PM from an event at the plan's first position.
 func (g *Engine) create(p int, e *event.Event) {
-	m := &pm{
-		evs:    make([]*event.Event, len(g.pat.Positions)),
-		filled: 1,
-		minTS:  e.TS,
-		maxTS:  e.TS,
-	}
+	m := g.getPM()
+	m.filled = 1
+	m.minTS = e.TS
+	m.maxTS = e.TS
 	m.evs[p] = e
 	g.pmCreated++
 	g.register(m)
@@ -232,12 +322,11 @@ func (g *Engine) create(p int, e *event.Event) {
 
 // fork copies parent, adds e at position p and registers the child.
 func (g *Engine) fork(parent *pm, p int, e *event.Event) {
-	m := &pm{
-		evs:    append([]*event.Event(nil), parent.evs...),
-		filled: parent.filled + 1,
-		minTS:  parent.minTS,
-		maxTS:  parent.maxTS,
-	}
+	m := g.getPM()
+	copy(m.evs, parent.evs)
+	m.filled = parent.filled + 1
+	m.minTS = parent.minTS
+	m.maxTS = parent.maxTS
 	if e.TS < m.minTS {
 		m.minTS = e.TS
 	}
@@ -255,18 +344,20 @@ func (g *Engine) fork(parent *pm, p int, e *event.Event) {
 func (g *Engine) register(m *pm) {
 	if m.filled == g.n {
 		g.complete(m)
+		g.putPM(m)
 		return
 	}
-	g.states[m.filled] = append(g.states[m.filled], m)
+	s := m.filled
+	g.states[s] = append(g.states[s], m)
 	g.live++
 	if g.live > g.peak {
 		g.peak = g.live
 	}
-	next := g.op.Order[m.filled]
+	next := g.op.Order[s]
 	// Lazy path: events of the next position that arrived before this PM
 	// was created. Future events arrive through extendState.
 	g.bufs[next].Scan(m.maxTS-g.pat.Window, m.minTS+g.pat.Window, false, false, func(c *event.Event) bool {
-		if g.canExtend(m, next, c) {
+		if g.canExtend(s, m, c) {
 			g.fork(m, next, c)
 		}
 		return true
@@ -274,7 +365,8 @@ func (g *Engine) register(m *pm) {
 }
 
 // complete applies the migration emit filter and hands the core match to
-// the resolver.
+// the resolver (which copies the assignment; the PM is recycled by the
+// caller).
 func (g *Engine) complete(m *pm) {
 	if g.emitBefore > 0 {
 		old := false

@@ -191,6 +191,11 @@ type Pattern struct {
 	predsAt   [][]int // predsAt[i]: indices into Preds touching position i
 	unaryAt   [][]int // unaryAt[i]: indices of unary preds on position i
 	pairPreds map[[2]int][]int
+
+	// Compiled hot-path tables (see compile.go).
+	byType [][]int     // event type -> positions accepting it
+	unaryC [][]CUnary  // per position, fused unary predicate list
+	pairC  []PairCheck // flat (new, old) ordered-pair checks
 }
 
 // NumPositions returns the number of declared positions.
@@ -363,6 +368,7 @@ func (p *Pattern) finalize(s *event.Schema) error {
 		key := [2]int{a, b}
 		p.pairPreds[key] = append(p.pairPreds[key], k)
 	}
+	p.compile()
 	return nil
 }
 

@@ -1,0 +1,121 @@
+package tree
+
+import (
+	"testing"
+
+	"acep/internal/event"
+	"acep/internal/match"
+	"acep/internal/pattern"
+	"acep/internal/plan"
+)
+
+// ltChain is SEQ(A,B,C) with strictly-increasing-x predicates between
+// adjacent positions: x increasing matches densely, x decreasing never.
+func ltChain(s *event.Schema, window event.Time, kleeneAt int) *pattern.Pattern {
+	b := pattern.NewBuilder(s, pattern.Seq, window)
+	for i := 0; i < 3; i++ {
+		b.Event(i)
+	}
+	if kleeneAt >= 0 {
+		b.Kleene(kleeneAt)
+	}
+	for i := 0; i+1 < 3; i++ {
+		b.WherePred(pattern.Pred{L: i, R: i + 1, AttrL: 0, AttrR: 0, Op: pattern.LT})
+	}
+	return b.MustBuild()
+}
+
+// feed drives batches of round-robin events through the engine, reusing
+// one event struct (the engine interns what it keeps).
+type feed struct {
+	g    *Engine
+	ev   event.Event
+	ts   event.Time
+	seq  uint64
+	sign float64
+}
+
+func newFeed(g *Engine, sign float64) *feed {
+	return &feed{g: g, ev: event.Event{Attrs: make([]float64, 1)}, sign: sign}
+}
+
+func (f *feed) run(events int) {
+	for i := 0; i < events; i++ {
+		f.ts++
+		f.seq++
+		f.ev.Type = int(f.seq) % 3
+		f.ev.TS = f.ts
+		f.ev.Seq = f.seq
+		f.ev.Attrs[0] = f.sign * float64(f.seq)
+		f.g.Process(&f.ev)
+	}
+}
+
+// TestProcessZeroAllocsNoMatch: after warm-up, a no-match stream must
+// drive the tree hot path — dispatch, leaf tuple creation, sibling
+// joins, store pruning, arena interning — with zero heap allocations per
+// event.
+func TestProcessZeroAllocsNoMatch(t *testing.T) {
+	s := mkSchema(3)
+	pat := ltChain(s, 60, -1)
+	tp := plan.NewTreePlan(plan.Join(plan.Join(plan.Leaf(0), plan.Leaf(1)), plan.Leaf(2)))
+	g := New(pat, tp, func(*match.Match) {
+		t.Fatal("no-match stream produced a match")
+	})
+	g.SetOwnedEmit(true)
+	f := newFeed(g, -1)
+	f.run(20000)
+	allocs := testing.AllocsPerRun(10, func() { f.run(2000) })
+	if allocs != 0 {
+		t.Fatalf("steady-state no-match Process allocated %.2f times per 2000-event run; want 0", allocs)
+	}
+}
+
+// TestProcessBoundedAllocsMatching: a densely matching stream must stay
+// within a small constant allocation budget per event in owned-emit
+// mode, completions and emissions included.
+func TestProcessBoundedAllocsMatching(t *testing.T) {
+	s := mkSchema(3)
+	pat := ltChain(s, 24, -1)
+	tp := plan.NewTreePlan(plan.Join(plan.Join(plan.Leaf(0), plan.Leaf(1)), plan.Leaf(2)))
+	var matches uint64
+	g := New(pat, tp, func(*match.Match) { matches++ })
+	g.SetOwnedEmit(true)
+	f := newFeed(g, 1)
+	f.run(20000)
+	if matches == 0 {
+		t.Fatal("matching stream produced no matches; the bound would be vacuous")
+	}
+	const perRun = 2000
+	allocs := testing.AllocsPerRun(10, func() { f.run(perRun) })
+	if perEvent := allocs / perRun; perEvent > 0.05 {
+		t.Fatalf("steady-state matching Process allocated %.4f/event; want <= 0.05", perEvent)
+	}
+}
+
+// TestProcessBoundedAllocsKleene exercises the residual path through the
+// tree engine: parked matches, residual buffer scans and pooled Kleene
+// sets.
+func TestProcessBoundedAllocsKleene(t *testing.T) {
+	s := mkSchema(3)
+	pat := ltChain(s, 24, 1)
+	tp := plan.NewTreePlan(plan.Join(plan.Leaf(0), plan.Leaf(2)))
+	var matches uint64
+	g := New(pat, tp, func(m *match.Match) {
+		matches++
+		if m.Kleene == nil || len(m.Kleene[1]) == 0 {
+			t.Fatal("kleene match without a set")
+		}
+	})
+	g.SetOwnedEmit(true)
+	f := newFeed(g, 1)
+	f.run(20000)
+	if matches == 0 {
+		t.Fatal("kleene stream produced no matches; the bound would be vacuous")
+	}
+	const perRun = 2000
+	allocs := testing.AllocsPerRun(10, func() { f.run(perRun) })
+	if perEvent := allocs / perRun; perEvent > 0.05 {
+		t.Fatalf("steady-state kleene Process allocated %.4f/event; want <= 0.05", perEvent)
+	}
+}

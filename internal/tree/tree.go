@@ -7,6 +7,14 @@
 // chosen by the ZStream planner from the current statistics — determines
 // the order in which predicates are applied and therefore the volume of
 // intermediate tuples.
+//
+// Like the NFA engine, the steady-state per-event path is
+// allocation-free: events are interned into a chunked arena, tuples and
+// their assignment arrays come from a free list recycled on expiry and
+// completion, and every join runs off a per-node compiled table of the
+// cross pairs between the node's leaf set and its sibling's — both sides
+// of a join tuple are complete over their leaf sets, so the table needs
+// no nil checks and the pair predicates are pre-oriented.
 package tree
 
 import (
@@ -27,6 +35,13 @@ type tuple struct {
 	minTS, maxTS event.Time
 }
 
+// joinCheck is one compiled cross-pair check of a node's join: the
+// inserted tuple's event at pa against the sibling tuple's event at pb.
+type joinCheck struct {
+	pa, pb int
+	pc     *pattern.PairCheck
+}
+
 // node mirrors a plan.TreeNode with evaluation state.
 type node struct {
 	leaf            bool
@@ -34,6 +49,7 @@ type node struct {
 	left, right     *node
 	parent, sibling *node
 	store           []*tuple
+	joins           []joinCheck // cross pairs vs the sibling's leaf set
 }
 
 // Engine is a tree-based evaluation engine for one (non-OR) pattern and
@@ -45,6 +61,9 @@ type Engine struct {
 
 	root      *node
 	leafByPos []*node // pattern position -> leaf node (nil for residuals)
+
+	arena     match.Arena
+	tupleFree []*tuple
 
 	watermark  event.Time
 	lastPrune  event.Time
@@ -58,6 +77,8 @@ type Engine struct {
 }
 
 // New builds an engine for the pattern following the given tree plan.
+// The engine copies every event it keeps, so the caller's *event.Event
+// is never retained past Process.
 func New(pat *pattern.Pattern, tp *plan.TreePlan, emit func(*match.Match)) *Engine {
 	g := &Engine{
 		pat:       pat,
@@ -66,6 +87,7 @@ func New(pat *pattern.Pattern, tp *plan.TreePlan, emit func(*match.Match)) *Engi
 		leafByPos: make([]*node, pat.NumPositions()),
 	}
 	g.root = g.build(tp.Root, nil)
+	g.compileJoins(g.root)
 	return g
 }
 
@@ -85,12 +107,69 @@ func (g *Engine) build(pn *plan.TreeNode, parent *node) *node {
 	return n
 }
 
+// leafSet collects the pattern positions under n in ascending order (the
+// tree is built over declaration-ordered leaves, so an in-order walk is
+// already sorted per subtree; ascending order preserves the historical
+// predicate evaluation order).
+func leafSet(n *node, out []int) []int {
+	if n == nil {
+		return out
+	}
+	if n.leaf {
+		return append(out, n.pos)
+	}
+	out = leafSet(n.left, out)
+	return leafSet(n.right, out)
+}
+
+// compileJoins builds every non-root node's flat join table: the cross
+// pairs between its leaf set and its sibling's, each with the pattern's
+// pre-oriented pair check. Tuples are complete over their node's leaf
+// set, so the table never needs nil checks at join time.
+func (g *Engine) compileJoins(n *node) {
+	if n == nil {
+		return
+	}
+	if n != g.root && n.sibling != nil {
+		mine := leafSet(n, nil)
+		theirs := leafSet(n.sibling, nil)
+		for _, pa := range mine {
+			for _, pb := range theirs {
+				n.joins = append(n.joins, joinCheck{pa: pa, pb: pb, pc: g.pat.Pair(pa, pb)})
+			}
+		}
+	}
+	g.compileJoins(n.left)
+	g.compileJoins(n.right)
+}
+
 // Resolver exposes the residual resolver (for migration seeding).
 func (g *Engine) Resolver() *match.Resolver { return g.res }
 
+// SetOwnedEmit declares that the emit callback consumes each match (and
+// its events) synchronously and retains nothing past its return. The
+// engine then recycles emission structures and overwrites released arena
+// chunks instead of leaving them to the GC, making the steady-state path
+// allocation-free. Must not be combined with callbacks that buffer
+// matches (e.g. the shard collector).
+func (g *Engine) SetOwnedEmit(owned bool) {
+	g.res.SetOwned(owned)
+	if g.emitBefore == 0 { // a migrating engine's arena stays frozen
+		g.arena.SetRecycle(owned)
+	}
+}
+
 // SetEmitOnlyBefore restricts emission to matches containing at least one
-// core event with Seq < seq (old-plan side of plan migration).
-func (g *Engine) SetEmitOnlyBefore(seq uint64) { g.emitBefore = seq }
+// core event with Seq < seq (old-plan side of plan migration). Setting a
+// boundary also freezes the arena: migration hands this engine's
+// residual events to the successor, so released chunks must never be
+// overwritten.
+func (g *Engine) SetEmitOnlyBefore(seq uint64) {
+	g.emitBefore = seq
+	if seq > 0 {
+		g.arena.Freeze()
+	}
+}
 
 // Plan returns the tree plan in effect.
 func (g *Engine) Plan() plan.Plan { return g.tp }
@@ -105,6 +184,10 @@ func (g *Engine) Advance(ts event.Time) {
 	g.res.Advance(ts)
 	if ts-g.lastPrune >= g.pat.Window/2 {
 		g.pruneNode(g.root)
+		// The resolver's residual buffers prune at watermark-2·window
+		// (in Advance above) — the oldest horizon any arena pointer can
+		// outlive — so chunks wholly behind it are released.
+		g.arena.Release(g.watermark - 2*g.pat.Window)
 		g.lastPrune = ts
 	}
 }
@@ -117,7 +200,9 @@ func (g *Engine) pruneNode(n *node) {
 	for _, t := range n.store {
 		if g.watermark-t.minTS <= g.pat.Window {
 			kept = append(kept, t)
+			continue
 		}
+		g.putTuple(t)
 	}
 	for i := len(kept); i < len(n.store); i++ {
 		n.store[i] = nil
@@ -128,33 +213,56 @@ func (g *Engine) pruneNode(n *node) {
 	g.pruneNode(n.right)
 }
 
-// Process feeds one input event (non-decreasing timestamps).
+// getTuple returns a pooled (or fresh) zeroed tuple.
+func (g *Engine) getTuple() *tuple {
+	if n := len(g.tupleFree); n > 0 {
+		t := g.tupleFree[n-1]
+		g.tupleFree[n-1] = nil
+		g.tupleFree = g.tupleFree[:n-1]
+		return t
+	}
+	return &tuple{evs: make([]*event.Event, len(g.pat.Positions))}
+}
+
+// putTuple recycles a dead tuple. Safe because tuples never escape the
+// engine: completion hands the resolver a copy of the assignment.
+func (g *Engine) putTuple(t *tuple) {
+	clear(t.evs)
+	g.tupleFree = append(g.tupleFree, t)
+}
+
+// Process feeds one input event (non-decreasing timestamps). The event
+// is copied if kept; the caller may reuse it.
 func (g *Engine) Process(e *event.Event) {
 	if e.TS > g.watermark {
 		g.Advance(e.TS)
 	}
-	for p, pos := range g.pat.Positions {
-		if pos.Type != e.Type {
-			continue
-		}
+	var ae *event.Event // arena copy, interned at most once
+	for _, p := range g.pat.PositionsOfType(e.Type) {
 		leaf := g.leafByPos[p]
 		if leaf == nil {
-			continue // residual position
-		}
-		if !match.UnaryOK(g.pat, p, e, &g.predEvals) {
+			// Residual position: the resolver buffers it for scope
+			// resolution (it applies the position's unary predicates).
+			if g.res.Wants(p, e) {
+				if ae == nil {
+					ae = g.arena.Intern(e)
+				}
+				g.res.AddResidual(p, ae)
+			}
 			continue
 		}
-		t := &tuple{
-			evs:   make([]*event.Event, len(g.pat.Positions)),
-			minTS: e.TS,
-			maxTS: e.TS,
+		if !g.pat.UnaryOk(p, e, &g.predEvals) {
+			continue
 		}
-		t.evs[p] = e
+		if ae == nil {
+			ae = g.arena.Intern(e)
+		}
+		t := g.getTuple()
+		t.minTS = ae.TS
+		t.maxTS = ae.TS
+		t.evs[p] = ae
 		g.pmCreated++
 		g.insert(leaf, t)
-	}
-	if g.res.HasResiduals() {
-		g.res.Observe(e)
 	}
 }
 
@@ -164,6 +272,7 @@ func (g *Engine) Process(e *event.Event) {
 func (g *Engine) insert(n *node, t *tuple) {
 	if n == g.root {
 		g.complete(t)
+		g.putTuple(t)
 		return
 	}
 	n.store = append(n.store, t)
@@ -180,47 +289,39 @@ func (g *Engine) insert(n *node, t *tuple) {
 			list[len(list)-1] = nil
 			list = list[:len(list)-1]
 			g.live--
+			g.putTuple(s)
 			continue
 		}
-		if g.joinOK(t, s) {
+		if g.joinOK(n, t, s) {
 			g.pmCreated++
-			g.insert(n.parent, merge(t, s))
+			g.insert(n.parent, g.merge(t, s))
 		}
 		i++
 	}
 	sib.store = list
 }
 
-// joinOK checks all cross pairs between the two tuples' assigned events.
-func (g *Engine) joinOK(a, b *tuple) bool {
-	if dt := a.maxTS - b.minTS; dt > g.pat.Window {
+// joinOK checks the node's compiled cross-pair table between the
+// inserted tuple t and sibling tuple s, after one window check on the
+// tuples' timestamp spans.
+func (g *Engine) joinOK(n *node, t, s *tuple) bool {
+	if t.maxTS-s.minTS > g.pat.Window || s.maxTS-t.minTS > g.pat.Window {
 		return false
 	}
-	if dt := b.maxTS - a.minTS; dt > g.pat.Window {
-		return false
-	}
-	for p, pe := range a.evs {
-		if pe == nil {
-			continue
-		}
-		for q, qe := range b.evs {
-			if qe == nil {
-				continue
-			}
-			if !match.PairOK(g.pat, g.pat.Window, p, pe, q, qe, &g.predEvals) {
-				return false
-			}
+	for i := range n.joins {
+		j := &n.joins[i]
+		if !j.pc.Ok(t.evs[j.pa], s.evs[j.pb], &g.predEvals) {
+			return false
 		}
 	}
 	return true
 }
 
-func merge(a, b *tuple) *tuple {
-	m := &tuple{
-		evs:   append([]*event.Event(nil), a.evs...),
-		minTS: a.minTS,
-		maxTS: a.maxTS,
-	}
+func (g *Engine) merge(a, b *tuple) *tuple {
+	m := g.getTuple()
+	copy(m.evs, a.evs)
+	m.minTS = a.minTS
+	m.maxTS = a.maxTS
 	for p, qe := range b.evs {
 		if qe != nil {
 			m.evs[p] = qe
@@ -235,6 +336,9 @@ func merge(a, b *tuple) *tuple {
 	return m
 }
 
+// complete applies the migration emit filter and hands the core match to
+// the resolver (which copies the assignment; the tuple is recycled by
+// the caller).
 func (g *Engine) complete(t *tuple) {
 	if g.emitBefore > 0 {
 		old := false
