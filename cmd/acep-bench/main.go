@@ -33,6 +33,7 @@
 //
 //	acep-bench -exp cluster-traffic -nodes 3 -shards 2
 //	acep-bench -exp cluster-traffic -json BENCH_cluster.json
+//	acep-bench -exp cluster-traffic -nodes 2 -batch-sweep 64,256,1024
 //
 // failover-traffic and failover-stocks measure the fault-tolerance
 // layer: one node of a loopback-TCP cluster is killed mid-stream and its
@@ -82,6 +83,7 @@ func main() {
 		shards = flag.Int("shards", 0, "max shard count for scale-* experiments (sweeps powers of two; default 8); shards per node for cluster-*")
 		nodes  = flag.Int("nodes", 0, "max node count for cluster-* experiments (default sweep 1,2,3)")
 		batch  = flag.Int("batch", 0, "events per shard handoff batch for scale-* experiments (0 = default)")
+		bsweep = flag.String("batch-sweep", "", "comma-separated batch sizes for cluster-* experiments (sweeps batch at fixed -nodes instead of node count)")
 		shedPo = flag.String("shed", "", "comma-separated shedding policies for shed-* experiments (default all: random,rate-utility,pattern-aware)")
 		qcap   = flag.Int("queue-cap", 0, "bounded per-shard drop-newest ingestion queue (events) for shed-* experiments (0 = unsharded, deterministic)")
 		jsonMD = flag.String("json", "", "append scale-*/shed-* results to this BENCH_*.json trajectory file")
@@ -143,7 +145,7 @@ func main() {
 	// (a failing run is exactly when the profile is wanted).
 	if err := runAll(ids, h, r, flags{
 		shards: *shards, nodes: *nodes, batch: *batch, qcap: *qcap,
-		shedPo: *shedPo, phase: *phase, jsonMD: *jsonMD,
+		shedPo: *shedPo, bsweep: *bsweep, phase: *phase, jsonMD: *jsonMD,
 		cpupro: *cpupro, mempro: *mempro,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "acep-bench: %v\n", err)
@@ -153,9 +155,9 @@ func main() {
 
 // flags carries the experiment-tuning CLI values into runAll.
 type flags struct {
-	shards, nodes, batch, qcap int
-	shedPo, phase, jsonMD      string
-	cpupro, mempro             string
+	shards, nodes, batch, qcap    int
+	shedPo, bsweep, phase, jsonMD string
+	cpupro, mempro                string
 }
 
 func runAll(ids []string, h *bench.Harness, r *bench.Runner, fl flags) error {
@@ -189,7 +191,7 @@ func runAll(ids []string, h *bench.Harness, r *bench.Runner, fl flags) error {
 		case contains(bench.SheddingIDs(), id):
 			err = runShedding(h, id, fl.shedPo, fl.qcap, fl.jsonMD)
 		case contains(bench.ClusterIDs(), id):
-			err = runCluster(h, id, fl.nodes, fl.shards, fl.batch, fl.jsonMD)
+			err = runCluster(h, id, fl.nodes, fl.shards, fl.batch, fl.bsweep, fl.jsonMD)
 		case contains(bench.FailoverIDs(), id):
 			err = runFailover(h, id, fl.nodes, fl.shards, fl.batch, fl.jsonMD)
 		case contains(bench.HotpathIDs(), id):
@@ -262,15 +264,30 @@ func runShedding(h *bench.Harness, id, policyCSV string, queueCap int, jsonPath 
 }
 
 // runCluster executes one cluster-* experiment with the CLI's node
-// sweep, shards-per-node and batch size, printing the table and
+// sweep, shards-per-node and batch size — or, with -batch-sweep, the
+// batch-size sweep at a fixed node count — printing the table and
 // optionally appending the run to a BENCH_*.json trajectory.
-func runCluster(h *bench.Harness, id string, maxNodes, shardsPerNode, batch int, jsonPath string) error {
-	counts := bench.DefaultNodeCounts()
-	if maxNodes > 0 {
-		counts = bench.NodeCountsUpTo(maxNodes)
-	}
+func runCluster(h *bench.Harness, id string, maxNodes, shardsPerNode, batch int, batchSweep, jsonPath string) error {
 	dataset := strings.TrimPrefix(id, "cluster-")
-	d, err := h.Cluster(dataset, counts, shardsPerNode, batch)
+	var d *bench.ClusterData
+	var err error
+	if batchSweep != "" {
+		var batches []int
+		for _, s := range strings.Split(batchSweep, ",") {
+			v, perr := strconv.Atoi(strings.TrimSpace(s))
+			if perr != nil || v < 1 {
+				return fmt.Errorf("bad -batch-sweep entry %q", s)
+			}
+			batches = append(batches, v)
+		}
+		d, err = h.ClusterBatchSweep(dataset, batches, maxNodes, shardsPerNode)
+	} else {
+		counts := bench.DefaultNodeCounts()
+		if maxNodes > 0 {
+			counts = bench.NodeCountsUpTo(maxNodes)
+		}
+		d, err = h.Cluster(dataset, counts, shardsPerNode, batch)
+	}
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,9 @@
 // Command acep-node runs a cluster worker node: it hosts a block of
 // shard engines behind a TCP listener and serves ingress sessions
-// (cmd/acep-run -connect, or any cluster.Ingress). With -in, the node is
+// (cmd/acep-run -connect, or any cluster.Ingress). Incoming batch
+// frames decode zero-copy into a per-session event arena and matches
+// are emitted as pre-encoded wire bytes from the shard workers (see
+// DESIGN.md "Wire-to-match data flow"). With -in, the node is
 // configured with the same workload schema and pattern as the ingress —
 // the handshake compares fingerprints and refuses to pair otherwise —
 // so both sides point -in at the same CSV (only the header is needed

@@ -61,6 +61,8 @@ type Ingress struct {
 	node  []int // global shard index -> node index
 
 	bufs      [][]event.Event
+	spare     [][]event.Event // recycled cut buffers (serializing transports only)
+	recycle   []bool          // per node: cut buffers may be reused (nil with recovery)
 	pending   int
 	lastSeq   uint64
 	dead      []bool
@@ -252,6 +254,21 @@ func NewIngress(pat *pattern.Pattern, conns []Conn, opts IngressOptions) (*Ingre
 		in.det = recovery.NewDetector(len(conns), rc.HeartbeatTimeout)
 		progress = func(w uint64) { in.released.Store(w) }
 	}
+	// Cut-buffer recycling: on a serializing transport the Batch frame
+	// is fully encoded onto the wire by the time Send returns, so a
+	// cut's event buffer is reusable once its send has been barriered
+	// (two cuts later, behind waitSends). The in-process pipe hands the
+	// slice to the node by reference — stable for the run, never reused
+	// — and the recovery journal retains cut history, so a pipe conn or
+	// a configured Recovery disables recycling for the session.
+	in.spare = make([][]event.Event, len(conns))
+	if in.rec == nil {
+		in.recycle = make([]bool, len(conns))
+		for i, c := range conns {
+			_, serializing := c.(interface{ SetDecodeArena(*match.Arena) })
+			in.recycle[i] = serializing
+		}
+	}
 	in.col = shard.NewCollector(len(conns), deliver, progress)
 	for i, c := range conns {
 		done := make(chan struct{})
@@ -298,6 +315,24 @@ func (in *Ingress) read(i int, c Conn, gen int, done chan struct{}) {
 		switch v := f.(type) {
 		case wire.TaggedMatch:
 			pend = append(pend, shard.Tagged{M: v.M, Seq: v.Seq, Src: i, Idx: idx})
+			idx++
+		case wire.TaggedMatchRaw:
+			// Owned-emit match over a reference transport (the pipe): the
+			// body is the worker's pre-encoded outbox slice; decode it
+			// here. A serializing transport never delivers this frame —
+			// its codec reads the identical bytes back as a TaggedMatch.
+			m, derr := wire.DecodeMatchBody(v.Body)
+			if derr != nil {
+				err := fmt.Errorf("cluster: node %d match body: %w", i, derr)
+				if in.rec != nil {
+					in.suspect(i, gen, err)
+					return
+				}
+				in.recordErr(err)
+				in.col.Post(i, maxSeq, pend)
+				return
+			}
+			pend = append(pend, shard.Tagged{M: m, Seq: v.Seq, Src: i, Idx: idx})
 			idx++
 		case wire.Watermark:
 			in.col.Post(i, v.UpTo, pend)
@@ -392,6 +427,12 @@ func (in *Ingress) cutAll() {
 	for n, c := range in.conns {
 		evs := in.bufs[n]
 		in.bufs[n] = nil
+		if in.recycle != nil && in.recycle[n] {
+			// Hand the next cut the buffer recycled two cuts ago (its
+			// send completed at the barrier above) and queue this one.
+			in.bufs[n] = in.spare[n][:0]
+			in.spare[n] = evs
+		}
 		if in.dead[n] {
 			continue
 		}

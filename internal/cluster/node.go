@@ -9,6 +9,7 @@ import (
 
 	"acep/internal/engine"
 	"acep/internal/event"
+	"acep/internal/match"
 	"acep/internal/pattern"
 	"acep/internal/shard"
 	"acep/internal/stats"
@@ -115,9 +116,12 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 // error; after a failure every further send is a no-op, so the engines
 // can still drain cleanly. The mutex interleaves the Serve loop's
 // heartbeats with the collector goroutine's matches and watermarks.
+// When the conn supports held sends (fl non-nil), frames accumulate in
+// its write buffer and flush() pushes the burst out in one syscall.
 type sender struct {
 	mu  sync.Mutex
 	c   Conn
+	fl  interface{ Flush() error }
 	err error
 }
 
@@ -125,6 +129,17 @@ func (s *sender) send(f wire.Frame) {
 	s.mu.Lock()
 	if s.err == nil {
 		s.err = s.c.Send(f)
+	}
+	s.mu.Unlock()
+}
+
+func (s *sender) flush() {
+	if s.fl == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = s.fl.Flush()
 	}
 	s.mu.Unlock()
 }
@@ -232,8 +247,44 @@ func (n *Node) serveBlock(conn Conn, a blockAssign) error {
 	// the adaptation trajectory differs (plans restart fresh), but
 	// match sets and tags do not depend on it.
 	up := &sender{c: conn}
+	// Coalesced upstream writes: a serializing transport holds the cut's
+	// burst (heartbeat, matches, watermark) in its write buffer and the
+	// loop flushes once per inbound frame — one write syscall per cut
+	// instead of one per frame. The handler boundary is a protocol
+	// quiescence point: the ingress never blocks on a node frame while
+	// it still has frames of its own to send, and the final drain is
+	// flushed before the session returns.
+	if h, ok := conn.(interface {
+		SetSendHold(bool)
+		Flush() error
+	}); ok {
+		h.SetSendHold(true)
+		up.fl = h
+	}
 	base, shards, total := a.base, a.shards, a.total
 	var doneSent bool
+
+	// Zero-copy receive: on a serializing transport (probe below), Batch
+	// frames decode straight into this arena — the decoded slots are the
+	// events the evaluators retain, no re-intern — and surface as
+	// wire.BatchView with columnar spans for the unary mask scan. The
+	// arena never recycles chunks (the zero value), so releasing behind
+	// the time horizon merely unpins: anything an evaluator or an
+	// in-flight match still references stays alive through the GC.
+	var decArena *match.Arena
+	if da, ok := conn.(interface{ SetDecodeArena(*match.Arena) }); ok {
+		decArena = &match.Arena{}
+		da.SetDecodeArena(decArena)
+	}
+	// OR patterns split into per-disjunct runners inside the engine, so a
+	// top-level mask would index the wrong positions — skip the scan.
+	scannable := pat.MaskScannable() && pat.Op != pattern.Or
+	var (
+		maskBuf []uint32
+		ptrBuf  []*event.Event
+		maxTS   event.Time
+	)
+
 	eng, err := shard.New(pat, n.cfg.Engine, shard.Options{
 		Shards:   shards,
 		Batch:    n.cfg.Batch,
@@ -251,9 +302,19 @@ func (n *Node) serveBlock(conn Conn, a blockAssign) error {
 			}
 			return local
 		},
+		// Owned emit: workers encode each match into a per-shard outbox
+		// slab as it is emitted; the tag carries the encoded body and the
+		// node forwards it verbatim — a serializing transport then writes
+		// the bytes through (no second encode), and the in-process pipe
+		// hands the slab slice to the ingress by reference.
+		EncodeMatch: wire.AppendMatchBody,
 		OnTagged: func(t shard.Tagged) {
 			if a.recovering && t.Seq <= a.suppress {
 				return // already delivered before the failure
+			}
+			if t.Enc != nil {
+				up.send(wire.TaggedMatchRaw{Seq: t.Seq, Body: t.Enc})
+				return
 			}
 			up.send(wire.TaggedMatch{Seq: t.Seq, M: t.M})
 		},
@@ -276,19 +337,52 @@ func (n *Node) serveBlock(conn Conn, a blockAssign) error {
 		f, err := conn.Recv()
 		if err != nil {
 			finish()
+			up.flush() // best-effort: the drained tail may still arrive
 			if err == io.EOF {
 				return fmt.Errorf("cluster: ingress closed before finish")
 			}
 			return err
 		}
 		switch v := f.(type) {
-		case wire.Batch:
-			// Acknowledge receipt before processing: the heartbeat keeps
-			// the ingress failure detector quiet while the engines chew.
+		case *wire.BatchView:
+			// Serializing transport: the events already live in decArena
+			// (decoded in place by conn.Recv). Scan the columnar spans
+			// into per-event unary masks, then hand the stable pointers
+			// to the engine — no copy anywhere between socket and match.
 			up.send(wire.Heartbeat{UpTo: v.UpTo})
-			for i := range v.Events {
-				eng.Process(&v.Events[i])
+			var masks []uint32
+			if scannable && len(v.Events) > 0 {
+				if cap(maskBuf) < len(v.Events) {
+					maskBuf = make([]uint32, len(v.Events))
+				}
+				masks = maskBuf[:len(v.Events)]
+				pat.ScanUnarySpans(v.Spans, masks)
 			}
+			eng.ProcessStable(v.Events, masks)
+			eng.Flush(v.UpTo)
+			if ne := len(v.Events); ne > 0 {
+				if ts := v.Events[ne-1].TS; ts > maxTS {
+					maxTS = ts
+				}
+				// Unpin decoded chunks the engines can no longer need for
+				// new matches (recycle is off, so any horizon is safe —
+				// see the arena comment above).
+				if w := pat.Window; w > 0 {
+					decArena.Release(maxTS - 2*w)
+				} else if decArena.Live() > 64 {
+					decArena.Release(maxTS)
+				}
+			}
+		case wire.Batch:
+			// Reference transport (in-process pipe): the frame's event
+			// slice is owned by the ingress/journal and stable for the
+			// run, so the engines can retain pointers into it directly.
+			up.send(wire.Heartbeat{UpTo: v.UpTo})
+			ptrBuf = ptrBuf[:0]
+			for i := range v.Events {
+				ptrBuf = append(ptrBuf, &v.Events[i])
+			}
+			eng.ProcessStable(ptrBuf, nil)
 			eng.Flush(v.UpTo)
 		case wire.Finish:
 			// Drain everything: Finish returns only after the collector
@@ -296,14 +390,17 @@ func (n *Node) serveBlock(conn Conn, a blockAssign) error {
 			// through the sender above.
 			finish()
 			up.send(wire.Metrics{M: eng.Metrics()})
+			up.flush()
 			if err := up.failed(); err != nil {
 				return fmt.Errorf("cluster: node streaming results: %w", err)
 			}
 			return nil
 		default:
 			finish()
+			up.flush()
 			return fmt.Errorf("cluster: node received unexpected %s frame", wire.KindOf(f))
 		}
+		up.flush()
 	}
 }
 

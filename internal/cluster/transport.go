@@ -26,11 +26,13 @@
 package cluster
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 
+	"acep/internal/match"
 	"acep/internal/wire"
 )
 
@@ -105,18 +107,64 @@ func (p *pipeHalf) Close() error {
 	return nil
 }
 
-// streamConn frames wire messages over any io stream (TCP here).
+// streamConn frames wire messages over any io stream (TCP here). Both
+// directions are buffered: reads through a bufio.Reader so a frame's
+// length prefix and body (and any frames already queued in the socket)
+// cost one read syscall instead of two each, and writes through a
+// bufio.Writer that Send flushes by default — one syscall per frame,
+// the pre-buffering behavior. A session that emits bursts of small
+// frames (a node's per-cut heartbeat, watermark and matches) can probe
+// for SetSendHold/Flush and coalesce a burst into a single write.
 type streamConn struct {
-	c net.Conn
-	r *wire.Reader
-	w *wire.Writer
+	c    net.Conn
+	r    *wire.Reader
+	bw   *bufio.Writer
+	w    *wire.Writer
+	hold bool
 }
+
+const streamBufSize = 32 << 10
 
 func newStreamConn(c net.Conn) Conn {
-	return &streamConn{c: c, r: wire.NewReader(c), w: wire.NewWriter(c)}
+	bw := bufio.NewWriterSize(c, streamBufSize)
+	return &streamConn{
+		c:  c,
+		r:  wire.NewReader(bufio.NewReaderSize(c, streamBufSize)),
+		bw: bw,
+		w:  wire.NewWriter(bw),
+	}
 }
 
-func (s *streamConn) Send(f wire.Frame) error { return s.w.Write(f) }
+func (s *streamConn) Send(f wire.Frame) error {
+	if err := s.w.Write(f); err != nil {
+		return err
+	}
+	if s.hold {
+		return nil
+	}
+	return s.bw.Flush()
+}
+
+// SetSendHold switches Send between write-through (false, the default:
+// every frame is flushed to the socket immediately) and held mode
+// (true: frames accumulate in the write buffer until Flush). Held mode
+// is only safe when the caller owns a protocol quiescence point to
+// flush at — the node flushes after handling each inbound frame and at
+// session end — since a held frame the peer is waiting for would
+// otherwise deadlock the session. Callers probe for this method; the
+// in-process pipe delivers frames by reference and does not buffer.
+func (s *streamConn) SetSendHold(on bool) { s.hold = on }
+
+// Flush writes any held frames through to the socket.
+func (s *streamConn) Flush() error { return s.bw.Flush() }
+
+// SetDecodeArena switches the receive side to zero-copy batch decoding:
+// Batch frames decode straight into arena chunks and surface as
+// wire.BatchView (see wire.Reader.SetDecodeArena). Nodes probe for this
+// method on their Conn — it marks a serializing transport, where the
+// decode-into-arena and owned-emit paths pay off; the in-process pipe
+// passes frames by reference and deliberately does not implement it.
+func (s *streamConn) SetDecodeArena(a *match.Arena) { s.r.SetDecodeArena(a) }
 func (s *streamConn) Recv() (wire.Frame, error) {
 	f, err := s.r.Read()
 	if err != nil && err != io.EOF {

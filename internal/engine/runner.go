@@ -70,17 +70,27 @@ func (r *runner) buildEvaluator(p plan.Plan) evaluator {
 			r.cfg.OnMatch(m)
 		}
 	}
+	var ev evaluator
 	switch pl := p.(type) {
 	case *plan.OrderPlan:
-		return nfa.New(r.pat, pl, emit)
+		ev = nfa.New(r.pat, pl, emit)
 	case *plan.TreePlan:
-		return tree.New(r.pat, pl, emit)
+		ev = tree.New(r.pat, pl, emit)
 	default:
 		panic("engine: unknown plan type")
 	}
+	// Applied on every build — including migration rebuilds — so the
+	// ingest contract survives plan changes.
+	if r.cfg.ExternalEvents {
+		ev.SetExternal(true)
+	}
+	if r.cfg.OwnedEmit {
+		ev.SetOwnedEmit(true)
+	}
+	return ev
 }
 
-func (r *runner) process(ev *event.Event) {
+func (r *runner) process(ev *event.Event, mask uint32) {
 	r.metrics.Events++
 	if ev.TS < r.watermark {
 		// The evaluation structures index their buffers by timestamp
@@ -103,7 +113,7 @@ func (r *runner) process(ev *event.Event) {
 				r.accumulate(d.eval)
 				continue
 			}
-			d.eval.Process(ev)
+			d.eval.ProcessMasked(ev, mask)
 			kept = append(kept, d)
 		}
 		for i := len(kept); i < len(r.draining); i++ {
@@ -112,7 +122,7 @@ func (r *runner) process(ev *event.Event) {
 		r.draining = kept
 	}
 
-	r.cur.Process(ev)
+	r.cur.ProcessMasked(ev, mask)
 
 	r.sinceCheck++
 	if r.sinceCheck >= r.cfg.CheckEvery {

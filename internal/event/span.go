@@ -1,0 +1,23 @@
+package event
+
+// Span describes a columnar run of consecutively stored events that share
+// one type and one attribute stride: the attribute blocks of events
+// First..First+N-1 of a batch sit back to back in Attrs, so attribute k of
+// the run's i-th event is Attrs[i*Stride+k]. Batch decoders produce spans
+// as a by-product of filling an arena chunk's flat attribute buffer in
+// place; columnar predicate scans (pattern.ScanUnarySpan) consume them to
+// sweep one attribute across a whole run with stride arithmetic instead of
+// chasing per-event slices.
+//
+// A span never crosses a chunk boundary, so Attrs aliases a single chunk's
+// backing buffer and stays valid exactly as long as pointers into that
+// chunk do. Events with no attributes (Stride 0) form spans with an empty
+// Attrs slice; scans skip them.
+type Span struct {
+	Type   int
+	First  int // index of the run's first event within its batch
+	N      int // number of events in the run
+	Stride int // attribute values per event
+	// Attrs holds the run's N*Stride attribute values, flat.
+	Attrs []float64
+}

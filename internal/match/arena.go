@@ -76,6 +76,49 @@ func (a *Arena) Intern(ev *event.Event) *event.Event {
 	return ne
 }
 
+// Alloc reserves the next arena slot in place and returns it: the event
+// is initialized with the given type, timestamp, and sequence number, and
+// its Attrs slice is pre-sized to nattrs values backed by the chunk's
+// flat attribute buffer, for the caller to fill directly (batch decoders
+// write decoded values straight into the returned slice — the event is
+// materialized exactly once). Sealing follows Intern: a chunk closes when
+// its event array fills or nattrs would overflow its attribute buffer.
+//
+// Alloc additionally returns the offset of the event's attribute block
+// within the chunk buffer returned by Tail, so callers can detect
+// contiguous same-stride runs and build columnar event.Spans over them.
+func (a *Arena) Alloc(typ int, ts event.Time, seq uint64, nattrs int) (*event.Event, int) {
+	var c *chunk
+	if n := len(a.chunks); n > 0 {
+		c = a.chunks[n-1]
+	}
+	if c == nil || len(c.evs) == cap(c.evs) || len(c.attrs)+nattrs > cap(c.attrs) {
+		c = a.grow(nattrs)
+	}
+	ai := len(c.attrs)
+	c.attrs = c.attrs[:ai+nattrs]
+	c.evs = append(c.evs, event.Event{Type: typ, TS: ts, Seq: seq})
+	ne := &c.evs[len(c.evs)-1]
+	ne.Attrs = c.attrs[ai : ai+nattrs : ai+nattrs]
+	if ts > c.maxTS {
+		c.maxTS = ts
+	}
+	return ne, ai
+}
+
+// Tail returns the live chunk's flat attribute buffer extended to its
+// full capacity. The backing array never reallocates (chunks seal instead
+// of growing), so the returned slice stays valid for the chunk's whole
+// lifetime; only the prefix covered by allocated events holds meaningful
+// values. Returns nil before the first allocation.
+func (a *Arena) Tail() []float64 {
+	if n := len(a.chunks); n > 0 {
+		c := a.chunks[n-1]
+		return c.attrs[:cap(c.attrs)]
+	}
+	return nil
+}
+
 // grow appends a fresh (or recycled) chunk with room for at least one
 // event carrying attrs attribute values.
 func (a *Arena) grow(attrs int) *chunk {

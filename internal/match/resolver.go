@@ -106,6 +106,11 @@ func (r *Resolver) Wants(p int, ev *event.Event) bool {
 	return r.bufs[p] != nil && r.pat.UnaryOk(p, ev, &r.PredEvals)
 }
 
+// Buffered reports whether residual position p has a buffer at all — the
+// structural half of Wants, for engines that already know the predicate
+// verdict from a precomputed unary mask.
+func (r *Resolver) Buffered(p int) bool { return r.bufs[p] != nil }
+
 // AddResidual stores ev in residual position p's buffer. The caller has
 // checked Wants and guarantees ev stays valid for the resolver's
 // retention horizon (engines pass arena-interned events).

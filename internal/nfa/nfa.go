@@ -81,8 +81,9 @@ type Engine struct {
 	checks   [][]stateCheck  // per state: checks against the filled prefix
 	n        int             // number of core positions
 
-	arena  match.Arena
-	pmFree []*pm
+	arena    match.Arena
+	external bool // events are caller-stable; retain pointers, don't intern
+	pmFree   []*pm
 
 	watermark  event.Time
 	retention  event.Time
@@ -150,6 +151,15 @@ func (g *Engine) SetOwnedEmit(owned bool) {
 		g.arena.SetRecycle(owned)
 	}
 }
+
+// SetExternal declares that every event handed to Process is already
+// stored stably outside the engine — an ingest or decode arena with
+// recycling off, whose chunks the garbage collector keeps alive for as
+// long as anything references them — so the engine retains the caller's
+// pointer directly instead of interning a copy. This removes the last
+// per-event copy on the batched wire-to-match path: the arena slot the
+// decoder filled is the very pointer buffers and partial matches hold.
+func (g *Engine) SetExternal(on bool) { g.external = on }
 
 // SetEmitOnlyBefore restricts emission to matches containing at least one
 // core event with Seq < seq: the old-plan side of the paper's §2.2
@@ -236,8 +246,30 @@ func (g *Engine) putPM(m *pm) {
 }
 
 // Process feeds one input event. Events must arrive in non-decreasing
-// timestamp order. The event is copied if kept; the caller may reuse it.
-func (g *Engine) Process(e *event.Event) {
+// timestamp order. The event is copied if kept (unless SetExternal is in
+// effect); the caller may reuse it.
+func (g *Engine) Process(e *event.Event) { g.process(e, 0) }
+
+// ProcessMasked is Process with a precomputed unary predicate mask (see
+// pattern.ScanUnarySpan): when mask carries pattern.MaskValid, bit p
+// replaces the per-event UnaryOk evaluation for position p. A zero mask
+// falls back to per-event evaluation, so callers without masks pass 0.
+func (g *Engine) ProcessMasked(e *event.Event, mask uint32) { g.process(e, mask) }
+
+// ProcessBatch feeds a whole batch of stable events through one call.
+// masks, when non-nil, is parallel to evs and carries precomputed unary
+// masks. Emission order is identical to per-event Process calls.
+func (g *Engine) ProcessBatch(evs []*event.Event, masks []uint32) {
+	for i, e := range evs {
+		var m uint32
+		if masks != nil {
+			m = masks[i]
+		}
+		g.process(e, m)
+	}
+}
+
+func (g *Engine) process(e *event.Event, mask uint32) {
 	if e.TS > g.watermark {
 		g.Advance(e.TS)
 	}
@@ -247,19 +279,19 @@ func (g *Engine) Process(e *event.Event) {
 		if k < 0 {
 			// Residual position: the resolver buffers it for scope
 			// resolution (it applies the position's unary predicates).
-			if g.res.Wants(p, e) {
+			if g.wantsResidual(p, e, mask) {
 				if ae == nil {
-					ae = g.arena.Intern(e)
+					ae = g.intern(e)
 				}
 				g.res.AddResidual(p, ae)
 			}
 			continue
 		}
-		if !g.pat.UnaryOk(p, e, &g.predEvals) {
+		if !g.unaryOk(p, e, mask) {
 			continue
 		}
 		if ae == nil {
-			ae = g.arena.Intern(e)
+			ae = g.intern(e)
 		}
 		if k == 0 {
 			g.create(p, ae)
@@ -268,6 +300,33 @@ func (g *Engine) Process(e *event.Event) {
 		}
 		g.bufs[p].Add(ae)
 	}
+}
+
+// intern stores the event for retention: an arena copy normally, the
+// caller's stable pointer under SetExternal.
+func (g *Engine) intern(e *event.Event) *event.Event {
+	if g.external {
+		return e
+	}
+	return g.arena.Intern(e)
+}
+
+// unaryOk consults the precomputed mask bit when one is present and falls
+// back to evaluating position p's compiled unary predicates.
+func (g *Engine) unaryOk(p int, e *event.Event, mask uint32) bool {
+	if mask&pattern.MaskValid != 0 {
+		return pattern.MaskOk(mask, p)
+	}
+	return g.pat.UnaryOk(p, e, &g.predEvals)
+}
+
+// wantsResidual is Resolver.Wants with the mask consulted for the unary
+// predicates when present.
+func (g *Engine) wantsResidual(p int, e *event.Event, mask uint32) bool {
+	if mask&pattern.MaskValid != 0 {
+		return g.res.Buffered(p) && pattern.MaskOk(mask, p)
+	}
+	return g.res.Wants(p, e)
 }
 
 // extendState offers event e (at position p = order[k]) to every PM

@@ -1,0 +1,175 @@
+package pattern
+
+import (
+	"math"
+
+	"acep/internal/event"
+)
+
+// Columnar unary evaluation: batch decoders materialize events into arena
+// chunks whose attribute blocks sit back to back (event.Span), so the
+// per-position CUnary predicates can sweep one attribute across a whole
+// run with stride arithmetic over a flat []float64 instead of chasing
+// per-event Attrs slices. The result is a per-event position mask the
+// engines consult in place of UnaryOk.
+//
+// Mask layout: bit p (0 ≤ p ≤ 30) is set iff position p's unary
+// predicates all pass for the event; MaskValid (bit 31) marks the mask as
+// populated, so a zero mask still means "not precomputed" and engines
+// fall back to per-event UnaryOk. Patterns with 32 or more positions are
+// not mask-scannable (MaskScannable reports false) and always use the
+// per-event path.
+
+// MaskValid flags a unary mask as populated; without it a mask carries no
+// information and engines evaluate predicates per event.
+const MaskValid uint32 = 1 << 31
+
+// MaskScannable reports whether the pattern's positions fit a 32-bit
+// unary mask (bit 31 is reserved for MaskValid).
+func (p *Pattern) MaskScannable() bool { return len(p.Positions) < 32 }
+
+// MaskOk reports whether position p's unary predicates passed in the
+// populated mask m. Meaningful only when m&MaskValid != 0.
+func MaskOk(m uint32, p int) bool { return m&(1<<uint(p)) != 0 }
+
+// ScanUnarySpan evaluates every position's compiled unary predicates over
+// one columnar run, writing per-event position masks. masks is indexed by
+// batch position: entries First..First+N-1 are overwritten with MaskValid
+// plus one bit per accepting position whose predicates all pass.
+//
+// The predicate-evaluation count added to evals is exactly what the
+// equivalent per-event UnaryOk calls would report: predicate k of a
+// position is evaluated only for events that passed predicates 0..k-1
+// (the mask bit doubles as the short-circuit "still passing" flag, so
+// later predicates skip already-failed events).
+func (p *Pattern) ScanUnarySpan(s *event.Span, masks []uint32, evals *uint64) {
+	for i := 0; i < s.N; i++ {
+		masks[s.First+i] = MaskValid
+	}
+	for _, pos := range p.PositionsOfType(s.Type) {
+		preds := p.unaryC[pos]
+		bit := uint32(1) << uint(pos)
+		for i := 0; i < s.N; i++ {
+			masks[s.First+i] |= bit
+		}
+		for k := range preds {
+			cu := &preds[k]
+			if cu.Attr >= s.Stride {
+				// Malformed input (fewer attributes than the pattern
+				// expects): take the per-event path, which fails with
+				// the same bounds panic UnaryOk would.
+				scanPredScalar(cu, s, bit, masks, evals)
+				continue
+			}
+			scanPred(cu, s, bit, masks, evals)
+		}
+	}
+}
+
+// scanPred sweeps one compiled predicate down a run's attribute column,
+// clearing bit in the mask of every still-passing event that fails it.
+// The comparison switch is hoisted out of the loop so each case is a
+// tight stride scan.
+func scanPred(cu *CUnary, s *event.Span, bit uint32, masks []uint32, evals *uint64) {
+	attrs, stride, base := s.Attrs, s.Stride, s.First
+	a, c := cu.Attr, cu.C
+	n := uint64(0)
+	switch cu.Op {
+	case LT:
+		for i := 0; i < s.N; i++ {
+			if masks[base+i]&bit != 0 {
+				n++
+				if !(attrs[i*stride+a] < c) {
+					masks[base+i] &^= bit
+				}
+			}
+		}
+	case LE:
+		for i := 0; i < s.N; i++ {
+			if masks[base+i]&bit != 0 {
+				n++
+				if !(attrs[i*stride+a] <= c) {
+					masks[base+i] &^= bit
+				}
+			}
+		}
+	case GT:
+		for i := 0; i < s.N; i++ {
+			if masks[base+i]&bit != 0 {
+				n++
+				if !(attrs[i*stride+a] > c) {
+					masks[base+i] &^= bit
+				}
+			}
+		}
+	case GE:
+		for i := 0; i < s.N; i++ {
+			if masks[base+i]&bit != 0 {
+				n++
+				if !(attrs[i*stride+a] >= c) {
+					masks[base+i] &^= bit
+				}
+			}
+		}
+	case EQ:
+		for i := 0; i < s.N; i++ {
+			if masks[base+i]&bit != 0 {
+				n++
+				if !(attrs[i*stride+a] == c) {
+					masks[base+i] &^= bit
+				}
+			}
+		}
+	case NE:
+		for i := 0; i < s.N; i++ {
+			if masks[base+i]&bit != 0 {
+				n++
+				if !(attrs[i*stride+a] != c) {
+					masks[base+i] &^= bit
+				}
+			}
+		}
+	case AbsDiffLT:
+		for i := 0; i < s.N; i++ {
+			if masks[base+i]&bit != 0 {
+				n++
+				if !(math.Abs(attrs[i*stride+a]) < c) {
+					masks[base+i] &^= bit
+				}
+			}
+		}
+	default:
+		for i := 0; i < s.N; i++ {
+			if masks[base+i]&bit != 0 {
+				n++
+				masks[base+i] &^= bit
+			}
+		}
+	}
+	*evals += n
+}
+
+// scanPredScalar is the bounds-faithful fallback for a predicate whose
+// attribute index exceeds the run's stride.
+func scanPredScalar(cu *CUnary, s *event.Span, bit uint32, masks []uint32, evals *uint64) {
+	for i := 0; i < s.N; i++ {
+		if masks[s.First+i]&bit == 0 {
+			continue
+		}
+		*evals++
+		ev := event.Event{Attrs: s.Attrs[i*s.Stride : (i+1)*s.Stride]}
+		if !cu.Ok(&ev) {
+			masks[s.First+i] &^= bit
+		}
+	}
+}
+
+// ScanUnarySpans runs ScanUnarySpan over every span of a batch, returning
+// the predicate evaluations performed. masks must cover the whole batch.
+func (p *Pattern) ScanUnarySpans(spans []event.Span, masks []uint32) uint64 {
+	var evals uint64
+	for i := range spans {
+		p.ScanUnarySpan(&spans[i], masks, &evals)
+	}
+	return evals
+}

@@ -13,6 +13,12 @@ type Tagged struct {
 	Seq uint64
 	Src int
 	Idx uint64
+	// Enc, on the owned-emit wire path (Options.EncodeMatch), holds the
+	// match pre-encoded as a wire KindMatch body; M is nil then. The
+	// slice aliases a worker outbox slab that is never overwritten, so it
+	// stays valid for as long as the tag (or anything downstream) holds
+	// it.
+	Enc []byte
 }
 
 // post is one source→collector message: the matches of one processed

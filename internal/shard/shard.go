@@ -145,14 +145,30 @@ type Options struct {
 	// the engine's completion watermark advances: every match tagged at
 	// or below the reported sequence number has been delivered.
 	OnProgress func(uint64)
+	// EncodeMatch, settable only with OnTagged, switches the engine to the
+	// owned-emit wire path: every shard's evaluators run under the
+	// owned-emit contract, each match is encoded into a per-shard outbox
+	// slab on the worker goroutine (dst is the slab to append to; return
+	// the extended slice), and the resulting Tagged carries the encoded
+	// bytes in Enc with M nil. The callback must read m synchronously and
+	// retain nothing — the cluster node layer passes
+	// wire.AppendMatchBody, so matches travel from the resolver's scratch
+	// to the wire without ever materializing a collector-side copy.
+	EncodeMatch func(dst []byte, m *match.Match) []byte
 }
 
-// cut is one batch handoff: the shard's events accumulated since the last
-// cut (possibly none), their ingress wall-clock stamps (unix nanos,
-// parallel to events), plus the global sequence watermark the cut covers.
+// cut is one batch handoff: pointers to the shard's events accumulated
+// since the last cut (possibly none), their ingress wall-clock stamps
+// (unix nanos, parallel to events), optional precomputed unary masks
+// (parallel to events; zero entries mean "none"), plus the global
+// sequence watermark the cut covers. The events live in the engine's
+// ingest arena (Process) or in caller-stable storage (ProcessStable) —
+// either way they outlive the evaluators' retention window, so workers
+// hand the pointers straight to their engines without re-interning.
 type cut struct {
-	events []event.Event
+	events []*event.Event
 	stamps []int64
+	masks  []uint32
 	upTo   uint64
 }
 
@@ -163,18 +179,26 @@ const detectSampleEvery = 16
 
 // worker runs one shard's engine on its own goroutine.
 type worker struct {
-	id  int
-	eng *engine.Engine
-	in  chan cut
+	id   int
+	eng  *engine.Engine
+	in   chan cut
+	free chan cut // recycles consumed cut buffers back to the coordinator
 
 	// Emission state, owned by the worker goroutine (the OnMatch closure
 	// of the shard engine runs there). scratch collects the matches
 	// emitted while processing one event; flushEmits moves them into out
-	// in canonical order.
+	// in canonical order. On the owned-emit wire path (Options.
+	// EncodeMatch) the scratch entries are pooled copies of the
+	// resolver's scratch match and flushEmits encodes each into the enc
+	// outbox slab instead of letting it escape to the collector.
 	curSeq  uint64
 	idx     uint64
 	scratch []*match.Match
 	out     []Tagged
+
+	encode func(dst []byte, m *match.Match) []byte
+	enc    []byte         // per-cut outbox slab; ownership passes with take()
+	mfree  []*match.Match // pooled scratch copies (owned-emit path only)
 
 	// Latency estimators, owned by the worker goroutine; read by
 	// Metrics/ShardMetrics after Finish.
@@ -186,7 +210,44 @@ type worker struct {
 func (w *worker) take() []Tagged {
 	m := w.out
 	w.out = nil
+	// The outbox slab is now referenced by the taken tags; the next cut
+	// starts a fresh one (the collector may buffer tags indefinitely, so
+	// the slab must never be overwritten).
+	w.enc = nil
 	return m
+}
+
+// copyScratch clones the resolver's scratch match into a pooled worker
+// match: the slice headers are the worker's own (reused across matches),
+// the event pointers are stable arena events. Needed because the
+// owned-emit contract invalidates the emitted match when the OnMatch
+// callback returns, but canonical ordering (flushEmits) runs only after
+// the whole event is processed.
+func (w *worker) copyScratch(src *match.Match) *match.Match {
+	var m *match.Match
+	if n := len(w.mfree); n > 0 {
+		m = w.mfree[n-1]
+		w.mfree[n-1] = nil
+		w.mfree = w.mfree[:n-1]
+	} else {
+		m = &match.Match{}
+	}
+	m.Events = append(m.Events[:0], src.Events...)
+	m.Kleene = m.Kleene[:0]
+	for _, set := range src.Kleene {
+		m.Kleene = append(m.Kleene, append([]*event.Event(nil), set...))
+	}
+	return m
+}
+
+// putMatch recycles a pooled scratch copy, dropping its event references
+// so dead matches don't pin arena chunks.
+func (w *worker) putMatch(m *match.Match) {
+	clear(m.Events[:cap(m.Events)])
+	m.Events = m.Events[:0]
+	clear(m.Kleene[:cap(m.Kleene)])
+	m.Kleene = m.Kleene[:0]
+	w.mfree = append(w.mfree, m)
 }
 
 // flushEmits tags the matches emitted while processing the current event
@@ -207,7 +268,20 @@ func (w *worker) flushEmits() {
 		sortMatches(w.scratch)
 	}
 	for _, m := range w.scratch {
-		w.out = append(w.out, Tagged{M: m, Seq: w.curSeq, Src: w.id, Idx: w.idx})
+		t := Tagged{Seq: w.curSeq, Src: w.id, Idx: w.idx}
+		if w.encode != nil {
+			// Owned-emit wire path: encode into the outbox slab and
+			// recycle the pooled copy. Appends may grow the slab into a
+			// new backing array; earlier tags keep the old one alive, so
+			// every Enc slice stays valid.
+			start := len(w.enc)
+			w.enc = w.encode(w.enc, m)
+			t.Enc = w.enc[start:len(w.enc):len(w.enc)]
+			w.putMatch(m)
+		} else {
+			t.M = m
+		}
+		w.out = append(w.out, t)
 		w.idx++
 	}
 	w.scratch = w.scratch[:0]
@@ -218,21 +292,38 @@ func (w *worker) run(col *Collector, wg *sync.WaitGroup) {
 	for c := range w.in {
 		if len(c.events) > 0 {
 			recv := time.Now().UnixNano()
-			for i := range c.events {
+			for i, ev := range c.events {
 				w.qwait.Add(float64(recv - c.stamps[i]))
-				w.curSeq = c.events[i].Seq
+				w.curSeq = ev.Seq
 				w.nevents++
+				var mk uint32
+				if c.masks != nil {
+					mk = c.masks[i]
+				}
 				if w.nevents%detectSampleEvery == 0 {
 					t0 := time.Now()
-					w.eng.Process(&c.events[i])
+					w.eng.ProcessMasked(ev, mk)
 					w.detect.Add(float64(time.Since(t0)))
 				} else {
-					w.eng.Process(&c.events[i])
+					w.eng.ProcessMasked(ev, mk)
 				}
 				w.flushEmits()
 			}
 		}
 		col.Post(w.id, c.upTo, w.take())
+		// Recycle the consumed cut buffers: the evaluator retains the
+		// events themselves, never these slice headers. Event pointers
+		// are cleared first so a pooled buffer cannot pin arena chunks
+		// past their release horizon.
+		if cap(c.events) > 0 {
+			for i := range c.events {
+				c.events[i] = nil
+			}
+			select {
+			case w.free <- cut{events: c.events[:0], stamps: c.stamps[:0], masks: c.masks[:0]}:
+			default:
+			}
+		}
 	}
 	// End of stream: flush parked matches. They are tagged past every
 	// real sequence number and ordered by (shard, emission index).
@@ -305,12 +396,27 @@ type Engine struct {
 	nshards  int
 	batch    int
 	overflow Overflow
+	window   event.Time
 
 	workers []*worker
-	bufs    [][]event.Event
+	bufs    [][]*event.Event
 	stamps  [][]int64
+	masks   [][]uint32
+	free    chan cut // consumed cut buffers recycled by the workers
 	pending int
 	lastSeq uint64
+
+	// arena is the single-copy ingest store: Process interns each event
+	// exactly once here and everything downstream — cut buffers, evaluator
+	// buffers, partial matches, emitted matches — holds pointers into it.
+	// Recycling stays off, so releasing a chunk merely drops the arena's
+	// reference and the garbage collector keeps it alive for as long as
+	// any evaluator or buffered match still points in; any release horizon
+	// is therefore memory-safe, and the horizon below only bounds how much
+	// the arena itself pins. ProcessStable bypasses the arena entirely
+	// (its events are caller-stable — a wire decode arena or journal).
+	arena match.Arena
+	maxTS event.Time
 
 	queueDropped []uint64 // per shard, owned by the Process goroutine
 	queueCap     int      // effective per-shard queue bound, in events
@@ -360,6 +466,9 @@ func New(pat *pattern.Pattern, cfg engine.Config, opts Options) (*Engine, error)
 	if opts.OnMatch != nil && opts.OnTagged != nil {
 		return nil, fmt.Errorf("shard: set at most one of Options.OnMatch and Options.OnTagged")
 	}
+	if opts.EncodeMatch != nil && opts.OnTagged == nil {
+		return nil, fmt.Errorf("shard: Options.EncodeMatch requires Options.OnTagged (encoded matches carry no *match.Match for OnMatch)")
+	}
 	if opts.Shards <= 0 {
 		opts.Shards = runtime.GOMAXPROCS(0)
 	}
@@ -406,10 +515,15 @@ func New(pat *pattern.Pattern, cfg engine.Config, opts Options) (*Engine, error)
 		nshards:      opts.Shards,
 		batch:        opts.Batch,
 		overflow:     opts.Overflow,
-		bufs:         make([][]event.Event, opts.Shards),
+		window:       opts.Window,
+		bufs:         make([][]*event.Event, opts.Shards),
 		stamps:       make([][]int64, opts.Shards),
+		masks:        make([][]uint32, opts.Shards),
 		queueDropped: make([]uint64, opts.Shards),
 		queueCap:     opts.Queue * opts.Batch,
+		// One pooled buffer set per queue slot plus the one being filled:
+		// with full queues every cut still finds a recycled buffer.
+		free: make(chan cut, opts.Shards*(opts.Queue+1)),
 	}
 	if e.route == nil {
 		key, n := opts.Key, uint64(opts.Shards)
@@ -425,10 +539,26 @@ func New(pat *pattern.Pattern, cfg engine.Config, opts Options) (*Engine, error)
 	}
 	e.col = NewCollector(opts.Shards, deliver, opts.OnProgress)
 	for s := 0; s < e.nshards; s++ {
-		w := &worker{id: s, in: make(chan cut, opts.Queue)}
+		w := &worker{id: s, in: make(chan cut, opts.Queue), encode: opts.EncodeMatch, free: e.free}
 		shardCfg := cfg
-		shardCfg.OnMatch = func(m *match.Match) {
-			w.scratch = append(w.scratch, m)
+		// Cut buffers carry stable pointers (ingest arena or caller
+		// storage), so evaluators retain them directly instead of
+		// interning another copy — one materialization between the wire
+		// and the match buffer.
+		shardCfg.ExternalEvents = true
+		if opts.EncodeMatch != nil {
+			// Owned-emit wire path: the resolver's scratch match is
+			// cloned into a pooled worker copy inside the callback (its
+			// slices die when the callback returns; the arena events it
+			// points at do not).
+			shardCfg.OwnedEmit = true
+			shardCfg.OnMatch = func(m *match.Match) {
+				w.scratch = append(w.scratch, w.copyScratch(m))
+			}
+		} else {
+			shardCfg.OnMatch = func(m *match.Match) {
+				w.scratch = append(w.scratch, m)
+			}
 		}
 		if shardCfg.Shedding.Policy != nil && shardCfg.Shedding.Key == nil && opts.Key != nil {
 			// Pattern-aware shedding protects per-entity state; default the
@@ -465,9 +595,48 @@ func (e *Engine) Process(ev *event.Event) {
 		panic("shard: Process after Finish")
 	}
 	s := e.route(ev)
-	e.bufs[s] = append(e.bufs[s], *ev)
+	ae := e.arena.Intern(ev)
+	e.bufs[s] = append(e.bufs[s], ae)
 	e.stamps[s] = append(e.stamps[s], time.Now().UnixNano())
+	e.masks[s] = append(e.masks[s], 0)
+	e.track(ev)
+}
+
+// ProcessStable is the batched zero-copy ingest entry: every pointer in
+// evs must stay valid (and its event immutable) for at least the
+// pattern's retention window — the cluster node passes arena slots filled
+// by the wire decoder, and failover replay passes journal-backed storage.
+// No per-event copy is made anywhere downstream. masks, when non-nil, is
+// parallel to evs and carries precomputed unary predicate masks
+// (pattern.ScanUnarySpans) that evaluators consult instead of re-running
+// unary predicates per event. Cut boundaries fall exactly where
+// equivalent per-event Process calls would put them, so the merged match
+// stream is identical.
+func (e *Engine) ProcessStable(evs []*event.Event, masks []uint32) {
+	if e.finished {
+		panic("shard: Process after Finish")
+	}
+	now := time.Now().UnixNano()
+	for i, ev := range evs {
+		s := e.route(ev)
+		e.bufs[s] = append(e.bufs[s], ev)
+		e.stamps[s] = append(e.stamps[s], now)
+		var mk uint32
+		if masks != nil {
+			mk = masks[i]
+		}
+		e.masks[s] = append(e.masks[s], mk)
+		e.track(ev)
+	}
+}
+
+// track updates ingest progress after an event lands in its cut buffer
+// and seals the cut at the batch boundary.
+func (e *Engine) track(ev *event.Event) {
 	e.lastSeq = ev.Seq
+	if ev.TS > e.maxTS {
+		e.maxTS = ev.TS
+	}
 	e.pending++
 	if e.pending >= e.batch {
 		e.cutAll(false)
@@ -498,7 +667,7 @@ func (e *Engine) Flush(upTo uint64) {
 // handoff, whose upTo is necessarily newer).
 func (e *Engine) cutAll(block bool) {
 	for s, w := range e.workers {
-		c := cut{events: e.bufs[s], stamps: e.stamps[s], upTo: e.lastSeq}
+		c := cut{events: e.bufs[s], stamps: e.stamps[s], masks: e.masks[s], upTo: e.lastSeq}
 		if block || e.overflow == Backpressure {
 			w.in <- c
 		} else {
@@ -510,8 +679,23 @@ func (e *Engine) cutAll(block bool) {
 		}
 		e.bufs[s] = nil
 		e.stamps[s] = nil
+		e.masks[s] = nil
+		select {
+		case b := <-e.free: // a worker finished with an earlier cut's buffers
+			e.bufs[s], e.stamps[s], e.masks[s] = b.events, b.stamps, b.masks
+		default:
+		}
 	}
 	e.pending = 0
+	// Unpin ingest-arena chunks the evaluators have certainly pruned
+	// (recycling is off, so references — not this call — govern lifetime;
+	// see the arena field comment). Without a window the retention horizon
+	// is unknown, so fall back to bounding the arena's own pin list.
+	if e.window > 0 {
+		e.arena.Release(e.maxTS - 2*e.window)
+	} else if e.arena.Live() > 64 {
+		e.arena.Release(e.maxTS)
+	}
 }
 
 // Finish flushes the final partial cut, drains every shard, and waits

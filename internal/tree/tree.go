@@ -63,6 +63,7 @@ type Engine struct {
 	leafByPos []*node // pattern position -> leaf node (nil for residuals)
 
 	arena     match.Arena
+	external  bool // events are caller-stable; retain pointers, don't intern
 	tupleFree []*tuple
 
 	watermark  event.Time
@@ -159,6 +160,12 @@ func (g *Engine) SetOwnedEmit(owned bool) {
 	}
 }
 
+// SetExternal declares that every event handed to Process is already
+// stored stably outside the engine (an ingest or decode arena with
+// recycling off), so the engine retains the caller's pointer directly
+// instead of interning a copy. See nfa.Engine.SetExternal.
+func (g *Engine) SetExternal(on bool) { g.external = on }
+
 // SetEmitOnlyBefore restricts emission to matches containing at least one
 // core event with Seq < seq (old-plan side of plan migration). Setting a
 // boundary also freezes the arena: migration hands this engine's
@@ -232,8 +239,29 @@ func (g *Engine) putTuple(t *tuple) {
 }
 
 // Process feeds one input event (non-decreasing timestamps). The event
-// is copied if kept; the caller may reuse it.
-func (g *Engine) Process(e *event.Event) {
+// is copied if kept (unless SetExternal is in effect); the caller may
+// reuse it.
+func (g *Engine) Process(e *event.Event) { g.process(e, 0) }
+
+// ProcessMasked is Process with a precomputed unary predicate mask (see
+// pattern.ScanUnarySpan): when mask carries pattern.MaskValid, bit p
+// replaces the per-event UnaryOk evaluation for position p.
+func (g *Engine) ProcessMasked(e *event.Event, mask uint32) { g.process(e, mask) }
+
+// ProcessBatch feeds a whole batch of stable events through one call.
+// masks, when non-nil, is parallel to evs and carries precomputed unary
+// masks. Emission order is identical to per-event Process calls.
+func (g *Engine) ProcessBatch(evs []*event.Event, masks []uint32) {
+	for i, e := range evs {
+		var m uint32
+		if masks != nil {
+			m = masks[i]
+		}
+		g.process(e, m)
+	}
+}
+
+func (g *Engine) process(e *event.Event, mask uint32) {
 	if e.TS > g.watermark {
 		g.Advance(e.TS)
 	}
@@ -243,19 +271,19 @@ func (g *Engine) Process(e *event.Event) {
 		if leaf == nil {
 			// Residual position: the resolver buffers it for scope
 			// resolution (it applies the position's unary predicates).
-			if g.res.Wants(p, e) {
+			if g.wantsResidual(p, e, mask) {
 				if ae == nil {
-					ae = g.arena.Intern(e)
+					ae = g.intern(e)
 				}
 				g.res.AddResidual(p, ae)
 			}
 			continue
 		}
-		if !g.pat.UnaryOk(p, e, &g.predEvals) {
+		if !g.unaryOk(p, e, mask) {
 			continue
 		}
 		if ae == nil {
-			ae = g.arena.Intern(e)
+			ae = g.intern(e)
 		}
 		t := g.getTuple()
 		t.minTS = ae.TS
@@ -264,6 +292,33 @@ func (g *Engine) Process(e *event.Event) {
 		g.pmCreated++
 		g.insert(leaf, t)
 	}
+}
+
+// intern stores the event for retention: an arena copy normally, the
+// caller's stable pointer under SetExternal.
+func (g *Engine) intern(e *event.Event) *event.Event {
+	if g.external {
+		return e
+	}
+	return g.arena.Intern(e)
+}
+
+// unaryOk consults the precomputed mask bit when one is present and falls
+// back to evaluating position p's compiled unary predicates.
+func (g *Engine) unaryOk(p int, e *event.Event, mask uint32) bool {
+	if mask&pattern.MaskValid != 0 {
+		return pattern.MaskOk(mask, p)
+	}
+	return g.pat.UnaryOk(p, e, &g.predEvals)
+}
+
+// wantsResidual is Resolver.Wants with the mask consulted for the unary
+// predicates when present.
+func (g *Engine) wantsResidual(p int, e *event.Event, mask uint32) bool {
+	if mask&pattern.MaskValid != 0 {
+		return g.res.Buffered(p) && pattern.MaskOk(mask, p)
+	}
+	return g.res.Wants(p, e)
 }
 
 // insert adds a tuple at a node, emits if the node is the root, and

@@ -1,0 +1,222 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"acep/internal/event"
+	"acep/internal/match"
+	"acep/internal/nfa"
+	"acep/internal/pattern"
+	"acep/internal/plan"
+)
+
+// aliasBatch builds a Batch of n same-shape events of alternating types
+// starting at ts, Seq continuing from seq0.
+func aliasBatch(n int, ts event.Time, seq0 uint64) Batch {
+	evs := make([]event.Event, n)
+	for i := range evs {
+		evs[i] = event.Event{
+			Type: i % 2,
+			TS:   ts + event.Time(i),
+			Seq:  seq0 + uint64(i),
+			Attrs: []float64{
+				float64(seq0) + float64(i),
+				100 + float64(i%7),
+			},
+		}
+	}
+	return Batch{UpTo: seq0 + uint64(n) - 1, Events: evs}
+}
+
+// decodeOne round-trips one Batch through a Reader with the given decode
+// arena and returns the view.
+func decodeOne(t *testing.T, r *Reader, br *bytes.Reader, b Batch) *BatchView {
+	t.Helper()
+	br.Reset(Append(nil, b))
+	f, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := f.(*BatchView)
+	if !ok {
+		t.Fatalf("Read returned %T, want *BatchView", f)
+	}
+	return v
+}
+
+// TestDecodeArenaReleaseInFlight pins the decode-side half of the
+// ownership contract: releasing the decode arena behind a time horizon
+// while pointers to earlier decoded batches are still in flight must
+// not disturb them — with recycling off (the wire contract), Release
+// only unpins chunks, and anything still referenced lives on through
+// the GC with its values intact.
+func TestDecodeArenaReleaseInFlight(t *testing.T) {
+	var arena match.Arena // zero value: recycling off
+	br := bytes.NewReader(nil)
+	r := NewReader(br)
+	r.SetDecodeArena(&arena)
+
+	const n = 300 // > one chunk, so Release has a whole chunk to drop
+	b1 := aliasBatch(n, 1000, 1)
+	v1 := decodeOne(t, r, br, b1)
+
+	// Hold the in-flight batch: copy the pointer slice (the view's
+	// header is Reader scratch) and record the expected values.
+	held := append([]*event.Event(nil), v1.Events...)
+	want := b1.Events
+
+	// Decode a later batch and release everything before it, racing the
+	// horizon past the held batch.
+	b2 := aliasBatch(n, 5000, n+1)
+	decodeOne(t, r, br, b2)
+	before := arena.Live()
+	arena.Release(5000)
+	if arena.Live() >= before {
+		t.Fatalf("Release(5000) dropped no chunks (live %d -> %d)", before, arena.Live())
+	}
+
+	for i, ev := range held {
+		w := &want[i]
+		if ev.Type != w.Type || ev.TS != w.TS || ev.Seq != w.Seq {
+			t.Fatalf("held event %d header corrupted after Release: got %+v want %+v", i, *ev, *w)
+		}
+		for k := range w.Attrs {
+			if ev.Attrs[k] != w.Attrs[k] {
+				t.Fatalf("held event %d attr %d corrupted after Release: got %v want %v",
+					i, k, ev.Attrs[k], w.Attrs[k])
+			}
+		}
+	}
+}
+
+// TestDecodeArenaMigrationFreeze runs the §2.2 migration freeze over
+// wire-decoded chunks: an external-events evaluator buffers pointers
+// into the decode arena, SetEmitOnlyBefore freezes it mid-stream (the
+// draining-evaluator transition), and the decode arena keeps releasing
+// behind the horizon. The drained matches must still be correct — same
+// match set as an unfrozen copying run restricted to the boundary — and
+// their events must read back the decoded values even after every
+// decode-arena chunk has been released.
+func TestDecodeArenaMigrationFreeze(t *testing.T) {
+	s := event.NewSchema()
+	s.MustAddType("A", "x", "y")
+	s.MustAddType("B", "x", "y")
+	pb := pattern.NewBuilder(s, pattern.Seq, 1<<20)
+	pb.Event(0)
+	pb.Event(1)
+	pat := pb.MustBuild()
+
+	const n = 64
+	b1 := aliasBatch(n, 1000, 1)
+	b2 := aliasBatch(n, 2000, n+1)
+	boundary := uint64(n + 1) // only matches touching batch 1 may emit
+
+	// Reference: plain per-event interning run with the same emission
+	// restriction.
+	var wantKeys []string
+	{
+		g := nfa.New(pat, plan.NewOrderPlan([]int{0, 1}), func(m *match.Match) {
+			wantKeys = append(wantKeys, string(m.Key()))
+		})
+		for _, b := range []Batch{b1, b2} {
+			for i := range b.Events {
+				g.Process(&b.Events[i])
+			}
+			if b.UpTo == uint64(n) {
+				g.SetEmitOnlyBefore(boundary)
+			}
+		}
+		g.Finish()
+	}
+
+	// Wire path: decode into an arena, feed the pointers to an
+	// external-events evaluator, freeze at the batch boundary.
+	var arena match.Arena
+	br := bytes.NewReader(nil)
+	r := NewReader(br)
+	r.SetDecodeArena(&arena)
+	var got []*match.Match
+	g := nfa.New(pat, plan.NewOrderPlan([]int{0, 1}), func(m *match.Match) {
+		// The evaluator owns emitted matches only during the callback;
+		// copy the slice header, keeping the arena event pointers.
+		got = append(got, &match.Match{Events: append([]*event.Event(nil), m.Events...)})
+	})
+	g.SetExternal(true)
+	for _, b := range []Batch{b1, b2} {
+		v := decodeOne(t, r, br, b)
+		for _, ev := range v.Events {
+			g.Process(ev)
+		}
+		if b.UpTo == uint64(n) {
+			g.SetEmitOnlyBefore(boundary) // migration: freezes the evaluator arena
+		}
+	}
+	g.Finish()
+	arena.Release(1 << 30) // drop every decode chunk; matches keep them alive
+
+	if len(got) != len(wantKeys) {
+		t.Fatalf("frozen wire run emitted %d matches, reference %d", len(got), len(wantKeys))
+	}
+	for i, m := range got {
+		if string(m.Key()) != wantKeys[i] {
+			t.Fatalf("match %d diverged: got %s want %s", i, m.Key(), wantKeys[i])
+		}
+		for _, ev := range m.Events {
+			if ev.Attrs[1] < 100 || ev.Attrs[1] > 106 {
+				t.Fatalf("match %d holds corrupted attrs after full Release: %v", i, ev.Attrs)
+			}
+		}
+	}
+}
+
+// TestReplayDecodeFreshArena pins the failover-replay contract: the
+// journaled cut history re-sent to a successor decodes into the
+// successor's own fresh arena, producing events value-identical to the
+// failed node's but in distinct storage — nothing aliases the dead
+// session. (The end-to-end version of this runs in internal/cluster's
+// kill-matrix tests over loopback TCP.)
+func TestReplayDecodeFreshArena(t *testing.T) {
+	const n = 50
+	cuts := []Batch{
+		aliasBatch(n, 1000, 1),
+		aliasBatch(n, 2000, n+1),
+		aliasBatch(n, 3000, 2*n+1),
+	}
+
+	decodeAll := func() (*match.Arena, [][]*event.Event) {
+		var arena match.Arena
+		br := bytes.NewReader(nil)
+		r := NewReader(br)
+		r.SetDecodeArena(&arena)
+		var out [][]*event.Event
+		for _, b := range cuts {
+			v := decodeOne(t, r, br, b)
+			out = append(out, append([]*event.Event(nil), v.Events...))
+		}
+		return &arena, out
+	}
+
+	_, failed := decodeAll()    // the dead node's view of the history
+	_, successor := decodeAll() // replay into a fresh arena
+
+	for c := range cuts {
+		for i := range cuts[c].Events {
+			w, f, sc := &cuts[c].Events[i], failed[c][i], successor[c][i]
+			if f == sc {
+				t.Fatalf("cut %d event %d: successor aliases the failed node's arena slot", c, i)
+			}
+			if &f.Attrs[0] == &sc.Attrs[0] {
+				t.Fatalf("cut %d event %d: successor attrs alias the failed node's chunk", c, i)
+			}
+			if sc.Type != w.Type || sc.TS != w.TS || sc.Seq != w.Seq {
+				t.Fatalf("cut %d event %d: replay decoded %+v, journal holds %+v", c, i, *sc, *w)
+			}
+			for k := range w.Attrs {
+				if sc.Attrs[k] != w.Attrs[k] {
+					t.Fatalf("cut %d event %d attr %d: replay %v, journal %v", c, i, k, sc.Attrs[k], w.Attrs[k])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"acep/internal/event"
+	"acep/internal/match"
+)
+
+// benchBatch builds one delta-friendly Batch of n events: four rotating
+// types (so decode produces short columnar spans, the realistic shape),
+// monotone TS/Seq with small deltas, four attributes per event.
+func benchBatch(n int) Batch {
+	evs := make([]event.Event, n)
+	for i := range evs {
+		evs[i] = event.Event{
+			Type:  i % 4,
+			TS:    event.Time(1000 + i),
+			Seq:   uint64(1 + i),
+			Attrs: []float64{float64(i), float64(i % 97), 42.5, -1.25},
+		}
+	}
+	return Batch{UpTo: uint64(n), Events: evs}
+}
+
+// BenchmarkBatchEncode measures the v2 delta encoding of a 256-event
+// Batch frame into a reused buffer (ns/event; allocs/op must be zero
+// steady-state — the buffer is warm after the first iteration).
+func BenchmarkBatchEncode(b *testing.B) {
+	const n = 256
+	var f Frame = benchBatch(n) // box once: measure the codec, not the interface conversion
+	dst := Append(nil, f)       // warm the buffer to final size
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = Append(dst[:0], f)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/n, "ns/event")
+}
+
+// BenchmarkBatchDecode measures decoding a 256-event v2 delta frame:
+// the copying path (one event.Event slice + per-event Attrs per frame)
+// against the decode-into-arena path (events materialized once, in
+// place, in recycled arena chunks — zero allocations steady-state).
+func BenchmarkBatchDecode(b *testing.B) {
+	const n = 256
+	batch := benchBatch(n)
+	frame := Append(nil, batch)
+	horizon := batch.Events[n-1].TS + 1
+
+	b.Run("copy", func(b *testing.B) {
+		br := bytes.NewReader(frame)
+		r := NewReader(br)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			br.Reset(frame)
+			if _, err := r.Read(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/n, "ns/event")
+	})
+
+	b.Run("arena", func(b *testing.B) {
+		var arena match.Arena
+		// The benchmark drops every decoded pointer before each Release,
+		// so recycling is safe here and makes the steady state visible.
+		arena.SetRecycle(true)
+		br := bytes.NewReader(frame)
+		r := NewReader(br)
+		r.SetDecodeArena(&arena)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			br.Reset(frame)
+			if _, err := r.Read(); err != nil {
+				b.Fatal(err)
+			}
+			arena.Release(horizon)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/n, "ns/event")
+	})
+}
+
+// TestBatchDecodeArenaAllocs is the allocation-regression guard of the
+// zero-copy ingest path: once the Reader scratch and the recycling
+// arena's free list are warm, decoding a whole Batch frame into the
+// arena must not allocate at all — 0 allocs/event, and 0 allocs/frame.
+func TestBatchDecodeArenaAllocs(t *testing.T) {
+	const n = 256
+	batch := benchBatch(n)
+	frame := Append(nil, batch)
+	horizon := batch.Events[n-1].TS + 1
+
+	var arena match.Arena
+	arena.SetRecycle(true) // every pointer is dropped before each Release
+	br := bytes.NewReader(frame)
+	r := NewReader(br)
+	r.SetDecodeArena(&arena)
+	decode := func() {
+		br.Reset(frame)
+		f, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, ok := f.(*BatchView)
+		if !ok {
+			t.Fatalf("decode arena set but Read returned %T", f)
+		}
+		if len(v.Events) != n {
+			t.Fatalf("decoded %d events, want %d", len(v.Events), n)
+		}
+		arena.Release(horizon)
+	}
+	for i := 0; i < 4; i++ {
+		decode() // warm Reader buffers, span scratch and the free list
+	}
+	if avg := testing.AllocsPerRun(100, decode); avg != 0 {
+		t.Fatalf("decode-into-arena allocated %.2f times per %d-event frame; want 0 steady-state", avg, n)
+	}
+}
+
+// TestBatchEncodeAllocs pins the encode side: appending a Batch frame
+// onto a warm buffer performs no allocation.
+func TestBatchEncodeAllocs(t *testing.T) {
+	var f Frame = benchBatch(256) // box once: the codec itself must not allocate
+	dst := Append(nil, f)
+	if avg := testing.AllocsPerRun(100, func() {
+		dst = Append(dst[:0], f)
+	}); avg != 0 {
+		t.Fatalf("warm Batch encode allocated %.2f times per frame; want 0", avg)
+	}
+}

@@ -172,6 +172,27 @@ type Batch struct {
 	Events []event.Event
 }
 
+// BatchView is the zero-copy decode of a Batch frame: a Reader with a
+// decode arena (SetDecodeArena) materializes each event exactly once,
+// directly into an arena chunk, and returns pointers to the arena slots
+// instead of an intermediate []event.Event. Spans describe the columnar
+// runs the decode produced (consecutive same-type events whose attribute
+// blocks sit back to back in one chunk's flat buffer), partitioning
+// Events so callers can precompute unary predicate masks with stride
+// scans.
+//
+// The view itself — Read returns a pointer to a Reader-owned BatchView,
+// so the steady-state decode performs no allocation at all — and its
+// Events and Spans slice headers are scratch reused by the next Read on
+// the same Reader; the arena events they point at live until the arena
+// releases their chunk. BatchView frames exist only on the decode side —
+// senders encode Batch.
+type BatchView struct {
+	UpTo   uint64
+	Events []*event.Event
+	Spans  []event.Span
+}
+
 // Watermark reports a node's completion progress.
 type Watermark struct {
 	UpTo uint64
@@ -183,6 +204,19 @@ type Watermark struct {
 type TaggedMatch struct {
 	Seq uint64
 	M   *match.Match
+}
+
+// TaggedMatchRaw is a pre-encoded tagged match: Body holds the exact
+// bytes AppendMatchBody produced from the match, so Append emits a frame
+// byte-identical to the TaggedMatch it replaces without ever
+// materializing a heap match. Nodes running the owned-emit path encode
+// matches from the resolver's scratch straight into per-shard outbox
+// slabs and send them as TaggedMatchRaw; the receiving side decodes a
+// regular TaggedMatch (stream transports) or calls DecodeMatchBody
+// (in-process pipes).
+type TaggedMatchRaw struct {
+	Seq  uint64
+	Body []byte
 }
 
 // Metrics carries a node's merged engine metrics.
@@ -219,16 +253,18 @@ type RecoveryDone struct {
 	UpTo uint64
 }
 
-func (Hello) kind() Kind        { return KindHello }
-func (Assign) kind() Kind       { return KindAssign }
-func (Batch) kind() Kind        { return KindBatch }
-func (Watermark) kind() Kind    { return KindWatermark }
-func (TaggedMatch) kind() Kind  { return KindMatch }
-func (Metrics) kind() Kind      { return KindMetrics }
-func (Finish) kind() Kind       { return KindFinish }
-func (Heartbeat) kind() Kind    { return KindHeartbeat }
-func (Reassign) kind() Kind     { return KindReassign }
-func (RecoveryDone) kind() Kind { return KindRecoveryDone }
+func (Hello) kind() Kind          { return KindHello }
+func (Assign) kind() Kind         { return KindAssign }
+func (Batch) kind() Kind          { return KindBatch }
+func (BatchView) kind() Kind      { return KindBatch }
+func (Watermark) kind() Kind      { return KindWatermark }
+func (TaggedMatch) kind() Kind    { return KindMatch }
+func (TaggedMatchRaw) kind() Kind { return KindMatch }
+func (Metrics) kind() Kind        { return KindMetrics }
+func (Finish) kind() Kind         { return KindFinish }
+func (Heartbeat) kind() Kind      { return KindHeartbeat }
+func (Reassign) kind() Kind       { return KindReassign }
+func (RecoveryDone) kind() Kind   { return KindRecoveryDone }
 
 // KindOf reports a frame's kind.
 func KindOf(f Frame) Kind { return f.kind() }
@@ -279,6 +315,9 @@ func Append(dst []byte, f Frame) []byte {
 	case TaggedMatch:
 		dst = binary.AppendUvarint(dst, v.Seq)
 		dst = appendMatch(dst, v.M)
+	case TaggedMatchRaw:
+		dst = binary.AppendUvarint(dst, v.Seq)
+		dst = append(dst, v.Body...)
 	case Metrics:
 		dst = appendMetrics(dst, &v.M)
 	case Finish:
@@ -396,6 +435,31 @@ func appendSchema(dst []byte, s *event.Schema) []byte {
 func appendString(dst []byte, s string) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(s)))
 	return append(dst, s...)
+}
+
+// AppendMatchBody encodes a match's KindMatch body (everything after the
+// tag varint) onto dst and returns the extended slice. The bytes are
+// exactly what Append(TaggedMatch{...}) would produce for the match, so a
+// TaggedMatchRaw carrying them frames byte-identically. The match is read
+// during the call and not retained — safe on a resolver scratch match
+// under the owned-emit contract.
+func AppendMatchBody(dst []byte, m *match.Match) []byte {
+	return appendMatch(dst, m)
+}
+
+// DecodeMatchBody decodes a KindMatch body previously produced by
+// AppendMatchBody into a freshly allocated match. Used by in-process
+// transports that deliver TaggedMatchRaw frames by reference.
+func DecodeMatchBody(b []byte) (*match.Match, error) {
+	c := &cursor{b: b}
+	m := c.match()
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.off != len(b) {
+		return nil, fmt.Errorf("wire: match body has %d trailing bytes", len(b)-c.off)
+	}
+	return m, nil
 }
 
 func appendMatch(dst []byte, m *match.Match) []byte {
@@ -861,10 +925,27 @@ type Reader struct {
 	r    io.Reader
 	head [4]byte
 	buf  []byte
+
+	// Zero-copy batch decode state (SetDecodeArena).
+	arena *match.Arena
+	evs   []*event.Event
+	spans []event.Span
+	view  BatchView
 }
 
 // NewReader wraps r.
 func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// SetDecodeArena switches the Reader to zero-copy batch decoding: Batch
+// frames are decoded directly into a's chunks (each event materialized
+// once, its attribute values written in place into the chunk's flat
+// buffer) and returned as *BatchView frames instead of Batch. All other
+// frame kinds are unaffected. The arena must run with recycling off —
+// the Reader hands out pointers into it whose lifetime it does not track
+// — unless the caller itself bounds every decoded pointer's lifetime
+// (drops all references before each Release), as the allocation tests
+// do. A nil arena restores the copying decode.
+func (r *Reader) SetDecodeArena(a *match.Arena) { r.arena = a }
 
 // Read decodes the next frame.
 func (r *Reader) Read() (Frame, error) {
@@ -888,5 +969,67 @@ func (r *Reader) Read() (Frame, error) {
 		}
 		return nil, err
 	}
+	if r.arena != nil && Kind(r.buf[0]) == KindBatch {
+		return r.decodeBatchInto(r.buf)
+	}
 	return decodePayload(r.buf)
+}
+
+// decodeBatchInto is the zero-copy KindBatch decode: every event is
+// allocated in place in the Reader's arena (match.Arena.Alloc) and its
+// delta-coded fields and attribute values are written straight into the
+// chunk slot — no intermediate event slice exists. Consecutive events
+// sharing a type and attribute stride whose blocks land back to back in
+// one chunk become one event.Span, so the returned BatchView partitions
+// the batch into columnar runs as a free by-product of decoding.
+func (r *Reader) decodeBatchInto(p []byte) (Frame, error) {
+	c := &cursor{b: p, off: 1}
+	r.view = BatchView{UpTo: c.uvarint()}
+	n := c.count(maxBatchEvents, 4, "batch event")
+	if cap(r.evs) < n {
+		r.evs = make([]*event.Event, n)
+	}
+	evs := r.evs[:n]
+	spans := r.spans[:0]
+	var prevTS event.Time
+	var prevSeq uint64
+	prevOff, prevStride, prevType := 0, -1, -1
+	for i := 0; i < n && c.err == nil; i++ {
+		typ := int(c.uvarint())
+		ts := prevTS + event.Time(c.varint())
+		seq := prevSeq + uint64(c.varint())
+		na := c.count(maxAttrs, 8, "attribute")
+		if c.err != nil {
+			break
+		}
+		ev, off := r.arena.Alloc(typ, ts, seq, na)
+		for k := 0; k < na && c.err == nil; k++ {
+			ev.Attrs[k] = c.f64()
+		}
+		evs[i] = ev
+		prevTS, prevSeq = ts, seq
+		if ns := len(spans); ns > 0 && typ == prevType && na == prevStride &&
+			na > 0 && off == prevOff+prevStride {
+			sp := &spans[ns-1]
+			sp.N++
+			sp.Attrs = sp.Attrs[:sp.N*na]
+		} else {
+			tail := r.arena.Tail()
+			spans = append(spans, event.Span{
+				Type: typ, First: i, N: 1, Stride: na,
+				Attrs: tail[off : off+na],
+			})
+		}
+		prevOff, prevStride, prevType = off, na, typ
+	}
+	r.spans = spans
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.off != len(p) {
+		return nil, fmt.Errorf("wire: batch frame has %d trailing bytes", len(p)-c.off)
+	}
+	r.view.Events = evs
+	r.view.Spans = spans
+	return &r.view, nil
 }
