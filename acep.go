@@ -212,13 +212,24 @@ func ShardPartitionable(p *Pattern, s *Schema, attr string) error {
 // DESIGN.md ("Distributed execution").
 type (
 	// ClusterIngress is the cluster coordinator: Process events, Finish,
-	// read merged or per-node Metrics (and Failovers, with recovery
-	// enabled).
+	// read merged or per-node Metrics (and Failovers/Migrations, with
+	// recovery enabled). With recovery it is also elastic: AddNode admits
+	// a freshly dialed worker at runtime, Drain gracefully empties one,
+	// and MigrateShard moves a single shard by hand.
 	ClusterIngress = cluster.Ingress
 	// ClusterFailover records one recovered node failure: cause,
 	// detection time, replayed history, and when the successor caught
 	// up (RecoveryTime).
 	ClusterFailover = recovery.Failover
+	// ClusterMigration records one shard changing owner (the primitive
+	// failover, rebalancing, scale-out and drain are built from): why it
+	// moved, what was replayed, and the delivery pause it cost (Pause).
+	ClusterMigration = recovery.Migration
+	// ClusterElastic tunes the ingress placement controller (see
+	// cluster.ElasticConfig): with Rebalance set the ingress migrates the
+	// busiest shard off the hottest node when per-shard queue-wait p99
+	// snapshots show sustained skew.
+	ClusterElastic = cluster.ElasticConfig
 )
 
 // ClusterConfig assembles a distributed cluster behind one ingress.
@@ -268,6 +279,9 @@ type ClusterConfig struct {
 	MaxJournalBytes int64
 	// OnFailover observes each recovered failure as it completes.
 	OnFailover func(ClusterFailover)
+	// Elastic enables and tunes the placement controller (requires
+	// Recover when Rebalance is set).
+	Elastic *ClusterElastic
 }
 
 // NewClusterIngress builds a distributed cluster ingress for the
@@ -303,6 +317,7 @@ func NewClusterIngress(p *Pattern, cfg Config, cc ClusterConfig) (*ClusterIngres
 			KeyAttr: cc.KeyAttr,
 			Schema:  cc.Schema,
 			OnMatch: cc.OnMatch,
+			Elastic: cc.Elastic,
 		}
 		if cc.Recover {
 			if len(cc.Standby) == 0 {
@@ -334,6 +349,7 @@ func NewClusterIngress(p *Pattern, cfg Config, cc ClusterConfig) (*ClusterIngres
 		HeartbeatTimeout: cc.HeartbeatTimeout,
 		MaxJournalBytes:  cc.MaxJournalBytes,
 		OnFailover:       cc.OnFailover,
+		Elastic:          cc.Elastic,
 	})
 }
 

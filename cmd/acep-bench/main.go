@@ -44,6 +44,17 @@
 //
 //	acep-bench -exp failover-traffic -json BENCH_failover.json
 //
+// elastic-traffic and elastic-stocks measure the elasticity layer: the
+// identical skewed keyed workload runs through a balanced 3-node
+// cluster, a 2-node cluster that admits a bare third node mid-stream
+// with rebalancing off (the joiner idles), and the same join with the
+// placement controller on (it must migrate load onto the joiner);
+// every run's match stream is verified against the single-process
+// sharded engine before reporting migration pauses and the post-join
+// throughput recovery:
+//
+//	acep-bench -exp elastic-traffic -json BENCH_elastic.json
+//
 // hotpath-traffic and hotpath-stocks measure the single-engine hot path:
 // per-event cost (events/sec, B/event, allocs/event) of a raw
 // static-plan engine for the sequence, negation and Kleene families on
@@ -98,6 +109,7 @@ func main() {
 		ids = append(ids, bench.SheddingIDs()...)
 		ids = append(ids, bench.ClusterIDs()...)
 		ids = append(ids, bench.FailoverIDs()...)
+		ids = append(ids, bench.ElasticIDs()...)
 		for _, id := range append(ids, bench.HotpathIDs()...) {
 			fmt.Println(id)
 		}
@@ -137,6 +149,7 @@ func main() {
 		ids = append(ids, bench.SheddingIDs()...)
 		ids = append(ids, bench.ClusterIDs()...)
 		ids = append(ids, bench.FailoverIDs()...)
+		ids = append(ids, bench.ElasticIDs()...)
 		ids = append(ids, bench.HotpathIDs()...)
 	}
 	// Profile lifecycle and the experiment loop live in one function so
@@ -194,6 +207,8 @@ func runAll(ids []string, h *bench.Harness, r *bench.Runner, fl flags) error {
 			err = runCluster(h, id, fl.nodes, fl.shards, fl.batch, fl.bsweep, fl.jsonMD)
 		case contains(bench.FailoverIDs(), id):
 			err = runFailover(h, id, fl.nodes, fl.shards, fl.batch, fl.jsonMD)
+		case contains(bench.ElasticIDs(), id):
+			err = runElastic(h, id, fl.shards, fl.batch, fl.jsonMD)
 		case contains(bench.HotpathIDs(), id):
 			err = runHotpath(h, id, fl.phase, fl.jsonMD)
 		default:
@@ -308,6 +323,19 @@ func runFailover(h *bench.Harness, id string, nodes, shardsPerNode, batch int, j
 	}
 	dataset := strings.TrimPrefix(id, "failover-")
 	d, err := h.Failover(dataset, sweeps, shardsPerNode, batch)
+	if err != nil {
+		return err
+	}
+	d.Write(os.Stdout)
+	return appendJSON(jsonPath, d.WriteJSON)
+}
+
+// runElastic executes one elastic-* experiment: balanced vs
+// join-without-rebalance vs join-with-controller, with -shards setting
+// the balanced configuration's per-node count.
+func runElastic(h *bench.Harness, id string, shardsPerNode, batch int, jsonPath string) error {
+	dataset := strings.TrimPrefix(id, "elastic-")
+	d, err := h.Elastic(dataset, shardsPerNode, batch)
 	if err != nil {
 		return err
 	}

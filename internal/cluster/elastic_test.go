@@ -1,0 +1,424 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"acep/internal/engine"
+	"acep/internal/gen"
+)
+
+// runElastic streams the workload through the rig's cluster with the
+// placement controller configured, invoking the `at` hooks just before
+// the given event indexes — on the ingress goroutine, which is the
+// calling contract of MigrateShard, AddNode and Drain.
+func runElastic(t *testing.T, rig *failoverRig, w *gen.Workload, kind gen.Kind,
+	ec *ElasticConfig, at map[int]func(*Ingress)) (*tagRecorder, *Ingress) {
+	t.Helper()
+	pat, err := w.Pattern(kind, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &tagRecorder{}
+	ing, err := NewIngress(pat, rig.conns, IngressOptions{
+		Batch: 64, KeyAttr: "key", Schema: w.Schema, OnTagged: rec.rec,
+		Recovery: &rig.recOptions, Elastic: ec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Events {
+		if fn, ok := at[i]; ok {
+			fn(ing)
+		}
+		ing.Process(&w.Events[i])
+	}
+	if err := finishWithin(t, 60*time.Second, ing); err != nil {
+		t.Fatalf("elastic cluster finished with error: %v", err)
+	}
+	return rec, ing
+}
+
+// TestMigrateLive is the tentpole's acceptance shape: a shard migrates
+// between two healthy nodes mid-stream — ingest never stops, no failure
+// is involved — and the delivered stream is byte-identical to the
+// single-process engine. The migration record carries the replay volume
+// and a completed timestamp (the ack round-trip happened).
+func TestMigrateLive(t *testing.T) {
+	for _, kind := range []gen.Kind{gen.Sequence, gen.Kleene} {
+		w := failoverWorkload(t, "traffic")
+		want := runSharded(t, w, kind, 6)
+		rig, _ := startFailoverRig(t, w, kind, 0, nil, nil)
+		got, ing := runElastic(t, rig, w, kind, nil, map[int]func(*Ingress){
+			2000: func(ing *Ingress) {
+				// Shard 2 is node 1's first shard; node 0 never hosted it.
+				if err := ing.MigrateShard(2, 0); err != nil {
+					t.Fatalf("live migration failed: %v", err)
+				}
+			},
+		})
+		requireIdentical(t, fmt.Sprintf("live migration/%v", kind), got, want)
+		if fos := ing.Failovers(); len(fos) != 0 {
+			t.Fatalf("%v: healthy migration recorded failovers: %+v", kind, fos)
+		}
+		mgs := ing.Migrations()
+		if len(mgs) != 1 {
+			t.Fatalf("%v: %d migrations, want 1: %+v", kind, len(mgs), mgs)
+		}
+		m := mgs[0]
+		if m.Shard != 2 || m.From != 1 || m.To != 0 || m.Reason != "rebalance" {
+			t.Fatalf("%v: migration record %+v, want shard 2 node 1 -> 0 (rebalance)", kind, m)
+		}
+		if m.ReplayCuts == 0 || m.ReplayEvents == 0 {
+			t.Fatalf("%v: migration replayed nothing: %+v", kind, m)
+		}
+		if m.CompletedAt.IsZero() || m.Pause() <= 0 {
+			t.Fatalf("%v: migration never acknowledged: %+v", kind, m)
+		}
+		if o := ing.Owners(); o[2] != 0 {
+			t.Fatalf("%v: owners %v, want shard 2 on node 0", kind, o)
+		}
+	}
+}
+
+// waitForStats blocks until at least `nodes` slots have reported a
+// ShardStats snapshot. A test ingress outruns its nodes by design (no
+// flow control ties ingest to worker progress), so a controller test
+// must let the first snapshots arrive before streaming on — a paced
+// real deployment gets them continuously.
+func waitForStats(t *testing.T, ing *Ingress, nodes int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got := 0
+		ing.mu.Lock()
+		for _, ss := range ing.stats {
+			if len(ss) > 0 {
+				got++
+			}
+		}
+		ing.mu.Unlock()
+		if got >= nodes {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("nodes never reported shard stats")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRebalanceSkewed: the placement controller, fed per-shard
+// queue-wait p99 snapshots, moves at least one shard off the hottest
+// node on its own — and however many moves it makes, the stream stays
+// byte-identical to the single-process reference.
+func TestRebalanceSkewed(t *testing.T) {
+	// Keys: 4 over 6 global shards leaves at least two shards idle, so
+	// node load is skewed from the start and stays so.
+	w := gen.Traffic(gen.TrafficConfig{
+		Types: 6, Events: 5000, Seed: 17, Shifts: 1, MeanGap: 3, Keys: 4,
+	})
+	want := runSharded(t, w, gen.Sequence, 6)
+	rig, _ := startFailoverRig(t, w, gen.Sequence, 0, nil, nil)
+	got, ing := runElastic(t, rig, w, gen.Sequence, &ElasticConfig{
+		Rebalance: true, HotRatio: 1.1, MinWaitP99: 1, CooldownCuts: 2,
+	}, map[int]func(*Ingress){
+		// Snapshots need ~20 cuts of worker progress (publish and ship
+		// strides) before the controller can see the skew.
+		3000: func(ing *Ingress) { waitForStats(t, ing, 2) },
+	})
+	requireIdentical(t, "rebalance under skew", got, want)
+	if fos := ing.Failovers(); len(fos) != 0 {
+		t.Fatalf("rebalance recorded failovers: %+v", fos)
+	}
+	mgs := ing.Migrations()
+	if len(mgs) == 0 {
+		t.Fatal("controller never moved a shard off the hot node")
+	}
+	for _, m := range mgs {
+		if m.Reason != "rebalance" && m.Reason != "join" {
+			t.Fatalf("controller move with reason %q: %+v", m.Reason, m)
+		}
+		if m.CompletedAt.IsZero() {
+			t.Fatalf("migration never acknowledged: %+v", m)
+		}
+	}
+}
+
+// TestMigrateSourceKilled — kill matrix (1): the migration's source
+// node dies right as the move is in flight (its remaining shard fails
+// over to a standby while the migrated shard's ack may still be
+// pending). Both the migrated and the failed-over shard must land
+// exactly once in the output.
+func TestMigrateSourceKilled(t *testing.T) {
+	w := failoverWorkload(t, "traffic")
+	want := runSharded(t, w, gen.Sequence, 6)
+	// Node 1 has sent ≤94 frames by event 2000 (1 assign + 31 cuts × ≤3);
+	// budget 95 kills it on the first frames after the migration below.
+	rig, _ := startFailoverRig(t, w, gen.Sequence, 1, func(i int, c Conn) Conn {
+		if i == 1 {
+			return &flakyConn{Conn: c, sendBudget: 95}
+		}
+		return c
+	}, nil)
+	got, ing := runElastic(t, rig, w, gen.Sequence, nil, map[int]func(*Ingress){
+		2000: func(ing *Ingress) {
+			if err := ing.MigrateShard(2, 0); err != nil {
+				t.Fatalf("migration off the doomed source failed: %v", err)
+			}
+		},
+	})
+	requireIdentical(t, "source killed mid-migration", got, want)
+	fos := ing.Failovers()
+	if len(fos) != 1 || fos[0].Node != 1 {
+		t.Fatalf("failovers = %+v, want exactly one for node 1", fos)
+	}
+	var sawMove, sawFailover bool
+	for _, m := range ing.Migrations() {
+		if m.Shard == 2 && m.To == 0 && m.Reason == "rebalance" {
+			sawMove = true
+			if m.CompletedAt.IsZero() {
+				t.Fatalf("migrated shard 2 never acknowledged: %+v", m)
+			}
+		}
+		if m.Shard == 3 && m.Reason == "failover" {
+			sawFailover = true
+		}
+	}
+	if !sawMove || !sawFailover {
+		t.Fatalf("migrations %+v: want shard 2 rebalanced and shard 3 failed over", ing.Migrations())
+	}
+}
+
+// TestMigrateDestKilled — kill matrix (2): the migration's destination
+// dies while the shard's history is being replayed into it. The aborted
+// move is dropped, the destination's whole block (the half-migrated
+// shard included) fails over to a standby, and the stream stays exact.
+func TestMigrateDestKilled(t *testing.T) {
+	w := failoverWorkload(t, "traffic")
+	want := runSharded(t, w, gen.Sequence, 6)
+	// Node 0's budget expires just as the migration's Migrate-plus-replay
+	// burst lands on top of its ≤94 pre-migration frames.
+	rig, _ := startFailoverRig(t, w, gen.Sequence, 1, func(i int, c Conn) Conn {
+		if i == 0 {
+			return &flakyConn{Conn: c, sendBudget: 96}
+		}
+		return c
+	}, nil)
+	got, ing := runElastic(t, rig, w, gen.Sequence, nil, map[int]func(*Ingress){
+		2000: func(ing *Ingress) {
+			// The destination dies during this call's replay loop (or on
+			// the cut right after): the error path parks the failure for
+			// the next barrier either way.
+			ing.MigrateShard(2, 0) //nolint:errcheck // the death is the point
+		},
+	})
+	requireIdentical(t, "destination killed mid-replay", got, want)
+	fos := ing.Failovers()
+	if len(fos) != 1 || fos[0].Node != 0 {
+		t.Fatalf("failovers = %+v, want exactly one for node 0", fos)
+	}
+	owners := ing.Owners()
+	for _, g := range []int{0, 1, 2} {
+		if owners[g] != 0 {
+			t.Fatalf("owners %v: shard %d must ride node 0's successor", owners, g)
+		}
+	}
+}
+
+// TestRebalanceDuringFailover — kill matrix (3): the placement
+// controller is live while a node dies and fails over. The controller
+// must not interleave moves with the in-flight recovery (it never moves
+// while any migration is unacknowledged), and the stream stays exact.
+func TestRebalanceDuringFailover(t *testing.T) {
+	w := failoverWorkload(t, "traffic")
+	want := runSharded(t, w, gen.Sequence, 6)
+	rig, _ := startFailoverRig(t, w, gen.Sequence, 1, func(i int, c Conn) Conn {
+		if i == 1 {
+			return &flakyConn{Conn: c, sendBudget: 45}
+		}
+		return c
+	}, nil)
+	got, ing := runElastic(t, rig, w, gen.Sequence, &ElasticConfig{
+		Rebalance: true, HotRatio: 1.1, MinWaitP99: 1, CooldownCuts: 2,
+	}, nil)
+	requireIdentical(t, "rebalance during failover", got, want)
+	fos := ing.Failovers()
+	if len(fos) != 1 || fos[0].Node != 1 {
+		t.Fatalf("failovers = %+v, want exactly one for node 1", fos)
+	}
+	if fos[0].RecoveredAt.IsZero() {
+		t.Fatal("failover never completed under the live controller")
+	}
+}
+
+// TestStandbyRestartRejoins — satellite regression: a consumed standby
+// whose process dies and restarts (a fresh accept on the same address,
+// serving the bare-node Hello path) returns to the standby pool and is
+// adopted again by a later failover. Two failovers of the same slot
+// ride one standby address; the stream stays exact.
+func TestStandbyRestartRejoins(t *testing.T) {
+	w := failoverWorkload(t, "traffic")
+	want := runSharded(t, w, gen.Sequence, 6)
+	rig, _ := startFailoverRig(t, w, gen.Sequence, 0, func(i int, c Conn) Conn {
+		if i == 1 {
+			return &flakyConn{Conn: c, sendBudget: 30}
+		}
+		return c
+	}, nil)
+
+	// One standby address. Each accepted session runs a fresh bare node —
+	// the "restarted process". The first session is killed mid-stream
+	// after adoption; the second must find the address back in the pool.
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	var sessions atomic.Int32
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			n := sessions.Add(1)
+			node, err := NewNode(NodeConfig{
+				Engine: engine.Config{CheckEvery: 250}, Batch: 64, KeyAttr: "key",
+			})
+			if err != nil {
+				rig.noteErr(err)
+				c.Close()
+				continue
+			}
+			if n == 1 {
+				// First tenancy dies ~30 cuts after adoption.
+				c = &recvKiller{Conn: c, budget: 120}
+			}
+			go node.Serve(c) //nolint:errcheck // session 1's crash is the point
+		}
+	}()
+	rig.recOptions.Standby = DialStandbys([]string{l.Addr()})
+
+	got, ing := runElastic(t, rig, w, gen.Sequence, nil, nil)
+	requireIdentical(t, "standby restart rejoins", got, want)
+	fos := ing.Failovers()
+	if len(fos) != 2 || fos[0].Node != 1 || fos[1].Node != 1 {
+		t.Fatalf("failovers = %+v, want two for node 1 (original death, adoptee death)", fos)
+	}
+	if n := sessions.Load(); n != 2 {
+		t.Fatalf("standby address served %d sessions, want 2 (consumed, then rejoined after restart)", n)
+	}
+}
+
+// TestAddNodeDrain: runtime scale-out and graceful scale-in on one
+// cluster — a bare node joins mid-stream and receives a shard, then a
+// founding node drains its shards to the survivors and finishes while
+// the cluster keeps running. Stream byte-identical, every move
+// acknowledged, no failovers.
+func TestAddNodeDrain(t *testing.T) {
+	w := failoverWorkload(t, "traffic")
+	want := runSharded(t, w, gen.Sequence, 4)
+	pat, err := w.Pattern(gen.Sequence, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var conns []Conn
+	rig := &failoverRig{}
+	for i := 0; i < 2; i++ {
+		node, err := NewNode(NodeConfig{
+			Pattern: pat, Engine: engine.Config{CheckEvery: 250},
+			Shards: 2, Batch: 64, KeyAttr: "key", Schema: w.Schema,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := ListenTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		go node.ServeListener(l, rig.noteErr) //nolint:errcheck // closed at test end
+		c, err := DialTCP(l.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+	}
+	// The joining node: bare (adopts pattern and schema from the Assign
+	// reply), listening but not yet part of the cluster.
+	joiner, err := NewNode(NodeConfig{
+		Engine: engine.Config{CheckEvery: 250}, Batch: 64, KeyAttr: "key",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { jl.Close() })
+	go joiner.ServeListener(jl, rig.noteErr) //nolint:errcheck // closed at test end
+
+	rec := &tagRecorder{}
+	ing, err := NewIngress(pat, conns, IngressOptions{
+		Batch: 64, KeyAttr: "key", Schema: w.Schema, OnTagged: rec.rec,
+		Recovery: &RecoveryConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Events {
+		switch i {
+		case 1500:
+			c, err := DialTCP(jl.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			n, err := ing.AddNode(c)
+			if err != nil {
+				t.Fatalf("AddNode: %v", err)
+			}
+			if n != 2 {
+				t.Fatalf("joined as slot %d, want 2", n)
+			}
+			if err := ing.MigrateShard(1, n); err != nil {
+				t.Fatalf("handing shard 1 to the joiner: %v", err)
+			}
+		case 3500:
+			if err := ing.Drain(0); err != nil {
+				t.Fatalf("Drain: %v", err)
+			}
+		}
+		ing.Process(&w.Events[i])
+	}
+	if err := finishWithin(t, 60*time.Second, ing); err != nil {
+		t.Fatalf("elastic cluster finished with error: %v", err)
+	}
+	requireIdentical(t, "join+drain", rec, want)
+	if fos := ing.Failovers(); len(fos) != 0 {
+		t.Fatalf("join+drain recorded failovers: %+v", fos)
+	}
+	mgs := ing.Migrations()
+	if len(mgs) != 2 {
+		t.Fatalf("%d migrations, want 2 (join, drain): %+v", len(mgs), mgs)
+	}
+	if mgs[0].Shard != 1 || mgs[0].To != 2 || mgs[0].Reason != "join" {
+		t.Fatalf("join move %+v, want shard 1 -> slot 2 (join)", mgs[0])
+	}
+	if mgs[1].From != 0 || mgs[1].Reason != "drain" {
+		t.Fatalf("drain move %+v, want off node 0 (drain)", mgs[1])
+	}
+	for _, m := range mgs {
+		if m.CompletedAt.IsZero() {
+			t.Fatalf("migration never acknowledged: %+v", m)
+		}
+	}
+	owners := ing.Owners()
+	if owners[1] != 2 || owners[0] == 0 {
+		t.Fatalf("owners %v: shard 1 must ride the joiner and shard 0 must have left node 0", owners)
+	}
+}

@@ -123,7 +123,7 @@ func startFailoverRig(t *testing.T, w *gen.Workload, kind gen.Kind, standbys int
 		rig.conns = append(rig.conns, c)
 	}
 	// Standbys are bare nodes: no pattern, no schema — they adopt both
-	// from the Reassign handshake (pattern shipping over real TCP).
+	// from the Assign handshake (pattern shipping over real TCP).
 	for k := 0; k < standbys; k++ {
 		node, err := NewNode(NodeConfig{
 			Engine: engine.Config{CheckEvery: 250}, Batch: 64, KeyAttr: "key",
@@ -287,8 +287,8 @@ func TestFailoverDuringReplay(t *testing.T) {
 		},
 		func(k int, c Conn) Conn {
 			if k == 0 {
-				// Survives the Reassign frame, dies on the first replay
-				// cut.
+				// Survives the adoption handshake, dies on the first
+				// replay cut.
 				return &flakyConn{Conn: c, sendBudget: 1}
 			}
 			return c

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"acep/internal/engine"
 	"acep/internal/event"
@@ -19,6 +20,31 @@ import (
 // hello; far above any sane deployment, low enough that the global
 // shard->node map stays small.
 const maxShardsPerNode = 1 << 12
+
+// ElasticConfig tunes the placement controller: when Rebalance is set
+// the ingress watches per-shard queue-wait p99 snapshots reported by
+// the nodes and migrates the busiest shard off the hottest node onto
+// the coolest one — with hysteresis (the hot node must be HotRatio
+// times the cool one and above MinWaitP99 before anything moves) and a
+// cooldown (CooldownCuts cuts must pass between moves, and never while
+// another migration is still in flight) so the controller converges
+// instead of thrashing.
+type ElasticConfig struct {
+	// Rebalance enables the controller. Requires IngressOptions.Recovery:
+	// migrations replay shard history from the journal.
+	Rebalance bool
+	// HotRatio is the load ratio (hottest node / coolest node, by max
+	// owned-shard queue-wait p99) that triggers a move. Values <= 1 mean
+	// the default 2.0.
+	HotRatio float64
+	// MinWaitP99 is the absolute queue-wait floor below which the
+	// controller never moves anything, however skewed the ratio looks
+	// (default 1ms): an idle cluster has nothing worth migrating.
+	MinWaitP99 time.Duration
+	// CooldownCuts is the minimum number of cuts between moves (default
+	// 16), giving each move's effect time to show up in the stats.
+	CooldownCuts int
+}
 
 // IngressOptions tunes the coordinator side of a cluster.
 type IngressOptions struct {
@@ -38,74 +64,98 @@ type IngressOptions struct {
 	// sharded engine's, see the package comment).
 	OnMatch func(*match.Match)
 	// OnTagged, when set instead of OnMatch, receives matches with their
-	// merge tags (Src is the node index).
+	// merge tags (Src is the global shard index).
 	OnTagged func(shard.Tagged)
-	// Recovery, when non-nil, makes the ingress fault-tolerant: sealed
-	// cuts are journaled and a dead node's shard block fails over to a
-	// standby with watermark replay and exact dedup (see RecoveryConfig
-	// and DESIGN.md "Fault tolerance"). When nil, a node failure surfaces
-	// as an error from Finish (exactness over availability).
+	// Recovery, when non-nil, makes the ingress fault-tolerant and
+	// elastic: sealed cuts are journaled per shard, a dead node's shards
+	// fail over to a standby, and shards can migrate between live nodes
+	// (rebalance, join, drain) with watermark replay and exact dedup (see
+	// RecoveryConfig and DESIGN.md "Elasticity"). When nil, a node
+	// failure surfaces as an error from Finish (exactness over
+	// availability) and migration is unavailable.
 	Recovery *RecoveryConfig
+	// Elastic configures the placement controller (optional; needs
+	// Recovery when Rebalance is set).
+	Elastic *ElasticConfig
 }
 
 // Ingress is the cluster coordinator: it partitions one input stream
 // across worker nodes, drives uniform watermark cuts, and merges the
-// node match streams into one deterministic, ordered output. Process and
-// Finish must be called from a single goroutine; the match callback
-// fires on the collector goroutine. Construct with NewIngress.
+// per-shard match streams into one deterministic, ordered output.
+// Process, Finish, AddNode, Drain and MigrateShard must be called from
+// a single goroutine; the match callback fires on the collector
+// goroutine. Construct with NewIngress.
 type Ingress struct {
 	conns []Conn
 	key   shard.KeyFunc
 	batch int
-	total int   // global shard count (sum of node shard counts)
-	node  []int // global shard index -> node index
+	total int
 
-	bufs      [][]event.Event
-	spare     [][]event.Event // recycled cut buffers (serializing transports only)
-	recycle   []bool          // per node: cut buffers may be reused (nil with recovery)
+	// owner is the routing truth: global shard index -> the node slot
+	// currently feeding it (-1: abandoned). Mutated only on the ingress
+	// goroutine, strictly behind the send barrier. hosted[n] records
+	// every shard node slot n's *current session* has ever hosted: a
+	// session that already ran a shard holds stale window state for it,
+	// so migrating the shard back would double-process — the set is
+	// reset when a slot is re-adopted by a fresh standby.
+	owner  []int
+	hosted []map[int]bool
+
+	bufs      [][]event.Event   // per global shard: the accumulating cut
+	spare     [][]event.Event   // recycled cut buffers (serializing transports, no recovery)
+	recycle   []bool            // per shard: cut buffers may be reused
+	outs      [][][]event.Event // per node: send-goroutine scratch, regrouped each cut
 	pending   int
 	lastSeq   uint64
 	dead      []bool
-	abandoned []bool // degraded with no successor: stop journaling its events
+	drained   []bool // gracefully emptied and finished; skip its sends
+	abandoned []bool // degraded with no successor: stop journaling its shards
 
 	// Cut pipelining: each sealed cut's frames are encoded and sent by
 	// per-node goroutines while the coordinator returns to accumulating
 	// the next cut. sendWG is the in-flight cut; sendErr[n] is node n's
 	// send failure, acted on at the next barrier (waitSends). Per-node
 	// frame order is preserved because a new cut's sends only launch
-	// after the barrier, and all failover machinery (which closes,
-	// replaces and replays connections) runs strictly behind it.
+	// after the barrier, and all routing mutation (migrate, adopt, join,
+	// drain — which closes, replaces and replays connections) runs
+	// strictly behind it.
 	sendWG  sync.WaitGroup
 	sendErr []error
 
 	col     *shard.Collector
 	readers sync.WaitGroup
 
-	nodeShards  []int
-	base        []int // node index -> first global shard of its block
+	nodeShards []int
+	finSent    []bool
+
+	// Recovery/elasticity state (nil/empty without
+	// IngressOptions.Recovery). The pattern, schema and fingerprint are
+	// kept for the standby/join handshake; released is the collector's
+	// delivered watermark.
+	pat           *pattern.Pattern
+	schema        *event.Schema
+	sig           uint64
+	rec           *RecoveryConfig
+	elastic       *ElasticConfig
+	journal       *recovery.Journal
+	det           *recovery.Detector
+	released      atomic.Uint64
+	readerDone    []chan struct{}
+	exitCh        chan struct{} // coalesced reader-exit wakeup for the drain loop
+	cutsSinceMove int
+
+	mu          sync.Mutex
+	err         error
+	finished    bool
+	gen         []int // per-slot reader generation (guards stale suspects)
+	suspects    []suspectRec
+	failovers   []recovery.Failover
+	facked      []int // per failover: migrations acknowledged so far
+	migrations  []recovery.Migration
+	migFailover []int // per migration: owning failover index, -1 if none
 	nodeMetrics []engine.Metrics
 	gotMetrics  []bool
-	finSent     []bool
-
-	// Recovery state (nil/empty without IngressOptions.Recovery). The
-	// pattern, schema and fingerprint are kept for the Reassign
-	// handshake; released is the collector's delivered watermark.
-	pat        *pattern.Pattern
-	schema     *event.Schema
-	sig        uint64
-	rec        *RecoveryConfig
-	journal    *recovery.Journal
-	det        *recovery.Detector
-	released   atomic.Uint64
-	readerDone []chan struct{}
-	exitCh     chan struct{} // coalesced reader-exit wakeup for the drain loop
-
-	mu        sync.Mutex
-	err       error
-	finished  bool
-	gen       []int // per-slot reader generation (guards stale suspects)
-	suspects  []suspectRec
-	failovers []recovery.Failover
+	stats       [][]wire.ShardStat // per slot: latest load snapshot
 }
 
 // NewIngress performs the handshake over the given node connections
@@ -137,6 +187,9 @@ func NewIngress(pat *pattern.Pattern, conns []Conn, opts IngressOptions) (*Ingre
 	if opts.Batch <= 0 {
 		opts.Batch = 256
 	}
+	if opts.Elastic != nil && opts.Elastic.Rebalance && opts.Recovery == nil {
+		return nil, fmt.Errorf("cluster: Elastic.Rebalance requires Recovery (migrations replay from the journal)")
+	}
 	key := opts.Key
 	switch {
 	case key != nil && opts.KeyAttr != "":
@@ -162,20 +215,36 @@ func NewIngress(pat *pattern.Pattern, conns []Conn, opts IngressOptions) (*Ingre
 		conns:       conns,
 		key:         key,
 		batch:       opts.Batch,
-		bufs:        make([][]event.Event, len(conns)),
 		sendErr:     make([]error, len(conns)),
 		dead:        make([]bool, len(conns)),
+		drained:     make([]bool, len(conns)),
 		abandoned:   make([]bool, len(conns)),
 		nodeShards:  make([]int, len(conns)),
+		hosted:      make([]map[int]bool, len(conns)),
+		outs:        make([][][]event.Event, len(conns)),
 		nodeMetrics: make([]engine.Metrics, len(conns)),
 		gotMetrics:  make([]bool, len(conns)),
 		finSent:     make([]bool, len(conns)),
+		stats:       make([][]wire.ShardStat, len(conns)),
 		readerDone:  make([]chan struct{}, len(conns)),
 		exitCh:      make(chan struct{}, 1),
 		gen:         make([]int, len(conns)),
 		pat:         pat,
 		schema:      opts.Schema,
 		sig:         sig,
+	}
+	if opts.Elastic != nil {
+		ec := *opts.Elastic
+		if ec.HotRatio <= 1 {
+			ec.HotRatio = 2.0
+		}
+		if ec.MinWaitP99 <= 0 {
+			ec.MinWaitP99 = time.Millisecond
+		}
+		if ec.CooldownCuts <= 0 {
+			ec.CooldownCuts = 16
+		}
+		in.elastic = &ec
 	}
 	// Collect every node's greeting, then assign contiguous blocks of the
 	// global shard space in connection order.
@@ -213,17 +282,20 @@ func NewIngress(pat *pattern.Pattern, conns []Conn, opts IngressOptions) (*Ingre
 	base := 0
 	for i, c := range conns {
 		if err := c.Send(wire.Assign{
-			Base: uint32(base), Total: uint32(in.total),
+			Base: uint32(base), Shards: uint32(in.nodeShards[i]), Total: uint32(in.total),
 			Pattern: pat, Schema: opts.Schema,
 		}); err != nil {
 			return nil, fmt.Errorf("cluster: assigning node %d: %w", i, err)
 		}
-		in.base = append(in.base, base)
+		in.hosted[i] = make(map[int]bool, in.nodeShards[i])
 		for s := 0; s < in.nodeShards[i]; s++ {
-			in.node = append(in.node, i)
+			in.owner = append(in.owner, i)
+			in.hosted[i][base+s] = true
 		}
 		base += in.nodeShards[i]
 	}
+	in.bufs = make([][]event.Event, in.total)
+	in.spare = make([][]event.Event, in.total)
 
 	deliver := func(t shard.Tagged) {
 		if opts.OnMatch != nil {
@@ -240,10 +312,8 @@ func NewIngress(pat *pattern.Pattern, conns []Conn, opts IngressOptions) (*Ingre
 			rc.Window = pat.Window
 		}
 		in.rec = &rc
-		key, total := in.key, in.total
 		journal, err := recovery.NewJournal(recovery.JournalConfig{
 			Window: rc.Window, Shards: in.total,
-			Route:        func(ev *event.Event) int { return shard.GlobalIndex(key(ev), total) },
 			SlackWindows: rc.SlackWindows,
 			MaxBytes:     rc.MaxJournalBytes,
 		})
@@ -257,19 +327,19 @@ func NewIngress(pat *pattern.Pattern, conns []Conn, opts IngressOptions) (*Ingre
 	// Cut-buffer recycling: on a serializing transport the Batch frame
 	// is fully encoded onto the wire by the time Send returns, so a
 	// cut's event buffer is reusable once its send has been barriered
-	// (two cuts later, behind waitSends). The in-process pipe hands the
-	// slice to the node by reference — stable for the run, never reused
-	// — and the recovery journal retains cut history, so a pipe conn or
-	// a configured Recovery disables recycling for the session.
-	in.spare = make([][]event.Event, len(conns))
+	// (behind waitSends). The in-process pipe hands the slice to the
+	// node by reference — stable for the run, never reused — and the
+	// recovery journal retains cut history (and lets shards change
+	// owner), so a pipe conn or a configured Recovery disables recycling
+	// for the session.
 	if in.rec == nil {
-		in.recycle = make([]bool, len(conns))
-		for i, c := range conns {
-			_, serializing := c.(interface{ SetDecodeArena(*match.Arena) })
-			in.recycle[i] = serializing
+		in.recycle = make([]bool, in.total)
+		for g, o := range in.owner {
+			_, serializing := conns[o].(interface{ SetDecodeArena(*match.Arena) })
+			in.recycle[g] = serializing
 		}
 	}
-	in.col = shard.NewCollector(len(conns), deliver, progress)
+	in.col = shard.NewCollectorOwned(in.owner, deliver, progress)
 	for i, c := range conns {
 		done := make(chan struct{})
 		in.readerDone[i] = done
@@ -280,11 +350,20 @@ func NewIngress(pat *pattern.Pattern, conns []Conn, opts IngressOptions) (*Ingre
 	return in, nil
 }
 
+// metricsDone reports whether slot i delivered its final metrics (the
+// clean-exit marker), synchronized with the reader that records them.
+func (in *Ingress) metricsDone(i int) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.gotMetrics[i]
+}
+
 // read is node slot i's reader goroutine (generation gen): it buffers
 // tagged matches and posts them to the merge collector together with
-// each completion watermark, stores the node's final metrics, and on
-// failure either queues a suspect for failover (recovery configured,
-// posting nothing — the slot will be re-registered) or posts a terminal
+// each completion watermark, applies migration acknowledgements,
+// stores the node's load snapshots and final metrics, and on failure
+// either queues a suspect for failover (recovery configured, posting
+// nothing — the slot will be re-registered) or posts a terminal
 // watermark so the merge never deadlocks on a dead node.
 func (in *Ingress) read(i int, c Conn, gen int, done chan struct{}) {
 	defer func() { // runs last: done is closed by the time the drain wakes
@@ -296,11 +375,10 @@ func (in *Ingress) read(i int, c Conn, gen int, done chan struct{}) {
 	defer close(done)
 	defer in.readers.Done()
 	var pend []shard.Tagged
-	var idx uint64
 	for {
 		f, err := c.Recv()
 		if err != nil {
-			clean := err == io.EOF && in.gotMetrics[i]
+			clean := err == io.EOF && in.metricsDone(i)
 			if in.rec != nil && !clean {
 				in.suspect(i, gen, fmt.Errorf("cluster: node %d stream: %w", i, err))
 				return
@@ -314,8 +392,7 @@ func (in *Ingress) read(i int, c Conn, gen int, done chan struct{}) {
 		in.det.Heard(i)
 		switch v := f.(type) {
 		case wire.TaggedMatch:
-			pend = append(pend, shard.Tagged{M: v.M, Seq: v.Seq, Src: i, Idx: idx})
-			idx++
+			pend = append(pend, shard.Tagged{M: v.M, Seq: v.Seq, Src: int(v.Shard)})
 		case wire.TaggedMatchRaw:
 			// Owned-emit match over a reference transport (the pipe): the
 			// body is the worker's pre-encoded outbox slice; decode it
@@ -332,18 +409,32 @@ func (in *Ingress) read(i int, c Conn, gen int, done chan struct{}) {
 				in.col.Post(i, maxSeq, pend)
 				return
 			}
-			pend = append(pend, shard.Tagged{M: m, Seq: v.Seq, Src: i, Idx: idx})
-			idx++
+			pend = append(pend, shard.Tagged{M: m, Seq: v.Seq, Src: int(v.Shard)})
 		case wire.Watermark:
 			in.col.Post(i, v.UpTo, pend)
 			pend = nil
 		case wire.Heartbeat:
 			// Liveness only (recorded above).
-		case wire.RecoveryDone:
-			in.recoveredNode(i)
+		case wire.MigrateAck:
+			// The destination caught up to a migration's replay horizon.
+			// Flush buffered matches first (watermark 0 never advances a
+			// mark) so unfreezing cannot release past a match still
+			// sitting in this reader's buffer.
+			if len(pend) > 0 {
+				in.col.Post(i, 0, pend)
+				pend = nil
+			}
+			in.col.Complete(i, int(v.Shard), v.UpTo)
+			in.migrationAcked(i, int(v.Shard))
+		case wire.ShardStats:
+			in.mu.Lock()
+			in.stats[i] = v.Stats
+			in.mu.Unlock()
 		case wire.Metrics:
+			in.mu.Lock()
 			in.nodeMetrics[i] = v.M
 			in.gotMetrics[i] = true
+			in.mu.Unlock()
 		default:
 			err := fmt.Errorf("cluster: node %d sent unexpected %s frame", i, wire.KindOf(f))
 			if in.rec != nil {
@@ -384,7 +475,7 @@ func (in *Ingress) Err() error {
 	return in.err
 }
 
-// Process routes one event to its node. Events must arrive in
+// Process routes one event to its shard. Events must arrive in
 // non-decreasing timestamp order with unique, increasing Seq numbers
 // (the same contract as the engines underneath).
 func (in *Ingress) Process(ev *event.Event) {
@@ -392,8 +483,7 @@ func (in *Ingress) Process(ev *event.Event) {
 		panic("cluster: Process after Finish")
 	}
 	g := shard.GlobalIndex(in.key(ev), in.total)
-	n := in.node[g]
-	in.bufs[n] = append(in.bufs[n], *ev)
+	in.bufs[g] = append(in.bufs[g], *ev)
 	in.lastSeq = ev.Seq
 	in.pending++
 	if in.pending >= in.batch {
@@ -404,55 +494,74 @@ func (in *Ingress) Process(ev *event.Event) {
 // cutAll seals the current cut: the previous cut's pipelined sends are
 // barriered first and their failures — together with pending reader
 // suspects — handled (so a failover's replay ends at the previous cut
-// and this one rides the normal send), the cut is journaled when
-// recovery is on, and then every live node's frame — carrying its
-// accumulated events (possibly none) and the global watermark — is
-// encoded and sent by a per-node goroutine while the coordinator goes
-// back to ingesting. A send failure surfaces at the next barrier and
-// fails over there; the successor receives the journaled cuts through
-// replay.
+// and this one rides the normal send), the placement controller gets a
+// chance to move a shard, the cut is journaled per shard when recovery
+// is on, and then every live node's frames — one Batch per owned shard
+// with accumulated events, or a bare one carrying just the global
+// watermark — are encoded and sent by a per-node goroutine while the
+// coordinator goes back to ingesting. A send failure surfaces at the
+// next barrier and fails over there; the successor receives the
+// journaled cuts through replay.
 func (in *Ingress) cutAll() {
 	in.waitSends()
 	in.checkSuspects()
+	in.rebalance()
 	if in.journal != nil {
-		for n := range in.bufs {
-			if in.abandoned[n] {
-				in.bufs[n] = nil // the block is lost for good; don't retain its events
-			}
-		}
 		in.journal.Advance(in.released.Load())
 		in.journal.Append(in.bufs, in.lastSeq)
 	}
 	upTo := in.lastSeq
-	for n, c := range in.conns {
-		evs := in.bufs[n]
-		in.bufs[n] = nil
-		if in.recycle != nil && in.recycle[n] {
-			// Hand the next cut the buffer recycled two cuts ago (its
-			// send completed at the barrier above) and queue this one.
-			in.bufs[n] = in.spare[n][:0]
-			in.spare[n] = evs
+	for n := range in.outs {
+		in.outs[n] = in.outs[n][:0]
+	}
+	for g := range in.bufs {
+		evs := in.bufs[g]
+		in.bufs[g] = nil
+		if in.recycle != nil && in.recycle[g] {
+			// Hand the next cut the previous cut's buffer (its send
+			// completed at the barrier above) and queue this one.
+			in.bufs[g] = in.spare[g][:0]
+			in.spare[g] = evs
 		}
-		if in.dead[n] {
+		o := in.owner[g]
+		if o < 0 || in.dead[o] || in.drained[o] || len(evs) == 0 {
+			continue
+		}
+		in.outs[o] = append(in.outs[o], evs)
+	}
+	for n, c := range in.conns {
+		if in.dead[n] || in.drained[n] {
 			continue
 		}
 		in.det.Sent(n)
 		in.sendWG.Add(1)
-		go func(n int, c Conn, evs []event.Event) {
+		go func(n int, c Conn, slices [][]event.Event) {
 			defer in.sendWG.Done()
-			if err := c.Send(wire.Batch{UpTo: upTo, Events: evs}); err != nil {
+			// Events-only frames (UpTo 0), one per owned shard with
+			// traffic, then the cut's single watermark frame: the node
+			// reassembles the runs into seq order and seals its cut only
+			// when the watermark arrives, so a cut split across shards
+			// can never publish a watermark ahead of its own events.
+			for _, evs := range slices {
+				if err := c.Send(wire.Batch{Events: evs}); err != nil {
+					in.sendErr[n] = err
+					return
+				}
+			}
+			if err := c.Send(wire.Batch{UpTo: upTo}); err != nil {
 				in.sendErr[n] = err
 			}
-		}(n, c, evs)
+		}(n, c, in.outs[n])
 	}
 	in.pending = 0
 }
 
 // waitSends is the pipeline barrier: it blocks until the in-flight cut's
 // sends complete and routes any send failure into the failover (or
-// record-and-drain) path. All connection mutation — close, replace,
-// replay — happens behind this barrier, which is what keeps per-node
-// frame order and the one-writer-per-connection discipline intact.
+// record-and-drain) path. All connection and routing mutation — close,
+// replace, migrate, replay — happens behind this barrier, which is what
+// keeps per-node frame order and the one-writer-per-connection
+// discipline intact.
 func (in *Ingress) waitSends() {
 	in.sendWG.Wait()
 	for n, err := range in.sendErr {
@@ -464,6 +573,456 @@ func (in *Ingress) waitSends() {
 			in.fail(n, fmt.Errorf("cluster: sending cut to node %d: %w", n, err))
 		}
 	}
+}
+
+// ownedShards lists the global shards currently owned by slot n.
+// Ingress goroutine only.
+func (in *Ingress) ownedShards(n int) []int {
+	var owned []int
+	for g, o := range in.owner {
+		if o == n {
+			owned = append(owned, g)
+		}
+	}
+	return owned
+}
+
+// migrateShard is the one primitive every routing change is built from:
+// it freezes shard g at the merge collector (capturing the release
+// boundary), flips its owner to slot `to`, ships the Migrate frame with
+// the suppress boundary and replay horizon, and replays g's journaled
+// history to the destination. Failover, rebalance, scale-out handoff
+// and drain are all callers. Must run on the ingress goroutine behind
+// the send barrier; fidx >= 0 folds the move into that failover record.
+// On error the destination is in an unknown state — the caller routes
+// it into the failure path (and aborted in-flight records are dropped
+// there).
+func (in *Ingress) migrateShard(g, to int, reason string, fidx int) error {
+	if in.hosted[to][g] {
+		return fmt.Errorf("cluster: node %d already hosted shard %d this session; migrating it back would double-process", to, g)
+	}
+	if err := in.journal.CoveredShard(g); err != nil {
+		return err
+	}
+	from := in.owner[g]
+	boundary := in.col.Migrate(g, to)
+	in.owner[g] = to
+	in.hosted[to][g] = true
+	replayUpTo := in.journal.ReplayUpToShard(g)
+	// Register the record before the replay: the destination's ack races
+	// with the tail of the replay loop, and an ack that finds no record
+	// would leave the migration in flight forever.
+	in.mu.Lock()
+	in.migrations = append(in.migrations, recovery.Migration{
+		Shard: g, From: from, To: to, Reason: reason,
+		StartedAt: time.Now(), SuppressUpTo: boundary, ReplayUpTo: replayUpTo,
+	})
+	in.migFailover = append(in.migFailover, fidx)
+	idx := len(in.migrations) - 1
+	if fidx >= 0 {
+		f := &in.failovers[fidx]
+		f.Shards++
+		if boundary > f.SuppressUpTo {
+			f.SuppressUpTo = boundary
+		}
+		if replayUpTo > f.ReplayUpTo {
+			f.ReplayUpTo = replayUpTo
+		}
+	}
+	in.mu.Unlock()
+	c := in.conns[to]
+	in.det.Sent(to)
+	if err := c.Send(wire.Migrate{Shard: uint32(g), SuppressUpTo: boundary, ReplayUpTo: replayUpTo}); err != nil {
+		return fmt.Errorf("cluster: migrating shard %d to node %d: %w", g, to, err)
+	}
+	var cuts, events int
+	var bytes int64
+	rerr := in.journal.ReplayShard(g, func(evs []event.Event, upTo uint64) error {
+		in.det.Sent(to)
+		if err := c.Send(wire.Batch{UpTo: upTo, Events: evs}); err != nil {
+			return err
+		}
+		cuts++
+		events += len(evs)
+		bytes += recovery.EventsBytes(evs)
+		return nil
+	})
+	in.mu.Lock()
+	m := &in.migrations[idx]
+	m.ReplayCuts, m.ReplayEvents, m.ReplayBytes = cuts, events, bytes
+	if fidx >= 0 {
+		f := &in.failovers[fidx]
+		f.ReplayCuts += cuts
+		f.ReplayEvents += events
+		f.ReplayBytes += bytes
+	}
+	in.mu.Unlock()
+	if rerr != nil {
+		return fmt.Errorf("cluster: replaying shard %d to node %d: %w", g, to, rerr)
+	}
+	return nil
+}
+
+// routeBroadcast ships the current shard->slot owner table to every
+// live node (abandoned shards carry ^uint32(0)). Advisory for the
+// nodes — ownership semantics ride the Migrate frames — but it keeps
+// every member's picture of the routing current. Ingress goroutine,
+// behind the barrier; a send failure is parked in sendErr and handled
+// at the next waitSends.
+func (in *Ingress) routeBroadcast() {
+	route := wire.ShardRoute{Owner: make([]uint32, len(in.owner))}
+	for g, o := range in.owner {
+		if o < 0 {
+			route.Owner[g] = ^uint32(0)
+		} else {
+			route.Owner[g] = uint32(o)
+		}
+	}
+	for n, c := range in.conns {
+		if in.dead[n] || in.drained[n] {
+			continue
+		}
+		if err := c.Send(route); err != nil {
+			if in.sendErr[n] == nil {
+				in.sendErr[n] = err
+			}
+			continue
+		}
+		in.det.Sent(n)
+	}
+}
+
+// migrationAcked stamps the youngest in-flight migration of shard g to
+// slot n complete, and — when the move belonged to a failover — counts
+// it toward the failover's recovery, stamping RecoveredAt when the
+// last migrated shard has acknowledged. Reader goroutines.
+func (in *Ingress) migrationAcked(n, g int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i := len(in.migrations) - 1; i >= 0; i-- {
+		m := &in.migrations[i]
+		if m.Shard != g || m.To != n || !m.CompletedAt.IsZero() {
+			continue
+		}
+		m.CompletedAt = time.Now()
+		if fi := in.migFailover[i]; fi >= 0 {
+			in.facked[fi]++
+			if in.facked[fi] >= in.failovers[fi].Shards {
+				// The final ack wins: an adoption retry resets the
+				// aggregates and this overwrites any premature stamp.
+				in.failovers[fi].RecoveredAt = time.Now()
+			}
+		}
+		return
+	}
+}
+
+// rebalance is the placement controller, run once per cut behind the
+// barrier: when the hottest node's max owned-shard queue-wait p99
+// exceeds both the absolute floor and HotRatio times the coolest
+// node's, the hottest node's busiest shard migrates to the coolest
+// node. Hysteresis plus the cut cooldown (and never moving while any
+// migration is still in flight) keep it from thrashing.
+func (in *Ingress) rebalance() {
+	if in.journal == nil || in.elastic == nil || !in.elastic.Rebalance {
+		return
+	}
+	in.cutsSinceMove++
+	if in.cutsSinceMove < in.elastic.CooldownCuts {
+		return
+	}
+	waits := make([]time.Duration, in.total)
+	events := make([]uint64, in.total)
+	in.mu.Lock()
+	for _, m := range in.migrations {
+		if m.CompletedAt.IsZero() {
+			in.mu.Unlock()
+			return
+		}
+	}
+	for n, ss := range in.stats {
+		for _, s := range ss {
+			g := int(s.Shard)
+			if g < 0 || g >= in.total || in.owner[g] != n {
+				continue // stale: reported by a slot that no longer owns g
+			}
+			waits[g] = time.Duration(s.P99Nanos)
+			events[g] = s.Events
+		}
+	}
+	in.mu.Unlock()
+	ownedCount := make([]int, len(in.conns))
+	for _, o := range in.owner {
+		if o >= 0 {
+			ownedCount[o]++
+		}
+	}
+	hot, cold := -1, -1
+	var hotLoad, coldLoad time.Duration
+	for n := range in.conns {
+		if in.dead[n] || in.drained[n] || in.abandoned[n] {
+			continue
+		}
+		var load time.Duration
+		for g, o := range in.owner {
+			if o == n && waits[g] > load {
+				load = waits[g]
+			}
+		}
+		if hot < 0 || load > hotLoad {
+			hot, hotLoad = n, load
+		}
+		if cold < 0 || load < coldLoad {
+			cold, coldLoad = n, load
+		}
+	}
+	if hot < 0 || cold < 0 || hot == cold {
+		return
+	}
+	if hotLoad <= in.elastic.MinWaitP99 {
+		return
+	}
+	if float64(hotLoad) <= in.elastic.HotRatio*float64(coldLoad) {
+		return
+	}
+	// Never empty the hot node unless the cold one has nothing: moving a
+	// sole shard between two busy nodes just relocates the hotspot.
+	if ownedCount[hot] < 2 && ownedCount[cold] != 0 {
+		return
+	}
+	pick := -1
+	var pickEv uint64
+	for g, o := range in.owner {
+		if o != hot || in.hosted[cold][g] {
+			continue
+		}
+		if in.journal.CoveredShard(g) != nil {
+			continue
+		}
+		if pick < 0 || events[g] > pickEv {
+			pick, pickEv = g, events[g]
+		}
+	}
+	if pick < 0 {
+		return
+	}
+	reason := "rebalance"
+	if ownedCount[cold] == 0 {
+		reason = "join"
+	}
+	if err := in.migrateShard(pick, cold, reason, -1); err != nil {
+		if in.sendErr[cold] == nil {
+			in.sendErr[cold] = err
+		}
+	} else {
+		in.routeBroadcast()
+	}
+	in.cutsSinceMove = 0
+}
+
+// AddNode admits a freshly dialed node into the running cluster: it
+// runs the hello/assign handshake (the node joins with zero shards and
+// a total-sized engine), registers the new slot's reader and heartbeat
+// clock, and returns the slot index. The placement controller (or an
+// explicit MigrateShard) hands it work. Requires Recovery; must be
+// called from the Process goroutine. The connection is closed on error.
+func (in *Ingress) AddNode(c Conn) (int, error) {
+	if in.finished {
+		c.Close()
+		return -1, fmt.Errorf("cluster: AddNode after Finish")
+	}
+	if in.rec == nil {
+		c.Close()
+		return -1, fmt.Errorf("cluster: AddNode requires Recovery (the journal feeds shard handoff)")
+	}
+	in.waitSends()
+	f, err := c.Recv()
+	if err != nil {
+		c.Close()
+		return -1, fmt.Errorf("cluster: joining node hello: %w", err)
+	}
+	h, ok := f.(wire.Hello)
+	if !ok {
+		c.Close()
+		return -1, fmt.Errorf("cluster: joining node sent %s, want hello", wire.KindOf(f))
+	}
+	if h.Version != wire.Version {
+		c.Close()
+		return -1, fmt.Errorf("cluster: joining node speaks protocol v%d, ingress v%d", h.Version, wire.Version)
+	}
+	if h.PatternSig != 0 && h.PatternSig != in.sig {
+		c.Close()
+		return -1, fmt.Errorf("cluster: joining node serves a different pattern or schema (fingerprint %x, want %x)", h.PatternSig, in.sig)
+	}
+	if err := c.Send(wire.Assign{
+		Base: 0, Shards: 0, Total: uint32(in.total),
+		Pattern: in.pat, Schema: in.schema,
+	}); err != nil {
+		c.Close()
+		return -1, fmt.Errorf("cluster: assigning joining node: %w", err)
+	}
+	n := len(in.conns)
+	in.conns = append(in.conns, c)
+	in.sendErr = append(in.sendErr, nil)
+	in.dead = append(in.dead, false)
+	in.drained = append(in.drained, false)
+	in.abandoned = append(in.abandoned, false)
+	in.nodeShards = append(in.nodeShards, 0)
+	in.finSent = append(in.finSent, false)
+	in.hosted = append(in.hosted, map[int]bool{})
+	in.outs = append(in.outs, nil)
+	done := make(chan struct{})
+	in.readerDone = append(in.readerDone, done)
+	in.mu.Lock()
+	in.gen = append(in.gen, 0)
+	in.nodeMetrics = append(in.nodeMetrics, engine.Metrics{})
+	in.gotMetrics = append(in.gotMetrics, false)
+	in.stats = append(in.stats, nil)
+	in.mu.Unlock()
+	in.det.Grow()
+	in.readers.Add(1)
+	go in.read(n, c, 0, done)
+	return n, nil
+}
+
+// Drain gracefully empties node slot n: every shard it owns migrates
+// to a live peer (round-robin, skipping peers whose session already
+// hosted the shard), then the node gets its Finish frame and reports
+// final metrics while the rest of the cluster keeps running. Requires
+// Recovery; must be called from the Process goroutine.
+func (in *Ingress) Drain(n int) error {
+	if in.finished {
+		return fmt.Errorf("cluster: Drain after Finish")
+	}
+	if in.rec == nil {
+		return fmt.Errorf("cluster: Drain requires Recovery (migrations replay from the journal)")
+	}
+	if n < 0 || n >= len(in.conns) {
+		return fmt.Errorf("cluster: Drain: no node slot %d", n)
+	}
+	in.waitSends()
+	in.checkSuspects()
+	if in.dead[n] {
+		return fmt.Errorf("cluster: Drain: node %d is dead", n)
+	}
+	if in.drained[n] {
+		return fmt.Errorf("cluster: Drain: node %d already drained", n)
+	}
+	owned := in.ownedShards(n)
+	var targets []int
+	for m := range in.conns {
+		if m != n && !in.dead[m] && !in.drained[m] && !in.abandoned[m] {
+			targets = append(targets, m)
+		}
+	}
+	if len(owned) > 0 && len(targets) == 0 {
+		return fmt.Errorf("cluster: draining node %d: no live node can take its shards", n)
+	}
+	ti := 0
+	for _, g := range owned {
+		pick := -1
+		for k := 0; k < len(targets); k++ {
+			t := targets[(ti+k)%len(targets)]
+			if !in.hosted[t][g] {
+				pick = t
+				ti = (ti + k + 1) % len(targets)
+				break
+			}
+		}
+		if pick < 0 {
+			return fmt.Errorf("cluster: draining node %d: every live node already hosted shard %d this session", n, g)
+		}
+		if err := in.migrateShard(g, pick, "drain", -1); err != nil {
+			if in.sendErr[pick] == nil {
+				in.sendErr[pick] = err
+			}
+			return err
+		}
+	}
+	if len(owned) > 0 {
+		in.routeBroadcast()
+	}
+	if err := in.conns[n].Send(wire.Finish{}); err != nil {
+		// The shards are already safe on their new owners; the node's
+		// death at this point is a benign failover.
+		in.fail(n, fmt.Errorf("cluster: finishing drained node %d: %w", n, err))
+		return nil
+	}
+	in.det.Sent(n)
+	in.finSent[n] = true
+	in.drained[n] = true
+	return nil
+}
+
+// MigrateShard moves one shard to node slot `to` on demand — the
+// manual override of the placement controller. Requires Recovery; must
+// be called from the Process goroutine.
+func (in *Ingress) MigrateShard(g, to int) error {
+	if in.finished {
+		return fmt.Errorf("cluster: MigrateShard after Finish")
+	}
+	if in.journal == nil {
+		return fmt.Errorf("cluster: MigrateShard requires Recovery (migrations replay from the journal)")
+	}
+	if g < 0 || g >= in.total {
+		return fmt.Errorf("cluster: MigrateShard: no shard %d", g)
+	}
+	if to < 0 || to >= len(in.conns) {
+		return fmt.Errorf("cluster: MigrateShard: no node slot %d", to)
+	}
+	in.waitSends()
+	in.checkSuspects()
+	if in.dead[to] || in.drained[to] || in.abandoned[to] {
+		return fmt.Errorf("cluster: MigrateShard: node %d cannot take shards", to)
+	}
+	if in.owner[g] == to {
+		return fmt.Errorf("cluster: MigrateShard: node %d already owns shard %d", to, g)
+	}
+	reason := "rebalance"
+	if len(in.ownedShards(to)) == 0 {
+		reason = "join"
+	}
+	if err := in.migrateShard(g, to, reason, -1); err != nil {
+		if in.sendErr[to] == nil {
+			in.sendErr[to] = err
+		}
+		return err
+	}
+	in.routeBroadcast()
+	return nil
+}
+
+// Migrations reports every shard move so far (completed and in
+// flight), oldest first.
+func (in *Ingress) Migrations() []recovery.Migration {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]recovery.Migration(nil), in.migrations...)
+}
+
+// Owners snapshots the shard->slot routing table (-1: abandoned).
+// Process goroutine.
+func (in *Ingress) Owners() []int {
+	return append([]int(nil), in.owner...)
+}
+
+// NodeStats snapshots the latest per-shard load report of every node
+// slot (nil for a slot that has not reported yet — a dead node, or one
+// whose shards have seen no traffic). This is the placement
+// controller's input, exposed so operators and benchmarks can observe
+// when load telemetry has actually arrived: stats ride the node's
+// upstream frame flow, so a coordinator far ahead of its workers sees
+// them lag.
+func (in *Ingress) NodeStats() [][]wire.ShardStat {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([][]wire.ShardStat, len(in.stats))
+	for i, ss := range in.stats {
+		if len(ss) > 0 {
+			out[i] = append([]wire.ShardStat(nil), ss...)
+		}
+	}
+	return out
 }
 
 // finishNodes delivers the Finish frame to every live node that has not
@@ -518,7 +1077,8 @@ func (in *Ingress) Finish() error {
 	return in.Err()
 }
 
-// Nodes reports the node count.
+// Nodes reports the node slot count (live, drained and dead slots
+// included).
 func (in *Ingress) Nodes() int { return len(in.conns) }
 
 // TotalShards reports the global shard count across all nodes.
@@ -527,6 +1087,8 @@ func (in *Ingress) TotalShards() int { return in.total }
 // Metrics merges every node's engine metrics into one cluster-wide view.
 // Call after Finish.
 func (in *Ingress) Metrics() engine.Metrics {
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	var m engine.Metrics
 	for i := range in.nodeMetrics {
 		if in.gotMetrics[i] {
@@ -539,6 +1101,8 @@ func (in *Ingress) Metrics() engine.Metrics {
 // NodeMetrics is the per-node breakdown behind Metrics (zero-valued for
 // nodes that failed before reporting). Call after Finish.
 func (in *Ingress) NodeMetrics() []engine.Metrics {
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	out := make([]engine.Metrics, len(in.nodeMetrics))
 	copy(out, in.nodeMetrics)
 	return out

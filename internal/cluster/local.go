@@ -55,6 +55,9 @@ type LocalConfig struct {
 	HeartbeatTimeout time.Duration
 	MaxJournalBytes  int64
 	OnFailover       func(recovery.Failover)
+	// Elastic configures the placement controller (see ElasticConfig;
+	// Rebalance needs Recover).
+	Elastic *ElasticConfig
 }
 
 // StartLocal builds the nodes, connects them to a new ingress over
@@ -109,6 +112,7 @@ func StartLocal(pat *pattern.Pattern, cfg engine.Config, lc LocalConfig) (*Ingre
 		Schema:   lc.Schema,
 		OnMatch:  lc.OnMatch,
 		OnTagged: lc.OnTagged,
+		Elastic:  lc.Elastic,
 	}
 	if lc.Recover {
 		if lc.Standbys <= 0 {
@@ -120,8 +124,9 @@ func StartLocal(pat *pattern.Pattern, cfg engine.Config, lc LocalConfig) (*Ingre
 			MaxJournalBytes:  lc.MaxJournalBytes,
 			OnFailover:       lc.OnFailover,
 			// Each standby is a bare node: it learns the pattern and
-			// schema from the Reassign handshake (pattern shipping), so
-			// the factory needs only the engine config and the key.
+			// schema from the Assign frame and its shards from the
+			// Migrate handshake (pattern shipping), so the factory needs
+			// only the engine config and the key.
 			Standby: func() (Conn, error) {
 				if spawned >= lc.Standbys {
 					return nil, fmt.Errorf("cluster: all %d in-process standbys used", lc.Standbys)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strings"
 	"sync"
 
@@ -16,25 +17,36 @@ import (
 	"acep/internal/wire"
 )
 
+// statsEveryCuts is how often a node snapshots per-shard load for the
+// ingress placement controller: one ShardStats frame every this many
+// cuts keeps the overhead a rounding error while staying fresher than
+// the controller's own cooldown.
+const statsEveryCuts = 4
+
 // NodeConfig assembles a worker node: which pattern it detects, how many
-// local shard engines it hosts, and the shard-layer tuning those engines
-// run with. The ingress assigns the node's slice of the global shard
-// space during the handshake, so the same binary can serve any position
-// in any cluster layout.
+// shards it claims at the handshake, and the shard-layer tuning its
+// engine runs with. The ingress assigns the node's initial slice of the
+// global shard space during the handshake — and may migrate shards in
+// and out afterwards — so the same binary can serve any position in any
+// cluster layout.
 type NodeConfig struct {
 	// Pattern is the detected pattern; it must equal the ingress's (the
 	// handshake compares fingerprints and refuses to pair otherwise).
 	// Nil runs the node bare: it greets with fingerprint 0 and adopts
-	// the pattern and schema the ingress ships in the Assign (or
-	// Reassign) handshake — the standby mode of the failover subsystem,
-	// and the zero-config way to start a worker fleet.
+	// the pattern and schema the ingress ships in the Assign frame — the
+	// standby/join mode of the elasticity subsystem, and the zero-config
+	// way to start a worker fleet.
 	Pattern *pattern.Pattern
 	// Engine configures every local shard engine identically (same
 	// contract as shard.New: Policy and OnMatch must be nil). Ingress
 	// shedding lives here too: Engine.Shedding applies per local shard,
 	// with each shard's ingestion-queue depth probing the load monitor.
 	Engine engine.Config
-	// Shards is the number of local shard engines (default 1).
+	// Shards is the number of shards this node claims in its hello
+	// (default 1); the ingress sizes the global shard space from the
+	// fleet's claims. The session's engine spans the whole global space
+	// — shards the node does not own simply stay idle — which is what
+	// lets any shard migrate onto any node mid-run.
 	Shards int
 	// Batch is the local handoff batch (default 256); the network cut
 	// drives uniform watermark flushes regardless.
@@ -54,7 +66,7 @@ type NodeConfig struct {
 	Schema  *event.Schema
 }
 
-// Node hosts a block of the global shard space behind a transport
+// Node hosts shards of the global shard space behind a transport
 // connection. Construct with NewNode, then Serve one connection (or
 // ServeListener for an accept loop).
 type Node struct {
@@ -152,17 +164,18 @@ func (s *sender) failed() error {
 
 // Serve runs one ingress session over the connection: handshake, event
 // ingestion with uniform watermark flushes, tagged-match and watermark
-// streaming, and a final metrics report. It returns when the ingress
-// finishes the stream (nil) or the transport fails (the error), closing
-// the connection either way.
+// streaming, shard migration in and out, and a final metrics report. It
+// returns when the ingress finishes the stream (nil) or the transport
+// fails (the error), closing the connection either way.
 //
-// The handshake reply selects the session flavor: a normal Assign hosts
-// the node's configured shard count, a Reassign adopts a failed peer's
-// block in recovery mode — the ingress replays the block's journaled
-// history, the node suppresses every match tagged at or below the
-// release boundary it was given (those were delivered before the
-// failure), and reports RecoveryDone once its completion watermark
-// passes the replay horizon.
+// The Assign reply fixes the session's view of the global shard space;
+// whether the node starts with a block of shards (a founding member) or
+// none (a standby adoption or a runtime join) it runs one engine
+// spanning the whole space, so any shard the ingress later Migrates in
+// — replaying the shard's journaled history, with matches at or below
+// the shipped release boundary suppressed as already-delivered — lands
+// on a worker that is bit-identical to the one a founding member would
+// have run.
 func (n *Node) Serve(conn Conn) error {
 	defer conn.Close()
 	if err := conn.Send(wire.Hello{
@@ -176,38 +189,26 @@ func (n *Node) Serve(conn Conn) error {
 	if err != nil {
 		return fmt.Errorf("cluster: node awaiting assignment: %w", err)
 	}
-	switch a := f.(type) {
-	case wire.Assign:
-		return n.serveBlock(conn, blockAssign{
-			base: int(a.Base), shards: n.cfg.Shards, total: int(a.Total),
-			pattern: a.Pattern, schema: a.Schema,
-		})
-	case wire.Reassign:
-		if a.Shards < 1 || a.Shards > maxShardsPerNode {
-			return fmt.Errorf("cluster: reassigned block of %d shards out of range", a.Shards)
-		}
-		return n.serveBlock(conn, blockAssign{
-			base: int(a.Base), shards: int(a.Shards), total: int(a.Total),
-			pattern: a.Pattern, schema: a.Schema,
-			recovering: true, suppress: a.SuppressUpTo, replayUpTo: a.ReplayUpTo,
-		})
-	default:
+	a, ok := f.(wire.Assign)
+	if !ok {
 		return fmt.Errorf("cluster: node expected assign frame, got %s", wire.KindOf(f))
 	}
+	return n.serveBlock(conn, blockAssign{
+		base: int(a.Base), shards: int(a.Shards), total: int(a.Total),
+		pattern: a.Pattern, schema: a.Schema,
+	})
 }
 
 // blockAssign is a resolved handshake reply: which slice of the global
-// shard space this session hosts, with what pattern, in which mode.
+// shard space this session initially hosts (possibly empty), with what
+// pattern.
 type blockAssign struct {
 	base, shards, total int
 	pattern             *pattern.Pattern
 	schema              *event.Schema
-	recovering          bool
-	suppress            uint64 // release boundary: matches tagged <= are duplicates
-	replayUpTo          uint64 // watermark at which replay has caught up
 }
 
-// serveBlock hosts one shard block for the rest of the session.
+// serveBlock hosts one ingress session.
 func (n *Node) serveBlock(conn Conn, a blockAssign) error {
 	pat, schema := n.cfg.Pattern, n.cfg.Schema
 	if pat == nil {
@@ -233,19 +234,20 @@ func (n *Node) serveBlock(conn Conn, a blockAssign) error {
 		}
 		key = k
 	}
-	if a.total < 1 || a.base < 0 || a.base+a.shards > a.total {
+	if a.total < 1 || a.base < 0 || a.shards < 0 || a.base+a.shards > a.total {
 		return fmt.Errorf("cluster: assignment [%d,%d) outside global shard space of %d",
 			a.base, a.base+a.shards, a.total)
 	}
 
-	// The local engines are pinned to global shard indices [base,
-	// base+shards): the route function inverts the ingress's placement,
-	// so the cluster-wide event-to-engine assignment — and therefore
-	// every engine's event subsequence and its match tags — is identical
-	// to a single-process sharded engine with `total` shards. A
-	// recovering session rebuilds those engines from replayed history:
-	// the adaptation trajectory differs (plans restart fresh), but
-	// match sets and tags do not depend on it.
+	// The engine spans the full global shard space with the identity
+	// route — worker g IS global shard g — so the cluster-wide
+	// event-to-engine assignment, and therefore every engine's event
+	// subsequence and its match tags, is identical to a single-process
+	// sharded engine with `total` shards regardless of which node runs
+	// which shard. Workers for shards this session does not own receive
+	// no events and stay idle; a migrated-in shard rebuilds its worker
+	// from replayed history (the adaptation trajectory differs — plans
+	// restart fresh — but match sets and tags do not depend on it).
 	up := &sender{c: conn}
 	// Coalesced upstream writes: a serializing transport holds the cut's
 	// burst (heartbeat, matches, watermark) in its write buffer and the
@@ -261,8 +263,25 @@ func (n *Node) serveBlock(conn Conn, a blockAssign) error {
 		h.SetSendHold(true)
 		up.fl = h
 	}
-	base, shards, total := a.base, a.shards, a.total
-	var doneSent bool
+	total := a.total
+
+	// Migration state, shared between the session loop (which receives
+	// Migrate frames and the ShardRoute markers that end each replay
+	// burst) and the engine collector goroutine (which emits matches and
+	// watermarks). suppress[g] is the release boundary below which
+	// regenerated matches are duplicates. ackWait[g] is the strict
+	// watermark threshold above which shard g's replay is provably
+	// processed: it is the highest cut watermark enqueued when the
+	// post-replay marker arrived, so any completion watermark beyond it
+	// belongs to a cut enqueued after every replay batch — and cuts
+	// complete in order, with matches delivered before their watermark.
+	var (
+		migMu    sync.Mutex
+		suppress = map[int]uint64{}
+		ackWait  = map[int]uint64{}
+		pending  []int // Migrate received, awaiting the ShardRoute marker
+		maxUpTo  uint64
+	)
 
 	// Zero-copy receive: on a serializing transport (probe below), Batch
 	// frames decode straight into this arena — the decoded slots are the
@@ -270,7 +289,9 @@ func (n *Node) serveBlock(conn Conn, a blockAssign) error {
 	// wire.BatchView with columnar spans for the unary mask scan. The
 	// arena never recycles chunks (the zero value), so releasing behind
 	// the time horizon merely unpins: anything an evaluator or an
-	// in-flight match still references stays alive through the GC.
+	// in-flight match still references stays alive through the GC —
+	// which is also what makes replaying old-timestamp history into a
+	// live session memory-safe.
 	var decArena *match.Arena
 	if da, ok := conn.(interface{ SetDecodeArena(*match.Arena) }); ok {
 		decArena = &match.Arena{}
@@ -283,10 +304,44 @@ func (n *Node) serveBlock(conn Conn, a blockAssign) error {
 		maskBuf []uint32
 		ptrBuf  []*event.Event
 		maxTS   event.Time
+		cuts    uint64
 	)
 
+	// Cut reassembly. A live cut arrives as one events-only frame (UpTo
+	// 0) per owned shard followed by one watermark-bearing frame, because
+	// the ingress groups each cut per shard for the journal. The shards'
+	// runs are merged back into global seq order before the engine sees
+	// them: the engine's own batch accounting can seal a cut of its own
+	// mid-stream, and its watermark (the last ingested seq) only covers a
+	// prefix of the cut if ingestion order is seq order — otherwise a
+	// match could surface after a watermark that already covers it and
+	// the merge collectors would deliver out of order. Replay frames
+	// carry their original cut watermark and flush immediately, one frame
+	// per reconstructed cut.
+	var (
+		cutEvs   []*event.Event
+		cutMasks []uint32
+		runEnds  []int
+		mergEvs  []*event.Event
+		mergMask []uint32
+		runHead  []int
+	)
+	appendRun := func(evs []*event.Event, masks []uint32) {
+		if len(evs) == 0 {
+			return
+		}
+		cutEvs = append(cutEvs, evs...)
+		if masks != nil {
+			cutMasks = append(cutMasks, masks...)
+		}
+		runEnds = append(runEnds, len(cutEvs))
+	}
+	// flushCut (defined after the engine below) feeds the buffered runs
+	// to the engine in seq order and seals the cut at upTo.
+	var flushCut func(upTo uint64)
+
 	eng, err := shard.New(pat, n.cfg.Engine, shard.Options{
-		Shards:   shards,
+		Shards:   total,
 		Batch:    n.cfg.Batch,
 		QueueCap: n.cfg.QueueCap,
 		Snapshot: n.cfg.Snapshot,
@@ -294,13 +349,7 @@ func (n *Node) serveBlock(conn Conn, a blockAssign) error {
 		Overflow: n.cfg.Overflow,
 		Key:      key,
 		Route: func(ev *event.Event) int {
-			g := shard.GlobalIndex(key(ev), total)
-			local := g - base
-			if local < 0 || local >= shards {
-				panic(fmt.Sprintf("cluster: event for global shard %d routed to node owning [%d,%d)",
-					g, base, base+shards))
-			}
-			return local
+			return shard.GlobalIndex(key(ev), total)
 		},
 		// Owned emit: workers encode each match into a per-shard outbox
 		// slab as it is emitted; the tag carries the encoded body and the
@@ -309,19 +358,38 @@ func (n *Node) serveBlock(conn Conn, a blockAssign) error {
 		// hands the slab slice to the ingress by reference.
 		EncodeMatch: wire.AppendMatchBody,
 		OnTagged: func(t shard.Tagged) {
-			if a.recovering && t.Seq <= a.suppress {
-				return // already delivered before the failure
+			migMu.Lock()
+			boundary, migrated := suppress[t.Src]
+			migMu.Unlock()
+			if migrated && t.Seq <= boundary {
+				return // already delivered before the shard moved here
 			}
 			if t.Enc != nil {
-				up.send(wire.TaggedMatchRaw{Seq: t.Seq, Body: t.Enc})
+				up.send(wire.TaggedMatchRaw{Shard: uint32(t.Src), Seq: t.Seq, Body: t.Enc})
 				return
 			}
-			up.send(wire.TaggedMatch{Seq: t.Seq, M: t.M})
+			up.send(wire.TaggedMatch{Shard: uint32(t.Src), Seq: t.Seq, M: t.M})
 		},
 		OnProgress: func(w uint64) {
-			if a.recovering && !doneSent && w >= a.replayUpTo {
-				doneSent = true
-				up.send(wire.RecoveryDone{UpTo: w})
+			// Acknowledge caught-up migrations before the watermark that
+			// proves them, so the ingress completes the move before it
+			// can act on the watermark.
+			var ready []int
+			migMu.Lock()
+			for g, limit := range ackWait {
+				if w > limit {
+					ready = append(ready, g)
+				}
+			}
+			for _, g := range ready {
+				delete(ackWait, g)
+			}
+			migMu.Unlock()
+			if len(ready) > 0 {
+				sort.Ints(ready)
+				for _, g := range ready {
+					up.send(wire.MigrateAck{Shard: uint32(g), UpTo: w})
+				}
 			}
 			up.send(wire.Watermark{UpTo: w})
 		},
@@ -329,9 +397,78 @@ func (n *Node) serveBlock(conn Conn, a blockAssign) error {
 	if err != nil {
 		return err
 	}
+	flushCut = func(upTo uint64) {
+		haveMasks := len(cutMasks) > 0 && len(cutMasks) == len(cutEvs)
+		switch len(runEnds) {
+		case 0:
+		case 1: // single run: already in seq order
+			if haveMasks {
+				eng.ProcessStable(cutEvs, cutMasks)
+			} else {
+				eng.ProcessStable(cutEvs, nil)
+			}
+		default:
+			// k-way merge of the per-shard runs (each seq-ordered).
+			mergEvs, mergMask, runHead = mergEvs[:0], mergMask[:0], runHead[:0]
+			start := 0
+			for range runEnds {
+				runHead = append(runHead, start)
+				start = runEnds[len(runHead)-1]
+			}
+			for len(mergEvs) < len(cutEvs) {
+				best := -1
+				var bestSeq uint64
+				for r, h := range runHead {
+					if h >= runEnds[r] {
+						continue
+					}
+					if s := cutEvs[h].Seq; best < 0 || s < bestSeq {
+						best, bestSeq = r, s
+					}
+				}
+				h := runHead[best]
+				mergEvs = append(mergEvs, cutEvs[h])
+				if haveMasks {
+					mergMask = append(mergMask, cutMasks[h])
+				}
+				runHead[best] = h + 1
+			}
+			if haveMasks {
+				eng.ProcessStable(mergEvs, mergMask)
+			} else {
+				eng.ProcessStable(mergEvs, nil)
+			}
+			for i := range mergEvs {
+				mergEvs[i] = nil // do not pin arena chunks across cuts
+			}
+		}
+		for i := range cutEvs {
+			cutEvs[i] = nil
+		}
+		cutEvs, cutMasks, runEnds = cutEvs[:0], cutMasks[:0], runEnds[:0]
+		eng.Flush(upTo)
+	}
 
 	finish := func() { // idempotent by shard.Engine contract
 		eng.Finish()
+	}
+	// sendStats ships a per-shard load snapshot (events processed and
+	// ingestion queue-wait p99) for the placement controller; shards
+	// that processed nothing are omitted.
+	sendStats := func() {
+		loads := eng.ShardLoads()
+		var ss []wire.ShardStat
+		for g, l := range loads {
+			if l.Events == 0 {
+				continue
+			}
+			ss = append(ss, wire.ShardStat{
+				Shard: uint32(g), Events: l.Events, P99Nanos: uint64(l.WaitP99),
+			})
+		}
+		if len(ss) > 0 {
+			up.send(wire.ShardStats{Stats: ss})
+		}
 	}
 	for {
 		f, err := conn.Recv()
@@ -347,9 +484,9 @@ func (n *Node) serveBlock(conn Conn, a blockAssign) error {
 		case *wire.BatchView:
 			// Serializing transport: the events already live in decArena
 			// (decoded in place by conn.Recv). Scan the columnar spans
-			// into per-event unary masks, then hand the stable pointers
-			// to the engine — no copy anywhere between socket and match.
-			up.send(wire.Heartbeat{UpTo: v.UpTo})
+			// into per-event unary masks, then buffer the stable pointers
+			// as one run of the current cut — no copy anywhere between
+			// socket and match.
 			var masks []uint32
 			if scannable && len(v.Events) > 0 {
 				if cap(maskBuf) < len(v.Events) {
@@ -358,32 +495,87 @@ func (n *Node) serveBlock(conn Conn, a blockAssign) error {
 				masks = maskBuf[:len(v.Events)]
 				pat.ScanUnarySpans(v.Spans, masks)
 			}
-			eng.ProcessStable(v.Events, masks)
-			eng.Flush(v.UpTo)
+			appendRun(v.Events, masks)
 			if ne := len(v.Events); ne > 0 {
 				if ts := v.Events[ne-1].TS; ts > maxTS {
 					maxTS = ts
 				}
-				// Unpin decoded chunks the engines can no longer need for
-				// new matches (recycle is off, so any horizon is safe —
-				// see the arena comment above).
-				if w := pat.Window; w > 0 {
-					decArena.Release(maxTS - 2*w)
-				} else if decArena.Live() > 64 {
-					decArena.Release(maxTS)
-				}
+			}
+			if v.UpTo == 0 {
+				break // events-only frame; the cut's watermark frame follows
+			}
+			up.send(wire.Heartbeat{UpTo: v.UpTo})
+			flushCut(v.UpTo)
+			migMu.Lock()
+			if v.UpTo > maxUpTo {
+				maxUpTo = v.UpTo
+			}
+			migMu.Unlock()
+			cuts++
+			if cuts%statsEveryCuts == 0 {
+				sendStats()
+			}
+			// Unpin decoded chunks the engines can no longer need for
+			// new matches (recycle is off, so any horizon is safe — see
+			// the arena comment above).
+			if w := pat.Window; w > 0 {
+				decArena.Release(maxTS - 2*w)
+			} else if decArena.Live() > 64 {
+				decArena.Release(maxTS)
 			}
 		case wire.Batch:
 			// Reference transport (in-process pipe): the frame's event
 			// slice is owned by the ingress/journal and stable for the
 			// run, so the engines can retain pointers into it directly.
-			up.send(wire.Heartbeat{UpTo: v.UpTo})
-			ptrBuf = ptrBuf[:0]
-			for i := range v.Events {
-				ptrBuf = append(ptrBuf, &v.Events[i])
+			if len(v.Events) > 0 {
+				ptrBuf = ptrBuf[:0]
+				for i := range v.Events {
+					ptrBuf = append(ptrBuf, &v.Events[i])
+				}
+				appendRun(ptrBuf, nil)
 			}
-			eng.ProcessStable(ptrBuf, nil)
-			eng.Flush(v.UpTo)
+			if v.UpTo == 0 {
+				break // events-only frame; the cut's watermark frame follows
+			}
+			up.send(wire.Heartbeat{UpTo: v.UpTo})
+			flushCut(v.UpTo)
+			migMu.Lock()
+			if v.UpTo > maxUpTo {
+				maxUpTo = v.UpTo
+			}
+			migMu.Unlock()
+			cuts++
+			if cuts%statsEveryCuts == 0 {
+				sendStats()
+			}
+		case wire.Migrate:
+			// A shard is moving onto this session: suppress its
+			// regenerated duplicates, and queue it for acknowledgement
+			// once the post-replay marker and a proving watermark pass.
+			g := int(v.Shard)
+			if g < 0 || g >= total {
+				finish()
+				up.flush()
+				return fmt.Errorf("cluster: migrate for shard %d outside global space of %d", g, total)
+			}
+			migMu.Lock()
+			suppress[g] = v.SuppressUpTo
+			pending = append(pending, g)
+			migMu.Unlock()
+			up.send(wire.Heartbeat{UpTo: v.ReplayUpTo}) // receipt beat: replay may be long
+		case wire.ShardRoute:
+			// Routing is advisory here (ownership semantics ride the
+			// Migrate frames), but its position is load-bearing: the
+			// ingress broadcasts it after a migration burst's replay, so
+			// every pending migration's history is enqueued behind us —
+			// any completion watermark beyond the cuts seen so far proves
+			// the replay (and its regenerated matches) fully processed.
+			migMu.Lock()
+			for _, g := range pending {
+				ackWait[g] = maxUpTo
+			}
+			pending = pending[:0]
+			migMu.Unlock()
 		case wire.Finish:
 			// Drain everything: Finish returns only after the collector
 			// has delivered every match (and the MaxUint64 watermark)
@@ -406,10 +598,9 @@ func (n *Node) serveBlock(conn Conn, a blockAssign) error {
 
 // ServeListener accepts ingress sessions in a loop, serving each on its
 // own goroutine: a Node is stateless across sessions, so one worker
-// process can serve consecutive runs, act as a recovery standby, or —
-// as a survivor — adopt a failed peer's shard block in a second,
-// concurrent session while still serving its own. It returns when the
-// listener closes; per-session errors go to onErr (nil to ignore).
+// process can serve consecutive runs, act as a recovery standby, or
+// join a running cluster. It returns when the listener closes;
+// per-session errors go to onErr (nil to ignore).
 func (n *Node) ServeListener(l *Listener, onErr func(error)) error {
 	for {
 		c, err := l.Accept()

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"acep/internal/event"
@@ -9,21 +10,28 @@ import (
 	"acep/internal/wire"
 )
 
+// maxAdoptAttempts caps how many successor connections one failover
+// will try before degrading the slot: with addresses recycled back
+// into the standby pool, an endpoint that keeps accepting and dying
+// could otherwise hold the ingress in an adopt loop forever.
+const maxAdoptAttempts = 8
+
 // RecoveryConfig enables fault-tolerant failover on an ingress: sealed
-// cuts are journaled (internal/recover), node failures are detected
-// through transport errors and heartbeat silence, and a dead node's
-// shard block is reassigned to a standby connection, which replays the
-// journaled history of the block and suppresses every match the
-// collector had already released — so the delivered stream stays exactly
-// the one a fully healthy cluster (or the single-process sharded engine)
-// would produce: no duplicate, no loss, same order.
+// cuts are journaled per shard (internal/recover), node failures are
+// detected through transport errors and heartbeat silence, and a dead
+// node's shards migrate to a standby connection, which replays each
+// shard's journaled history and suppresses every match the collector
+// had already released — so the delivered stream stays exactly the one
+// a fully healthy cluster (or the single-process sharded engine) would
+// produce: no duplicate, no loss, same order.
 type RecoveryConfig struct {
 	// Standby supplies successor connections, one call per adoption
 	// attempt (a fresh acep-node, a survivor's listener — any endpoint
 	// speaking the node protocol; bare nodes learn the pattern from the
-	// Reassign handshake). Called on the ingress goroutine. An error
-	// means no standby remains: the failure then surfaces from Finish
-	// exactly as it would without recovery configured.
+	// Assign frame and their shards from the Migrate handshake). Called
+	// on the ingress goroutine. An error means no standby remains: the
+	// failure then surfaces from Finish exactly as it would without
+	// recovery configured.
 	Standby func() (Conn, error)
 	// Window is the pattern's time window for journal sizing (default:
 	// the pattern's own Window).
@@ -42,19 +50,64 @@ type RecoveryConfig struct {
 	OnFailover func(recovery.Failover)
 }
 
+// releaseConn returns its standby address to the pool when the
+// connection closes, so a consumed standby whose process restarts (and
+// re-listens) can be dialed again by a later failover or join.
+type releaseConn struct {
+	Conn
+	once    sync.Once
+	release func()
+}
+
+func (c *releaseConn) Close() error {
+	err := c.Conn.Close()
+	c.once.Do(c.release)
+	return err
+}
+
 // DialStandbys builds a RecoveryConfig.Standby supplier over a list of
-// TCP addresses: each failover attempt dials the next address, erroring
-// when all are used (which degrades that failover to the surfaced-error
-// behavior).
+// TCP addresses. Each call dials a free address; an address returns to
+// the pool when its connection closes, so a standby that was consumed,
+// died and restarted its listener is usable again (a failover retries
+// it on the next attempt). It errors when every address is in use or
+// unreachable — which degrades that failover to the surfaced-error
+// behavior.
 func DialStandbys(addrs []string) func() (Conn, error) {
-	next := 0
+	var mu sync.Mutex
+	inUse := make([]bool, len(addrs))
 	return func() (Conn, error) {
-		if next >= len(addrs) {
-			return nil, fmt.Errorf("cluster: all %d standby addresses used", len(addrs))
+		var lastErr error
+		for i := range addrs {
+			mu.Lock()
+			busy := inUse[i]
+			if !busy {
+				inUse[i] = true
+			}
+			mu.Unlock()
+			if busy {
+				continue
+			}
+			c, err := DialTCP(addrs[i])
+			if err != nil {
+				mu.Lock()
+				inUse[i] = false
+				mu.Unlock()
+				lastErr = err
+				continue
+			}
+			i := i
+			rc := &releaseConn{Conn: c}
+			rc.release = func() {
+				mu.Lock()
+				inUse[i] = false
+				mu.Unlock()
+			}
+			return rc, nil
 		}
-		c, err := DialTCP(addrs[next])
-		next++
-		return c, err
+		if lastErr != nil {
+			return nil, fmt.Errorf("cluster: no standby address reachable: %w", lastErr)
+		}
+		return nil, fmt.Errorf("cluster: all %d standby addresses in use", len(addrs))
 	}
 }
 
@@ -123,8 +176,9 @@ func (in *Ingress) fail(n int, err error) {
 }
 
 // failNode declares node slot n dead and drives the failover: stop the
-// old reader, verify journal coverage, then hand the block to standby
-// connections until one survives adoption or none remain.
+// old reader, drop its aborted in-flight migrations, verify per-shard
+// journal coverage, then migrate its shards to standby connections
+// until one survives adoption, the attempt cap is hit, or none remain.
 func (in *Ingress) failNode(n int, cause error) {
 	if in.dead[n] {
 		return
@@ -136,22 +190,52 @@ func (in *Ingress) failNode(n int, cause error) {
 	// collector slot is re-registered.
 	in.conns[n].Close()
 	<-in.readerDone[n]
-	if err := in.journal.Covered(in.base[n], in.nodeShards[n]); err != nil {
-		in.degrade(n, fmt.Errorf("%v (node %d failed: %v)", err, n, cause))
+	in.dropAbortedMigrations(n)
+	owned := in.ownedShards(n)
+	if len(owned) == 0 {
+		// A drained or never-loaded slot died: nothing to recover, the
+		// delivered stream is unaffected. Record the incident and move on.
+		now := time.Now()
+		in.mu.Lock()
+		in.failovers = append(in.failovers, recovery.Failover{
+			Node: n, Cause: cause.Error(), DetectedAt: now, RecoveredAt: now,
+		})
+		in.facked = append(in.facked, 0)
+		in.mu.Unlock()
 		return
 	}
-	rec := recovery.Failover{Node: n, Cause: cause.Error(), DetectedAt: time.Now()}
-	for {
+	for _, g := range owned {
+		if err := in.journal.CoveredShard(g); err != nil {
+			in.degrade(n, fmt.Errorf("%v (node %d failed: %v)", err, n, cause))
+			return
+		}
+	}
+	in.mu.Lock()
+	fidx := len(in.failovers)
+	in.failovers = append(in.failovers, recovery.Failover{
+		Node: n, Cause: cause.Error(), DetectedAt: time.Now(),
+		JournalBytes: in.journal.Bytes(), JournalCuts: in.journal.Cuts(),
+	})
+	in.facked = append(in.facked, 0)
+	in.mu.Unlock()
+	for attempt := 0; ; attempt++ {
 		if in.rec.Standby == nil {
+			in.popFailover(fidx)
 			in.degrade(n, fmt.Errorf("cluster: node %d failed with no standby configured: %w", n, cause))
+			return
+		}
+		if attempt >= maxAdoptAttempts {
+			in.popFailover(fidx)
+			in.degrade(n, fmt.Errorf("cluster: node %d failed (%v): gave up after %d adoption attempts", n, cause, attempt))
 			return
 		}
 		conn, err := in.rec.Standby()
 		if err != nil {
+			in.popFailover(fidx)
 			in.degrade(n, fmt.Errorf("cluster: node %d failed (%v) and no standby remains: %w", n, cause, err))
 			return
 		}
-		if in.adopt(n, conn, rec) == nil {
+		if in.adopt(n, conn, fidx) == nil {
 			return
 		}
 		// The standby itself died during adoption ("during replay" in
@@ -159,24 +243,67 @@ func (in *Ingress) failNode(n int, cause error) {
 	}
 }
 
-// degrade gives up on the slot: record the error and post the terminal
-// watermark so the merge drains instead of deadlocking — the exact
-// behavior of a cluster without recovery configured. The abandoned
-// block's history is released from the journal (no replay will ever
-// need it) so its frozen frontier cannot pin retention at MaxBytes for
-// the rest of the run.
+// popFailover removes a failover record whose every adoption attempt
+// failed (its aborted migrations are already dropped, so nothing can
+// reference the index).
+func (in *Ingress) popFailover(fidx int) {
+	in.mu.Lock()
+	in.failovers = in.failovers[:fidx]
+	in.facked = in.facked[:fidx]
+	in.mu.Unlock()
+}
+
+// dropAbortedMigrations compacts away every in-flight migration headed
+// to slot n — its session is dead, so no acknowledgement will ever
+// arrive. Each dropped move is subtracted from its failover's shard
+// count, re-checking whether the remaining acknowledged moves now
+// complete the record.
+func (in *Ingress) dropAbortedMigrations(n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	kept := in.migrations[:0]
+	keptF := in.migFailover[:0]
+	for i, m := range in.migrations {
+		fi := in.migFailover[i]
+		if m.To == n && m.CompletedAt.IsZero() {
+			if fi >= 0 {
+				in.failovers[fi].Shards--
+				if in.facked[fi] >= in.failovers[fi].Shards && in.failovers[fi].RecoveredAt.IsZero() {
+					in.failovers[fi].RecoveredAt = time.Now()
+				}
+			}
+			continue
+		}
+		kept = append(kept, m)
+		keptF = append(keptF, fi)
+	}
+	in.migrations = kept
+	in.migFailover = keptF
+}
+
+// degrade gives up on the slot: record the error and abandon its
+// shards at the collector so the merge drains instead of deadlocking —
+// the exact behavior of a cluster without recovery configured. The
+// abandoned shards' history is released from the journal (no replay
+// will ever need it) so their frozen frontiers cannot pin retention at
+// MaxBytes for the rest of the run.
 func (in *Ingress) degrade(n int, err error) {
 	in.recordErr(err)
 	in.abandoned[n] = true
-	in.journal.Abandon(in.base[n], in.nodeShards[n])
-	in.col.Post(n, maxSeq, nil)
+	for _, g := range in.ownedShards(n) {
+		in.journal.AbandonShard(g)
+	}
+	in.col.Abandon(n)
 }
 
-// adopt hands shard block n to one successor connection: handshake,
-// collector re-registration, Reassign, then journal replay. On error the
-// connection is closed, its reader (if started) has exited, and the slot
-// is still dead — the caller may try another standby.
-func (in *Ingress) adopt(n int, conn Conn, rec recovery.Failover) error {
+// adopt hands slot n's shards to one successor connection: handshake,
+// a zero-shard Assign (the successor runs a total-sized engine and
+// learns its shards from the Migrate frames), then one migrateShard
+// per owned shard. On error the connection is closed, its reader (if
+// started) has exited, aborted migrations are dropped, and the slot is
+// dead again — the caller may try another standby, which re-migrates
+// every owned shard afresh.
+func (in *Ingress) adopt(n int, conn Conn, fidx int) error {
 	f, err := conn.Recv()
 	if err != nil {
 		conn.Close()
@@ -191,75 +318,60 @@ func (in *Ingress) adopt(n int, conn Conn, rec recovery.Failover) error {
 		conn.Close()
 		return fmt.Errorf("cluster: standby for node %d speaks protocol v%d, ingress v%d", n, h.Version, wire.Version)
 	}
-	// A bare standby (sig 0) learns the pattern from the Reassign frame;
+	// A bare standby (sig 0) learns the pattern from the Assign frame;
 	// a configured one must already match.
 	if h.PatternSig != 0 && h.PatternSig != in.sig {
 		conn.Close()
 		return fmt.Errorf("cluster: standby for node %d serves a different pattern (fingerprint %x, want %x)", n, h.PatternSig, in.sig)
 	}
-
-	// Re-register the collector slot. Everything at or below the
-	// returned boundary has been delivered — the successor suppresses
-	// regenerated matches up to it — and the slot's buffered remainder
-	// is purged here, to be regenerated by replay.
-	boundary := in.col.Reassign(n)
-	rec.SuppressUpTo = boundary
-	rec.ReplayUpTo = in.journal.ReplayUpTo(n)
-	rec.JournalBytes, rec.JournalCuts = in.journal.Bytes(), in.journal.Cuts()
-	if err := conn.Send(wire.Reassign{
-		Base:         uint32(in.base[n]),
-		Shards:       uint32(in.nodeShards[n]),
-		Total:        uint32(in.total),
-		SuppressUpTo: boundary,
-		ReplayUpTo:   rec.ReplayUpTo,
-		Pattern:      in.pat,
-		Schema:       in.schema,
+	if err := conn.Send(wire.Assign{
+		Base: 0, Shards: 0, Total: uint32(in.total),
+		Pattern: in.pat, Schema: in.schema,
 	}); err != nil {
 		conn.Close()
-		return fmt.Errorf("cluster: reassigning node %d block: %w", n, err)
+		return fmt.Errorf("cluster: assigning standby for node %d: %w", n, err)
 	}
 
-	// Register the record and start the successor's reader before
-	// replaying: the reader must drain the upstream (matches, heartbeats,
-	// RecoveryDone) while replay cuts flow down, or a bounded transport
-	// fills in both directions and deadlocks.
+	// Register the new session and start its reader before replaying:
+	// the reader must drain the upstream (matches, heartbeats, acks)
+	// while replay cuts flow down, or a bounded transport fills in both
+	// directions and deadlocks. An adoption retry resets the per-replay
+	// aggregates the failed attempt accumulated; the final shard's ack
+	// re-stamps RecoveredAt, so a premature stamp cannot survive.
 	in.mu.Lock()
 	in.gen[n]++
 	gen := in.gen[n]
-	idx := len(in.failovers)
-	in.failovers = append(in.failovers, rec)
+	in.stats[n] = nil
+	fr := &in.failovers[fidx]
+	fr.Shards, fr.SuppressUpTo, fr.ReplayUpTo = 0, 0, 0
+	fr.ReplayCuts, fr.ReplayEvents, fr.ReplayBytes = 0, 0, 0
+	fr.RecoveredAt = time.Time{}
+	in.facked[fidx] = 0
 	in.mu.Unlock()
 	in.conns[n] = conn
+	in.hosted[n] = map[int]bool{} // a fresh session has hosted nothing
 	done := make(chan struct{})
 	in.readerDone[n] = done
 	in.det.Heard(n)
 	in.readers.Add(1)
 	go in.read(n, conn, gen, done)
 
-	replayErr := in.journal.Replay(n, func(evs []event.Event, upTo uint64) error {
-		rec.ReplayCuts++
-		rec.ReplayEvents += len(evs)
-		rec.ReplayBytes += recovery.EventsBytes(evs)
-		in.det.Sent(n)
-		return conn.Send(wire.Batch{UpTo: upTo, Events: evs})
-	})
-	if replayErr != nil {
-		conn.Close()
-		<-done
-		in.mu.Lock()
-		in.failovers = in.failovers[:idx]
-		in.mu.Unlock()
-		return fmt.Errorf("cluster: replaying node %d block: %w", n, replayErr)
+	for _, g := range in.ownedShards(n) {
+		if err := in.migrateShard(g, n, "failover", fidx); err != nil {
+			in.dead[n] = true
+			conn.Close()
+			<-done
+			in.dropAbortedMigrations(n)
+			return err
+		}
 	}
 	in.dead[n] = false
-	in.mu.Lock()
-	in.failovers[idx].ReplayCuts = rec.ReplayCuts
-	in.failovers[idx].ReplayEvents = rec.ReplayEvents
-	in.failovers[idx].ReplayBytes = rec.ReplayBytes
-	rec.RecoveredAt = in.failovers[idx].RecoveredAt
-	in.mu.Unlock()
+	in.routeBroadcast()
 	if in.rec.OnFailover != nil {
-		in.rec.OnFailover(rec)
+		in.mu.Lock()
+		snap := in.failovers[fidx]
+		in.mu.Unlock()
+		in.rec.OnFailover(snap)
 	}
 	return nil
 }
@@ -313,21 +425,8 @@ func (in *Ingress) drainRecovered() {
 	}
 }
 
-// recoveredNode stamps the youngest in-flight failover of slot n on
-// receipt of the successor's RecoveryDone frame (reader goroutine).
-func (in *Ingress) recoveredNode(n int) {
-	in.mu.Lock()
-	for k := len(in.failovers) - 1; k >= 0; k-- {
-		if in.failovers[k].Node == n && in.failovers[k].RecoveredAt.IsZero() {
-			in.failovers[k].RecoveredAt = time.Now()
-			break
-		}
-	}
-	in.mu.Unlock()
-}
-
-// Failovers reports the completed failovers, in order. Call after Finish
-// for settled RecoveredAt stamps.
+// Failovers reports the node-death incidents so far, in order. Call
+// after Finish for settled RecoveredAt stamps.
 func (in *Ingress) Failovers() []recovery.Failover {
 	in.mu.Lock()
 	defer in.mu.Unlock()

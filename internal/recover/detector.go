@@ -5,6 +5,12 @@ import (
 	"time"
 )
 
+// nodeClock is one node's pair of heartbeat clocks.
+type nodeClock struct {
+	last atomic.Int64 // unix nanos of the last frame received
+	sent atomic.Int64 // unix nanos of the last frame sent
+}
+
 // Detector is the heartbeat half of failure detection: it tracks, per
 // node, when a frame was last received and when one was last sent, and
 // declares a node suspect when it has been silent past the timeout
@@ -19,40 +25,65 @@ import (
 // error, like a machine dropping off the network mid-stream.
 //
 // Heard is called from the per-node reader goroutines, Sent and Expired
-// from the ingress goroutine; the per-node clocks are atomics.
+// from the ingress goroutine, and the clock set grows as nodes join a
+// running cluster (Grow, ingress goroutine only): the slot slice is
+// swapped atomically and existing clocks are shared between old and new
+// slices, so concurrent readers stay coherent.
 type Detector struct {
 	timeout time.Duration
-	last    []atomic.Int64 // unix nanos of the last frame received, per node
-	sent    []atomic.Int64 // unix nanos of the last frame sent, per node
+	clocks  atomic.Pointer[[]*nodeClock]
 }
 
 // NewDetector starts the clocks for n nodes. A zero (or negative)
 // timeout disables timeout-based suspicion: Expired never fires and
 // failures are detected through transport errors alone.
 func NewDetector(n int, timeout time.Duration) *Detector {
-	d := &Detector{
-		timeout: timeout,
-		last:    make([]atomic.Int64, n),
-		sent:    make([]atomic.Int64, n),
-	}
+	d := &Detector{timeout: timeout}
 	now := time.Now().UnixNano()
-	for i := range d.last {
-		d.last[i].Store(now)
+	clocks := make([]*nodeClock, n)
+	for i := range clocks {
+		clocks[i] = &nodeClock{}
+		clocks[i].last.Store(now)
 	}
+	d.clocks.Store(&clocks)
 	return d
+}
+
+// Grow adds one node slot with a freshly started clock, returning its
+// index. Ingress goroutine only.
+func (d *Detector) Grow() int {
+	old := *d.clocks.Load()
+	clocks := make([]*nodeClock, len(old)+1)
+	copy(clocks, old)
+	c := &nodeClock{}
+	c.last.Store(time.Now().UnixNano())
+	clocks[len(old)] = c
+	d.clocks.Store(&clocks)
+	return len(old)
+}
+
+func (d *Detector) clock(i int) *nodeClock {
+	if d == nil || i < 0 {
+		return nil
+	}
+	clocks := *d.clocks.Load()
+	if i >= len(clocks) {
+		return nil
+	}
+	return clocks[i]
 }
 
 // Heard records a frame (or any other liveness proof) from node i.
 func (d *Detector) Heard(i int) {
-	if d != nil && i >= 0 && i < len(d.last) {
-		d.last[i].Store(time.Now().UnixNano())
+	if c := d.clock(i); c != nil {
+		c.last.Store(time.Now().UnixNano())
 	}
 }
 
 // Sent records a frame delivered to node i; the node now owes a beat.
 func (d *Detector) Sent(i int) {
-	if d != nil && i >= 0 && i < len(d.sent) {
-		d.sent[i].Store(time.Now().UnixNano())
+	if c := d.clock(i); c != nil {
+		c.sent.Store(time.Now().UnixNano())
 	}
 }
 
@@ -64,33 +95,83 @@ func (d *Detector) Sent(i int) {
 // (watermarks while draining, metrics at the end) regardless of send
 // order.
 func (d *Detector) Expired(i int, awaiting bool) bool {
-	if d == nil || d.timeout <= 0 || i < 0 || i >= len(d.last) {
+	if d == nil || d.timeout <= 0 {
 		return false
 	}
-	heard := d.last[i].Load()
-	if !awaiting && d.sent[i].Load() <= heard {
+	c := d.clock(i)
+	if c == nil {
+		return false
+	}
+	heard := c.last.Load()
+	if !awaiting && c.sent.Load() <= heard {
 		return false
 	}
 	return time.Now().UnixNano()-heard > int64(d.timeout)
 }
 
-// Failover is the record of one shard-block reassignment: which node
-// slot died and why, what the successor replayed, and when it caught up.
+// Migration is the record of one shard changing owner — the unit every
+// routing change (failover, rebalance, scale-out handoff, drain) is
+// built from: which shard moved between which ingress slots and why,
+// what the destination replayed, and when it caught up.
+type Migration struct {
+	// Shard is the global shard index that moved.
+	Shard int
+	// From and To are the ingress slots the shard moved between (From is
+	// -1 when the source slot was already torn down).
+	From, To int
+	// Reason labels what triggered the move: "failover", "rebalance",
+	// "join", or "drain".
+	Reason string
+	// StartedAt is when the ingress froze the shard's merge source.
+	StartedAt time.Time
+	// SuppressUpTo is the release boundary shipped to the destination:
+	// it suppresses every regenerated match tagged at or below it.
+	SuppressUpTo uint64
+	// ReplayUpTo is the watermark at which the destination has
+	// reprocessed everything sealed before the move (0 when the shard
+	// had no retained history).
+	ReplayUpTo uint64
+	// ReplayCuts/ReplayEvents/ReplayBytes measure the journaled history
+	// replayed to the destination (the shard's share, not the whole
+	// journal).
+	ReplayCuts   int
+	ReplayEvents int
+	ReplayBytes  int64
+	// CompletedAt is when the destination acknowledged the replay
+	// horizon (zero while the migration is still in flight).
+	CompletedAt time.Time
+}
+
+// Pause is the freeze-to-acknowledged duration of the move — how long
+// the shard's deliveries were frozen at the merge collector (0 while in
+// flight). Ingest on other shards never stops during it.
+func (m Migration) Pause() time.Duration {
+	if m.CompletedAt.IsZero() {
+		return 0
+	}
+	return m.CompletedAt.Sub(m.StartedAt)
+}
+
+// Failover is the record of one node-death incident: which node slot
+// died and why, the aggregate of the per-shard migrations that rebuilt
+// its shards elsewhere, and when the last of them caught up.
 type Failover struct {
-	// Node is the ingress slot (and shard-block owner) that failed.
+	// Node is the ingress slot that failed.
 	Node int
 	// Cause describes the detected failure.
 	Cause string
 	// DetectedAt is when the ingress declared the node dead.
 	DetectedAt time.Time
-	// SuppressUpTo is the release boundary shipped to the successor: it
+	// Shards counts the shards migrated off the dead slot.
+	Shards int
+	// SuppressUpTo is the release boundary shipped to the successors: it
 	// suppressed every regenerated match tagged at or below it.
 	SuppressUpTo uint64
-	// ReplayUpTo is the watermark at which the successor had reprocessed
-	// everything sealed before the failure.
+	// ReplayUpTo is the highest watermark at which a successor had
+	// reprocessed everything sealed before the failure.
 	ReplayUpTo uint64
-	// ReplayCuts/ReplayEvents/ReplayBytes measure the journaled history
-	// replayed to the successor (the block's share, not the whole
+	// ReplayCuts/ReplayEvents/ReplayBytes sum the journaled history
+	// replayed to the successors (the dead slot's share, not the whole
 	// journal).
 	ReplayCuts   int
 	ReplayEvents int
@@ -99,8 +180,8 @@ type Failover struct {
 	// time (the retention cost that bought this recovery).
 	JournalBytes int64
 	JournalCuts  int
-	// RecoveredAt is when the successor reported RecoveryDone (zero
-	// while recovery is still in flight).
+	// RecoveredAt is when the last migrated shard acknowledged its
+	// replay horizon (zero while recovery is still in flight).
 	RecoveredAt time.Time
 }
 

@@ -1,35 +1,40 @@
-// Package recovery is the fault-tolerance subsystem of the distributed
-// cluster layer (internal/cluster): the pieces that let an ingress
-// survive a worker-node death without losing or duplicating a single
-// match. (The directory is internal/recover; the package is named
-// recovery so importers do not shadow the built-in recover.)
+// Package recovery is the fault-tolerance and elasticity subsystem of
+// the distributed cluster layer (internal/cluster): the pieces that let
+// an ingress move a shard between nodes — because its host died, or
+// because a placement controller decided to — without losing or
+// duplicating a single match. (The directory is internal/recover; the
+// package is named recovery so importers do not shadow the built-in
+// recover.)
 //
 // The design exploits the paper's per-partition adaptation argument
 // (§7): a shard engine's match output depends only on the events of its
 // partition inside the pattern window, never on evaluator state older
-// than that — plans change performance, not semantics. A dead node's
-// shard block is therefore rebuildable by replaying recent history into
-// a fresh engine; no evaluator-state serialization is needed. Three
+// than that — plans change performance, not semantics. A shard is
+// therefore movable by replaying its recent history into a fresh engine
+// on the destination; no evaluator-state serialization is needed. Three
 // parts make that concrete:
 //
 //   - Journal — a bounded ring of sealed ingress cuts retaining, per
-//     global shard, at least two pattern windows of history behind the
-//     released (delivered) watermark: one window because any undelivered
-//     match's events lie within a window of its emission point, and a
-//     second because negation scopes and parked (residual) matches reach
-//     one further window back. Memory is accounted explicitly; cuts trim
-//     on watermark advance, and a hard byte bound force-trims with an
-//     explicit coverage-lost marker rather than growing silently.
+//     global shard, at least two pattern windows of history behind that
+//     shard's released (delivered) frontier: one window because any
+//     undelivered match's events lie within a window of its emission
+//     point, and a second because negation scopes and parked (residual)
+//     matches reach one further window back. Retention is per shard —
+//     a cold shard trims on its own clock instead of pinning every
+//     sibling's history. Memory is accounted explicitly; a hard byte
+//     bound force-trims with an explicit per-shard coverage-lost marker
+//     rather than growing silently.
 //   - Detector — a wall-clock heartbeat monitor fed by the frames each
 //     node sends (watermarks double as heartbeats; nodes additionally
 //     acknowledge every cut on receipt), declaring a silent node dead
-//     after a configurable timeout. Transport errors detect immediately
-//     regardless.
-//   - Failover — the per-incident record: what died, when, how much was
-//     replayed, and when the successor caught up.
+//     after a configurable timeout. Transport errors bypass it (they
+//     are definitive); it grows as nodes join a running cluster.
+//   - Migration / Failover — the per-shard and per-incident records:
+//     what moved or died, why, how much was replayed, and when the
+//     destination caught up.
 //
-// The ingress-side orchestration (standby adoption, the wire Reassign
-// handshake, collector re-registration, suppression of already-released
+// The ingress-side orchestration (freezing the shard's merge source,
+// the wire Migrate handshake, replay, suppression of already-released
 // matches) lives in internal/cluster; this package holds the mechanism
 // and its accounting.
 package recovery
@@ -49,7 +54,7 @@ const perEventBytes = 48
 const DefaultMaxBytes = 256 << 20
 
 // DefaultSlackWindows is the retention horizon in pattern windows behind
-// the released frontier. Two windows are exactly sufficient: an
+// a shard's released frontier. Two windows are exactly sufficient: an
 // undelivered match's own events span at most one window back from its
 // emission point, and its residual scopes (negated events that could
 // veto it, Kleene events that belong in it) reach at most one window
@@ -60,12 +65,11 @@ const DefaultSlackWindows = 2
 type JournalConfig struct {
 	// Window is the pattern's time window (required, positive).
 	Window event.Time
-	// Shards is the global shard count; Route maps an event to its
-	// global shard index (both required). The per-shard released frontier
-	// decides what is safe to trim — node granularity would under-retain
-	// for a shard idling behind a busy sibling.
+	// Shards is the global shard count (required). Cuts arrive and trim
+	// per global shard: each shard's own released frontier decides what
+	// of its history is safe to drop, so one laggy or cold shard no
+	// longer pins every other shard's retention.
 	Shards int
-	Route  func(*event.Event) int
 	// SlackWindows overrides the retention horizon (default 2). One
 	// window is sufficient for residual-free patterns (pure sequences
 	// and conjunctions); below two, negation scopes and parked matches
@@ -73,19 +77,19 @@ type JournalConfig struct {
 	SlackWindows int
 	// MaxBytes is the hard memory bound (default DefaultMaxBytes). When
 	// exceeded the oldest cuts are trimmed regardless of the horizon and
-	// the journal records the coverage loss; a later failover whose
-	// replay would have needed them fails explicitly instead of
-	// delivering a silently incomplete stream.
+	// the journal records, per shard, the coverage loss; a later
+	// migration whose replay would have needed the trimmed history fails
+	// explicitly instead of delivering a silently incomplete stream.
 	MaxBytes int64
 }
 
-// cutRecord is one sealed ingress cut: every node's events in arrival
-// order plus the global watermark the cut covers.
+// cutRecord is one sealed ingress cut: every global shard's events in
+// arrival order (evs[g] nil when the shard had none, or after its slice
+// trimmed away) plus the global watermark the cut covers.
 type cutRecord struct {
-	upTo    uint64
-	maxTS   event.Time
-	perNode [][]event.Event
-	bytes   int64
+	upTo  uint64
+	evs   [][]event.Event
+	bytes int64
 }
 
 // EventsBytes accounts a slice of events with the journal's memory
@@ -98,28 +102,32 @@ func EventsBytes(evs []event.Event) int64 {
 	return b
 }
 
+// lastTS is a slice's newest timestamp; per-shard slices are in arrival
+// (hence timestamp) order, so the last event is the newest.
+func lastTS(evs []event.Event) event.Time { return evs[len(evs)-1].TS }
+
 // Journal is the ingress's cut journal. It is confined to the ingress
 // goroutine (no internal locking): Append seals cuts, Advance folds the
-// released watermark and trims, Replay feeds a successor. The journaled
-// event slices alias the cut buffers the ingress already sent — both
-// sides treat them as immutable — so retention, not copying, is the
-// journal's only memory cost.
+// released watermark and trims, ReplayShard feeds a migration. The
+// journaled event slices alias the per-shard cut buffers the ingress
+// already sent — both sides treat them as immutable — so retention, not
+// copying, is the journal's only memory cost.
 type Journal struct {
 	cfg   JournalConfig
-	slack event.Time // retention horizon behind the released frontier
+	slack event.Time // retention horizon behind a shard's released frontier
 
 	cuts     []cutRecord // oldest first; cuts[:folded] are released
 	bytes    int64
 	events   int
 	lastUp   uint64
 	relSeq   uint64
-	folded   int // cuts already folded into the released frontier
+	folded   int // cuts already folded into the released frontiers
 	relTS    []event.Time
 	relSeen  []bool
-	excluded []bool // abandoned shards: ignored by the retention horizon
+	excluded []bool // abandoned shards: history dropped, never replayed
 
-	forced   bool // MaxBytes force-trimmed past the safe horizon
-	forcedTS event.Time
+	forced   []bool // MaxBytes force-trimmed into this shard's safe horizon
+	forcedTS []event.Time
 }
 
 // NewJournal validates the configuration.
@@ -129,9 +137,6 @@ func NewJournal(cfg JournalConfig) (*Journal, error) {
 	}
 	if cfg.Shards < 1 {
 		return nil, fmt.Errorf("recovery: journal needs the global shard count, got %d", cfg.Shards)
-	}
-	if cfg.Route == nil {
-		return nil, fmt.Errorf("recovery: journal needs the shard route function")
 	}
 	if cfg.SlackWindows <= 0 {
 		cfg.SlackWindows = DefaultSlackWindows
@@ -145,14 +150,23 @@ func NewJournal(cfg JournalConfig) (*Journal, error) {
 		relTS:    make([]event.Time, cfg.Shards),
 		relSeen:  make([]bool, cfg.Shards),
 		excluded: make([]bool, cfg.Shards),
+		forced:   make([]bool, cfg.Shards),
+		forcedTS: make([]event.Time, cfg.Shards),
 	}, nil
 }
 
-// Abandon excludes shard block [base, base+shards) from the retention
-// horizon: its slot was given up with no successor, so no replay will
-// ever need its history again. Without this, the dead block's frozen
-// released frontier would pin the horizon and the journal would grow to
-// MaxBytes for the rest of the run.
+// AbandonShard drops shard g from the journal: its slot was given up
+// with no successor, so no replay will ever need its history again. Its
+// retained slices free immediately and future cuts for it are not
+// retained.
+func (j *Journal) AbandonShard(g int) {
+	if g >= 0 && g < len(j.excluded) {
+		j.excluded[g] = true
+	}
+	j.trim()
+}
+
+// Abandon drops shard block [base, base+shards) (see AbandonShard).
 func (j *Journal) Abandon(base, shards int) {
 	for g := base; g < base+shards && g < len(j.excluded); g++ {
 		j.excluded[g] = true
@@ -160,34 +174,31 @@ func (j *Journal) Abandon(base, shards int) {
 	j.trim()
 }
 
-// Append seals one cut: perNode holds each node's events of the cut in
-// arrival order (the journal aliases the slices; they must not be
-// mutated afterwards), upTo is the cut's global watermark. All-empty
-// cuts are skipped. Exceeding MaxBytes force-trims oldest cuts and marks
-// coverage as lost from that point.
-func (j *Journal) Append(perNode [][]event.Event, upTo uint64) {
+// Append seals one cut: perShard holds each global shard's events of
+// the cut in arrival order (the journal aliases the slices; they must
+// not be mutated afterwards), upTo is the cut's global watermark.
+// All-empty cuts are skipped. Exceeding MaxBytes force-trims oldest
+// cuts and marks the affected shards' coverage as lost from that point.
+func (j *Journal) Append(perShard [][]event.Event, upTo uint64) {
 	var bytes int64
-	var maxTS event.Time
 	n := 0
-	for _, evs := range perNode {
-		if len(evs) == 0 {
+	for g, evs := range perShard {
+		if len(evs) == 0 || (g < len(j.excluded) && j.excluded[g]) {
 			continue
 		}
-		// Events per node are in arrival (hence timestamp) order, so the
-		// node's newest is its last.
-		if ts := evs[len(evs)-1].TS; n == 0 || ts > maxTS {
-			maxTS = ts
-		}
 		n += len(evs)
-		for i := range evs {
-			bytes += perEventBytes + 8*int64(len(evs[i].Attrs))
-		}
+		bytes += EventsBytes(evs)
 	}
 	if n == 0 {
 		return
 	}
-	rec := cutRecord{upTo: upTo, maxTS: maxTS, bytes: bytes}
-	rec.perNode = append(rec.perNode, perNode...)
+	rec := cutRecord{upTo: upTo, bytes: bytes, evs: make([][]event.Event, len(perShard))}
+	for g, evs := range perShard {
+		if len(evs) == 0 || (g < len(j.excluded) && j.excluded[g]) {
+			continue
+		}
+		rec.evs[g] = evs
+	}
 	j.cuts = append(j.cuts, rec)
 	j.bytes += bytes
 	j.events += n
@@ -198,9 +209,9 @@ func (j *Journal) Append(perNode [][]event.Event, upTo uint64) {
 }
 
 // Advance folds the released (delivered) watermark into the per-shard
-// frontier and trims every cut that no undelivered or future match can
-// reach: released cuts whose newest event is more than the slack horizon
-// behind every shard's released frontier.
+// frontiers and trims every slice no undelivered or future match can
+// reach: released slices whose newest event is more than the slack
+// horizon behind their own shard's released frontier.
 func (j *Journal) Advance(relSeq uint64) {
 	if relSeq <= j.relSeq {
 		j.trim()
@@ -208,132 +219,164 @@ func (j *Journal) Advance(relSeq uint64) {
 	}
 	j.relSeq = relSeq
 	for j.folded < len(j.cuts) && j.cuts[j.folded].upTo <= relSeq {
-		for _, evs := range j.cuts[j.folded].perNode {
-			for i := range evs {
-				g := j.cfg.Route(&evs[i])
-				if g >= 0 && g < len(j.relTS) {
-					j.relTS[g] = evs[i].TS
-					j.relSeen[g] = true
-				}
+		for g, evs := range j.cuts[j.folded].evs {
+			if len(evs) == 0 || g >= len(j.relTS) {
+				continue
 			}
+			j.relTS[g] = lastTS(evs)
+			j.relSeen[g] = true
 		}
 		j.folded++
 	}
 	j.trim()
 }
 
-// horizon is the oldest event timestamp any undelivered or future match
-// can still reference: the slack behind the laggiest shard's released
-// frontier. The second value is false while no shard has released an
-// event yet (nothing is trimmable then).
-func (j *Journal) horizon() (event.Time, bool) {
-	min, any := event.Time(0), false
-	for g, seen := range j.relSeen {
-		if !seen || j.excluded[g] {
+// droppable reports whether shard g's slice with newest timestamp ts is
+// past its own retention horizon (or the shard is abandoned).
+func (j *Journal) droppable(g int, ts event.Time) bool {
+	if g < len(j.excluded) && j.excluded[g] {
+		return true
+	}
+	if g >= len(j.relTS) || !j.relSeen[g] {
+		return false
+	}
+	return ts < j.relTS[g]-j.slack
+}
+
+// trim drops, slice by slice, the history no replay can need: within
+// released cuts, each shard's slice goes as soon as that shard's own
+// frontier moves past it (abandoned shards' slices go anywhere). Cuts
+// whose every slice dropped are compacted away.
+func (j *Journal) trim() {
+	changed := false
+	for k := range j.cuts {
+		released := k < j.folded
+		for g, evs := range j.cuts[k].evs {
+			if len(evs) == 0 {
+				continue
+			}
+			excl := g < len(j.excluded) && j.excluded[g]
+			if !excl && (!released || !j.droppable(g, lastTS(evs))) {
+				continue
+			}
+			j.dropSlice(k, g)
+			changed = true
+		}
+	}
+	if changed {
+		j.compact()
+	}
+}
+
+// dropSlice releases one shard's slice of one cut.
+func (j *Journal) dropSlice(k, g int) {
+	evs := j.cuts[k].evs[g]
+	b := EventsBytes(evs)
+	j.cuts[k].bytes -= b
+	j.bytes -= b
+	j.events -= len(evs)
+	j.cuts[k].evs[g] = nil
+}
+
+// compact removes cuts whose every slice has been dropped.
+func (j *Journal) compact() {
+	w := 0
+	for k := range j.cuts {
+		empty := true
+		for _, evs := range j.cuts[k].evs {
+			if len(evs) > 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			if k < j.folded {
+				j.folded--
+			}
 			continue
 		}
-		if !any || j.relTS[g] < min {
-			min = j.relTS[g]
-		}
-		any = true
+		j.cuts[w] = j.cuts[k]
+		w++
 	}
-	if !any {
-		return 0, false
-	}
-	return min - j.slack, true
+	j.cuts = j.cuts[:w]
 }
 
-func (j *Journal) trim() {
-	h, ok := j.horizon()
-	if !ok {
-		return
-	}
-	k := 0
-	for k < j.folded && j.cuts[k].maxTS < h {
-		j.drop(k)
-		k++
-	}
-	if k > 0 {
-		j.cuts = append(j.cuts[:0], j.cuts[k:]...)
-		j.folded -= k
-	}
-}
-
-// forceTrimOldest drops the oldest cut to honor MaxBytes, recording the
-// coverage loss when the cut was still inside the safe horizon.
+// forceTrimOldest drops the oldest cut whole to honor MaxBytes,
+// recording, per shard still holding a slice inside its safe horizon,
+// that coverage was lost.
 func (j *Journal) forceTrimOldest() {
-	c := j.cuts[0]
-	if h, ok := j.horizon(); !ok || c.maxTS >= h || c.upTo > j.relSeq {
-		j.forced = true
-		if c.maxTS > j.forcedTS {
-			j.forcedTS = c.maxTS
+	c := &j.cuts[0]
+	for g, evs := range c.evs {
+		if len(evs) == 0 {
+			continue
 		}
+		ts := lastTS(evs)
+		if g < len(j.forced) && (!j.droppable(g, ts) || c.upTo > j.relSeq) {
+			j.forced[g] = true
+			if ts > j.forcedTS[g] {
+				j.forcedTS[g] = ts
+			}
+		}
+		j.dropSlice(0, g)
 	}
-	j.drop(0)
 	j.cuts = append(j.cuts[:0], j.cuts[1:]...)
 	if j.folded > 0 {
 		j.folded--
 	}
 }
 
-func (j *Journal) drop(k int) {
-	j.bytes -= j.cuts[k].bytes
-	for _, evs := range j.cuts[k].perNode {
-		j.events -= len(evs)
-	}
-}
-
-// Covered reports whether the retained journal still holds everything a
-// failover of node block [base, base+shards) needs — i.e. whether
-// MaxBytes force-trimming ever cut into that block's safe horizon.
-func (j *Journal) Covered(base, shards int) error {
-	if !j.forced {
+// CoveredShard reports whether the retained journal still holds
+// everything a migration of shard g needs — i.e. whether MaxBytes
+// force-trimming ever cut into that shard's safe horizon.
+func (j *Journal) CoveredShard(g int) error {
+	if g < 0 || g >= len(j.forced) || !j.forced[g] {
 		return nil
 	}
-	needed := event.Time(0)
-	any := false
-	for g := base; g < base+shards && g < len(j.relTS); g++ {
-		if !j.relSeen[g] {
-			continue
-		}
-		if !any || j.relTS[g] < needed {
-			needed = j.relTS[g]
-		}
-		any = true
+	if !j.relSeen[g] {
+		// The shard never released an event; everything undelivered must
+		// be replayable, and its history has been force-trimmed.
+		return fmt.Errorf("recovery: journal overflowed (%d bytes cap) before shard %d released anything; replay would be incomplete",
+			j.cfg.MaxBytes, g)
 	}
-	if !any {
-		// The block never released an event; everything undelivered must
-		// be replayable, and history has been force-trimmed.
-		return fmt.Errorf("recovery: journal overflowed (%d bytes cap) before shard block [%d,%d) released anything; replay would be incomplete",
-			j.cfg.MaxBytes, base, base+shards)
-	}
-	if j.forcedTS >= needed-j.slack {
-		return fmt.Errorf("recovery: journal overflowed (%d bytes cap) and trimmed into shard block [%d,%d)'s replay horizon; raise MaxBytes or shrink the window",
-			j.cfg.MaxBytes, base, base+shards)
+	if j.forcedTS[g] >= j.relTS[g]-j.slack {
+		return fmt.Errorf("recovery: journal overflowed (%d bytes cap) and trimmed into shard %d's replay horizon; raise MaxBytes or shrink the window",
+			j.cfg.MaxBytes, g)
 	}
 	return nil
 }
 
-// Replay walks the retained cuts that carry events for node, oldest
-// first, stopping on the first error.
-func (j *Journal) Replay(node int, fn func(events []event.Event, upTo uint64) error) error {
-	for _, c := range j.cuts {
-		if node >= len(c.perNode) || len(c.perNode[node]) == 0 {
-			continue
-		}
-		if err := fn(c.perNode[node], c.upTo); err != nil {
+// Covered reports whether every shard of block [base, base+shards) is
+// still fully replayable (see CoveredShard).
+func (j *Journal) Covered(base, shards int) error {
+	for g := base; g < base+shards; g++ {
+		if err := j.CoveredShard(g); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// ReplayUpTo is the watermark of the newest retained cut carrying events
-// for node — the point at which a successor replaying the block has
-// caught up with everything sealed before the failure (0 if none).
-func (j *Journal) ReplayUpTo(node int) uint64 {
+// ReplayShard walks the retained cuts that still carry events for
+// shard g, oldest first, stopping on the first error.
+func (j *Journal) ReplayShard(g int, fn func(events []event.Event, upTo uint64) error) error {
+	for _, c := range j.cuts {
+		if g >= len(c.evs) || len(c.evs[g]) == 0 {
+			continue
+		}
+		if err := fn(c.evs[g], c.upTo); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReplayUpToShard is the watermark of the newest retained cut carrying
+// events for shard g — the point at which a destination replaying the
+// shard has caught up with everything sealed before the migration
+// (0 if none).
+func (j *Journal) ReplayUpToShard(g int) uint64 {
 	for k := len(j.cuts) - 1; k >= 0; k-- {
-		if node < len(j.cuts[k].perNode) && len(j.cuts[k].perNode[node]) > 0 {
+		if g < len(j.cuts[k].evs) && len(j.cuts[k].evs[g]) > 0 {
 			return j.cuts[k].upTo
 		}
 	}

@@ -7,13 +7,11 @@ import (
 	"acep/internal/event"
 )
 
-// j2 builds a 2-node, 4-shard journal with window 100 and events routed
-// by their first attribute.
-func j2(t *testing.T, maxBytes int64, slack int) *Journal {
+// j4 builds a 4-shard journal with window 100.
+func j4(t *testing.T, maxBytes int64, slack int) *Journal {
 	t.Helper()
 	j, err := NewJournal(JournalConfig{
 		Window: 100, Shards: 4, SlackWindows: slack, MaxBytes: maxBytes,
-		Route: func(ev *event.Event) int { return int(ev.Attrs[0]) },
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -21,38 +19,33 @@ func j2(t *testing.T, maxBytes int64, slack int) *Journal {
 	return j
 }
 
-// cutFor builds one two-node cut: each event is (ts, seq, shard).
+// cutFor builds one per-shard cut: each event is (ts, seq, shard).
 func cutFor(evs ...[3]int64) [][]event.Event {
-	perNode := make([][]event.Event, 2)
+	perShard := make([][]event.Event, 4)
 	for _, e := range evs {
-		n := 0
-		if e[2] >= 2 { // shards 2,3 live on node 1
-			n = 1
-		}
-		perNode[n] = append(perNode[n], event.Event{
+		g := int(e[2])
+		perShard[g] = append(perShard[g], event.Event{
 			TS: event.Time(e[0]), Seq: uint64(e[1]), Attrs: []float64{float64(e[2])},
 		})
 	}
-	return perNode
+	return perShard
 }
 
 func TestJournalValidation(t *testing.T) {
-	if _, err := NewJournal(JournalConfig{Shards: 1, Route: func(*event.Event) int { return 0 }}); err == nil {
+	if _, err := NewJournal(JournalConfig{Shards: 1}); err == nil {
 		t.Error("zero window accepted")
 	}
-	if _, err := NewJournal(JournalConfig{Window: 1, Route: func(*event.Event) int { return 0 }}); err == nil {
+	if _, err := NewJournal(JournalConfig{Window: 1}); err == nil {
 		t.Error("zero shards accepted")
-	}
-	if _, err := NewJournal(JournalConfig{Window: 1, Shards: 1}); err == nil {
-		t.Error("nil route accepted")
 	}
 }
 
-// TestJournalTrim: released cuts trim once every shard's released
-// frontier has moved a full slack horizon past them; unreleased cuts and
-// cuts inside the horizon stay.
+// TestJournalTrim: a shard's released slices trim once that shard's own
+// frontier has moved a full slack horizon past them; unreleased slices
+// and slices inside the horizon stay, and a cut vanishes when its last
+// slice does.
 func TestJournalTrim(t *testing.T) {
-	j := j2(t, 0, 2) // slack = 2*100+1 = 201
+	j := j4(t, 0, 2) // slack = 2*100+1 = 201
 	j.Append(cutFor([3]int64{0, 1, 0}, [3]int64{5, 2, 2}), 2)
 	j.Append(cutFor([3]int64{100, 3, 1}, [3]int64{110, 4, 3}), 4)
 	j.Append(cutFor([3]int64{300, 5, 0}, [3]int64{310, 6, 2}), 6)
@@ -64,25 +57,26 @@ func TestJournalTrim(t *testing.T) {
 		t.Fatal("no memory accounted")
 	}
 
-	// Releasing through seq 6 puts the frontier at relTS = {300, 100,
-	// 310, 110}; horizon = 100 - 201 < 0, nothing trims yet (shards 1 and
-	// 3 lag).
+	// Releasing through seq 6 puts the frontiers at {300, 100, 310, 110}:
+	// the first cut's slices (TS 0 on shard 0, TS 5 on shard 2) are both
+	// past their own shards' horizons (99 and 109) and drop, taking the
+	// cut with them; every other slice is inside its horizon.
 	j.Advance(6)
-	if j.Cuts() != 4 {
-		t.Fatalf("horizon behind laggiest shard, yet trimmed to %d cuts", j.Cuts())
+	if j.Cuts() != 3 {
+		t.Fatalf("trimmed to %d cuts, want 3 (first cut aged out per shard)", j.Cuts())
 	}
 
-	// Releasing everything puts the frontier at relTS = {300, 600, 310,
-	// 610}: min 300, horizon 99 — only the first cut (maxTS 5) has aged
-	// out.
+	// Releasing everything moves shards 1 and 3 to {600, 610}: the second
+	// cut's slices (TS 100 and 110) age out behind horizons 399 and 409.
+	// Shards 0 and 2 did not move, so the third cut stays.
 	j.Advance(8)
-	if j.Cuts() != 3 {
-		t.Fatalf("trimmed to %d cuts, want 3 (min frontier 300, horizon 99)", j.Cuts())
+	if j.Cuts() != 2 {
+		t.Fatalf("trimmed to %d cuts, want 2 (cut 2 aged out, cut 3 pinned)", j.Cuts())
 	}
 	j.Append(cutFor([3]int64{900, 9, 0}, [3]int64{900, 10, 1}, [3]int64{900, 11, 2}, [3]int64{900, 12, 3}), 12)
 	j.Advance(12)
-	// Frontier now 900 on every shard; horizon 699 drops the cuts at
-	// maxTS 110, 310 and 610, keeping only the 900 cut.
+	// Frontier now 900 on every shard; horizon 699 drops everything older,
+	// keeping only the 900 cut.
 	if j.Cuts() != 1 {
 		t.Fatalf("trimmed to %d cuts, want 1", j.Cuts())
 	}
@@ -91,32 +85,85 @@ func TestJournalTrim(t *testing.T) {
 	}
 }
 
-// TestJournalReplay: replay yields exactly the retained cuts that carry
-// the node's events, oldest first, with their watermarks.
+// TestJournalTrimSkew is the retention-under-skew regression: a cold
+// shard with one ancient slice must pin only that slice — the hot
+// shard's history keeps trimming on its own frontier, so a byte bound
+// that whole-cut retention would have blown (forcing coverage loss)
+// is never even approached.
+func TestJournalTrimSkew(t *testing.T) {
+	j, err := NewJournal(JournalConfig{
+		Window: 100, Shards: 2, SlackWindows: 1, MaxBytes: 3000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cold shard's only traffic, released immediately: frontier 0.
+	j.Append([][]event.Event{nil, {{TS: 0, Seq: 1, Attrs: []float64{1}}}}, 1)
+	j.Advance(1)
+	// 100 hot cuts on shard 0, each released as soon as sealed. Retaining
+	// them all would cost ~5.6 KiB — past MaxBytes — so under whole-cut
+	// retention the cold slice would have force-trimmed coverage away.
+	for i := int64(0); i < 100; i++ {
+		j.Append([][]event.Event{{{TS: event.Time(i * 50), Seq: uint64(i + 2), Attrs: []float64{0}}}, nil}, uint64(i+2))
+		j.Advance(uint64(i + 2))
+	}
+	// Horizon 101 behind a frontier stepping by 50: at most a few hot
+	// slices live at any time, plus the pinned cold one.
+	if j.Cuts() > 6 {
+		t.Fatalf("retained %d cuts; hot shard not trimming on its own frontier", j.Cuts())
+	}
+	if err := j.CoveredShard(0); err != nil {
+		t.Fatalf("hot shard lost coverage: %v", err)
+	}
+	if err := j.CoveredShard(1); err != nil {
+		t.Fatalf("cold shard lost coverage: %v", err)
+	}
+	// The cold shard's slice itself must still be replayable.
+	var cold int
+	j.ReplayShard(1, func(evs []event.Event, _ uint64) error {
+		cold += len(evs)
+		return nil
+	})
+	if cold != 1 {
+		t.Fatalf("cold shard replayed %d events, want its 1 pinned event", cold)
+	}
+}
+
+// TestJournalReplay: per-shard replay yields exactly the retained cuts
+// carrying that shard's events, oldest first, passing only that shard's
+// slices.
 func TestJournalReplay(t *testing.T) {
-	j := j2(t, 0, 2)
-	j.Append(cutFor([3]int64{0, 1, 0}), 1)                      // node 0 only
-	j.Append(cutFor([3]int64{10, 2, 2}, [3]int64{11, 3, 3}), 3) // node 1 only
-	j.Append(cutFor([3]int64{20, 4, 1}, [3]int64{21, 5, 2}), 5) // both
+	j := j4(t, 0, 2)
+	j.Append(cutFor([3]int64{0, 1, 0}), 1)
+	j.Append(cutFor([3]int64{10, 2, 2}, [3]int64{11, 3, 3}), 3)
+	j.Append(cutFor([3]int64{20, 4, 1}, [3]int64{21, 5, 2}), 5)
 
 	var ups []uint64
 	var n int
-	err := j.Replay(1, func(evs []event.Event, upTo uint64) error {
+	err := j.ReplayShard(2, func(evs []event.Event, upTo uint64) error {
 		ups = append(ups, upTo)
 		n += len(evs)
+		for i := range evs {
+			if evs[i].Attrs[0] != 2 {
+				t.Errorf("replay of shard 2 leaked an event of shard %v", evs[i].Attrs[0])
+			}
+		}
 		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ups) != 2 || ups[0] != 3 || ups[1] != 5 || n != 3 {
-		t.Fatalf("replayed cuts %v (%d events), want [3 5] with 3 events", ups, n)
+	if len(ups) != 2 || ups[0] != 3 || ups[1] != 5 || n != 2 {
+		t.Fatalf("replayed cuts %v (%d events), want [3 5] with 2 events", ups, n)
 	}
-	if up := j.ReplayUpTo(1); up != 5 {
-		t.Fatalf("ReplayUpTo(1) = %d, want 5", up)
+	if up := j.ReplayUpToShard(2); up != 5 {
+		t.Fatalf("ReplayUpToShard(2) = %d, want 5", up)
 	}
-	if up := j.ReplayUpTo(0); up != 5 {
-		t.Fatalf("ReplayUpTo(0) = %d, want 5", up)
+	if up := j.ReplayUpToShard(0); up != 1 {
+		t.Fatalf("ReplayUpToShard(0) = %d, want 1", up)
+	}
+	if up := j.ReplayUpToShard(3); up != 3 {
+		t.Fatalf("ReplayUpToShard(3) = %d, want 3", up)
 	}
 	if j.LastUpTo() != 5 {
 		t.Fatalf("LastUpTo = %d, want 5", j.LastUpTo())
@@ -124,10 +171,9 @@ func TestJournalReplay(t *testing.T) {
 }
 
 // TestJournalForceTrim: the byte bound evicts history past the safe
-// horizon and Covered then refuses the affected block, while a block
-// whose horizon survived stays recoverable.
+// horizon and Covered then refuses the affected shards.
 func TestJournalForceTrim(t *testing.T) {
-	j := j2(t, 600, 2) // a few events' worth
+	j := j4(t, 600, 2) // a few events' worth
 	for i := int64(0); i < 32; i++ {
 		j.Append(cutFor([3]int64{i * 10, i + 1, i % 4}), uint64(i+1))
 	}
@@ -142,39 +188,36 @@ func TestJournalForceTrim(t *testing.T) {
 	}
 }
 
-// TestJournalAbandon: a degraded block's frozen frontier stops pinning
-// the horizon once abandoned — history retained only for its sake trims
-// away.
+// TestJournalAbandon: an abandoned shard's frozen frontier stops pinning
+// history — slices retained only for its sake trim away.
 func TestJournalAbandon(t *testing.T) {
-	j := j2(t, 0, 1) // slack = 101
+	j := j4(t, 0, 1) // slack = 101
 	j.Append(cutFor([3]int64{0, 1, 2}), 1)
 	j.Append(cutFor([3]int64{500, 2, 0}, [3]int64{500, 3, 1}), 3)
 	j.Append(cutFor([3]int64{900, 4, 0}, [3]int64{900, 5, 1}), 5)
 	j.Advance(5)
-	// Shard 2 (node 1's block) released only its TS-0 event: the first
-	// cut is pinned on its behalf.
-	if j.Cuts() != 3 {
-		t.Fatalf("retained %d cuts, want 3 (shard 2 pins the horizon)", j.Cuts())
+	// Shards 0 and 1 released through TS 900, so their TS-500 slices aged
+	// out; shard 2's TS-0 slice pins the first cut (frontier 0).
+	if j.Cuts() != 2 {
+		t.Fatalf("retained %d cuts, want 2 (shard 2 pins its own cut)", j.Cuts())
 	}
 	j.Abandon(2, 2)
-	// With shards 2-3 abandoned, the horizon is 900-101: the first two
-	// cuts trim.
 	if j.Cuts() != 1 {
 		t.Fatalf("retained %d cuts after Abandon, want 1", j.Cuts())
 	}
 }
 
 // TestJournalAliasesCuts: journaled slices alias the appended buffers
-// (retention is the only memory cost) and empty cuts are skipped.
+// (retention is the only memory cost) and all-empty cuts are skipped.
 func TestJournalAliasesCuts(t *testing.T) {
-	j := j2(t, 0, 1)
+	j := j4(t, 0, 1)
 	evs := []event.Event{{TS: 1, Seq: 1, Attrs: []float64{0}}}
 	j.Append([][]event.Event{evs, nil}, 1)
 	j.Append([][]event.Event{nil, nil}, 2) // empty: skipped
 	if j.Cuts() != 1 {
 		t.Fatalf("%d cuts, want 1 (empty cut journaled)", j.Cuts())
 	}
-	j.Replay(0, func(got []event.Event, _ uint64) error {
+	j.ReplayShard(0, func(got []event.Event, _ uint64) error {
 		if &got[0] != &evs[0] {
 			t.Error("journal copied the cut instead of aliasing it")
 		}
@@ -223,5 +266,22 @@ func TestDetector(t *testing.T) {
 	}
 	if NewDetector(1, time.Hour).Expired(5, true) {
 		t.Fatal("out-of-range node expired")
+	}
+}
+
+// TestDetectorGrow: slots added to a live detector start with a fresh
+// clock and share the existing clocks with concurrent readers.
+func TestDetectorGrow(t *testing.T) {
+	d := NewDetector(1, time.Hour)
+	if got := d.Grow(); got != 1 {
+		t.Fatalf("Grow returned slot %d, want 1", got)
+	}
+	if d.Expired(1, false) {
+		t.Fatal("freshly grown slot already expired")
+	}
+	d.Sent(1)
+	d.Heard(1)
+	if d.Expired(1, false) {
+		t.Fatal("grown slot expired after a beat")
 	}
 }

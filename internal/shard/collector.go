@@ -5,9 +5,10 @@ import "acep/internal/match"
 // Tagged is a match annotated for ordered merging: Seq is the global
 // sequence number of the event whose processing emitted the match
 // (math.MaxUint64 for end-of-stream flushes), Src identifies the
-// producing source — the shard index inside one Engine, or the node index
-// at the cluster ingress — and Idx is a per-source emission counter that
-// breaks ties into a deterministic total order.
+// producing shard — the worker index inside one Engine, or the global
+// shard index at the cluster ingress — and Idx is a per-shard emission
+// counter, assigned by the collector in posting order, that breaks ties
+// into a deterministic total order.
 type Tagged struct {
 	M   *match.Match
 	Seq uint64
@@ -21,134 +22,241 @@ type Tagged struct {
 	Enc []byte
 }
 
+// ctrlOp selects a collector control message (routing mutations run on
+// the collector goroutine, serialized with the data stream).
+type ctrlOp uint8
+
+const (
+	ctrlNone ctrlOp = iota
+	ctrlMigrate
+	ctrlComplete
+	ctrlAbandon
+)
+
 // post is one source→collector message: the matches of one processed
-// batch and the source's new progress watermark. A reassign post instead
-// re-registers the source slot for a successor (failover), carrying a
-// reply channel for the release boundary.
+// batch and the posting node's new progress watermark, or a routing
+// control (migrate / complete / abandon).
 type post struct {
-	src      int
+	node     int
 	progress uint64
 	matches  []Tagged
-	reassign bool
-	reply    chan uint64
+
+	ctrl  ctrlOp
+	shard int
+	owner int
+	reply chan uint64
 }
 
-// Collector merges per-source tagged match streams into one ordered
+// Collector merges per-shard tagged match streams into one ordered
 // output. It buffers matches in a min-heap keyed (Seq, Src, Idx) and
-// releases a match only when every source's progress watermark has passed
-// its tag — at that point no source can still produce an earlier match,
-// so the released order is the sorted tag order, independent of goroutine
-// scheduling. Sources must post a match before or together with the first
-// watermark that covers its tag, and watermarks must be non-decreasing
-// per source; the final post of every source must carry watermark
-// math.MaxUint64.
+// releases a match only when every shard's progress watermark has passed
+// its tag — at that point no shard can still produce an earlier match,
+// so the released order is the sorted tag order, independent of
+// goroutine scheduling.
 //
-// One Engine feeds a Collector from its shard workers; the cluster
-// ingress reuses the same type to merge whole node streams (each node's
-// already-ordered output is one source).
+// Shards are the merge sources, but posts arrive per *node*: an owner
+// table maps each shard to the node currently feeding it, a node's
+// watermark advances exactly the marks of the shards it owns, and a
+// match is accepted only if its shard is owned by the posting node —
+// so a shard's stream can move between nodes mid-run (Migrate) with
+// stale in-flight posts from the previous owner dropped race-free.
+// In the single-process engine the mapping is the identity (worker i
+// posts as node i and owns shard i) and none of this machinery moves.
+//
+// Sources must post a match before or together with the first watermark
+// that covers its tag, and watermarks must be non-decreasing per node
+// (the marks only ratchet forward); the final post of every node must
+// carry watermark math.MaxUint64.
 type Collector struct {
 	ch       chan post
 	done     chan struct{}
 	deliver  func(Tagged)
 	progress func(uint64)
 
-	marks []uint64
-	heap  []Tagged
-	min   uint64
+	owner   []int // shard → posting node (-1: abandoned)
+	frozen  []bool
+	marks   []uint64
+	nextIdx []uint64
+	heap    []Tagged
+	min     uint64
 }
 
-// NewCollector starts a collector goroutine over the given number of
-// sources. deliver receives every match, in merged tag order, on the
-// collector goroutine. progress (optional) is called, after the matches
-// it covers have been delivered, every time the minimum watermark over
-// all sources advances — the cluster node layer forwards it downstream so
-// the ingress knows the node's output up to that point is complete.
-func NewCollector(srcs int, deliver func(Tagged), progress func(uint64)) *Collector {
+// NewCollector starts a collector goroutine over shards sources with the
+// identity owner mapping (shard i is fed by node/worker i) — the
+// single-process engine's shape. deliver receives every match, in merged
+// tag order, on the collector goroutine. progress (optional) is called,
+// after the matches it covers have been delivered, every time the
+// minimum watermark over all shards advances — the cluster node layer
+// forwards it downstream so the ingress knows the node's output up to
+// that point is complete.
+func NewCollector(shards int, deliver func(Tagged), progress func(uint64)) *Collector {
+	owner := make([]int, shards)
+	for g := range owner {
+		owner[g] = g
+	}
+	return NewCollectorOwned(owner, deliver, progress)
+}
+
+// NewCollectorOwned starts a collector whose shard → node owner table is
+// given explicitly (the cluster ingress shape: many shards per node).
+// The slice is copied.
+func NewCollectorOwned(owner []int, deliver func(Tagged), progress func(uint64)) *Collector {
+	n := len(owner)
 	c := &Collector{
-		ch:       make(chan post, srcs*2),
+		ch:       make(chan post, n*2),
 		done:     make(chan struct{}),
 		deliver:  deliver,
 		progress: progress,
-		marks:    make([]uint64, srcs),
+		owner:    append([]int(nil), owner...),
+		frozen:   make([]bool, n),
+		marks:    make([]uint64, n),
+		nextIdx:  make([]uint64, n),
 	}
 	go c.run()
 	return c
 }
 
-// Post hands the collector one source's new watermark plus the matches
-// emitted since its last post. Safe to call from any goroutine; blocks
-// while the collector's inbox is full.
-func (c *Collector) Post(src int, watermark uint64, matches []Tagged) {
-	c.ch <- post{src: src, progress: watermark, matches: matches}
+// Post hands the collector one node's new watermark plus the matches
+// emitted since its last post (each tagged with its global shard in
+// Src). Safe to call from any goroutine; blocks while the collector's
+// inbox is full.
+func (c *Collector) Post(node int, watermark uint64, matches []Tagged) {
+	c.ch <- post{node: node, progress: watermark, matches: matches}
 }
 
 // Close ends the input and waits until every buffered match has been
-// delivered. Call after all sources have posted their final watermark.
+// delivered. Call after all nodes have posted their final watermark.
 func (c *Collector) Close() {
 	close(c.ch)
 	<-c.done
 }
 
-// Reassign re-registers source src for a successor after a failure: the
-// source's undelivered buffered matches are purged (the successor will
-// regenerate them by replay) and its watermark rewinds to zero so the
-// successor may start posting from an arbitrarily old replay horizon.
-// It returns the release boundary — the watermark below which every
-// match has already been delivered — which the successor must use to
-// suppress regenerated duplicates. The caller must guarantee the old
-// source has stopped posting before Reassign and that the successor
-// posts only after it returns.
-func (c *Collector) Reassign(src int) uint64 {
+// Migrate freezes shard and hands it to newOwner: the shard's
+// undelivered buffered matches are purged (the destination regenerates
+// them by replay), its watermark rewinds to the release frontier, and
+// until Complete unfreezes it no node's watermark advances it — so
+// delivery (not ingest) pauses at the frontier while the handoff is in
+// flight. It returns the release boundary — the watermark at or below
+// which every match has already been delivered — which the destination
+// must use to suppress regenerated duplicates. Stale posts from the
+// previous owner are dropped by the owner check; the destination's
+// posts (match-bearing, accepted while frozen) buffer until Complete.
+func (c *Collector) Migrate(shard, newOwner int) uint64 {
 	reply := make(chan uint64, 1)
-	c.ch <- post{src: src, reassign: true, reply: reply}
+	c.ch <- post{ctrl: ctrlMigrate, shard: shard, owner: newOwner, reply: reply}
 	return <-reply
+}
+
+// Complete unfreezes shard after node — which must be its current owner
+// — acknowledged the migration's replay horizon at completion watermark
+// upTo: the shard's mark jumps to upTo and delivery resumes.
+func (c *Collector) Complete(node, shard int, upTo uint64) {
+	c.ch <- post{ctrl: ctrlComplete, node: node, shard: shard, progress: upTo}
+}
+
+// Abandon gives up every shard node owns with no successor: their
+// buffered matches stay (they were legitimately produced), their marks
+// jump to the terminal watermark so they never gate delivery again.
+func (c *Collector) Abandon(node int) {
+	c.ch <- post{ctrl: ctrlAbandon, node: node}
 }
 
 func (c *Collector) run() {
 	defer close(c.done)
 	for p := range c.ch {
-		if p.reassign {
-			kept := c.heap[:0]
-			for _, t := range c.heap {
-				if t.Src != p.src {
-					kept = append(kept, t)
+		switch p.ctrl {
+		case ctrlMigrate:
+			c.migrate(p)
+			continue
+		case ctrlComplete:
+			g := p.shard
+			if g >= 0 && g < len(c.owner) && c.owner[g] == p.node && c.frozen[g] {
+				c.frozen[g] = false
+				if p.progress > c.marks[g] {
+					c.marks[g] = p.progress
+				}
+				c.release()
+			}
+			continue
+		case ctrlAbandon:
+			for g, o := range c.owner {
+				if o == p.node {
+					c.owner[g] = -1
+					c.frozen[g] = false
+					c.marks[g] = ^uint64(0)
 				}
 			}
-			for i := len(kept); i < len(c.heap); i++ {
-				c.heap[i] = Tagged{}
-			}
-			c.heap = kept
-			for i := len(c.heap)/2 - 1; i >= 0; i-- {
-				c.siftDown(i)
-			}
-			c.marks[p.src] = 0
-			p.reply <- c.min
+			c.release()
 			continue
 		}
-		c.marks[p.src] = p.progress
+		for g, o := range c.owner {
+			if o == p.node && !c.frozen[g] && c.marks[g] < p.progress {
+				c.marks[g] = p.progress
+			}
+		}
 		for _, t := range p.matches {
+			if t.Src < 0 || t.Src >= len(c.owner) || c.owner[t.Src] != p.node {
+				continue // stale: an in-flight post from a previous owner
+			}
+			t.Idx = c.nextIdx[t.Src]
+			c.nextIdx[t.Src]++
 			c.push(t)
 		}
-		min := c.marks[0]
-		for _, pr := range c.marks[1:] {
-			if pr < min {
-				min = pr
-			}
-		}
-		for len(c.heap) > 0 && c.heap[0].Seq <= min {
-			c.emit(c.pop())
-		}
-		if min > c.min {
-			c.min = min
-			if c.progress != nil {
-				c.progress(min)
-			}
-		}
+		c.release()
 	}
-	// Channel closed: every source has posted its final watermark; drain
+	// Channel closed: every node has posted its final watermark; drain
 	// the remainder in order (non-empty only if a source misbehaved).
 	for len(c.heap) > 0 {
 		c.emit(c.pop())
+	}
+}
+
+// migrate is the collector-goroutine half of Migrate.
+func (c *Collector) migrate(p post) {
+	g := p.shard
+	if g < 0 || g >= len(c.owner) {
+		p.reply <- c.min
+		return
+	}
+	kept := c.heap[:0]
+	for _, t := range c.heap {
+		if t.Src != g {
+			kept = append(kept, t)
+		}
+	}
+	for i := len(kept); i < len(c.heap); i++ {
+		c.heap[i] = Tagged{}
+	}
+	c.heap = kept
+	for i := len(c.heap)/2 - 1; i >= 0; i-- {
+		c.siftDown(i)
+	}
+	c.owner[g] = p.owner
+	c.frozen[g] = true
+	c.marks[g] = c.min
+	p.reply <- c.min
+}
+
+// release pops every buffered match the current frontier covers and
+// reports frontier advances.
+func (c *Collector) release() {
+	if len(c.marks) == 0 {
+		return
+	}
+	min := c.marks[0]
+	for _, pr := range c.marks[1:] {
+		if pr < min {
+			min = pr
+		}
+	}
+	for len(c.heap) > 0 && c.heap[0].Seq <= min {
+		c.emit(c.pop())
+	}
+	if min > c.min {
+		c.min = min
+		if c.progress != nil {
+			c.progress(min)
+		}
 	}
 }
 

@@ -51,6 +51,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"acep/internal/engine"
@@ -177,6 +178,11 @@ type cut struct {
 // costs two clock reads, so it is sampled).
 const detectSampleEvery = 16
 
+// loadSampleCuts is the per-worker publishing stride of the live load
+// snapshot (ShardLoads): the queue-wait p99 read sorts the estimator's
+// reservoir, so it is refreshed every few cuts, not every cut.
+const loadSampleCuts = 16
+
 // worker runs one shard's engine on its own goroutine.
 type worker struct {
 	id   int
@@ -187,12 +193,12 @@ type worker struct {
 	// Emission state, owned by the worker goroutine (the OnMatch closure
 	// of the shard engine runs there). scratch collects the matches
 	// emitted while processing one event; flushEmits moves them into out
-	// in canonical order. On the owned-emit wire path (Options.
+	// in canonical order (per-shard emission indices are assigned by the
+	// collector in posting order). On the owned-emit wire path (Options.
 	// EncodeMatch) the scratch entries are pooled copies of the
 	// resolver's scratch match and flushEmits encodes each into the enc
 	// outbox slab instead of letting it escape to the collector.
 	curSeq  uint64
-	idx     uint64
 	scratch []*match.Match
 	out     []Tagged
 
@@ -205,6 +211,15 @@ type worker struct {
 	qwait   stats.Quantile
 	detect  stats.Quantile
 	nevents uint64
+
+	// Live load snapshot, published by the worker goroutine every
+	// loadSampleCuts cuts and readable from any goroutine mid-run
+	// (Engine.ShardLoads): events processed so far and the queue-wait
+	// p99 estimate in nanoseconds. The placement controller of the
+	// cluster layer feeds on these.
+	cuts       uint64
+	liveEvents atomic.Uint64
+	liveWait   atomic.Uint64
 }
 
 func (w *worker) take() []Tagged {
@@ -268,7 +283,7 @@ func (w *worker) flushEmits() {
 		sortMatches(w.scratch)
 	}
 	for _, m := range w.scratch {
-		t := Tagged{Seq: w.curSeq, Src: w.id, Idx: w.idx}
+		t := Tagged{Seq: w.curSeq, Src: w.id}
 		if w.encode != nil {
 			// Owned-emit wire path: encode into the outbox slab and
 			// recycle the pooled copy. Appends may grow the slab into a
@@ -282,7 +297,6 @@ func (w *worker) flushEmits() {
 			t.M = m
 		}
 		w.out = append(w.out, t)
-		w.idx++
 	}
 	w.scratch = w.scratch[:0]
 }
@@ -311,6 +325,12 @@ func (w *worker) run(col *Collector, wg *sync.WaitGroup) {
 			}
 		}
 		col.Post(w.id, c.upTo, w.take())
+		// Publish the live load sample on a stride (the p99 read sorts
+		// the reservoir, too costly per cut).
+		if w.cuts++; w.cuts%loadSampleCuts == 0 {
+			w.liveEvents.Store(w.nevents)
+			w.liveWait.Store(uint64(w.qwait.Quantile(0.99)))
+		}
 		// Recycle the consumed cut buffers: the evaluator retains the
 		// events themselves, never these slice headers. Event pointers
 		// are cleared first so a pooled buffer cannot pin arena chunks
@@ -742,6 +762,31 @@ func (e *Engine) ShardMetrics() []engine.Metrics {
 		out[i].QueueDropped += e.queueDropped[i]
 		out[i].QueueWait = w.qwait
 		out[i].DetectTime = w.detect
+	}
+	return out
+}
+
+// ShardLoad is one shard's live load sample (see Engine.ShardLoads).
+type ShardLoad struct {
+	// Events counts the events the shard's engine has processed.
+	Events uint64
+	// WaitP99 is the shard's queue-wait p99 estimate.
+	WaitP99 time.Duration
+}
+
+// ShardLoads snapshots every shard's live load — events processed and
+// queue-wait p99 — without stopping the engine: the samples are
+// published by the workers on a stride (every loadSampleCuts cuts), so
+// they lag the stream by a few cuts. Safe from any goroutine, including
+// mid-run; the cluster node layer ships these to the ingress placement
+// controller as wire ShardStats.
+func (e *Engine) ShardLoads() []ShardLoad {
+	out := make([]ShardLoad, len(e.workers))
+	for i, w := range e.workers {
+		out[i] = ShardLoad{
+			Events:  w.liveEvents.Load(),
+			WaitP99: time.Duration(w.liveWait.Load()),
+		}
 	}
 	return out
 }

@@ -49,10 +49,15 @@ import (
 // Version is the protocol version carried in Hello frames. Bump on any
 // incompatible body-layout change.
 //
-// v2: delta-encoded Batch bodies, pattern+schema shipping in
-// Assign/Reassign, and the failover frames (Heartbeat, Reassign,
-// RecoveryDone).
-const Version = 2
+// v2: delta-encoded Batch bodies, pattern+schema shipping, and the
+// failover frames (Heartbeat plus the since-removed block Reassign /
+// RecoveryDone pair).
+//
+// v3: per-shard elasticity — Assign carries an explicit (possibly zero)
+// initial block size, tagged matches carry their global shard index,
+// and the migration frames (Migrate, MigrateAck, ShardRoute,
+// ShardStats) replace the v2 block-reassignment handshake.
+const Version = 3
 
 // MaxFrame bounds one frame's payload (kind+body) in bytes; Decode and
 // Reader reject larger length prefixes as corrupt.
@@ -66,13 +71,17 @@ const (
 	maxKleene      = 1 << 20 // events per Kleene closure
 	maxSamples     = 1 << 16 // retained quantile samples per estimator
 
-	// Pattern/schema shipping caps (Assign and Reassign payloads).
+	// Pattern/schema shipping caps (Assign payloads).
 	maxSchemaTypes  = 1 << 10 // event types per schema
 	maxSchemaAttrs  = 1 << 8  // attributes per type
 	maxNameBytes    = 1 << 8  // bytes per type/attribute name
 	maxPatPositions = 1 << 10 // positions per (sub-)pattern
 	maxPatPreds     = 1 << 12 // predicates per (sub-)pattern
 	maxSubPatterns  = 1 << 8  // disjuncts per OR pattern
+
+	// Elasticity caps (ShardRoute owner tables, ShardStats entries).
+	maxRouteShards = 1 << 20 // global shards per ShardRoute table
+	maxShardStats  = 1 << 20 // entries per ShardStats frame
 )
 
 // Kind tags a frame's body layout.
@@ -103,16 +112,24 @@ const (
 	// detector can tell a slow node from a dead one. UpTo echoes the
 	// received cut's watermark.
 	KindHeartbeat
-	// KindReassign is the recovery variant of the handshake reply: the
-	// successor adopts a failed node's shard block and will receive the
-	// journaled cuts of that block again. Matches tagged at or below
-	// SuppressUpTo were already delivered by the merge collector and must
-	// be suppressed; once the successor's completion watermark reaches
-	// ReplayUpTo it reports RecoveryDone.
-	KindReassign
-	// KindRecoveryDone reports that a recovering node's completion
-	// watermark passed the replay horizon: the lost block is live again.
-	KindRecoveryDone
+	// KindMigrate hands one global shard to the receiving node
+	// (ingress → node): the node becomes the shard's owner, suppresses
+	// any of its matches tagged at or below SuppressUpTo (those were
+	// already delivered by the merge collector), and acknowledges with
+	// MigrateAck once its completion watermark reaches ReplayUpTo.
+	KindMigrate
+	// KindMigrateAck reports that a migrated shard's replay window has
+	// been consumed: the node's completion watermark passed the
+	// migration's ReplayUpTo, so the shard is live on its new owner.
+	KindMigrateAck
+	// KindShardRoute broadcasts the authoritative shard → node owner
+	// table after a routing change (ingress → node), so nodes know the
+	// full placement rather than inferring it from Migrate frames.
+	KindShardRoute
+	// KindShardStats carries a node's per-shard load snapshot
+	// (node → ingress): events processed and queue-wait p99 per owned
+	// shard, feeding the ingress placement controller.
+	KindShardStats
 )
 
 // String names the frame kind.
@@ -134,10 +151,14 @@ func (k Kind) String() string {
 		return "finish"
 	case KindHeartbeat:
 		return "heartbeat"
-	case KindReassign:
-		return "reassign"
-	case KindRecoveryDone:
-		return "recovery-done"
+	case KindMigrate:
+		return "migrate"
+	case KindMigrateAck:
+		return "migrate-ack"
+	case KindShardRoute:
+		return "shard-route"
+	case KindShardStats:
+		return "shard-stats"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -154,13 +175,16 @@ type Hello struct {
 }
 
 // Assign is the ingress's handshake reply fixing the shard layout: the
-// node owns global shard indices [Base, Base+Shards). The ingress ships
-// its pattern and schema in the reply, so a bare node (one started
+// node initially owns global shard indices [Base, Base+Shards) out of
+// Total (Shards may be zero — a node admitted into a running cluster
+// starts empty and receives its shards via Migrate frames). The ingress
+// ships its pattern and schema in the reply, so a bare node (one started
 // without out-of-band configuration, Hello.PatternSig == 0) can serve
 // any ingress; configured nodes cross-validate via the fingerprint in
 // Hello and may ignore the payload.
 type Assign struct {
 	Base    uint32
+	Shards  uint32 // initial block size (0 = join empty, shards arrive by Migrate)
 	Total   uint32 // cluster-wide shard count
 	Pattern *pattern.Pattern
 	Schema  *event.Schema
@@ -198,12 +222,16 @@ type Watermark struct {
 	UpTo uint64
 }
 
-// TaggedMatch is one detected match with its merge tag (the sequence
-// number of the event whose processing emitted it; the node-local source
-// order is implied by frame order on the connection).
+// TaggedMatch is one detected match with its merge tag: the global
+// shard index whose engine emitted it and the sequence number of the
+// event whose processing emitted it (the within-shard order is implied
+// by frame order on the connection). Tagging matches with their shard —
+// not their node — is what lets a shard's stream resume from a
+// different node mid-run with the merge collector none the wiser.
 type TaggedMatch struct {
-	Seq uint64
-	M   *match.Match
+	Shard uint32
+	Seq   uint64
+	M     *match.Match
 }
 
 // TaggedMatchRaw is a pre-encoded tagged match: Body holds the exact
@@ -215,8 +243,9 @@ type TaggedMatch struct {
 // regular TaggedMatch (stream transports) or calls DecodeMatchBody
 // (in-process pipes).
 type TaggedMatchRaw struct {
-	Seq  uint64
-	Body []byte
+	Shard uint32
+	Seq   uint64
+	Body  []byte
 }
 
 // Metrics carries a node's merged engine metrics.
@@ -232,25 +261,46 @@ type Heartbeat struct {
 	UpTo uint64
 }
 
-// Reassign hands a failed node's shard block to a successor: the block
-// is global shard indices [Base, Base+Shards) of Total, the successor
-// suppresses any match tagged at or below SuppressUpTo (those were
-// already delivered before the failure), and reports RecoveryDone once
-// its completion watermark reaches ReplayUpTo. Pattern and Schema are
-// shipped exactly as in Assign, so a bare standby can adopt any block.
-type Reassign struct {
-	Base         uint32
-	Shards       uint32 // block size (overrides the successor's Hello claim)
-	Total        uint32
+// Migrate hands one global shard to the receiving node. The node
+// becomes the shard's owner immediately; journaled cuts covering the
+// shard's window follow on the same connection, so the node suppresses
+// the shard's matches tagged at or below SuppressUpTo (already
+// delivered by the merge collector before the handoff) and answers with
+// MigrateAck once its completion watermark reaches ReplayUpTo. Pattern
+// and schema travel in the Assign handshake, not here — by the time a
+// Migrate arrives the node is already configured.
+type Migrate struct {
+	Shard        uint32
 	SuppressUpTo uint64
 	ReplayUpTo   uint64
-	Pattern      *pattern.Pattern
-	Schema       *event.Schema
 }
 
-// RecoveryDone reports replay completion (see KindRecoveryDone).
-type RecoveryDone struct {
-	UpTo uint64
+// MigrateAck reports that a migrated shard's replay window has been
+// consumed on its new owner (see KindMigrateAck). UpTo echoes the
+// completion watermark that crossed the migration's ReplayUpTo.
+type MigrateAck struct {
+	Shard uint32
+	UpTo  uint64
+}
+
+// ShardRoute is the authoritative shard → node owner table: Owner[g] is
+// the ingress-side slot index owning global shard g. Broadcast to every
+// live node after a routing change.
+type ShardRoute struct {
+	Owner []uint32
+}
+
+// ShardStats is a node's per-shard load snapshot (see KindShardStats).
+type ShardStats struct {
+	Stats []ShardStat
+}
+
+// ShardStat is one shard's load sample: events processed by its engine
+// since the session started and the engine's queue-wait p99 estimate.
+type ShardStat struct {
+	Shard    uint32
+	Events   uint64
+	P99Nanos uint64
 }
 
 func (Hello) kind() Kind          { return KindHello }
@@ -263,8 +313,10 @@ func (TaggedMatchRaw) kind() Kind { return KindMatch }
 func (Metrics) kind() Kind        { return KindMetrics }
 func (Finish) kind() Kind         { return KindFinish }
 func (Heartbeat) kind() Kind      { return KindHeartbeat }
-func (Reassign) kind() Kind       { return KindReassign }
-func (RecoveryDone) kind() Kind   { return KindRecoveryDone }
+func (Migrate) kind() Kind        { return KindMigrate }
+func (MigrateAck) kind() Kind     { return KindMigrateAck }
+func (ShardRoute) kind() Kind     { return KindShardRoute }
+func (ShardStats) kind() Kind     { return KindShardStats }
 
 // KindOf reports a frame's kind.
 func KindOf(f Frame) Kind { return f.kind() }
@@ -297,6 +349,7 @@ func Append(dst []byte, f Frame) []byte {
 		dst = binary.AppendUvarint(dst, v.PatternSig)
 	case Assign:
 		dst = binary.AppendUvarint(dst, uint64(v.Base))
+		dst = binary.AppendUvarint(dst, uint64(v.Shards))
 		dst = binary.AppendUvarint(dst, uint64(v.Total))
 		dst = appendSchema(dst, v.Schema)
 		dst = appendPattern(dst, v.Pattern)
@@ -313,9 +366,11 @@ func Append(dst []byte, f Frame) []byte {
 	case Watermark:
 		dst = binary.AppendUvarint(dst, v.UpTo)
 	case TaggedMatch:
+		dst = binary.AppendUvarint(dst, uint64(v.Shard))
 		dst = binary.AppendUvarint(dst, v.Seq)
 		dst = appendMatch(dst, v.M)
 	case TaggedMatchRaw:
+		dst = binary.AppendUvarint(dst, uint64(v.Shard))
 		dst = binary.AppendUvarint(dst, v.Seq)
 		dst = append(dst, v.Body...)
 	case Metrics:
@@ -324,16 +379,25 @@ func Append(dst []byte, f Frame) []byte {
 		// empty body
 	case Heartbeat:
 		dst = binary.AppendUvarint(dst, v.UpTo)
-	case Reassign:
-		dst = binary.AppendUvarint(dst, uint64(v.Base))
-		dst = binary.AppendUvarint(dst, uint64(v.Shards))
-		dst = binary.AppendUvarint(dst, uint64(v.Total))
+	case Migrate:
+		dst = binary.AppendUvarint(dst, uint64(v.Shard))
 		dst = binary.AppendUvarint(dst, v.SuppressUpTo)
 		dst = binary.AppendUvarint(dst, v.ReplayUpTo)
-		dst = appendSchema(dst, v.Schema)
-		dst = appendPattern(dst, v.Pattern)
-	case RecoveryDone:
+	case MigrateAck:
+		dst = binary.AppendUvarint(dst, uint64(v.Shard))
 		dst = binary.AppendUvarint(dst, v.UpTo)
+	case ShardRoute:
+		dst = binary.AppendUvarint(dst, uint64(len(v.Owner)))
+		for _, o := range v.Owner {
+			dst = binary.AppendUvarint(dst, uint64(o))
+		}
+	case ShardStats:
+		dst = binary.AppendUvarint(dst, uint64(len(v.Stats)))
+		for _, s := range v.Stats {
+			dst = binary.AppendUvarint(dst, uint64(s.Shard))
+			dst = binary.AppendUvarint(dst, s.Events)
+			dst = binary.AppendUvarint(dst, s.P99Nanos)
+		}
 	default:
 		panic(fmt.Sprintf("wire: unencodable frame type %T", f))
 	}
@@ -640,7 +704,11 @@ func decodePayload(p []byte) (Frame, error) {
 			PatternSig: c.uvarint(),
 		}
 	case KindAssign:
-		v := Assign{Base: uint32(c.uvarint()), Total: uint32(c.uvarint())}
+		v := Assign{
+			Base:   uint32(c.uvarint()),
+			Shards: uint32(c.uvarint()),
+			Total:  uint32(c.uvarint()),
+		}
 		v.Pattern, v.Schema = c.patternAndSchema()
 		f = v
 	case KindBatch:
@@ -659,7 +727,7 @@ func decodePayload(p []byte) (Frame, error) {
 	case KindWatermark:
 		f = Watermark{UpTo: c.uvarint()}
 	case KindMatch:
-		v := TaggedMatch{Seq: c.uvarint()}
+		v := TaggedMatch{Shard: uint32(c.uvarint()), Seq: c.uvarint()}
 		v.M = c.match()
 		f = v
 	case KindMetrics:
@@ -668,18 +736,38 @@ func decodePayload(p []byte) (Frame, error) {
 		f = Finish{}
 	case KindHeartbeat:
 		f = Heartbeat{UpTo: c.uvarint()}
-	case KindReassign:
-		v := Reassign{
-			Base:         uint32(c.uvarint()),
-			Shards:       uint32(c.uvarint()),
-			Total:        uint32(c.uvarint()),
+	case KindMigrate:
+		f = Migrate{
+			Shard:        uint32(c.uvarint()),
 			SuppressUpTo: c.uvarint(),
 			ReplayUpTo:   c.uvarint(),
 		}
-		v.Pattern, v.Schema = c.patternAndSchema()
+	case KindMigrateAck:
+		f = MigrateAck{Shard: uint32(c.uvarint()), UpTo: c.uvarint()}
+	case KindShardRoute:
+		v := ShardRoute{}
+		n := c.count(maxRouteShards, 1, "route owner")
+		if n > 0 {
+			v.Owner = make([]uint32, n)
+			for i := 0; i < n && c.err == nil; i++ {
+				v.Owner[i] = uint32(c.uvarint())
+			}
+		}
 		f = v
-	case KindRecoveryDone:
-		f = RecoveryDone{UpTo: c.uvarint()}
+	case KindShardStats:
+		v := ShardStats{}
+		n := c.count(maxShardStats, 3, "shard stat")
+		if n > 0 {
+			v.Stats = make([]ShardStat, n)
+			for i := 0; i < n && c.err == nil; i++ {
+				v.Stats[i] = ShardStat{
+					Shard:    uint32(c.uvarint()),
+					Events:   c.uvarint(),
+					P99Nanos: c.uvarint(),
+				}
+			}
+		}
+		f = v
 	default:
 		return nil, fmt.Errorf("wire: unknown frame kind %d", p[0])
 	}
@@ -734,7 +822,7 @@ func (c *cursor) str(what string) string {
 }
 
 // patternAndSchema decodes the shipped schema and pattern of an Assign
-// or Reassign body. The pattern is rebuilt through the pattern Builder,
+// body. The pattern is rebuilt through the pattern Builder,
 // so the shipped structure passes the same validation a locally built
 // pattern does (position/attribute ranges against the schema when one is
 // shipped alongside).

@@ -17,7 +17,7 @@ import (
 )
 
 // sampleSchema and samplePattern exercise the pattern-shipping payload of
-// Assign/Reassign frames: negation, Kleene, unary and binary predicates.
+// Assign frames: negation, Kleene, unary and binary predicates.
 func sampleSchema() *event.Schema {
 	s := event.NewSchema()
 	s.MustAddType("A", "key", "v")
@@ -70,20 +70,25 @@ func frames() []Frame {
 	return []Frame{
 		Hello{Version: Version, Shards: 4, PatternSig: 0xdeadbeefcafef00d},
 		Hello{},
-		Assign{Base: 6, Total: 12},
-		Assign{Base: 0, Total: 4, Pattern: p, Schema: s},
-		Assign{Base: 0, Total: 4, Pattern: orPat, Schema: s},
+		Assign{Base: 6, Shards: 2, Total: 12},
+		Assign{Base: 0, Shards: 4, Total: 4, Pattern: p, Schema: s},
+		Assign{Base: 0, Total: 4, Pattern: orPat, Schema: s}, // empty join: shards arrive by Migrate
 		Batch{UpTo: 1 << 50},
 		Batch{UpTo: 42, Events: []event.Event{ev, ev2}},
+		Batch{Events: []event.Event{ev2}}, // events-only run of an open cut
 		Heartbeat{UpTo: 77},
-		Reassign{
-			Base: 2, Shards: 2, Total: 6,
-			SuppressUpTo: 1234, ReplayUpTo: 5678,
-			Pattern: p, Schema: s,
-		},
-		RecoveryDone{UpTo: math.MaxUint64},
+		Migrate{Shard: 9, SuppressUpTo: 1234, ReplayUpTo: 5678},
+		Migrate{},
+		MigrateAck{Shard: 9, UpTo: 5690},
+		ShardRoute{Owner: []uint32{0, 2, 1, math.MaxUint32, 2}},
+		ShardRoute{},
+		ShardStats{Stats: []ShardStat{
+			{Shard: 0, Events: 1 << 44, P99Nanos: 125_000},
+			{Shard: 3, Events: 7, P99Nanos: 0},
+		}},
+		ShardStats{},
 		Watermark{UpTo: math.MaxUint64},
-		TaggedMatch{Seq: 7, M: &match.Match{Events: []*event.Event{&ev, nil, &ev2}}},
+		TaggedMatch{Shard: 3, Seq: 7, M: &match.Match{Events: []*event.Event{&ev, nil, &ev2}}},
 		TaggedMatch{Seq: math.MaxUint64, M: &match.Match{
 			Events: []*event.Event{&ev, nil, nil},
 			Kleene: [][]*event.Event{nil, {&ev2, &ev}, nil},
