@@ -51,6 +51,7 @@ import (
 	"acep/internal/event"
 	"acep/internal/gen"
 	"acep/internal/match"
+	"acep/internal/multi"
 	"acep/internal/pattern"
 	recovery "acep/internal/recover"
 	"acep/internal/sase"
@@ -257,6 +258,21 @@ type ClusterConfig struct {
 	Key     ShardKeyFunc
 	// OnMatch receives every match in the merged deterministic order.
 	OnMatch func(*Match)
+	// Patterns hosts a multi-pattern set behind the ingress instead of a
+	// single pattern (pass p nil to NewClusterIngress): workers are bare,
+	// the set rides every handshake (including failover and migration),
+	// shared sub-patterns evaluate once per event, and matches arrive
+	// pattern-tagged through OnTagged. The returned ingress can
+	// AddPattern / RemovePattern at runtime without disturbing the other
+	// patterns' output.
+	Patterns []MultiSpec
+	// Tenants installs per-tenant admission budgets (Patterns mode
+	// only); per-tenant accounting surfaces through the ingress's
+	// TenantStats.
+	Tenants map[uint32]TenantBudget
+	// OnTagged receives pattern-tagged matches (Patterns mode; exactly
+	// one of OnMatch / OnTagged).
+	OnTagged func(TaggedMatch)
 	// Recover enables fault-tolerant failover: the ingress journals its
 	// cuts (bounded by MaxJournalBytes) and, when a worker dies, hands
 	// the lost shard block to a standby — dialed from Standby in Connect
@@ -312,12 +328,15 @@ func NewClusterIngress(p *Pattern, cfg Config, cc ClusterConfig) (*ClusterIngres
 			conns[i] = c
 		}
 		opts := cluster.IngressOptions{
-			Batch:   cc.Batch,
-			Key:     cc.Key,
-			KeyAttr: cc.KeyAttr,
-			Schema:  cc.Schema,
-			OnMatch: cc.OnMatch,
-			Elastic: cc.Elastic,
+			Batch:    cc.Batch,
+			Key:      cc.Key,
+			KeyAttr:  cc.KeyAttr,
+			Schema:   cc.Schema,
+			OnMatch:  cc.OnMatch,
+			OnTagged: cc.OnTagged,
+			Patterns: cc.Patterns,
+			Tenants:  cc.Tenants,
+			Elastic:  cc.Elastic,
 		}
 		if cc.Recover {
 			if len(cc.Standby) == 0 {
@@ -344,6 +363,9 @@ func NewClusterIngress(p *Pattern, cfg Config, cc ClusterConfig) (*ClusterIngres
 		KeyAttr:          cc.KeyAttr,
 		Schema:           cc.Schema,
 		OnMatch:          cc.OnMatch,
+		OnTagged:         cc.OnTagged,
+		Patterns:         cc.Patterns,
+		Tenants:          cc.Tenants,
 		Recover:          cc.Recover,
 		Standbys:         cc.StandbyNodes,
 		HeartbeatTimeout: cc.HeartbeatTimeout,
@@ -352,6 +374,39 @@ func NewClusterIngress(p *Pattern, cfg Config, cc ClusterConfig) (*ClusterIngres
 		Elastic:          cc.Elastic,
 	})
 }
+
+// Multi-pattern, multi-tenant execution: one engine set hosts many
+// patterns over a single stream, evaluating shared work once — distinct
+// unary predicates are interned into one set-wide verdict table, and
+// patterns sharing a SEQ prefix subscribe to one shared prefix runner
+// that seeds their suffix automata. Per-pattern output is exactly what
+// an independent engine would produce. Tenants own patterns and can be
+// given admission budgets (token buckets in logical event time) so one
+// tenant's overload sheds only its own recall. Available at every
+// layer: NewShardedEngine with ShardedConfig.Patterns, and
+// NewClusterIngress with ClusterConfig.Patterns (both with a nil
+// pattern argument); matches arrive pattern-tagged through OnTagged.
+// See DESIGN.md ("Multi-pattern & tenancy").
+type (
+	// MultiSpec registers one pattern of a multi-pattern set: a
+	// set-unique nonzero id, the owning tenant, the pattern itself, and
+	// the engine configuration used when it evaluates independently.
+	MultiSpec = multi.Spec
+	// MultiPatternMetrics is one pattern's engine counters, tagged with
+	// its id and tenant (ShardedEngine.PatternMetrics,
+	// ClusterIngress.PatternMetrics).
+	MultiPatternMetrics = multi.PatternMetrics
+	// TaggedMatch is one merge-ordered match delivery annotated with the
+	// emitting pattern's id (the Pattern field; multi mode only).
+	TaggedMatch = shard.Tagged
+	// TenantBudget is one tenant's admission budget: a token bucket
+	// refilled in logical (event-time) seconds, so gating decisions are
+	// deterministic functions of the stream.
+	TenantBudget = shed.TenantBudget
+	// TenantStat is one tenant's admission accounting (events admitted
+	// and shed).
+	TenantStat = shed.TenantStat
+)
 
 // Overload control (load shedding): when the input rate exceeds what even
 // the best evaluation plan can absorb, the shedding layer drops events

@@ -55,6 +55,17 @@
 //
 //	acep-bench -exp elastic-traffic -json BENCH_elastic.json
 //
+// multi-traffic and multi-stocks measure the multi-pattern sharing
+// layer: generated overlap sets (shared SEQ prefixes, divergent
+// suffixes) run through one shared evaluator and, for the baseline,
+// through one independent engine per pattern over the same stream;
+// per-pattern match streams are digest-verified identical between the
+// modes before reporting throughput and speedup across the pattern-count
+// sweep (-patterns, default 8,32,128):
+//
+//	acep-bench -exp multi-traffic -json BENCH_multi.json
+//	acep-bench -exp multi-stocks -patterns 8,64
+//
 // hotpath-traffic and hotpath-stocks measure the single-engine hot path:
 // per-event cost (events/sec, B/event, allocs/event) of a raw
 // static-plan engine for the sequence, negation and Kleene families on
@@ -80,6 +91,7 @@ import (
 
 	"acep/internal/bench"
 	"acep/internal/event"
+	"acep/internal/gen"
 )
 
 func main() {
@@ -97,6 +109,8 @@ func main() {
 		bsweep = flag.String("batch-sweep", "", "comma-separated batch sizes for cluster-* experiments (sweeps batch at fixed -nodes instead of node count)")
 		shedPo = flag.String("shed", "", "comma-separated shedding policies for shed-* experiments (default all: random,rate-utility,pattern-aware)")
 		qcap   = flag.Int("queue-cap", 0, "bounded per-shard drop-newest ingestion queue (events) for shed-* experiments (0 = unsharded, deterministic)")
+		pcount = flag.String("patterns", "", "comma-separated pattern counts for multi-* experiments (default 8,32,128)")
+		pset   = flag.String("patternset", "", "pattern-set spec file (acep-gen -patterns) pinning the multi-* experiment's set shape (default: generated sequence sets)")
 		jsonMD = flag.String("json", "", "append scale-*/shed-* results to this BENCH_*.json trajectory file")
 		phase  = flag.String("phase", "after", "phase label recorded by hotpath-* experiments (e.g. before/after an optimization)")
 		cpupro = flag.String("cpuprofile", "", "write a CPU profile covering the experiment runs to this file")
@@ -110,6 +124,7 @@ func main() {
 		ids = append(ids, bench.ClusterIDs()...)
 		ids = append(ids, bench.FailoverIDs()...)
 		ids = append(ids, bench.ElasticIDs()...)
+		ids = append(ids, bench.MultiIDs()...)
 		for _, id := range append(ids, bench.HotpathIDs()...) {
 			fmt.Println(id)
 		}
@@ -150,6 +165,7 @@ func main() {
 		ids = append(ids, bench.ClusterIDs()...)
 		ids = append(ids, bench.FailoverIDs()...)
 		ids = append(ids, bench.ElasticIDs()...)
+		ids = append(ids, bench.MultiIDs()...)
 		ids = append(ids, bench.HotpathIDs()...)
 	}
 	// Profile lifecycle and the experiment loop live in one function so
@@ -159,6 +175,7 @@ func main() {
 	if err := runAll(ids, h, r, flags{
 		shards: *shards, nodes: *nodes, batch: *batch, qcap: *qcap,
 		shedPo: *shedPo, bsweep: *bsweep, phase: *phase, jsonMD: *jsonMD,
+		pcount: *pcount, pset: *pset,
 		cpupro: *cpupro, mempro: *mempro,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "acep-bench: %v\n", err)
@@ -170,7 +187,7 @@ func main() {
 type flags struct {
 	shards, nodes, batch, qcap    int
 	shedPo, bsweep, phase, jsonMD string
-	cpupro, mempro                string
+	cpupro, mempro, pcount, pset  string
 }
 
 func runAll(ids []string, h *bench.Harness, r *bench.Runner, fl flags) error {
@@ -209,6 +226,8 @@ func runAll(ids []string, h *bench.Harness, r *bench.Runner, fl flags) error {
 			err = runFailover(h, id, fl.nodes, fl.shards, fl.batch, fl.jsonMD)
 		case contains(bench.ElasticIDs(), id):
 			err = runElastic(h, id, fl.shards, fl.batch, fl.jsonMD)
+		case contains(bench.MultiIDs(), id):
+			err = runMulti(h, id, fl.pcount, fl.pset, fl.jsonMD)
 		case contains(bench.HotpathIDs(), id):
 			err = runHotpath(h, id, fl.phase, fl.jsonMD)
 		default:
@@ -336,6 +355,43 @@ func runFailover(h *bench.Harness, id string, nodes, shardsPerNode, batch int, j
 func runElastic(h *bench.Harness, id string, shardsPerNode, batch int, jsonPath string) error {
 	dataset := strings.TrimPrefix(id, "elastic-")
 	d, err := h.Elastic(dataset, shardsPerNode, batch)
+	if err != nil {
+		return err
+	}
+	d.Write(os.Stdout)
+	return appendJSON(jsonPath, d.WriteJSON)
+}
+
+// runMulti executes one multi-* experiment: shared evaluation of a
+// generated overlap set against one-engine-per-pattern over the same
+// stream, sweeping pattern counts.
+func runMulti(h *bench.Harness, id, patternCounts, patternSet, jsonPath string) error {
+	dataset := strings.TrimPrefix(id, "multi-")
+	var counts []int
+	if patternCounts != "" {
+		for _, s := range strings.Split(patternCounts, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v < 1 {
+				return fmt.Errorf("bad pattern count %q", s)
+			}
+			counts = append(counts, v)
+		}
+	}
+	var d *bench.MultiData
+	var err error
+	if patternSet != "" {
+		spec, lerr := gen.LoadPatternSet(patternSet)
+		if lerr != nil {
+			return lerr
+		}
+		if spec.Dataset != dataset {
+			return fmt.Errorf("pattern set %s is for dataset %q, experiment %s wants %q",
+				patternSet, spec.Dataset, id, dataset)
+		}
+		d, err = h.MultiSet(spec, counts)
+	} else {
+		d, err = h.Multi(dataset, counts)
+	}
 	if err != nil {
 		return err
 	}

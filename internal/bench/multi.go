@@ -1,0 +1,324 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"acep/internal/engine"
+	"acep/internal/event"
+	"acep/internal/gen"
+	"acep/internal/match"
+	"acep/internal/multi"
+)
+
+// MultiIDs lists the multi-pattern sharing experiments.
+func MultiIDs() []string { return []string{"multi-traffic", "multi-stocks"} }
+
+// DefaultPatternCounts is the pattern-count sweep of the multi
+// experiment.
+func DefaultPatternCounts() []int { return []int{8, 32, 128} }
+
+// multiOverlap and multiWindow fix the generated overlap sets: a
+// 3-position shared SEQ prefix and a window sized to the multi
+// workload's MeanGap-2 regime (the same shape the shard and cluster
+// multi tests validate for exactness).
+const (
+	multiOverlap = 3
+	multiWindow  = event.Time(400)
+)
+
+// MultiPoint is one pattern count's measurement: the sharing structure
+// the analyzer found, and throughput of the shared evaluator against
+// the same set run as independent engines over the same stream.
+type MultiPoint struct {
+	Patterns      int     `json:"patterns"`
+	TotalUnary    int     `json:"total_unary"`
+	DistinctUnary int     `json:"distinct_unary"`
+	Groups        int     `json:"prefix_groups"`
+	Grouped       int     `json:"grouped_patterns"`
+	Matches       uint64  `json:"matches"`
+	SharedTP      float64 `json:"shared_events_per_sec"`
+	IndepTP       float64 `json:"independent_events_per_sec"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// MultiData is one dataset's multi-pattern sweep.
+type MultiData struct {
+	ID      string       `json:"id"`
+	Dataset string       `json:"dataset"`
+	Kind    string       `json:"kind"`
+	Events  int          `json:"events"`
+	Keys    int          `json:"keys"`
+	Overlap int          `json:"overlap"`
+	Window  int64        `json:"window"`
+	Tenants int          `json:"tenants"`
+	Cores   int          `json:"cores"`
+	Points  []MultiPoint `json:"points"`
+}
+
+// MultiWorkload returns (and caches) the keyed workload the multi
+// experiment runs on. The regime is narrower than KeyedWorkload's —
+// seven types and few keys — because the generated overlap sets chain
+// same-key events across overlap+1 types, and the wider regimes starve
+// those chains below measurable match counts.
+func (h *Harness) MultiWorkload(dataset string) *gen.Workload {
+	name := "multi/" + dataset
+	if w, ok := h.workloads[name]; ok {
+		return w
+	}
+	var w *gen.Workload
+	switch dataset {
+	case "traffic":
+		w = gen.Traffic(gen.TrafficConfig{
+			Types: 7, Events: h.Scale.Events, Seed: h.Scale.Seed,
+			Shifts: 1, MeanGap: 2, Keys: 2,
+		})
+	case "stocks":
+		w = gen.Stocks(gen.StocksConfig{
+			Types: 7, Events: h.Scale.Events, Seed: h.Scale.Seed,
+			MeanGap: 2, DriftEvery: 300, Keys: 8,
+		})
+	default:
+		panic("bench: unknown dataset " + dataset)
+	}
+	h.workloads[name] = w
+	return w
+}
+
+// multisetDigest summarizes a match stream order-insensitively: each
+// match key's FNV-1a hash is summed (wrapping) into one accumulator.
+// Equal digests mean equal per-pattern match multisets, which is the
+// sharing layer's exactness contract — the shared evaluator may emit a
+// burst of same-event matches in a different interleaving than an
+// independent engine, so the cluster layer's order-sensitive digest
+// would false-positive here.
+type multisetDigest struct {
+	sum uint64
+	n   uint64
+}
+
+func (d *multisetDigest) add(m *match.Match) {
+	h := uint64(14695981039346656037)
+	k := m.Key()
+	for i := 0; i < len(k); i++ {
+		h ^= uint64(k[i])
+		h *= 1099511628211
+	}
+	d.sum += h
+	d.n++
+}
+
+// Multi sweeps pattern counts over the dataset's overlap sets and
+// measures shared evaluation (one Evaluator hosting the whole set)
+// against independent evaluation (one engine per pattern, fed the same
+// stream sequentially). Both modes see identical events; every rep's
+// per-pattern match multisets are digest-verified identical between
+// modes — a divergence is an error, not a data point.
+func (h *Harness) Multi(dataset string, counts []int) (*MultiData, error) {
+	if len(counts) == 0 {
+		counts = DefaultPatternCounts()
+	}
+	return h.multiSweep(h.MultiWorkload(dataset), gen.PatternSetSpec{
+		Dataset: dataset, Kind: gen.Sequence,
+		Overlap: multiOverlap, Window: multiWindow, Tenants: 1,
+	}, counts)
+}
+
+// MultiSet runs the multi experiment over an explicit pattern-set spec
+// (an acep-gen -patterns file): the spec pins the dataset regime, suffix
+// kind, overlap, window and tenant assignment, so the measured set is
+// exactly the one other tools loaded from the same file. counts defaults
+// to the spec's own size.
+func (h *Harness) MultiSet(spec gen.PatternSetSpec, counts []int) (*MultiData, error) {
+	w, err := spec.Workload(h.Scale.Events, h.Scale.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if len(counts) == 0 {
+		counts = []int{spec.Patterns}
+	}
+	return h.multiSweep(w, spec, counts)
+}
+
+// multiSweep measures every pattern count of one sweep; spec supplies
+// the set-shape parameters (its Patterns field is ignored in favor of
+// the sweep counts).
+func (h *Harness) multiSweep(w *gen.Workload, spec gen.PatternSetSpec, counts []int) (*MultiData, error) {
+	data := &MultiData{
+		ID:      "multi-" + spec.Dataset,
+		Dataset: spec.Dataset,
+		Kind:    spec.Kind.String(),
+		Events:  len(w.Events),
+		Keys:    w.Keys,
+		Overlap: spec.Overlap,
+		Window:  int64(spec.Window),
+		Tenants: spec.Tenants,
+		Cores:   runtime.NumCPU(),
+	}
+	for _, n := range counts {
+		entries, err := w.OverlapPatterns(spec.Kind, n, spec.Overlap, spec.Window, spec.Tenants)
+		if err != nil {
+			return nil, err
+		}
+		specs := make([]multi.Spec, len(entries))
+		for i, e := range entries {
+			specs[i] = multi.Spec{
+				ID: e.ID, Tenant: e.Tenant, Pattern: e.Pattern,
+				Config: engine.Config{CheckEvery: h.Scale.CheckEvery},
+			}
+		}
+		p, err := h.multiPoint(w, specs)
+		if err != nil {
+			return nil, fmt.Errorf("bench: multi %s n=%d: %w", spec.Dataset, n, err)
+		}
+		data.Points = append(data.Points, p)
+	}
+	return data, nil
+}
+
+// multiMeasureReps is the repetition count per interleaved mode round.
+const multiMeasureReps = 3
+
+// multiPoint measures one pattern count. The modes interleave per rep
+// (shared then independent) so a paired speedup never compounds
+// scheduler noise across independent passes; the recorded point is each
+// mode's fastest rep.
+func (h *Harness) multiPoint(w *gen.Workload, specs []multi.Spec) (MultiPoint, error) {
+	set, err := multi.Analyze(specs, w.Schema)
+	if err != nil {
+		return MultiPoint{}, err
+	}
+	rep := set.Report()
+	p := MultiPoint{
+		Patterns:      rep.Patterns,
+		TotalUnary:    rep.TotalUnary,
+		DistinctUnary: rep.DistinctUnary,
+		Groups:        rep.Groups,
+		Grouped:       rep.GroupedPatterns,
+	}
+	var ref map[uint32]multisetDigest
+	bestShared, bestIndep := time.Duration(0), time.Duration(0)
+	for r := 0; r < multiMeasureReps; r++ {
+		shared, sd, err := h.multiRunShared(w, specs)
+		if err != nil {
+			return p, err
+		}
+		indep, id := h.multiRunIndependent(w, specs)
+		if ref == nil {
+			ref = sd
+		}
+		for _, mode := range []struct {
+			name string
+			d    map[uint32]multisetDigest
+		}{{"shared", sd}, {"independent", id}} {
+			if err := multiDigestsEqual(specs, ref, mode.d); err != nil {
+				return p, fmt.Errorf("%s rep %d: %w", mode.name, r, err)
+			}
+		}
+		if bestShared == 0 || shared < bestShared {
+			bestShared = shared
+		}
+		if bestIndep == 0 || indep < bestIndep {
+			bestIndep = indep
+		}
+	}
+	for _, sp := range specs {
+		p.Matches += ref[sp.ID].n
+	}
+	if p.Matches == 0 {
+		return p, fmt.Errorf("no matches across %d patterns; experiment is vacuous", len(specs))
+	}
+	p.SharedTP = float64(len(w.Events)) / bestShared.Seconds()
+	p.IndepTP = float64(len(w.Events)) / bestIndep.Seconds()
+	p.Speedup = bestIndep.Seconds() / bestShared.Seconds()
+	return p, nil
+}
+
+// multiRunShared drives the stream through one shared evaluator and
+// returns the elapsed time plus per-pattern match digests.
+func (h *Harness) multiRunShared(w *gen.Workload, specs []multi.Spec) (time.Duration, map[uint32]multisetDigest, error) {
+	set, err := multi.Analyze(specs, w.Schema)
+	if err != nil {
+		return 0, nil, err
+	}
+	digests := make(map[uint32]multisetDigest, len(specs))
+	ev, err := multi.NewEvaluator(set, multi.Options{
+		OnMatch: func(id uint32, m *match.Match) {
+			d := digests[id]
+			d.add(m)
+			digests[id] = d
+		},
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	start := time.Now()
+	for i := range w.Events {
+		ev.Process(&w.Events[i])
+	}
+	ev.Finish()
+	return time.Since(start), digests, nil
+}
+
+// multiRunIndependent is the baseline: one plain engine per pattern,
+// each fed the full stream, timed as one sequential pass over the set
+// (the cost a deployment without sharing pays per core).
+func (h *Harness) multiRunIndependent(w *gen.Workload, specs []multi.Spec) (time.Duration, map[uint32]multisetDigest) {
+	digests := make(map[uint32]multisetDigest, len(specs))
+	var elapsed time.Duration
+	for _, sp := range specs {
+		cfg := sp.Config
+		var d multisetDigest
+		cfg.OnMatch = d.add
+		eng, err := engine.New(sp.Pattern, cfg)
+		if err != nil {
+			// Specs were already validated by Analyze in the shared run.
+			panic(err)
+		}
+		start := time.Now()
+		for i := range w.Events {
+			eng.Process(&w.Events[i])
+		}
+		eng.Finish()
+		elapsed += time.Since(start)
+		digests[sp.ID] = d
+	}
+	return elapsed, digests
+}
+
+// multiDigestsEqual demands identical per-pattern match multisets
+// between two runs.
+func multiDigestsEqual(specs []multi.Spec, want, got map[uint32]multisetDigest) error {
+	for _, sp := range specs {
+		w, g := want[sp.ID], got[sp.ID]
+		if w.n != g.n || w.sum != g.sum {
+			return fmt.Errorf("pattern %d delivered %d matches (digest %x), reference %d (digest %x)",
+				sp.ID, g.n, g.sum, w.n, w.sum)
+		}
+	}
+	return nil
+}
+
+// Write prints the multi-pattern sharing table.
+func (d *MultiData) Write(w io.Writer) {
+	fmt.Fprintf(w, "Multi-pattern sharing — %s workload, %s suffixes, %d events, %d keys, overlap %d, window %d, %d tenant(s), %d cores\n",
+		d.Dataset, d.Kind, d.Events, d.Keys, d.Overlap, d.Window, d.Tenants, d.Cores)
+	fmt.Fprintf(w, "%10s%12s%10s%9s%12s%14s%14s%9s\n",
+		"patterns", "preds", "distinct", "groups", "matches", "shared e/s", "indep e/s", "speedup")
+	for _, p := range d.Points {
+		fmt.Fprintf(w, "%10d%12d%10d%9d%12d%14.0f%14.0f%8.2fx\n",
+			p.Patterns, p.TotalUnary, p.DistinctUnary, p.Groups, p.Matches,
+			p.SharedTP, p.IndepTP, p.Speedup)
+	}
+}
+
+// WriteJSON appends the run to a BENCH_*.json trajectory (one JSON
+// object per invocation).
+func (d *MultiData) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

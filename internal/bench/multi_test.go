@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"acep/internal/engine"
+	"acep/internal/gen"
+	"acep/internal/multi"
+)
+
+func TestMultiExperiment(t *testing.T) {
+	h := NewHarness(tinyScale())
+	d, err := h.Multi("traffic", []int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Points) != 2 {
+		t.Fatalf("%d points, want 2", len(d.Points))
+	}
+	for _, p := range d.Points {
+		if p.Matches == 0 {
+			t.Fatalf("n=%d: no matches", p.Patterns)
+		}
+		if p.SharedTP <= 0 || p.IndepTP <= 0 || p.Speedup <= 0 {
+			t.Fatalf("n=%d: bad throughput %+v", p.Patterns, p)
+		}
+		if p.Groups == 0 || p.Grouped == 0 {
+			t.Fatalf("n=%d: analyzer found no sharing: %+v", p.Patterns, p)
+		}
+		// No unary-dedup assertion: the overlap sets' differentiating
+		// unary predicates are per-pattern constants, distinct by
+		// construction — the sharing the sweep measures is the prefix
+		// grouping, asserted above.
+	}
+	if d.Points[1].Patterns != 8 || d.Points[0].Patterns != 4 {
+		t.Fatalf("sweep order wrong: %+v", d.Points)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back MultiData
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != "multi-traffic" || len(back.Points) != 2 {
+		t.Fatalf("JSON roundtrip lost data: %+v", back)
+	}
+	d.Write(&buf) // table formatting must not panic
+}
+
+// BenchmarkMultiShared is the CI bench-smoke guard for the shared
+// evaluator's hot path: one evaluator hosting a 16-pattern overlap set.
+func BenchmarkMultiShared(b *testing.B) {
+	h := NewHarness(tinyScale())
+	w := h.MultiWorkload("traffic")
+	entries, err := w.OverlapPatterns(gen.Sequence, 16, multiOverlap, multiWindow, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := make([]multi.Spec, len(entries))
+	for i, e := range entries {
+		specs[i] = multi.Spec{
+			ID: e.ID, Tenant: e.Tenant, Pattern: e.Pattern,
+			Config: engine.Config{CheckEvery: h.Scale.CheckEvery},
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := h.multiRunShared(w, specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(w.Events)*b.N)/b.Elapsed().Seconds(), "events/s")
+}

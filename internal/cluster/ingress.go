@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,9 +12,11 @@ import (
 	"acep/internal/engine"
 	"acep/internal/event"
 	"acep/internal/match"
+	"acep/internal/multi"
 	"acep/internal/pattern"
 	recovery "acep/internal/recover"
 	"acep/internal/shard"
+	"acep/internal/shed"
 	"acep/internal/wire"
 )
 
@@ -66,6 +70,21 @@ type IngressOptions struct {
 	// OnTagged, when set instead of OnMatch, receives matches with their
 	// merge tags (Src is the global shard index).
 	OnTagged func(shard.Tagged)
+	// Patterns switches the cluster to multi-pattern mode: every node
+	// hosts the whole set behind one shared-evaluation engine (see
+	// internal/multi), every match callback sees the emitting pattern's
+	// id on its Tagged, and the set can be mutated at runtime with
+	// AddPattern/RemovePattern. NewIngress must then be called with a nil
+	// pattern; ids must be nonzero (zero marks a single-pattern session
+	// on the wire) and Schema is required. Spec Configs are ignored —
+	// each node applies its own engine configuration.
+	Patterns []multi.Spec
+	// Tenants ships per-tenant token-bucket budgets to every node
+	// (multi-pattern mode only). Budgets gate per local shard on each
+	// node, so a rate intended as a global bound should be divided by
+	// the global shard count. Per-tenant admission counters come back
+	// with the final metrics (TenantStats).
+	Tenants map[uint32]shed.TenantBudget
 	// Recovery, when non-nil, makes the ingress fault-tolerant and
 	// elastic: sealed cuts are journaled per shard, a dead node's shards
 	// fail over to a standby, and shards can migrate between live nodes
@@ -143,6 +162,20 @@ type Ingress struct {
 	readerDone    []chan struct{}
 	exitCh        chan struct{} // coalesced reader-exit wakeup for the drain loop
 	cutsSinceMove int
+	moveHorizon   uint64 // cut watermark at the last shard move (staleness horizon)
+
+	// Multi-pattern state (ingress goroutine unless noted). specs is the
+	// current set — the truth shipped to every join and adoption; keyAttr
+	// re-validates runtime additions; tenants are the shipped budgets.
+	// addCut maps runtime-added pattern ids to the cut boundary they
+	// joined at; reader goroutines load it to drop matches a migration
+	// replay regenerated from events the pattern never saw in the
+	// original timeline (see AddPattern).
+	multi   bool
+	specs   []multi.Spec
+	keyAttr string
+	tenants map[uint32]shed.TenantBudget
+	addCut  atomic.Pointer[map[uint32]uint64]
 
 	mu          sync.Mutex
 	err         error
@@ -156,6 +189,9 @@ type Ingress struct {
 	nodeMetrics []engine.Metrics
 	gotMetrics  []bool
 	stats       [][]wire.ShardStat // per slot: latest load snapshot
+	retired     engine.Metrics     // metrics of drained sessions whose slot was reused
+	patMetrics  map[uint32]engine.Metrics
+	tenantAgg   map[uint32]shed.TenantStat
 }
 
 // NewIngress performs the handshake over the given node connections
@@ -181,8 +217,28 @@ func NewIngress(pat *pattern.Pattern, conns []Conn, opts IngressOptions) (*Ingre
 	if opts.OnMatch != nil && opts.OnTagged != nil {
 		return nil, fmt.Errorf("cluster: set at most one of OnMatch and OnTagged")
 	}
-	if pat == nil {
-		return nil, fmt.Errorf("cluster: ingress needs a pattern")
+	switch {
+	case pat == nil && len(opts.Patterns) == 0:
+		return nil, fmt.Errorf("cluster: ingress needs a pattern (or a pattern set in Options.Patterns)")
+	case pat != nil && len(opts.Patterns) > 0:
+		return nil, fmt.Errorf("cluster: in multi-pattern mode the set travels in Options.Patterns; pass a nil pattern")
+	}
+	if len(opts.Tenants) > 0 && len(opts.Patterns) == 0 {
+		return nil, fmt.Errorf("cluster: Options.Tenants needs multi-pattern mode (Options.Patterns)")
+	}
+	if len(opts.Patterns) > 0 {
+		if opts.Schema == nil {
+			return nil, fmt.Errorf("cluster: multi-pattern mode needs Options.Schema (set analysis rides the assignment)")
+		}
+		for _, sp := range opts.Patterns {
+			if sp.ID == 0 {
+				return nil, fmt.Errorf("cluster: pattern ids must be nonzero (zero marks a single-pattern session on the wire)")
+			}
+		}
+		// Fail a bad set here, not as one cryptic handshake error per node.
+		if _, err := multi.Analyze(opts.Patterns, opts.Schema); err != nil {
+			return nil, err
+		}
 	}
 	if opts.Batch <= 0 {
 		opts.Batch = 256
@@ -200,7 +256,13 @@ func NewIngress(pat *pattern.Pattern, conns []Conn, opts IngressOptions) (*Ingre
 		if opts.Schema == nil {
 			return nil, fmt.Errorf("cluster: KeyAttr needs Schema to resolve the attribute")
 		}
-		if err := shard.Partitionable(pat, opts.Schema, opts.KeyAttr); err != nil {
+		if len(opts.Patterns) > 0 {
+			for _, sp := range opts.Patterns {
+				if err := shard.Partitionable(sp.Pattern, opts.Schema, opts.KeyAttr); err != nil {
+					return nil, fmt.Errorf("cluster: pattern %d: %w", sp.ID, err)
+				}
+			}
+		} else if err := shard.Partitionable(pat, opts.Schema, opts.KeyAttr); err != nil {
 			return nil, err
 		}
 		k, err := shard.ByAttrName(opts.Schema, opts.KeyAttr)
@@ -210,7 +272,12 @@ func NewIngress(pat *pattern.Pattern, conns []Conn, opts IngressOptions) (*Ingre
 		key = k
 	}
 
-	sig := signature(pat, opts.Schema)
+	var sig uint64
+	if len(opts.Patterns) > 0 {
+		sig = signatureMulti(opts.Patterns, opts.Schema)
+	} else {
+		sig = signature(pat, opts.Schema)
+	}
 	in := &Ingress{
 		conns:       conns,
 		key:         key,
@@ -232,6 +299,19 @@ func NewIngress(pat *pattern.Pattern, conns []Conn, opts IngressOptions) (*Ingre
 		pat:         pat,
 		schema:      opts.Schema,
 		sig:         sig,
+	}
+	if len(opts.Patterns) > 0 {
+		in.multi = true
+		in.specs = append([]multi.Spec(nil), opts.Patterns...)
+		in.keyAttr = opts.KeyAttr
+		in.patMetrics = make(map[uint32]engine.Metrics)
+		in.tenantAgg = make(map[uint32]shed.TenantStat)
+		if len(opts.Tenants) > 0 {
+			in.tenants = make(map[uint32]shed.TenantBudget, len(opts.Tenants))
+			for t, b := range opts.Tenants {
+				in.tenants[t] = b
+			}
+		}
 	}
 	if opts.Elastic != nil {
 		ec := *opts.Elastic
@@ -281,10 +361,7 @@ func NewIngress(pat *pattern.Pattern, conns []Conn, opts IngressOptions) (*Ingre
 	}
 	base := 0
 	for i, c := range conns {
-		if err := c.Send(wire.Assign{
-			Base: uint32(base), Shards: uint32(in.nodeShards[i]), Total: uint32(in.total),
-			Pattern: pat, Schema: opts.Schema,
-		}); err != nil {
+		if err := c.Send(in.assignFrame(base, in.nodeShards[i])); err != nil {
 			return nil, fmt.Errorf("cluster: assigning node %d: %w", i, err)
 		}
 		in.hosted[i] = make(map[int]bool, in.nodeShards[i])
@@ -309,7 +386,7 @@ func NewIngress(pat *pattern.Pattern, conns []Conn, opts IngressOptions) (*Ingre
 	if opts.Recovery != nil {
 		rc := *opts.Recovery
 		if rc.Window <= 0 {
-			rc.Window = pat.Window
+			rc.Window = in.maxWindow()
 		}
 		in.rec = &rc
 		journal, err := recovery.NewJournal(recovery.JournalConfig{
@@ -348,6 +425,86 @@ func NewIngress(pat *pattern.Pattern, conns []Conn, opts IngressOptions) (*Ingre
 	}
 	built = true
 	return in, nil
+}
+
+// signatureMulti fingerprints a pattern set plus the schema layout, the
+// multi-pattern analogue of signature. Only bare nodes (fingerprint 0)
+// can join a multi cluster, so this mainly guards against pairing a
+// multi ingress with a configured single-pattern node.
+func signatureMulti(specs []multi.Spec, s *event.Schema) uint64 {
+	var b strings.Builder
+	for _, sp := range specs {
+		fmt.Fprintf(&b, "%d@%d:%s;", sp.ID, sp.Tenant, sp.Pattern.String())
+	}
+	if s != nil {
+		for t := 0; t < s.NumTypes(); t++ {
+			fmt.Fprintf(&b, "|%s:%v", s.TypeName(t), s.Attrs(t))
+		}
+	}
+	return wire.Fingerprint(b.String())
+}
+
+// maxWindow is the widest time window any hosted pattern can reach back
+// — the journal-sizing horizon.
+func (in *Ingress) maxWindow() event.Time {
+	if !in.multi {
+		return in.pat.Window
+	}
+	var w event.Time
+	for _, sp := range in.specs {
+		if sp.Pattern.Window > w {
+			w = sp.Pattern.Window
+		}
+	}
+	return w
+}
+
+// assignFrame builds the handshake reply for a session hosting shards
+// [base, base+shards): single-pattern sessions ship the pattern; multi
+// sessions ship the current set (the first spec as the primary entry,
+// the rest in Extra) plus the tenant budgets, sorted for a
+// deterministic wire image. Ingress goroutine (reads in.specs).
+func (in *Ingress) assignFrame(base, shards int) wire.Assign {
+	a := wire.Assign{
+		Base: uint32(base), Shards: uint32(shards), Total: uint32(in.total),
+		Pattern: in.pat, Schema: in.schema,
+	}
+	if !in.multi {
+		return a
+	}
+	a.Pattern = in.specs[0].Pattern
+	a.PrimaryID = in.specs[0].ID
+	a.PrimaryTenant = in.specs[0].Tenant
+	for _, sp := range in.specs[1:] {
+		a.Extra = append(a.Extra, wire.PatternEntry{ID: sp.ID, Tenant: sp.Tenant, Pattern: sp.Pattern})
+	}
+	if len(in.tenants) > 0 {
+		ids := make([]int, 0, len(in.tenants))
+		for t := range in.tenants {
+			ids = append(ids, int(t))
+		}
+		sort.Ints(ids)
+		for _, t := range ids {
+			a.Tenants = append(a.Tenants, wire.TenantBudgetEntry{Tenant: uint32(t), Budget: in.tenants[uint32(t)]})
+		}
+	}
+	return a
+}
+
+// dropRegen reports whether a match of pattern p tagged at seq is a
+// replay artifact: a migration replays journaled history into a live
+// session whose evaluators already host patterns added later, so a
+// replayed cut can regenerate matches from events the pattern never saw
+// in the original timeline. Every legitimate match of a runtime-added
+// pattern is triggered by an event after its add boundary, so matches
+// at or below the boundary are dropped. Reader goroutines.
+func (in *Ingress) dropRegen(p uint32, seq uint64) bool {
+	m := in.addCut.Load()
+	if m == nil {
+		return false
+	}
+	born, ok := (*m)[p]
+	return ok && seq <= born
 }
 
 // metricsDone reports whether slot i delivered its final metrics (the
@@ -392,12 +549,18 @@ func (in *Ingress) read(i int, c Conn, gen int, done chan struct{}) {
 		in.det.Heard(i)
 		switch v := f.(type) {
 		case wire.TaggedMatch:
-			pend = append(pend, shard.Tagged{M: v.M, Seq: v.Seq, Src: int(v.Shard)})
+			if in.dropRegen(v.Pattern, v.Seq) {
+				break
+			}
+			pend = append(pend, shard.Tagged{M: v.M, Seq: v.Seq, Src: int(v.Shard), Pattern: v.Pattern})
 		case wire.TaggedMatchRaw:
 			// Owned-emit match over a reference transport (the pipe): the
 			// body is the worker's pre-encoded outbox slice; decode it
 			// here. A serializing transport never delivers this frame —
 			// its codec reads the identical bytes back as a TaggedMatch.
+			if in.dropRegen(v.Pattern, v.Seq) {
+				break
+			}
 			m, derr := wire.DecodeMatchBody(v.Body)
 			if derr != nil {
 				err := fmt.Errorf("cluster: node %d match body: %w", i, derr)
@@ -409,7 +572,7 @@ func (in *Ingress) read(i int, c Conn, gen int, done chan struct{}) {
 				in.col.Post(i, maxSeq, pend)
 				return
 			}
-			pend = append(pend, shard.Tagged{M: m, Seq: v.Seq, Src: int(v.Shard)})
+			pend = append(pend, shard.Tagged{M: m, Seq: v.Seq, Src: int(v.Shard), Pattern: v.Pattern})
 		case wire.Watermark:
 			in.col.Post(i, v.UpTo, pend)
 			pend = nil
@@ -432,7 +595,26 @@ func (in *Ingress) read(i int, c Conn, gen int, done chan struct{}) {
 			in.mu.Unlock()
 		case wire.Metrics:
 			in.mu.Lock()
-			in.nodeMetrics[i] = v.M
+			if in.multi {
+				// Multi sessions report one frame per live pattern (plus
+				// the tenant accounting on exactly one frame); merge them
+				// into the per-slot, per-pattern and per-tenant views.
+				in.nodeMetrics[i].Merge(v.M)
+				if v.Pattern != 0 {
+					pm := in.patMetrics[v.Pattern]
+					pm.Merge(v.M)
+					in.patMetrics[v.Pattern] = pm
+				}
+				for _, ts := range v.Tenants {
+					agg := in.tenantAgg[ts.Tenant]
+					agg.Tenant = ts.Tenant
+					agg.Admitted += ts.Admitted
+					agg.Shed += ts.Shed
+					in.tenantAgg[ts.Tenant] = agg
+				}
+			} else {
+				in.nodeMetrics[i] = v.M
+			}
 			in.gotMetrics[i] = true
 			in.mu.Unlock()
 		default:
@@ -608,6 +790,10 @@ func (in *Ingress) migrateShard(g, to int, reason string, fidx int) error {
 	boundary := in.col.Migrate(g, to)
 	in.owner[g] = to
 	in.hosted[to][g] = true
+	// Every move invalidates the fleet's load picture: reports stamped
+	// before this cut describe the pre-move distribution, and the
+	// placement controller must not act on them (see rebalance).
+	in.moveHorizon = in.lastSeq
 	replayUpTo := in.journal.ReplayUpToShard(g)
 	// Register the record before the replay: the destination's ack races
 	// with the tail of the replay loop, and an ack that finds no record
@@ -746,6 +932,13 @@ func (in *Ingress) rebalance() {
 			if g < 0 || g >= in.total || in.owner[g] != n {
 				continue // stale: reported by a slot that no longer owns g
 			}
+			// Reports stamped before the cooldown horizon — the cut at
+			// which the last move happened — describe a load distribution
+			// that move already reshaped; acting on them would ping-pong
+			// the same shard. Wait for numbers from after the move.
+			if s.Cut < in.moveHorizon {
+				continue
+			}
 			waits[g] = time.Duration(s.P99Nanos)
 			events[g] = s.Events
 		}
@@ -854,12 +1047,56 @@ func (in *Ingress) AddNode(c Conn) (int, error) {
 		c.Close()
 		return -1, fmt.Errorf("cluster: joining node serves a different pattern or schema (fingerprint %x, want %x)", h.PatternSig, in.sig)
 	}
-	if err := c.Send(wire.Assign{
-		Base: 0, Shards: 0, Total: uint32(in.total),
-		Pattern: in.pat, Schema: in.schema,
-	}); err != nil {
+	if err := c.Send(in.assignFrame(0, 0)); err != nil {
 		c.Close()
 		return -1, fmt.Errorf("cluster: assigning joining node: %w", err)
+	}
+	// Ghost-slot compaction: a drained slot whose session has fully
+	// ended (reader exited, final metrics recorded) is a ghost — it owns
+	// nothing and will never speak again. Reuse the oldest one for the
+	// joining node instead of growing every per-slot array, so a
+	// long-running cluster's join/drain churn doesn't leak slots. The
+	// retired session's metrics move to the retired accumulator first,
+	// keeping the cluster-wide Metrics sum intact.
+	slot := -1
+	for m := range in.conns {
+		if !in.drained[m] || in.dead[m] || in.abandoned[m] {
+			continue
+		}
+		select {
+		case <-in.readerDone[m]:
+		default:
+			continue // session still draining
+		}
+		if !in.metricsDone(m) {
+			continue
+		}
+		slot = m
+		break
+	}
+	if slot >= 0 {
+		in.conns[slot] = c
+		in.sendErr[slot] = nil
+		in.dead[slot] = false
+		in.drained[slot] = false
+		in.finSent[slot] = false
+		in.nodeShards[slot] = 0
+		in.hosted[slot] = map[int]bool{} // a fresh session has hosted nothing
+		in.outs[slot] = nil
+		done := make(chan struct{})
+		in.readerDone[slot] = done
+		in.mu.Lock()
+		in.gen[slot]++
+		gen := in.gen[slot]
+		in.retired.Merge(in.nodeMetrics[slot])
+		in.nodeMetrics[slot] = engine.Metrics{}
+		in.gotMetrics[slot] = false
+		in.stats[slot] = nil
+		in.mu.Unlock()
+		in.det.Heard(slot)
+		in.readers.Add(1)
+		go in.read(slot, c, gen, done)
+		return slot, nil
 	}
 	n := len(in.conns)
 	in.conns = append(in.conns, c)
@@ -951,6 +1188,11 @@ func (in *Ingress) Drain(n int) error {
 	in.det.Sent(n)
 	in.finSent[n] = true
 	in.drained[n] = true
+	// The ghost slot's last load report is history now — drop it so
+	// NodeStats and the placement controller never see it again.
+	in.mu.Lock()
+	in.stats[n] = nil
+	in.mu.Unlock()
 	return nil
 }
 
@@ -990,6 +1232,184 @@ func (in *Ingress) MigrateShard(g, to int) error {
 	}
 	in.routeBroadcast()
 	return nil
+}
+
+// AddPattern registers one more pattern on a running multi-pattern
+// cluster. The in-progress cut is sealed first, so the mutation lands
+// on a clean cut boundary on every node: events already ingested stay
+// ahead of the new pattern and events after this call are the first it
+// sees. The spec joins the shipped set — future joins, adoptions and
+// failover replays host it — and matches a migration replay regenerates
+// from history before the boundary are filtered at the merge, so the
+// delivered stream for the new pattern is exactly what a cluster that
+// had hosted it from this boundary onward would produce. The spec's
+// Config is ignored (each node applies its own engine configuration).
+// Requires multi-pattern mode; must be called from the Process
+// goroutine.
+func (in *Ingress) AddPattern(sp multi.Spec) error {
+	if in.finished {
+		return fmt.Errorf("cluster: AddPattern after Finish")
+	}
+	if !in.multi {
+		return fmt.Errorf("cluster: AddPattern needs a multi-pattern ingress (Options.Patterns)")
+	}
+	if sp.ID == 0 {
+		return fmt.Errorf("cluster: pattern ids must be nonzero (zero marks a single-pattern session on the wire)")
+	}
+	for _, have := range in.specs {
+		if have.ID == sp.ID {
+			return fmt.Errorf("cluster: pattern id %d already registered", sp.ID)
+		}
+	}
+	// Prevalidate here so a bad spec is one error return, not a poisoned
+	// session on every node.
+	if _, err := multi.Analyze([]multi.Spec{sp}, in.schema); err != nil {
+		return err
+	}
+	if in.keyAttr != "" {
+		if err := shard.Partitionable(sp.Pattern, in.schema, in.keyAttr); err != nil {
+			return err
+		}
+	}
+	if in.pending > 0 {
+		in.cutAll()
+	}
+	in.waitSends()
+	in.checkSuspects()
+	in.specs = append(in.specs, sp)
+	in.sig = signatureMulti(in.specs, in.schema)
+	// Publish the add boundary before any node can emit for the new
+	// pattern: the reader-side replay filter must be in place first.
+	next := map[uint32]uint64{sp.ID: in.lastSeq}
+	if old := in.addCut.Load(); old != nil {
+		for id, cut := range *old {
+			next[id] = cut
+		}
+	}
+	in.addCut.Store(&next)
+	entry := wire.PatternEntry{ID: sp.ID, Tenant: sp.Tenant, Pattern: sp.Pattern}
+	for n, c := range in.conns {
+		if in.dead[n] || in.drained[n] {
+			continue
+		}
+		if err := c.Send(wire.PatternAdd{Entry: entry}); err != nil {
+			// Parked like any cut-send failure: the next barrier fails the
+			// node over, and its successor adopts the updated set.
+			if in.sendErr[n] == nil {
+				in.sendErr[n] = err
+			}
+			continue
+		}
+		in.det.Sent(n)
+	}
+	return nil
+}
+
+// RemovePattern retires a pattern cluster-wide at the next cut
+// boundary: its evaluation state is dropped on every node and no
+// further matches of it are delivered. Removal is a deliberate
+// stop-caring operation — matches the pattern produced before the
+// boundary but not yet delivered still drain normally, but if a shard
+// later migrates or fails over, undelivered matches of the retired
+// pattern inside the replayed span are not regenerated (the successor
+// no longer hosts it). The last live pattern cannot be removed.
+// Requires multi-pattern mode; must be called from the Process
+// goroutine.
+func (in *Ingress) RemovePattern(id uint32) error {
+	if in.finished {
+		return fmt.Errorf("cluster: RemovePattern after Finish")
+	}
+	if !in.multi {
+		return fmt.Errorf("cluster: RemovePattern needs a multi-pattern ingress (Options.Patterns)")
+	}
+	at := -1
+	for i, sp := range in.specs {
+		if sp.ID == id {
+			at = i
+			break
+		}
+	}
+	if at < 0 {
+		return fmt.Errorf("cluster: no pattern %d registered", id)
+	}
+	if len(in.specs) == 1 {
+		return fmt.Errorf("cluster: cannot remove the last pattern (joins and adoptions need a live set)")
+	}
+	if in.pending > 0 {
+		in.cutAll()
+	}
+	in.waitSends()
+	in.checkSuspects()
+	in.specs = append(in.specs[:at:at], in.specs[at+1:]...)
+	in.sig = signatureMulti(in.specs, in.schema)
+	for n, c := range in.conns {
+		if in.dead[n] || in.drained[n] {
+			continue
+		}
+		if err := c.Send(wire.PatternRemove{ID: id}); err != nil {
+			if in.sendErr[n] == nil {
+				in.sendErr[n] = err
+			}
+			continue
+		}
+		in.det.Sent(n)
+	}
+	return nil
+}
+
+// Patterns snapshots the current pattern set (multi-pattern mode; nil
+// otherwise). Process goroutine.
+func (in *Ingress) Patterns() []multi.Spec {
+	return append([]multi.Spec(nil), in.specs...)
+}
+
+// PatternMetrics merges every node's per-pattern engine counters
+// (multi-pattern mode; nil otherwise), ascending by pattern id.
+// Patterns removed before Finish stop reporting and are absent. Call
+// after Finish.
+func (in *Ingress) PatternMetrics() []multi.PatternMetrics {
+	if !in.multi {
+		return nil
+	}
+	tenant := make(map[uint32]uint32, len(in.specs))
+	for _, sp := range in.specs {
+		tenant[sp.ID] = sp.Tenant
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	ids := make([]int, 0, len(in.patMetrics))
+	for id := range in.patMetrics {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	out := make([]multi.PatternMetrics, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, multi.PatternMetrics{
+			ID: uint32(id), Tenant: tenant[uint32(id)], M: in.patMetrics[uint32(id)],
+		})
+	}
+	return out
+}
+
+// TenantStats merges the per-tenant admission accounting reported by
+// every node (multi-pattern mode; nil otherwise), sorted by tenant id.
+// Call after Finish.
+func (in *Ingress) TenantStats() []shed.TenantStat {
+	if !in.multi {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	ids := make([]int, 0, len(in.tenantAgg))
+	for t := range in.tenantAgg {
+		ids = append(ids, int(t))
+	}
+	sort.Ints(ids)
+	out := make([]shed.TenantStat, 0, len(ids))
+	for _, t := range ids {
+		out = append(out, in.tenantAgg[uint32(t)])
+	}
+	return out
 }
 
 // Migrations reports every shard move so far (completed and in
@@ -1090,6 +1510,7 @@ func (in *Ingress) Metrics() engine.Metrics {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	var m engine.Metrics
+	m.Merge(in.retired)
 	for i := range in.nodeMetrics {
 		if in.gotMetrics[i] {
 			m.Merge(in.nodeMetrics[i])

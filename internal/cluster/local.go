@@ -7,9 +7,11 @@ import (
 	"acep/internal/engine"
 	"acep/internal/event"
 	"acep/internal/match"
+	"acep/internal/multi"
 	"acep/internal/pattern"
 	recovery "acep/internal/recover"
 	"acep/internal/shard"
+	"acep/internal/shed"
 	"acep/internal/stats"
 )
 
@@ -41,6 +43,13 @@ type LocalConfig struct {
 	// OnMatch / OnTagged receive the merged match stream (exactly one).
 	OnMatch  func(*match.Match)
 	OnTagged func(shard.Tagged)
+	// Patterns hosts a multi-pattern set instead of a single pattern
+	// (pass pat nil to StartLocal): the nodes start bare, the ingress
+	// ships the set in every handshake, and matches arrive pattern-tagged
+	// through OnTagged. Same contract as IngressOptions.Patterns.
+	Patterns []multi.Spec
+	// Tenants installs per-tenant admission budgets (multi mode only).
+	Tenants map[uint32]shed.TenantBudget
 	// OnNodeErr (optional) observes node-side session errors; transport
 	// failures surface at the ingress regardless.
 	OnNodeErr func(error)
@@ -79,6 +88,10 @@ func StartLocal(pat *pattern.Pattern, cfg engine.Config, lc LocalConfig) (*Ingre
 			}
 		}
 	}
+	if len(lc.Patterns) > 0 && pat != nil {
+		closeAll()
+		return nil, fmt.Errorf("cluster: StartLocal with Patterns needs a nil pattern (the set rides the handshake)")
+	}
 	for i := 0; i < lc.Nodes; i++ {
 		node, err := NewNode(NodeConfig{
 			Pattern:  pat,
@@ -112,6 +125,8 @@ func StartLocal(pat *pattern.Pattern, cfg engine.Config, lc LocalConfig) (*Ingre
 		Schema:   lc.Schema,
 		OnMatch:  lc.OnMatch,
 		OnTagged: lc.OnTagged,
+		Patterns: lc.Patterns,
+		Tenants:  lc.Tenants,
 		Elastic:  lc.Elastic,
 	}
 	if lc.Recover {

@@ -11,8 +11,10 @@ import (
 	"acep/internal/engine"
 	"acep/internal/event"
 	"acep/internal/match"
+	"acep/internal/multi"
 	"acep/internal/pattern"
 	"acep/internal/shard"
+	"acep/internal/shed"
 	"acep/internal/stats"
 	"acep/internal/wire"
 )
@@ -196,16 +198,24 @@ func (n *Node) Serve(conn Conn) error {
 	return n.serveBlock(conn, blockAssign{
 		base: int(a.Base), shards: int(a.Shards), total: int(a.Total),
 		pattern: a.Pattern, schema: a.Schema,
+		primaryID: a.PrimaryID, primaryTenant: a.PrimaryTenant,
+		extra: a.Extra, tenants: a.Tenants,
 	})
 }
 
 // blockAssign is a resolved handshake reply: which slice of the global
 // shard space this session initially hosts (possibly empty), with what
-// pattern.
+// pattern — or, when primaryID is nonzero, with what pattern *set*
+// (Pattern is the primary entry, extra carries the rest, tenants the
+// per-tenant budgets).
 type blockAssign struct {
 	base, shards, total int
 	pattern             *pattern.Pattern
 	schema              *event.Schema
+
+	primaryID, primaryTenant uint32
+	extra                    []wire.PatternEntry
+	tenants                  []wire.TenantBudgetEntry
 }
 
 // serveBlock hosts one ingress session.
@@ -218,15 +228,40 @@ func (n *Node) serveBlock(conn Conn, a blockAssign) error {
 		}
 		pat, schema = a.pattern, a.schema
 	}
+	// A nonzero primary id marks a multi-pattern assignment: the session
+	// hosts the whole shipped set (Pattern is the primary entry, Extra
+	// the rest) behind one shared-evaluation engine. Only a bare node can
+	// adopt a set — a configured node's fingerprint covers exactly one
+	// pattern, and the handshake has already cross-validated it.
+	var specs []multi.Spec
+	if a.primaryID != 0 {
+		if n.cfg.Pattern != nil {
+			return fmt.Errorf("cluster: multi-pattern assignment needs a bare node (configured node serves one pattern)")
+		}
+		if schema == nil {
+			return fmt.Errorf("cluster: multi-pattern assignment without a shipped schema")
+		}
+		specs = append(specs, multi.Spec{
+			ID: a.primaryID, Tenant: a.primaryTenant, Pattern: pat, Config: n.cfg.Engine,
+		})
+		for _, e := range a.extra {
+			specs = append(specs, multi.Spec{
+				ID: e.ID, Tenant: e.Tenant, Pattern: e.Pattern, Config: n.cfg.Engine,
+			})
+		}
+	}
 	key := n.key
 	if key == nil {
 		// Bare KeyAttr mode: resolve against the shipped schema, with
 		// the same partitionability validation a configured node runs.
+		// (Multi mode defers the per-spec validation to shard.New.)
 		if schema == nil {
 			return fmt.Errorf("cluster: bare node needs a shipped schema to resolve key attribute %q", n.cfg.KeyAttr)
 		}
-		if err := shard.Partitionable(pat, schema, n.cfg.KeyAttr); err != nil {
-			return err
+		if specs == nil {
+			if err := shard.Partitionable(pat, schema, n.cfg.KeyAttr); err != nil {
+				return err
+			}
 		}
 		k, err := shard.ByAttrName(schema, n.cfg.KeyAttr)
 		if err != nil {
@@ -298,8 +333,19 @@ func (n *Node) serveBlock(conn Conn, a blockAssign) error {
 		da.SetDecodeArena(decArena)
 	}
 	// OR patterns split into per-disjunct runners inside the engine, so a
-	// top-level mask would index the wrong positions — skip the scan.
-	scannable := pat.MaskScannable() && pat.Op != pattern.Or
+	// top-level mask would index the wrong positions — skip the scan. In
+	// multi-pattern mode the shared evaluator composes per-pattern masks
+	// from its own predicate table, so the node-level scan is off too.
+	scannable := specs == nil && pat.MaskScannable() && pat.Op != pattern.Or
+	// relWindow is the arena-release horizon: the widest window any
+	// hosted pattern can reach back (grows if PatternAdd ships a wider
+	// one).
+	relWindow := pat.Window
+	for _, sp := range specs {
+		if sp.Pattern.Window > relWindow {
+			relWindow = sp.Pattern.Window
+		}
+	}
 	var (
 		maskBuf []uint32
 		ptrBuf  []*event.Event
@@ -340,7 +386,21 @@ func (n *Node) serveBlock(conn Conn, a blockAssign) error {
 	// to the engine in seq order and seals the cut at upTo.
 	var flushCut func(upTo uint64)
 
-	eng, err := shard.New(pat, n.cfg.Engine, shard.Options{
+	enginePat, engineCfg := pat, n.cfg.Engine
+	var budgets map[uint32]shed.TenantBudget
+	if specs != nil {
+		// Multi mode: the set travels in Options.Patterns (each spec
+		// carries the node's engine config) and per-tenant budgets apply
+		// per local shard.
+		enginePat, engineCfg = nil, engine.Config{}
+		if len(a.tenants) > 0 {
+			budgets = make(map[uint32]shed.TenantBudget, len(a.tenants))
+			for _, t := range a.tenants {
+				budgets[t.Tenant] = t.Budget
+			}
+		}
+	}
+	eng, err := shard.New(enginePat, engineCfg, shard.Options{
 		Shards:   total,
 		Batch:    n.cfg.Batch,
 		QueueCap: n.cfg.QueueCap,
@@ -348,6 +408,9 @@ func (n *Node) serveBlock(conn Conn, a blockAssign) error {
 		Window:   n.cfg.Window,
 		Overflow: n.cfg.Overflow,
 		Key:      key,
+		Schema:   schema,
+		Patterns: specs,
+		Tenants:  budgets,
 		Route: func(ev *event.Event) int {
 			return shard.GlobalIndex(key(ev), total)
 		},
@@ -365,10 +428,10 @@ func (n *Node) serveBlock(conn Conn, a blockAssign) error {
 				return // already delivered before the shard moved here
 			}
 			if t.Enc != nil {
-				up.send(wire.TaggedMatchRaw{Shard: uint32(t.Src), Seq: t.Seq, Body: t.Enc})
+				up.send(wire.TaggedMatchRaw{Shard: uint32(t.Src), Seq: t.Seq, Pattern: t.Pattern, Body: t.Enc})
 				return
 			}
-			up.send(wire.TaggedMatch{Shard: uint32(t.Src), Seq: t.Seq, M: t.M})
+			up.send(wire.TaggedMatch{Shard: uint32(t.Src), Seq: t.Seq, Pattern: t.Pattern, M: t.M})
 		},
 		OnProgress: func(w uint64) {
 			// Acknowledge caught-up migrations before the watermark that
@@ -454,16 +517,21 @@ func (n *Node) serveBlock(conn Conn, a blockAssign) error {
 	}
 	// sendStats ships a per-shard load snapshot (events processed and
 	// ingestion queue-wait p99) for the placement controller; shards
-	// that processed nothing are omitted.
+	// that processed nothing are omitted. Each stat is stamped with the
+	// highest cut watermark sealed so far, so the controller can discard
+	// reports that predate its decision horizon.
 	sendStats := func() {
 		loads := eng.ShardLoads()
+		migMu.Lock()
+		cutMark := maxUpTo
+		migMu.Unlock()
 		var ss []wire.ShardStat
 		for g, l := range loads {
 			if l.Events == 0 {
 				continue
 			}
 			ss = append(ss, wire.ShardStat{
-				Shard: uint32(g), Events: l.Events, P99Nanos: uint64(l.WaitP99),
+				Shard: uint32(g), Events: l.Events, P99Nanos: uint64(l.WaitP99), Cut: cutMark,
 			})
 		}
 		if len(ss) > 0 {
@@ -518,8 +586,8 @@ func (n *Node) serveBlock(conn Conn, a blockAssign) error {
 			// Unpin decoded chunks the engines can no longer need for
 			// new matches (recycle is off, so any horizon is safe — see
 			// the arena comment above).
-			if w := pat.Window; w > 0 {
-				decArena.Release(maxTS - 2*w)
+			if relWindow > 0 {
+				decArena.Release(maxTS - 2*relWindow)
 			} else if decArena.Live() > 64 {
 				decArena.Release(maxTS)
 			}
@@ -576,12 +644,63 @@ func (n *Node) serveBlock(conn Conn, a blockAssign) error {
 			}
 			pending = pending[:0]
 			migMu.Unlock()
+		case wire.PatternAdd:
+			// Register a pattern on the running set. The frame sits
+			// between two cuts in the stream, so the engine pins the
+			// mutation to that cut boundary on every local shard.
+			if specs == nil {
+				finish()
+				up.flush()
+				return fmt.Errorf("cluster: pattern add on a single-pattern session")
+			}
+			sp := multi.Spec{
+				ID: v.Entry.ID, Tenant: v.Entry.Tenant,
+				Pattern: v.Entry.Pattern, Config: n.cfg.Engine,
+			}
+			if err := eng.AddPattern(sp); err != nil {
+				finish()
+				up.flush()
+				return fmt.Errorf("cluster: node adding pattern %d: %w", sp.ID, err)
+			}
+			if sp.Pattern.Window > relWindow {
+				relWindow = sp.Pattern.Window
+			}
+		case wire.PatternRemove:
+			if specs == nil {
+				finish()
+				up.flush()
+				return fmt.Errorf("cluster: pattern remove on a single-pattern session")
+			}
+			if err := eng.RemovePattern(v.ID); err != nil {
+				finish()
+				up.flush()
+				return fmt.Errorf("cluster: node removing pattern %d: %w", v.ID, err)
+			}
 		case wire.Finish:
 			// Drain everything: Finish returns only after the collector
 			// has delivered every match (and the MaxUint64 watermark)
 			// through the sender above.
 			finish()
-			up.send(wire.Metrics{M: eng.Metrics()})
+			if specs != nil {
+				// One Metrics frame per live pattern; the first carries
+				// the per-tenant shed accounting for the whole session
+				// (on exactly one frame, so the ingress never counts a
+				// tenant twice).
+				pms := eng.PatternMetrics()
+				ts := eng.TenantStats()
+				if len(pms) == 0 {
+					up.send(wire.Metrics{Tenants: ts})
+				}
+				for i, pm := range pms {
+					fr := wire.Metrics{Pattern: pm.ID, M: pm.M}
+					if i == 0 {
+						fr.Tenants = ts
+					}
+					up.send(fr)
+				}
+			} else {
+				up.send(wire.Metrics{M: eng.Metrics()})
+			}
 			up.flush()
 			if err := up.failed(); err != nil {
 				return fmt.Errorf("cluster: node streaming results: %w", err)

@@ -324,10 +324,7 @@ func (in *Ingress) adopt(n int, conn Conn, fidx int) error {
 		conn.Close()
 		return fmt.Errorf("cluster: standby for node %d serves a different pattern (fingerprint %x, want %x)", n, h.PatternSig, in.sig)
 	}
-	if err := conn.Send(wire.Assign{
-		Base: 0, Shards: 0, Total: uint32(in.total),
-		Pattern: in.pat, Schema: in.schema,
-	}); err != nil {
+	if err := conn.Send(in.assignFrame(0, 0)); err != nil {
 		conn.Close()
 		return fmt.Errorf("cluster: assigning standby for node %d: %w", n, err)
 	}

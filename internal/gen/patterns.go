@@ -111,19 +111,7 @@ func (w *Workload) chain(op pattern.Op, first, n int, window event.Time, negAt, 
 			b.Kleene(p)
 		}
 	}
-	addPred := func(lo, hi int) error {
-		switch w.Domain {
-		case "traffic":
-			// Both the average speed and the vehicle count increase.
-			b.Where(hi, "speed", pattern.GT, lo, "speed", 0)
-			b.Where(hi, "count", pattern.GT, lo, "count", 0)
-		case "stocks":
-			b.Where(hi, "diff", pattern.GT, lo, "diff", 0)
-		default:
-			return fmt.Errorf("gen: unknown domain %q", w.Domain)
-		}
-		return nil
-	}
+	addPred := func(lo, hi int) error { return w.domainPred(b, lo, hi) }
 	addKey := func(lo, hi int) {
 		if w.Keys > 0 {
 			b.WhereEq(lo, "key", hi, "key")

@@ -1,0 +1,142 @@
+package gen
+
+import (
+	"fmt"
+
+	"acep/internal/event"
+	"acep/internal/pattern"
+)
+
+// PatternSetEntry is one member of a generated multi-pattern set: the
+// registry id, owning tenant, and the pattern itself (the gen-level
+// mirror of multi.Spec, kept dependency-free so the generator sits below
+// the evaluation layers).
+type PatternSetEntry struct {
+	ID      uint32
+	Tenant  uint32
+	Pattern *pattern.Pattern
+}
+
+// OverlapPatterns builds n patterns that share a SEQ prefix of `overlap`
+// types (types 0..overlap-1 with the workload's all-pairs domain
+// predicates, plus key-equality adjacency on keyed workloads) and
+// diverge in their suffixes: each pattern appends one core position of a
+// distinct remaining type (cycled), differentiated by a per-pattern
+// constant predicate once the remaining types are exhausted. kind
+// selects the suffix flavor:
+//
+//   - Sequence: prefix + one core suffix position;
+//   - Negation: a negated position of another remaining type inserted
+//     between prefix and suffix;
+//   - Kleene: the inserted position is under Kleene closure instead.
+//
+// Tenants > 1 assigns tenants round-robin, which also partitions the
+// sharing analysis (prefix runners never cross tenants). The result is
+// fully determined by the arguments — two calls on workloads with equal
+// parameters produce equal sets, which is what lets a spec file stand in
+// for the patterns themselves (see WritePatternSet).
+func (w *Workload) OverlapPatterns(kind Kind, n, overlap int, window event.Time, tenants int) ([]PatternSetEntry, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: pattern count %d < 1", n)
+	}
+	if overlap < 2 {
+		return nil, fmt.Errorf("gen: overlap %d < 2 (a shared prefix needs two positions)", overlap)
+	}
+	types := w.Schema.NumTypes()
+	rem := types - overlap
+	need := 1
+	if kind == Negation || kind == Kleene {
+		need = 2
+	}
+	if rem < need {
+		return nil, fmt.Errorf("gen: overlap %d leaves %d of %d types for suffixes, need %d", overlap, rem, types, need)
+	}
+	switch kind {
+	case Sequence, Negation, Kleene:
+	default:
+		return nil, fmt.Errorf("gen: overlap sets support sequence, negation and kleene kinds, not %v", kind)
+	}
+	if tenants < 1 {
+		tenants = 1
+	}
+	out := make([]PatternSetEntry, 0, n)
+	for i := 0; i < n; i++ {
+		b := pattern.NewBuilder(w.Schema, pattern.Seq, window)
+		for t := 0; t < overlap; t++ {
+			b.Event(t)
+		}
+		sufType := overlap + i%rem
+		resAt := -1
+		if kind != Sequence {
+			resType := overlap + (i+1)%rem
+			resAt = b.Event(resType)
+			if kind == Negation {
+				b.Negate(resAt)
+			} else {
+				b.Kleene(resAt)
+			}
+		}
+		suf := b.Event(sufType)
+		core := make([]int, 0, overlap+1)
+		for t := 0; t < overlap; t++ {
+			core = append(core, t)
+		}
+		core = append(core, suf)
+		for a := 0; a < len(core); a++ {
+			for c := a + 1; c < len(core); c++ {
+				if err := w.domainPred(b, core[a], core[c]); err != nil {
+					return nil, err
+				}
+				if c == a+1 && w.Keys > 0 {
+					b.WhereEq(core[a], "key", core[c], "key")
+				}
+			}
+		}
+		if resAt >= 0 {
+			// Anchor the residual position to its core predecessor, as
+			// the single-pattern chains do.
+			anchor := overlap - 1
+			if err := w.domainPred(b, anchor, resAt); err != nil {
+				return nil, err
+			}
+			if w.Keys > 0 {
+				b.WhereEq(anchor, "key", resAt, "key")
+			}
+		}
+		// Once every remaining type is taken, keep later patterns
+		// distinct with an always-true per-pattern constant threshold on
+		// the suffix (distinct unary predicates also keep the shared
+		// verdict table honest in benchmarks).
+		if i >= rem {
+			b.WherePred(pattern.Pred{
+				L: suf, R: pattern.Unary, AttrL: 0,
+				Op: pattern.GT, C: -1e12 - float64(i),
+			})
+		}
+		p, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("gen: overlap pattern %d: %w", i, err)
+		}
+		out = append(out, PatternSetEntry{
+			ID:      uint32(i + 1),
+			Tenant:  uint32(i % tenants),
+			Pattern: p,
+		})
+	}
+	return out, nil
+}
+
+// domainPred adds the workload's domain predicate pair between two
+// positions (lo earlier, hi later), matching Workload.chain.
+func (w *Workload) domainPred(b *pattern.Builder, lo, hi int) error {
+	switch w.Domain {
+	case "traffic":
+		b.Where(hi, "speed", pattern.GT, lo, "speed", 0)
+		b.Where(hi, "count", pattern.GT, lo, "count", 0)
+	case "stocks":
+		b.Where(hi, "diff", pattern.GT, lo, "diff", 0)
+	default:
+		return fmt.Errorf("gen: unknown domain %q", w.Domain)
+	}
+	return nil
+}

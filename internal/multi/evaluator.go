@@ -1,0 +1,488 @@
+package multi
+
+import (
+	"fmt"
+	"math"
+
+	"acep/internal/engine"
+	"acep/internal/event"
+	"acep/internal/match"
+	"acep/internal/nfa"
+	"acep/internal/pattern"
+	"acep/internal/plan"
+	"acep/internal/shed"
+)
+
+// Options assembles an Evaluator.
+type Options struct {
+	// OnMatch receives every match, tagged with the emitting pattern's
+	// id. Required.
+	OnMatch func(id uint32, m *match.Match)
+	// OwnedEmit runs the per-pattern engines under the owned-emit
+	// contract: OnMatch receives a scratch match valid only for the
+	// duration of the call (encode or copy inside).
+	OwnedEmit bool
+	// StableInput declares that every event pointer handed to Process
+	// stays valid for the longest pattern's retention horizon (arena
+	// ingest, see engine.Config.ExternalEvents). Without it the
+	// evaluator interns each event once into its own arena — still one
+	// copy for the whole set instead of one per pattern.
+	StableInput bool
+	// Budgets installs per-tenant token buckets; tenants absent from
+	// the map are unbudgeted. See shed.TenantGate.
+	Budgets map[uint32]shed.TenantBudget
+}
+
+// PatternMetrics is one pattern's engine counters, tagged for the wire.
+type PatternMetrics struct {
+	ID     uint32
+	Tenant uint32
+	M      engine.Metrics
+}
+
+// sink is one registered pattern's evaluation state: either a full
+// adaptive engine (independent patterns) or a fixed-plan NFA resuming
+// from shared-prefix seeds (group members).
+type sink struct {
+	spec   Spec
+	eng    *engine.Engine // independent path
+	seeded *nfa.Engine    // shared-prefix path
+	recipe [][]posRecipe  // per event type: mask composition, nil if unscannable
+	tslot  int            // tenant slot index
+
+	arrived uint64 // events offered, pre-gate
+	gated   uint64 // events shed by the tenant gate
+	late    uint64 // out-of-order events dropped at the evaluator
+	events  uint64 // events reaching the seeded NFA (independent path counts its own)
+}
+
+// posRecipe composes one position's mask bit from global verdicts.
+type posRecipe struct {
+	bit   uint32
+	preds []int
+}
+
+// runnerState is one shared-prefix runner and its subscribers.
+type runnerState struct {
+	eng    *nfa.Engine
+	recipe [][]posRecipe
+	subs   []*sink
+	tenant uint32
+	tslot  int
+	group  PrefixGroup
+}
+
+// Evaluator drives a pattern set over one event stream, evaluating
+// shared work once. Not safe for concurrent use; the shard layer runs
+// one evaluator per worker.
+type Evaluator struct {
+	opt    Options
+	schema *event.Schema
+
+	sinks   []*sink
+	byID    map[uint32]*sink
+	runners []*runnerState
+
+	// Shared unary verdict table: one entry per distinct predicate,
+	// memoized per event via epoch stamps.
+	preds   []globalPred
+	predID  map[predKey]int
+	verdict []bool
+	stamp   []uint64
+	epoch   uint64
+
+	// Tenant gating: slot-indexed per-event admission memo.
+	gate     *shed.TenantGate
+	tenants  []uint32
+	tslotOf  map[uint32]int
+	admit    []bool
+	maxTypes int
+
+	arena     *match.Arena // nil with StableInput
+	maxWindow event.Time
+	watermark event.Time
+	started   bool
+	sinceRel  int
+	predEvals uint64 // shared-table evaluations (for diagnostics)
+}
+
+// NewEvaluator builds the evaluation state for an analyzed set.
+func NewEvaluator(set *Set, opt Options) (*Evaluator, error) {
+	if opt.OnMatch == nil {
+		return nil, fmt.Errorf("multi: Options.OnMatch is required")
+	}
+	v := &Evaluator{
+		opt:     opt,
+		schema:  set.schema,
+		byID:    make(map[uint32]*sink),
+		preds:   append([]globalPred(nil), set.preds...),
+		predID:  make(map[predKey]int, len(set.predID)),
+		gate:    shed.NewTenantGate(opt.Budgets),
+		tslotOf: make(map[uint32]int),
+	}
+	for k, id := range set.predID {
+		v.predID[k] = id
+	}
+	v.verdict = make([]bool, len(v.preds))
+	v.stamp = make([]uint64, len(v.preds))
+	if !opt.StableInput {
+		v.arena = &match.Arena{}
+	}
+
+	for gi := range set.Groups {
+		g := set.Groups[gi]
+		r := &runnerState{tenant: g.Tenant, tslot: v.tenantSlot(g.Tenant), group: g}
+		// The emit closure reads r.subs at call time, so runtime
+		// subscribe/unsubscribe takes effect without rebinding.
+		run := nfa.New(g.Prefix, plan.NewOrderPlan(g.Prefix.Core()), func(m *match.Match) {
+			for _, s := range r.subs {
+				s.seeded.Seed(m.Events)
+			}
+		})
+		run.SetExternal(true)
+		run.SetOwnedEmit(true)
+		r.eng = run
+		r.recipe = v.buildRecipe(g.Prefix)
+		v.runners = append(v.runners, r)
+	}
+	for i := range set.Specs {
+		s, err := v.buildSink(set.Specs[i], set.GroupOf(i))
+		if err != nil {
+			return nil, err
+		}
+		v.sinks = append(v.sinks, s)
+		v.byID[s.spec.ID] = s
+	}
+	return v, nil
+}
+
+func (v *Evaluator) buildSink(sp Spec, group int) (*sink, error) {
+	if _, dup := v.byID[sp.ID]; dup {
+		return nil, fmt.Errorf("multi: duplicate pattern id %d", sp.ID)
+	}
+	s := &sink{spec: sp, tslot: v.tenantSlot(sp.Tenant)}
+	s.recipe = v.buildRecipe(sp.Pattern)
+	v.growTypes(sp.Pattern)
+	if group >= 0 {
+		r := v.runners[group]
+		e := nfa.New(sp.Pattern, plan.NewOrderPlan(sp.Pattern.Core()), func(m *match.Match) {
+			v.opt.OnMatch(sp.ID, m)
+		})
+		if err := e.SetSharedPrefix(r.group.Len); err != nil {
+			return nil, err
+		}
+		e.SetExternal(true)
+		e.SetOwnedEmit(v.opt.OwnedEmit)
+		s.seeded = e
+		r.subs = append(r.subs, s)
+		return s, nil
+	}
+	cfg := sp.Config
+	cfg.OnMatch = func(m *match.Match) { v.opt.OnMatch(sp.ID, m) }
+	cfg.ExternalEvents = true
+	cfg.OwnedEmit = v.opt.OwnedEmit
+	eng, err := engine.New(sp.Pattern, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("multi: pattern %d: %w", sp.ID, err)
+	}
+	s.eng = eng
+	return s, nil
+}
+
+// tenantSlot interns a tenant id into the per-event admission memo.
+func (v *Evaluator) tenantSlot(t uint32) int {
+	if slot, ok := v.tslotOf[t]; ok {
+		return slot
+	}
+	slot := len(v.tenants)
+	v.tenants = append(v.tenants, t)
+	v.tslotOf[t] = slot
+	v.admit = append(v.admit, true)
+	return slot
+}
+
+// growTypes tracks the widest type universe and retention horizon.
+func (v *Evaluator) growTypes(p *pattern.Pattern) {
+	if p.Window > v.maxWindow {
+		v.maxWindow = p.Window
+	}
+	if p.Op == pattern.Or {
+		for _, sub := range p.Subs {
+			v.growTypes(sub)
+		}
+		return
+	}
+	for _, pos := range p.Positions {
+		if pos.Type+1 > v.maxTypes {
+			v.maxTypes = pos.Type + 1
+		}
+	}
+}
+
+// buildRecipe precomputes, per event type, how to compose the pattern's
+// unary position mask from the shared verdict table. Nil for patterns
+// the engines cannot consume masks for (OR, 32+ positions).
+func (v *Evaluator) buildRecipe(p *pattern.Pattern) [][]posRecipe {
+	if p.Op == pattern.Or || !p.MaskScannable() {
+		return nil
+	}
+	maxType := 0
+	for _, pos := range p.Positions {
+		if pos.Type > maxType {
+			maxType = pos.Type
+		}
+	}
+	rec := make([][]posRecipe, maxType+1)
+	for t := 0; t <= maxType; t++ {
+		for _, pos := range p.PositionsOfType(t) {
+			pr := posRecipe{bit: 1 << uint(pos)}
+			for _, cu := range p.Unary(pos) {
+				pr.preds = append(pr.preds, v.internPred(t, cu))
+			}
+			rec[t] = append(rec[t], pr)
+		}
+	}
+	return rec
+}
+
+func (v *Evaluator) internPred(typ int, cu pattern.CUnary) int {
+	k := predKey{typ: typ, attr: cu.Attr, op: cu.Op, c: math.Float64bits(cu.C)}
+	if id, ok := v.predID[k]; ok {
+		return id
+	}
+	id := len(v.preds)
+	v.preds = append(v.preds, globalPred{typ: typ, cu: cu})
+	v.predID[k] = id
+	v.verdict = append(v.verdict, false)
+	v.stamp = append(v.stamp, 0)
+	return id
+}
+
+// verdictOf evaluates global predicate id against e at most once per
+// event (epoch memo).
+func (v *Evaluator) verdictOf(id int, e *event.Event) bool {
+	if v.stamp[id] == v.epoch {
+		return v.verdict[id]
+	}
+	v.stamp[id] = v.epoch
+	v.predEvals++
+	ok := v.preds[id].cu.Ok(e)
+	v.verdict[id] = ok
+	return ok
+}
+
+// maskFor composes the pattern's position mask for e from shared
+// verdicts; 0 (not MaskValid) when the pattern has no recipe.
+func (v *Evaluator) maskFor(recipe [][]posRecipe, e *event.Event) uint32 {
+	t := int(e.Type)
+	if recipe == nil || t >= len(recipe) {
+		if recipe == nil {
+			return 0
+		}
+		return pattern.MaskValid
+	}
+	m := pattern.MaskValid
+	for i := range recipe[t] {
+		pr := &recipe[t][i]
+		ok := true
+		for _, id := range pr.preds {
+			if !v.verdictOf(id, e) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			m |= pr.bit
+		}
+	}
+	return m
+}
+
+// Process feeds one event through the whole set: tenant gates decide
+// once per tenant, shared unary verdicts are memoized across patterns,
+// prefix runners run first so their seeds reach subscribers before the
+// subscribers see the event (the ordering the seeding contract
+// requires), then every pattern advances.
+func (v *Evaluator) Process(e *event.Event) {
+	if v.started && e.TS < v.watermark {
+		for _, s := range v.sinks {
+			s.arrived++
+			s.late++
+		}
+		return
+	}
+	v.started = true
+	v.watermark = e.TS
+	v.epoch++
+	if v.arena != nil {
+		e = v.intern(e)
+	}
+	for slot, t := range v.tenants {
+		v.admit[slot] = v.gate.Admit(t, e.TS)
+	}
+	for _, r := range v.runners {
+		if v.admit[r.tslot] {
+			r.eng.ProcessMasked(e, v.maskFor(r.recipe, e))
+		}
+	}
+	for _, s := range v.sinks {
+		s.arrived++
+		if !v.admit[s.tslot] {
+			s.gated++
+			continue
+		}
+		mask := v.maskFor(s.recipe, e)
+		if s.seeded != nil {
+			s.events++
+			s.seeded.ProcessMasked(e, mask)
+		} else {
+			s.eng.ProcessMasked(e, mask)
+		}
+	}
+}
+
+// ProcessBatch feeds a batch, equivalent to per-event Process calls.
+func (v *Evaluator) ProcessBatch(evs []*event.Event) {
+	for _, e := range evs {
+		v.Process(e)
+	}
+}
+
+// intern copies e into the evaluator's arena so every engine can retain
+// the pointer, releasing chunks that fell out of every retention window.
+func (v *Evaluator) intern(e *event.Event) *event.Event {
+	st := v.arena.Intern(e)
+	v.sinceRel++
+	if v.sinceRel >= 1024 {
+		v.sinceRel = 0
+		if horizon := v.watermark - 2*v.maxWindow; horizon > 0 {
+			v.arena.Release(horizon)
+		}
+	}
+	return st
+}
+
+// Finish flushes every pattern at end of stream (runners first — their
+// final seeds must land before subscribers flush).
+func (v *Evaluator) Finish() {
+	for _, r := range v.runners {
+		r.eng.Finish()
+	}
+	for _, s := range v.sinks {
+		if s.seeded != nil {
+			s.seeded.Finish()
+		} else {
+			s.eng.Finish()
+		}
+	}
+}
+
+// Add registers a pattern at runtime. It joins the shared unary table
+// immediately; prefix groups are not re-analyzed (the pattern evaluates
+// independently), so existing patterns' output is undisturbed.
+func (v *Evaluator) Add(sp Spec) error {
+	s, err := v.buildSink(sp, -1)
+	if err != nil {
+		return err
+	}
+	v.sinks = append(v.sinks, s)
+	v.byID[sp.ID] = s
+	return nil
+}
+
+// Remove retires a pattern at runtime. A group member is unsubscribed
+// from its runner; the runner keeps serving remaining subscribers (and
+// is dropped once the last one leaves).
+func (v *Evaluator) Remove(id uint32) error {
+	s, ok := v.byID[id]
+	if !ok {
+		return fmt.Errorf("multi: unknown pattern id %d", id)
+	}
+	delete(v.byID, id)
+	for i, t := range v.sinks {
+		if t == s {
+			v.sinks = append(v.sinks[:i], v.sinks[i+1:]...)
+			break
+		}
+	}
+	if s.seeded == nil {
+		return nil
+	}
+	for _, r := range v.runners {
+		for i, sub := range r.subs {
+			if sub == s {
+				r.subs = append(r.subs[:i], r.subs[i+1:]...)
+				break
+			}
+		}
+	}
+	for i, r := range v.runners {
+		if len(r.subs) == 0 {
+			v.runners = append(v.runners[:i], v.runners[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Patterns lists the registered pattern ids in evaluation order.
+func (v *Evaluator) Patterns() []uint32 {
+	out := make([]uint32, len(v.sinks))
+	for i, s := range v.sinks {
+		out[i] = s.spec.ID
+	}
+	return out
+}
+
+// SetBudget installs or replaces a tenant budget at runtime.
+func (v *Evaluator) SetBudget(tenant uint32, b shed.TenantBudget) {
+	v.tenantSlot(tenant)
+	v.gate.SetBudget(tenant, b)
+}
+
+// TenantStats reports per-tenant admission accounting.
+func (v *Evaluator) TenantStats() []shed.TenantStat { return v.gate.Stats() }
+
+// Metrics reports per-pattern engine counters in evaluation order. For
+// group members (fixed-plan NFAs) the adaptive-loop counters are zero
+// and the evaluation counters are synthesized from nfa.Stats.
+func (v *Evaluator) Metrics() []PatternMetrics {
+	out := make([]PatternMetrics, 0, len(v.sinks))
+	for _, s := range v.sinks {
+		var m engine.Metrics
+		if s.eng != nil {
+			m = s.eng.Metrics()
+		} else {
+			st := s.seeded.Stats()
+			m = engine.Metrics{
+				Events:    s.events,
+				Matches:   st.Emitted,
+				PMCreated: st.PMCreated,
+				PredEvals: st.PredEvals,
+				PeakPMs:   st.PeakPMs,
+			}
+		}
+		m.EventsArrived = s.arrived
+		m.EventsShed += s.gated
+		m.LateDropped += s.late
+		out = append(out, PatternMetrics{ID: s.spec.ID, Tenant: s.spec.Tenant, M: m})
+	}
+	return out
+}
+
+// LivePMs sums live partial matches across every pattern and runner
+// (shedding introspection for the shard layer).
+func (v *Evaluator) LivePMs() int {
+	n := 0
+	for _, r := range v.runners {
+		n += r.eng.LivePMs()
+	}
+	for _, s := range v.sinks {
+		if s.seeded != nil {
+			n += s.seeded.LivePMs()
+		} else {
+			n += s.eng.LivePMs()
+		}
+	}
+	return n
+}

@@ -22,6 +22,7 @@
 package nfa
 
 import (
+	"fmt"
 	"sort"
 
 	"acep/internal/event"
@@ -89,6 +90,7 @@ type Engine struct {
 	retention  event.Time
 	lastPrune  event.Time
 	emitBefore uint64 // when >0, emit only matches with a core Seq < emitBefore
+	prefix     int    // when >0, order[0..prefix-1] is fed externally via Seed
 
 	pmCreated  uint64
 	predEvals  uint64
@@ -175,6 +177,58 @@ func (g *Engine) SetEmitOnlyBefore(seq uint64) {
 
 // Plan returns the order plan in effect.
 func (g *Engine) Plan() plan.Plan { return g.op }
+
+// SetSharedPrefix declares that the first k positions of the plan's
+// order are evaluated externally: a shared prefix runner (see
+// internal/multi) detects every assignment of order[0..k-1] and hands
+// it in through Seed, so Process skips those positions entirely — no
+// unary evaluation, no buffering, no PM creation below state k. The
+// engine then behaves, match-for-match, like an unseeded engine on the
+// same plan, provided the runner seeds every prefix assignment before
+// the event that completed it is handed to Process (the lazy
+// registration scan picks up suffix events that arrived earlier, and
+// later suffix events extend seeded PMs through the eager path exactly
+// as they would natively-created ones).
+//
+// k must leave at least one position to the engine (0 < k < number of
+// core positions).
+func (g *Engine) SetSharedPrefix(k int) error {
+	if k <= 0 || k >= g.n {
+		return fmt.Errorf("nfa: shared prefix %d out of range (1..%d)", k, g.n-1)
+	}
+	g.prefix = k
+	return nil
+}
+
+// Seed injects one prefix assignment produced by a shared prefix
+// runner: evs[j] is the event assigned to the plan's order position j,
+// for j < k (SetSharedPrefix). The events must satisfy the prefix's
+// unary and pairwise constraints (the runner evaluated them) and stay
+// stable for the engine's retention horizon — Seed retains the
+// pointers without interning, like SetExternal. Assignments whose
+// timestamp span exceeds this pattern's window are dropped here, so a
+// runner sized to the widest subscriber window can fan one completion
+// to every subscriber unfiltered.
+func (g *Engine) Seed(evs []*event.Event) {
+	m := g.getPM()
+	m.filled = g.prefix
+	for j := 0; j < g.prefix; j++ {
+		e := evs[j]
+		m.evs[g.op.Order[j]] = e
+		if j == 0 || e.TS < m.minTS {
+			m.minTS = e.TS
+		}
+		if j == 0 || e.TS > m.maxTS {
+			m.maxTS = e.TS
+		}
+	}
+	if m.maxTS-m.minTS > g.pat.Window {
+		g.putPM(m)
+		return
+	}
+	g.pmCreated++
+	g.register(m)
+}
 
 // Advance moves the watermark forward, resolving parked matches and
 // periodically pruning buffers and expired partial matches.
@@ -286,6 +340,9 @@ func (g *Engine) process(e *event.Event, mask uint32) {
 				g.res.AddResidual(p, ae)
 			}
 			continue
+		}
+		if k < g.prefix {
+			continue // fed externally through Seed
 		}
 		if !g.unaryOk(p, e, mask) {
 			continue

@@ -14,6 +14,11 @@ type Tagged struct {
 	Seq uint64
 	Src int
 	Idx uint64
+	// Pattern is the emitting pattern's id in multi-pattern mode (0 in
+	// single-pattern engines). It rides along for the wire and is not
+	// part of the merge key — within one (Seq, Src) the posting worker
+	// already orders matches canonically by pattern id.
+	Pattern uint32
 	// Enc, on the owned-emit wire path (Options.EncodeMatch), holds the
 	// match pre-encoded as a wire KindMatch body; M is nil then. The
 	// slice aliases a worker outbox slab that is never overwritten, so it

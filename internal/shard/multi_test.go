@@ -1,0 +1,283 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"acep/internal/engine"
+	"acep/internal/gen"
+	"acep/internal/match"
+	"acep/internal/multi"
+	"acep/internal/shed"
+)
+
+// multiWorkload is a keyed traffic stream for the multi-pattern shard
+// tests: keyed so the overlap sets are partitionable by "key".
+func multiWorkload(t *testing.T, events int, seed int64) *gen.Workload {
+	t.Helper()
+	return gen.Traffic(gen.TrafficConfig{
+		Types: 7, Events: events, Seed: seed, Shifts: 1, MeanGap: 2, Keys: 2,
+	})
+}
+
+// multiSpecs builds an overlapping-prefix spec set over the workload.
+func multiSpecs(t *testing.T, w *gen.Workload, kind gen.Kind, n, tenants int) []multi.Spec {
+	t.Helper()
+	entries, err := w.OverlapPatterns(kind, n, 3, 400, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]multi.Spec, len(entries))
+	for i, e := range entries {
+		specs[i] = multi.Spec{
+			ID: e.ID, Tenant: e.Tenant, Pattern: e.Pattern,
+			Config: engine.Config{CheckEvery: 250},
+		}
+	}
+	return specs
+}
+
+// runMultiSharded drives the workload through a multi-pattern sharded
+// engine and returns the delivered (pattern, key) stream in order plus
+// the per-pattern key multisets.
+func runMultiSharded(t *testing.T, w *gen.Workload, specs []multi.Spec, shards int, tenants map[uint32]shed.TenantBudget, mutate func(*Engine, int)) ([]string, map[uint32][]string, *Engine) {
+	t.Helper()
+	var stream []string
+	per := make(map[uint32][]string)
+	eng, err := New(nil, engine.Config{}, Options{
+		Shards: shards, Batch: 128, KeyAttr: "key", Schema: w.Schema,
+		Patterns: specs, Tenants: tenants,
+		OnTagged: func(tg Tagged) {
+			k := tg.M.Key()
+			stream = append(stream, string(rune('A'+tg.Pattern))+":"+k)
+			per[tg.Pattern] = append(per[tg.Pattern], k)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Events {
+		if mutate != nil {
+			mutate(eng, i)
+		}
+		eng.Process(&w.Events[i])
+	}
+	eng.Finish()
+	return stream, per, eng
+}
+
+// runIndependent is the reference: one plain engine per pattern over the
+// unsharded stream.
+func runIndependent(t *testing.T, w *gen.Workload, specs []multi.Spec) map[uint32][]string {
+	t.Helper()
+	out := make(map[uint32][]string)
+	for _, sp := range specs {
+		cfg := sp.Config
+		id := sp.ID
+		cfg.OnMatch = func(m *match.Match) { out[id] = append(out[id], m.Key()) }
+		eng, err := engine.New(sp.Pattern, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range w.Events {
+			eng.Process(&w.Events[i])
+		}
+		eng.Finish()
+	}
+	return out
+}
+
+// TestMultiShardedMatchesIndependent: the sharded shared-evaluation
+// layer must reproduce, per pattern, exactly the match set of an
+// independent single-threaded engine, for plain and residual suffixes.
+func TestMultiShardedMatchesIndependent(t *testing.T) {
+	w := multiWorkload(t, 6000, 23)
+	for _, kind := range []gen.Kind{gen.Sequence, gen.Negation, gen.Kleene} {
+		specs := multiSpecs(t, w, kind, 8, 1)
+		want := runIndependent(t, w, specs)
+		for _, shards := range []int{1, 4} {
+			_, got, _ := runMultiSharded(t, w, specs, shards, nil, nil)
+			total := 0
+			for _, sp := range specs {
+				if !reflect.DeepEqual(sorted(got[sp.ID]), sorted(want[sp.ID])) {
+					t.Fatalf("%v shards=%d pattern %d: %d matches vs independent %d",
+						kind, shards, sp.ID, len(got[sp.ID]), len(want[sp.ID]))
+				}
+				total += len(got[sp.ID])
+			}
+			if total == 0 {
+				t.Fatalf("%v: no matches at all; test is vacuous", kind)
+			}
+		}
+	}
+}
+
+// TestMultiShardedDeterministic: the delivered (pattern, key) stream is
+// a deterministic function of the input for a fixed shard count.
+func TestMultiShardedDeterministic(t *testing.T) {
+	w := multiWorkload(t, 4000, 31)
+	specs := multiSpecs(t, w, gen.Sequence, 6, 1)
+	s1, _, _ := runMultiSharded(t, w, specs, 4, nil, nil)
+	if len(s1) == 0 {
+		t.Fatal("no matches")
+	}
+	for r := 0; r < 2; r++ {
+		s2, _, _ := runMultiSharded(t, w, specs, 4, nil, nil)
+		if !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("rerun %d delivered a different stream", r)
+		}
+	}
+}
+
+// TestMultiShardAddRemove: registering and retiring patterns mid-stream
+// leaves every untouched pattern's output byte-identical to a run
+// without the mutation, the removed pattern emits a prefix-subset, and
+// the added pattern emits a subset of its full-stream solo set.
+func TestMultiShardAddRemove(t *testing.T) {
+	w := multiWorkload(t, 8000, 37)
+	all := multiSpecs(t, w, gen.Sequence, 7, 1)
+	initial, extra := all[:6], all[6]
+	removed := initial[1].ID
+
+	_, base, _ := runMultiSharded(t, w, initial, 4, nil, nil)
+	solo := runIndependent(t, w, []multi.Spec{extra})
+
+	// Mutate early so the baseline certainly has post-mutation matches
+	// of the removed pattern.
+	at := len(w.Events) / 8
+	_, got, _ := runMultiSharded(t, w, initial, 4, nil, func(e *Engine, i int) {
+		if i != at {
+			return
+		}
+		if err := e.AddPattern(extra); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.RemovePattern(removed); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	for _, sp := range initial {
+		if sp.ID == removed {
+			continue
+		}
+		if !reflect.DeepEqual(sorted(got[sp.ID]), sorted(base[sp.ID])) {
+			t.Fatalf("pattern %d disturbed by add/remove: %d vs %d matches",
+				sp.ID, len(got[sp.ID]), len(base[sp.ID]))
+		}
+	}
+	baseSet := make(map[string]int)
+	for _, k := range base[removed] {
+		baseSet[k]++
+	}
+	for _, k := range got[removed] {
+		if baseSet[k] == 0 {
+			t.Fatalf("removed pattern emitted a match outside its baseline: %s", k)
+		}
+		baseSet[k]--
+	}
+	if len(got[removed]) >= len(base[removed]) && len(base[removed]) > 0 {
+		t.Fatalf("removal had no effect: %d of %d matches still emitted",
+			len(got[removed]), len(base[removed]))
+	}
+	soloSet := make(map[string]int)
+	for _, k := range solo[extra.ID] {
+		soloSet[k]++
+	}
+	for _, k := range got[extra.ID] {
+		if soloSet[k] == 0 {
+			t.Fatalf("added pattern emitted a match outside its solo set: %s", k)
+		}
+		soloSet[k]--
+	}
+}
+
+// TestMultiShardTenantBudgets: a budgeted tenant sheds while the
+// unbudgeted tenant's patterns stay byte-identical to an unbudgeted
+// run; the per-tenant accounting surfaces through TenantStats.
+func TestMultiShardTenantBudgets(t *testing.T) {
+	w := multiWorkload(t, 5000, 41)
+	specs := multiSpecs(t, w, gen.Sequence, 6, 2)
+	_, free, _ := runMultiSharded(t, w, specs, 4, nil, nil)
+	budgets := map[uint32]shed.TenantBudget{0: {Rate: 5, Burst: 5}}
+	_, got, eng := runMultiSharded(t, w, specs, 4, budgets, nil)
+
+	stats := eng.TenantStats()
+	if len(stats) != 2 {
+		t.Fatalf("%d tenant stats, want 2", len(stats))
+	}
+	var shed0, shed1 uint64
+	for _, ts := range stats {
+		if ts.Tenant == 0 {
+			shed0 = ts.Shed
+		} else {
+			shed1 = ts.Shed
+		}
+	}
+	if shed0 == 0 {
+		t.Fatal("budgeted tenant shed nothing")
+	}
+	if shed1 != 0 {
+		t.Fatalf("unbudgeted tenant shed %d events", shed1)
+	}
+	for _, sp := range specs {
+		if sp.Tenant != 1 {
+			continue
+		}
+		if !reflect.DeepEqual(sorted(got[sp.ID]), sorted(free[sp.ID])) {
+			t.Fatalf("unbudgeted tenant's pattern %d disturbed by the other tenant's budget", sp.ID)
+		}
+	}
+}
+
+// TestMultiShardValidation covers the multi-mode constructor and
+// mutation misuse errors.
+func TestMultiShardValidation(t *testing.T) {
+	w := multiWorkload(t, 10, 1)
+	specs := multiSpecs(t, w, gen.Sequence, 4, 1)
+	pat := specs[0].Pattern
+
+	if _, err := New(pat, engine.Config{}, Options{Patterns: specs, KeyAttr: "key", Schema: w.Schema}); err == nil {
+		t.Error("non-nil pattern accepted alongside Options.Patterns")
+	}
+	if _, err := New(nil, engine.Config{}, Options{Patterns: specs, KeyAttr: "key"}); err == nil {
+		t.Error("multi mode without schema accepted")
+	}
+	if _, err := New(pat, engine.Config{}, Options{KeyAttr: "key", Schema: w.Schema,
+		Tenants: map[uint32]shed.TenantBudget{0: {Rate: 1}}}); err == nil {
+		t.Error("tenant budgets without multi mode accepted")
+	}
+
+	eng, err := New(nil, engine.Config{}, Options{
+		Shards: 2, KeyAttr: "key", Schema: w.Schema, Patterns: specs[:3],
+		OnTagged: func(Tagged) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eng.MultiPattern() || len(eng.PatternIDs()) != 3 {
+		t.Fatal("MultiPattern/PatternIDs accessors wrong")
+	}
+	if err := eng.AddPattern(specs[0]); err == nil {
+		t.Error("duplicate AddPattern accepted")
+	}
+	if err := eng.RemovePattern(999); err == nil {
+		t.Error("unknown RemovePattern accepted")
+	}
+	if err := eng.AddPattern(specs[3]); err != nil {
+		t.Errorf("valid AddPattern rejected: %v", err)
+	}
+	if err := eng.RemovePattern(specs[3].ID); err != nil {
+		t.Errorf("valid RemovePattern rejected: %v", err)
+	}
+	eng.Finish()
+
+	single, err := New(pat, engine.Config{}, Options{KeyAttr: "key", Schema: w.Schema, OnMatch: func(*match.Match) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := single.AddPattern(specs[1]); err == nil {
+		t.Error("AddPattern on single-pattern engine accepted")
+	}
+	single.Finish()
+}

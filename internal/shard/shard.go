@@ -50,6 +50,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,7 +58,9 @@ import (
 	"acep/internal/engine"
 	"acep/internal/event"
 	"acep/internal/match"
+	"acep/internal/multi"
 	"acep/internal/pattern"
+	"acep/internal/shed"
 	"acep/internal/stats"
 )
 
@@ -146,6 +149,20 @@ type Options struct {
 	// the engine's completion watermark advances: every match tagged at
 	// or below the reported sequence number has been delivered.
 	OnProgress func(uint64)
+	// Patterns switches the engine to multi-pattern mode: every worker
+	// runs one multi.Evaluator over the whole set (shared unary
+	// predicates, shared SEQ prefix runners, per-tenant budgets) on its
+	// partition of the stream, and every Tagged match carries the
+	// emitting pattern's id. New must then be called with a nil pattern
+	// and a zero engine.Config — each spec carries its own Config. In
+	// hash mode every pattern of the set must be partitionable by
+	// KeyAttr. Mutate the running set with AddPattern/RemovePattern.
+	Patterns []multi.Spec
+	// Tenants installs per-tenant token-bucket budgets (multi-pattern
+	// mode only). Each worker gates its own partition independently with
+	// a full copy of the budget, so a budget intended as a global rate
+	// should be divided by the shard count before it lands here.
+	Tenants map[uint32]shed.TenantBudget
 	// EncodeMatch, settable only with OnTagged, switches the engine to the
 	// owned-emit wire path: every shard's evaluators run under the
 	// owned-emit contract, each match is encoded into a per-shard outbox
@@ -171,6 +188,17 @@ type cut struct {
 	stamps []int64
 	masks  []uint32
 	upTo   uint64
+	// ops are pattern-set mutations applied before the cut's events
+	// (multi-pattern mode): sealing mutations into their own cut pins
+	// them to one deterministic stream position on every worker.
+	ops []patternOp
+}
+
+// patternOp is one pattern-set mutation: add (add != nil) or remove the
+// pattern with id.
+type patternOp struct {
+	add *multi.Spec
+	id  uint32
 }
 
 // detectSampleEvery is the per-worker sampling stride of the detection-
@@ -186,7 +214,8 @@ const loadSampleCuts = 16
 // worker runs one shard's engine on its own goroutine.
 type worker struct {
 	id   int
-	eng  *engine.Engine
+	eng  *engine.Engine   // single-pattern mode
+	mev  *multi.Evaluator // multi-pattern mode (eng is nil then)
 	in   chan cut
 	free chan cut // recycles consumed cut buffers back to the coordinator
 
@@ -199,7 +228,7 @@ type worker struct {
 	// resolver's scratch match and flushEmits encodes each into the enc
 	// outbox slab instead of letting it escape to the collector.
 	curSeq  uint64
-	scratch []*match.Match
+	scratch []scratchMatch
 	out     []Tagged
 
 	encode func(dst []byte, m *match.Match) []byte
@@ -220,6 +249,13 @@ type worker struct {
 	cuts       uint64
 	liveEvents atomic.Uint64
 	liveWait   atomic.Uint64
+}
+
+// scratchMatch is one match emitted while processing the current event,
+// tagged with its pattern id (always 0 in single-pattern mode).
+type scratchMatch struct {
+	pat uint32
+	m   *match.Match
 }
 
 func (w *worker) take() []Tagged {
@@ -282,19 +318,19 @@ func (w *worker) flushEmits() {
 	if len(w.scratch) > 1 {
 		sortMatches(w.scratch)
 	}
-	for _, m := range w.scratch {
-		t := Tagged{Seq: w.curSeq, Src: w.id}
+	for _, s := range w.scratch {
+		t := Tagged{Seq: w.curSeq, Src: w.id, Pattern: s.pat}
 		if w.encode != nil {
 			// Owned-emit wire path: encode into the outbox slab and
 			// recycle the pooled copy. Appends may grow the slab into a
 			// new backing array; earlier tags keep the old one alive, so
 			// every Enc slice stays valid.
 			start := len(w.enc)
-			w.enc = w.encode(w.enc, m)
+			w.enc = w.encode(w.enc, s.m)
 			t.Enc = w.enc[start:len(w.enc):len(w.enc)]
-			w.putMatch(m)
+			w.putMatch(s.m)
 		} else {
-			t.M = m
+			t.M = s.m
 		}
 		w.out = append(w.out, t)
 	}
@@ -304,6 +340,20 @@ func (w *worker) flushEmits() {
 func (w *worker) run(col *Collector, wg *sync.WaitGroup) {
 	defer wg.Done()
 	for c := range w.in {
+		for _, op := range c.ops {
+			// Pattern-set mutations are prevalidated by AddPattern /
+			// RemovePattern on the coordinator goroutine, so the only
+			// possible failure here is a duplicate id, which the engine-
+			// side registry already rejected.
+			if w.mev == nil {
+				continue
+			}
+			if op.add != nil {
+				_ = w.mev.Add(*op.add)
+			} else {
+				_ = w.mev.Remove(op.id)
+			}
+		}
 		if len(c.events) > 0 {
 			recv := time.Now().UnixNano()
 			for i, ev := range c.events {
@@ -316,10 +366,10 @@ func (w *worker) run(col *Collector, wg *sync.WaitGroup) {
 				}
 				if w.nevents%detectSampleEvery == 0 {
 					t0 := time.Now()
-					w.eng.ProcessMasked(ev, mk)
+					w.process(ev, mk)
 					w.detect.Add(float64(time.Since(t0)))
 				} else {
-					w.eng.ProcessMasked(ev, mk)
+					w.process(ev, mk)
 				}
 				w.flushEmits()
 			}
@@ -348,20 +398,45 @@ func (w *worker) run(col *Collector, wg *sync.WaitGroup) {
 	// End of stream: flush parked matches. They are tagged past every
 	// real sequence number and ordered by (shard, emission index).
 	w.curSeq = math.MaxUint64
-	w.eng.Finish()
+	if w.mev != nil {
+		w.mev.Finish()
+	} else {
+		w.eng.Finish()
+	}
 	w.flushEmits()
 	col.Post(w.id, math.MaxUint64, w.take())
 }
 
-// sortMatches orders simultaneously emitted matches canonically: by core
-// event sequence numbers position by position, then by Kleene closure
-// contents. Insertion sort — simultaneous emission groups are tiny.
-func sortMatches(ms []*match.Match) {
+// process feeds one event to the worker's evaluator. The multi-pattern
+// evaluator composes its own per-pattern masks from the shared verdict
+// table, so the cut-level mask (single-pattern scan) is ignored there.
+func (w *worker) process(ev *event.Event, mask uint32) {
+	if w.mev != nil {
+		w.mev.Process(ev)
+		return
+	}
+	w.eng.ProcessMasked(ev, mask)
+}
+
+// sortMatches orders simultaneously emitted matches canonically: by
+// pattern id, then by core event sequence numbers position by position,
+// then by Kleene closure contents. The pattern id leads so that shared
+// and independent evaluation — which interleave per-pattern emissions
+// differently within one event — deliver the identical stream.
+// Insertion sort — simultaneous emission groups are tiny.
+func sortMatches(ms []scratchMatch) {
 	for i := 1; i < len(ms); i++ {
-		for j := i; j > 0 && matchLess(ms[j], ms[j-1]); j-- {
+		for j := i; j > 0 && scratchLess(ms[j], ms[j-1]); j-- {
 			ms[j], ms[j-1] = ms[j-1], ms[j]
 		}
 	}
+}
+
+func scratchLess(a, b scratchMatch) bool {
+	if a.pat != b.pat {
+		return a.pat < b.pat
+	}
+	return matchLess(a.m, b.m)
 }
 
 func matchLess(a, b *match.Match) bool {
@@ -441,6 +516,11 @@ type Engine struct {
 	queueDropped []uint64 // per shard, owned by the Process goroutine
 	queueCap     int      // effective per-shard queue bound, in events
 
+	// Multi-pattern registry (nil in single-pattern mode), owned by the
+	// Process goroutine like all coordinator state.
+	patIDs map[uint32]bool
+	schema *event.Schema
+
 	col      *Collector
 	wg       sync.WaitGroup
 	finished bool
@@ -483,6 +563,25 @@ func New(pat *pattern.Pattern, cfg engine.Config, opts Options) (*Engine, error)
 	if cfg.Policy != nil {
 		return nil, fmt.Errorf("shard: Config.Policy would be shared across shards; set Config.NewPolicy so each shard adapts independently")
 	}
+	if len(opts.Patterns) > 0 {
+		if pat != nil {
+			return nil, fmt.Errorf("shard: in multi-pattern mode the set travels in Options.Patterns; pass a nil pattern")
+		}
+		if opts.Schema == nil {
+			return nil, fmt.Errorf("shard: multi-pattern mode needs Options.Schema for set analysis")
+		}
+		// The arena release horizon and snapshot queue sizing need the
+		// widest window of the set.
+		if opts.Window == 0 {
+			for _, sp := range opts.Patterns {
+				if sp.Pattern != nil && sp.Pattern.Window > opts.Window {
+					opts.Window = sp.Pattern.Window
+				}
+			}
+		}
+	} else if len(opts.Tenants) > 0 {
+		return nil, fmt.Errorf("shard: Options.Tenants needs multi-pattern mode (Options.Patterns)")
+	}
 	if opts.OnMatch != nil && opts.OnTagged != nil {
 		return nil, fmt.Errorf("shard: set at most one of Options.OnMatch and Options.OnTagged")
 	}
@@ -520,7 +619,13 @@ func New(pat *pattern.Pattern, cfg engine.Config, opts Options) (*Engine, error)
 		if opts.Schema == nil {
 			return nil, fmt.Errorf("shard: Options.KeyAttr needs Options.Schema to resolve the attribute")
 		}
-		if err := Partitionable(pat, opts.Schema, opts.KeyAttr); err != nil {
+		if len(opts.Patterns) > 0 {
+			for _, sp := range opts.Patterns {
+				if err := Partitionable(sp.Pattern, opts.Schema, opts.KeyAttr); err != nil {
+					return nil, fmt.Errorf("shard: pattern %d: %w", sp.ID, err)
+				}
+			}
+		} else if err := Partitionable(pat, opts.Schema, opts.KeyAttr); err != nil {
 			return nil, err
 		}
 		key, err := ByAttrName(opts.Schema, opts.KeyAttr)
@@ -558,8 +663,42 @@ func New(pat *pattern.Pattern, cfg engine.Config, opts Options) (*Engine, error)
 		deliver = opts.OnTagged
 	}
 	e.col = NewCollector(opts.Shards, deliver, opts.OnProgress)
+	var set *multi.Set
+	if len(opts.Patterns) > 0 {
+		var err error
+		if set, err = multi.Analyze(opts.Patterns, opts.Schema); err != nil {
+			return nil, err
+		}
+		e.schema = opts.Schema
+		e.patIDs = make(map[uint32]bool, len(opts.Patterns))
+		for _, sp := range opts.Patterns {
+			e.patIDs[sp.ID] = true
+		}
+	}
 	for s := 0; s < e.nshards; s++ {
 		w := &worker{id: s, in: make(chan cut, opts.Queue), encode: opts.EncodeMatch, free: e.free}
+		if set != nil {
+			w := w
+			mev, err := multi.NewEvaluator(set, multi.Options{
+				OnMatch: func(id uint32, m *match.Match) {
+					if w.encode != nil {
+						// Owned-emit: the scratch match dies when this
+						// callback returns; clone into a pooled copy.
+						m = w.copyScratch(m)
+					}
+					w.scratch = append(w.scratch, scratchMatch{pat: id, m: m})
+				},
+				OwnedEmit:   opts.EncodeMatch != nil,
+				StableInput: true, // cut buffers carry arena/caller-stable pointers
+				Budgets:     opts.Tenants,
+			})
+			if err != nil {
+				return nil, err
+			}
+			w.mev = mev
+			e.workers = append(e.workers, w)
+			continue
+		}
 		shardCfg := cfg
 		// Cut buffers carry stable pointers (ingest arena or caller
 		// storage), so evaluators retain them directly instead of
@@ -573,11 +712,11 @@ func New(pat *pattern.Pattern, cfg engine.Config, opts Options) (*Engine, error)
 			// points at do not).
 			shardCfg.OwnedEmit = true
 			shardCfg.OnMatch = func(m *match.Match) {
-				w.scratch = append(w.scratch, w.copyScratch(m))
+				w.scratch = append(w.scratch, scratchMatch{m: w.copyScratch(m)})
 			}
 		} else {
 			shardCfg.OnMatch = func(m *match.Match) {
-				w.scratch = append(w.scratch, m)
+				w.scratch = append(w.scratch, scratchMatch{m: m})
 			}
 		}
 		if shardCfg.Shedding.Policy != nil && shardCfg.Shedding.Key == nil && opts.Key != nil {
@@ -736,6 +875,84 @@ func (e *Engine) Finish() {
 // Shards reports the shard count.
 func (e *Engine) Shards() int { return e.nshards }
 
+// MultiPattern reports whether the engine runs in multi-pattern mode.
+func (e *Engine) MultiPattern() bool { return e.patIDs != nil }
+
+// PatternIDs lists the currently registered pattern ids (multi-pattern
+// mode; nil otherwise). Sorted ascending. Call from the Process
+// goroutine.
+func (e *Engine) PatternIDs() []uint32 {
+	if e.patIDs == nil {
+		return nil
+	}
+	out := make([]uint32, 0, len(e.patIDs))
+	for id := range e.patIDs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AddPattern registers one additional pattern on the running engine
+// (multi-pattern mode). The current cut is sealed first and the pattern
+// starts evaluating at that cut boundary on every worker — a single
+// deterministic stream position — without disturbing the other
+// patterns' output (the newcomer joins the shared unary table but no
+// prefix group). Call from the Process goroutine.
+func (e *Engine) AddPattern(sp multi.Spec) error {
+	if e.patIDs == nil {
+		return fmt.Errorf("shard: AddPattern on a single-pattern engine")
+	}
+	if e.finished {
+		return fmt.Errorf("shard: AddPattern after Finish")
+	}
+	if e.patIDs[sp.ID] {
+		return fmt.Errorf("shard: duplicate pattern id %d", sp.ID)
+	}
+	// Prevalidate on the coordinator so the per-worker Add cannot fail
+	// asynchronously: a one-spec analysis plus evaluator build runs the
+	// exact checks the workers would.
+	set, err := multi.Analyze([]multi.Spec{sp}, e.schema)
+	if err != nil {
+		return err
+	}
+	if _, err := multi.NewEvaluator(set, multi.Options{OnMatch: func(uint32, *match.Match) {}}); err != nil {
+		return err
+	}
+	e.patIDs[sp.ID] = true
+	e.dispatchOp(patternOp{add: &sp})
+	return nil
+}
+
+// RemovePattern retires a pattern on the running engine (multi-pattern
+// mode): its partial matches are discarded at the next cut boundary and
+// no further matches with its id are emitted. Call from the Process
+// goroutine.
+func (e *Engine) RemovePattern(id uint32) error {
+	if e.patIDs == nil {
+		return fmt.Errorf("shard: RemovePattern on a single-pattern engine")
+	}
+	if e.finished {
+		return fmt.Errorf("shard: RemovePattern after Finish")
+	}
+	if !e.patIDs[id] {
+		return fmt.Errorf("shard: unknown pattern id %d", id)
+	}
+	delete(e.patIDs, id)
+	e.dispatchOp(patternOp{id: id})
+	return nil
+}
+
+// dispatchOp seals the current cut, then delivers the mutation to every
+// worker in its own cut — blocking, so a pattern-set change is never
+// lost to DropNewest and lands at the same watermark everywhere.
+func (e *Engine) dispatchOp(op patternOp) {
+	e.cutAll(true)
+	for _, w := range e.workers {
+		w.in <- cut{upTo: e.lastSeq, ops: []patternOp{op}}
+	}
+}
+
 // QueueCap reports the effective per-shard ingestion bound in events
 // (after defaulting and snapshot-driven derivation, rounded up to whole
 // batches).
@@ -758,10 +975,79 @@ func (e *Engine) Metrics() engine.Metrics {
 func (e *Engine) ShardMetrics() []engine.Metrics {
 	out := make([]engine.Metrics, len(e.workers))
 	for i, w := range e.workers {
-		out[i] = w.eng.Metrics()
+		if w.mev != nil {
+			for _, pm := range w.mev.Metrics() {
+				out[i].Merge(pm.M)
+			}
+		} else {
+			out[i] = w.eng.Metrics()
+		}
 		out[i].QueueDropped += e.queueDropped[i]
 		out[i].QueueWait = w.qwait
 		out[i].DetectTime = w.detect
+	}
+	return out
+}
+
+// PatternMetrics merges each pattern's engine counters across the
+// shards (multi-pattern mode; nil otherwise), in ascending pattern-id
+// order. Call after Finish.
+func (e *Engine) PatternMetrics() []multi.PatternMetrics {
+	agg := make(map[uint32]*multi.PatternMetrics)
+	var ids []uint32
+	for _, w := range e.workers {
+		if w.mev == nil {
+			continue
+		}
+		for _, pm := range w.mev.Metrics() {
+			if a, ok := agg[pm.ID]; ok {
+				a.M.Merge(pm.M)
+			} else {
+				cp := pm
+				agg[pm.ID] = &cp
+				ids = append(ids, pm.ID)
+			}
+		}
+	}
+	if agg == nil || len(ids) == 0 {
+		return nil
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]multi.PatternMetrics, len(ids))
+	for i, id := range ids {
+		out[i] = *agg[id]
+	}
+	return out
+}
+
+// TenantStats sums per-tenant admission accounting across the shards
+// (multi-pattern mode; nil otherwise), sorted by tenant id. Call after
+// Finish.
+func (e *Engine) TenantStats() []shed.TenantStat {
+	agg := make(map[uint32]*shed.TenantStat)
+	var ids []uint32
+	for _, w := range e.workers {
+		if w.mev == nil {
+			continue
+		}
+		for _, ts := range w.mev.TenantStats() {
+			if a, ok := agg[ts.Tenant]; ok {
+				a.Admitted += ts.Admitted
+				a.Shed += ts.Shed
+			} else {
+				cp := ts
+				agg[ts.Tenant] = &cp
+				ids = append(ids, ts.Tenant)
+			}
+		}
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]shed.TenantStat, len(ids))
+	for i, id := range ids {
+		out[i] = *agg[id]
 	}
 	return out
 }
@@ -797,6 +1083,9 @@ func (e *Engine) ShardLoads() []ShardLoad {
 func (e *Engine) Plans() [][]string {
 	out := make([][]string, len(e.workers))
 	for i, w := range e.workers {
+		if w.eng == nil {
+			continue // multi-pattern workers hold many plans; see PatternMetrics
+		}
 		for _, p := range w.eng.CurrentPlans() {
 			out[i] = append(out[i], fmt.Sprint(p))
 		}

@@ -22,6 +22,10 @@ func FuzzDecode(f *testing.F) {
 	}
 	// Hand-made corrupt shapes from the unit tests.
 	f.Add([]byte{0, 0, 0, 0})
+	// v4 seeds: pattern-id-tagged match, pattern lifecycle frames.
+	f.Add(Append(nil, PatternRemove{ID: 7}))
+	f.Add(Append(nil, PatternAdd{Entry: PatternEntry{ID: 1}})) // invalid: no pattern
+	f.Add([]byte{5, 0, 0, 0, byte(KindPatternAdd), 1, 0, 3})   // bad presence tag
 	f.Add([]byte{1, 0, 0, 0, 99})
 	f.Add([]byte{8, 0, 0, 0, byte(KindMatch), 0, 0xff, 0xff, 0xff, 0xff, 0x7f, 0})
 	f.Add(append(Append(nil, Watermark{UpTo: 1}), Append(nil, Finish{})...))

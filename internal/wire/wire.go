@@ -43,6 +43,7 @@ import (
 	"acep/internal/event"
 	"acep/internal/match"
 	"acep/internal/pattern"
+	"acep/internal/shed"
 	"acep/internal/stats"
 )
 
@@ -57,7 +58,15 @@ import (
 // initial block size, tagged matches carry their global shard index,
 // and the migration frames (Migrate, MigrateAck, ShardRoute,
 // ShardStats) replace the v2 block-reassignment handshake.
-const Version = 3
+//
+// v4: pattern multiplexing and tenancy — Assign ships the whole pattern
+// set (primary plus Extra entries, each tagged with a pattern id and
+// tenant) and the per-tenant budget table; tagged matches and Metrics
+// carry the emitting pattern's id; Metrics additionally reports
+// per-tenant admission counters; ShardStat is stamped with the cut its
+// sample was taken at; and the PatternAdd/PatternRemove frames register
+// and retire patterns on a running node.
+const Version = 4
 
 // MaxFrame bounds one frame's payload (kind+body) in bytes; Decode and
 // Reader reject larger length prefixes as corrupt.
@@ -82,6 +91,10 @@ const (
 	// Elasticity caps (ShardRoute owner tables, ShardStats entries).
 	maxRouteShards = 1 << 20 // global shards per ShardRoute table
 	maxShardStats  = 1 << 20 // entries per ShardStats frame
+
+	// Multi-pattern caps (Assign extras, tenant tables).
+	maxPatternEntries = 1 << 12 // extra pattern entries per Assign
+	maxTenantEntries  = 1 << 12 // tenant budget/stat entries per frame
 )
 
 // Kind tags a frame's body layout.
@@ -130,6 +143,14 @@ const (
 	// (node → ingress): events processed and queue-wait p99 per owned
 	// shard, feeding the ingress placement controller.
 	KindShardStats
+	// KindPatternAdd registers one additional pattern on a running node
+	// (ingress → node). The node starts evaluating it at the next cut
+	// boundary; already-registered patterns are unaffected.
+	KindPatternAdd
+	// KindPatternRemove retires one pattern on a running node
+	// (ingress → node); its partial matches are discarded and no further
+	// matches with its id are emitted after the next cut boundary.
+	KindPatternRemove
 )
 
 // String names the frame kind.
@@ -159,6 +180,10 @@ func (k Kind) String() string {
 		return "shard-route"
 	case KindShardStats:
 		return "shard-stats"
+	case KindPatternAdd:
+		return "pattern-add"
+	case KindPatternRemove:
+		return "pattern-remove"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -188,6 +213,34 @@ type Assign struct {
 	Total   uint32 // cluster-wide shard count
 	Pattern *pattern.Pattern
 	Schema  *event.Schema
+
+	// Extra is the rest of the multi-pattern set (v4): every pattern
+	// beyond the primary, each with its own id and tenant. Single-pattern
+	// clusters leave it empty. When Extra is non-empty the primary
+	// pattern's id/tenant travel as Extra[0]-style metadata in PrimaryID
+	// and PrimaryTenant.
+	Extra         []PatternEntry
+	PrimaryID     uint32
+	PrimaryTenant uint32
+
+	// Tenants is the per-tenant budget table applied node-side before
+	// pattern evaluation (v4); empty means no tenant is budgeted.
+	Tenants []TenantBudgetEntry
+}
+
+// PatternEntry is one pattern of a multi-pattern set: the id tagging its
+// matches and metrics on the wire, the tenant it bills to, and the
+// pattern itself.
+type PatternEntry struct {
+	ID      uint32
+	Tenant  uint32
+	Pattern *pattern.Pattern
+}
+
+// TenantBudgetEntry binds one tenant to its token-bucket budget.
+type TenantBudgetEntry struct {
+	Tenant uint32
+	Budget shed.TenantBudget
 }
 
 // Batch is one uniform cut of events bound for a node.
@@ -229,9 +282,10 @@ type Watermark struct {
 // not their node — is what lets a shard's stream resume from a
 // different node mid-run with the merge collector none the wiser.
 type TaggedMatch struct {
-	Shard uint32
-	Seq   uint64
-	M     *match.Match
+	Shard   uint32
+	Seq     uint64
+	Pattern uint32 // id of the emitting pattern (0 on single-pattern clusters)
+	M       *match.Match
 }
 
 // TaggedMatchRaw is a pre-encoded tagged match: Body holds the exact
@@ -243,14 +297,20 @@ type TaggedMatch struct {
 // regular TaggedMatch (stream transports) or calls DecodeMatchBody
 // (in-process pipes).
 type TaggedMatchRaw struct {
-	Shard uint32
-	Seq   uint64
-	Body  []byte
+	Shard   uint32
+	Seq     uint64
+	Pattern uint32
+	Body    []byte
 }
 
-// Metrics carries a node's merged engine metrics.
+// Metrics carries a node's merged engine metrics. On multi-pattern
+// clusters one Metrics frame is sent per pattern, tagged with the
+// pattern's id; Tenants reports the node's per-tenant admission
+// counters (sent on the first frame only, to avoid double counting).
 type Metrics struct {
-	M engine.Metrics
+	M       engine.Metrics
+	Pattern uint32
+	Tenants []shed.TenantStat
 }
 
 // Finish signals end of stream.
@@ -297,10 +357,27 @@ type ShardStats struct {
 
 // ShardStat is one shard's load sample: events processed by its engine
 // since the session started and the engine's queue-wait p99 estimate.
+// Cut stamps the sample with the global watermark it was taken at (v4),
+// so the ingress placement controller can discard reports staled by an
+// intervening migration instead of rebalancing on pre-move load.
 type ShardStat struct {
 	Shard    uint32
 	Events   uint64
 	P99Nanos uint64
+	Cut      uint64
+}
+
+// PatternAdd registers one additional pattern on a running node (see
+// KindPatternAdd). The pattern is validated against the schema shipped
+// in the Assign handshake on application, not at decode time.
+type PatternAdd struct {
+	Entry PatternEntry
+}
+
+// PatternRemove retires one pattern on a running node (see
+// KindPatternRemove).
+type PatternRemove struct {
+	ID uint32
 }
 
 func (Hello) kind() Kind          { return KindHello }
@@ -317,6 +394,8 @@ func (Migrate) kind() Kind        { return KindMigrate }
 func (MigrateAck) kind() Kind     { return KindMigrateAck }
 func (ShardRoute) kind() Kind     { return KindShardRoute }
 func (ShardStats) kind() Kind     { return KindShardStats }
+func (PatternAdd) kind() Kind     { return KindPatternAdd }
+func (PatternRemove) kind() Kind  { return KindPatternRemove }
 
 // KindOf reports a frame's kind.
 func KindOf(f Frame) Kind { return f.kind() }
@@ -353,6 +432,20 @@ func Append(dst []byte, f Frame) []byte {
 		dst = binary.AppendUvarint(dst, uint64(v.Total))
 		dst = appendSchema(dst, v.Schema)
 		dst = appendPattern(dst, v.Pattern)
+		dst = binary.AppendUvarint(dst, uint64(v.PrimaryID))
+		dst = binary.AppendUvarint(dst, uint64(v.PrimaryTenant))
+		dst = binary.AppendUvarint(dst, uint64(len(v.Extra)))
+		for _, e := range v.Extra {
+			dst = binary.AppendUvarint(dst, uint64(e.ID))
+			dst = binary.AppendUvarint(dst, uint64(e.Tenant))
+			dst = appendPattern(dst, e.Pattern)
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(v.Tenants)))
+		for _, t := range v.Tenants {
+			dst = binary.AppendUvarint(dst, uint64(t.Tenant))
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(t.Budget.Rate))
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(t.Budget.Burst))
+		}
 	case Batch:
 		dst = binary.AppendUvarint(dst, v.UpTo)
 		dst = binary.AppendUvarint(dst, uint64(len(v.Events)))
@@ -368,13 +461,22 @@ func Append(dst []byte, f Frame) []byte {
 	case TaggedMatch:
 		dst = binary.AppendUvarint(dst, uint64(v.Shard))
 		dst = binary.AppendUvarint(dst, v.Seq)
+		dst = binary.AppendUvarint(dst, uint64(v.Pattern))
 		dst = appendMatch(dst, v.M)
 	case TaggedMatchRaw:
 		dst = binary.AppendUvarint(dst, uint64(v.Shard))
 		dst = binary.AppendUvarint(dst, v.Seq)
+		dst = binary.AppendUvarint(dst, uint64(v.Pattern))
 		dst = append(dst, v.Body...)
 	case Metrics:
+		dst = binary.AppendUvarint(dst, uint64(v.Pattern))
 		dst = appendMetrics(dst, &v.M)
+		dst = binary.AppendUvarint(dst, uint64(len(v.Tenants)))
+		for _, t := range v.Tenants {
+			dst = binary.AppendUvarint(dst, uint64(t.Tenant))
+			dst = binary.AppendUvarint(dst, t.Admitted)
+			dst = binary.AppendUvarint(dst, t.Shed)
+		}
 	case Finish:
 		// empty body
 	case Heartbeat:
@@ -397,7 +499,14 @@ func Append(dst []byte, f Frame) []byte {
 			dst = binary.AppendUvarint(dst, uint64(s.Shard))
 			dst = binary.AppendUvarint(dst, s.Events)
 			dst = binary.AppendUvarint(dst, s.P99Nanos)
+			dst = binary.AppendUvarint(dst, s.Cut)
 		}
+	case PatternAdd:
+		dst = binary.AppendUvarint(dst, uint64(v.Entry.ID))
+		dst = binary.AppendUvarint(dst, uint64(v.Entry.Tenant))
+		dst = appendPattern(dst, v.Entry.Pattern)
+	case PatternRemove:
+		dst = binary.AppendUvarint(dst, uint64(v.ID))
 	default:
 		panic(fmt.Sprintf("wire: unencodable frame type %T", f))
 	}
@@ -502,7 +611,7 @@ func appendString(dst []byte, s string) []byte {
 }
 
 // AppendMatchBody encodes a match's KindMatch body (everything after the
-// tag varint) onto dst and returns the extended slice. The bytes are
+// shard/seq/pattern tag varints) onto dst and returns the extended slice. The bytes are
 // exactly what Append(TaggedMatch{...}) would produce for the match, so a
 // TaggedMatchRaw carrying them frames byte-identically. The match is read
 // during the call and not retained — safe on a resolver scratch match
@@ -710,6 +819,19 @@ func decodePayload(p []byte) (Frame, error) {
 			Total:  uint32(c.uvarint()),
 		}
 		v.Pattern, v.Schema = c.patternAndSchema()
+		v.PrimaryID = uint32(c.uvarint())
+		v.PrimaryTenant = uint32(c.uvarint())
+		ne := c.count(maxPatternEntries, 3, "pattern entry")
+		for i := 0; i < ne && c.err == nil; i++ {
+			v.Extra = append(v.Extra, c.patternEntry(v.Schema))
+		}
+		nt := c.count(maxTenantEntries, 17, "tenant budget")
+		for i := 0; i < nt && c.err == nil; i++ {
+			v.Tenants = append(v.Tenants, TenantBudgetEntry{
+				Tenant: uint32(c.uvarint()),
+				Budget: shed.TenantBudget{Rate: c.f64(), Burst: c.f64()},
+			})
+		}
 		f = v
 	case KindBatch:
 		v := Batch{UpTo: c.uvarint()}
@@ -727,11 +849,21 @@ func decodePayload(p []byte) (Frame, error) {
 	case KindWatermark:
 		f = Watermark{UpTo: c.uvarint()}
 	case KindMatch:
-		v := TaggedMatch{Shard: uint32(c.uvarint()), Seq: c.uvarint()}
+		v := TaggedMatch{Shard: uint32(c.uvarint()), Seq: c.uvarint(), Pattern: uint32(c.uvarint())}
 		v.M = c.match()
 		f = v
 	case KindMetrics:
-		f = Metrics{M: c.metrics()}
+		v := Metrics{Pattern: uint32(c.uvarint())}
+		v.M = c.metrics()
+		nt := c.count(maxTenantEntries, 3, "tenant stat")
+		for i := 0; i < nt && c.err == nil; i++ {
+			v.Tenants = append(v.Tenants, shed.TenantStat{
+				Tenant:   uint32(c.uvarint()),
+				Admitted: c.uvarint(),
+				Shed:     c.uvarint(),
+			})
+		}
+		f = v
 	case KindFinish:
 		f = Finish{}
 	case KindHeartbeat:
@@ -756,7 +888,7 @@ func decodePayload(p []byte) (Frame, error) {
 		f = v
 	case KindShardStats:
 		v := ShardStats{}
-		n := c.count(maxShardStats, 3, "shard stat")
+		n := c.count(maxShardStats, 4, "shard stat")
 		if n > 0 {
 			v.Stats = make([]ShardStat, n)
 			for i := 0; i < n && c.err == nil; i++ {
@@ -764,10 +896,16 @@ func decodePayload(p []byte) (Frame, error) {
 					Shard:    uint32(c.uvarint()),
 					Events:   c.uvarint(),
 					P99Nanos: c.uvarint(),
+					Cut:      c.uvarint(),
 				}
 			}
 		}
 		f = v
+	case KindPatternAdd:
+		v := PatternAdd{Entry: c.patternEntry(nil)}
+		f = v
+	case KindPatternRemove:
+		f = PatternRemove{ID: uint32(c.uvarint())}
 	default:
 		return nil, fmt.Errorf("wire: unknown frame kind %d", p[0])
 	}
@@ -830,6 +968,20 @@ func (c *cursor) patternAndSchema() (*pattern.Pattern, *event.Schema) {
 	s := c.schema()
 	p := c.pattern(s)
 	return p, s
+}
+
+// patternEntry decodes one multi-pattern set entry. A nil schema (the
+// PatternAdd path — the schema was pinned by the Assign handshake)
+// skips type/attribute range validation, exactly like a schema-free
+// Assign; structural validation still runs through the Builder. An
+// entry without a pattern is invalid — an id with nothing to evaluate.
+func (c *cursor) patternEntry(s *event.Schema) PatternEntry {
+	e := PatternEntry{ID: uint32(c.uvarint()), Tenant: uint32(c.uvarint())}
+	e.Pattern = c.pattern(s)
+	if c.err == nil && e.Pattern == nil {
+		c.fail("pattern entry %d has no pattern", e.ID)
+	}
+	return e
 }
 
 func (c *cursor) schema() *event.Schema {

@@ -13,6 +13,7 @@ import (
 	"acep/internal/event"
 	"acep/internal/match"
 	"acep/internal/pattern"
+	"acep/internal/shed"
 	"acep/internal/stats"
 )
 
@@ -73,6 +74,18 @@ func frames() []Frame {
 		Assign{Base: 6, Shards: 2, Total: 12},
 		Assign{Base: 0, Shards: 4, Total: 4, Pattern: p, Schema: s},
 		Assign{Base: 0, Total: 4, Pattern: orPat, Schema: s}, // empty join: shards arrive by Migrate
+		Assign{ // v4: full multi-pattern set with tenant budgets
+			Base: 0, Shards: 2, Total: 2, Pattern: p, Schema: s,
+			PrimaryID: 1, PrimaryTenant: 9,
+			Extra: []PatternEntry{
+				{ID: 2, Tenant: 9, Pattern: samplePattern(s)},
+				{ID: 7, Tenant: 0, Pattern: samplePattern(s)},
+			},
+			Tenants: []TenantBudgetEntry{
+				{Tenant: 9, Budget: shed.TenantBudget{Rate: 125.5, Burst: 250}},
+				{Tenant: 0, Budget: shed.TenantBudget{Rate: 1}},
+			},
+		},
 		Batch{UpTo: 1 << 50},
 		Batch{UpTo: 42, Events: []event.Event{ev, ev2}},
 		Batch{Events: []event.Event{ev2}}, // events-only run of an open cut
@@ -83,12 +96,12 @@ func frames() []Frame {
 		ShardRoute{Owner: []uint32{0, 2, 1, math.MaxUint32, 2}},
 		ShardRoute{},
 		ShardStats{Stats: []ShardStat{
-			{Shard: 0, Events: 1 << 44, P99Nanos: 125_000},
+			{Shard: 0, Events: 1 << 44, P99Nanos: 125_000, Cut: 1 << 52},
 			{Shard: 3, Events: 7, P99Nanos: 0},
 		}},
 		ShardStats{},
 		Watermark{UpTo: math.MaxUint64},
-		TaggedMatch{Shard: 3, Seq: 7, M: &match.Match{Events: []*event.Event{&ev, nil, &ev2}}},
+		TaggedMatch{Shard: 3, Seq: 7, Pattern: 42, M: &match.Match{Events: []*event.Event{&ev, nil, &ev2}}},
 		TaggedMatch{Seq: math.MaxUint64, M: &match.Match{
 			Events: []*event.Event{&ev, nil, nil},
 			Kleene: [][]*event.Event{nil, {&ev2, &ev}, nil},
@@ -103,6 +116,14 @@ func frames() []Frame {
 			QueueWait: q,
 		}},
 		Metrics{},
+		Metrics{Pattern: 12, M: engine.Metrics{Events: 5, Matches: 1},
+			Tenants: []shed.TenantStat{
+				{Tenant: 0, Admitted: 100, Shed: 3},
+				{Tenant: 4, Admitted: 1 << 40},
+			}},
+		PatternAdd{Entry: PatternEntry{ID: 99, Tenant: 2, Pattern: samplePattern(s)}},
+		PatternRemove{ID: 99},
+		PatternRemove{},
 		Finish{},
 	}
 }
@@ -217,6 +238,9 @@ func TestDecodeCorrupt(t *testing.T) {
 		"position cap break": {8, 0, 0, 0, byte(KindMatch), 0, 0xff, 0xff, 0xff, 0xff, 0x7f, 0},
 	}
 	cases["unknown kind"] = append(cases["unknown kind"], 99)
+	// A PatternAdd whose entry ships no pattern is structurally invalid:
+	// an id with nothing to evaluate.
+	cases["empty pattern add"] = Append(nil, PatternAdd{Entry: PatternEntry{ID: 3}})
 	for name, b := range cases {
 		f, _, err := Decode(b)
 		if err == nil {
