@@ -50,6 +50,7 @@ import (
 	"acep/internal/engine"
 	"acep/internal/event"
 	"acep/internal/gen"
+	"acep/internal/ha"
 	"acep/internal/match"
 	"acep/internal/multi"
 	"acep/internal/pattern"
@@ -231,6 +232,17 @@ type (
 	// busiest shard off the hottest node when per-shard queue-wait p99
 	// snapshots show sustained skew.
 	ClusterElastic = cluster.ElasticConfig
+	// HAIngress is a replicated coordinator pair (StandbyIngress mode): a
+	// primary ingress with a hot standby mirroring every sealed cut over
+	// a replication link, able to assume the whole cluster on primary
+	// death with the delivered stream staying byte-identical. Process and
+	// Finish mirror ClusterIngress; Takeover and Degraded report the
+	// incidents.
+	HAIngress = ha.Pair
+	// ClusterTakeover records one coordinator takeover: detection,
+	// re-dialed workers, replayed mirror volume, and the output pause it
+	// cost (Pause).
+	ClusterTakeover = recovery.Takeover
 )
 
 // ClusterConfig assembles a distributed cluster behind one ingress.
@@ -298,6 +310,12 @@ type ClusterConfig struct {
 	// Elastic enables and tunes the placement controller (requires
 	// Recover when Rebalance is set).
 	Elastic *ClusterElastic
+	// StandbyIngress replicates the coordinator itself: build with
+	// NewHAIngress (Connect mode only) to run a hot-standby ingress that
+	// mirrors every sealed cut and takes the cluster over on primary
+	// death. NewClusterIngress rejects the flag so a replicated intent
+	// cannot silently downgrade to a single coordinator.
+	StandbyIngress bool
 }
 
 // NewClusterIngress builds a distributed cluster ingress for the
@@ -315,6 +333,9 @@ type ClusterConfig struct {
 //	for i := range events { ing.Process(&events[i]) }
 //	err = ing.Finish()
 func NewClusterIngress(p *Pattern, cfg Config, cc ClusterConfig) (*ClusterIngress, error) {
+	if cc.StandbyIngress {
+		return nil, fmt.Errorf("acep: StandbyIngress needs NewHAIngress (a replicated pair has its own lifecycle)")
+	}
 	if len(cc.Connect) > 0 {
 		conns := make([]cluster.Conn, len(cc.Connect))
 		for i, addr := range cc.Connect {
@@ -372,6 +393,50 @@ func NewClusterIngress(p *Pattern, cfg Config, cc ClusterConfig) (*ClusterIngres
 		MaxJournalBytes:  cc.MaxJournalBytes,
 		OnFailover:       cc.OnFailover,
 		Elastic:          cc.Elastic,
+	})
+}
+
+// NewHAIngress builds a replicated coordinator pair over running TCP
+// worker nodes: a primary ingress plus a hot standby that mirrors every
+// sealed cut, the owner table and the release boundary over a
+// replication link, and can assume every worker on primary death with
+// the delivered stream byte-identical to an unkilled run. Matches
+// arrive through OnMatch (or OnTagged) exactly as with
+// NewClusterIngress; ClusterConfig.Standby seeds the shared worker
+// standby pool.
+//
+//	ing, err := acep.NewHAIngress(pattern, acep.ClusterConfig{
+//		Connect:        []string{"host1:7001", "host2:7001"},
+//		StandbyIngress: true,
+//		KeyAttr:        "key",
+//		Schema:         w.Schema,
+//		OnMatch:        func(m *acep.Match) { ... },
+//	})
+func NewHAIngress(p *Pattern, cc ClusterConfig) (*HAIngress, error) {
+	if !cc.StandbyIngress {
+		return nil, fmt.Errorf("acep: NewHAIngress needs ClusterConfig.StandbyIngress set")
+	}
+	if len(cc.Connect) == 0 {
+		return nil, fmt.Errorf("acep: NewHAIngress needs Connect worker addresses (in-process nodes share the coordinator's fate)")
+	}
+	if (cc.OnMatch == nil) == (cc.OnTagged == nil) {
+		return nil, fmt.Errorf("acep: NewHAIngress needs exactly one of OnMatch and OnTagged")
+	}
+	onTagged := cc.OnTagged
+	if onTagged == nil {
+		om := cc.OnMatch
+		onTagged = func(t TaggedMatch) { om(t.M) }
+	}
+	return ha.New(ha.Config{
+		Pattern:          p,
+		Schema:           cc.Schema,
+		KeyAttr:          cc.KeyAttr,
+		Batch:            cc.Batch,
+		Workers:          cc.Connect,
+		Standbys:         cc.Standby,
+		OnTagged:         onTagged,
+		HeartbeatTimeout: cc.HeartbeatTimeout,
+		MaxJournalBytes:  cc.MaxJournalBytes,
 	})
 }
 

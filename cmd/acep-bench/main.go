@@ -66,6 +66,16 @@
 //	acep-bench -exp multi-traffic -json BENCH_multi.json
 //	acep-bench -exp multi-stocks -patterns 8,64
 //
+// ha-traffic and ha-stocks measure the ingress-HA layer: the identical
+// keyed workload runs through a plain journaled coordinator, a
+// replicated coordinator pair left healthy (replication overhead), and
+// a replicated pair whose primary is killed ~40% into the stream
+// (takeover pause, replay and re-feed volumes); every run's match
+// stream is digest-verified against the single-process sharded engine:
+//
+//	acep-bench -exp ha-traffic -json BENCH_ha.json
+//	acep-bench -exp ha-stocks -nodes 3 -shards 2
+//
 // hotpath-traffic and hotpath-stocks measure the single-engine hot path:
 // per-event cost (events/sec, B/event, allocs/event) of a raw
 // static-plan engine for the sequence, negation and Kleene families on
@@ -125,6 +135,7 @@ func main() {
 		ids = append(ids, bench.FailoverIDs()...)
 		ids = append(ids, bench.ElasticIDs()...)
 		ids = append(ids, bench.MultiIDs()...)
+		ids = append(ids, bench.HAIDs()...)
 		for _, id := range append(ids, bench.HotpathIDs()...) {
 			fmt.Println(id)
 		}
@@ -166,6 +177,7 @@ func main() {
 		ids = append(ids, bench.FailoverIDs()...)
 		ids = append(ids, bench.ElasticIDs()...)
 		ids = append(ids, bench.MultiIDs()...)
+		ids = append(ids, bench.HAIDs()...)
 		ids = append(ids, bench.HotpathIDs()...)
 	}
 	// Profile lifecycle and the experiment loop live in one function so
@@ -228,6 +240,8 @@ func runAll(ids []string, h *bench.Harness, r *bench.Runner, fl flags) error {
 			err = runElastic(h, id, fl.shards, fl.batch, fl.jsonMD)
 		case contains(bench.MultiIDs(), id):
 			err = runMulti(h, id, fl.pcount, fl.pset, fl.jsonMD)
+		case contains(bench.HAIDs(), id):
+			err = runHA(h, id, fl.nodes, fl.shards, fl.batch, fl.jsonMD)
 		case contains(bench.HotpathIDs(), id):
 			err = runHotpath(h, id, fl.phase, fl.jsonMD)
 		default:
@@ -392,6 +406,18 @@ func runMulti(h *bench.Harness, id, patternCounts, patternSet, jsonPath string) 
 	} else {
 		d, err = h.Multi(dataset, counts)
 	}
+	if err != nil {
+		return err
+	}
+	d.Write(os.Stdout)
+	return appendJSON(jsonPath, d.WriteJSON)
+}
+
+// runHA executes one ha-* experiment: plain vs replicated vs killed
+// coordinator over fresh loopback-TCP workers.
+func runHA(h *bench.Harness, id string, nodes, shardsPerNode, batch int, jsonPath string) error {
+	dataset := strings.TrimPrefix(id, "ha-")
+	d, err := h.HA(dataset, nodes, shardsPerNode, batch)
 	if err != nil {
 		return err
 	}

@@ -22,6 +22,13 @@
 //	acep-node -listen 127.0.0.1:7190 &
 //	acep-run -in keyed.csv -connect ... -recover -standby 127.0.0.1:7190
 //
+// Coordinator epochs: every ingress session declares its coordinator
+// epoch in the handshake, and the node latches the highest epoch it has
+// served. When a replicated coordinator (acep-run -ha) fails over, the
+// successor re-dials at epoch+1 and the node fences the dead primary —
+// a partitioned old coordinator that reconnects at a lower epoch is
+// refused rather than allowed to split the match stream.
+//
 // Overload control applies at the node's ingress: -shed picks the
 // shedding policy each local shard engine runs with (budgets: -shed-pms,
 // -shed-rate, and the -shed-wait p99 queue-wait latency target), and

@@ -1,0 +1,260 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"acep/internal/cluster"
+	"acep/internal/engine"
+	"acep/internal/gen"
+	"acep/internal/ha"
+	"acep/internal/pattern"
+	"acep/internal/shard"
+)
+
+// HAIDs lists the ingress-HA experiments.
+func HAIDs() []string { return []string{"ha-traffic", "ha-stocks"} }
+
+// HAData is the ingress-HA experiment of the coordinator-replication
+// layer: the identical keyed workload runs through a loopback-TCP
+// cluster three times — a plain coordinator (journaled recovery, no
+// replication), a replicated pair left healthy (the replication
+// overhead), and a replicated pair whose primary is killed ~40% into
+// the stream (the takeover cost) — and every run's match stream is
+// digest-verified against the single-process sharded engine before
+// reporting. Recorded runs accrue in BENCH_ha.json.
+type HAData struct {
+	Dataset       string  `json:"dataset"`
+	Events        int     `json:"events"`
+	Keys          int     `json:"keys"`
+	Nodes         int     `json:"nodes"`
+	ShardsPerNode int     `json:"shards_per_node"`
+	Batch         int     `json:"batch"`
+	Cores         int     `json:"cores"`
+	Transport     string  `json:"transport"`
+	PlainTP       float64 `json:"plain_events_per_sec"`
+	ReplTP        float64 `json:"replicated_events_per_sec"`
+	Overhead      float64 `json:"replication_overhead"` // 1 - repl/plain
+	KilledTP      float64 `json:"takeover_events_per_sec"`
+	TakeoverMS    float64 `json:"takeover_ms"` // detection -> resumed
+	MirrorCuts    int     `json:"mirror_cuts"` // healthy replicated run
+	MirrorEvents  int     `json:"mirror_events"`
+	ReplayCuts    int     `json:"replay_cuts"` // takeover run
+	ReplayEvents  int     `json:"replay_events"`
+	RefedEvents   int     `json:"refed_events"`
+	Skipped       uint64  `json:"skipped_matches"`
+	Matches       uint64  `json:"matches"`
+}
+
+// HA measures the ingress-HA layer on the keyed dataset (size-4 keyed
+// sequence pattern — the failover experiment's setup). A match-stream
+// divergence in any run is an error, not a data point.
+func (h *Harness) HA(dataset string, nodes, shardsPerNode, batch int) (*HAData, error) {
+	if nodes <= 0 {
+		nodes = 3
+	}
+	if shardsPerNode <= 0 {
+		shardsPerNode = 2
+	}
+	if batch <= 0 {
+		batch = 256
+	}
+	w := h.KeyedWorkload(dataset)
+	pat, err := w.Pattern(gen.Sequence, 4, h.Scale.Window*16)
+	if err != nil {
+		return nil, err
+	}
+	total := nodes * shardsPerNode
+	cfg := engine.Config{CheckEvery: h.Scale.CheckEvery}
+	data := &HAData{
+		Dataset: dataset, Events: len(w.Events), Keys: w.Keys,
+		Nodes: nodes, ShardsPerNode: shardsPerNode, Batch: batch,
+		Cores: runtime.NumCPU(), Transport: "loopback-tcp",
+	}
+
+	// Single-process reference digest at the same total shard count.
+	var ref matchDigest
+	refEng, err := shard.New(pat, cfg, shard.Options{
+		Shards: total, Batch: batch, KeyAttr: "key", Schema: w.Schema,
+		OnMatch: ref.add,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range w.Events {
+		refEng.Process(&w.Events[i])
+	}
+	refEng.Finish()
+
+	verify := func(mode string, d matchDigest) error {
+		if d.n != ref.n || d.h != ref.h {
+			return fmt.Errorf("bench: ha %s %s delivered %d matches (digest %x), reference %d (digest %x) — replication changed the match stream",
+				dataset, mode, d.n, d.h, ref.n, ref.h)
+		}
+		return nil
+	}
+
+	// Plain coordinator: journaled recovery, no replication. Fresh
+	// worker processes per run — workers latch the highest coordinator
+	// epoch they serve, so runs never share nodes.
+	plainTP, err := h.haPlainRun(w, pat, cfg, nodes, shardsPerNode, batch, verify)
+	if err != nil {
+		return nil, err
+	}
+	data.PlainTP = plainTP
+
+	// Replicated pair, primary healthy end to end.
+	replTP, p, err := h.haPairRun(w, pat, cfg, nodes, shardsPerNode, batch, -1, verify)
+	if err != nil {
+		return nil, err
+	}
+	data.ReplTP = replTP
+	data.Overhead = 1 - replTP/plainTP
+	data.MirrorCuts, data.MirrorEvents = p.MirrorStats()
+
+	// Replicated pair, primary killed ~40% in: the takeover cost.
+	killAt := len(w.Events) * 2 / 5
+	killedTP, p, err := h.haPairRun(w, pat, cfg, nodes, shardsPerNode, batch, killAt, verify)
+	if err != nil {
+		return nil, err
+	}
+	tk := p.Takeover()
+	if tk == nil {
+		return nil, fmt.Errorf("bench: ha %s: killed run recorded no takeover", dataset)
+	}
+	data.KilledTP = killedTP
+	data.TakeoverMS = float64(tk.Pause().Microseconds()) / 1000
+	data.ReplayCuts, data.ReplayEvents = tk.ReplayCuts, tk.ReplayEvents
+	data.RefedEvents = tk.RefedEvents
+	data.Skipped = tk.Skipped
+	data.Matches = p.Delivered()
+	return data, nil
+}
+
+// haStartNodes launches fresh loopback-TCP worker processes and returns
+// their addresses plus a closer for the listeners.
+func haStartNodes(w *gen.Workload, pat *pattern.Pattern, cfg engine.Config,
+	nodes, shardsPerNode, batch int) ([]string, func(), error) {
+	var addrs []string
+	var listeners []*cluster.Listener
+	closeAll := func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}
+	for i := 0; i < nodes; i++ {
+		node, err := cluster.NewNode(cluster.NodeConfig{
+			Pattern: pat, Schema: w.Schema, Engine: cfg,
+			Shards: shardsPerNode, Batch: batch, KeyAttr: "key",
+		})
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		l, err := cluster.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		go node.ServeListener(l, nil) //nolint:errcheck // closed below; killed sessions error by design
+		listeners = append(listeners, l)
+		addrs = append(addrs, l.Addr())
+	}
+	return addrs, closeAll, nil
+}
+
+// haPlainRun is the unreplicated baseline: a journaled coordinator over
+// fresh workers, no standby, no replication link.
+func (h *Harness) haPlainRun(w *gen.Workload, pat *pattern.Pattern, cfg engine.Config,
+	nodes, shardsPerNode, batch int, verify func(string, matchDigest) error) (float64, error) {
+	addrs, closeAll, err := haStartNodes(w, pat, cfg, nodes, shardsPerNode, batch)
+	if err != nil {
+		return 0, err
+	}
+	defer closeAll()
+	conns := make([]cluster.Conn, len(addrs))
+	for i, a := range addrs {
+		if conns[i], err = cluster.DialTCP(a); err != nil {
+			return 0, err
+		}
+	}
+	var digest matchDigest
+	ing, err := cluster.NewIngress(pat, conns, cluster.IngressOptions{
+		Batch: batch, KeyAttr: "key", Schema: w.Schema,
+		OnMatch:  digest.add,
+		Recovery: &cluster.RecoveryConfig{},
+	})
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := range w.Events {
+		ing.Process(&w.Events[i])
+	}
+	if err := ing.Finish(); err != nil {
+		return 0, fmt.Errorf("bench: ha plain run finish: %w", err)
+	}
+	tp := float64(len(w.Events)) / time.Since(start).Seconds()
+	return tp, verify("plain", digest)
+}
+
+// haPairRun runs the replicated pair, optionally killing the primary
+// just before event index killAt (-1: healthy end to end).
+func (h *Harness) haPairRun(w *gen.Workload, pat *pattern.Pattern, cfg engine.Config,
+	nodes, shardsPerNode, batch, killAt int, verify func(string, matchDigest) error) (float64, *ha.Pair, error) {
+	addrs, closeAll, err := haStartNodes(w, pat, cfg, nodes, shardsPerNode, batch)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer closeAll()
+	var digest matchDigest
+	p, err := ha.New(ha.Config{
+		Pattern: pat, Schema: w.Schema, KeyAttr: "key", Batch: batch,
+		Workers:  addrs,
+		OnTagged: func(t shard.Tagged) { digest.add(t.M) },
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	mode := "replicated"
+	if killAt >= 0 {
+		mode = "takeover"
+	}
+	start := time.Now()
+	for i := range w.Events {
+		if i == killAt {
+			if err := p.KillPrimary(); err != nil {
+				return 0, nil, fmt.Errorf("bench: ha takeover: %w", err)
+			}
+		}
+		p.Process(&w.Events[i])
+	}
+	if err := p.Finish(); err != nil {
+		return 0, nil, fmt.Errorf("bench: ha %s run finish: %w", mode, err)
+	}
+	tp := float64(len(w.Events)) / time.Since(start).Seconds()
+	return tp, p, verify(mode, digest)
+}
+
+// Write prints the ingress-HA table.
+func (d *HAData) Write(w io.Writer) {
+	fmt.Fprintf(w, "Ingress HA — %s workload, %d events, %d keys, %d nodes x %d shards, batch %d, %s, %d cores\n",
+		d.Dataset, d.Events, d.Keys, d.Nodes, d.ShardsPerNode, d.Batch, d.Transport, d.Cores)
+	fmt.Fprintf(w, "%-14s%14s%10s\n", "mode", "events/s", "overhead")
+	fmt.Fprintf(w, "%-14s%14.0f%10s\n", "plain", d.PlainTP, "-")
+	fmt.Fprintf(w, "%-14s%14.0f%9.1f%%\n", "replicated", d.ReplTP, 100*d.Overhead)
+	fmt.Fprintf(w, "%-14s%14.0f%10s\n", "takeover", d.KilledTP, "-")
+	fmt.Fprintf(w, "takeover pause %.1f ms; mirrored %d cuts / %d events; replayed %d cuts / %d events; re-fed %d events; skipped %d regenerated matches; %d matches\n",
+		d.TakeoverMS, d.MirrorCuts, d.MirrorEvents, d.ReplayCuts, d.ReplayEvents, d.RefedEvents, d.Skipped, d.Matches)
+}
+
+// WriteJSON appends the run to a BENCH_*.json trajectory (one JSON
+// object per invocation).
+func (d *HAData) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

@@ -50,6 +50,35 @@ type ElasticConfig struct {
 	CooldownCuts int
 }
 
+// CutInfo is one sealed cut as observed by IngressOptions.OnCut: the
+// global watermark, every shard's events of the cut, and the routing
+// truth at seal time. The slices alias ingress-owned state and are
+// valid only during the call — a replicator must encode or copy before
+// returning. Final marks the cut sealed by Finish (the stream's last).
+type CutInfo struct {
+	UpTo  uint64
+	Final bool
+	Bufs  [][]event.Event // per global shard, arrival order
+	Owner []int           // shard -> slot (-1: abandoned)
+	Addrs []string        // per slot: dialable worker address ("" unknown)
+}
+
+// ResumeState builds a takeover successor: a standby coordinator that
+// mirrored the primary's sealed cuts constructs a fresh ingress that
+// resumes the stream at the exact point its mirror covers. Owner is the
+// mirrored routing table (conns[i] serves slot i), Journal the mirrored
+// cut journal, NextSeq the watermark of the newest mirrored cut, and
+// Boundary the primary's last replicated emission watermark — every
+// match at or below it was already delivered downstream, so the
+// successor's adoption migrations suppress that prefix and regenerate
+// the rest by replay.
+type ResumeState struct {
+	NextSeq  uint64
+	Boundary uint64
+	Owner    []int
+	Journal  *recovery.Journal
+}
+
 // IngressOptions tunes the coordinator side of a cluster.
 type IngressOptions struct {
 	// Batch is the number of ingested events per uniform cut (default
@@ -96,6 +125,35 @@ type IngressOptions struct {
 	// Elastic configures the placement controller (optional; needs
 	// Recovery when Rebalance is set).
 	Elastic *ElasticConfig
+	// Epoch stamps every Assign frame this ingress issues (0 without
+	// HA). Worker processes latch the highest epoch they have served and
+	// fence sessions from anything lower, so a superseded primary cannot
+	// keep driving the cluster after its standby took over.
+	Epoch uint64
+	// OnCut, when set, observes every sealed cut on the ingress
+	// goroutine, strictly behind the send barrier and after the cut has
+	// been journaled — the replication tap of the HA subsystem
+	// (internal/ha). The CutInfo slices are valid only during the call.
+	// Requires Recovery (replication rides the journal's framing and
+	// retention guarantees).
+	OnCut func(CutInfo)
+	// OnProgress taps the merge collector's release watermark: called on
+	// the collector goroutine after the matches the watermark covers have
+	// been delivered. The HA emission gate keys off it.
+	OnProgress func(uint64)
+	// Addrs seeds each node slot's dialable worker address (index-
+	// aligned with the conns passed to NewIngress; "" unknown), so OnCut
+	// can replicate a routing table a standby coordinator could re-dial
+	// on takeover. Adoptions and joins refresh a slot's entry when the
+	// new connection exposes its remote address; drains clear it.
+	Addrs []string
+	// Resume, when non-nil, builds a takeover successor instead of a
+	// founding coordinator: every worker handshakes into a zero-shard
+	// session, the mirrored journal and routing table are adopted as-is,
+	// and NewIngress re-establishes every shard on its mirrored slot via
+	// adoption migrations (reason "takeover") that replay the mirror and
+	// suppress matches at or below Resume.Boundary. Requires Recovery.
+	Resume *ResumeState
 }
 
 // Ingress is the cluster coordinator: it partitions one input stream
@@ -163,6 +221,18 @@ type Ingress struct {
 	exitCh        chan struct{} // coalesced reader-exit wakeup for the drain loop
 	cutsSinceMove int
 	moveHorizon   uint64 // cut watermark at the last shard move (staleness horizon)
+
+	// HA state (zero without the internal/ha subsystem driving this
+	// ingress). onCut is the replication tap, addrs the per-slot worker
+	// addresses it replicates, epoch the coordinator epoch stamped on
+	// every Assign, and suppressFloor the takeover boundary a successor
+	// imposes on every adoption migration (a fresh collector's release
+	// frontier starts at zero, so the mirrored emission watermark — not
+	// the collector — is the truth about what was already delivered).
+	onCut         func(CutInfo)
+	addrs         []string
+	epoch         uint64
+	suppressFloor uint64
 
 	// Multi-pattern state (ingress goroutine unless noted). specs is the
 	// current set — the truth shipped to every join and adoption; keyAttr
@@ -246,6 +316,22 @@ func NewIngress(pat *pattern.Pattern, conns []Conn, opts IngressOptions) (*Ingre
 	if opts.Elastic != nil && opts.Elastic.Rebalance && opts.Recovery == nil {
 		return nil, fmt.Errorf("cluster: Elastic.Rebalance requires Recovery (migrations replay from the journal)")
 	}
+	if opts.OnCut != nil && opts.Recovery == nil {
+		return nil, fmt.Errorf("cluster: Options.OnCut requires Recovery (replication rides the journal)")
+	}
+	if opts.Resume != nil {
+		if opts.Recovery == nil {
+			return nil, fmt.Errorf("cluster: Options.Resume requires Recovery (adoption migrations replay the mirror)")
+		}
+		if opts.Resume.Journal == nil || len(opts.Resume.Owner) == 0 {
+			return nil, fmt.Errorf("cluster: Options.Resume needs the mirrored journal and owner table")
+		}
+		for g, o := range opts.Resume.Owner {
+			if o >= len(conns) {
+				return nil, fmt.Errorf("cluster: Options.Resume: shard %d owned by slot %d, only %d connections", g, o, len(conns))
+			}
+		}
+	}
 	key := opts.Key
 	switch {
 	case key != nil && opts.KeyAttr != "":
@@ -299,7 +385,11 @@ func NewIngress(pat *pattern.Pattern, conns []Conn, opts IngressOptions) (*Ingre
 		pat:         pat,
 		schema:      opts.Schema,
 		sig:         sig,
+		epoch:       opts.Epoch,
+		onCut:       opts.OnCut,
 	}
+	in.addrs = make([]string, len(conns))
+	copy(in.addrs, opts.Addrs)
 	if len(opts.Patterns) > 0 {
 		in.multi = true
 		in.specs = append([]multi.Spec(nil), opts.Patterns...)
@@ -356,20 +446,40 @@ func NewIngress(pat *pattern.Pattern, conns []Conn, opts IngressOptions) (*Ingre
 		if h.Shards > maxShardsPerNode {
 			return nil, fmt.Errorf("cluster: node %d claims %d shards, cap is %d", i, h.Shards, maxShardsPerNode)
 		}
-		in.nodeShards[i] = int(h.Shards)
-		in.total += int(h.Shards)
+		if opts.Resume == nil {
+			in.nodeShards[i] = int(h.Shards)
+			in.total += int(h.Shards)
+		}
 	}
-	base := 0
-	for i, c := range conns {
-		if err := c.Send(in.assignFrame(base, in.nodeShards[i])); err != nil {
-			return nil, fmt.Errorf("cluster: assigning node %d: %w", i, err)
+	if rs := opts.Resume; rs != nil {
+		// Takeover successor: the mirrored table defines the global shard
+		// space, every worker session starts bare (it learns its shards
+		// through the adoption migrations below), and the stream resumes
+		// at the newest mirrored cut.
+		in.total = len(rs.Owner)
+		in.owner = append([]int(nil), rs.Owner...)
+		in.lastSeq = rs.NextSeq
+		in.moveHorizon = rs.NextSeq
+		in.suppressFloor = rs.Boundary
+		for i, c := range conns {
+			if err := c.Send(in.assignFrame(0, 0)); err != nil {
+				return nil, fmt.Errorf("cluster: assigning successor worker %d: %w", i, err)
+			}
+			in.hosted[i] = make(map[int]bool)
 		}
-		in.hosted[i] = make(map[int]bool, in.nodeShards[i])
-		for s := 0; s < in.nodeShards[i]; s++ {
-			in.owner = append(in.owner, i)
-			in.hosted[i][base+s] = true
+	} else {
+		base := 0
+		for i, c := range conns {
+			if err := c.Send(in.assignFrame(base, in.nodeShards[i])); err != nil {
+				return nil, fmt.Errorf("cluster: assigning node %d: %w", i, err)
+			}
+			in.hosted[i] = make(map[int]bool, in.nodeShards[i])
+			for s := 0; s < in.nodeShards[i]; s++ {
+				in.owner = append(in.owner, i)
+				in.hosted[i][base+s] = true
+			}
+			base += in.nodeShards[i]
 		}
-		base += in.nodeShards[i]
 	}
 	in.bufs = make([][]event.Event, in.total)
 	in.spare = make([][]event.Event, in.total)
@@ -389,17 +499,28 @@ func NewIngress(pat *pattern.Pattern, conns []Conn, opts IngressOptions) (*Ingre
 			rc.Window = in.maxWindow()
 		}
 		in.rec = &rc
-		journal, err := recovery.NewJournal(recovery.JournalConfig{
-			Window: rc.Window, Shards: in.total,
-			SlackWindows: rc.SlackWindows,
-			MaxBytes:     rc.MaxJournalBytes,
-		})
-		if err != nil {
-			return nil, err
+		if opts.Resume != nil {
+			in.journal = opts.Resume.Journal
+		} else {
+			journal, err := recovery.NewJournal(recovery.JournalConfig{
+				Window: rc.Window, Shards: in.total,
+				SlackWindows: rc.SlackWindows,
+				MaxBytes:     rc.MaxJournalBytes,
+			})
+			if err != nil {
+				return nil, err
+			}
+			in.journal = journal
 		}
-		in.journal = journal
 		in.det = recovery.NewDetector(len(conns), rc.HeartbeatTimeout)
 		progress = func(w uint64) { in.released.Store(w) }
+	}
+	if tap := opts.OnProgress; tap != nil {
+		if inner := progress; inner != nil {
+			progress = func(w uint64) { inner(w); tap(w) }
+		} else {
+			progress = tap
+		}
 	}
 	// Cut-buffer recycling: on a serializing transport the Batch frame
 	// is fully encoded onto the wire by the time Send returns, so a
@@ -423,8 +544,48 @@ func NewIngress(pat *pattern.Pattern, conns []Conn, opts IngressOptions) (*Ingre
 		in.readers.Add(1)
 		go in.read(i, c, 0, done)
 	}
+	if rs := opts.Resume; rs != nil {
+		if err := in.takeoverAdopt(rs); err != nil {
+			// Orderly teardown: close every session so the readers exit,
+			// then drain the collector — the deferred sweep above would
+			// leave both running.
+			for _, c := range conns {
+				c.Close()
+			}
+			in.readers.Wait()
+			in.col.Close()
+			built = true // connections already released
+			return nil, err
+		}
+	}
 	built = true
 	return in, nil
+}
+
+// takeoverAdopt re-establishes every mirrored shard on its slot's fresh
+// worker session: a Takeover frame announces the successor's epoch and
+// suppress boundary, then each shard runs the standard adoption
+// migration (reason "takeover") — replaying the mirrored journal with
+// duplicates at or below the boundary suppressed on the worker. Runs
+// once, at successor construction, before any ingest.
+func (in *Ingress) takeoverAdopt(rs *ResumeState) error {
+	tk := wire.Takeover{Epoch: in.epoch, Boundary: rs.Boundary}
+	for i, c := range in.conns {
+		if err := c.Send(tk); err != nil {
+			return fmt.Errorf("cluster: takeover announce to worker %d: %w", i, err)
+		}
+		in.det.Sent(i)
+	}
+	for g, o := range in.owner {
+		if o < 0 {
+			continue
+		}
+		if err := in.migrateShard(g, o, "takeover", -1); err != nil {
+			return err
+		}
+	}
+	in.routeBroadcast()
+	return nil
 }
 
 // signatureMulti fingerprints a pattern set plus the schema layout, the
@@ -467,7 +628,7 @@ func (in *Ingress) maxWindow() event.Time {
 func (in *Ingress) assignFrame(base, shards int) wire.Assign {
 	a := wire.Assign{
 		Base: uint32(base), Shards: uint32(shards), Total: uint32(in.total),
-		Pattern: in.pat, Schema: in.schema,
+		Pattern: in.pat, Schema: in.schema, Epoch: in.epoch,
 	}
 	if !in.multi {
 		return a
@@ -692,6 +853,15 @@ func (in *Ingress) cutAll() {
 		in.journal.Advance(in.released.Load())
 		in.journal.Append(in.bufs, in.lastSeq)
 	}
+	if in.onCut != nil {
+		// Replication tap: behind the barrier (routing settled for this
+		// cut, the previous cut fully sent) and after journaling, so what
+		// the standby mirrors is exactly what a failover would replay.
+		in.onCut(CutInfo{
+			UpTo: in.lastSeq, Final: in.finished,
+			Bufs: in.bufs, Owner: in.owner, Addrs: in.addrs,
+		})
+	}
 	upTo := in.lastSeq
 	for n := range in.outs {
 		in.outs[n] = in.outs[n][:0]
@@ -788,6 +958,12 @@ func (in *Ingress) migrateShard(g, to int, reason string, fidx int) error {
 	}
 	from := in.owner[g]
 	boundary := in.col.Migrate(g, to)
+	if boundary < in.suppressFloor {
+		// Takeover successor: the fresh collector's release frontier is
+		// zero, but the mirrored emission watermark proves everything at
+		// or below it already delivered by the old primary.
+		boundary = in.suppressFloor
+	}
 	in.owner[g] = to
 	in.hosted[to][g] = true
 	// Every move invalidates the fleet's load picture: reports stamped
@@ -919,11 +1095,36 @@ func (in *Ingress) rebalance() {
 	}
 	waits := make([]time.Duration, in.total)
 	events := make([]uint64, in.total)
+	// A report also goes stale by age alone: stats ride the nodes'
+	// upstream frame flow, so a node that stops reporting (wedged, or
+	// about to be declared dead) leaves numbers describing a
+	// distribution many cuts old next to its peers' current ones.
+	// Discount any report whose cut stamp trails the freshest report by
+	// more than one controller period (floored at two reporting
+	// intervals so a report is never discarded just for riding the
+	// statsEveryCuts cadence). The reference is the newest *report*, not
+	// the ingest frontier: nothing paces Process against worker
+	// progress, so all reports trail in.lastSeq by an unbounded, shared
+	// lag — what marks one stale is falling behind its peers.
+	staleCuts := in.elastic.CooldownCuts
+	if staleCuts < 2*statsEveryCuts {
+		staleCuts = 2 * statsEveryCuts
+	}
+	ageHorizon := uint64(staleCuts * in.batch)
 	in.mu.Lock()
 	for _, m := range in.migrations {
 		if m.CompletedAt.IsZero() {
 			in.mu.Unlock()
 			return
+		}
+	}
+	var freshest uint64
+	for n, ss := range in.stats {
+		for _, s := range ss {
+			g := int(s.Shard)
+			if g >= 0 && g < in.total && in.owner[g] == n && s.Cut > freshest {
+				freshest = s.Cut
+			}
 		}
 	}
 	for n, ss := range in.stats {
@@ -938,6 +1139,9 @@ func (in *Ingress) rebalance() {
 			// the same shard. Wait for numbers from after the move.
 			if s.Cut < in.moveHorizon {
 				continue
+			}
+			if s.Cut+ageHorizon < freshest {
+				continue // older than one controller period: stale reporter
 			}
 			waits[g] = time.Duration(s.P99Nanos)
 			events[g] = s.Events
@@ -1083,6 +1287,7 @@ func (in *Ingress) AddNode(c Conn) (int, error) {
 		in.nodeShards[slot] = 0
 		in.hosted[slot] = map[int]bool{} // a fresh session has hosted nothing
 		in.outs[slot] = nil
+		in.addrs[slot] = connAddr(c)
 		done := make(chan struct{})
 		in.readerDone[slot] = done
 		in.mu.Lock()
@@ -1108,6 +1313,7 @@ func (in *Ingress) AddNode(c Conn) (int, error) {
 	in.finSent = append(in.finSent, false)
 	in.hosted = append(in.hosted, map[int]bool{})
 	in.outs = append(in.outs, nil)
+	in.addrs = append(in.addrs, connAddr(c))
 	done := make(chan struct{})
 	in.readerDone = append(in.readerDone, done)
 	in.mu.Lock()
@@ -1188,12 +1394,56 @@ func (in *Ingress) Drain(n int) error {
 	in.det.Sent(n)
 	in.finSent[n] = true
 	in.drained[n] = true
+	in.addrs[n] = "" // the slot no longer lives anywhere dialable
 	// The ghost slot's last load report is history now — drop it so
 	// NodeStats and the placement controller never see it again.
 	in.mu.Lock()
 	in.stats[n] = nil
 	in.mu.Unlock()
 	return nil
+}
+
+// RemoveNode scales the cluster in — the symmetric inverse of AddNode,
+// in one call: it drains slot n (every owned shard migrates to a live
+// peer), waits for the drained session to report its final metrics and
+// end, folds those metrics into the retired accumulator, closes the
+// connection — which returns a pooled standby address to circulation
+// for later adoptions and joins — and compacts the slot into an
+// immediately reusable ghost. Requires Recovery; must be called from
+// the Process goroutine.
+func (in *Ingress) RemoveNode(n int) error {
+	if err := in.Drain(n); err != nil {
+		return err
+	}
+	// The drained session ends on its own clock: it owns nothing, but
+	// its engines still flush and its reader must record the final
+	// metrics before the slot can be compacted. The wait cannot starve —
+	// draining needs no further ingress sends, and the merge collector
+	// runs on its own goroutine.
+	<-in.readerDone[n]
+	in.conns[n].Close()
+	in.mu.Lock()
+	if in.gotMetrics[n] {
+		// Fold the retired session's counters now so the slot's metrics
+		// slate is clean for reuse; gotMetrics stays set — it is the
+		// clean-end marker ghost-slot compaction keys on.
+		in.retired.Merge(in.nodeMetrics[n])
+		in.nodeMetrics[n] = engine.Metrics{}
+	}
+	in.stats[n] = nil
+	in.mu.Unlock()
+	in.nodeShards[n] = 0
+	in.outs[n] = nil
+	return nil
+}
+
+// connAddr reports a connection's dialable remote address ("" when the
+// transport does not expose one — the in-process pipe).
+func connAddr(c Conn) string {
+	if ra, ok := c.(interface{ RemoteAddr() string }); ok {
+		return ra.RemoteAddr()
+	}
+	return ""
 }
 
 // MigrateShard moves one shard to node slot `to` on demand — the
@@ -1495,6 +1745,26 @@ func (in *Ingress) Finish() error {
 		c.Close()
 	}
 	return in.Err()
+}
+
+// Kill abandons the ingress as if its process died: every connection
+// closes without Finish frames or a drain, the readers exit without
+// posting, and the merge collector shuts down delivering nothing
+// further downstream (the HA layer freezes its emission gate first).
+// Worker sessions observe the closed links and discard their state —
+// takeover re-establishes them fresh. Must be called from the Process
+// goroutine; idempotent with Finish.
+func (in *Ingress) Kill() {
+	if in.finished {
+		return
+	}
+	in.finished = true
+	for _, c := range in.conns {
+		c.Close()
+	}
+	in.sendWG.Wait()
+	in.readers.Wait()
+	in.col.Close()
 }
 
 // Nodes reports the node slot count (live, drained and dead slots

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"acep/internal/engine"
 	"acep/internal/event"
@@ -75,6 +76,16 @@ type Node struct {
 	cfg NodeConfig
 	key shard.KeyFunc
 	sig uint64
+
+	// epoch is the highest coordinator epoch any session of this Node
+	// has served — process-level state, deliberately shared across
+	// ServeListener sessions. A takeover successor raises it through its
+	// Assign frame; sessions a superseded primary still drives are
+	// refused at the handshake or terminated at their next frame, so a
+	// zombie coordinator cannot keep feeding workers after its standby
+	// took over. Non-HA coordinators all stamp epoch 0 and never move
+	// the fence.
+	epoch atomic.Uint64
 }
 
 // signature fingerprints the pattern plus the schema's type/attribute
@@ -200,6 +211,7 @@ func (n *Node) Serve(conn Conn) error {
 		pattern: a.Pattern, schema: a.Schema,
 		primaryID: a.PrimaryID, primaryTenant: a.PrimaryTenant,
 		extra: a.Extra, tenants: a.Tenants,
+		epoch: a.Epoch,
 	})
 }
 
@@ -216,10 +228,26 @@ type blockAssign struct {
 	primaryID, primaryTenant uint32
 	extra                    []wire.PatternEntry
 	tenants                  []wire.TenantBudgetEntry
+
+	epoch uint64 // coordinator epoch stamped on the Assign (0 without HA)
 }
 
 // serveBlock hosts one ingress session.
 func (n *Node) serveBlock(conn Conn, a blockAssign) error {
+	// Epoch fence, entry half: latch the highest coordinator epoch this
+	// process has served and refuse anything lower — a session from a
+	// primary that a takeover already superseded must not rebuild state.
+	// (The loop half below terminates a session that was current at the
+	// handshake but got superseded mid-run.)
+	for {
+		cur := n.epoch.Load()
+		if a.epoch < cur {
+			return fmt.Errorf("cluster: node fencing coordinator epoch %d (process has served epoch %d)", a.epoch, cur)
+		}
+		if n.epoch.CompareAndSwap(cur, a.epoch) {
+			break
+		}
+	}
 	pat, schema := n.cfg.Pattern, n.cfg.Schema
 	if pat == nil {
 		// Bare mode: adopt the shipped pattern and schema.
@@ -316,6 +344,10 @@ func (n *Node) serveBlock(conn Conn, a blockAssign) error {
 		ackWait  = map[int]uint64{}
 		pending  []int // Migrate received, awaiting the ShardRoute marker
 		maxUpTo  uint64
+		// suppressAll is the takeover boundary: a successor coordinator's
+		// session-wide floor below which every regenerated match was
+		// already delivered by the old primary (0 outside takeovers).
+		suppressAll uint64
 	)
 
 	// Zero-copy receive: on a serializing transport (probe below), Batch
@@ -423,7 +455,11 @@ func (n *Node) serveBlock(conn Conn, a blockAssign) error {
 		OnTagged: func(t shard.Tagged) {
 			migMu.Lock()
 			boundary, migrated := suppress[t.Src]
+			floor := suppressAll
 			migMu.Unlock()
+			if floor > 0 && t.Seq <= floor {
+				return // at or below the takeover boundary: the old primary delivered it
+			}
 			if migrated && t.Seq <= boundary {
 				return // already delivered before the shard moved here
 			}
@@ -548,6 +584,14 @@ func (n *Node) serveBlock(conn Conn, a blockAssign) error {
 			}
 			return err
 		}
+		// Epoch fence, loop half: a takeover successor may have raised
+		// the process epoch since the handshake — stop serving the
+		// superseded coordinator at its next frame.
+		if cur := n.epoch.Load(); cur > a.epoch {
+			finish()
+			up.flush()
+			return fmt.Errorf("cluster: session fenced: coordinator epoch %d superseded by %d", a.epoch, cur)
+		}
 		switch v := f.(type) {
 		case *wire.BatchView:
 			// Serializing transport: the events already live in decArena
@@ -631,6 +675,19 @@ func (n *Node) serveBlock(conn Conn, a blockAssign) error {
 			pending = append(pending, g)
 			migMu.Unlock()
 			up.send(wire.Heartbeat{UpTo: v.ReplayUpTo}) // receipt beat: replay may be long
+		case wire.Takeover:
+			// A successor coordinator announces its assumption: every
+			// match at or below the boundary was already delivered by the
+			// old primary — suppress session-wide. The per-shard Migrate
+			// boundaries that follow repeat it shard by shard; this floor
+			// additionally covers any match a frame-ordering edge could
+			// slip in between.
+			migMu.Lock()
+			if v.Boundary > suppressAll {
+				suppressAll = v.Boundary
+			}
+			migMu.Unlock()
+			up.send(wire.Heartbeat{UpTo: v.Boundary})
 		case wire.ShardRoute:
 			// Routing is advisory here (ownership semantics ride the
 			// Migrate frames), but its position is load-bearing: the

@@ -55,6 +55,7 @@ type RecoveryConfig struct {
 // re-listens) can be dialed again by a later failover or join.
 type releaseConn struct {
 	Conn
+	addr    string
 	once    sync.Once
 	release func()
 }
@@ -64,6 +65,11 @@ func (c *releaseConn) Close() error {
 	c.once.Do(c.release)
 	return err
 }
+
+// RemoteAddr exposes the dialed standby address so an adoption can
+// record where the slot now lives (and replicate it to a standby
+// coordinator for takeover re-dialing).
+func (c *releaseConn) RemoteAddr() string { return c.addr }
 
 // DialStandbys builds a RecoveryConfig.Standby supplier over a list of
 // TCP addresses. Each call dials a free address; an address returns to
@@ -96,7 +102,7 @@ func DialStandbys(addrs []string) func() (Conn, error) {
 				continue
 			}
 			i := i
-			rc := &releaseConn{Conn: c}
+			rc := &releaseConn{Conn: c, addr: addrs[i]}
 			rc.release = func() {
 				mu.Lock()
 				inUse[i] = false
@@ -290,6 +296,7 @@ func (in *Ingress) dropAbortedMigrations(n int) {
 func (in *Ingress) degrade(n int, err error) {
 	in.recordErr(err)
 	in.abandoned[n] = true
+	in.addrs[n] = ""
 	for _, g := range in.ownedShards(n) {
 		in.journal.AbandonShard(g)
 	}
@@ -363,6 +370,7 @@ func (in *Ingress) adopt(n int, conn Conn, fidx int) error {
 		}
 	}
 	in.dead[n] = false
+	in.addrs[n] = connAddr(conn) // the slot now lives at the standby's address
 	in.routeBroadcast()
 	if in.rec.OnFailover != nil {
 		in.mu.Lock()

@@ -158,6 +158,11 @@ func (s *streamConn) SetSendHold(on bool) { s.hold = on }
 // Flush writes any held frames through to the socket.
 func (s *streamConn) Flush() error { return s.bw.Flush() }
 
+// RemoteAddr reports the peer's network address. The ingress replicates
+// it per node slot so a standby coordinator can re-dial the worker on
+// takeover; the in-process pipe deliberately has no analogue.
+func (s *streamConn) RemoteAddr() string { return s.c.RemoteAddr().String() }
+
 // SetDecodeArena switches the receive side to zero-copy batch decoding:
 // Batch frames decode straight into arena chunks and surface as
 // wire.BatchView (see wire.Reader.SetDecodeArena). Nodes probe for this

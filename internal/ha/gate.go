@@ -1,0 +1,211 @@
+package ha
+
+import (
+	"sync"
+
+	"acep/internal/shard"
+	"acep/internal/wire"
+)
+
+// pendMatch is one match held by the emission gate: the merge tag plus
+// the match body re-encoded through the wire codec. The body copy is
+// load-bearing — under the cluster's owned-emit path the *match.Match a
+// callback sees is scratch valid only during the call, and the gate by
+// design outlives the call (it holds matches until the standby's mirror
+// acknowledgement catches up). Encoding through AppendMatchBody keeps
+// the copy byte-canonical: the re-decoded match serializes to exactly
+// the bytes the original would have.
+type pendMatch struct {
+	seq  uint64
+	src  int
+	pat  uint32
+	body []byte
+}
+
+// gate is the HA emission gate, the piece that turns replication into
+// an exactly-once guarantee. A primary coordinator must not let a match
+// reach the consumer before the standby's mirror could regenerate it:
+// the gate queues every match the merge collector releases and emits
+// only the prefix with Seq <= min(acked, released), where acked is the
+// standby's last mirrored cut watermark and released the collector's
+// own release frontier. Both bounds are monotone and the queue is in
+// merge order, so the emitted set is always exactly {Seq <= T} — which
+// is what lets one (EmittedUpTo, Count) pair describe it to the standby
+// (see ReplState) and lets a successor resume with a watermark
+// suppression plus a bounded skip count.
+//
+// The gate moves through three phases: gated (primary healthy),
+// frozen (primary killed: nothing further escapes — the collector's
+// shutdown drain is discarded), and direct (takeover successor: matches
+// pass straight through, minus the skip prefix the dead primary already
+// delivered). A replication-link loss instead degrades the gate: acked
+// stops being a bound and emission follows released alone, trading the
+// takeover guarantee for availability.
+type gate struct {
+	out     func(shard.Tagged)
+	publish func(wire.Frame) // enqueues a ReplState on the repl link
+
+	mu        sync.Mutex
+	ackCond   *sync.Cond // broadcast whenever acked advances or gating ends
+	q         []pendMatch
+	head      int
+	acked     uint64 // standby's mirrored watermark (ack-reader)
+	released  uint64 // collector release frontier (progress tap)
+	delivered uint64 // matches emitted downstream so far (D)
+	emitted   uint64 // highest threshold published in a ReplState (E)
+	frozen    bool
+	degraded  bool
+	direct    bool
+	skip      uint64
+}
+
+// onTagged receives every match the merge collector delivers, on the
+// collector goroutine.
+func (g *gate) onTagged(t shard.Tagged) {
+	g.mu.Lock()
+	if g.direct {
+		if g.skip > 0 {
+			g.skip--
+			g.mu.Unlock()
+			return
+		}
+		g.mu.Unlock()
+		g.out(t)
+		return
+	}
+	if g.frozen {
+		g.mu.Unlock()
+		return
+	}
+	g.q = append(g.q, pendMatch{
+		seq: t.Seq, src: t.Src, pat: t.Pattern,
+		body: wire.AppendMatchBody(nil, t.M),
+	})
+	g.mu.Unlock()
+}
+
+// onProgress is the collector's release tap: matches at or below w have
+// all been queued (delivery precedes the progress callback), so w is a
+// complete emission bound.
+func (g *gate) onProgress(w uint64) {
+	g.mu.Lock()
+	if w > g.released {
+		g.released = w
+	}
+	g.drainLocked()
+	g.mu.Unlock()
+}
+
+// onAck applies a standby acknowledgement (ack-reader goroutine). The
+// final stand-down ack carries ^uint64(0), fully opening the gate for
+// the end-of-stream flush matches.
+func (g *gate) onAck(w uint64) {
+	g.mu.Lock()
+	if w > g.acked {
+		g.acked = w
+	}
+	g.drainLocked()
+	g.ackCond.Broadcast()
+	g.mu.Unlock()
+}
+
+// waitAcked blocks the caller (the feed goroutine, from the replication
+// tap) until the standby has acknowledged at least floor — the
+// replication flow-control window. Bounding the primary's lead is what
+// makes the mirror hot rather than nominal: without it a fast feed can
+// run arbitrarily far ahead of the standby (the link and socket buffers
+// absorb whole cut batches), leaving a takeover with a cold mirror and
+// the consumer ring unbounded. Returns immediately once the gate stops
+// gating (degraded, frozen, or successor mode).
+func (g *gate) waitAcked(floor uint64) {
+	g.mu.Lock()
+	for g.acked < floor && !g.degraded && !g.frozen && !g.direct {
+		g.ackCond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// drainLocked emits the queued prefix at or below the current
+// threshold and publishes the new emission state to the standby.
+func (g *gate) drainLocked() {
+	if g.frozen || g.direct {
+		return
+	}
+	t := g.released
+	if !g.degraded && g.acked < t {
+		t = g.acked
+	}
+	n := 0
+	for g.head < len(g.q) && g.q[g.head].seq <= t {
+		pm := g.q[g.head]
+		g.q[g.head] = pendMatch{}
+		g.head++
+		m, err := wire.DecodeMatchBody(pm.body)
+		if err != nil {
+			continue // unreachable: the body is our own encode
+		}
+		g.out(shard.Tagged{M: m, Seq: pm.seq, Src: pm.src, Pattern: pm.pat})
+		g.delivered++
+		n++
+	}
+	if g.head == len(g.q) {
+		g.q = g.q[:0]
+		g.head = 0
+	}
+	if (n > 0 || t > g.emitted) && !g.degraded {
+		g.emitted = t
+		g.publish(wire.ReplState{EmittedUpTo: t, Count: g.delivered})
+	}
+}
+
+// degrade drops the acked bound: the replication link is gone, the
+// primary keeps serving on the collector frontier alone.
+func (g *gate) degrade() {
+	g.mu.Lock()
+	g.degraded = true
+	g.drainLocked()
+	g.ackCond.Broadcast()
+	g.mu.Unlock()
+}
+
+// kill freezes the gate — the primary is dead, nothing further may
+// reach the consumer — and reports how many matches were delivered in
+// total (the D of the takeover skip computation). The queue is
+// discarded; the successor regenerates its matches.
+func (g *gate) kill() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.frozen = true
+	g.q = nil
+	g.head = 0
+	g.ackCond.Broadcast()
+	return g.delivered
+}
+
+// takeover switches the gate to successor mode: matches pass straight
+// through (there is no standby left to gate on), except the first skip
+// regenerated ones — the ones the dead primary delivered past the last
+// emission state its standby received.
+func (g *gate) takeover(skip uint64) {
+	g.mu.Lock()
+	g.direct = true
+	g.skip = skip
+	g.ackCond.Broadcast()
+	g.mu.Unlock()
+}
+
+// ackedSeq reports the standby's mirrored watermark as last
+// acknowledged — the bound below which the consumer-side event ring may
+// be trimmed.
+func (g *gate) ackedSeq() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.acked
+}
+
+// deliveredCount reports the matches emitted downstream so far.
+func (g *gate) deliveredCount() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.delivered
+}

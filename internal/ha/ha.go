@@ -1,0 +1,562 @@
+// Package ha removes the cluster's last single point of failure: the
+// ingress coordinator. A Pair runs a primary coordinator with a hot
+// standby tailing it over a dedicated replication link — every sealed
+// cut (events, owner table, worker addresses) is mirrored into a
+// standby-side journal, every emission boundary is published, and every
+// match is held at an emission gate until the cut producing it has been
+// acknowledged by the mirror. On primary death the standby's state
+// rebuilds a successor coordinator: it re-dials every worker (the
+// replicated address table, falling back to the standby pool),
+// announces a higher epoch so workers fence the dead primary,
+// re-establishes each shard via adoption migrations that replay the
+// mirror with the already-delivered prefix suppressed, re-feeds the
+// unacknowledged event tail from a consumer-side ring, and drops the
+// bounded skip prefix of regenerated matches the primary delivered past
+// its last published emission state. The delivered stream is
+// byte-identical to an unkilled run — the same guarantee workers
+// already have for shard failover, extended to the coordinator itself.
+//
+// Failure handling is graded: losing the standby (or the replication
+// link) degrades the primary to plain exactly-once-by-collector
+// emission and the run continues; losing the primary after the standby
+// is gone is a double death and surfaces an explicit error.
+package ha
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"acep/internal/cluster"
+	"acep/internal/event"
+	"acep/internal/pattern"
+	recovery "acep/internal/recover"
+	"acep/internal/shard"
+	"acep/internal/wire"
+	"sync"
+)
+
+// replDepth is the replication sender's frame buffer: deep enough to
+// decouple the ingress goroutine from the link's syscall latency,
+// shallow enough that a stalled standby backpressures the primary
+// within a few cuts instead of buffering unbounded history.
+const replDepth = 4
+
+// replLagCuts is the replication flow-control window: the primary
+// blocks sealing a new cut once the standby's acknowledged watermark
+// trails by more than this many cuts. The window keeps the pipeline
+// full (sends overlap acks) while guaranteeing a hot mirror — the
+// takeover state is never more than replLagCuts cuts behind the feed —
+// and bounding the consumer-side ring to window + ring-trim slack.
+const replLagCuts = 8
+
+// Config assembles a replicated coordinator pair.
+type Config struct {
+	// Pattern, Schema and KeyAttr mirror cluster.IngressOptions: the
+	// pattern must be key-partitionable in KeyAttr over Schema.
+	Pattern *pattern.Pattern
+	Schema  *event.Schema
+	KeyAttr string
+	// Batch is the events-per-cut granularity (default 256). It is also
+	// the replication granularity: the standby mirrors whole cuts.
+	Batch int
+	// Workers are the worker node listener addresses. The primary dials
+	// each one; the successor re-dials them (or their replicated
+	// replacements) on takeover.
+	Workers []string
+	// Standbys is the worker standby pool, shared between the primary's
+	// node-failover path and the successor's takeover fallback dialing.
+	Standbys []string
+	// OnTagged receives the delivered match stream — gated, so a match
+	// arrives only once across any single takeover.
+	OnTagged func(shard.Tagged)
+	// HeartbeatTimeout, SlackWindows and MaxJournalBytes pass through
+	// to the coordinator's RecoveryConfig (and size the mirror journal).
+	HeartbeatTimeout time.Duration
+	SlackWindows     int
+	MaxJournalBytes  int64
+	// WrapWorker (tests) wraps each initially dialed worker connection,
+	// by slot, to inject failures.
+	WrapWorker func(i int, c cluster.Conn) cluster.Conn
+}
+
+// Pair is a replicated coordinator: one primary ingress, one hot
+// standby, one replication link between them. Process, Finish,
+// KillPrimary and KillStandby must run on a single goroutine (the
+// feed); the OnTagged callback fires on collector or link goroutines.
+type Pair struct {
+	cfg  Config
+	pool func() (cluster.Conn, error)
+	g    *gate
+	st   *standby
+	ing  *cluster.Ingress
+
+	replCh     chan wire.Frame
+	replConn   cluster.Conn
+	replDown   atomic.Bool
+	cleanFinal atomic.Bool
+	killedFlag atomic.Bool
+	senderDone chan struct{}
+	ackDone    chan struct{}
+	replClosed bool
+
+	// ring retains fed events the standby has not yet acknowledged
+	// (consumer side): the takeover successor re-feeds the tail past
+	// the last mirrored cut. Trimmed to the gate's acked watermark.
+	ring []event.Event
+
+	tookOver    bool
+	standbyLost atomic.Bool
+	degradeErr  atomic.Pointer[string]
+	takeover    *recovery.Takeover
+	err         error
+}
+
+// New dials the workers, starts the standby and its replication link,
+// and brings up the primary coordinator at epoch 1.
+func New(cfg Config) (*Pair, error) {
+	if cfg.Pattern == nil || cfg.Schema == nil || cfg.KeyAttr == "" {
+		return nil, fmt.Errorf("ha: Pattern, Schema and KeyAttr are required")
+	}
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("ha: at least one worker address is required")
+	}
+	if cfg.OnTagged == nil {
+		return nil, fmt.Errorf("ha: OnTagged is required (the pair exists to deliver a stream)")
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 256
+	}
+	if cfg.Pattern.Window <= 0 {
+		return nil, fmt.Errorf("ha: pattern window must be positive (it sizes the mirror journal)")
+	}
+	p := &Pair{
+		cfg:        cfg,
+		replCh:     make(chan wire.Frame, replDepth),
+		senderDone: make(chan struct{}),
+		ackDone:    make(chan struct{}),
+	}
+	if len(cfg.Standbys) > 0 {
+		p.pool = cluster.DialStandbys(cfg.Standbys)
+	}
+
+	// The replication link is a real loopback stream — the v5 frames
+	// serialize end to end, and the mirror's decoded events are fresh
+	// allocations with no aliasing back into the primary.
+	l, err := cluster.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("ha: replication listener: %w", err)
+	}
+	p.st = &standby{
+		window: cfg.Pattern.Window, slack: cfg.SlackWindows,
+		maxBytes: cfg.MaxJournalBytes, l: l, done: make(chan struct{}),
+	}
+	go p.st.run()
+	replConn, err := cluster.DialTCP(l.Addr())
+	if err != nil {
+		p.st.stop()
+		<-p.st.done
+		return nil, fmt.Errorf("ha: dialing replication link: %w", err)
+	}
+	p.replConn = replConn
+	if err := replConn.Send(wire.Epoch{Epoch: 1}); err != nil {
+		// The sender and ack reader have not started: tear down by hand.
+		p.st.stop()
+		<-p.st.done
+		replConn.Close()
+		return nil, fmt.Errorf("ha: opening replication link: %w", err)
+	}
+	p.g = &gate{out: cfg.OnTagged, publish: p.replSend}
+	p.g.ackCond = sync.NewCond(&p.g.mu)
+	go p.sender()
+	go p.ackReader()
+
+	conns := make([]cluster.Conn, len(cfg.Workers))
+	for i, addr := range cfg.Workers {
+		c, err := cluster.DialTCP(addr)
+		if err != nil {
+			for _, cc := range conns[:i] {
+				cc.Close()
+			}
+			p.abort()
+			return nil, fmt.Errorf("ha: dialing worker %d: %w", i, err)
+		}
+		if cfg.WrapWorker != nil {
+			c = cfg.WrapWorker(i, c)
+		}
+		conns[i] = c
+	}
+	ing, err := cluster.NewIngress(cfg.Pattern, conns, cluster.IngressOptions{
+		Batch: cfg.Batch, KeyAttr: cfg.KeyAttr, Schema: cfg.Schema,
+		OnTagged:   p.g.onTagged,
+		OnProgress: p.g.onProgress,
+		OnCut:      p.onCut,
+		Epoch:      1,
+		Addrs:      cfg.Workers,
+		Recovery: &cluster.RecoveryConfig{
+			Standby: p.pool, HeartbeatTimeout: cfg.HeartbeatTimeout,
+			SlackWindows: cfg.SlackWindows, MaxJournalBytes: cfg.MaxJournalBytes,
+		},
+	})
+	if err != nil {
+		p.abort()
+		return nil, err
+	}
+	p.ing = ing
+	return p, nil
+}
+
+// abort tears the replication machinery down from a failed
+// construction: closing the link first unblocks the ack reader, so
+// shutdownRepl's joins cannot hang on a healthy standby.
+func (p *Pair) abort() {
+	p.cleanFinal.Store(true) // suppress degrade bookkeeping: nothing ran
+	p.replDown.Store(true)
+	p.replConn.Close()
+	p.st.stop()
+	p.shutdownRepl()
+}
+
+// onCut is the primary's replication tap (ingress goroutine, behind the
+// send barrier): the sealed cut becomes one ReplCut frame. Owner and
+// Addrs are copied — the ingress mutates them after the call — while
+// the event runs alias the journal-retained cut slices, which are
+// immutable for the rest of the run.
+func (p *Pair) onCut(ci cluster.CutInfo) {
+	if p.replDown.Load() {
+		return
+	}
+	rc := wire.ReplCut{
+		UpTo: ci.UpTo, Final: ci.Final,
+		Owner: make([]uint32, len(ci.Owner)),
+		Addrs: append([]string(nil), ci.Addrs...),
+	}
+	for g, o := range ci.Owner {
+		if o < 0 {
+			rc.Owner[g] = ^uint32(0)
+		} else {
+			rc.Owner[g] = uint32(o)
+		}
+	}
+	for g, evs := range ci.Bufs {
+		if len(evs) > 0 {
+			rc.Runs = append(rc.Runs, wire.ReplRun{Shard: uint32(g), Events: evs})
+		}
+	}
+	p.replCh <- rc
+	if !rc.Final && ci.UpTo > uint64(replLagCuts*p.cfg.Batch) {
+		// Flow control: block the feed until the mirror is within the
+		// replication window. The Final cut instead resolves through the
+		// stand-down handshake in Finish.
+		p.g.waitAcked(ci.UpTo - uint64(replLagCuts*p.cfg.Batch))
+	}
+}
+
+// replSend enqueues a gate-published frame on the replication link.
+func (p *Pair) replSend(f wire.Frame) {
+	if p.replDown.Load() {
+		return
+	}
+	p.replCh <- f
+}
+
+// sender owns all writes to the replication link: ReplCut frames from
+// the ingress goroutine and ReplState frames from the gate serialize
+// through one channel, keeping the single-writer contract of the Conn.
+// After a link failure it keeps draining (discarding) so no producer
+// ever blocks on a dead standby.
+func (p *Pair) sender() {
+	defer close(p.senderDone)
+	for f := range p.replCh {
+		if p.replDown.Load() {
+			continue
+		}
+		if err := p.replConn.Send(f); err != nil {
+			p.replDown.Store(true)
+			p.replFailed(err)
+		}
+	}
+}
+
+// ackReader consumes the standby's acknowledgements: per-cut mirror
+// watermarks, and the terminal stand-down ack that fully opens the
+// gate at end of stream.
+func (p *Pair) ackReader() {
+	defer close(p.ackDone)
+	for {
+		f, err := p.replConn.Recv()
+		if err != nil {
+			if !p.cleanFinal.Load() {
+				p.replDown.Store(true)
+				p.replFailed(err)
+			}
+			return
+		}
+		if w, ok := f.(wire.Watermark); ok {
+			if w.UpTo == math.MaxUint64 {
+				p.cleanFinal.Store(true)
+			}
+			p.g.onAck(w.UpTo)
+		}
+	}
+}
+
+// replFailed routes a replication-link failure: after a clean final or
+// a deliberate primary kill it is expected; otherwise the standby is
+// lost and the primary degrades — the gate opens on the collector
+// frontier alone and the run continues without takeover coverage.
+func (p *Pair) replFailed(err error) {
+	if p.cleanFinal.Load() || p.killedFlag.Load() {
+		return
+	}
+	if p.standbyLost.CompareAndSwap(false, true) {
+		msg := fmt.Sprintf("ha: replication link lost, primary continuing degraded: %v", err)
+		p.degradeErr.Store(&msg)
+	}
+	p.g.degrade()
+}
+
+// Process feeds one event through the primary (or, after takeover, the
+// successor). Same contract as Ingress.Process.
+func (p *Pair) Process(ev *event.Event) {
+	if p.err != nil {
+		return
+	}
+	if !p.tookOver && !p.standbyLost.Load() {
+		p.ring = append(p.ring, *ev)
+		if len(p.ring) >= 4*p.cfg.Batch {
+			p.trimRing()
+		}
+	}
+	p.ing.Process(ev)
+}
+
+// trimRing drops the ring prefix the standby has acknowledged — those
+// events live in the mirror journal now and will never be re-fed.
+func (p *Pair) trimRing() {
+	acked := p.g.ackedSeq()
+	i := 0
+	for i < len(p.ring) && p.ring[i].Seq <= acked {
+		i++
+	}
+	if i > 0 {
+		p.ring = append(p.ring[:0], p.ring[i:]...)
+	}
+}
+
+// Finish flushes and drains the stream. On the primary path the final
+// cut rides the replication link, the standby acknowledges it and
+// stands down, and the gate opens fully — so every match (including
+// the end-of-stream flush matches at the max watermark) is delivered
+// before Finish returns.
+func (p *Pair) Finish() error {
+	if p.err != nil {
+		return p.err
+	}
+	err := p.ing.Finish()
+	p.shutdownRepl()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// shutdownRepl tears the replication machinery down in dependency
+// order: wait for the ack reader (it exits on stand-down, link failure,
+// or kill), stop the sender, then join the standby goroutine.
+// Idempotent; safe on every path (clean finish, degraded, takeover).
+func (p *Pair) shutdownRepl() {
+	if p.replClosed {
+		return
+	}
+	p.replClosed = true
+	<-p.ackDone
+	close(p.replCh)
+	<-p.senderDone
+	p.replConn.Close()
+	<-p.st.done
+}
+
+// KillPrimary kills the primary coordinator as if its process died —
+// the emission gate freezes, the replication link drops, every worker
+// connection slams shut — and then drives the standby's takeover:
+// a successor coordinator is built from the mirrored state and the
+// stream resumes. Returns the double-death error when the standby was
+// already lost; the takeover record is available from Takeover().
+func (p *Pair) KillPrimary() error {
+	if p.err != nil {
+		return p.err
+	}
+	if p.tookOver {
+		return fmt.Errorf("ha: primary already killed (successor running)")
+	}
+	p.killedFlag.Store(true)
+	delivered := p.g.kill()
+	p.replDown.Store(true)
+	p.replConn.Close()
+	p.ing.Kill()
+	p.shutdownRepl()
+
+	st := p.st.snapshot()
+	if st.stopped || p.standbyLost.Load() {
+		p.err = fmt.Errorf("ha: double death: primary killed after the standby was lost; the stream cannot resume")
+		return p.err
+	}
+	detectedAt := st.detectedAt
+	cause := st.cause
+	if !st.dead {
+		// The standby goroutine lost the accept race to the kill; the
+		// death is still real, just attributed here.
+		detectedAt = time.Now()
+		cause = "ha: primary killed before the mirror observed it"
+	}
+	if st.journal == nil || st.cuts == 0 {
+		p.err = fmt.Errorf("ha: takeover impossible: the standby mirrored no cut before the primary died")
+		return p.err
+	}
+	return p.runTakeover(delivered, st, cause, detectedAt)
+}
+
+// runTakeover builds the successor from the mirrored state: re-dial
+// every live slot (replicated address first, standby pool as fallback),
+// construct a resuming ingress at epoch 2, re-feed the unacknowledged
+// event tail, and record the incident.
+func (p *Pair) runTakeover(delivered uint64, st mirrorState, cause string, detectedAt time.Time) error {
+	slotIdx := make(map[int]int)
+	var conns []cluster.Conn
+	var addrs []string
+	redialed := 0
+	newOwner := make([]int, len(st.owner))
+	fail := func(err error) error {
+		for _, c := range conns {
+			c.Close()
+		}
+		p.err = err
+		return err
+	}
+	for g, o := range st.owner {
+		if o < 0 {
+			newOwner[g] = -1
+			continue
+		}
+		idx, ok := slotIdx[o]
+		if !ok {
+			var c cluster.Conn
+			addr := ""
+			if o < len(st.addrs) {
+				addr = st.addrs[o]
+			}
+			if addr != "" {
+				if cc, err := cluster.DialTCP(addr); err == nil {
+					c = cc
+					redialed++
+				}
+			}
+			if c == nil && p.pool != nil {
+				if cc, err := p.pool(); err == nil {
+					c = cc
+				}
+			}
+			if c == nil {
+				return fail(fmt.Errorf("ha: double death: worker slot %d (addr %q) unreachable and no standby remains", o, addr))
+			}
+			idx = len(conns)
+			conns = append(conns, c)
+			addrs = append(addrs, addr)
+			slotIdx[o] = idx
+		}
+		newOwner[g] = idx
+	}
+	// The regenerated stream repeats, in the same deterministic merge
+	// order, exactly the matches the primary delivered past the last
+	// emission state the mirror received — drop that many.
+	skip := delivered - st.count
+	p.g.takeover(skip)
+	ing, err := cluster.NewIngress(p.cfg.Pattern, conns, cluster.IngressOptions{
+		Batch: p.cfg.Batch, KeyAttr: p.cfg.KeyAttr, Schema: p.cfg.Schema,
+		OnTagged: p.g.onTagged,
+		Epoch:    2,
+		Addrs:    addrs,
+		Recovery: &cluster.RecoveryConfig{
+			Standby: p.pool, HeartbeatTimeout: p.cfg.HeartbeatTimeout,
+			SlackWindows: p.cfg.SlackWindows, MaxJournalBytes: p.cfg.MaxJournalBytes,
+		},
+		Resume: &cluster.ResumeState{
+			NextSeq: st.lastUpTo, Boundary: st.emitted,
+			Owner: newOwner, Journal: st.journal,
+		},
+	})
+	if err != nil {
+		p.err = fmt.Errorf("ha: building takeover successor: %w", err)
+		return p.err
+	}
+	p.ing = ing
+	p.tookOver = true
+	refed := 0
+	for i := range p.ring {
+		if p.ring[i].Seq <= st.lastUpTo {
+			continue
+		}
+		ing.Process(&p.ring[i])
+		refed++
+	}
+	p.ring = nil
+	var replayCuts, replayEvents int
+	for _, m := range ing.Migrations() {
+		if m.Reason == "takeover" {
+			replayCuts += m.ReplayCuts
+			replayEvents += m.ReplayEvents
+		}
+	}
+	p.takeover = &recovery.Takeover{
+		Epoch: 2, Cause: cause, DetectedAt: detectedAt,
+		Boundary: st.emitted, Skipped: skip,
+		Workers: len(conns), Redialed: redialed,
+		ReplayCuts: replayCuts, ReplayEvents: replayEvents,
+		RefedEvents: refed, ResumedAt: time.Now(),
+	}
+	return nil
+}
+
+// KillStandby kills the standby as if its process died. The primary
+// observes the link failure, degrades the gate, and continues; a later
+// KillPrimary is a double death.
+func (p *Pair) KillStandby() {
+	p.st.stop()
+	<-p.st.done
+	// Deterministic degrade: don't wait for the ack reader to notice.
+	if p.standbyLost.CompareAndSwap(false, true) {
+		msg := "ha: standby killed; primary continuing degraded"
+		p.degradeErr.Store(&msg)
+	}
+	p.g.degrade()
+}
+
+// Ingress exposes the live coordinator (primary, or successor after
+// takeover) for metrics and placement introspection.
+func (p *Pair) Ingress() *cluster.Ingress { return p.ing }
+
+// Takeover reports the coordinator-takeover record (nil if the primary
+// was never killed or takeover failed).
+func (p *Pair) Takeover() *recovery.Takeover { return p.takeover }
+
+// Degraded reports whether the pair lost its standby and continued
+// without takeover coverage, with the cause.
+func (p *Pair) Degraded() (bool, string) {
+	if s := p.degradeErr.Load(); s != nil {
+		return true, *s
+	}
+	return false, ""
+}
+
+// MirrorStats reports how much the standby mirrored (cuts, events) —
+// the replication volume behind the overhead measurements.
+func (p *Pair) MirrorStats() (cuts, events int) {
+	p.st.mu.Lock()
+	defer p.st.mu.Unlock()
+	return p.st.cuts, p.st.events
+}
+
+// Delivered reports the matches emitted downstream so far.
+func (p *Pair) Delivered() uint64 { return p.g.deliveredCount() }

@@ -1,0 +1,347 @@
+package ha
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"acep/internal/cluster"
+	"acep/internal/engine"
+	"acep/internal/gen"
+	"acep/internal/shard"
+	"acep/internal/wire"
+)
+
+// tagRecorder canonicalizes a tagged-match stream exactly like the
+// cluster tests: the wire encoding of every match in delivery order, so
+// byte equality means identical match sets in identical order.
+type tagRecorder struct {
+	mu  sync.Mutex
+	buf []byte
+	n   int
+}
+
+func (r *tagRecorder) rec(t shard.Tagged) {
+	r.mu.Lock()
+	r.buf = wire.Append(r.buf, wire.TaggedMatch{Seq: t.Seq, M: t.M})
+	r.n++
+	r.mu.Unlock()
+}
+
+// haWorkload mirrors the cluster failover workloads: enough keys that
+// every node of a 3×2 cluster owns live traffic.
+func haWorkload(t *testing.T, dataset string) *gen.Workload {
+	t.Helper()
+	switch dataset {
+	case "traffic":
+		return gen.Traffic(gen.TrafficConfig{
+			Types: 6, Events: 5000, Seed: 17, Shifts: 1, MeanGap: 3, Keys: 12,
+		})
+	case "stocks":
+		return gen.Stocks(gen.StocksConfig{
+			Types: 6, Events: 5000, Seed: 23, MeanGap: 3, DriftEvery: 300, Keys: 16,
+		})
+	default:
+		t.Fatalf("unknown dataset %s", dataset)
+		return nil
+	}
+}
+
+// runShardedRef is the single-process reference at equal total shards.
+func runShardedRef(t *testing.T, w *gen.Workload, kind gen.Kind, shards int) *tagRecorder {
+	t.Helper()
+	pat, err := w.Pattern(kind, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &tagRecorder{}
+	eng, err := shard.New(pat, engine.Config{CheckEvery: 250}, shard.Options{
+		Shards: shards, Batch: 128, KeyAttr: "key", Schema: w.Schema,
+		OnTagged: rec.rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Events {
+		eng.Process(&w.Events[i])
+	}
+	eng.Finish()
+	return rec
+}
+
+func requireIdentical(t *testing.T, label string, got, want *tagRecorder) {
+	t.Helper()
+	if want.n == 0 {
+		t.Fatalf("%s: reference produced no matches; test is vacuous", label)
+	}
+	if !bytes.Equal(got.buf, want.buf) {
+		t.Fatalf("%s: HA stream diverges from sharded reference (%d vs %d matches)",
+			label, got.n, want.n)
+	}
+}
+
+// haRig launches worker node processes (ServeListener on loopback TCP)
+// plus a pool of bare standby workers, returning their addresses. Fresh
+// nodes per call: a worker process latches the highest coordinator
+// epoch it has served, so rigs are never shared between runs.
+type haRig struct {
+	workers  []string
+	standbys []string
+	mu       sync.Mutex
+	errs     []error
+}
+
+func (r *haRig) noteErr(err error) {
+	r.mu.Lock()
+	r.errs = append(r.errs, err)
+	r.mu.Unlock()
+}
+
+func startHARig(t *testing.T, w *gen.Workload, kind gen.Kind, standbys int) *haRig {
+	t.Helper()
+	pat, err := w.Pattern(kind, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig := &haRig{}
+	start := func(configured bool) string {
+		cfg := cluster.NodeConfig{
+			Engine: engine.Config{CheckEvery: 250}, Batch: 64, KeyAttr: "key",
+		}
+		if configured {
+			cfg.Pattern, cfg.Schema, cfg.Shards = pat, w.Schema, 2
+		}
+		node, err := cluster.NewNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := cluster.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		go node.ServeListener(l, rig.noteErr) //nolint:errcheck // closed at test end
+		return l.Addr()
+	}
+	for i := 0; i < 3; i++ {
+		rig.workers = append(rig.workers, start(true))
+	}
+	for k := 0; k < standbys; k++ {
+		rig.standbys = append(rig.standbys, start(false))
+	}
+	return rig
+}
+
+// runPair streams the workload through a replicated pair, invoking the
+// `at` hooks just before the given event indexes (on the feed
+// goroutine, the calling contract of KillPrimary and friends).
+func runPair(t *testing.T, rig *haRig, w *gen.Workload, kind gen.Kind,
+	wrap func(i int, c cluster.Conn) cluster.Conn, at map[int]func(*Pair)) (*tagRecorder, *Pair) {
+	t.Helper()
+	pat, err := w.Pattern(kind, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &tagRecorder{}
+	p, err := New(Config{
+		Pattern: pat, Schema: w.Schema, KeyAttr: "key", Batch: 64,
+		Workers: rig.workers, Standbys: rig.standbys,
+		OnTagged: rec.rec, WrapWorker: wrap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Events {
+		if fn, ok := at[i]; ok {
+			fn(p)
+		}
+		p.Process(&w.Events[i])
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.Finish() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("pair finished with error: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("pair Finish hung")
+	}
+	return rec, p
+}
+
+// TestTakeoverByteIdentical is the tentpole's acceptance criterion:
+// the primary coordinator is killed mid-cut (a partial cut pending,
+// matches in flight at the gate) and the standby's successor resumes —
+// the delivered stream must be byte-identical to the single-process
+// sharded engine, across sequence, negation, Kleene and composite
+// patterns on both workload regimes.
+func TestTakeoverByteIdentical(t *testing.T) {
+	for _, dataset := range []string{"traffic", "stocks"} {
+		for _, kind := range []gen.Kind{gen.Sequence, gen.Negation, gen.Kleene, gen.Composite} {
+			w := haWorkload(t, dataset)
+			want := runShardedRef(t, w, kind, 6)
+			rig := startHARig(t, w, kind, 0)
+			got, p := runPair(t, rig, w, kind, nil, map[int]func(*Pair){
+				2500: func(p *Pair) {
+					if err := p.KillPrimary(); err != nil {
+						t.Fatalf("takeover failed: %v", err)
+					}
+				},
+			})
+			requireIdentical(t, fmt.Sprintf("%s/%v", dataset, kind), got, want)
+			tk := p.Takeover()
+			if tk == nil {
+				t.Fatalf("%s/%v: no takeover record", dataset, kind)
+			}
+			if tk.Epoch != 2 || tk.Workers != 3 {
+				t.Fatalf("%s/%v: takeover %+v, want epoch 2 over 3 workers", dataset, kind, tk)
+			}
+			if tk.Boundary == 0 || tk.ReplayCuts == 0 || tk.ReplayEvents == 0 {
+				t.Fatalf("%s/%v: successor replayed nothing: %+v", dataset, kind, tk)
+			}
+			if tk.RefedEvents == 0 {
+				t.Fatalf("%s/%v: no unacknowledged tail was re-fed: %+v", dataset, kind, tk)
+			}
+			if tk.ResumedAt.IsZero() || tk.Pause() <= 0 {
+				t.Fatalf("%s/%v: takeover never stamped its resumption: %+v", dataset, kind, tk)
+			}
+			if deg, cause := p.Degraded(); deg {
+				t.Fatalf("%s/%v: healthy takeover reported degradation: %s", dataset, kind, cause)
+			}
+		}
+	}
+}
+
+// TestTakeoverMidMigration — kill matrix: the primary dies right after
+// initiating a shard migration, before (and after) the mirrored owner
+// table could reflect it. Either way the successor resumes from the
+// table its mirror holds and the stream stays exact.
+func TestTakeoverMidMigration(t *testing.T) {
+	for _, killAt := range []int{2010, 2100} { // before / after the next cut mirrors the move
+		w := haWorkload(t, "traffic")
+		want := runShardedRef(t, w, gen.Sequence, 6)
+		rig := startHARig(t, w, gen.Sequence, 0)
+		got, p := runPair(t, rig, w, gen.Sequence, nil, map[int]func(*Pair){
+			2000: func(p *Pair) {
+				if err := p.Ingress().MigrateShard(2, 0); err != nil {
+					t.Fatalf("migration before the kill failed: %v", err)
+				}
+			},
+			killAt: func(p *Pair) {
+				if err := p.KillPrimary(); err != nil {
+					t.Fatalf("takeover failed: %v", err)
+				}
+			},
+		})
+		requireIdentical(t, fmt.Sprintf("mid-migration kill@%d", killAt), got, want)
+		if tk := p.Takeover(); tk == nil || tk.ReplayCuts == 0 {
+			t.Fatalf("kill@%d: takeover record %+v", killAt, tk)
+		}
+	}
+}
+
+// TestTakeoverDuringWorkerFailover — kill matrix: a worker dies first
+// (its shards fail over to a pool standby on the primary), then the
+// primary dies. The successor re-dials the replicated address table —
+// which already points the failed slot at its adopted standby — and the
+// stream stays exact end to end.
+func TestTakeoverDuringWorkerFailover(t *testing.T) {
+	w := haWorkload(t, "traffic")
+	want := runShardedRef(t, w, gen.Sequence, 6)
+	rig := startHARig(t, w, gen.Sequence, 1)
+	got, p := runPair(t, rig, w, gen.Sequence,
+		func(i int, c cluster.Conn) cluster.Conn {
+			if i == 1 {
+				return &flakyConn{Conn: c, sendBudget: 30}
+			}
+			return c
+		},
+		map[int]func(*Pair){
+			2500: func(p *Pair) {
+				if err := p.KillPrimary(); err != nil {
+					t.Fatalf("takeover after worker failover failed: %v", err)
+				}
+			},
+		})
+	requireIdentical(t, "takeover during worker failover", got, want)
+	tk := p.Takeover()
+	if tk == nil || tk.Workers != 3 {
+		t.Fatalf("takeover %+v, want 3 workers re-established", tk)
+	}
+}
+
+// TestStandbyKilledBeforeTakeover — kill matrix: the standby dies
+// mid-run. The primary degrades (gate opens on the collector frontier
+// alone) and the run completes exactly, with the degradation surfaced.
+func TestStandbyKilledBeforeTakeover(t *testing.T) {
+	w := haWorkload(t, "traffic")
+	want := runShardedRef(t, w, gen.Sequence, 6)
+	rig := startHARig(t, w, gen.Sequence, 0)
+	got, p := runPair(t, rig, w, gen.Sequence, nil, map[int]func(*Pair){
+		2000: func(p *Pair) { p.KillStandby() },
+	})
+	requireIdentical(t, "standby killed mid-run", got, want)
+	deg, cause := p.Degraded()
+	if !deg || cause == "" {
+		t.Fatal("losing the standby did not surface degradation")
+	}
+	if p.Takeover() != nil {
+		t.Fatal("degraded run recorded a takeover")
+	}
+}
+
+// TestDoubleDeath — kill matrix: the primary dies after the standby is
+// already gone. No state can resume the stream; the failure must be an
+// explicit error, not a hang or a silently truncated stream.
+func TestDoubleDeath(t *testing.T) {
+	w := haWorkload(t, "traffic")
+	rig := startHARig(t, w, gen.Sequence, 0)
+	pat, err := w.Pattern(gen.Sequence, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &tagRecorder{}
+	p, err := New(Config{
+		Pattern: pat, Schema: w.Schema, KeyAttr: "key", Batch: 64,
+		Workers: rig.workers, OnTagged: rec.rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var killErr error
+	for i := range w.Events {
+		switch i {
+		case 2000:
+			p.KillStandby()
+		case 3000:
+			killErr = p.KillPrimary()
+		}
+		p.Process(&w.Events[i])
+	}
+	if killErr == nil || !strings.Contains(killErr.Error(), "double death") {
+		t.Fatalf("double death returned %v, want an explicit double-death error", killErr)
+	}
+	if err := p.Finish(); err == nil || !strings.Contains(err.Error(), "double death") {
+		t.Fatalf("Finish returned %v after a double death", err)
+	}
+}
+
+// flakyConn injects an ingress-side link death after a send budget —
+// the same failure shape the cluster kill matrix uses.
+type flakyConn struct {
+	cluster.Conn
+	sendBudget int
+}
+
+func (f *flakyConn) Send(fr wire.Frame) error {
+	if f.sendBudget <= 0 {
+		f.Conn.Close()
+		return fmt.Errorf("flaky: injected send failure")
+	}
+	f.sendBudget--
+	return f.Conn.Send(fr)
+}

@@ -1,0 +1,216 @@
+package ha
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"acep/internal/cluster"
+	"acep/internal/event"
+	recovery "acep/internal/recover"
+	"acep/internal/wire"
+)
+
+// standby is the hot-standby side of the replication link: it tails the
+// primary's sealed-cut stream into a mirror journal — the same journal
+// type the primary itself retains for worker failover — together with
+// the owner table, the per-slot worker addresses, and the primary's
+// emission state. Every mirrored cut is acknowledged with its
+// watermark; the primary's emission gate holds matches until the cut
+// producing them is acknowledged, which is what makes the mirror's
+// (lastUpTo, emitted, count) triple sufficient to resume the stream
+// byte-identically after a takeover.
+//
+// run owns the link end to end on one goroutine; the Pair reads the
+// mirrored state (snapshot) only after that goroutine has exited — on
+// primary death, stand-down, or KillStandby.
+type standby struct {
+	window   event.Time
+	slack    int
+	maxBytes int64
+
+	l    *cluster.Listener
+	done chan struct{}
+
+	mu         sync.Mutex
+	conn       cluster.Conn
+	journal    *recovery.Journal
+	lastUpTo   uint64 // newest mirrored cut watermark
+	emitted    uint64 // primary's last received EmittedUpTo (E*)
+	count      uint64 // primary's delivered count at that boundary (N*)
+	owner      []int
+	addrs      []string
+	cuts       int
+	events     int
+	finished   bool // saw the Final cut: clean stand-down
+	stopped    bool // KillStandby: deliberate shutdown
+	dead       bool // primary death observed on the link
+	cause      string
+	detectedAt time.Time
+}
+
+// mirrorState is the snapshot a takeover resumes from.
+type mirrorState struct {
+	journal    *recovery.Journal
+	lastUpTo   uint64
+	emitted    uint64
+	count      uint64
+	owner      []int
+	addrs      []string
+	cuts       int
+	events     int
+	finished   bool
+	stopped    bool
+	dead       bool
+	cause      string
+	detectedAt time.Time
+}
+
+// run accepts the primary's replication dial and tails the link until
+// the primary stands it down (Final cut), dies, or the standby itself
+// is stopped.
+func (s *standby) run() {
+	defer close(s.done)
+	conn, err := s.l.Accept()
+	if err != nil {
+		s.fail(fmt.Errorf("ha: standby accept: %w", err))
+		return
+	}
+	s.mu.Lock()
+	s.conn = conn
+	stopped := s.stopped
+	s.mu.Unlock()
+	if stopped {
+		conn.Close()
+		return
+	}
+	for {
+		f, err := conn.Recv()
+		if err != nil {
+			s.fail(fmt.Errorf("ha: replication link: %w", err))
+			conn.Close()
+			return
+		}
+		switch v := f.(type) {
+		case wire.Epoch:
+			// Link opening: the primary declares its epoch. The mirror
+			// only ever serves one primary per run, so recording it is
+			// all the fencing this side needs.
+		case wire.ReplCut:
+			s.mirror(v)
+			if v.Final {
+				// Stand-down: the stream ended cleanly on the primary.
+				// The terminal ack fully opens the primary's gate (its
+				// end-of-stream flush matches carry the max watermark).
+				conn.Send(wire.Watermark{UpTo: math.MaxUint64}) //nolint:errcheck // primary may already be gone
+				s.mu.Lock()
+				s.finished = true
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			if err := conn.Send(wire.Watermark{UpTo: v.UpTo}); err != nil {
+				s.fail(fmt.Errorf("ha: acking mirrored cut: %w", err))
+				conn.Close()
+				return
+			}
+		case wire.ReplState:
+			s.mu.Lock()
+			s.emitted, s.count = v.EmittedUpTo, v.Count
+			if s.journal != nil {
+				// Retention follows the primary's *emission* boundary,
+				// not the mirrored watermark: matches above it may need
+				// regeneration on takeover, so the history producing
+				// them must stay replayable.
+				s.journal.Advance(v.EmittedUpTo)
+			}
+			s.mu.Unlock()
+		default:
+			s.fail(fmt.Errorf("ha: unexpected %s frame on the replication link", wire.KindOf(f)))
+			conn.Close()
+			return
+		}
+	}
+}
+
+// mirror appends one replicated cut to the mirror journal, creating it
+// lazily at the first cut (which fixes the global shard count).
+func (s *standby) mirror(v wire.ReplCut) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := len(v.Owner)
+	if s.journal == nil && total > 0 {
+		j, err := recovery.NewJournal(recovery.JournalConfig{
+			Window: s.window, Shards: total,
+			SlackWindows: s.slack, MaxBytes: s.maxBytes,
+		})
+		if err != nil {
+			return // window invalid: New validated it, unreachable
+		}
+		s.journal = j
+	}
+	if s.journal != nil {
+		perShard := make([][]event.Event, total)
+		for _, r := range v.Runs {
+			if int(r.Shard) < total {
+				perShard[r.Shard] = r.Events
+			}
+		}
+		s.journal.Append(perShard, v.UpTo)
+	}
+	s.lastUpTo = v.UpTo
+	s.owner = s.owner[:0]
+	for _, o := range v.Owner {
+		if o == ^uint32(0) {
+			s.owner = append(s.owner, -1)
+		} else {
+			s.owner = append(s.owner, int(o))
+		}
+	}
+	s.addrs = append(s.addrs[:0], v.Addrs...)
+	s.cuts++
+	for _, r := range v.Runs {
+		s.events += len(r.Events)
+	}
+}
+
+// fail records the primary's death as observed on the link — unless the
+// link ended for a benign reason (stand-down or deliberate stop).
+func (s *standby) fail(err error) {
+	s.mu.Lock()
+	if !s.finished && !s.stopped && !s.dead {
+		s.dead = true
+		s.cause = err.Error()
+		s.detectedAt = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// stop shuts the standby down deliberately (the standby-death half of
+// the kill matrix). Safe before or after the link is up.
+func (s *standby) stop() {
+	s.mu.Lock()
+	s.stopped = true
+	c := s.conn
+	s.mu.Unlock()
+	s.l.Close()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// snapshot copies the mirrored state. Call only after done is closed.
+func (s *standby) snapshot() mirrorState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return mirrorState{
+		journal: s.journal, lastUpTo: s.lastUpTo,
+		emitted: s.emitted, count: s.count,
+		owner: append([]int(nil), s.owner...),
+		addrs: append([]string(nil), s.addrs...),
+		cuts:  s.cuts, events: s.events,
+		finished: s.finished, stopped: s.stopped, dead: s.dead,
+		cause: s.cause, detectedAt: s.detectedAt,
+	}
+}

@@ -66,7 +66,15 @@ import (
 // per-tenant admission counters; ShardStat is stamped with the cut its
 // sample was taken at; and the PatternAdd/PatternRemove frames register
 // and retire patterns on a running node.
-const Version = 4
+//
+// v5: ingress high availability — Assign is epoch-stamped so workers
+// fence sessions from a superseded coordinator; the replication frames
+// (ReplCut, ReplState, Epoch) carry the primary's sealed cuts, owner
+// table and emission boundary to a hot-standby ingress over a dedicated
+// replication link; and Takeover announces a successor's assumption of
+// the cluster, carrying the emission boundary below which every match
+// was already delivered.
+const Version = 5
 
 // MaxFrame bounds one frame's payload (kind+body) in bytes; Decode and
 // Reader reject larger length prefixes as corrupt.
@@ -95,6 +103,10 @@ const (
 	// Multi-pattern caps (Assign extras, tenant tables).
 	maxPatternEntries = 1 << 12 // extra pattern entries per Assign
 	maxTenantEntries  = 1 << 12 // tenant budget/stat entries per frame
+
+	// Ingress-HA caps (ReplCut topology tables and per-shard runs).
+	maxReplRuns  = 1 << 20 // per-shard event runs per ReplCut
+	maxNodeAddrs = 1 << 16 // node addresses per ReplCut table
 )
 
 // Kind tags a frame's body layout.
@@ -151,6 +163,30 @@ const (
 	// (ingress → node); its partial matches are discarded and no further
 	// matches with its id are emitted after the next cut boundary.
 	KindPatternRemove
+	// KindReplCut replicates one sealed cut to a hot-standby ingress
+	// (primary → standby): the cut's per-shard event runs plus, when the
+	// topology changed, the shard owner table and per-slot node
+	// addresses. The standby appends the cut to its mirror journal and
+	// acknowledges with a Watermark frame on the same link.
+	KindReplCut
+	// KindReplState publishes the primary's emission boundary
+	// (primary → standby): every match tagged at or below EmittedUpTo has
+	// been delivered to the consumer, Count matches in total. On takeover
+	// the successor suppresses regenerated matches at or below the
+	// boundary.
+	KindReplState
+	// KindTakeover announces a successor ingress to a worker
+	// (successor → node, right after the Assign handshake): the
+	// successor's epoch, the emission boundary below which every match
+	// was already delivered to the consumer, and the delivered count at
+	// that boundary. The node suppresses any match tagged at or below
+	// Boundary for the rest of the session.
+	KindTakeover
+	// KindEpoch opens a replication link (primary → standby), declaring
+	// the primary's coordination epoch; a takeover successor runs at
+	// Epoch+1 and fences the old primary's worker sessions via the
+	// epoch-stamped Assign.
+	KindEpoch
 )
 
 // String names the frame kind.
@@ -184,6 +220,14 @@ func (k Kind) String() string {
 		return "pattern-add"
 	case KindPatternRemove:
 		return "pattern-remove"
+	case KindReplCut:
+		return "repl-cut"
+	case KindReplState:
+		return "repl-state"
+	case KindTakeover:
+		return "takeover"
+	case KindEpoch:
+		return "epoch"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -226,6 +270,12 @@ type Assign struct {
 	// Tenants is the per-tenant budget table applied node-side before
 	// pattern evaluation (v4); empty means no tenant is budgeted.
 	Tenants []TenantBudgetEntry
+
+	// Epoch is the sending coordinator's epoch (v5). A node remembers the
+	// highest epoch it has ever been assigned under and rejects sessions
+	// carrying a lower one, fencing a superseded primary whose standby
+	// already took over. Zero on clusters without ingress HA.
+	Epoch uint64
 }
 
 // PatternEntry is one pattern of a multi-pattern set: the id tagging its
@@ -380,6 +430,53 @@ type PatternRemove struct {
 	ID uint32
 }
 
+// ReplCut replicates one sealed cut to a hot-standby ingress (see
+// KindReplCut). Runs carries the cut's events grouped by global shard
+// (shards with no events in the cut are omitted); Owner and Addrs ship
+// the shard→slot table and per-slot worker addresses only on the cuts
+// where the topology changed (nil otherwise — the standby keeps the last
+// received tables). Final marks the stream-ending cut: the primary
+// finished cleanly and the standby must stand down instead of taking
+// over when the link closes.
+type ReplCut struct {
+	UpTo  uint64
+	Final bool
+	Owner []uint32
+	Addrs []string
+	Runs  []ReplRun
+}
+
+// ReplRun is one shard's slice of a replicated cut.
+type ReplRun struct {
+	Shard  uint32
+	Events []event.Event
+}
+
+// ReplState publishes the primary's emission boundary to its standby
+// (see KindReplState): every match tagged at or below EmittedUpTo has
+// been delivered, Count matches in total. The standby advances its
+// mirror journal's retention horizon to the boundary — matches above it
+// may need regeneration on takeover, so the history that produces them
+// must stay replayable.
+type ReplState struct {
+	EmittedUpTo uint64
+	Count       uint64
+}
+
+// Takeover announces a successor ingress to a worker (see
+// KindTakeover).
+type Takeover struct {
+	Epoch    uint64
+	Boundary uint64 // suppress matches tagged ≤ Boundary (already delivered)
+	Count    uint64 // matches delivered at the boundary (accounting)
+}
+
+// Epoch opens a replication link, declaring the primary's coordination
+// epoch (see KindEpoch).
+type Epoch struct {
+	Epoch uint64
+}
+
 func (Hello) kind() Kind          { return KindHello }
 func (Assign) kind() Kind         { return KindAssign }
 func (Batch) kind() Kind          { return KindBatch }
@@ -396,6 +493,10 @@ func (ShardRoute) kind() Kind     { return KindShardRoute }
 func (ShardStats) kind() Kind     { return KindShardStats }
 func (PatternAdd) kind() Kind     { return KindPatternAdd }
 func (PatternRemove) kind() Kind  { return KindPatternRemove }
+func (ReplCut) kind() Kind        { return KindReplCut }
+func (ReplState) kind() Kind      { return KindReplState }
+func (Takeover) kind() Kind       { return KindTakeover }
+func (Epoch) kind() Kind          { return KindEpoch }
 
 // KindOf reports a frame's kind.
 func KindOf(f Frame) Kind { return f.kind() }
@@ -446,6 +547,7 @@ func Append(dst []byte, f Frame) []byte {
 			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(t.Budget.Rate))
 			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(t.Budget.Burst))
 		}
+		dst = binary.AppendUvarint(dst, v.Epoch)
 	case Batch:
 		dst = binary.AppendUvarint(dst, v.UpTo)
 		dst = binary.AppendUvarint(dst, uint64(len(v.Events)))
@@ -507,6 +609,52 @@ func Append(dst []byte, f Frame) []byte {
 		dst = appendPattern(dst, v.Entry.Pattern)
 	case PatternRemove:
 		dst = binary.AppendUvarint(dst, uint64(v.ID))
+	case ReplCut:
+		dst = binary.AppendUvarint(dst, v.UpTo)
+		var flags byte
+		if v.Final {
+			flags |= 1
+		}
+		if v.Owner != nil {
+			flags |= 2
+		}
+		if v.Addrs != nil {
+			flags |= 4
+		}
+		dst = append(dst, flags)
+		if v.Owner != nil {
+			dst = binary.AppendUvarint(dst, uint64(len(v.Owner)))
+			for _, o := range v.Owner {
+				dst = binary.AppendUvarint(dst, uint64(o))
+			}
+		}
+		if v.Addrs != nil {
+			dst = binary.AppendUvarint(dst, uint64(len(v.Addrs)))
+			for _, a := range v.Addrs {
+				dst = appendString(dst, a)
+			}
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(v.Runs)))
+		for _, run := range v.Runs {
+			dst = binary.AppendUvarint(dst, uint64(run.Shard))
+			dst = binary.AppendUvarint(dst, uint64(len(run.Events)))
+			var prevTS event.Time
+			var prevSeq uint64
+			for i := range run.Events {
+				ev := &run.Events[i]
+				dst = appendEventDelta(dst, ev, prevTS, prevSeq)
+				prevTS, prevSeq = ev.TS, ev.Seq
+			}
+		}
+	case ReplState:
+		dst = binary.AppendUvarint(dst, v.EmittedUpTo)
+		dst = binary.AppendUvarint(dst, v.Count)
+	case Takeover:
+		dst = binary.AppendUvarint(dst, v.Epoch)
+		dst = binary.AppendUvarint(dst, v.Boundary)
+		dst = binary.AppendUvarint(dst, v.Count)
+	case Epoch:
+		dst = binary.AppendUvarint(dst, v.Epoch)
 	default:
 		panic(fmt.Sprintf("wire: unencodable frame type %T", f))
 	}
@@ -832,6 +980,7 @@ func decodePayload(p []byte) (Frame, error) {
 				Budget: shed.TenantBudget{Rate: c.f64(), Burst: c.f64()},
 			})
 		}
+		v.Epoch = c.uvarint()
 		f = v
 	case KindBatch:
 		v := Batch{UpTo: c.uvarint()}
@@ -906,6 +1055,49 @@ func decodePayload(p []byte) (Frame, error) {
 		f = v
 	case KindPatternRemove:
 		f = PatternRemove{ID: uint32(c.uvarint())}
+	case KindReplCut:
+		v := ReplCut{UpTo: c.uvarint()}
+		flags := c.u8()
+		if c.err == nil && flags&^byte(7) != 0 {
+			c.fail("repl-cut flags %#x unknown", flags)
+		}
+		v.Final = flags&1 != 0
+		if flags&2 != 0 {
+			n := c.count(maxRouteShards, 1, "repl owner")
+			v.Owner = make([]uint32, n)
+			for i := 0; i < n && c.err == nil; i++ {
+				v.Owner[i] = uint32(c.uvarint())
+			}
+		}
+		if flags&4 != 0 {
+			n := c.count(maxNodeAddrs, 1, "repl addr")
+			v.Addrs = make([]string, n)
+			for i := 0; i < n && c.err == nil; i++ {
+				v.Addrs[i] = c.str("repl addr")
+			}
+		}
+		nr := c.count(maxReplRuns, 2, "repl run")
+		for i := 0; i < nr && c.err == nil; i++ {
+			run := ReplRun{Shard: uint32(c.uvarint())}
+			ne := c.count(maxBatchEvents, 4, "repl event")
+			if ne > 0 {
+				run.Events = make([]event.Event, ne)
+				var prevTS event.Time
+				var prevSeq uint64
+				for j := 0; j < ne && c.err == nil; j++ {
+					run.Events[j] = c.eventDelta(prevTS, prevSeq)
+					prevTS, prevSeq = run.Events[j].TS, run.Events[j].Seq
+				}
+			}
+			v.Runs = append(v.Runs, run)
+		}
+		f = v
+	case KindReplState:
+		f = ReplState{EmittedUpTo: c.uvarint(), Count: c.uvarint()}
+	case KindTakeover:
+		f = Takeover{Epoch: c.uvarint(), Boundary: c.uvarint(), Count: c.uvarint()}
+	case KindEpoch:
+		f = Epoch{Epoch: c.uvarint()}
 	default:
 		return nil, fmt.Errorf("wire: unknown frame kind %d", p[0])
 	}

@@ -124,6 +124,23 @@ func frames() []Frame {
 		PatternAdd{Entry: PatternEntry{ID: 99, Tenant: 2, Pattern: samplePattern(s)}},
 		PatternRemove{ID: 99},
 		PatternRemove{},
+		Assign{Base: 0, Shards: 2, Total: 4, Epoch: 3}, // v5: epoch-stamped session
+		ReplCut{ // v5: replicated cut with topology tables
+			UpTo:  1 << 30,
+			Owner: []uint32{0, 1, 1, 0},
+			Addrs: []string{"127.0.0.1:9001", "", "[::1]:40000"},
+			Runs: []ReplRun{
+				{Shard: 0, Events: []event.Event{ev, ev2}},
+				{Shard: 3},
+			},
+		},
+		ReplCut{UpTo: 512, Runs: []ReplRun{{Shard: 1, Events: []event.Event{ev2}}}},
+		ReplCut{UpTo: 1 << 52, Final: true}, // stream-ending marker
+		ReplState{EmittedUpTo: 1 << 40, Count: 12345},
+		ReplState{},
+		Takeover{Epoch: 2, Boundary: 768, Count: 99},
+		Takeover{},
+		Epoch{Epoch: 1},
 		Finish{},
 	}
 }
