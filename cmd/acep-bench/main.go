@@ -76,6 +76,15 @@
 //	acep-bench -exp ha-traffic -json BENCH_ha.json
 //	acep-bench -exp ha-stocks -nodes 3 -shards 2
 //
+// chaos-traffic and chaos-stocks measure partition tolerance: the same
+// replicated pair runs with a deterministically faulty replication link
+// (duplicated and delayed frames, absorbed by the cut-ordinal protocol)
+// and then with the link silently blackholed mid-stream under a lease
+// arbiter — the primary demotes, the successor wins the lease and takes
+// over, and the delivered stream is digest-verified byte-identical:
+//
+//	acep-bench -exp chaos-traffic -json BENCH_chaos.json
+//
 // hotpath-traffic and hotpath-stocks measure the single-engine hot path:
 // per-event cost (events/sec, B/event, allocs/event) of a raw
 // static-plan engine for the sequence, negation and Kleene families on
@@ -136,6 +145,7 @@ func main() {
 		ids = append(ids, bench.ElasticIDs()...)
 		ids = append(ids, bench.MultiIDs()...)
 		ids = append(ids, bench.HAIDs()...)
+		ids = append(ids, bench.ChaosIDs()...)
 		for _, id := range append(ids, bench.HotpathIDs()...) {
 			fmt.Println(id)
 		}
@@ -178,6 +188,7 @@ func main() {
 		ids = append(ids, bench.ElasticIDs()...)
 		ids = append(ids, bench.MultiIDs()...)
 		ids = append(ids, bench.HAIDs()...)
+		ids = append(ids, bench.ChaosIDs()...)
 		ids = append(ids, bench.HotpathIDs()...)
 	}
 	// Profile lifecycle and the experiment loop live in one function so
@@ -242,6 +253,8 @@ func runAll(ids []string, h *bench.Harness, r *bench.Runner, fl flags) error {
 			err = runMulti(h, id, fl.pcount, fl.pset, fl.jsonMD)
 		case contains(bench.HAIDs(), id):
 			err = runHA(h, id, fl.nodes, fl.shards, fl.batch, fl.jsonMD)
+		case contains(bench.ChaosIDs(), id):
+			err = runChaos(h, id, fl.nodes, fl.shards, fl.batch, fl.jsonMD)
 		case contains(bench.HotpathIDs(), id):
 			err = runHotpath(h, id, fl.phase, fl.jsonMD)
 		default:
@@ -418,6 +431,19 @@ func runMulti(h *bench.Harness, id, patternCounts, patternSet, jsonPath string) 
 func runHA(h *bench.Harness, id string, nodes, shardsPerNode, batch int, jsonPath string) error {
 	dataset := strings.TrimPrefix(id, "ha-")
 	d, err := h.HA(dataset, nodes, shardsPerNode, batch)
+	if err != nil {
+		return err
+	}
+	d.Write(os.Stdout)
+	return appendJSON(jsonPath, d.WriteJSON)
+}
+
+// runChaos executes one chaos-* experiment, printing the
+// partition-tolerance table and optionally appending the run to a
+// BENCH_*.json trajectory.
+func runChaos(h *bench.Harness, id string, nodes, shardsPerNode, batch int, jsonPath string) error {
+	dataset := strings.TrimPrefix(id, "chaos-")
+	d, err := h.Chaos(dataset, nodes, shardsPerNode, batch)
 	if err != nil {
 		return err
 	}

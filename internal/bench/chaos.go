@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"acep/internal/chaos"
+	"acep/internal/cluster"
+	"acep/internal/engine"
+	"acep/internal/gen"
+	"acep/internal/ha"
+	"acep/internal/lease"
+	"acep/internal/pattern"
+	"acep/internal/shard"
+)
+
+// ChaosIDs lists the partition-tolerance experiments.
+func ChaosIDs() []string { return []string{"chaos-traffic", "chaos-stocks"} }
+
+// chaosSeed makes the injected fault stream reproducible run to run.
+const chaosSeed = 0xace9
+
+// ChaosData is the partition-tolerance experiment of the HA layer: the
+// identical keyed workload runs through a replicated loopback-TCP pair
+// twice under deterministic fault injection (internal/chaos). The
+// faulty-link run duplicates and delays replication frames the whole
+// way — the cut-ordinal protocol must absorb every fault with zero
+// effect on the delivered stream. The partition run silently blackholes
+// the replication link mid-stream with a lease arbiter attached: the
+// primary must demote (not emit through the partition), the successor
+// must win the lease and take over, and the delivered stream must stay
+// byte-identical to the single-process engine. Both runs digest-verify
+// before reporting; recorded runs accrue in BENCH_chaos.json.
+type ChaosData struct {
+	Dataset       string `json:"dataset"`
+	Events        int    `json:"events"`
+	Keys          int    `json:"keys"`
+	Nodes         int    `json:"nodes"`
+	ShardsPerNode int    `json:"shards_per_node"`
+	Batch         int    `json:"batch"`
+	Cores         int    `json:"cores"`
+	Transport     string `json:"transport"`
+	Seed          uint64 `json:"seed"`
+
+	// Faulty-link run: duplicated and delayed replication frames.
+	CleanTP  float64 `json:"clean_events_per_sec"`
+	FaultyTP float64 `json:"faulty_events_per_sec"`
+	Dups     uint64  `json:"injected_dups"`
+	Delays   uint64  `json:"injected_delays"`
+
+	// Partition run: blackhole at PartitionAt, demotion, lease-arbitrated
+	// takeover at end of feed.
+	PartitionAt    int     `json:"partition_at_event"`
+	DemoteMS       float64 `json:"demote_ms"`         // partition -> gate frozen
+	TakeoverMS     float64 `json:"takeover_pause_ms"` // detection -> resumed
+	RecoveryMS     float64 `json:"recovery_ms"`       // partition -> resumed
+	CommittedCount uint64  `json:"lease_committed_matches"`
+	Skipped        uint64  `json:"skipped_matches"`
+	Matches        uint64  `json:"matches"`
+}
+
+// Chaos measures the HA layer's behavior under injected faults on the
+// keyed dataset (size-4 keyed sequence — the HA experiment's setup). A
+// match-stream divergence in any run is an error, not a data point.
+func (h *Harness) Chaos(dataset string, nodes, shardsPerNode, batch int) (*ChaosData, error) {
+	if nodes <= 0 {
+		nodes = 3
+	}
+	if shardsPerNode <= 0 {
+		shardsPerNode = 2
+	}
+	if batch <= 0 {
+		batch = 256
+	}
+	w := h.KeyedWorkload(dataset)
+	pat, err := w.Pattern(gen.Sequence, 4, h.Scale.Window*16)
+	if err != nil {
+		return nil, err
+	}
+	total := nodes * shardsPerNode
+	cfg := engine.Config{CheckEvery: h.Scale.CheckEvery}
+	data := &ChaosData{
+		Dataset: dataset, Events: len(w.Events), Keys: w.Keys,
+		Nodes: nodes, ShardsPerNode: shardsPerNode, Batch: batch,
+		Cores: runtime.NumCPU(), Transport: "loopback-tcp",
+		Seed: chaosSeed,
+	}
+
+	// Single-process reference digest at the same total shard count.
+	var ref matchDigest
+	refEng, err := shard.New(pat, cfg, shard.Options{
+		Shards: total, Batch: batch, KeyAttr: "key", Schema: w.Schema,
+		OnMatch: ref.add,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range w.Events {
+		refEng.Process(&w.Events[i])
+	}
+	refEng.Finish()
+	verify := func(mode string, d matchDigest) error {
+		if d.n != ref.n || d.h != ref.h {
+			return fmt.Errorf("bench: chaos %s %s delivered %d matches (digest %x), reference %d (digest %x) — fault injection changed the match stream",
+				dataset, mode, d.n, d.h, ref.n, ref.h)
+		}
+		return nil
+	}
+
+	// Clean replicated baseline, then the same pair with a faulty link.
+	if data.CleanTP, err = h.chaosFaultyRun(w, pat, cfg, nodes, shardsPerNode, batch, data, false, verify); err != nil {
+		return nil, err
+	}
+	if data.FaultyTP, err = h.chaosFaultyRun(w, pat, cfg, nodes, shardsPerNode, batch, data, true, verify); err != nil {
+		return nil, err
+	}
+	if err := h.chaosPartitionRun(w, pat, cfg, nodes, shardsPerNode, batch, data, verify); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// chaosFaultyRun feeds the whole stream through a replicated pair whose
+// replication link duplicates and delays frames (faulty true) or is
+// clean (faulty false), and verifies byte-identity either way.
+func (h *Harness) chaosFaultyRun(w *gen.Workload, pat *pattern.Pattern, cfg engine.Config,
+	nodes, shardsPerNode, batch int, data *ChaosData, faulty bool,
+	verify func(string, matchDigest) error) (float64, error) {
+	addrs, closeAll, err := haStartNodes(w, pat, cfg, nodes, shardsPerNode, batch)
+	if err != nil {
+		return 0, err
+	}
+	defer closeAll()
+	var digest matchDigest
+	var wrap *chaos.Wrapper
+	hcfg := ha.Config{
+		Pattern: pat, Schema: w.Schema, KeyAttr: "key", Batch: batch,
+		Workers:  addrs,
+		OnTagged: func(t shard.Tagged) { digest.add(t.M) },
+	}
+	mode := "clean"
+	if faulty {
+		mode = "faulty-link"
+		hcfg.WrapRepl = func(c cluster.Conn) cluster.Conn {
+			wrap = chaos.Wrap(c, chaos.Config{
+				Seed: chaosSeed, DupProb: 0.05,
+				DelayProb: 0.10, MaxDelay: 2 * time.Millisecond,
+			})
+			return wrap
+		}
+	}
+	p, err := ha.New(hcfg)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := range w.Events {
+		p.Process(&w.Events[i])
+	}
+	if err := p.Finish(); err != nil {
+		return 0, fmt.Errorf("bench: chaos %s finish: %w", mode, err)
+	}
+	if deg, cause := p.Degraded(); deg {
+		return 0, fmt.Errorf("bench: chaos %s run degraded: %s", mode, cause)
+	}
+	tp := float64(len(w.Events)) / time.Since(start).Seconds()
+	if wrap != nil {
+		st := wrap.Stats()
+		data.Dups, data.Delays = st.Dups, st.Delays
+	}
+	return tp, verify(mode, digest)
+}
+
+// chaosPartitionRun is the split-brain drill: a lease-arbitrated pair
+// whose replication link is silently blackholed ~40% into the stream.
+// The primary demotes once its acknowledgement window times out, the
+// feed continues (frozen), and at end of feed the standby takes over
+// through the lease and delivers the rest — byte-identically.
+func (h *Harness) chaosPartitionRun(w *gen.Workload, pat *pattern.Pattern, cfg engine.Config,
+	nodes, shardsPerNode, batch int, data *ChaosData,
+	verify func(string, matchDigest) error) error {
+	addrs, closeAll, err := haStartNodes(w, pat, cfg, nodes, shardsPerNode, batch)
+	if err != nil {
+		return err
+	}
+	defer closeAll()
+	arb := lease.New()
+	arbAddr, err := arb.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer arb.Close()
+	var digest matchDigest
+	var wrap *chaos.Wrapper
+	p, err := ha.New(ha.Config{
+		Pattern: pat, Schema: w.Schema, KeyAttr: "key", Batch: batch,
+		Workers:   addrs,
+		OnTagged:  func(t shard.Tagged) { digest.add(t.M) },
+		LeaseAddr: arbAddr, LeaseTTL: 300 * time.Millisecond,
+		ReplTimeout: 400 * time.Millisecond,
+		WrapRepl: func(c cluster.Conn) cluster.Conn {
+			wrap = chaos.Wrap(c, chaos.Config{Seed: chaosSeed})
+			return wrap
+		},
+	})
+	if err != nil {
+		return err
+	}
+	partitionAt := len(w.Events) * 2 / 5
+	data.PartitionAt = partitionAt
+	var partitioned time.Time
+	for i := range w.Events {
+		if i == partitionAt {
+			partitioned = time.Now()
+			wrap.Partition()
+		}
+		p.Process(&w.Events[i])
+	}
+	d := p.Demotion()
+	if d == nil {
+		return fmt.Errorf("bench: chaos partition: primary never demoted through the blackhole")
+	}
+	data.DemoteMS = float64(d.At.Sub(partitioned).Microseconds()) / 1000
+	data.CommittedCount = d.Count
+	if err := p.KillPrimary(); err != nil {
+		return fmt.Errorf("bench: chaos takeover: %w", err)
+	}
+	if err := p.Finish(); err != nil {
+		return fmt.Errorf("bench: chaos partition finish: %w", err)
+	}
+	tk := p.Takeover()
+	if tk == nil {
+		return fmt.Errorf("bench: chaos partition: no takeover recorded")
+	}
+	data.TakeoverMS = float64(tk.Pause().Microseconds()) / 1000
+	data.RecoveryMS = float64(tk.ResumedAt.Sub(partitioned).Microseconds()) / 1000
+	data.Skipped = tk.Skipped
+	data.Matches = p.Delivered()
+	return verify("partition", digest)
+}
+
+// Write prints the partition-tolerance table.
+func (d *ChaosData) Write(w io.Writer) {
+	fmt.Fprintf(w, "Partition tolerance — %s workload, %d events, %d keys, %d nodes x %d shards, batch %d, %s, %d cores, seed %#x\n",
+		d.Dataset, d.Events, d.Keys, d.Nodes, d.ShardsPerNode, d.Batch, d.Transport, d.Cores, d.Seed)
+	fmt.Fprintf(w, "%-14s%14s\n", "link", "events/s")
+	fmt.Fprintf(w, "%-14s%14.0f\n", "clean", d.CleanTP)
+	fmt.Fprintf(w, "%-14s%14.0f  (%d dup, %d delayed frames absorbed)\n", "faulty", d.FaultyTP, d.Dups, d.Delays)
+	fmt.Fprintf(w, "partition at event %d: demoted in %.1f ms (committed %d matches), takeover pause %.1f ms, partition-to-resume %.1f ms, skipped %d regenerated, %d matches\n",
+		d.PartitionAt, d.DemoteMS, d.CommittedCount, d.TakeoverMS, d.RecoveryMS, d.Skipped, d.Matches)
+}
+
+// WriteJSON appends the run to a BENCH_*.json trajectory (one JSON
+// object per invocation).
+func (d *ChaosData) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

@@ -1,0 +1,215 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"acep/internal/wire"
+)
+
+// pipeConn is a minimal in-process frame pipe for exercising wrappers.
+type pipeConn struct {
+	out, in chan wire.Frame
+}
+
+func newPipe() (*pipeConn, *pipeConn) {
+	ab := make(chan wire.Frame, 1024)
+	ba := make(chan wire.Frame, 1024)
+	return &pipeConn{out: ab, in: ba}, &pipeConn{out: ba, in: ab}
+}
+
+func (p *pipeConn) Send(f wire.Frame) error {
+	p.out <- f
+	return nil
+}
+
+func (p *pipeConn) Recv() (wire.Frame, error) {
+	f, ok := <-p.in
+	if !ok {
+		return nil, io.EOF
+	}
+	return f, nil
+}
+
+func (p *pipeConn) Close() error {
+	close(p.out)
+	return nil
+}
+
+func wm(n uint64) wire.Frame { return wire.Watermark{UpTo: n} }
+
+func drain(p *pipeConn) []wire.Frame {
+	var got []wire.Frame
+	for {
+		select {
+		case f, ok := <-p.in:
+			if !ok {
+				return got
+			}
+			got = append(got, f)
+		default:
+			return got
+		}
+	}
+}
+
+// TestDeterministicFaultStream: the same seed over the same frame
+// sequence injects the identical faults.
+func TestDeterministicFaultStream(t *testing.T) {
+	run := func(seed uint64) (Stats, []wire.Frame) {
+		a, b := newPipe()
+		w := Wrap(a, Config{Seed: seed, DropProb: 0.2, DupProb: 0.2, ReorderProb: 0.2})
+		for i := uint64(0); i < 200; i++ {
+			if err := w.Send(wm(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := w.Stats()
+		w.Close()
+		return st, drain(b)
+	}
+	s1, f1 := run(42)
+	s2, f2 := run(42)
+	if s1 != s2 {
+		t.Fatalf("same seed, different stats: %+v vs %+v", s1, s2)
+	}
+	if len(f1) != len(f2) {
+		t.Fatalf("same seed, different delivery: %d vs %d frames", len(f1), len(f2))
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("frame %d differs: %v vs %v", i, f1[i], f2[i])
+		}
+	}
+	if s1.Drops == 0 || s1.Dups == 0 || s1.Reorders == 0 {
+		t.Fatalf("faults never fired at p=0.2 over 200 sends: %+v", s1)
+	}
+	s3, _ := run(43)
+	if s1 == s3 {
+		t.Fatalf("different seeds produced the identical fault stream: %+v", s1)
+	}
+}
+
+// TestReorderSwapsAdjacent: a held frame rides out right after the frame
+// that overtook it, and a clean Close flushes a still-held frame.
+func TestReorderSwapsAdjacent(t *testing.T) {
+	a, b := newPipe()
+	w := Wrap(a, Config{Seed: 1, ReorderProb: 1})
+	w.Send(wm(1)) // held
+	w.Send(wm(2)) // overtakes, flushes 1
+	w.Send(wm(3)) // held again (probability 1)
+	w.Close()     // flush on close
+	got := drain(b)
+	want := []uint64{2, 1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d frames, want %d", len(got), len(want))
+	}
+	for i, f := range got {
+		if f.(wire.Watermark).UpTo != want[i] {
+			t.Fatalf("delivery order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPartitionIsSilent(t *testing.T) {
+	a, b := newPipe()
+	w := Wrap(a, Config{})
+	w.Partition()
+	if err := w.Send(wm(1)); err != nil {
+		t.Fatalf("partitioned send must succeed silently, got %v", err)
+	}
+	if got := drain(b); len(got) != 0 {
+		t.Fatalf("frame crossed a partition: %v", got)
+	}
+	// Inbound: a frame the peer sends while partitioned is discarded.
+	b.Send(wm(7))
+	b.Send(wm(8))
+	w.Heal()
+	w.Send(wm(2))
+	if got := drain(b); len(got) != 1 || got[0].(wire.Watermark).UpTo != 2 {
+		t.Fatalf("post-heal delivery: %v", got)
+	}
+}
+
+func TestWedgeBlocksUntilHeal(t *testing.T) {
+	a, _ := newPipe()
+	w := Wrap(a, Config{})
+	w.Wedge()
+	done := make(chan error, 1)
+	go func() { done <- w.Send(wm(1)) }()
+	select {
+	case err := <-done:
+		t.Fatalf("wedged send returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	w.Heal()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("healed send failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("send still blocked after heal")
+	}
+}
+
+func TestSeverSurfacesEverywhere(t *testing.T) {
+	a, _ := newPipe()
+	w := Wrap(a, Config{})
+	boom := errors.New("boom")
+	w.Sever(boom)
+	if err := w.Send(wm(1)); !errors.Is(err, boom) {
+		t.Fatalf("send after sever: %v", err)
+	}
+	if _, err := w.Recv(); !errors.Is(err, boom) {
+		t.Fatalf("recv after sever: %v", err)
+	}
+}
+
+func TestFlakyBudget(t *testing.T) {
+	a, b := newPipe()
+	f := &Flaky{C: a, Budget: 2}
+	if f.Send(wm(1)) != nil || f.Send(wm(2)) != nil {
+		t.Fatal("sends within budget failed")
+	}
+	if f.Send(wm(3)) == nil {
+		t.Fatal("send past budget succeeded")
+	}
+	if got := drain(b); len(got) != 2 {
+		t.Fatalf("delivered %d frames, want 2", len(got))
+	}
+}
+
+func TestScriptReplay(t *testing.T) {
+	s := &Script{Frames: []wire.Frame{wm(1), wm(2)}}
+	if f, _ := s.Recv(); f.(wire.Watermark).UpTo != 1 {
+		t.Fatal("script order")
+	}
+	if f, _ := s.Recv(); f.(wire.Watermark).UpTo != 2 {
+		t.Fatal("script order")
+	}
+	if _, err := s.Recv(); err != io.EOF {
+		t.Fatalf("script end: %v", err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("seed=7,drop=0.01,dup=0.02,reorder=0.03,delay=0.5:20ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{Seed: 7, DropProb: 0.01, DupProb: 0.02, ReorderProb: 0.03, DelayProb: 0.5, MaxDelay: 20 * time.Millisecond}
+	if cfg != want {
+		t.Fatalf("parsed %+v, want %+v", cfg, want)
+	}
+	if c, err := ParseSpec(""); err != nil || c != (Config{}) {
+		t.Fatalf("empty spec: %+v %v", c, err)
+	}
+	for _, bad := range []string{"drop", "drop=2", "delay=0.5", "delay=0.5:zz", "wat=1", "seed=x"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("spec %q parsed", bad)
+		}
+	}
+}

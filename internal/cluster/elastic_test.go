@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"acep/internal/chaos"
 	"acep/internal/engine"
 	"acep/internal/gen"
 )
@@ -159,7 +160,7 @@ func TestMigrateSourceKilled(t *testing.T) {
 	// budget 95 kills it on the first frames after the migration below.
 	rig, _ := startFailoverRig(t, w, gen.Sequence, 1, func(i int, c Conn) Conn {
 		if i == 1 {
-			return &flakyConn{Conn: c, sendBudget: 95}
+			return &chaos.Flaky{C: c, Budget: 95}
 		}
 		return c
 	}, nil)
@@ -203,7 +204,7 @@ func TestMigrateDestKilled(t *testing.T) {
 	// burst lands on top of its ≤94 pre-migration frames.
 	rig, _ := startFailoverRig(t, w, gen.Sequence, 1, func(i int, c Conn) Conn {
 		if i == 0 {
-			return &flakyConn{Conn: c, sendBudget: 96}
+			return &chaos.Flaky{C: c, Budget: 96}
 		}
 		return c
 	}, nil)
@@ -237,7 +238,7 @@ func TestRebalanceDuringFailover(t *testing.T) {
 	want := runSharded(t, w, gen.Sequence, 6)
 	rig, _ := startFailoverRig(t, w, gen.Sequence, 1, func(i int, c Conn) Conn {
 		if i == 1 {
-			return &flakyConn{Conn: c, sendBudget: 45}
+			return &chaos.Flaky{C: c, Budget: 45}
 		}
 		return c
 	}, nil)
@@ -264,7 +265,7 @@ func TestStandbyRestartRejoins(t *testing.T) {
 	want := runSharded(t, w, gen.Sequence, 6)
 	rig, _ := startFailoverRig(t, w, gen.Sequence, 0, func(i int, c Conn) Conn {
 		if i == 1 {
-			return &flakyConn{Conn: c, sendBudget: 30}
+			return &chaos.Flaky{C: c, Budget: 30}
 		}
 		return c
 	}, nil)

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"acep/internal/chaos"
 	"acep/internal/engine"
 	"acep/internal/gen"
 	"acep/internal/match"
@@ -220,7 +221,7 @@ func TestFailoverByteIdentical(t *testing.T) {
 			// the link dies ~37% into the stream.
 			rig, _ := startFailoverRig(t, w, kind, 1, func(i int, c Conn) Conn {
 				if i == 1 {
-					return &flakyConn{Conn: c, sendBudget: 30}
+					return &chaos.Flaky{C: c, Budget: 30}
 				}
 				return c
 			}, nil)
@@ -281,7 +282,7 @@ func TestFailoverDuringReplay(t *testing.T) {
 	rig, _ := startFailoverRig(t, w, gen.Sequence, 2,
 		func(i int, c Conn) Conn {
 			if i == 0 {
-				return &flakyConn{Conn: c, sendBudget: 40}
+				return &chaos.Flaky{C: c, Budget: 40}
 			}
 			return c
 		},
@@ -289,7 +290,7 @@ func TestFailoverDuringReplay(t *testing.T) {
 			if k == 0 {
 				// Survives the adoption handshake, dies on the first
 				// replay cut.
-				return &flakyConn{Conn: c, sendBudget: 1}
+				return &chaos.Flaky{C: c, Budget: 1}
 			}
 			return c
 		})
@@ -313,9 +314,9 @@ func TestFailoverDoubleFailure(t *testing.T) {
 		rig, _ := startFailoverRig(t, w, kind, 2, func(i int, c Conn) Conn {
 			switch i {
 			case 0:
-				return &flakyConn{Conn: c, sendBudget: 45}
+				return &chaos.Flaky{C: c, Budget: 45}
 			case 2:
-				return &flakyConn{Conn: c, sendBudget: 20}
+				return &chaos.Flaky{C: c, Budget: 20}
 			}
 			return c
 		}, nil)
@@ -362,7 +363,7 @@ func TestFailoverStandbyExhausted(t *testing.T) {
 	w := failoverWorkload(t, "traffic")
 	rig, _ := startFailoverRig(t, w, gen.Sequence, 0, func(i int, c Conn) Conn {
 		if i == 1 {
-			return &flakyConn{Conn: c, sendBudget: 30}
+			return &chaos.Flaky{C: c, Budget: 30}
 		}
 		return c
 	}, nil)

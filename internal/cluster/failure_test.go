@@ -1,52 +1,21 @@
 package cluster
 
 import (
-	"fmt"
-	"io"
 	"net"
 	"strings"
 	"testing"
 	"time"
 
+	"acep/internal/chaos"
 	"acep/internal/engine"
 	"acep/internal/gen"
 	"acep/internal/match"
 	"acep/internal/wire"
 )
 
-// flakyConn is the failure-injecting transport implementation: it passes
-// frames through until sendBudget sends have happened, then fails every
-// Send and severs the underlying link.
-type flakyConn struct {
-	Conn
-	sendBudget int
-}
-
-func (f *flakyConn) Send(fr wire.Frame) error {
-	if f.sendBudget <= 0 {
-		f.Conn.Close()
-		return fmt.Errorf("flaky: injected send failure")
-	}
-	f.sendBudget--
-	return f.Conn.Send(fr)
-}
-
-// scriptConn replays a fixed frame sequence and swallows sends; it fakes
-// a misbehaving peer in handshake tests.
-type scriptConn struct {
-	frames []wire.Frame
-}
-
-func (s *scriptConn) Send(wire.Frame) error { return nil }
-func (s *scriptConn) Recv() (wire.Frame, error) {
-	if len(s.frames) == 0 {
-		return nil, io.EOF
-	}
-	f := s.frames[0]
-	s.frames = s.frames[1:]
-	return f, nil
-}
-func (s *scriptConn) Close() error { return nil }
+// Failure-injecting transports live in internal/chaos now
+// (chaos.Flaky, chaos.Script) — shared between these tests, the HA
+// tests, acep-bench chaos-* and acep-run -chaos.
 
 // finishWithin guards the deadlock-freedom claims: Finish must return
 // even with dead links in the cluster.
@@ -85,7 +54,7 @@ func brokenCluster(t *testing.T, budget int) (*Ingress, *gen.Workload) {
 		go node.Serve(server) //nolint:errcheck // the severed node's error is expected
 		conns[i] = client
 	}
-	conns[1] = &flakyConn{Conn: conns[1], sendBudget: budget}
+	conns[1] = &chaos.Flaky{C: conns[1], Budget: budget}
 	ing, err := NewIngress(pat, conns, IngressOptions{
 		Batch: 64, KeyAttr: "key", Schema: w.Schema,
 		OnMatch: func(*match.Match) {},
@@ -194,7 +163,7 @@ func TestHandshakeRejections(t *testing.T) {
 		{"wrong frame", wire.Batch{UpTo: 1}},
 	}
 	for _, c := range cases {
-		if _, err := NewIngress(pat, []Conn{&scriptConn{frames: []wire.Frame{c.hello}}}, opts); err == nil {
+		if _, err := NewIngress(pat, []Conn{&chaos.Script{Frames: []wire.Frame{c.hello}}}, opts); err == nil {
 			t.Errorf("%s: handshake accepted", c.name)
 		}
 	}
@@ -207,11 +176,11 @@ func TestHandshakeRejections(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := node.Serve(&scriptConn{frames: []wire.Frame{wire.Watermark{UpTo: 1}}}); err == nil {
+	if err := node.Serve(&chaos.Script{Frames: []wire.Frame{wire.Watermark{UpTo: 1}}}); err == nil {
 		t.Error("node accepted a non-assign handshake reply")
 	}
 	// An assignment outside the global shard space is refused.
-	if err := node.Serve(&scriptConn{frames: []wire.Frame{wire.Assign{Base: 5, Total: 3}}}); err == nil {
+	if err := node.Serve(&chaos.Script{Frames: []wire.Frame{wire.Assign{Base: 5, Total: 3}}}); err == nil {
 		t.Error("node accepted an out-of-range assignment")
 	}
 }

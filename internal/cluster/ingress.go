@@ -390,6 +390,23 @@ func NewIngress(pat *pattern.Pattern, conns []Conn, opts IngressOptions) (*Ingre
 	}
 	in.addrs = make([]string, len(conns))
 	copy(in.addrs, opts.Addrs)
+	if opts.Recovery != nil && opts.Recovery.HeartbeatTimeout > 0 {
+		// A worker that stops draining its socket (wedged peer, one-way
+		// partition) must surface as that slot's link error in bounded
+		// time instead of wedging the feed inside a blocking send.
+		// Scaled off the heartbeat timeout: a peer making zero write
+		// progress for several heartbeat windows is already dead by the
+		// read-side detector's standards.
+		ws := 4 * opts.Recovery.HeartbeatTimeout
+		if ws < 2*time.Second {
+			ws = 2 * time.Second
+		}
+		for _, c := range conns {
+			if sc, ok := c.(interface{ SetWriteStall(time.Duration) }); ok {
+				sc.SetWriteStall(ws)
+			}
+		}
+	}
 	if len(opts.Patterns) > 0 {
 		in.multi = true
 		in.specs = append([]multi.Spec(nil), opts.Patterns...)

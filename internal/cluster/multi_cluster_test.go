@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"acep/internal/chaos"
 	"acep/internal/engine"
 	"acep/internal/gen"
 	"acep/internal/multi"
@@ -259,7 +260,7 @@ func TestMultiClusterMigrationFailover(t *testing.T) {
 	// link dies ~47% into the stream, after the migration at event 1000.
 	rig := startMultiRig(t, 3, 2, 1, func(i int, c Conn) Conn {
 		if i == 1 {
-			return &flakyConn{Conn: c, sendBudget: 45}
+			return &chaos.Flaky{C: c, Budget: 45}
 		}
 		return c
 	})

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"acep/internal/engine"
 	"acep/internal/event"
@@ -67,6 +68,12 @@ type NodeConfig struct {
 	Key     shard.KeyFunc
 	KeyAttr string
 	Schema  *event.Schema
+	// WriteStall bounds how long the node's upstream sender tolerates
+	// zero write progress before failing the session (default 30s,
+	// negative disables). A coordinator that stops reading — wedged
+	// process, one-way partition — otherwise blocks the sender mutex
+	// forever and wedges the whole session with it.
+	WriteStall time.Duration
 }
 
 // Node hosts shards of the global shard space behind a transport
@@ -191,6 +198,14 @@ func (s *sender) failed() error {
 // have run.
 func (n *Node) Serve(conn Conn) error {
 	defer conn.Close()
+	if ws := n.cfg.WriteStall; ws >= 0 {
+		if ws == 0 {
+			ws = 30 * time.Second
+		}
+		if sc, ok := conn.(interface{ SetWriteStall(time.Duration) }); ok {
+			sc.SetWriteStall(ws)
+		}
+	}
 	if err := conn.Send(wire.Hello{
 		Version:    wire.Version,
 		Shards:     uint32(n.cfg.Shards),
@@ -769,6 +784,14 @@ func (n *Node) serveBlock(conn Conn, a blockAssign) error {
 			return fmt.Errorf("cluster: node received unexpected %s frame", wire.KindOf(f))
 		}
 		up.flush()
+		if err := up.failed(); err != nil {
+			// The upstream write failed — wedged coordinator, one-way
+			// partition, write stall. Without this check the session
+			// would go back to Recv and block forever on a peer that is
+			// done talking to us; surface the link error instead.
+			finish()
+			return fmt.Errorf("cluster: node upstream send: %w", err)
+		}
 	}
 }
 

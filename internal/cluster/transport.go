@@ -27,10 +27,15 @@ package cluster
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"acep/internal/match"
 	"acep/internal/wire"
@@ -117,6 +122,7 @@ func (p *pipeHalf) Close() error {
 // for SetSendHold/Flush and coalesce a burst into a single write.
 type streamConn struct {
 	c    net.Conn
+	sc   *stallNetConn
 	r    *wire.Reader
 	bw   *bufio.Writer
 	w    *wire.Writer
@@ -126,12 +132,107 @@ type streamConn struct {
 const streamBufSize = 32 << 10
 
 func newStreamConn(c net.Conn) Conn {
-	bw := bufio.NewWriterSize(c, streamBufSize)
+	sc := &stallNetConn{Conn: c}
+	bw := bufio.NewWriterSize(sc, streamBufSize)
 	return &streamConn{
 		c:  c,
-		r:  wire.NewReader(bufio.NewReaderSize(c, streamBufSize)),
+		sc: sc,
+		r:  wire.NewReader(bufio.NewReaderSize(sc, streamBufSize)),
 		bw: bw,
 		w:  wire.NewWriter(bw),
+	}
+}
+
+// WrapNetConn frames wire messages over an already-established net.Conn.
+// Callers that need their own socket setup (chaos wrappers, shrunken
+// kernel buffers in tests, custom dialers) use this instead of DialTCP;
+// the result is the same streamConn DialTCP returns, including the
+// SetWriteStall/SetReadStall probes.
+func WrapNetConn(c net.Conn) Conn { return newStreamConn(c) }
+
+// stallSlices is how many deadline slices a stall window is cut into:
+// progress within any slice resets the stall clock, so only a peer that
+// accepts zero bytes for the whole window trips the error — a slow
+// reader that drains even one byte per slice never does.
+const stallSlices = 4
+
+// stallNetConn wraps a net.Conn with progress-based stall detection.
+// A plain absolute deadline cannot distinguish a wedged peer from a
+// merely slow one on a large write; instead each Read/Write runs under
+// sliced deadlines and errors only after *zero bytes of progress* for
+// the full stall window. Durations are atomics so probes may arm and
+// disarm them while the connection is in use; a zero duration (the
+// default) bypasses deadlines entirely.
+type stallNetConn struct {
+	net.Conn
+	writeStall atomic.Int64
+	readStall  atomic.Int64
+}
+
+func (s *stallNetConn) Write(p []byte) (n int, err error) {
+	d := time.Duration(s.writeStall.Load())
+	if d <= 0 {
+		return s.Conn.Write(p)
+	}
+	slice := d / stallSlices
+	if slice < time.Millisecond {
+		slice = time.Millisecond
+	}
+	var idle time.Duration
+	for n < len(p) {
+		s.Conn.SetWriteDeadline(time.Now().Add(slice))
+		m, werr := s.Conn.Write(p[n:])
+		n += m
+		if werr == nil {
+			idle = 0
+			continue
+		}
+		var ne net.Error
+		if errors.As(werr, &ne) && ne.Timeout() {
+			if m > 0 {
+				idle = 0 // progress: the peer is slow, not wedged
+				continue
+			}
+			idle += slice
+			if idle < d {
+				continue
+			}
+			werr = fmt.Errorf("cluster: write stalled %v with zero progress: %w", d, werr)
+		}
+		s.Conn.SetWriteDeadline(time.Time{})
+		return n, werr
+	}
+	s.Conn.SetWriteDeadline(time.Time{})
+	return n, nil
+}
+
+func (s *stallNetConn) Read(p []byte) (int, error) {
+	d := time.Duration(s.readStall.Load())
+	if d <= 0 {
+		return s.Conn.Read(p)
+	}
+	slice := d / stallSlices
+	if slice < time.Millisecond {
+		slice = time.Millisecond
+	}
+	var idle time.Duration
+	for {
+		s.Conn.SetReadDeadline(time.Now().Add(slice))
+		n, err := s.Conn.Read(p)
+		if n > 0 || err == nil {
+			s.Conn.SetReadDeadline(time.Time{})
+			return n, err
+		}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			idle += slice
+			if idle < d {
+				continue
+			}
+			err = fmt.Errorf("cluster: read stalled %v with zero progress: %w", d, err)
+		}
+		s.Conn.SetReadDeadline(time.Time{})
+		return n, err
 	}
 }
 
@@ -179,14 +280,86 @@ func (s *streamConn) Recv() (wire.Frame, error) {
 }
 func (s *streamConn) Close() error { return s.c.Close() }
 
-// DialTCP connects to a node's listener and returns the framed
-// connection.
-func DialTCP(addr string) (Conn, error) {
-	c, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+// SetWriteStall arms (d > 0) or disarms (d <= 0) progress-based write
+// stall detection: a Send that makes zero bytes of progress for d fails
+// with a link error instead of blocking forever on a blackholed peer.
+// Callers probe for this method; the in-process pipe backpressures by
+// design and does not implement it.
+func (s *streamConn) SetWriteStall(d time.Duration) { s.sc.writeStall.Store(int64(d)) }
+
+// SetReadStall arms (d > 0) or disarms (d <= 0) progress-based read
+// stall detection. Unlike the write side this must only stay armed while
+// a response is actually owed (an RPC in flight, a handshake reply): an
+// idle connection legitimately carries nothing for long stretches.
+func (s *streamConn) SetReadStall(d time.Duration) { s.sc.readStall.Store(int64(d)) }
+
+// DialPolicy bounds a TCP dial: a per-attempt connect timeout plus
+// bounded exponential backoff with jitter between attempts. The zero
+// value means the package defaults (3s timeout, 3 attempts, 50ms base
+// backoff capped at 500ms).
+type DialPolicy struct {
+	Timeout    time.Duration // per-attempt connect timeout
+	Attempts   int           // total connect attempts
+	Backoff    time.Duration // base wait before the second attempt
+	MaxBackoff time.Duration // backoff growth cap
+}
+
+func (p DialPolicy) withDefaults() DialPolicy {
+	if p.Timeout <= 0 {
+		p.Timeout = 3 * time.Second
 	}
-	return newStreamConn(c), nil
+	if p.Attempts <= 0 {
+		p.Attempts = 3
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 50 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 500 * time.Millisecond
+	}
+	return p
+}
+
+// DialTCPContext connects to a listener under a DialPolicy: each attempt
+// gets its own connect timeout, attempts are separated by exponential
+// backoff with ±50% jitter (so a herd of redialing coordinators doesn't
+// self-synchronize), and the returned error carries the full per-attempt
+// trail. The context aborts both connects in flight and backoff waits.
+func DialTCPContext(ctx context.Context, addr string, p DialPolicy) (Conn, error) {
+	p = p.withDefaults()
+	d := net.Dialer{Timeout: p.Timeout}
+	backoff := p.Backoff
+	var trail []error
+	for i := 0; i < p.Attempts; i++ {
+		if i > 0 {
+			wait := backoff/2 + rand.N(backoff)
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				trail = append(trail, ctx.Err())
+				return nil, fmt.Errorf("cluster: dial %s: %w", addr, errors.Join(trail...))
+			}
+			if backoff *= 2; backoff > p.MaxBackoff {
+				backoff = p.MaxBackoff
+			}
+		}
+		c, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return newStreamConn(c), nil
+		}
+		trail = append(trail, fmt.Errorf("attempt %d: %w", i+1, err))
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, fmt.Errorf("cluster: dial %s after %d attempts: %w", addr, len(trail), errors.Join(trail...))
+}
+
+// DialTCP connects to a node's listener and returns the framed
+// connection, under the default DialPolicy — a bounded dial with
+// retries, never the unkillable bare net.Dial it once was.
+func DialTCP(addr string) (Conn, error) {
+	return DialTCPContext(context.Background(), addr, DialPolicy{})
 }
 
 // Listener accepts framed node connections over TCP.

@@ -1,0 +1,415 @@
+package ha
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"acep/internal/chaos"
+	"acep/internal/cluster"
+	"acep/internal/gen"
+	"acep/internal/lease"
+	"acep/internal/wire"
+)
+
+// startArbiter brings up a lease arbiter on loopback TCP for one test.
+func startArbiter(t *testing.T) (string, *lease.Server) {
+	t.Helper()
+	arb := lease.New()
+	addr, err := arb.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(arb.Close)
+	return addr, arb
+}
+
+// TestSplitBrainLeaseArbitrated is the acceptance drill for partition
+// tolerance: the replication link is silently blackholed both ways
+// mid-stream while the old primary stays alive. The lease demotes it —
+// gate frozen, a Demotion recorded, nothing further emitted — the
+// successor acquires the lease and takes over, and the delivered stream
+// is byte-identical to a single-process engine: exactly one ingress
+// ever emits.
+func TestSplitBrainLeaseArbitrated(t *testing.T) {
+	w := haWorkload(t, "traffic")
+	want := runShardedRef(t, w, gen.Sequence, 6)
+	rig := startHARig(t, w, gen.Sequence, 0)
+	arbAddr, _ := startArbiter(t)
+	pat, err := w.Pattern(gen.Sequence, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &tagRecorder{}
+	var wrap *chaos.Wrapper
+	p, err := New(Config{
+		Pattern: pat, Schema: w.Schema, KeyAttr: "key", Batch: 64,
+		Workers: rig.workers, OnTagged: rec.rec,
+		LeaseAddr: arbAddr, LeaseTTL: 300 * time.Millisecond,
+		ReplTimeout: 500 * time.Millisecond,
+		WrapRepl: func(c cluster.Conn) cluster.Conn {
+			wrap = chaos.Wrap(c, chaos.Config{Seed: 0xbad})
+			return wrap
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Events {
+		if i == 2000 {
+			wrap.Partition() // both directions, silently
+		}
+		p.Process(&w.Events[i])
+	}
+	// The replication flow-control window trips during the feed: the
+	// blackholed standby stops acknowledging, and with a lease that is a
+	// demotion, not a degrade.
+	d := p.Demotion()
+	if d == nil {
+		t.Fatal("partitioned lease-holding primary never demoted")
+	}
+	if !strings.Contains(d.Cause, "stalled") && !strings.Contains(d.Cause, "replication") {
+		t.Fatalf("demotion cause %q does not name the replication loss", d.Cause)
+	}
+	if deg, cause := p.Degraded(); deg {
+		t.Fatalf("lease-holding primary degraded (%s) instead of demoting", cause)
+	}
+	// The frozen primary must not have emitted past its committed state.
+	if got := p.Delivered(); got != d.Count {
+		t.Fatalf("demoted primary delivered %d matches but committed %d — commit-then-emit violated", got, d.Count)
+	}
+	if err := p.KillPrimary(); err != nil {
+		t.Fatalf("lease-arbitrated takeover failed: %v", err)
+	}
+	if err := p.Finish(); err != nil {
+		t.Fatalf("finish after takeover: %v", err)
+	}
+	requireIdentical(t, "split brain", rec, want)
+	tk := p.Takeover()
+	if tk == nil {
+		t.Fatal("no takeover record after a lease-arbitrated takeover")
+	}
+	if tk.Skipped != 0 && want.n == 0 {
+		t.Fatalf("takeover skipped %d with an empty reference", tk.Skipped)
+	}
+}
+
+// TestDemotedWithoutTakeoverErrors: a demoted primary that is never
+// taken over must finish with an explicit error — a silently truncated
+// stream would hide the partition from the operator.
+func TestDemotedWithoutTakeoverErrors(t *testing.T) {
+	w := haWorkload(t, "traffic")
+	rig := startHARig(t, w, gen.Sequence, 0)
+	arbAddr, _ := startArbiter(t)
+	pat, err := w.Pattern(gen.Sequence, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &tagRecorder{}
+	var wrap *chaos.Wrapper
+	p, err := New(Config{
+		Pattern: pat, Schema: w.Schema, KeyAttr: "key", Batch: 64,
+		Workers: rig.workers, OnTagged: rec.rec,
+		LeaseAddr: arbAddr, LeaseTTL: 300 * time.Millisecond,
+		ReplTimeout: 400 * time.Millisecond,
+		WrapRepl: func(c cluster.Conn) cluster.Conn {
+			wrap = chaos.Wrap(c, chaos.Config{Seed: 0xbad})
+			return wrap
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Events {
+		if i == 2000 {
+			wrap.Partition()
+		}
+		p.Process(&w.Events[i])
+	}
+	if p.Demotion() == nil {
+		t.Fatal("partitioned primary never demoted")
+	}
+	err = p.Finish()
+	if err == nil || !strings.Contains(err.Error(), "demoted without takeover") {
+		t.Fatalf("Finish on a demoted, never-superseded primary returned %v, want an explicit demotion error", err)
+	}
+}
+
+// TestLeaseFencedPrimaryDemotes: a stale primary attempting to emit
+// after another holder fenced it off the lease must demote, not emit.
+// The feed pauses past the TTL (a long GC pause, a suspended VM), an
+// external holder acquires, and the primary's next commit is denied.
+func TestLeaseFencedPrimaryDemotes(t *testing.T) {
+	w := haWorkload(t, "traffic")
+	rig := startHARig(t, w, gen.Sequence, 0)
+	arbAddr, _ := startArbiter(t)
+	pat, err := w.Pattern(gen.Sequence, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &tagRecorder{}
+	p, err := New(Config{
+		Pattern: pat, Schema: w.Schema, KeyAttr: "key", Batch: 64,
+		Workers: rig.workers, OnTagged: rec.rec,
+		LeaseAddr: arbAddr, LeaseTTL: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Events {
+		if i == 2500 {
+			// Pause past the TTL so the grant lapses, then usurp it.
+			time.Sleep(600 * time.Millisecond)
+			fenceLease(t, arbAddr, 7)
+		}
+		p.Process(&w.Events[i])
+	}
+	d := p.Demotion()
+	if d == nil {
+		t.Fatal("fenced primary never demoted")
+	}
+	if !strings.Contains(d.Cause, "fenced") {
+		t.Fatalf("demotion cause %q does not name the fence", d.Cause)
+	}
+	// Commit-then-emit: the fenced drain emitted nothing, so delivered
+	// equals the last successfully committed count exactly.
+	if got := p.Delivered(); got != d.Count {
+		t.Fatalf("fenced primary delivered %d matches but committed %d", got, d.Count)
+	}
+	if err := p.Finish(); err == nil || !strings.Contains(err.Error(), "demoted without takeover") {
+		t.Fatalf("Finish returned %v after a fence", err)
+	}
+}
+
+// fenceLease acquires the arbiter's lease as a foreign holder (the
+// usurper must wait out any live grant first).
+func fenceLease(t *testing.T, addr string, holder uint64) {
+	t.Helper()
+	cl, err := lease.Dial(t.Context(), addr, cluster.DialPolicy{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	f, err := cl.Acquire(holder, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Granted {
+		t.Fatalf("usurper denied: lease still held by %d at epoch %d", f.Holder, f.Epoch)
+	}
+}
+
+// TestChaosFaultyLinkAbsorbed: duplicated and delayed replication
+// frames — the only faults the cut-ordinal protocol absorbs silently —
+// must have zero effect on the delivered stream, with no degrade.
+func TestChaosFaultyLinkAbsorbed(t *testing.T) {
+	w := haWorkload(t, "traffic")
+	want := runShardedRef(t, w, gen.Sequence, 6)
+	rig := startHARig(t, w, gen.Sequence, 0)
+	pat, err := w.Pattern(gen.Sequence, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &tagRecorder{}
+	var wrap *chaos.Wrapper
+	p, err := New(Config{
+		Pattern: pat, Schema: w.Schema, KeyAttr: "key", Batch: 64,
+		Workers: rig.workers, OnTagged: rec.rec,
+		WrapRepl: func(c cluster.Conn) cluster.Conn {
+			wrap = chaos.Wrap(c, chaos.Config{
+				Seed: 0xfeed, DupProb: 0.08,
+				DelayProb: 0.15, MaxDelay: time.Millisecond,
+			})
+			return wrap
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Events {
+		p.Process(&w.Events[i])
+	}
+	if err := p.Finish(); err != nil {
+		t.Fatalf("finish under dup/delay faults: %v", err)
+	}
+	if deg, cause := p.Degraded(); deg {
+		t.Fatalf("absorbable faults degraded the pair: %s", cause)
+	}
+	requireIdentical(t, "faulty link", rec, want)
+	st := wrap.Stats()
+	if st.Dups+st.Delays == 0 {
+		t.Fatal("fault injector injected nothing; test is vacuous")
+	}
+}
+
+// TestChaosDroppedCutDegrades: a silently dropped replication frame is
+// NOT absorbable — the next cut's ordinal exposes the gap, the standby
+// fails the link rather than journal incomplete history, and the
+// leaseless primary degrades (still byte-exact, no takeover coverage).
+func TestChaosDroppedCutDegrades(t *testing.T) {
+	w := haWorkload(t, "traffic")
+	want := runShardedRef(t, w, gen.Sequence, 6)
+	rig := startHARig(t, w, gen.Sequence, 0)
+	pat, err := w.Pattern(gen.Sequence, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &tagRecorder{}
+	var wrap *chaos.Wrapper
+	p, err := New(Config{
+		Pattern: pat, Schema: w.Schema, KeyAttr: "key", Batch: 64,
+		Workers: rig.workers, OnTagged: rec.rec,
+		WrapRepl: func(c cluster.Conn) cluster.Conn {
+			wrap = chaos.Wrap(c, chaos.Config{Seed: 0xd0d0})
+			return wrap
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Events {
+		switch i {
+		case 1000:
+			wrap.PartitionSend() // outbound frames vanish silently
+		case 1200:
+			wrap.Heal() // the next cut arrives with a gapped ordinal
+		}
+		p.Process(&w.Events[i])
+	}
+	if err := p.Finish(); err != nil {
+		t.Fatalf("finish after a dropped cut: %v", err)
+	}
+	deg, cause := p.Degraded()
+	if !deg {
+		t.Fatal("dropped replication frames did not degrade the pair")
+	}
+	if cause == "" {
+		t.Fatal("degradation carried no cause")
+	}
+	if p.Takeover() != nil {
+		t.Fatal("degraded run recorded a takeover")
+	}
+	requireIdentical(t, "dropped cut", rec, want)
+}
+
+// TestOutOfProcessStandbyTakeover exercises the acep-standby deployment
+// shape in-process: the StandbyServer lives behind its own listener
+// (Config.StandbyAddr), the Pair spawns nothing, and the takeover pulls
+// the mirrored state back over TCP through the handover protocol.
+func TestOutOfProcessStandbyTakeover(t *testing.T) {
+	w := haWorkload(t, "traffic")
+	want := runShardedRef(t, w, gen.Sequence, 6)
+	rig := startHARig(t, w, gen.Sequence, 0)
+	l, err := cluster.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewStandbyServer(l)
+	go srv.Serve()
+	t.Cleanup(func() { srv.Stop(); srv.Wait() })
+	pat, err := w.Pattern(gen.Sequence, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &tagRecorder{}
+	p, err := New(Config{
+		Pattern: pat, Schema: w.Schema, KeyAttr: "key", Batch: 64,
+		Workers: rig.workers, OnTagged: rec.rec,
+		StandbyAddr: l.Addr(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Events {
+		if i == 2500 {
+			if err := p.KillPrimary(); err != nil {
+				t.Fatalf("takeover from the external standby failed: %v", err)
+			}
+		}
+		p.Process(&w.Events[i])
+	}
+	if err := p.Finish(); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	requireIdentical(t, "external standby", rec, want)
+	tk := p.Takeover()
+	if tk == nil || tk.ReplayCuts == 0 {
+		t.Fatalf("takeover record %+v, want replayed cuts from the external mirror", tk)
+	}
+	cuts, events := p.MirrorStats()
+	if cuts == 0 || events == 0 {
+		t.Fatalf("handover recorded no mirror volume (%d cuts, %d events)", cuts, events)
+	}
+}
+
+// TestWedgedStandbyHandoverTimesOut: a successor adopting from a
+// standby that accepts the handover request and then never responds
+// must surface an error via the read-stall probe — not hang the
+// takeover forever.
+func TestWedgedStandbyHandoverTimesOut(t *testing.T) {
+	w := haWorkload(t, "traffic")
+	rig := startHARig(t, w, gen.Sequence, 0)
+	// A fake standby: mirrors nothing, acks every cut (so the primary
+	// runs normally), and wedges on the first Handover frame.
+	l, err := cluster.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	t.Cleanup(func() { close(stop); l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c cluster.Conn) {
+				defer c.Close()
+				for {
+					f, err := c.Recv()
+					if err != nil {
+						return
+					}
+					switch v := f.(type) {
+					case wire.ReplCut:
+						up := v.UpTo
+						if v.Final {
+							up = math.MaxUint64
+						}
+						if c.Send(wire.Watermark{UpTo: up}) != nil {
+							return
+						}
+					case wire.Handover:
+						<-stop // wedge: the successor is owed a reply that never comes
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	pat, err := w.Pattern(gen.Sequence, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &tagRecorder{}
+	p, err := New(Config{
+		Pattern: pat, Schema: w.Schema, KeyAttr: "key", Batch: 64,
+		Workers: rig.workers, OnTagged: rec.rec,
+		StandbyAddr: l.Addr(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2500; i++ {
+		p.Process(&w.Events[i])
+	}
+	start := time.Now()
+	err = p.KillPrimary()
+	if err == nil || !strings.Contains(err.Error(), "handover") {
+		t.Fatalf("takeover from a wedged standby returned %v, want a handover error", err)
+	}
+	if el := time.Since(start); el > 30*time.Second {
+		t.Fatalf("wedged handover took %v to fail", el)
+	}
+}

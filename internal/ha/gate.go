@@ -2,6 +2,7 @@ package ha
 
 import (
 	"sync"
+	"time"
 
 	"acep/internal/shard"
 	"acep/internal/wire"
@@ -34,16 +35,34 @@ type pendMatch struct {
 // (see ReplState) and lets a successor resume with a watermark
 // suppression plus a bounded skip count.
 //
-// The gate moves through three phases: gated (primary healthy),
-// frozen (primary killed: nothing further escapes — the collector's
-// shutdown drain is discarded), and direct (takeover successor: matches
-// pass straight through, minus the skip prefix the dead primary already
-// delivered). A replication-link loss instead degrades the gate: acked
-// stops being a bound and emission follows released alone, trading the
-// takeover guarantee for availability.
+// With a lease configured (commit non-nil) the gate additionally obeys
+// commit-then-emit: before emitting a prefix it commits the boundary
+// and the projected delivered count to the lease arbiter, and a commit
+// that fails — fence or unreachable arbiter — demotes the gate without
+// emitting a byte. The committed state therefore always equals the
+// gate's actual emitted state, which is what lets an out-of-process
+// successor compute an exact skip count from the lease alone. (The one
+// exception is a torn commit: commit succeeded, process died before the
+// emit loop ran — an at-most-once window inherent to commit-then-emit
+// without consumer-side dedup. A partition cannot open it: a failed or
+// fenced commit emits nothing.)
+//
+// The gate moves through phases: gated (primary healthy), frozen
+// (killed or demoted: nothing further escapes — except that a demotion
+// arriving while a successfully committed prefix is mid-flight lets
+// that prefix finish, keeping committed == emitted), and direct
+// (takeover successor: matches pass straight through, minus the skip
+// prefix the dead primary already delivered). A replication-link loss
+// without a lease instead degrades the gate: acked stops being a bound
+// and emission follows released alone, trading the takeover guarantee
+// for availability.
 type gate struct {
 	out     func(shard.Tagged)
 	publish func(wire.Frame) // enqueues a ReplState on the repl link
+	// commit, when set, is the lease hook: it must durably record
+	// (boundary, projected count) and report whether the gate may emit.
+	// Called without the gate lock held (it does an RPC).
+	commit func(boundary, count uint64) bool
 
 	mu        sync.Mutex
 	ackCond   *sync.Cond // broadcast whenever acked advances or gating ends
@@ -54,8 +73,11 @@ type gate struct {
 	delivered uint64 // matches emitted downstream so far (D)
 	emitted   uint64 // highest threshold published in a ReplState (E)
 	frozen    bool
+	killed    bool // frozen by kill (vs demotion): no further emission at all
+	demoted   bool
 	degraded  bool
 	direct    bool
+	draining  bool // a drain (possibly unlocked mid-commit) is in flight
 	skip      uint64
 }
 
@@ -125,37 +147,122 @@ func (g *gate) waitAcked(floor uint64) {
 	g.mu.Unlock()
 }
 
-// drainLocked emits the queued prefix at or below the current
-// threshold and publishes the new emission state to the standby.
+// waitAckedTimeout is waitAcked with an upper bound: it reports false
+// when the standby still had not acknowledged floor after d — the
+// silently-blackholed replication link that plain waitAcked would block
+// on forever. The caller decides what a timeout means (degrade without
+// a lease, demote with one).
+func (g *gate) waitAckedTimeout(floor uint64, d time.Duration) bool {
+	timedOut := false
+	tm := time.AfterFunc(d, func() {
+		g.mu.Lock()
+		timedOut = true
+		g.mu.Unlock()
+		g.ackCond.Broadcast()
+	})
+	defer tm.Stop()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.acked < floor && !g.degraded && !g.frozen && !g.direct && !timedOut {
+		g.ackCond.Wait()
+	}
+	return g.acked >= floor || g.degraded || g.frozen || g.direct
+}
+
+// drainLocked emits the queued prefix at or below the current threshold
+// and publishes the new emission state to the standby. With a commit
+// hook the gate unlocks around the lease RPC, so the loop re-reads the
+// bounds each pass until no further progress is possible; the draining
+// flag keeps concurrent taps from interleaving their own drains through
+// the unlocked window.
 func (g *gate) drainLocked() {
-	if g.frozen || g.direct {
+	if g.frozen || g.direct || g.draining {
 		return
 	}
-	t := g.released
-	if !g.degraded && g.acked < t {
-		t = g.acked
-	}
-	n := 0
-	for g.head < len(g.q) && g.q[g.head].seq <= t {
-		pm := g.q[g.head]
-		g.q[g.head] = pendMatch{}
-		g.head++
-		m, err := wire.DecodeMatchBody(pm.body)
-		if err != nil {
-			continue // unreachable: the body is our own encode
+	g.draining = true
+	for {
+		t := g.released
+		if !g.degraded && g.acked < t {
+			t = g.acked
 		}
-		g.out(shard.Tagged{M: m, Seq: pm.seq, Src: pm.src, Pattern: pm.pat})
-		g.delivered++
-		n++
+		// The emit prefix is fixed before any unlock: every match with
+		// seq <= t <= released is already queued (the collector queues
+		// matches before advancing the release frontier past them), so
+		// the projected count cannot drift while the lock is dropped.
+		n := 0
+		for i := g.head; i < len(g.q) && g.q[i].seq <= t; i++ {
+			n++
+		}
+		if n == 0 && t <= g.emitted {
+			break
+		}
+		if g.commit != nil && !g.degraded {
+			proj := g.delivered + uint64(n)
+			g.mu.Unlock()
+			ok := g.commit(t, proj)
+			g.mu.Lock()
+			if !ok {
+				g.demoteLocked()
+				break
+			}
+			if g.killed || g.direct {
+				break
+			}
+			// A demotion that raced the commit still lets this committed
+			// prefix out: the lease already records it, and holding it
+			// back would leave the lease ahead of the emitted stream.
+		}
+		for k := 0; k < n; k++ {
+			pm := g.q[g.head]
+			g.q[g.head] = pendMatch{}
+			g.head++
+			m, err := wire.DecodeMatchBody(pm.body)
+			if err != nil {
+				continue // unreachable: the body is our own encode
+			}
+			g.out(shard.Tagged{M: m, Seq: pm.seq, Src: pm.src, Pattern: pm.pat})
+			g.delivered++
+		}
+		if g.head == len(g.q) {
+			g.q = g.q[:0]
+			g.head = 0
+		}
+		if (n > 0 || t > g.emitted) && !g.degraded {
+			g.emitted = t
+			g.publish(wire.ReplState{EmittedUpTo: t, Count: g.delivered})
+		}
+		if g.frozen {
+			break // demoted mid-commit: the committed prefix is out, stop
+		}
+		if g.commit == nil || g.degraded {
+			break // no unlock happened, the bounds cannot have moved
+		}
 	}
-	if g.head == len(g.q) {
-		g.q = g.q[:0]
-		g.head = 0
+	g.draining = false
+}
+
+// demoteLocked freezes the gate after a lost lease: queued uncommitted
+// matches are discarded (the successor regenerates them), nothing
+// further escapes.
+func (g *gate) demoteLocked() {
+	if g.killed || g.direct || g.demoted {
+		return
 	}
-	if (n > 0 || t > g.emitted) && !g.degraded {
-		g.emitted = t
-		g.publish(wire.ReplState{EmittedUpTo: t, Count: g.delivered})
-	}
+	g.demoted = true
+	g.frozen = true
+	g.q = nil
+	g.head = 0
+	g.ackCond.Broadcast()
+}
+
+// demote is the external demotion entry (feed goroutine: keepalive
+// failure or replication timeout with a lease). It reports the last
+// committed emission state for the demotion record.
+func (g *gate) demote() (boundary, count uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.demoteLocked()
+	return g.emitted, g.delivered
 }
 
 // degrade drops the acked bound: the replication link is gone, the
@@ -176,6 +283,7 @@ func (g *gate) kill() uint64 {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.frozen = true
+	g.killed = true
 	g.q = nil
 	g.head = 0
 	g.ackCond.Broadcast()
@@ -208,4 +316,12 @@ func (g *gate) deliveredCount() uint64 {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.delivered
+}
+
+// committedState reports the emission state as last published/committed
+// — what a clean lease release should record.
+func (g *gate) committedState() (boundary, count uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.emitted, g.delivered
 }

@@ -16,25 +16,47 @@
 // byte-identical to an unkilled run — the same guarantee workers
 // already have for shard failover, extended to the coordinator itself.
 //
-// Failure handling is graded: losing the standby (or the replication
-// link) degrades the primary to plain exactly-once-by-collector
-// emission and the run continues; losing the primary after the standby
-// is gone is a double death and surfaces an explicit error.
+// The standby is a separate process by default in deployment terms: it
+// is a StandbyServer speaking only TCP framing (hosted by
+// cmd/acep-standby, or spawned on loopback in-process when
+// Config.StandbyAddr is empty — one code path either way), and takeover
+// pulls the mirrored state back over the wire with the Handover
+// exchange. Nothing about a takeover reads the standby's memory.
+//
+// Partition tolerance is arbitrated by an external single-writer lease
+// (Config.LeaseAddr, internal/lease): the primary must hold the lease
+// to emit, commits every emission boundary to it *before* emitting
+// (commit-then-emit), and demotes — gate frozen, a Demotion recorded,
+// the run surfacing an error unless a successor takes over — the moment
+// it cannot renew or is fenced. The takeover successor must acquire the
+// same lease first. Two coordinators partitioned from each other can
+// therefore never both emit: whatever the partition does to the
+// replication link, the lease server observes exactly one writer.
+//
+// Failure handling is graded: without a lease, losing the standby (or
+// the replication link) degrades the primary to plain
+// exactly-once-by-collector emission and the run continues; with a
+// lease the same loss is a demotion, because a primary that cannot
+// prove its mirror is current must not keep emitting a stream a
+// successor might re-emit. Losing the primary after the standby is gone
+// is a double death and surfaces an explicit error.
 package ha
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"acep/internal/cluster"
 	"acep/internal/event"
+	"acep/internal/lease"
 	"acep/internal/pattern"
 	recovery "acep/internal/recover"
 	"acep/internal/shard"
 	"acep/internal/wire"
-	"sync"
 )
 
 // replDepth is the replication sender's frame buffer: deep enough to
@@ -50,6 +72,13 @@ const replDepth = 4
 // takeover state is never more than replLagCuts cuts behind the feed —
 // and bounding the consumer-side ring to window + ring-trim slack.
 const replLagCuts = 8
+
+// Lease holder identities: the pair only ever has two candidate
+// writers, the original primary and the takeover successor.
+const (
+	leasePrimaryHolder   = 1
+	leaseSuccessorHolder = 2
+)
 
 // Config assembles a replicated coordinator pair.
 type Config struct {
@@ -76,9 +105,38 @@ type Config struct {
 	HeartbeatTimeout time.Duration
 	SlackWindows     int
 	MaxJournalBytes  int64
+	// StandbyAddr is the listener address of an out-of-process standby
+	// (cmd/acep-standby). Empty spawns a StandbyServer on loopback
+	// inside this process — same server, same protocol.
+	StandbyAddr string
+	// LeaseAddr is the lease arbiter's address (internal/lease). Empty
+	// disables lease arbitration: link loss degrades instead of
+	// demoting, and takeover trusts the local delivered count — exactly
+	// the pre-partition-tolerance behavior.
+	LeaseAddr string
+	// LeaseTTL is the emission lease's time-to-live (default 2s): the
+	// window a partitioned primary can keep believing it is primary,
+	// and the longest a successor waits for a dead primary's grant to
+	// lapse.
+	LeaseTTL time.Duration
+	// ReplTimeout bounds the replication flow-control wait (default
+	// 30s): a standby that has not acknowledged within it is treated as
+	// lost even though the link never errored — the silently blackholed
+	// peer a plain TCP read would wait on forever.
+	ReplTimeout time.Duration
 	// WrapWorker (tests) wraps each initially dialed worker connection,
 	// by slot, to inject failures.
 	WrapWorker func(i int, c cluster.Conn) cluster.Conn
+	// WrapRepl (tests, chaos) wraps the primary's replication
+	// connection to inject failures: drops, duplicates, delays,
+	// partitions. The replication protocol is the one place silent
+	// drops and duplicates are safe to inject — the cut ordinal detects
+	// them.
+	WrapRepl func(c cluster.Conn) cluster.Conn
+	// WrapLease (tests, chaos) wraps the primary's lease connection —
+	// partitioning primary-to-arbiter is half of the split-brain
+	// matrix.
+	WrapLease func(c cluster.Conn) cluster.Conn
 }
 
 // Pair is a replicated coordinator: one primary ingress, one hot
@@ -86,11 +144,12 @@ type Config struct {
 // KillPrimary and KillStandby must run on a single goroutine (the
 // feed); the OnTagged callback fires on collector or link goroutines.
 type Pair struct {
-	cfg  Config
-	pool func() (cluster.Conn, error)
-	g    *gate
-	st   *standby
-	ing  *cluster.Ingress
+	cfg         Config
+	pool        func() (cluster.Conn, error)
+	g           *gate
+	srv         *StandbyServer // in-process standby; nil when StandbyAddr is set
+	standbyAddr string
+	ing         *cluster.Ingress
 
 	replCh     chan wire.Frame
 	replConn   cluster.Conn
@@ -100,6 +159,12 @@ type Pair struct {
 	senderDone chan struct{}
 	ackDone    chan struct{}
 	replClosed bool
+	srvStopped bool
+	cutSeq     uint64 // dense replication cut ordinal (ingress goroutine)
+
+	leaseCl     *lease.Client
+	leaseHolder uint64
+	leaseEpoch  uint64
 
 	// ring retains fed events the standby has not yet acknowledged
 	// (consumer side): the takeover successor re-feeds the tail past
@@ -109,12 +174,18 @@ type Pair struct {
 	tookOver    bool
 	standbyLost atomic.Bool
 	degradeErr  atomic.Pointer[string]
+	demotedFlag atomic.Bool
+	demotion    atomic.Pointer[recovery.Demotion]
 	takeover    *recovery.Takeover
+	mirrorCuts  int
+	mirrorEvs   int
 	err         error
 }
 
-// New dials the workers, starts the standby and its replication link,
-// and brings up the primary coordinator at epoch 1.
+// New dials the workers, connects the standby (spawning one on loopback
+// if no external address is given), acquires the emission lease when an
+// arbiter is configured, and brings up the primary coordinator at
+// epoch 1.
 func New(cfg Config) (*Pair, error) {
 	if cfg.Pattern == nil || cfg.Schema == nil || cfg.KeyAttr == "" {
 		return nil, fmt.Errorf("ha: Pattern, Schema and KeyAttr are required")
@@ -127,6 +198,12 @@ func New(cfg Config) (*Pair, error) {
 	}
 	if cfg.Batch <= 0 {
 		cfg.Batch = 256
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 2 * time.Second
+	}
+	if cfg.ReplTimeout <= 0 {
+		cfg.ReplTimeout = 30 * time.Second
 	}
 	if cfg.Pattern.Window <= 0 {
 		return nil, fmt.Errorf("ha: pattern window must be positive (it sizes the mirror journal)")
@@ -141,36 +218,70 @@ func New(cfg Config) (*Pair, error) {
 		p.pool = cluster.DialStandbys(cfg.Standbys)
 	}
 
-	// The replication link is a real loopback stream — the v5 frames
-	// serialize end to end, and the mirror's decoded events are fresh
-	// allocations with no aliasing back into the primary.
-	l, err := cluster.ListenTCP("127.0.0.1:0")
-	if err != nil {
-		return nil, fmt.Errorf("ha: replication listener: %w", err)
+	// The standby: an external process's listener, or the same server
+	// spawned on loopback — the replication link is a real TCP stream
+	// either way, so the v6 frames serialize end to end and the
+	// mirror's decoded events are fresh allocations with no aliasing
+	// back into the primary.
+	p.standbyAddr = cfg.StandbyAddr
+	if p.standbyAddr == "" {
+		l, err := cluster.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("ha: replication listener: %w", err)
+		}
+		p.srv = NewStandbyServer(l)
+		go p.srv.Serve()
+		p.standbyAddr = l.Addr()
 	}
-	p.st = &standby{
-		window: cfg.Pattern.Window, slack: cfg.SlackWindows,
-		maxBytes: cfg.MaxJournalBytes, l: l, done: make(chan struct{}),
-	}
-	go p.st.run()
-	replConn, err := cluster.DialTCP(l.Addr())
+	replConn, err := cluster.DialTCP(p.standbyAddr)
 	if err != nil {
-		p.st.stop()
-		<-p.st.done
+		p.stopStandby()
 		return nil, fmt.Errorf("ha: dialing replication link: %w", err)
 	}
+	if cfg.WrapRepl != nil {
+		replConn = cfg.WrapRepl(replConn)
+	}
 	p.replConn = replConn
-	if err := replConn.Send(wire.Epoch{Epoch: 1}); err != nil {
+	// The opening Epoch frame carries the journal sizing so the standby
+	// process needs no pattern knowledge of its own.
+	if err := replConn.Send(wire.Epoch{
+		Epoch:    1,
+		Window:   int64(cfg.Pattern.Window),
+		Slack:    uint32(cfg.SlackWindows),
+		MaxBytes: uint64(cfg.MaxJournalBytes),
+	}); err != nil {
 		// The sender and ack reader have not started: tear down by hand.
-		p.st.stop()
-		<-p.st.done
 		replConn.Close()
+		p.stopStandby()
 		return nil, fmt.Errorf("ha: opening replication link: %w", err)
 	}
 	p.g = &gate{out: cfg.OnTagged, publish: p.replSend}
 	p.g.ackCond = sync.NewCond(&p.g.mu)
 	go p.sender()
 	go p.ackReader()
+
+	// The lease comes before the first event: a primary that cannot
+	// acquire it must not start emitting at all.
+	if cfg.LeaseAddr != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), 4*cfg.LeaseTTL+2*time.Second)
+		cl, err := lease.Dial(ctx, cfg.LeaseAddr, cluster.DialPolicy{}, cfg.WrapLease)
+		if err != nil {
+			cancel()
+			p.abort()
+			return nil, fmt.Errorf("ha: lease arbiter: %w", err)
+		}
+		fence, err := cl.AcquireWait(ctx, leasePrimaryHolder, cfg.LeaseTTL)
+		cancel()
+		if err != nil {
+			cl.Close()
+			p.abort()
+			return nil, fmt.Errorf("ha: acquiring emission lease: %w", err)
+		}
+		p.leaseCl = cl
+		p.leaseHolder = leasePrimaryHolder
+		p.leaseEpoch = fence.Epoch
+		p.g.commit = p.leaseCommit
+	}
 
 	conns := make([]cluster.Conn, len(cfg.Workers))
 	for i, addr := range cfg.Workers {
@@ -207,6 +318,17 @@ func New(cfg Config) (*Pair, error) {
 	return p, nil
 }
 
+// stopStandby stops the in-process standby server (no-op for an
+// external one — that is its own process) and waits it out. Idempotent.
+func (p *Pair) stopStandby() {
+	if p.srv == nil || p.srvStopped {
+		return
+	}
+	p.srvStopped = true
+	p.srv.Stop()
+	p.srv.Wait()
+}
+
 // abort tears the replication machinery down from a failed
 // construction: closing the link first unblocks the ack reader, so
 // shutdownRepl's joins cannot hang on a healthy standby.
@@ -214,21 +336,71 @@ func (p *Pair) abort() {
 	p.cleanFinal.Store(true) // suppress degrade bookkeeping: nothing ran
 	p.replDown.Store(true)
 	p.replConn.Close()
-	p.st.stop()
 	p.shutdownRepl()
+	p.stopStandby()
+	if p.leaseCl != nil {
+		p.leaseCl.Close()
+	}
+}
+
+// leaseCommit is the gate's commit hook (called with the gate unlocked,
+// from a drain): renew the lease and durably record the emission
+// boundary about to be emitted. Any failure — transport error or a
+// fence from a higher epoch — records the demotion and vetoes the emit.
+func (p *Pair) leaseCommit(boundary, count uint64) bool {
+	fence, err := p.leaseCl.Renew(p.leaseHolder, p.leaseEpoch, p.cfg.LeaseTTL, boundary, count)
+	if err != nil {
+		p.noteDemotion(fmt.Sprintf("ha: lease renew failed: %v", err))
+		return false
+	}
+	if !fence.Granted {
+		p.noteDemotion(fmt.Sprintf("ha: fenced off the emission lease by holder %d at epoch %d", fence.Holder, fence.Epoch))
+		return false
+	}
+	return true
+}
+
+// noteDemotion records the demotion and severs replication (the gate
+// freeze happens at the call site — inside the failing drain, or via
+// demote). Idempotent.
+func (p *Pair) noteDemotion(cause string) {
+	if !p.demotedFlag.CompareAndSwap(false, true) {
+		return
+	}
+	b, c := p.g.committedState()
+	p.demotion.Store(&recovery.Demotion{
+		At: time.Now(), Cause: cause,
+		Epoch: p.leaseEpoch, Boundary: b, Count: c,
+	})
+	// Stop replicating: the mirror may be partitioned away, and a
+	// frozen primary has nothing further to mirror. Closing the link
+	// also unblocks the sender and ack reader. The lease is NOT
+	// released — the last committed state must stand exactly as the
+	// final commit left it, and the grant lapses by TTL.
+	p.replDown.Store(true)
+	p.replConn.Close()
+}
+
+// demote is the feed-side demotion path (keepalive failure, replication
+// timeout): record it and freeze the gate.
+func (p *Pair) demote(cause string) {
+	p.noteDemotion(cause)
+	p.g.demote()
 }
 
 // onCut is the primary's replication tap (ingress goroutine, behind the
-// send barrier): the sealed cut becomes one ReplCut frame. Owner and
-// Addrs are copied — the ingress mutates them after the call — while
-// the event runs alias the journal-retained cut slices, which are
+// send barrier): the sealed cut becomes one ReplCut frame stamped with
+// the next dense cut ordinal — the standby's dedup/gap detector. Owner
+// and Addrs are copied — the ingress mutates them after the call —
+// while the event runs alias the journal-retained cut slices, which are
 // immutable for the rest of the run.
 func (p *Pair) onCut(ci cluster.CutInfo) {
 	if p.replDown.Load() {
 		return
 	}
+	p.cutSeq++
 	rc := wire.ReplCut{
-		UpTo: ci.UpTo, Final: ci.Final,
+		UpTo: ci.UpTo, Cut: p.cutSeq, Final: ci.Final,
 		Owner: make([]uint32, len(ci.Owner)),
 		Addrs: append([]string(nil), ci.Addrs...),
 	}
@@ -245,11 +417,31 @@ func (p *Pair) onCut(ci cluster.CutInfo) {
 		}
 	}
 	p.replCh <- rc
-	if !rc.Final && ci.UpTo > uint64(replLagCuts*p.cfg.Batch) {
+	if rc.Final {
+		// The Final cut resolves through the stand-down handshake in
+		// Finish rather than flow control.
+		return
+	}
+	if p.leaseCl != nil && !p.demotedFlag.Load() {
+		// Per-cut lease keepalive: on a silently partitioned arbiter
+		// this is what demotes the primary promptly — the gate's own
+		// commits stop firing once acks stop advancing the threshold.
+		b, c := p.g.committedState()
+		if !p.leaseCommit(b, c) {
+			p.g.demote()
+			return
+		}
+	}
+	if ci.UpTo > uint64(replLagCuts*p.cfg.Batch) {
 		// Flow control: block the feed until the mirror is within the
-		// replication window. The Final cut instead resolves through the
-		// stand-down handshake in Finish.
-		p.g.waitAcked(ci.UpTo - uint64(replLagCuts*p.cfg.Batch))
+		// replication window — but never forever. A timeout here is the
+		// silently blackholed standby.
+		floor := ci.UpTo - uint64(replLagCuts*p.cfg.Batch)
+		if !p.g.waitAckedTimeout(floor, p.cfg.ReplTimeout) {
+			p.replDown.Store(true)
+			p.replConn.Close()
+			p.linkLost(fmt.Errorf("ha: standby acknowledgements stalled for %v (silent partition)", p.cfg.ReplTimeout))
+		}
 	}
 }
 
@@ -274,7 +466,7 @@ func (p *Pair) sender() {
 		}
 		if err := p.replConn.Send(f); err != nil {
 			p.replDown.Store(true)
-			p.replFailed(err)
+			p.linkLost(err)
 		}
 	}
 }
@@ -289,25 +481,38 @@ func (p *Pair) ackReader() {
 		if err != nil {
 			if !p.cleanFinal.Load() {
 				p.replDown.Store(true)
-				p.replFailed(err)
+				p.linkLost(err)
 			}
 			return
 		}
 		if w, ok := f.(wire.Watermark); ok {
 			if w.UpTo == math.MaxUint64 {
+				// Terminal stand-down ack: the standby saw the Final cut
+				// and holds its session open for our teardown. Exit here
+				// rather than wait for a link event that never comes.
 				p.cleanFinal.Store(true)
+				p.g.onAck(w.UpTo)
+				return
 			}
 			p.g.onAck(w.UpTo)
 		}
 	}
 }
 
-// replFailed routes a replication-link failure: after a clean final or
-// a deliberate primary kill it is expected; otherwise the standby is
-// lost and the primary degrades — the gate opens on the collector
-// frontier alone and the run continues without takeover coverage.
-func (p *Pair) replFailed(err error) {
-	if p.cleanFinal.Load() || p.killedFlag.Load() {
+// linkLost routes a replication-link failure. After a clean final, a
+// deliberate primary kill, or a demotion already recorded it is
+// expected. Otherwise: with a lease, a primary that lost its mirror
+// must demote — it can no longer prove a successor could resume
+// exactly, and availability now belongs to whoever holds the lease
+// next. Without a lease the primary degrades — the gate opens on the
+// collector frontier alone and the run continues without takeover
+// coverage.
+func (p *Pair) linkLost(err error) {
+	if p.cleanFinal.Load() || p.killedFlag.Load() || p.demotedFlag.Load() {
+		return
+	}
+	if p.leaseCl != nil && !p.tookOver {
+		p.demote(fmt.Sprintf("ha: replication link lost: %v", err))
 		return
 	}
 	if p.standbyLost.CompareAndSwap(false, true) {
@@ -349,23 +554,38 @@ func (p *Pair) trimRing() {
 // cut rides the replication link, the standby acknowledges it and
 // stands down, and the gate opens fully — so every match (including
 // the end-of-stream flush matches at the max watermark) is delivered
-// before Finish returns.
+// before Finish returns. A demoted primary that was never taken over
+// finishes with an explicit error: its stream is incomplete by design,
+// and silence would hide the partition.
 func (p *Pair) Finish() error {
 	if p.err != nil {
 		return p.err
 	}
 	err := p.ing.Finish()
 	p.shutdownRepl()
+	p.stopStandby()
+	demoted := p.demotedFlag.Load()
+	if p.leaseCl != nil {
+		if p.tookOver || !demoted {
+			b, c := p.g.committedState()
+			p.leaseCl.Release(p.leaseHolder, p.leaseEpoch, b, c) //nolint:errcheck // best-effort courtesy to the next holder
+		}
+		p.leaseCl.Close()
+	}
 	if err != nil {
 		return err
+	}
+	if demoted && !p.tookOver {
+		d := p.demotion.Load()
+		return fmt.Errorf("ha: primary demoted without takeover: %s", d.Cause)
 	}
 	return nil
 }
 
 // shutdownRepl tears the replication machinery down in dependency
 // order: wait for the ack reader (it exits on stand-down, link failure,
-// or kill), stop the sender, then join the standby goroutine.
-// Idempotent; safe on every path (clean finish, degraded, takeover).
+// demotion, or kill), stop the sender, then close the link. Idempotent;
+// safe on every path (clean finish, degraded, demoted, takeover).
 func (p *Pair) shutdownRepl() {
 	if p.replClosed {
 		return
@@ -375,15 +595,16 @@ func (p *Pair) shutdownRepl() {
 	close(p.replCh)
 	<-p.senderDone
 	p.replConn.Close()
-	<-p.st.done
 }
 
 // KillPrimary kills the primary coordinator as if its process died —
 // the emission gate freezes, the replication link drops, every worker
-// connection slams shut — and then drives the standby's takeover:
-// a successor coordinator is built from the mirrored state and the
-// stream resumes. Returns the double-death error when the standby was
-// already lost; the takeover record is available from Takeover().
+// connection slams shut — and then drives the standby's takeover: the
+// successor acquires the emission lease (when configured), pulls the
+// mirrored state from the standby process over the handover protocol,
+// and resumes the stream. Returns the double-death error when the
+// standby was already lost; the takeover record is available from
+// Takeover().
 func (p *Pair) KillPrimary() error {
 	if p.err != nil {
 		return p.err
@@ -397,25 +618,151 @@ func (p *Pair) KillPrimary() error {
 	p.replConn.Close()
 	p.ing.Kill()
 	p.shutdownRepl()
+	if p.leaseCl != nil {
+		// The dead primary's client dies with it; the grant lapses by
+		// TTL (a dead process releases nothing).
+		p.leaseCl.Close()
+		p.leaseCl = nil
+	}
 
-	st := p.st.snapshot()
-	if st.stopped || p.standbyLost.Load() {
+	if p.standbyLost.Load() {
 		p.err = fmt.Errorf("ha: double death: primary killed after the standby was lost; the stream cannot resume")
 		return p.err
 	}
+
+	// Arbitration before anything else: no lease, no takeover. The
+	// successor waits out the dead primary's grant.
+	var leaseN uint64
+	haveLease := false
+	if p.cfg.LeaseAddr != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), 4*p.cfg.LeaseTTL+2*time.Second)
+		cl, err := lease.Dial(ctx, p.cfg.LeaseAddr, cluster.DialPolicy{}, nil)
+		if err != nil {
+			cancel()
+			p.err = fmt.Errorf("ha: takeover blocked: lease arbiter unreachable: %w", err)
+			return p.err
+		}
+		fence, err := cl.AcquireWait(ctx, leaseSuccessorHolder, p.cfg.LeaseTTL)
+		cancel()
+		if err != nil {
+			cl.Close()
+			p.err = fmt.Errorf("ha: takeover blocked: emission lease not acquired: %w", err)
+			return p.err
+		}
+		p.leaseCl = cl
+		p.leaseHolder = leaseSuccessorHolder
+		p.leaseEpoch = fence.Epoch
+		leaseN = fence.Count
+		haveLease = true
+	}
+
+	st, err := p.fetchMirror(2)
+	if err != nil {
+		p.err = fmt.Errorf("ha: double death: %w", err)
+		return p.err
+	}
+	p.mirrorCuts, p.mirrorEvs = st.cuts, st.events
 	detectedAt := st.detectedAt
 	cause := st.cause
 	if !st.dead {
-		// The standby goroutine lost the accept race to the kill; the
-		// death is still real, just attributed here.
+		// The standby had not yet observed the death when we read the
+		// handover; the death is still real, just attributed here.
 		detectedAt = time.Now()
 		cause = "ha: primary killed before the mirror observed it"
 	}
-	if st.journal == nil || st.cuts == 0 {
+	if st.journal == nil {
 		p.err = fmt.Errorf("ha: takeover impossible: the standby mirrored no cut before the primary died")
 		return p.err
 	}
-	return p.runTakeover(delivered, st, cause, detectedAt)
+	// How many regenerated matches the dead primary already delivered
+	// past the mirror's emission state: with a lease, the lease's
+	// committed count is exact by commit-then-emit — readable across a
+	// process boundary, immune to partition-lost ReplStates. Without
+	// one, trust the local delivered count (in-process knowledge).
+	if haveLease {
+		delivered = leaseN
+	}
+	err = p.runTakeover(delivered, st, cause, detectedAt)
+	p.stopStandby()
+	return err
+}
+
+// fetchMirror pulls the mirrored state out of the standby process over
+// the handover protocol: dial, one Handover request, the HandoverState
+// header, then the retained journal cuts as ReplCut frames.
+func (p *Pair) fetchMirror(epoch uint64) (mirrorState, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	c, err := cluster.DialTCPContext(ctx, p.standbyAddr, cluster.DialPolicy{})
+	if err != nil {
+		return mirrorState{}, fmt.Errorf("standby unreachable for handover: %w", err)
+	}
+	defer c.Close()
+	// A response is owed for the whole session: a wedged standby must
+	// surface as an error, not hang the takeover.
+	if sc, ok := c.(interface{ SetReadStall(time.Duration) }); ok {
+		sc.SetReadStall(5 * time.Second)
+	}
+	if err := c.Send(wire.Handover{Epoch: epoch}); err != nil {
+		return mirrorState{}, fmt.Errorf("handover request: %w", err)
+	}
+	f, err := c.Recv()
+	if err != nil {
+		return mirrorState{}, fmt.Errorf("handover header: %w", err)
+	}
+	hs, ok := f.(wire.HandoverState)
+	if !ok {
+		return mirrorState{}, fmt.Errorf("handover: unexpected %s frame", wire.KindOf(f))
+	}
+	st := mirrorState{
+		lastUpTo: hs.LastUpTo,
+		emitted:  hs.EmittedUpTo, count: hs.Count,
+		cuts: int(hs.Cuts), events: int(hs.Events),
+		finished: hs.Finished, dead: hs.Dead, cause: hs.Cause,
+		addrs: hs.Addrs,
+	}
+	if hs.DetectedAt != 0 {
+		st.detectedAt = time.Unix(0, int64(hs.DetectedAt))
+	}
+	st.owner = make([]int, len(hs.Owner))
+	for g, o := range hs.Owner {
+		if o == ^uint32(0) {
+			st.owner[g] = -1
+		} else {
+			st.owner[g] = int(o)
+		}
+	}
+	if hs.Cuts > 0 && len(hs.Owner) > 0 {
+		// Rebuild the mirror journal locally: the successor knows the
+		// retention parameters (it shares the pair's Config).
+		j, err := recovery.NewJournal(recovery.JournalConfig{
+			Window: p.cfg.Pattern.Window, Shards: len(hs.Owner),
+			SlackWindows: p.cfg.SlackWindows, MaxBytes: p.cfg.MaxJournalBytes,
+		})
+		if err != nil {
+			return mirrorState{}, fmt.Errorf("rebuilding mirror journal: %w", err)
+		}
+		for i := uint64(0); i < hs.Cuts; i++ {
+			f, err := c.Recv()
+			if err != nil {
+				return mirrorState{}, fmt.Errorf("handover cut %d/%d: %w", i+1, hs.Cuts, err)
+			}
+			rc, ok := f.(wire.ReplCut)
+			if !ok {
+				return mirrorState{}, fmt.Errorf("handover cut %d/%d: unexpected %s frame", i+1, hs.Cuts, wire.KindOf(f))
+			}
+			perShard := make([][]event.Event, len(hs.Owner))
+			for _, r := range rc.Runs {
+				if int(r.Shard) < len(perShard) {
+					perShard[r.Shard] = r.Events
+				}
+			}
+			j.Append(perShard, rc.UpTo)
+		}
+		j.Advance(hs.EmittedUpTo)
+		st.journal = j
+	}
+	return st, nil
 }
 
 // runTakeover builds the successor from the mirrored state: re-dial
@@ -519,14 +866,19 @@ func (p *Pair) runTakeover(delivered uint64, st mirrorState, cause string, detec
 	return nil
 }
 
-// KillStandby kills the standby as if its process died. The primary
-// observes the link failure, degrades the gate, and continues; a later
-// KillPrimary is a double death.
+// KillStandby kills the standby as if its process died. With a lease
+// the primary demotes (it can no longer prove its mirror); without one
+// it observes the link failure, degrades the gate, and continues. A
+// later KillPrimary is a double death either way.
 func (p *Pair) KillStandby() {
-	p.st.stop()
-	<-p.st.done
+	p.stopStandby()
+	p.standbyLost.Store(true)
+	if p.leaseCl != nil && !p.tookOver {
+		p.demote("ha: standby killed; the primary cannot prove its mirror is current")
+		return
+	}
 	// Deterministic degrade: don't wait for the ack reader to notice.
-	if p.standbyLost.CompareAndSwap(false, true) {
+	if s := p.degradeErr.Load(); s == nil {
 		msg := "ha: standby killed; primary continuing degraded"
 		p.degradeErr.Store(&msg)
 	}
@@ -541,6 +893,10 @@ func (p *Pair) Ingress() *cluster.Ingress { return p.ing }
 // was never killed or takeover failed).
 func (p *Pair) Takeover() *recovery.Takeover { return p.takeover }
 
+// Demotion reports the primary's demotion record (nil if it never lost
+// the emission lease).
+func (p *Pair) Demotion() *recovery.Demotion { return p.demotion.Load() }
+
 // Degraded reports whether the pair lost its standby and continued
 // without takeover coverage, with the cause.
 func (p *Pair) Degraded() (bool, string) {
@@ -551,11 +907,14 @@ func (p *Pair) Degraded() (bool, string) {
 }
 
 // MirrorStats reports how much the standby mirrored (cuts, events) —
-// the replication volume behind the overhead measurements.
+// the replication volume behind the overhead measurements. For an
+// external standby the numbers come from the handover (zero before a
+// takeover).
 func (p *Pair) MirrorStats() (cuts, events int) {
-	p.st.mu.Lock()
-	defer p.st.mu.Unlock()
-	return p.st.cuts, p.st.events
+	if p.srv != nil {
+		return p.srv.Stats()
+	}
+	return p.mirrorCuts, p.mirrorEvs
 }
 
 // Delivered reports the matches emitted downstream so far.

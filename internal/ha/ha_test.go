@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"acep/internal/chaos"
 	"acep/internal/cluster"
 	"acep/internal/engine"
 	"acep/internal/gen"
@@ -256,7 +257,7 @@ func TestTakeoverDuringWorkerFailover(t *testing.T) {
 	got, p := runPair(t, rig, w, gen.Sequence,
 		func(i int, c cluster.Conn) cluster.Conn {
 			if i == 1 {
-				return &flakyConn{Conn: c, sendBudget: 30}
+				return &chaos.Flaky{C: c, Budget: 30}
 			}
 			return c
 		},
@@ -328,20 +329,4 @@ func TestDoubleDeath(t *testing.T) {
 	if err := p.Finish(); err == nil || !strings.Contains(err.Error(), "double death") {
 		t.Fatalf("Finish returned %v after a double death", err)
 	}
-}
-
-// flakyConn injects an ingress-side link death after a send budget —
-// the same failure shape the cluster kill matrix uses.
-type flakyConn struct {
-	cluster.Conn
-	sendBudget int
-}
-
-func (f *flakyConn) Send(fr wire.Frame) error {
-	if f.sendBudget <= 0 {
-		f.Conn.Close()
-		return fmt.Errorf("flaky: injected send failure")
-	}
-	f.sendBudget--
-	return f.Conn.Send(fr)
 }

@@ -12,133 +12,219 @@ import (
 	"acep/internal/wire"
 )
 
-// standby is the hot-standby side of the replication link: it tails the
-// primary's sealed-cut stream into a mirror journal — the same journal
-// type the primary itself retains for worker failover — together with
-// the owner table, the per-slot worker addresses, and the primary's
-// emission state. Every mirrored cut is acknowledged with its
-// watermark; the primary's emission gate holds matches until the cut
-// producing them is acknowledged, which is what makes the mirror's
-// (lastUpTo, emitted, count) triple sufficient to resume the stream
-// byte-identically after a takeover.
+// StandbyServer is the standby side of the replication link: it tails
+// the primary's sealed-cut stream into a mirror journal — the same
+// journal type the primary itself retains for worker failover — together
+// with the owner table, the per-slot worker addresses, and the primary's
+// emission state. Every mirrored cut is acknowledged with its watermark;
+// the primary's emission gate holds matches until the cut producing them
+// is acknowledged, which is what makes the mirror's (lastUpTo, emitted,
+// count) triple sufficient to resume the stream byte-identically after a
+// takeover.
 //
-// run owns the link end to end on one goroutine; the Pair reads the
-// mirrored state (snapshot) only after that goroutine has exited — on
-// primary death, stand-down, or KillStandby.
-type standby struct {
-	window   event.Time
-	slack    int
-	maxBytes int64
-
+// Since the partition-tolerance work the server is process-agnostic: it
+// speaks only the wire protocol. The opening Epoch frame carries the
+// journal sizing (window, slack, byte bound), so `acep-standby` hosts a
+// StandbyServer with no pattern knowledge; and a takeover successor
+// pulls the mirrored state back out over TCP with the Handover /
+// HandoverState exchange instead of reading this struct's memory. The
+// in-process standby the Pair spawns by default is the same server on a
+// loopback listener — one code path for both deployments.
+//
+// The serve loop owns sessions sequentially: first the primary's
+// replication session, then any number of handover reads. Duplicated or
+// reordered replication frames are detected by the dense ReplCut.Cut
+// ordinal (re-acked, not re-mirrored); a gap means a dropped frame, and
+// the server fails the link rather than journal incomplete history.
+type StandbyServer struct {
 	l    *cluster.Listener
 	done chan struct{}
 
+	// Logf, when set before Serve, receives session lifecycle lines
+	// (used by cmd/acep-standby).
+	Logf func(format string, args ...any)
+
 	mu         sync.Mutex
-	conn       cluster.Conn
+	conn       cluster.Conn // active session conn (Stop must unblock it)
 	journal    *recovery.Journal
+	window     event.Time
+	slack      int
+	maxBytes   int64
 	lastUpTo   uint64 // newest mirrored cut watermark
+	lastCut    uint64 // newest mirrored cut ordinal (dedup/gap detector)
 	emitted    uint64 // primary's last received EmittedUpTo (E*)
 	count      uint64 // primary's delivered count at that boundary (N*)
-	owner      []int
+	owner      []uint32
 	addrs      []string
 	cuts       int
 	events     int
+	mirrored   bool // a replication session has produced at least one cut
 	finished   bool // saw the Final cut: clean stand-down
-	stopped    bool // KillStandby: deliberate shutdown
+	stopped    bool // deliberate shutdown
 	dead       bool // primary death observed on the link
 	cause      string
 	detectedAt time.Time
 }
 
-// mirrorState is the snapshot a takeover resumes from.
-type mirrorState struct {
-	journal    *recovery.Journal
-	lastUpTo   uint64
-	emitted    uint64
-	count      uint64
-	owner      []int
-	addrs      []string
-	cuts       int
-	events     int
-	finished   bool
-	stopped    bool
-	dead       bool
-	cause      string
-	detectedAt time.Time
+// NewStandbyServer wraps a listener; call Serve (usually on its own
+// goroutine) to start accepting the primary.
+func NewStandbyServer(l *cluster.Listener) *StandbyServer {
+	return &StandbyServer{l: l, done: make(chan struct{})}
 }
 
-// run accepts the primary's replication dial and tails the link until
-// the primary stands it down (Final cut), dies, or the standby itself
-// is stopped.
-func (s *standby) run() {
-	defer close(s.done)
-	conn, err := s.l.Accept()
-	if err != nil {
-		s.fail(fmt.Errorf("ha: standby accept: %w", err))
-		return
+// Addr reports the listener address the primary should dial.
+func (s *StandbyServer) Addr() string { return s.l.Addr() }
+
+func (s *StandbyServer) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
 	}
+}
+
+// Serve accepts sessions until Stop: one replication session from the
+// primary, then handover reads from takeover successors. Sessions are
+// served sequentially — the protocol never overlaps them (a handover
+// only happens once the primary is dead or demoted).
+func (s *StandbyServer) Serve() {
+	defer close(s.done)
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			return // Stop closed the listener
+		}
+		s.mu.Lock()
+		stopped := s.stopped
+		s.mu.Unlock()
+		if stopped {
+			conn.Close()
+			return
+		}
+		s.serveSession(conn)
+	}
+}
+
+// serveSession dispatches one accepted connection on its opening frame.
+func (s *StandbyServer) serveSession(conn cluster.Conn) {
 	s.mu.Lock()
 	s.conn = conn
 	stopped := s.stopped
 	s.mu.Unlock()
-	if stopped {
+	defer func() {
 		conn.Close()
-		return
+		s.mu.Lock()
+		s.conn = nil
+		s.mu.Unlock()
+	}()
+	if stopped {
+		return // Stop raced the accept; don't serve a dead server
 	}
+	f, err := conn.Recv()
+	if err != nil {
+		return // dialer vanished before speaking; not a primary death
+	}
+	switch v := f.(type) {
+	case wire.Epoch:
+		s.logf("replication session open: epoch %d window %d slack %d maxbytes %d",
+			v.Epoch, v.Window, v.Slack, v.MaxBytes)
+		s.mu.Lock()
+		s.window = event.Time(v.Window)
+		s.slack = int(v.Slack)
+		s.maxBytes = int64(v.MaxBytes)
+		s.mu.Unlock()
+		s.serveReplication(conn)
+	case wire.Handover:
+		s.logf("handover read: successor epoch %d", v.Epoch)
+		s.serveHandover(conn)
+	default:
+		s.fail(fmt.Errorf("ha: unexpected %s frame opening a standby session", wire.KindOf(f)))
+	}
+}
+
+// serveReplication tails the primary until it stands the link down
+// (Final cut), dies, or the standby is stopped.
+func (s *StandbyServer) serveReplication(conn cluster.Conn) {
 	for {
 		f, err := conn.Recv()
 		if err != nil {
 			s.fail(fmt.Errorf("ha: replication link: %w", err))
-			conn.Close()
 			return
 		}
 		switch v := f.(type) {
 		case wire.Epoch:
-			// Link opening: the primary declares its epoch. The mirror
-			// only ever serves one primary per run, so recording it is
-			// all the fencing this side needs.
+			// Re-declaration on an open link: tolerated, no-op.
 		case wire.ReplCut:
-			s.mirror(v)
+			switch dup, gap := s.mirror(v); {
+			case gap:
+				// A replication frame was lost in transit. Journaling on
+				// would silently hand a successor incomplete history, so
+				// fail the link — the primary degrades (or demotes) and
+				// the mirror stops advertising itself as current.
+				s.fail(fmt.Errorf("ha: replication gap: cut %d arrived after cut %d", v.Cut, s.snapLastCut()))
+				return
+			case dup:
+				// Duplicate or reordered-behind frame: the cut is already
+				// mirrored. Re-ack so a lost ack cannot stall the
+				// primary's flow control, but touch nothing.
+				if serr := conn.Send(wire.Watermark{UpTo: v.UpTo}); serr != nil {
+					s.fail(fmt.Errorf("ha: re-acking duplicated cut: %w", serr))
+					return
+				}
+				continue
+			}
 			if v.Final {
 				// Stand-down: the stream ended cleanly on the primary.
 				// The terminal ack fully opens the primary's gate (its
 				// end-of-stream flush matches carry the max watermark).
+				// Keep the session open — late frames already in flight
+				// (a delayed ReplState, a duplicated Final) must land
+				// harmlessly, not race our close; the primary closes
+				// the link once its own teardown finishes.
 				conn.Send(wire.Watermark{UpTo: math.MaxUint64}) //nolint:errcheck // primary may already be gone
 				s.mu.Lock()
 				s.finished = true
+				cuts, events := s.cuts, s.events
 				s.mu.Unlock()
-				conn.Close()
-				return
+				s.logf("stand-down: %d cuts, %d events mirrored", cuts, events)
+				continue
 			}
 			if err := conn.Send(wire.Watermark{UpTo: v.UpTo}); err != nil {
 				s.fail(fmt.Errorf("ha: acking mirrored cut: %w", err))
-				conn.Close()
 				return
 			}
 		case wire.ReplState:
 			s.mu.Lock()
-			s.emitted, s.count = v.EmittedUpTo, v.Count
-			if s.journal != nil {
-				// Retention follows the primary's *emission* boundary,
-				// not the mirrored watermark: matches above it may need
-				// regeneration on takeover, so the history producing
-				// them must stay replayable.
-				s.journal.Advance(v.EmittedUpTo)
+			if v.EmittedUpTo >= s.emitted {
+				// Monotone guard: a reordered stale state frame must not
+				// roll the resume point backward.
+				s.emitted, s.count = v.EmittedUpTo, v.Count
+				if s.journal != nil {
+					// Retention follows the primary's *emission* boundary,
+					// not the mirrored watermark: matches above it may
+					// need regeneration on takeover, so the history
+					// producing them must stay replayable.
+					s.journal.Advance(v.EmittedUpTo)
+				}
 			}
 			s.mu.Unlock()
 		default:
 			s.fail(fmt.Errorf("ha: unexpected %s frame on the replication link", wire.KindOf(f)))
-			conn.Close()
 			return
 		}
 	}
 }
 
 // mirror appends one replicated cut to the mirror journal, creating it
-// lazily at the first cut (which fixes the global shard count).
-func (s *standby) mirror(v wire.ReplCut) {
+// lazily at the first cut (which fixes the global shard count). It
+// reports dup for an already-mirrored ordinal and gap for a skipped one.
+func (s *StandbyServer) mirror(v wire.ReplCut) (dup, gap bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if v.Cut <= s.lastCut && s.mirrored {
+		return true, false
+	}
+	if v.Cut != s.lastCut+1 {
+		return false, true
+	}
 	total := len(v.Owner)
 	if s.journal == nil && total > 0 {
 		j, err := recovery.NewJournal(recovery.JournalConfig{
@@ -146,7 +232,7 @@ func (s *standby) mirror(v wire.ReplCut) {
 			SlackWindows: s.slack, MaxBytes: s.maxBytes,
 		})
 		if err != nil {
-			return // window invalid: New validated it, unreachable
+			return false, false // window invalid: the primary validated it, unreachable
 		}
 		s.journal = j
 	}
@@ -160,24 +246,68 @@ func (s *standby) mirror(v wire.ReplCut) {
 		s.journal.Append(perShard, v.UpTo)
 	}
 	s.lastUpTo = v.UpTo
-	s.owner = s.owner[:0]
-	for _, o := range v.Owner {
-		if o == ^uint32(0) {
-			s.owner = append(s.owner, -1)
-		} else {
-			s.owner = append(s.owner, int(o))
-		}
-	}
+	s.lastCut = v.Cut
+	s.mirrored = true
+	s.owner = append(s.owner[:0], v.Owner...)
 	s.addrs = append(s.addrs[:0], v.Addrs...)
 	s.cuts++
 	for _, r := range v.Runs {
 		s.events += len(r.Events)
 	}
+	return false, false
+}
+
+// serveHandover streams the mirrored state to a takeover successor: the
+// HandoverState header, then each retained journal cut as a ReplCut
+// frame. Reading is idempotent — the mirror is not consumed.
+func (s *StandbyServer) serveHandover(conn cluster.Conn) {
+	s.mu.Lock()
+	hs := wire.HandoverState{
+		LastUpTo: s.lastUpTo, LastCut: s.lastCut,
+		EmittedUpTo: s.emitted, Count: s.count,
+		Events:   uint64(s.events),
+		Finished: s.finished, Dead: s.dead, Cause: s.cause,
+		Owner: append([]uint32(nil), s.owner...),
+		Addrs: append([]string(nil), s.addrs...),
+	}
+	if !s.detectedAt.IsZero() {
+		hs.DetectedAt = uint64(s.detectedAt.UnixNano())
+	}
+	if s.journal != nil {
+		hs.Cuts = uint64(s.journal.Cuts())
+	}
+	j := s.journal
+	s.mu.Unlock()
+	// The journal is only ever mutated from this serve goroutine
+	// (sessions are sequential), so walking it without the lock is safe.
+	if conn.Send(hs) != nil {
+		return
+	}
+	if j != nil {
+		var cut uint64
+		j.EachCut(func(perShard [][]event.Event, upTo uint64) error { //nolint:errcheck // send failure just ends the walk
+			cut++
+			rc := wire.ReplCut{UpTo: upTo, Cut: cut}
+			for g, evs := range perShard {
+				if len(evs) > 0 {
+					rc.Runs = append(rc.Runs, wire.ReplRun{Shard: uint32(g), Events: evs})
+				}
+			}
+			return conn.Send(rc)
+		})
+	}
+}
+
+// snapLastCut reads the newest mirrored ordinal (error-message helper).
+func (s *StandbyServer) snapLastCut() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastCut
 }
 
 // fail records the primary's death as observed on the link — unless the
 // link ended for a benign reason (stand-down or deliberate stop).
-func (s *standby) fail(err error) {
+func (s *StandbyServer) fail(err error) {
 	s.mu.Lock()
 	if !s.finished && !s.stopped && !s.dead {
 		s.dead = true
@@ -185,32 +315,46 @@ func (s *standby) fail(err error) {
 		s.detectedAt = time.Now()
 	}
 	s.mu.Unlock()
+	s.logf("replication session over: %v", err)
 }
 
-// stop shuts the standby down deliberately (the standby-death half of
-// the kill matrix). Safe before or after the link is up.
-func (s *standby) stop() {
+// Stop shuts the server down deliberately (the standby-death half of the
+// kill matrix, or process shutdown). Safe before or after any session.
+func (s *StandbyServer) Stop() {
 	s.mu.Lock()
 	s.stopped = true
-	c := s.conn
+	conn := s.conn
 	s.mu.Unlock()
 	s.l.Close()
-	if c != nil {
-		c.Close()
+	if conn != nil {
+		conn.Close() // unblock a session mid-Recv
 	}
 }
 
-// snapshot copies the mirrored state. Call only after done is closed.
-func (s *standby) snapshot() mirrorState {
+// Wait blocks until the serve loop has exited.
+func (s *StandbyServer) Wait() { <-s.done }
+
+// Stats reports how much the server mirrored (cuts, events) — the
+// replication volume behind the overhead measurements.
+func (s *StandbyServer) Stats() (cuts, events int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return mirrorState{
-		journal: s.journal, lastUpTo: s.lastUpTo,
-		emitted: s.emitted, count: s.count,
-		owner: append([]int(nil), s.owner...),
-		addrs: append([]string(nil), s.addrs...),
-		cuts:  s.cuts, events: s.events,
-		finished: s.finished, stopped: s.stopped, dead: s.dead,
-		cause: s.cause, detectedAt: s.detectedAt,
-	}
+	return s.cuts, s.events
+}
+
+// mirrorState is the snapshot a takeover resumes from, rebuilt on the
+// successor side from the handover exchange.
+type mirrorState struct {
+	journal    *recovery.Journal
+	lastUpTo   uint64
+	emitted    uint64
+	count      uint64
+	owner      []int
+	addrs      []string
+	cuts       int
+	events     int
+	finished   bool
+	dead       bool
+	cause      string
+	detectedAt time.Time
 }

@@ -1,0 +1,142 @@
+package lease
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"acep/internal/cluster"
+	"acep/internal/wire"
+)
+
+// rpcTimeout bounds every lease RPC: the whole point of the lease is to
+// detect a partition, so a request into a blackhole must come back as an
+// error, never hang. It is armed as a read stall on the underlying
+// connection (see cluster.SetReadStall).
+const rpcTimeout = 2 * time.Second
+
+// Client speaks the lease protocol over one TCP connection. All methods
+// are safe for concurrent use; requests serialize on the connection.
+// Any transport error is terminal for the client — the caller treats it
+// exactly like a denial (it cannot prove it still holds the lease) and
+// the HA layer demotes.
+type Client struct {
+	// protected by mu in rpc
+	mu sync.Mutex
+	c  cluster.Conn
+}
+
+// Dial connects to a lease server under the given dial policy (zero
+// value = cluster defaults). wrap, when non-nil, wraps the connection —
+// the chaos hook that lets tests partition a primary from its arbiter.
+func Dial(ctx context.Context, addr string, p cluster.DialPolicy, wrap func(cluster.Conn) cluster.Conn) (*Client, error) {
+	c, err := cluster.DialTCPContext(ctx, addr, p)
+	if err != nil {
+		return nil, fmt.Errorf("lease: %w", err)
+	}
+	if wrap != nil {
+		c = wrap(c)
+	}
+	return &Client{c: c}, nil
+}
+
+func (cl *Client) rpc(f wire.Frame) (wire.LeaseFence, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.c == nil {
+		return wire.LeaseFence{}, fmt.Errorf("lease: client closed")
+	}
+	// A response is owed from Send to Recv — arm the read stall for
+	// exactly that window so a partitioned server surfaces as an error
+	// in bounded time instead of wedging the caller.
+	type stallConn interface{ SetReadStall(time.Duration) }
+	if sc, ok := cl.c.(stallConn); ok {
+		sc.SetReadStall(rpcTimeout)
+		defer sc.SetReadStall(0)
+	} else {
+		// A wrapped connection (chaos) hides the stall probe: fall back
+		// to killing the connection outright. Terminal either way — a
+		// client that timed out an RPC can no longer prove anything.
+		conn := cl.c
+		tm := time.AfterFunc(2*rpcTimeout, func() { conn.Close() })
+		defer tm.Stop()
+	}
+	if err := cl.c.Send(f); err != nil {
+		return wire.LeaseFence{}, fmt.Errorf("lease: send: %w", err)
+	}
+	r, err := cl.c.Recv()
+	if err != nil {
+		return wire.LeaseFence{}, fmt.Errorf("lease: recv: %w", err)
+	}
+	fence, ok := r.(wire.LeaseFence)
+	if !ok {
+		return wire.LeaseFence{}, fmt.Errorf("lease: unexpected %s frame in response", wire.KindOf(r))
+	}
+	return fence, nil
+}
+
+// Acquire makes one acquisition attempt.
+func (cl *Client) Acquire(holder uint64, ttl time.Duration) (wire.LeaseFence, error) {
+	return cl.rpc(wire.LeaseAcquire{Holder: holder, TTLMillis: uint64(ttl / time.Millisecond)})
+}
+
+// AcquireWait retries Acquire until granted or the context ends. It
+// polls at ttl/8 (floor 5ms) — fast enough that takeover waits little
+// past the previous grant's expiry, slow enough not to hammer the
+// arbiter. Transport errors end the wait: if the arbiter itself is
+// unreachable, nobody can prove ownership and takeover must not proceed.
+func (cl *Client) AcquireWait(ctx context.Context, holder uint64, ttl time.Duration) (wire.LeaseFence, error) {
+	poll := ttl / 8
+	if poll < 5*time.Millisecond {
+		poll = 5 * time.Millisecond
+	}
+	for {
+		fence, err := cl.Acquire(holder, ttl)
+		if err != nil || fence.Granted {
+			return fence, err
+		}
+		select {
+		case <-time.After(poll):
+		case <-ctx.Done():
+			return fence, fmt.Errorf("lease: acquire %d: %w (held by %d epoch %d)",
+				holder, ctx.Err(), fence.Holder, fence.Epoch)
+		}
+	}
+}
+
+// Renew extends the grant and commits the emission boundary.
+func (cl *Client) Renew(holder, epoch uint64, ttl time.Duration, boundary, count uint64) (wire.LeaseFence, error) {
+	return cl.rpc(wire.LeaseRenew{
+		Holder:      holder,
+		Epoch:       epoch,
+		TTLMillis:   uint64(ttl / time.Millisecond),
+		EmittedUpTo: boundary,
+		Count:       count,
+	})
+}
+
+// Release gives the lease up cleanly (TTL-zero renew); the committed
+// boundary survives on the server.
+func (cl *Client) Release(holder, epoch, boundary, count uint64) error {
+	fence, err := cl.rpc(wire.LeaseRenew{
+		Holder: holder, Epoch: epoch, EmittedUpTo: boundary, Count: count,
+	})
+	if err != nil {
+		return err
+	}
+	if !fence.Granted {
+		return fmt.Errorf("lease: release fenced: holder %d epoch %d", fence.Holder, fence.Epoch)
+	}
+	return nil
+}
+
+// Close drops the connection; in-flight RPCs fail.
+func (cl *Client) Close() {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.c != nil {
+		cl.c.Close()
+		cl.c = nil
+	}
+}

@@ -208,6 +208,20 @@ func (j *Journal) Append(perShard [][]event.Event, upTo uint64) {
 	}
 }
 
+// EachCut visits every retained cut oldest-first with its per-shard
+// event slices and watermark — the serialization walk a standby uses to
+// hand its mirror to a takeover successor over the wire (trimmed shard
+// slices visit as nil). The slices are the journal's retained storage:
+// callers must not mutate them or call other Journal methods from fn.
+func (j *Journal) EachCut(fn func(perShard [][]event.Event, upTo uint64) error) error {
+	for k := range j.cuts {
+		if err := fn(j.cuts[k].evs, j.cuts[k].upTo); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Advance folds the released (delivered) watermark into the per-shard
 // frontiers and trims every slice no undelivered or future match can
 // reach: released slices whose newest event is more than the slack

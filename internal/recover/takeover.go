@@ -58,3 +58,24 @@ func (t Takeover) Pause() time.Duration {
 // RecoveryTime is an alias for Pause, mirroring Failover's accessor so
 // callers aggregate both record kinds uniformly.
 func (t Takeover) RecoveryTime() time.Duration { return t.Pause() }
+
+// Demotion is the record of a primary coordinator stepping down: it
+// could not renew (or was fenced off) the single-writer emission lease,
+// so it froze its emission gate rather than risk emitting a stream a
+// successor might also emit. A demotion is the deliberate, safe half of
+// a network partition — the complement of the successor's Takeover — and
+// a demoted run that was never taken over must surface it as an error,
+// never exit clean.
+type Demotion struct {
+	// At is when the primary froze its gate.
+	At time.Time
+	// Cause describes why the lease could not be held: a fence from a
+	// higher-epoch holder, or an unreachable arbiter.
+	Cause string
+	// Epoch is the lease epoch the primary held while it was primary.
+	Epoch uint64
+	// Boundary and Count are the last emission state committed to the
+	// lease before the demotion — exactly what a successor resumes from.
+	Boundary uint64
+	Count    uint64
+}

@@ -29,6 +29,13 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{1, 0, 0, 0, 99})
 	f.Add([]byte{8, 0, 0, 0, byte(KindMatch), 0, 0xff, 0xff, 0xff, 0xff, 0x7f, 0})
 	f.Add(append(Append(nil, Watermark{UpTo: 1}), Append(nil, Finish{})...))
+	// v6 seeds: lease arbitration and mirror-handover frames, plus
+	// corrupt shapes the flag validators must reject cleanly.
+	f.Add(Append(nil, LeaseRenew{Holder: 1, Epoch: 2, TTLMillis: 2000, EmittedUpTo: 99, Count: 7}))
+	f.Add(Append(nil, LeaseFence{Granted: true, Holder: 1, Epoch: 2}))
+	f.Add(Append(nil, HandoverState{Dead: true, Cause: "x", Owner: []uint32{0}}))
+	f.Add([]byte{2, 0, 0, 0, byte(KindLeaseFence), 0xfe})                         // unknown fence flags
+	f.Add([]byte{8, 0, 0, 0, byte(KindHandoverState), 0, 0, 0, 0, 0, 0, 0xf0, 0}) // unknown handover flags
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		if len(b) > 1<<20 {

@@ -74,7 +74,17 @@ import (
 // replication link; and Takeover announces a successor's assumption of
 // the cluster, carrying the emission boundary below which every match
 // was already delivered.
-const Version = 5
+//
+// v6: partition tolerance — ReplCut carries a dense cut ordinal so a
+// mirror detects duplicated, reordered or dropped replication frames
+// instead of silently desynchronizing; Epoch ships the journal sizing
+// (window, slack, byte bound) so an out-of-process standby needs no
+// pattern knowledge; the lease frames (LeaseAcquire, LeaseRenew,
+// LeaseFence) carry the single-writer emission lease that arbitrates
+// split-brain; and the handover frames (Handover, HandoverState) let a
+// takeover successor pull the mirrored state back from a standby
+// process over TCP.
+const Version = 6
 
 // MaxFrame bounds one frame's payload (kind+body) in bytes; Decode and
 // Reader reject larger length prefixes as corrupt.
@@ -187,6 +197,34 @@ const (
 	// Epoch+1 and fences the old primary's worker sessions via the
 	// epoch-stamped Assign.
 	KindEpoch
+	// KindLeaseAcquire requests the single-writer emission lease
+	// (holder → lease server): grant it to Holder for TTLMillis if it is
+	// free, expired, or already held by Holder. The server answers with a
+	// LeaseFence frame either way.
+	KindLeaseAcquire
+	// KindLeaseRenew extends a held lease (holder → lease server) and
+	// commits the holder's emission boundary: EmittedUpTo/Count record
+	// the prefix the holder is about to emit, persisted at the server
+	// *before* the matches reach the consumer, so a successor acquiring
+	// the lease learns exactly what the fenced holder delivered.
+	// TTLMillis zero releases the lease (the boundary survives).
+	KindLeaseRenew
+	// KindLeaseFence is the lease server's arbitration answer
+	// (lease server → holder): whether the request was granted, who
+	// holds the lease at which fencing epoch, the last committed
+	// emission boundary, and — on denial — how long the current grant
+	// has left.
+	KindLeaseFence
+	// KindHandover asks a standby process for its mirrored state
+	// (successor → standby): the successor has acquired the lease and is
+	// about to rebuild the coordinator. The standby answers with one
+	// HandoverState header followed by its retained journal cuts as
+	// ReplCut frames.
+	KindHandover
+	// KindHandoverState is the handover header (standby → successor):
+	// the mirror's watermarks, emission state, topology tables, and the
+	// number of ReplCut frames that follow.
+	KindHandoverState
 )
 
 // String names the frame kind.
@@ -228,6 +266,16 @@ func (k Kind) String() string {
 		return "takeover"
 	case KindEpoch:
 		return "epoch"
+	case KindLeaseAcquire:
+		return "lease-acquire"
+	case KindLeaseRenew:
+		return "lease-renew"
+	case KindLeaseFence:
+		return "lease-fence"
+	case KindHandover:
+		return "handover"
+	case KindHandoverState:
+		return "handover-state"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -439,7 +487,13 @@ type PatternRemove struct {
 // finished cleanly and the standby must stand down instead of taking
 // over when the link closes.
 type ReplCut struct {
-	UpTo  uint64
+	UpTo uint64
+	// Cut is the dense per-run cut ordinal (1, 2, 3, … — v6). The mirror
+	// uses it to recognize a duplicated or reordered frame (Cut at or
+	// below the last mirrored ordinal: ack again, mirror nothing) and to
+	// detect a dropped one (a gap: the mirror is desynchronized and must
+	// fail the link rather than journal an incomplete history).
+	Cut   uint64
 	Final bool
 	Owner []uint32
 	Addrs []string
@@ -472,9 +526,68 @@ type Takeover struct {
 }
 
 // Epoch opens a replication link, declaring the primary's coordination
-// epoch (see KindEpoch).
+// epoch (see KindEpoch). Since v6 it also ships the mirror journal's
+// sizing — the pattern window, the retention slack and the byte bound —
+// so an out-of-process standby (cmd/acep-standby) can size its journal
+// without any pattern knowledge of its own.
 type Epoch struct {
-	Epoch uint64
+	Epoch    uint64
+	Window   int64  // pattern window (journal retention unit); 0 on non-replication uses
+	Slack    uint32 // retention horizon in windows (0 = journal default)
+	MaxBytes uint64 // journal byte bound (0 = journal default)
+}
+
+// LeaseAcquire requests the single-writer emission lease (see
+// KindLeaseAcquire).
+type LeaseAcquire struct {
+	Holder    uint64
+	TTLMillis uint64
+}
+
+// LeaseRenew extends a held lease and commits the holder's emission
+// boundary (see KindLeaseRenew). TTLMillis zero releases the lease.
+type LeaseRenew struct {
+	Holder      uint64
+	Epoch       uint64
+	TTLMillis   uint64
+	EmittedUpTo uint64
+	Count       uint64
+}
+
+// LeaseFence is the lease server's arbitration answer (see
+// KindLeaseFence).
+type LeaseFence struct {
+	Granted     bool
+	Holder      uint64
+	Epoch       uint64
+	EmittedUpTo uint64 // last committed emission boundary
+	Count       uint64 // matches delivered at that boundary
+	LeftMillis  uint64 // on denial: how long the current grant has left
+}
+
+// Handover asks a standby process for its mirrored state (see
+// KindHandover).
+type Handover struct {
+	Epoch uint64 // the successor's fencing epoch (logging/auditing)
+}
+
+// HandoverState is the handover header (see KindHandoverState): the
+// mirror's replication watermarks and emission state, the topology
+// tables, and the number of retained-journal ReplCut frames that follow
+// on the same connection.
+type HandoverState struct {
+	LastUpTo    uint64 // newest mirrored cut watermark
+	LastCut     uint64 // newest mirrored cut ordinal
+	EmittedUpTo uint64 // primary's last received emission boundary (E*)
+	Count       uint64 // delivered count at that boundary (N*)
+	Cuts        uint64 // retained journal cuts following as ReplCut frames
+	Events      uint64 // events mirrored in total (accounting)
+	Finished    bool   // the primary stood the mirror down cleanly
+	Dead        bool   // the mirror observed the primary die on the link
+	Cause       string // how the death surfaced (truncated to 256 bytes)
+	DetectedAt  uint64 // unix nanoseconds of the death observation
+	Owner       []uint32
+	Addrs       []string
 }
 
 func (Hello) kind() Kind          { return KindHello }
@@ -497,6 +610,11 @@ func (ReplCut) kind() Kind        { return KindReplCut }
 func (ReplState) kind() Kind      { return KindReplState }
 func (Takeover) kind() Kind       { return KindTakeover }
 func (Epoch) kind() Kind          { return KindEpoch }
+func (LeaseAcquire) kind() Kind   { return KindLeaseAcquire }
+func (LeaseRenew) kind() Kind     { return KindLeaseRenew }
+func (LeaseFence) kind() Kind     { return KindLeaseFence }
+func (Handover) kind() Kind       { return KindHandover }
+func (HandoverState) kind() Kind  { return KindHandoverState }
 
 // KindOf reports a frame's kind.
 func KindOf(f Frame) Kind { return f.kind() }
@@ -611,6 +729,7 @@ func Append(dst []byte, f Frame) []byte {
 		dst = binary.AppendUvarint(dst, uint64(v.ID))
 	case ReplCut:
 		dst = binary.AppendUvarint(dst, v.UpTo)
+		dst = binary.AppendUvarint(dst, v.Cut)
 		var flags byte
 		if v.Final {
 			flags |= 1
@@ -655,6 +774,70 @@ func Append(dst []byte, f Frame) []byte {
 		dst = binary.AppendUvarint(dst, v.Count)
 	case Epoch:
 		dst = binary.AppendUvarint(dst, v.Epoch)
+		dst = binary.AppendVarint(dst, v.Window)
+		dst = binary.AppendUvarint(dst, uint64(v.Slack))
+		dst = binary.AppendUvarint(dst, v.MaxBytes)
+	case LeaseAcquire:
+		dst = binary.AppendUvarint(dst, v.Holder)
+		dst = binary.AppendUvarint(dst, v.TTLMillis)
+	case LeaseRenew:
+		dst = binary.AppendUvarint(dst, v.Holder)
+		dst = binary.AppendUvarint(dst, v.Epoch)
+		dst = binary.AppendUvarint(dst, v.TTLMillis)
+		dst = binary.AppendUvarint(dst, v.EmittedUpTo)
+		dst = binary.AppendUvarint(dst, v.Count)
+	case LeaseFence:
+		var flags byte
+		if v.Granted {
+			flags |= 1
+		}
+		dst = append(dst, flags)
+		dst = binary.AppendUvarint(dst, v.Holder)
+		dst = binary.AppendUvarint(dst, v.Epoch)
+		dst = binary.AppendUvarint(dst, v.EmittedUpTo)
+		dst = binary.AppendUvarint(dst, v.Count)
+		dst = binary.AppendUvarint(dst, v.LeftMillis)
+	case Handover:
+		dst = binary.AppendUvarint(dst, v.Epoch)
+	case HandoverState:
+		dst = binary.AppendUvarint(dst, v.LastUpTo)
+		dst = binary.AppendUvarint(dst, v.LastCut)
+		dst = binary.AppendUvarint(dst, v.EmittedUpTo)
+		dst = binary.AppendUvarint(dst, v.Count)
+		dst = binary.AppendUvarint(dst, v.Cuts)
+		dst = binary.AppendUvarint(dst, v.Events)
+		var flags byte
+		if v.Finished {
+			flags |= 1
+		}
+		if v.Dead {
+			flags |= 2
+		}
+		if v.Owner != nil {
+			flags |= 4
+		}
+		if v.Addrs != nil {
+			flags |= 8
+		}
+		dst = append(dst, flags)
+		cause := v.Cause
+		if len(cause) > maxNameBytes {
+			cause = cause[:maxNameBytes]
+		}
+		dst = appendString(dst, cause)
+		dst = binary.AppendUvarint(dst, v.DetectedAt)
+		if v.Owner != nil {
+			dst = binary.AppendUvarint(dst, uint64(len(v.Owner)))
+			for _, o := range v.Owner {
+				dst = binary.AppendUvarint(dst, uint64(o))
+			}
+		}
+		if v.Addrs != nil {
+			dst = binary.AppendUvarint(dst, uint64(len(v.Addrs)))
+			for _, a := range v.Addrs {
+				dst = appendString(dst, a)
+			}
+		}
 	default:
 		panic(fmt.Sprintf("wire: unencodable frame type %T", f))
 	}
@@ -1056,7 +1239,7 @@ func decodePayload(p []byte) (Frame, error) {
 	case KindPatternRemove:
 		f = PatternRemove{ID: uint32(c.uvarint())}
 	case KindReplCut:
-		v := ReplCut{UpTo: c.uvarint()}
+		v := ReplCut{UpTo: c.uvarint(), Cut: c.uvarint()}
 		flags := c.u8()
 		if c.err == nil && flags&^byte(7) != 0 {
 			c.fail("repl-cut flags %#x unknown", flags)
@@ -1097,7 +1280,69 @@ func decodePayload(p []byte) (Frame, error) {
 	case KindTakeover:
 		f = Takeover{Epoch: c.uvarint(), Boundary: c.uvarint(), Count: c.uvarint()}
 	case KindEpoch:
-		f = Epoch{Epoch: c.uvarint()}
+		f = Epoch{
+			Epoch:    c.uvarint(),
+			Window:   c.varint(),
+			Slack:    uint32(c.uvarint()),
+			MaxBytes: c.uvarint(),
+		}
+	case KindLeaseAcquire:
+		f = LeaseAcquire{Holder: c.uvarint(), TTLMillis: c.uvarint()}
+	case KindLeaseRenew:
+		f = LeaseRenew{
+			Holder:      c.uvarint(),
+			Epoch:       c.uvarint(),
+			TTLMillis:   c.uvarint(),
+			EmittedUpTo: c.uvarint(),
+			Count:       c.uvarint(),
+		}
+	case KindLeaseFence:
+		flags := c.u8()
+		if c.err == nil && flags&^byte(1) != 0 {
+			c.fail("lease-fence flags %#x unknown", flags)
+		}
+		f = LeaseFence{
+			Granted:     flags&1 != 0,
+			Holder:      c.uvarint(),
+			Epoch:       c.uvarint(),
+			EmittedUpTo: c.uvarint(),
+			Count:       c.uvarint(),
+			LeftMillis:  c.uvarint(),
+		}
+	case KindHandover:
+		f = Handover{Epoch: c.uvarint()}
+	case KindHandoverState:
+		v := HandoverState{
+			LastUpTo:    c.uvarint(),
+			LastCut:     c.uvarint(),
+			EmittedUpTo: c.uvarint(),
+			Count:       c.uvarint(),
+			Cuts:        c.uvarint(),
+			Events:      c.uvarint(),
+		}
+		flags := c.u8()
+		if c.err == nil && flags&^byte(15) != 0 {
+			c.fail("handover-state flags %#x unknown", flags)
+		}
+		v.Finished = flags&1 != 0
+		v.Dead = flags&2 != 0
+		v.Cause = c.str("handover cause")
+		v.DetectedAt = c.uvarint()
+		if flags&4 != 0 {
+			n := c.count(maxRouteShards, 1, "handover owner")
+			v.Owner = make([]uint32, n)
+			for i := 0; i < n && c.err == nil; i++ {
+				v.Owner[i] = uint32(c.uvarint())
+			}
+		}
+		if flags&8 != 0 {
+			n := c.count(maxNodeAddrs, 1, "handover addr")
+			v.Addrs = make([]string, n)
+			for i := 0; i < n && c.err == nil; i++ {
+				v.Addrs[i] = c.str("handover addr")
+			}
+		}
+		f = v
 	default:
 		return nil, fmt.Errorf("wire: unknown frame kind %d", p[0])
 	}

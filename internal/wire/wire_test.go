@@ -127,6 +127,7 @@ func frames() []Frame {
 		Assign{Base: 0, Shards: 2, Total: 4, Epoch: 3}, // v5: epoch-stamped session
 		ReplCut{ // v5: replicated cut with topology tables
 			UpTo:  1 << 30,
+			Cut:   17,
 			Owner: []uint32{0, 1, 1, 0},
 			Addrs: []string{"127.0.0.1:9001", "", "[::1]:40000"},
 			Runs: []ReplRun{
@@ -134,13 +135,34 @@ func frames() []Frame {
 				{Shard: 3},
 			},
 		},
-		ReplCut{UpTo: 512, Runs: []ReplRun{{Shard: 1, Events: []event.Event{ev2}}}},
-		ReplCut{UpTo: 1 << 52, Final: true}, // stream-ending marker
+		ReplCut{UpTo: 512, Cut: 1, Runs: []ReplRun{{Shard: 1, Events: []event.Event{ev2}}}},
+		ReplCut{UpTo: 1 << 52, Cut: 1 << 20, Final: true}, // stream-ending marker
 		ReplState{EmittedUpTo: 1 << 40, Count: 12345},
 		ReplState{},
 		Takeover{Epoch: 2, Boundary: 768, Count: 99},
 		Takeover{},
 		Epoch{Epoch: 1},
+		Epoch{Epoch: 3, Window: 5000, Slack: 4, MaxBytes: 1 << 28}, // v6: self-configuring standby
+		Epoch{Epoch: 2, Window: -1},
+		LeaseAcquire{Holder: 1, TTLMillis: 2000},
+		LeaseAcquire{},
+		LeaseRenew{Holder: 1, Epoch: 4, TTLMillis: 2000, EmittedUpTo: 1 << 33, Count: 777},
+		LeaseRenew{Holder: 2, Epoch: 5}, // TTL 0: release
+		LeaseFence{Granted: true, Holder: 1, Epoch: 4, EmittedUpTo: 1 << 33, Count: 777},
+		LeaseFence{Holder: 2, Epoch: 9, LeftMillis: 1499}, // denial with remaining grant
+		LeaseFence{},
+		Handover{Epoch: 2},
+		Handover{},
+		HandoverState{ // v6: full mirror handover header
+			LastUpTo: 1 << 30, LastCut: 255, EmittedUpTo: 1 << 29, Count: 4242,
+			Cuts: 8, Events: 1 << 16,
+			Dead: true, Cause: "replication link: read tcp: connection reset",
+			DetectedAt: 1_700_000_000_000_000_000,
+			Owner:      []uint32{1, 0, math.MaxUint32},
+			Addrs:      []string{"127.0.0.1:9001", "[::1]:40000"},
+		},
+		HandoverState{Finished: true},
+		HandoverState{},
 		Finish{},
 	}
 }
