@@ -136,6 +136,54 @@ func TestDemotedWithoutTakeoverErrors(t *testing.T) {
 	}
 }
 
+// TestDemotedRingCapForfeitsTakeover: a demoted primary retains the
+// takeover tail (the events the frozen mirror never saw) only up to
+// demotedRingCap — past it the ring is reclaimed and a later
+// KillPrimary reports the forfeited takeover explicitly instead of
+// building a silently lossy successor or growing memory without bound.
+func TestDemotedRingCapForfeitsTakeover(t *testing.T) {
+	oldCap := demotedRingCap
+	demotedRingCap = 256
+	defer func() { demotedRingCap = oldCap }()
+	w := haWorkload(t, "traffic")
+	rig := startHARig(t, w, gen.Sequence, 0)
+	arbAddr, _ := startArbiter(t)
+	pat, err := w.Pattern(gen.Sequence, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &tagRecorder{}
+	var wrap *chaos.Wrapper
+	p, err := New(Config{
+		Pattern: pat, Schema: w.Schema, KeyAttr: "key", Batch: 64,
+		Workers: rig.workers, OnTagged: rec.rec,
+		LeaseAddr: arbAddr, LeaseTTL: 300 * time.Millisecond,
+		ReplTimeout: 400 * time.Millisecond,
+		WrapRepl: func(c cluster.Conn) cluster.Conn {
+			wrap = chaos.Wrap(c, chaos.Config{Seed: 0xbad})
+			return wrap
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Events {
+		if i == 2000 {
+			wrap.Partition()
+		}
+		p.Process(&w.Events[i])
+	}
+	if p.Demotion() == nil {
+		t.Fatal("partitioned primary never demoted")
+	}
+	if !p.ringForfeited {
+		t.Fatalf("demoted primary fed %d events past the partition without tripping the %d-event ring cap", len(w.Events)-2000, demotedRingCap)
+	}
+	if err := p.KillPrimary(); err == nil || !strings.Contains(err.Error(), "takeover impossible") {
+		t.Fatalf("KillPrimary after the ring cap returned %v, want an explicit forfeit error", err)
+	}
+}
+
 // TestLeaseFencedPrimaryDemotes: a stale primary attempting to emit
 // after another holder fenced it off the lease must demote, not emit.
 // The feed pauses past the TTL (a long GC pause, a suspended VM), an

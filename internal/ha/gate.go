@@ -210,7 +210,10 @@ func (g *gate) drainLocked() {
 			}
 			// A demotion that raced the commit still lets this committed
 			// prefix out: the lease already records it, and holding it
-			// back would leave the lease ahead of the emitted stream.
+			// back would leave the lease ahead of the actually delivered
+			// stream (a successor would over-skip). demoteLocked defers
+			// the queue discard while draining is set, so the prefix is
+			// still intact here.
 		}
 		for k := 0; k < n; k++ {
 			pm := g.q[g.head]
@@ -239,19 +242,32 @@ func (g *gate) drainLocked() {
 		}
 	}
 	g.draining = false
+	if g.demoted {
+		// A demotion that landed while this drain was in flight deferred
+		// its queue discard to us (see demoteLocked); nothing beyond the
+		// committed prefix may ever escape now.
+		g.q = nil
+		g.head = 0
+	}
 }
 
 // demoteLocked freezes the gate after a lost lease: queued uncommitted
 // matches are discarded (the successor regenerates them), nothing
-// further escapes.
+// further escapes. While a drain is in flight — possibly unlocked
+// mid-commit — the discard is deferred to the drain's exit: the drain
+// must still see its fixed prefix to emit what the lease already
+// records as committed, and yanking the queue under it would both
+// panic the emit loop and leave the lease count ahead of the stream.
 func (g *gate) demoteLocked() {
 	if g.killed || g.direct || g.demoted {
 		return
 	}
 	g.demoted = true
 	g.frozen = true
-	g.q = nil
-	g.head = 0
+	if !g.draining {
+		g.q = nil
+		g.head = 0
+	}
 	g.ackCond.Broadcast()
 }
 

@@ -1,0 +1,93 @@
+package ha
+
+import (
+	"sync"
+	"testing"
+
+	"acep/internal/match"
+	"acep/internal/shard"
+	"acep/internal/wire"
+)
+
+// TestGateDemoteMidCommitEmitsCommittedPrefix pins the race between a
+// feed-side demotion (lease keepalive failure, replication timeout) and
+// a drain that is unlocked mid-commit. The demotion must not discard
+// the queue under the in-flight drain: the commit already recorded the
+// prefix at the lease, so the drain must still emit it — discarding
+// would panic the emit loop on the yanked queue and leave the lease
+// count ahead of the delivered stream (a successor would over-skip).
+// The queue discard is deferred to the drain's exit.
+func TestGateDemoteMidCommitEmitsCommittedPrefix(t *testing.T) {
+	var got []uint64
+	g := &gate{
+		out:     func(tg shard.Tagged) { got = append(got, tg.Seq) },
+		publish: func(wire.Frame) {},
+	}
+	g.ackCond = sync.NewCond(&g.mu)
+	g.commit = func(boundary, count uint64) bool {
+		// The demotion lands while this drain holds no lock (it is out
+		// doing the lease RPC); the commit itself succeeded, so the
+		// lease durably records (boundary, count) as emitted.
+		g.demote()
+		return true
+	}
+	for seq := uint64(1); seq <= 2; seq++ {
+		g.onTagged(shard.Tagged{M: &match.Match{}, Seq: seq})
+	}
+	g.onProgress(2)
+	g.onAck(2) // drain: commit(2, 2) succeeds, demotion races in
+
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("emitted %v, want [1 2] (the committed prefix must survive a racing demotion)", got)
+	}
+	if b, c := g.committedState(); b != 2 || c != 2 {
+		t.Fatalf("committed state = (%d, %d), want (2, 2)", b, c)
+	}
+	g.mu.Lock()
+	demoted, qlen := g.demoted, len(g.q)
+	g.mu.Unlock()
+	if !demoted {
+		t.Fatal("gate not demoted")
+	}
+	if qlen != 0 {
+		t.Fatalf("queue not discarded after the in-flight drain exited: %d entries", qlen)
+	}
+
+	// Nothing further escapes the demoted gate.
+	g.onTagged(shard.Tagged{M: &match.Match{}, Seq: 3})
+	g.onProgress(3)
+	if len(got) != 2 {
+		t.Fatalf("demoted gate emitted past the committed prefix: %v", got)
+	}
+}
+
+// TestGateDemoteMidCommitFenced: the complementary race — the demotion
+// lands mid-commit and the commit itself fails (fence). Nothing may be
+// emitted: a fenced commit recorded nothing, so the successor resumes
+// from the previous boundary and the prefix belongs to it.
+func TestGateDemoteMidCommitFenced(t *testing.T) {
+	var got []uint64
+	g := &gate{
+		out:     func(tg shard.Tagged) { got = append(got, tg.Seq) },
+		publish: func(wire.Frame) {},
+	}
+	g.ackCond = sync.NewCond(&g.mu)
+	g.commit = func(boundary, count uint64) bool {
+		g.demote()
+		return false
+	}
+	g.onTagged(shard.Tagged{M: &match.Match{}, Seq: 1})
+	g.onProgress(1)
+	g.onAck(1)
+	if len(got) != 0 {
+		t.Fatalf("fenced gate emitted %v, want nothing", got)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.demoted {
+		t.Fatal("gate not demoted")
+	}
+	if len(g.q) != 0 {
+		t.Fatalf("queue not discarded: %d entries", len(g.q))
+	}
+}

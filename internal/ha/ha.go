@@ -169,7 +169,10 @@ type Pair struct {
 	// ring retains fed events the standby has not yet acknowledged
 	// (consumer side): the takeover successor re-feeds the tail past
 	// the last mirrored cut. Trimmed to the gate's acked watermark.
-	ring []event.Event
+	// ringForfeited records that a demoted primary outgrew
+	// demotedRingCap and dropped the tail — takeover is off the table.
+	ring          []event.Event
+	ringForfeited bool
 
 	tookOver    bool
 	standbyLost atomic.Bool
@@ -522,13 +525,40 @@ func (p *Pair) linkLost(err error) {
 	p.g.degrade()
 }
 
+// demotedRingCap bounds the consumer-side ring on a demoted primary.
+// After a demotion the acked watermark is frozen, so trimRing can never
+// reclaim the ring again — yet the tail must keep growing, because a
+// demoted primary can still be superseded (KillPrimary drives the
+// standby takeover) and the successor re-feeds exactly this tail.
+// Retaining it forever trades unbounded memory for takeover coverage;
+// past the cap the pair forfeits takeover explicitly (the ring is
+// dropped and KillPrimary reports it) rather than grow without bound
+// or lose tail events silently. A var so tests can shrink the window.
+var demotedRingCap = 1 << 18
+
 // Process feeds one event through the primary (or, after takeover, the
 // successor). Same contract as Ingress.Process.
 func (p *Pair) Process(ev *event.Event) {
 	if p.err != nil {
 		return
 	}
-	if !p.tookOver && !p.standbyLost.Load() {
+	switch {
+	case p.tookOver || p.standbyLost.Load() || p.ringForfeited:
+		// No successor can ever consume the ring from here (the
+		// successor replays its own journal after a takeover; a lost
+		// standby means a later kill is a double death) — it is dead
+		// weight, and with acks stopped trimRing would never reclaim it.
+		p.ring = nil
+	case p.demotedFlag.Load():
+		// Demoted but still supersedable: retain the takeover tail up
+		// to the cap, then forfeit takeover instead of growing forever.
+		if len(p.ring) >= demotedRingCap {
+			p.ring = nil
+			p.ringForfeited = true
+		} else {
+			p.ring = append(p.ring, *ev)
+		}
+	default:
 		p.ring = append(p.ring, *ev)
 		if len(p.ring) >= 4*p.cfg.Batch {
 			p.trimRing()
@@ -627,6 +657,11 @@ func (p *Pair) KillPrimary() error {
 
 	if p.standbyLost.Load() {
 		p.err = fmt.Errorf("ha: double death: primary killed after the standby was lost; the stream cannot resume")
+		return p.err
+	}
+	if p.ringForfeited {
+		p.stopStandby()
+		p.err = fmt.Errorf("ha: takeover impossible: the demoted primary outlived its takeover window (event tail exceeded %d events and was dropped)", demotedRingCap)
 		return p.err
 	}
 

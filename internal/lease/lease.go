@@ -50,9 +50,10 @@ type Server struct {
 
 	now func() time.Time
 
-	lst   *cluster.Listener
-	conns map[cluster.Conn]struct{}
-	wg    sync.WaitGroup
+	lst    *cluster.Listener
+	conns  map[cluster.Conn]struct{}
+	closed bool // Close ran: late-accepted conns are closed, not served
+	wg     sync.WaitGroup
 }
 
 // New returns an arbiter on the real clock.
@@ -154,6 +155,14 @@ func (s *Server) Serve(l *cluster.Listener) {
 				return
 			}
 			s.mu.Lock()
+			if s.closed {
+				// Accepted just before Close snapshotted s.conns: serving
+				// it would leave a goroutine blocked in Recv that Close's
+				// wg.Wait then hangs on. Close it instead.
+				s.mu.Unlock()
+				c.Close()
+				continue
+			}
 			s.conns[c] = struct{}{}
 			s.mu.Unlock()
 			s.wg.Add(1)
@@ -206,6 +215,7 @@ func (s *Server) serveConn(c cluster.Conn) {
 // state itself is not cleared.
 func (s *Server) Close() {
 	s.mu.Lock()
+	s.closed = true
 	lst := s.lst
 	s.lst = nil
 	conns := make([]cluster.Conn, 0, len(s.conns))
